@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks of priority-context conversion
+//! (`CXTCONVERT`, Algorithm 1): the priority-generation half of Fig 12.
+
+use cameo_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn state(domain: TimeDomain) -> ConverterState {
+    let mut st = ConverterState::new(OperatorKey::new(JobId(0), 0), domain);
+    st.profile.process_reply(
+        0,
+        &ReplyContext {
+            cost: Micros(150),
+            cpath: Micros(300),
+            queue_len: 2,
+        },
+    );
+    st
+}
+
+fn windowed_hop() -> HopInfo {
+    HopInfo {
+        edge: 0,
+        sender_slide: Slide::UNIT,
+        target_slide: Slide(1_000_000),
+    }
+}
+
+fn bench_llf_regular(c: &mut Criterion) {
+    c.bench_function("llf_convert_regular_hop", |b| {
+        let mut st = state(TimeDomain::IngestionTime);
+        let hop = HopInfo::regular(0);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let stamp = MessageStamp {
+                progress: LogicalTime(i),
+                time: PhysicalTime(i),
+            };
+            std::hint::black_box(LlfPolicy.build_at_source(
+                JobId(0),
+                stamp,
+                Micros::from_millis(800),
+                &hop,
+                &mut st,
+            ))
+        });
+    });
+}
+
+fn bench_llf_windowed_event_time(c: &mut Criterion) {
+    c.bench_function("llf_convert_windowed_event_time", |b| {
+        let mut st = state(TimeDomain::EventTime);
+        let hop = windowed_hop();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let stamp = MessageStamp {
+                progress: LogicalTime(i * 1_000),
+                time: PhysicalTime(i * 1_000 + 2_000),
+            };
+            std::hint::black_box(LlfPolicy.build_at_source(
+                JobId(0),
+                stamp,
+                Micros::from_millis(800),
+                &hop,
+                &mut st,
+            ))
+        });
+    });
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_convert");
+    let hop = windowed_hop();
+    macro_rules! bench_policy {
+        ($name:literal, $p:expr) => {
+            g.bench_function($name, |b| {
+                let mut st = state(TimeDomain::IngestionTime);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let stamp = MessageStamp {
+                        progress: LogicalTime(i),
+                        time: PhysicalTime(i),
+                    };
+                    std::hint::black_box($p.build_at_source(
+                        JobId(0),
+                        stamp,
+                        Micros::from_millis(800),
+                        &hop,
+                        &mut st,
+                    ))
+                });
+            });
+        };
+    }
+    bench_policy!("llf", LlfPolicy);
+    bench_policy!("edf", EdfPolicy);
+    bench_policy!("sjf", SjfPolicy);
+    bench_policy!("fifo", FifoPolicy);
+    g.finish();
+}
+
+fn bench_reply_path(c: &mut Criterion) {
+    c.bench_function("prepare_and_process_reply", |b| {
+        let mut up = state(TimeDomain::IngestionTime);
+        let down = state(TimeDomain::IngestionTime);
+        b.iter(|| {
+            let rc = LlfPolicy.prepare_reply(&down, false);
+            LlfPolicy.process_reply(&mut up, 0, &rc);
+            std::hint::black_box(rc)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_llf_regular,
+    bench_llf_windowed_event_time,
+    bench_policies,
+    bench_reply_path
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of `PROGRESSMAP` (§4.3): the linear
+//! frontier-time model on the context-conversion hot path.
+
+use cameo_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_update(c: &mut Criterion) {
+    c.bench_function("progress_map_update", |b| {
+        let mut m = ProgressMap::new(TimeDomain::EventTime);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            m.update(LogicalTime(i * 100), PhysicalTime(i * 100 + 2_000));
+        });
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    c.bench_function("progress_map_predict", |b| {
+        let mut m = ProgressMap::new(TimeDomain::EventTime);
+        for i in 0..64u64 {
+            m.update(LogicalTime(i * 100), PhysicalTime(i * 100 + 2_000));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(m.predict(LogicalTime(i * 100 + 10_000)))
+        });
+    });
+}
+
+fn bench_update_predict_cycle(c: &mut Criterion) {
+    c.bench_function("progress_map_update_predict", |b| {
+        let mut m = ProgressMap::new(TimeDomain::EventTime);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            m.update(LogicalTime(i * 100), PhysicalTime(i * 100 + 2_000));
+            std::hint::black_box(m.predict(LogicalTime(i * 100 + 10_000)))
+        });
+    });
+}
+
+fn bench_transform(c: &mut Criterion) {
+    c.bench_function("transform_windowed", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(transform(LogicalTime(i), Slide::UNIT, Slide(1_000_000)))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_update,
+    bench_predict,
+    bench_update_predict_cycle,
+    bench_transform
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks for Fig 12 (left): per-message cost of
+//! FIFO queueing vs two-level priority scheduling vs full Cameo
+//! (scheduling + priority generation).
+
+use cameo_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::collections::VecDeque;
+
+fn bench_fifo_queue(c: &mut Criterion) {
+    c.bench_function("fifo_queue_push_pop", |b| {
+        let mut queue: VecDeque<(OperatorKey, u64)> = VecDeque::with_capacity(1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            queue.push_back((OperatorKey::new(JobId((i % 300) as u32), 0), i));
+            std::hint::black_box(queue.pop_front())
+        });
+    });
+}
+
+fn bench_priority_scheduling(c: &mut Criterion) {
+    c.bench_function("cameo_submit_acquire_take_release", |b| {
+        let mut sched: CameoScheduler<u64> = CameoScheduler::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = OperatorKey::new(JobId((i % 300) as u32), 0);
+            sched.submit(key, i, Priority::new(0, i as i64));
+            let exec = sched.acquire(PhysicalTime(i)).unwrap();
+            let msg = sched.take_message(&exec);
+            sched.release(exec);
+            std::hint::black_box(msg)
+        });
+    });
+}
+
+fn bench_full_cameo(c: &mut Criterion) {
+    c.bench_function("cameo_with_priority_generation", |b| {
+        let mut sched: CameoScheduler<u64> = CameoScheduler::default();
+        let mut states: Vec<ConverterState> = (0..300)
+            .map(|t| ConverterState::new(OperatorKey::new(JobId(t), 0), TimeDomain::EventTime))
+            .collect();
+        let hop = HopInfo {
+            edge: 0,
+            sender_slide: Slide::UNIT,
+            target_slide: Slide(1_000_000),
+        };
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let t = (i % 300) as usize;
+            let key = OperatorKey::new(JobId(t as u32), 0);
+            let stamp = MessageStamp {
+                progress: LogicalTime(i),
+                time: PhysicalTime(i + 50),
+            };
+            let pc = LlfPolicy.build_at_source(
+                JobId(t as u32),
+                stamp,
+                Micros::from_millis(800),
+                &hop,
+                &mut states[t],
+            );
+            sched.submit(key, i, pc.priority);
+            let exec = sched.acquire(PhysicalTime(i)).unwrap();
+            let msg = sched.take_message(&exec);
+            sched.release(exec);
+            std::hint::black_box(msg)
+        });
+    });
+}
+
+fn bench_quantum_decision(c: &mut Criterion) {
+    c.bench_function("scheduler_decide", |b| {
+        b.iter_batched(
+            || {
+                let mut sched: CameoScheduler<u64> = CameoScheduler::default();
+                let key = OperatorKey::new(JobId(0), 0);
+                sched.submit(key, 1, Priority::uniform(10));
+                sched.submit(key, 2, Priority::uniform(20));
+                sched.submit(OperatorKey::new(JobId(1), 0), 3, Priority::uniform(5));
+                let exec = sched.acquire(PhysicalTime::ZERO).unwrap();
+                let _ = sched.take_message(&exec);
+                (sched, exec)
+            },
+            |(mut sched, exec)| {
+                let d = sched.decide(&exec, PhysicalTime(2_000));
+                std::hint::black_box(d)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fifo_queue,
+    bench_priority_scheduling,
+    bench_full_cameo,
+    bench_quantum_decision
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Ablation study (beyond the paper's figures): how much do the two
+//! context mechanisms actually buy?
+//!
+//! * **Reply Contexts** carry profiled costs upstream. Without them
+//!   (and without seeded profiles) deadlines degrade to `t_MF + L` —
+//!   still deadline-aware, but blind to downstream burden. With
+//!   *heterogeneous* stage costs this misorders messages whose
+//!   downstream pipelines differ.
+//! * **Deadline extension** (query semantics) is ablated in Fig 15;
+//!   here we combine both switches to complete the 2x2.
+//!
+//! Run: `cargo run --release -p cameo-bench --bin ablation_contexts`
+
+use cameo_bench::{header, ms, BenchArgs};
+use cameo_core::time::Micros;
+use cameo_dataflow::expand::ExpandOptions;
+use cameo_dataflow::queries::{agg_query, AggQueryParams, StageCosts};
+use cameo_sim::prelude::*;
+
+fn main() {
+    let args = BenchArgs::parse();
+    header(
+        "Ablation",
+        "value of Reply Contexts (profiling feedback) and deadline extension",
+        "(not a paper figure) full Cameo should dominate; removing the \
+         feedback path hurts most when downstream costs are heterogeneous",
+    );
+
+    // Two job shapes with very different downstream burdens: "deep"
+    // jobs have an expensive tail (large C_path), "shallow" jobs don't.
+    // Correct C_path knowledge schedules deep jobs' messages earlier.
+    let deep_costs = StageCosts {
+        parse: Micros(200),
+        agg: Micros(800),
+        merge: Micros(1_600),
+        final_: Micros(2_400),
+    };
+    let shallow_costs = StageCosts {
+        parse: Micros(200),
+        agg: Micros(200),
+        merge: Micros(100),
+        final_: Micros(50),
+    };
+
+    let variants: [(&str, bool, bool); 4] = [
+        // (label, replies enabled, profiles seeded)
+        ("full Cameo (replies + seeds)", true, true),
+        ("no replies, seeded profiles", false, true),
+        ("replies, cold start", true, false),
+        ("no replies, cold start", false, false),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, replies, seeds) in variants {
+        let mut sc = Scenario::new(
+            ClusterSpec::new(2, 4),
+            SchedulerKind::Cameo(PolicyKind::Llf),
+        )
+        .with_seed(args.seed)
+        .with_cost(CostConfig {
+            per_tuple_ns: 400,
+            ..Default::default()
+        })
+        .disable_replies(!replies);
+        let opts = ExpandOptions {
+            seed_profiles: seeds,
+            ..Default::default()
+        };
+        for i in 0..2 {
+            sc.add_job_with(
+                agg_query(
+                    &AggQueryParams::new(format!("deep-{i}"), 1_000_000, Micros::from_millis(25))
+                        .with_sources(8)
+                        .with_parallelism(4)
+                        .with_costs(deep_costs),
+                ),
+                WorkloadSpec::constant(8, 55.0, 100, Micros::from_secs(20)),
+                opts.clone(),
+            );
+        }
+        for i in 0..2 {
+            sc.add_job_with(
+                agg_query(
+                    &AggQueryParams::new(
+                        format!("shallow-{i}"),
+                        1_000_000,
+                        Micros::from_millis(400),
+                    )
+                    .with_sources(8)
+                    .with_parallelism(4)
+                    .with_costs(shallow_costs),
+                ),
+                WorkloadSpec::constant(8, 130.0, 100, Micros::from_secs(20)),
+                opts.clone(),
+            );
+        }
+        let report = sc.run();
+        let deep = [0usize, 1];
+        let shallow = [2usize, 3];
+        let dq = report.group_percentiles(&deep, &[50.0, 99.0]);
+        let sq = report.group_percentiles(&shallow, &[50.0, 99.0]);
+        let _ = report.utilization();
+        rows.push(vec![
+            label.to_string(),
+            ms(dq[0]),
+            ms(dq[1]),
+            format!("{:.1}%", report.group_success(&deep) * 100.0),
+            ms(sq[0]),
+            ms(sq[1]),
+        ]);
+    }
+    print_table(
+        "Ablation — Reply Contexts under heterogeneous downstream costs",
+        &[
+            "variant",
+            "deep p50",
+            "deep p99",
+            "deep met",
+            "shallow p50",
+            "shallow p99",
+        ],
+        &rows,
+    );
+    println!(
+        "\n'deep' jobs carry a ~4.8ms critical path below parse, 'shallow'\n\
+         ones ~0.5ms. The observed differences are small: with windowed\n\
+         aggregations the deadline is dominated by t_MF + L, so losing\n\
+         the C_oM/C_path terms barely reorders messages — the same\n\
+         mechanism behind the paper's own EDF ~= LLF finding (§6.3).\n\
+         The feedback path matters when constraints are tight relative\n\
+         to path costs and queues are deep (cf. Fig 8's overload runs)."
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 1: slot-based execution vs simple actor scheduling vs Cameo —
+//! CPU utilization and tail latency on the same multi-tenant workload.
+//!
+//! The paper's point: slot-based systems (Flink-on-YARN) isolate but
+//! waste CPU; plain actor systems (Orleans) share CPU but blow up tail
+//! latency; Cameo gets both high utilization and low tail latency.
+
+use cameo_bench::{header, ms, BenchArgs, MixScale};
+use cameo_sim::prelude::*;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = MixScale::of(&args);
+    header(
+        "Figure 1",
+        "utilization vs p99 latency per scheduler",
+        "Slot: low utilization, low-ish latency; Orleans: high \
+         utilization, high tail latency; Cameo: high utilization, low tail latency",
+    );
+
+    // Heavy enough load for contention on the shared pool.
+    let ba_rate = 55.0;
+    let systems = [
+        SchedulerKind::Slot,
+        SchedulerKind::OrleansLike,
+        SchedulerKind::Fifo,
+        SchedulerKind::Cameo(PolicyKind::Llf),
+    ];
+    let (ls, _) = scale.groups(scale.ba_jobs);
+    // Slot-based systems dedicate one executor per operator, so their
+    // cluster must be provisioned with one worker per operator — that
+    // over-provisioning *is* Fig 1's low-utilization story.
+    let ops_per_job = 2 * scale.parallelism + scale.parallelism.div_ceil(2) + 1;
+    let total_ops = ops_per_job * (scale.ls_jobs + scale.ba_jobs) as u32;
+    let slot_workers = (total_ops as u16).div_ceil(scale.nodes);
+    let mut rows = Vec::new();
+    for sched in systems {
+        let mut s = scale.clone();
+        if sched == SchedulerKind::Slot {
+            s.workers = slot_workers;
+        }
+        let report = s.mix_scenario(sched, s.ba_jobs, ba_rate, args.seed).run();
+        let qs = report.group_percentiles(&ls, &[50.0, 99.0]);
+        rows.push(vec![
+            report.label.clone(),
+            format!(
+                "{}x{}",
+                s.nodes,
+                if sched == SchedulerKind::Slot {
+                    slot_workers
+                } else {
+                    s.workers
+                }
+            ),
+            format!("{:.1}%", report.utilization() * 100.0),
+            ms(qs[0]),
+            ms(qs[1]),
+            format!("{:.1}%", report.group_success(&ls) * 100.0),
+        ]);
+    }
+    print_table(
+        "Figure 1 — utilization and group-1 latency",
+        &["scheduler", "cluster", "cpu util", "p50 (ms)", "p99 (ms)", "deadlines met"],
+        &rows,
+    );
+    println!(
+        "\nNote: 'Slot' provisions one dedicated worker per operator (as a\n\
+         slot-per-operator deployment must): latency is fine but utilization\n\
+         collapses. Orleans/FIFO share a small pool: utilization is high but\n\
+         the tail suffers. Cameo gets both on the same small pool."
+    );
+}

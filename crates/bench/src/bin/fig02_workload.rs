@@ -1,0 +1,146 @@
+//! Figure 2: production workload characteristics, regenerated from the
+//! synthetic trace generators that drive the other experiments.
+//!
+//! (a) data-volume distribution across streams — a small fraction of
+//!     streams carries most of the data;
+//! (b) micro-batch job scheduling overhead — periodic jobs pay
+//!     scheduling/startup costs of up to ~80% for short jobs;
+//! (c) ingestion heat map — per-source, per-second volumes with spikes
+//!     and idleness.
+
+use cameo_bench::{header, BenchArgs};
+use cameo_core::time::Micros;
+use cameo_sim::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args = BenchArgs::parse();
+    header(
+        "Figure 2",
+        "workload characteristics of the production trace generators",
+        "(a) top 10% of streams carry the majority of data; (b) micro-batch \
+         overhead up to ~80%; (c) heavy temporal variability incl. idleness",
+    );
+    volume_distribution(&args);
+    microbatch_overhead(&args);
+    ingestion_heatmap(&args);
+}
+
+/// 2(a): per-stream total volume across a fleet of Pareto streams.
+fn volume_distribution(args: &BenchArgs) {
+    let streams = if args.full { 200 } else { 100 };
+    let dur = Micros::from_secs(60);
+    let mut volumes: Vec<u64> = (0..streams)
+        .map(|i| {
+            // Stream mean rates themselves follow a heavy tail across
+            // the fleet (Fig 2a is about cross-stream skew).
+            let mut rng = ChaCha8Rng::seed_from_u64(args.seed * 1000 + i);
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let mean = 2.0 * u.powf(-1.0 / 1.16); // alpha ~ 1.16 (80/20)
+            let spec = WorkloadSpec::pareto(1, mean, 1.5, 100, dur, 20.0, args.seed + i);
+            spec.approx_messages()
+        })
+        .collect();
+    volumes.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = volumes.iter().sum();
+    let top10: u64 = volumes.iter().take(streams as usize / 10).sum();
+    let top50: u64 = volumes.iter().take(streams as usize / 2).sum();
+    let rows = vec![
+        vec![
+            "top 10% of streams".into(),
+            format!("{:.1}%", 100.0 * top10 as f64 / total as f64),
+        ],
+        vec![
+            "top 50% of streams".into(),
+            format!("{:.1}%", 100.0 * top50 as f64 / total as f64),
+        ],
+        vec![
+            "bottom 50% of streams".into(),
+            format!("{:.1}%", 100.0 * (total - top50) as f64 / total as f64),
+        ],
+    ];
+    print_table(
+        "Figure 2(a) — share of total data volume",
+        &["stream group", "share of data"],
+        &rows,
+    );
+    println!();
+}
+
+/// 2(b): provisioning a cluster per micro-batch run adds fixed
+/// scheduling/startup latency; short jobs pay proportionally more.
+fn microbatch_overhead(args: &BenchArgs) {
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed + 77);
+    let mut rows = Vec::new();
+    for target_s in [10u64, 30, 100, 300, 1000] {
+        // Scheduling latency: resource-manager queueing + container
+        // startup, empirically seconds to tens of seconds.
+        let n = 200;
+        let mut overheads = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sched = 2.0 + rng.gen_range(0.0..28.0f64); // 2-30 s
+            let run = target_s as f64 * rng.gen_range(0.7..1.3);
+            overheads.push(sched / (sched + run));
+        }
+        overheads.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = overheads[n / 2];
+        let p90 = overheads[(n * 9) / 10];
+        rows.push(vec![
+            format!("{target_s}"),
+            format!("{:.0}%", med * 100.0),
+            format!("{:.0}%", p90 * 100.0),
+        ]);
+    }
+    print_table(
+        "Figure 2(b) — micro-batch scheduling overhead vs job length",
+        &["job completion (s)", "median overhead", "p90 overhead"],
+        &rows,
+    );
+    println!();
+}
+
+/// 2(c): heat-map statistics of per-source per-second volumes.
+fn ingestion_heatmap(args: &BenchArgs) {
+    let sources = 20u32;
+    let secs = 60u64;
+    let spec = WorkloadSpec::pareto(
+        sources,
+        20.0,
+        1.3,
+        100,
+        Micros::from_secs(secs),
+        30.0,
+        args.seed + 5,
+    );
+    let mut rows = Vec::new();
+    let mut spikiest = 0.0f64;
+    let mut idle_frac_total = 0.0;
+    for (i, pattern) in spec.sources.iter().enumerate() {
+        let rates: Vec<f64> = (0..secs).map(|s| pattern.rate_at(s)).collect();
+        let mean = rates.iter().sum::<f64>() / secs as f64;
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let idle = rates.iter().filter(|&&r| r < 1.0).count() as f64 / secs as f64;
+        spikiest = spikiest.max(max / mean.max(1e-9));
+        idle_frac_total += idle;
+        if i < 5 {
+            rows.push(vec![
+                format!("source {i}"),
+                format!("{mean:.1}"),
+                format!("{max:.1}"),
+                format!("{:.1}x", max / mean.max(1e-9)),
+                format!("{:.0}%", idle * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 2(c) — ingestion variability (first 5 of 20 sources)",
+        &["source", "mean msgs/s", "peak msgs/s", "peak/mean", "near-idle seconds"],
+        &rows,
+    );
+    println!(
+        "fleet: max peak/mean = {:.1}x, mean near-idle fraction = {:.0}%\n",
+        spikiest,
+        100.0 * idle_frac_total / sources as f64
+    );
+}

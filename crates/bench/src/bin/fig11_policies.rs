@@ -1,0 +1,120 @@
+//! Figure 11: scheduling policies compared — LLF (default) vs EDF vs
+//! SJF, all three implemented through the same context API.
+//!
+//! Left: single-query latency distributions (IPQ1-IPQ4). Right:
+//! multi-query mix. Paper: SJF consistently worst (except IPQ4, light
+//! load); EDF and LLF nearly identical because per-stage operator costs
+//! are uniform.
+
+use cameo_bench::{header, ms, BenchArgs, MixScale};
+use cameo_core::time::Micros;
+use cameo_dataflow::queries::{self, AggQueryParams, JoinQueryParams, StageCosts};
+use cameo_sim::prelude::*;
+
+const POLICIES: [PolicyKind; 3] = [PolicyKind::Llf, PolicyKind::Edf, PolicyKind::Sjf];
+
+fn main() {
+    let args = BenchArgs::parse();
+    header(
+        "Figure 11",
+        "LLF vs EDF vs SJF (single-query and multi-query)",
+        "EDF ~= LLF; SJF consistently worse except the lightly loaded \
+         join query",
+    );
+    single_query(&args);
+    multi_query(&args);
+}
+
+fn single_query(args: &BenchArgs) {
+    let window = 1_000_000;
+    let latency = Micros::from_millis(800);
+    let costs = StageCosts::default().scaled(4.0);
+    let mut rows = Vec::new();
+    for q in ["IPQ1", "IPQ2", "IPQ3", "IPQ4"] {
+        for policy in POLICIES {
+            let spec = match q {
+                "IPQ1" => queries::agg_query(
+                    &AggQueryParams::new(q, window, latency)
+                        .with_sources(8)
+                        .with_parallelism(4)
+                        .with_costs(costs),
+                ),
+                "IPQ2" => queries::agg_query(
+                    &AggQueryParams::new(q, window, latency)
+                        .sliding(window / 2)
+                        .with_sources(8)
+                        .with_parallelism(4)
+                        .with_costs(costs),
+                ),
+                "IPQ3" => queries::agg_query(
+                    &AggQueryParams::new(q, window, latency)
+                        .with_aggregation(cameo_dataflow::ops::Aggregation::Count)
+                        .with_keys(256)
+                        .with_sources(8)
+                        .with_parallelism(4)
+                        .with_costs(costs),
+                ),
+                _ => queries::join_query(&JoinQueryParams {
+                    sources: 4,
+                    parallelism: 4,
+                    keys: 32,
+                    costs,
+                    join_cost: Micros(1_600),
+                    ..JoinQueryParams::new(q, window, latency)
+                }),
+            };
+            let rate = if q == "IPQ4" { 12.0 } else { 85.0 };
+            let dur = Micros::from_secs(if args.full { 60 } else { 25 });
+            let mut sc = Scenario::new(
+                ClusterSpec::single_node(4),
+                SchedulerKind::Cameo(policy),
+            )
+            .with_seed(args.seed)
+            .with_cost(CostConfig {
+                per_tuple_ns: 400,
+                ..Default::default()
+            });
+            sc.add_job(spec, WorkloadSpec::constant(8, rate, 100, dur));
+            let report = sc.run();
+            let j = report.job(0);
+            rows.push(vec![
+                q.to_string(),
+                policy.name().to_string(),
+                ms(j.median().0),
+                ms(j.percentile(99.0).0),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 11 (left) — single-query latency by policy",
+        &["query", "policy", "p50 (ms)", "p99 (ms)"],
+        &rows,
+    );
+    println!();
+}
+
+fn multi_query(args: &BenchArgs) {
+    let scale = MixScale::of(args);
+    let (ls, ba) = scale.groups(scale.ba_jobs);
+    let mut rows = Vec::new();
+    for policy in POLICIES {
+        let report = scale
+            .mix_scenario(SchedulerKind::Cameo(policy), scale.ba_jobs, 55.0, args.seed)
+            .run();
+        for (group, idx) in [("Group1(LS)", &ls), ("Group2(BA)", &ba)] {
+            let q = report.group_percentiles(idx, &[50.0, 99.0]);
+            rows.push(vec![
+                group.to_string(),
+                policy.name().to_string(),
+                ms(q[0]),
+                ms(q[1]),
+                format!("{:.1}%", report.group_success(idx) * 100.0),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 11 (right) — multi-query latency by policy",
+        &["group", "policy", "p50 (ms)", "p99 (ms)", "met"],
+        &rows,
+    );
+}

@@ -1,0 +1,204 @@
+//! Figure 12: scheduling overhead — measured on the *real* scheduler
+//! code, not simulated.
+//!
+//! Left: per-message execution-time breakdown under a no-op workload
+//! for three schemes: plain FIFO queueing, Cameo without priority
+//! generation (two-level priority scheduling only), and full Cameo
+//! (priority scheduling + priority generation via the LLF policy).
+//! Paper: <15% total overhead worst case = 4% scheduling + 11%
+//! generation.
+//!
+//! Right: overhead relative to message execution cost as the batch
+//! size grows (6.4% at batch size 1 for a local aggregation operator;
+//! shrinking with batch size).
+
+use cameo_bench::{header, BenchArgs};
+use cameo_core::prelude::*;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::parse();
+    header(
+        "Figure 12",
+        "scheduling overhead of the real scheduler implementation",
+        "full Cameo adds <15% vs FIFO on no-op messages (priority \
+         scheduling + priority generation); overhead fades with batch size",
+    );
+    let n: u64 = if args.full { 2_000_000 } else { 400_000 };
+    breakdown(n);
+    batch_sweep(n);
+}
+
+/// Drive `n` no-op messages through each scheme and report ns/message.
+fn breakdown(n: u64) {
+    let tenants = 300u32;
+
+    // Scheme 1: plain FIFO queue (the baseline scheduler).
+    let fifo_ns = {
+        let mut queue: VecDeque<(OperatorKey, u64)> = VecDeque::new();
+        let start = Instant::now();
+        for i in 0..n {
+            let key = OperatorKey::new(JobId(i as u32 % tenants), 0);
+            queue.push_back((key, i));
+            let item = queue.pop_front().unwrap();
+            std::hint::black_box(item);
+        }
+        start.elapsed().as_nanos() as f64 / n as f64
+    };
+
+    // Scheme 2: Cameo two-level scheduler, priorities precomputed
+    // (scheduling cost only).
+    let sched_ns = {
+        let mut sched: CameoScheduler<u64> = CameoScheduler::default();
+        let start = Instant::now();
+        for i in 0..n {
+            let key = OperatorKey::new(JobId(i as u32 % tenants), 0);
+            sched.submit(key, i, Priority::new(0, i as i64));
+            let exec = sched.acquire(PhysicalTime(i)).unwrap();
+            let msg = sched.take_message(&exec).unwrap();
+            std::hint::black_box(&msg);
+            sched.release(exec);
+        }
+        start.elapsed().as_nanos() as f64 / n as f64
+    };
+
+    // Scheme 3: full Cameo — priority generation (LLF context
+    // conversion) + priority scheduling.
+    let full_ns = {
+        let mut sched: CameoScheduler<u64> = CameoScheduler::default();
+        let mut states: Vec<ConverterState> = (0..tenants)
+            .map(|t| ConverterState::new(OperatorKey::new(JobId(t), 0), TimeDomain::EventTime))
+            .collect();
+        let hop = HopInfo {
+            edge: 0,
+            sender_slide: Slide::UNIT,
+            target_slide: Slide(1_000_000),
+        };
+        let start = Instant::now();
+        for i in 0..n {
+            let t = i as u32 % tenants;
+            let key = OperatorKey::new(JobId(t), 0);
+            let stamp = MessageStamp {
+                progress: LogicalTime(i),
+                time: PhysicalTime(i + 50),
+            };
+            let pc = LlfPolicy.build_at_source(
+                JobId(t),
+                stamp,
+                Micros::from_millis(800),
+                &hop,
+                &mut states[t as usize],
+            );
+            sched.submit(key, i, pc.priority);
+            let exec = sched.acquire(PhysicalTime(i)).unwrap();
+            let msg = sched.take_message(&exec).unwrap();
+            std::hint::black_box(&msg);
+            sched.release(exec);
+        }
+        start.elapsed().as_nanos() as f64 / n as f64
+    };
+
+    let rows = vec![
+        vec!["FIFO queue".into(), format!("{fifo_ns:.0}"), "-".into()],
+        vec![
+            "Cameo w/o priority generation".into(),
+            format!("{sched_ns:.0}"),
+            format!("+{:.0}%", 100.0 * (sched_ns - fifo_ns) / fifo_ns),
+        ],
+        vec![
+            "Cameo (full)".into(),
+            format!("{full_ns:.0}"),
+            format!("+{:.0}%", 100.0 * (full_ns - fifo_ns) / fifo_ns),
+        ],
+    ];
+    print_rows(
+        "Figure 12 (left) — per-message scheduler cost (no-op workload)",
+        &["scheme", "ns/message", "vs FIFO"],
+        rows,
+    );
+    println!(
+        "\npriority scheduling:  {:.0} ns/msg ({:.1}% of a 100us message)",
+        sched_ns - fifo_ns,
+        (sched_ns - fifo_ns) / 1_000.0 * 100.0 / 100.0
+    );
+    println!(
+        "priority generation:  {:.0} ns/msg ({:.1}% of a 100us message)\n",
+        full_ns - sched_ns,
+        (full_ns - sched_ns) / 1_000.0 * 100.0 / 100.0
+    );
+}
+
+/// Overhead relative to execution cost as batch size grows: the
+/// execution cost of a local aggregation scales with tuples/message,
+/// the scheduling cost does not.
+fn batch_sweep(n: u64) {
+    use cameo_dataflow::event::{Batch, Tuple};
+    use cameo_dataflow::operator::Operator;
+    use cameo_dataflow::ops::{Aggregation, WindowAggregate};
+    use cameo_dataflow::window::WindowSpec;
+
+    // Measure real per-message scheduler cost once (full Cameo).
+    let sched_cost_ns = {
+        let mut sched: CameoScheduler<u64> = CameoScheduler::default();
+        let mut st = ConverterState::new(OperatorKey::new(JobId(0), 0), TimeDomain::EventTime);
+        let hop = HopInfo {
+            edge: 0,
+            sender_slide: Slide::UNIT,
+            target_slide: Slide(1_000_000),
+        };
+        let m = n / 4;
+        let start = Instant::now();
+        for i in 0..m {
+            let stamp = MessageStamp {
+                progress: LogicalTime(i),
+                time: PhysicalTime(i + 50),
+            };
+            let pc = LlfPolicy.build_at_source(
+                JobId(0),
+                stamp,
+                Micros::from_millis(800),
+                &hop,
+                &mut st,
+            );
+            sched.submit(OperatorKey::new(JobId(0), 0), i, pc.priority);
+            let exec = sched.acquire(PhysicalTime(i)).unwrap();
+            std::hint::black_box(sched.take_message(&exec));
+            sched.release(exec);
+        }
+        start.elapsed().as_nanos() as f64 / m as f64
+    };
+
+    let mut rows = Vec::new();
+    for batch in [1usize, 10, 100, 1_000, 5_000, 20_000] {
+        // Real execution cost of a local aggregation on `batch` tuples.
+        let mut agg = WindowAggregate::new(WindowSpec::tumbling(1_000_000), Aggregation::Sum, 1);
+        let reps = (200_000 / batch).max(3);
+        let mut out = Vec::new();
+        let start = Instant::now();
+        for r in 0..reps {
+            let tuples: Vec<Tuple> = (0..batch)
+                .map(|i| Tuple::new(i as u64 % 64, 1, LogicalTime((r * batch + i) as u64)))
+                .collect();
+            let b = Batch::new(tuples, PhysicalTime(r as u64));
+            agg.on_batch(0, &b, PhysicalTime(r as u64), &mut out);
+            out.clear();
+        }
+        let exec_ns = start.elapsed().as_nanos() as f64 / reps as f64;
+        rows.push(vec![
+            batch.to_string(),
+            format!("{:.1}", exec_ns / 1_000.0),
+            format!("{:.2}", sched_cost_ns / 1_000.0),
+            format!("{:.1}%", 100.0 * sched_cost_ns / (exec_ns + sched_cost_ns)),
+        ]);
+    }
+    print_rows(
+        "Figure 12 (right) — scheduling overhead vs batch size (local aggregation)",
+        &["tuples/msg", "exec us/msg", "sched us/msg", "sched share"],
+        rows,
+    );
+}
+
+fn print_rows(title: &str, headers: &[&str], rows: Vec<Vec<String>>) {
+    cameo_sim::report::print_table(title, headers, &rows);
+}

@@ -1,0 +1,48 @@
+//! # cameo
+//!
+//! Facade crate for the full Cameo stack — a from-scratch Rust
+//! reproduction of *"Move Fast and Meet Deadlines: Fine-grained
+//! Real-time Stream Processing with Cameo"* (NSDI 2021):
+//!
+//! * [`core`] — the scheduling framework: priority contexts, the
+//!   pluggable policy API (LLF/EDF/SJF/FIFO/token fair sharing),
+//!   frontier mapping, cost profiling, and the stateless two-level
+//!   scheduler.
+//! * [`dataflow`] — the streaming substrate: events, windows,
+//!   operators (map/filter/flat-map/aggregate/join), job graphs and
+//!   their expansion into wired operator instances.
+//! * [`runtime`] — the real-time actor runtime: a worker pool draining
+//!   the Cameo scheduler under wall-clock time, with in-process and
+//!   TCP ingestion.
+//! * [`sim`] — the deterministic discrete-event cluster simulator used
+//!   by the paper-figure experiments in `cameo-bench`.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use cameo::prelude::*;
+//!
+//! // Deploy a 1s tumbling-window aggregation with an 800ms target.
+//! let rt = Runtime::start(RuntimeConfig::default().with_workers(4));
+//! let spec = ipq1(1_000_000, Micros::from_millis(800));
+//! let job = rt.deploy(&spec, &ExpandOptions::default());
+//!
+//! // Feed events and read windowed outputs.
+//! rt.ingest(job, 0, vec![Tuple::new(7, 42, LogicalTime(0))]);
+//! let stats = rt.job_stats(job);
+//! println!("p99 latency so far: {}", stats.p99);
+//! rt.shutdown();
+//! ```
+
+pub use cameo_core as core;
+pub use cameo_dataflow as dataflow;
+pub use cameo_runtime as runtime;
+pub use cameo_sim as sim;
+
+/// Everything most applications need.
+pub mod prelude {
+    pub use cameo_core::prelude::*;
+    pub use cameo_dataflow::prelude::*;
+    pub use cameo_runtime::prelude::*;
+    pub use cameo_sim::prelude::*;
+}

@@ -1,0 +1,63 @@
+//! Scheduler configuration knobs (§5.2, §6.3).
+
+use crate::time::Micros;
+
+/// Tunables of the Cameo scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Minimum re-scheduling grain (§5.2): while a worker is draining an
+    /// operator, it only considers swapping to a more urgent operator
+    /// once this much time has elapsed since the operator was acquired.
+    /// The paper's default is 1 ms; `Micros::ZERO` gives the "finest"
+    /// granularity of Fig 14 (swap whenever anything more urgent is
+    /// pending).
+    pub quantum: Micros,
+    /// Starvation guard (§6.3 "starvation prevention"): a message that
+    /// has waited longer than this is boosted to the front regardless of
+    /// its priority. `None` disables the guard (the paper's default
+    /// behaviour; deadline policies rarely starve because deadlines are
+    /// absolute times, but the token policy can starve untokened work).
+    pub starvation_limit: Option<Micros>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            quantum: Micros::from_millis(1),
+            starvation_limit: None,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    pub fn with_quantum(mut self, quantum: Micros) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    pub fn with_starvation_limit(mut self, limit: Micros) -> Self {
+        self.starvation_limit = Some(limit);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_quantum_is_one_ms() {
+        let c = SchedulerConfig::default();
+        assert_eq!(c.quantum, Micros(1_000));
+        assert!(c.starvation_limit.is_none());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = SchedulerConfig::default()
+            .with_quantum(Micros(0))
+            .with_starvation_limit(Micros::from_secs(5));
+        assert_eq!(c.quantum, Micros::ZERO);
+        assert_eq!(c.starvation_limit, Some(Micros(5_000_000)));
+    }
+}

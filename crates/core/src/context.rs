@@ -1,0 +1,144 @@
+//! Scheduling contexts (§5.1): the data structures that ride along with
+//! messages and carry everything the stateless scheduler needs.
+//!
+//! * [`PriorityContext`] (PC) travels **downstream**, attached to each
+//!   message before it is sent. It is created at a source operator and
+//!   inherited/modified at every hop, so it accumulates the upstream
+//!   state needed for priority generation: stream progress, frontier
+//!   estimates and the job's latency constraint.
+//! * [`ReplyContext`] (RC) travels **upstream**, attached to the
+//!   acknowledgement each target operator returns after receiving a
+//!   message. It carries profiled execution cost and the downstream
+//!   critical-path cost, aggregated recursively (Algorithm 1,
+//!   `PREPAREREPLY`).
+
+use crate::ids::{JobId, MessageId};
+use crate::priority::Priority;
+use crate::time::{LogicalTime, Micros, PhysicalTime};
+
+/// Token tag used by the proportional fair sharing policy (§5.4).
+/// `interval` identifies the accounting interval the token was drawn
+/// from; `stamp` is the token's spread-out timestamp within it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TokenTag {
+    pub interval: u64,
+    pub stamp: PhysicalTime,
+}
+
+/// The dataflow-defined field of a PC (§5.3): `(p_MF, t_MF, L)` plus the
+/// physical/logical times of the triggering input, which downstream
+/// converters need in order to refine frontier predictions.
+#[derive(Clone, Copy, Debug)]
+pub struct DataflowField {
+    /// Logical time of the input stream associated with this message
+    /// (`p_M`): the message reflects input up to this progress point.
+    pub progress: LogicalTime,
+    /// Physical time at which `progress` was observed at the source
+    /// (`t_M`).
+    pub progress_time: PhysicalTime,
+    /// Frontier progress (`p_MF`): the minimum logical time that will
+    /// trigger the target operator (equals `progress` for regular
+    /// operators).
+    pub frontier_progress: LogicalTime,
+    /// Frontier time (`t_MF`): estimated physical time at which the
+    /// frontier progress is observed at all sources.
+    pub frontier_time: PhysicalTime,
+    /// The dataflow's end-to-end latency constraint (`L`).
+    pub latency_constraint: Micros,
+}
+
+/// Priority Context: attached to every message before it is sent.
+#[derive(Clone, Copy, Debug)]
+pub struct PriorityContext {
+    pub id: MessageId,
+    pub job: JobId,
+    pub priority: Priority,
+    pub field: DataflowField,
+    /// Set by the token fair-sharing policy; `None` under deadline
+    /// policies.
+    pub token: Option<TokenTag>,
+}
+
+impl PriorityContext {
+    /// A fresh PC with neutral priority, as `INITIALIZEPRIORITYCONTEXT`
+    /// produces before the policy fills it in.
+    pub fn initialize(id: MessageId, job: JobId, latency_constraint: Micros) -> Self {
+        PriorityContext {
+            id,
+            job,
+            priority: Priority::uniform(0),
+            field: DataflowField {
+                progress: LogicalTime::ZERO,
+                progress_time: PhysicalTime::ZERO,
+                frontier_progress: LogicalTime::ZERO,
+                frontier_time: PhysicalTime::ZERO,
+                latency_constraint,
+            },
+            token: None,
+        }
+    }
+}
+
+/// Reply Context: piggybacked on acknowledgements flowing upstream.
+///
+/// `PREPAREREPLY` at a sink initializes this to zero; every intermediate
+/// operator replies with `cpath = own_cost + downstream_cpath`, so an
+/// upstream operator learns both the cost of executing the message on
+/// its target (`cost`) and the critical path from the target to the
+/// sink (`cpath`), exactly the `RC.Cm`/`RC.Cpath` of Algorithm 1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplyContext {
+    /// Profiled execution cost of the replying operator (`C_m`).
+    pub cost: Micros,
+    /// Maximum critical-path execution cost strictly below the replying
+    /// operator (`C_path`).
+    pub cpath: Micros,
+    /// Runtime statistics populated by the scheduler before delivery
+    /// (queue length at the replying operator's node). Available to
+    /// custom policies; the built-in deadline policies do not use it.
+    pub queue_len: u32,
+}
+
+impl ReplyContext {
+    /// RC sent by a sink operator: no further downstream cost.
+    pub fn at_sink(own_cost: Micros) -> Self {
+        ReplyContext {
+            cost: own_cost,
+            cpath: Micros::ZERO,
+            queue_len: 0,
+        }
+    }
+
+    /// Total downstream burden implied by this reply: the cost of the
+    /// replying operator plus everything below it.
+    #[inline]
+    pub fn total_downstream(&self) -> Micros {
+        self.cost + self.cpath
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialize_is_neutral() {
+        let pc = PriorityContext::initialize(MessageId(7), JobId(3), Micros::from_millis(800));
+        assert_eq!(pc.id, MessageId(7));
+        assert_eq!(pc.job, JobId(3));
+        assert_eq!(pc.priority, Priority::uniform(0));
+        assert_eq!(pc.field.latency_constraint, Micros(800_000));
+        assert!(pc.token.is_none());
+    }
+
+    #[test]
+    fn reply_total_downstream() {
+        let rc = ReplyContext {
+            cost: Micros(300),
+            cpath: Micros(1_200),
+            queue_len: 4,
+        };
+        assert_eq!(rc.total_downstream(), Micros(1_500));
+        assert_eq!(ReplyContext::at_sink(Micros(50)).total_downstream(), Micros(50));
+    }
+}

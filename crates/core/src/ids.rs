@@ -1,0 +1,82 @@
+//! Identifiers used across the scheduling framework.
+//!
+//! The scheduler is *stateless* (§5): it never keeps per-job tables, so
+//! identifiers exist only to key the transient two-level priority
+//! structure and to let converters look up static topology facts.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies one dataflow job (one standing streaming query).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct JobId(pub u32);
+
+/// Identifies one operator instance within the whole deployment:
+/// `job` scopes the dataflow, `op` is the operator's index inside it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OperatorKey {
+    pub job: JobId,
+    pub op: u32,
+}
+
+impl OperatorKey {
+    #[inline]
+    pub fn new(job: JobId, op: u32) -> Self {
+        OperatorKey { job, op }
+    }
+}
+
+/// Identifies a single scheduled message. Allocated from a process-wide
+/// counter; uniqueness (not density) is the only requirement.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub u64);
+
+static NEXT_MESSAGE_ID: AtomicU64 = AtomicU64::new(1);
+
+impl MessageId {
+    /// Allocate a fresh id. Ids are unique within the process.
+    pub fn fresh() -> Self {
+        MessageId(NEXT_MESSAGE_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+impl fmt::Debug for OperatorKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}/o{}", self.job.0, self.op)
+    }
+}
+
+impl fmt::Debug for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_ids_are_unique() {
+        let a = MessageId::fresh();
+        let b = MessageId::fresh();
+        assert_ne!(a, b);
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn operator_key_equality() {
+        let a = OperatorKey::new(JobId(1), 2);
+        let b = OperatorKey::new(JobId(1), 2);
+        let c = OperatorKey::new(JobId(1), 3);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(format!("{a:?}"), "J1/o2");
+    }
+}

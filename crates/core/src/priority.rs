@@ -1,0 +1,117 @@
+//! Message priorities.
+//!
+//! Every Priority Context carries a `(PRI_local, PRI_global)` pair
+//! (§5.1/§5.3). The *global* component orders operators against each
+//! other in the scheduler's top-level heap; the *local* component orders
+//! messages within one operator's queue. Smaller values are more urgent
+//! (a start deadline of 60 beats one of 90), matching the paper's
+//! "lower value implies higher priority".
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A two-level priority: `local` orders messages inside an operator,
+/// `global` orders operators in the scheduler. Lower is more urgent.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Priority {
+    pub local: i64,
+    pub global: i64,
+}
+
+impl Priority {
+    /// The most urgent possible priority.
+    pub const URGENT: Priority = Priority {
+        local: i64::MIN,
+        global: i64::MIN,
+    };
+
+    /// The least urgent possible priority — used by the token policy for
+    /// messages that exceeded their token allocation (§5.4 sets
+    /// `PRI_global` to `MIN_VALUE`, i.e. minimum *priority*, which in our
+    /// lower-is-more-urgent encoding is the maximum value).
+    pub const IDLE: Priority = Priority {
+        local: i64::MAX,
+        global: i64::MAX,
+    };
+
+    #[inline]
+    pub fn new(local: i64, global: i64) -> Self {
+        Priority { local, global }
+    }
+
+    /// Both components set from a single urgency value.
+    #[inline]
+    pub fn uniform(v: i64) -> Self {
+        Priority {
+            local: v,
+            global: v,
+        }
+    }
+
+    /// True if `self` should run before `other` at the operator level.
+    #[inline]
+    pub fn more_urgent_globally(&self, other: &Priority) -> bool {
+        self.global < other.global
+    }
+}
+
+/// Orders by global priority first (scheduler heap order), then local.
+impl Ord for Priority {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.global, self.local).cmp(&(other.global, other.local))
+    }
+}
+
+impl PartialOrd for Priority {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pri(l={}, g={})", self.local, self.global)
+    }
+}
+
+/// Converts a physical deadline (microseconds) into a global priority.
+/// Deadlines fit comfortably in `i64`: `u64::MAX` microseconds would be
+/// ~292k years, and callers clamp at `i64::MAX` anyway.
+#[inline]
+pub fn deadline_to_priority(deadline_us: u64) -> i64 {
+    deadline_us.min(i64::MAX as u64) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_is_more_urgent() {
+        let a = Priority::new(0, 10);
+        let b = Priority::new(0, 20);
+        assert!(a < b);
+        assert!(a.more_urgent_globally(&b));
+        assert!(!b.more_urgent_globally(&a));
+    }
+
+    #[test]
+    fn global_dominates_local() {
+        let a = Priority::new(100, 10);
+        let b = Priority::new(0, 20);
+        assert!(a < b, "global priority must dominate ordering");
+    }
+
+    #[test]
+    fn extremes() {
+        let mid = Priority::uniform(0);
+        assert!(Priority::URGENT < mid);
+        assert!(mid < Priority::IDLE);
+    }
+
+    #[test]
+    fn deadline_conversion_clamps() {
+        assert_eq!(deadline_to_priority(42), 42);
+        assert_eq!(deadline_to_priority(u64::MAX), i64::MAX);
+    }
+}

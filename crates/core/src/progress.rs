@@ -1,0 +1,245 @@
+//! The `PROGRESSMAP` step of frontier mapping (§4.3, Step 2):
+//! estimating the *physical* frontier time `t_MF` from the *logical*
+//! frontier progress `p_MF`.
+//!
+//! * **Ingestion time** streams define logical time as arrival time, so
+//!   the map is the identity: `t_MF = p_MF`.
+//! * **Event time** streams need a model. Because the production streams
+//!   the paper targets are near-real-time ("events are separated from
+//!   their observation by a small, known gap"), Cameo fits a linear model
+//!   `t = α·p + γ` over a running window of observed `(p_M, t_M)` pairs
+//!   (ordinary least squares) and extrapolates.
+//! * When no trustworthy model exists (too few samples, degenerate fit),
+//!   the conservative fallback treats the operator as regular —
+//!   `t_MF = t_M`, i.e. no deadline extension — matching the paper's
+//!   "this conservative estimate of laxity does not hurt performance".
+
+use crate::time::{LogicalTime, PhysicalTime};
+use std::collections::VecDeque;
+
+/// Which notion of logical time a stream uses (§4.3 lists three; Cameo
+/// supports event time and ingestion time, and processing-time streams
+/// are stamped on observation which makes them behave like ingestion
+/// time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TimeDomain {
+    /// Logical time is a timestamp embedded in the data.
+    EventTime,
+    /// Logical time is assigned when the event enters the system.
+    #[default]
+    IngestionTime,
+}
+
+/// Result of a frontier-time estimate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrontierEstimate {
+    /// A usable prediction of `t_MF`.
+    Predicted(PhysicalTime),
+    /// No reliable mapping; treat the target as a regular operator.
+    Unavailable,
+}
+
+/// Online least-squares fit of `t = α·p + γ` over a bounded window of
+/// samples. Maintains running sums so update and predict are O(1)
+/// (plus O(1) amortized eviction).
+#[derive(Clone, Debug)]
+pub struct ProgressMap {
+    domain: TimeDomain,
+    window: VecDeque<(f64, f64)>,
+    capacity: usize,
+    // Running sums for OLS over the window contents.
+    sum_p: f64,
+    sum_t: f64,
+    sum_pp: f64,
+    sum_pt: f64,
+}
+
+/// Minimum number of samples before an event-time fit is trusted.
+const MIN_SAMPLES: usize = 2;
+/// Default running-window size: enough history to smooth jitter, small
+/// enough to track drifting ingestion delay.
+pub const DEFAULT_WINDOW: usize = 64;
+
+impl ProgressMap {
+    pub fn new(domain: TimeDomain) -> Self {
+        Self::with_capacity(domain, DEFAULT_WINDOW)
+    }
+
+    pub fn with_capacity(domain: TimeDomain, capacity: usize) -> Self {
+        assert!(capacity >= MIN_SAMPLES, "window must hold at least {MIN_SAMPLES} samples");
+        ProgressMap {
+            domain,
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            sum_p: 0.0,
+            sum_t: 0.0,
+            sum_pp: 0.0,
+            sum_pt: 0.0,
+        }
+    }
+
+    pub fn domain(&self) -> TimeDomain {
+        self.domain
+    }
+
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Record an observed `(p_M, t_M)` pair (Algorithm 1, line 15:
+    /// `PROGRESSMAP.UPDATE`). Ignored for ingestion-time streams, where
+    /// the mapping is exact.
+    pub fn update(&mut self, p: LogicalTime, t: PhysicalTime) {
+        if self.domain == TimeDomain::IngestionTime {
+            return;
+        }
+        if self.window.len() == self.capacity {
+            if let Some((op, ot)) = self.window.pop_front() {
+                self.sum_p -= op;
+                self.sum_t -= ot;
+                self.sum_pp -= op * op;
+                self.sum_pt -= op * ot;
+            }
+        }
+        let (pf, tf) = (p.0 as f64, t.0 as f64);
+        self.window.push_back((pf, tf));
+        self.sum_p += pf;
+        self.sum_t += tf;
+        self.sum_pp += pf * pf;
+        self.sum_pt += pf * tf;
+    }
+
+    /// Estimate the physical time at which progress `p` will have been
+    /// observed at the sources.
+    pub fn predict(&self, p: LogicalTime) -> FrontierEstimate {
+        match self.domain {
+            TimeDomain::IngestionTime => FrontierEstimate::Predicted(PhysicalTime(p.0)),
+            TimeDomain::EventTime => self.predict_event_time(p),
+        }
+    }
+
+    fn predict_event_time(&self, p: LogicalTime) -> FrontierEstimate {
+        let n = self.window.len();
+        if n < MIN_SAMPLES {
+            return FrontierEstimate::Unavailable;
+        }
+        let nf = n as f64;
+        let denom = nf * self.sum_pp - self.sum_p * self.sum_p;
+        let (alpha, gamma) = if denom.abs() < 1e-9 {
+            // All observed progress values identical: fall back to a
+            // pure-offset model using the mean lag.
+            let mean_p = self.sum_p / nf;
+            let mean_t = self.sum_t / nf;
+            (1.0, mean_t - mean_p)
+        } else {
+            let alpha = (nf * self.sum_pt - self.sum_p * self.sum_t) / denom;
+            let gamma = (self.sum_t - alpha * self.sum_p) / nf;
+            (alpha, gamma)
+        };
+        let est = alpha * p.0 as f64 + gamma;
+        if !est.is_finite() || est < 0.0 {
+            return FrontierEstimate::Unavailable;
+        }
+        FrontierEstimate::Predicted(PhysicalTime(est as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingestion_time_is_identity() {
+        let m = ProgressMap::new(TimeDomain::IngestionTime);
+        assert_eq!(
+            m.predict(LogicalTime(123_456)),
+            FrontierEstimate::Predicted(PhysicalTime(123_456))
+        );
+    }
+
+    #[test]
+    fn event_time_needs_samples() {
+        let mut m = ProgressMap::new(TimeDomain::EventTime);
+        assert_eq!(m.predict(LogicalTime(10)), FrontierEstimate::Unavailable);
+        m.update(LogicalTime(10), PhysicalTime(12));
+        assert_eq!(m.predict(LogicalTime(20)), FrontierEstimate::Unavailable);
+    }
+
+    #[test]
+    fn event_time_learns_constant_delay() {
+        // Paper's example: frontier at (1, 11, 21, ...) with a 2s delay
+        // observes at (3, 13, 23, ...).
+        let mut m = ProgressMap::new(TimeDomain::EventTime);
+        for k in 0..10u64 {
+            let p = 1 + 10 * k;
+            m.update(LogicalTime(p), PhysicalTime(p + 2));
+        }
+        match m.predict(LogicalTime(101)) {
+            FrontierEstimate::Predicted(t) => {
+                assert!((t.0 as i64 - 103).abs() <= 1, "predicted {t:?}, wanted ~103");
+            }
+            FrontierEstimate::Unavailable => panic!("fit should be available"),
+        }
+    }
+
+    #[test]
+    fn event_time_learns_affine_map() {
+        // p counts records, time advances 5us per record plus 100us offset.
+        let mut m = ProgressMap::new(TimeDomain::EventTime);
+        for p in (0..200u64).step_by(7) {
+            m.update(LogicalTime(p), PhysicalTime(5 * p + 100));
+        }
+        match m.predict(LogicalTime(1_000)) {
+            FrontierEstimate::Predicted(t) => {
+                assert!((t.0 as i64 - 5_100).abs() <= 2, "predicted {t:?}, wanted ~5100");
+            }
+            FrontierEstimate::Unavailable => panic!("fit should be available"),
+        }
+    }
+
+    #[test]
+    fn degenerate_progress_uses_mean_offset() {
+        let mut m = ProgressMap::new(TimeDomain::EventTime);
+        m.update(LogicalTime(50), PhysicalTime(70));
+        m.update(LogicalTime(50), PhysicalTime(90));
+        match m.predict(LogicalTime(60)) {
+            FrontierEstimate::Predicted(t) => assert_eq!(t, PhysicalTime(90)),
+            FrontierEstimate::Unavailable => panic!("offset model should be available"),
+        }
+    }
+
+    #[test]
+    fn window_evicts_old_samples() {
+        let mut m = ProgressMap::with_capacity(TimeDomain::EventTime, 4);
+        // Old regime: t = p.
+        for p in 0..4u64 {
+            m.update(LogicalTime(p), PhysicalTime(p));
+        }
+        // New regime: t = p + 1000. After 4 updates the window holds only
+        // the new regime.
+        for p in 100..104u64 {
+            m.update(LogicalTime(p), PhysicalTime(p + 1_000));
+        }
+        assert_eq!(m.len(), 4);
+        match m.predict(LogicalTime(200)) {
+            FrontierEstimate::Predicted(t) => {
+                assert!((t.0 as i64 - 1_200).abs() <= 2, "predicted {t:?}, wanted ~1200");
+            }
+            FrontierEstimate::Unavailable => panic!("fit should be available"),
+        }
+    }
+
+    #[test]
+    fn negative_extrapolation_is_unavailable() {
+        let mut m = ProgressMap::new(TimeDomain::EventTime);
+        // Decreasing t with increasing p yields negative predictions far out.
+        m.update(LogicalTime(0), PhysicalTime(1_000));
+        m.update(LogicalTime(10), PhysicalTime(500));
+        m.update(LogicalTime(20), PhysicalTime(0));
+        assert_eq!(m.predict(LogicalTime(100)), FrontierEstimate::Unavailable);
+    }
+}

@@ -1,0 +1,405 @@
+//! The scheduler's two-level priority structure (Fig 5(b)):
+//! operators ordered by the *global* priority of their most urgent
+//! pending message; messages within each operator ordered by *local*
+//! priority.
+//!
+//! The queue also enforces actor semantics: an operator can be *leased*
+//! to exactly one worker at a time (per-event synchronization, §1).
+//! While leased, the operator is invisible to other workers; newly
+//! arriving messages accumulate in its message queue and the operator
+//! re-enters the heap when the lease is returned.
+//!
+//! The operator heap uses lazy invalidation: when an operator's head
+//! priority improves (a more urgent message arrived), a fresh heap entry
+//! is pushed and stale entries are skipped on pop. Every push adds at
+//! most one heap entry, so the heap stays linear in the number of
+//! pushes between pops.
+
+use crate::ids::OperatorKey;
+use crate::priority::Priority;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One pending message plus its scheduling priority.
+#[derive(Debug)]
+struct MsgEntry<M> {
+    pri: Priority,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> PartialEq for MsgEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key() == other.cmp_key()
+    }
+}
+impl<M> Eq for MsgEntry<M> {}
+impl<M> PartialOrd for MsgEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for MsgEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cmp_key().cmp(&other.cmp_key())
+    }
+}
+
+impl<M> MsgEntry<M> {
+    /// Within an operator: local priority first, then global, then
+    /// arrival order for stability.
+    fn cmp_key(&self) -> (i64, i64, u64) {
+        (self.pri.local, self.pri.global, self.seq)
+    }
+}
+
+#[derive(Debug)]
+struct OpState<M> {
+    msgs: BinaryHeap<Reverse<MsgEntry<M>>>,
+    /// Checked out by a worker.
+    leased: bool,
+    /// Version guard for lazy heap invalidation.
+    version: u64,
+    /// Priority of the entry currently representing this operator in
+    /// the heap (if any).
+    posted: Option<Priority>,
+}
+
+impl<M> OpState<M> {
+    fn new() -> Self {
+        OpState {
+            msgs: BinaryHeap::new(),
+            leased: false,
+            version: 0,
+            posted: None,
+        }
+    }
+
+    fn head_priority(&self) -> Option<Priority> {
+        self.msgs.peek().map(|Reverse(e)| e.pri)
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct HeapEntry {
+    pri: Priority,
+    seq: u64,
+    key: OperatorKey,
+    version: u64,
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Global priority orders operators; arrival sequence breaks ties
+        // (FIFO among equals), key is a final total-order tiebreak.
+        (self.pri, self.seq, self.key).cmp(&(other.pri, other.seq, other.key))
+    }
+}
+
+/// A lease on an operator: proof that the holder is the only worker
+/// executing it. Return it with [`TwoLevelQueue::check_in`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperatorLease {
+    pub key: OperatorKey,
+}
+
+/// The two-level priority queue. Not thread-safe by itself — the
+/// real-time runtime wraps it in a mutex, the simulator drives it
+/// single-threaded.
+#[derive(Debug)]
+pub struct TwoLevelQueue<M> {
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    ops: HashMap<OperatorKey, OpState<M>>,
+    msg_count: usize,
+    seq: u64,
+}
+
+impl<M> Default for TwoLevelQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> TwoLevelQueue<M> {
+    pub fn new() -> Self {
+        TwoLevelQueue {
+            heap: BinaryHeap::new(),
+            ops: HashMap::new(),
+            msg_count: 0,
+            seq: 0,
+        }
+    }
+
+    /// Total pending messages (across all operators, leased or not).
+    pub fn len(&self) -> usize {
+        self.msg_count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.msg_count == 0
+    }
+
+    /// Number of operators currently holding pending messages.
+    pub fn pending_operators(&self) -> usize {
+        self.ops
+            .values()
+            .filter(|o| !o.msgs.is_empty())
+            .count()
+    }
+
+    /// Enqueue a message for `key` with priority `pri`. Returns `true`
+    /// if the operator became newly runnable (it was idle and unleased),
+    /// which the runtime uses to wake a parked worker.
+    pub fn push(&mut self, key: OperatorKey, msg: M, pri: Priority) -> bool {
+        self.seq += 1;
+        let seq = self.seq;
+        let op = self.ops.entry(key).or_insert_with(OpState::new);
+        let was_idle = op.msgs.is_empty() && !op.leased;
+        op.msgs.push(Reverse(MsgEntry { pri, seq, msg }));
+        self.msg_count += 1;
+        if !op.leased {
+            let head = op.head_priority().expect("just pushed");
+            // Re-post whenever the head message's priority *changed* in
+            // either direction: a new message with a better local but
+            // worse global priority becomes the operator's "next"
+            // message and must demote the operator in the heap (Fig 5b:
+            // operators rank by the global priority of their next
+            // message, where next is chosen by local priority).
+            if op.posted != Some(head) {
+                op.version += 1;
+                op.posted = Some(head);
+                self.heap.push(Reverse(HeapEntry {
+                    pri: head,
+                    seq,
+                    key,
+                    version: op.version,
+                }));
+            }
+        }
+        was_idle
+    }
+
+    /// Drop heap entries that no longer describe a poppable operator,
+    /// leaving a valid head (or an empty heap).
+    fn clean_head(&mut self) {
+        while let Some(Reverse(head)) = self.heap.peek() {
+            let valid = self
+                .ops
+                .get(&head.key)
+                .map(|op| !op.leased && op.version == head.version && !op.msgs.is_empty())
+                .unwrap_or(false);
+            if valid {
+                return;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Priority of the most urgent *available* (unleased, non-empty)
+    /// operator. Used by workers for quantum-boundary swap decisions.
+    pub fn peek_best(&mut self) -> Option<(OperatorKey, Priority)> {
+        self.clean_head();
+        self.heap.peek().map(|Reverse(e)| (e.key, e.pri))
+    }
+
+    /// Check out the most urgent operator. The lease must be returned
+    /// via [`check_in`](Self::check_in).
+    pub fn pop_operator(&mut self) -> Option<OperatorLease> {
+        self.clean_head();
+        let Reverse(entry) = self.heap.pop()?;
+        let op = self.ops.get_mut(&entry.key).expect("validated by clean_head");
+        op.leased = true;
+        op.posted = None;
+        Some(OperatorLease { key: entry.key })
+    }
+
+    /// Take the most urgent pending message of a leased operator.
+    pub fn next_message(&mut self, lease: &OperatorLease) -> Option<(M, Priority)> {
+        let op = self.ops.get_mut(&lease.key)?;
+        debug_assert!(op.leased, "next_message on unleased operator");
+        let Reverse(entry) = op.msgs.pop()?;
+        self.msg_count -= 1;
+        Some((entry.msg, entry.pri))
+    }
+
+    /// Priority of the leased operator's next message, if any.
+    pub fn peek_message(&self, lease: &OperatorLease) -> Option<Priority> {
+        self.ops.get(&lease.key).and_then(|o| o.head_priority())
+    }
+
+    /// Return a lease. If the operator still has pending messages it
+    /// re-enters the heap at its current head priority.
+    pub fn check_in(&mut self, lease: OperatorLease) {
+        self.seq += 1;
+        let seq = self.seq;
+        let Some(op) = self.ops.get_mut(&lease.key) else {
+            return;
+        };
+        op.leased = false;
+        if let Some(head) = op.head_priority() {
+            op.version += 1;
+            op.posted = Some(head);
+            self.heap.push(Reverse(HeapEntry {
+                pri: head,
+                seq,
+                key: lease.key,
+                version: op.version,
+            }));
+        } else {
+            op.posted = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::JobId;
+
+    fn key(op: u32) -> OperatorKey {
+        OperatorKey::new(JobId(0), op)
+    }
+
+    fn pri(g: i64) -> Priority {
+        Priority::new(0, g)
+    }
+
+    #[test]
+    fn pops_most_urgent_operator() {
+        let mut q = TwoLevelQueue::new();
+        q.push(key(1), "slow", pri(100));
+        q.push(key(2), "urgent", pri(10));
+        let lease = q.pop_operator().unwrap();
+        assert_eq!(lease.key, key(2));
+        assert_eq!(q.next_message(&lease).unwrap().0, "urgent");
+        q.check_in(lease);
+        let lease = q.pop_operator().unwrap();
+        assert_eq!(lease.key, key(1));
+    }
+
+    #[test]
+    fn push_returns_newly_runnable() {
+        let mut q = TwoLevelQueue::new();
+        assert!(q.push(key(1), 1, pri(5)), "idle operator becomes runnable");
+        assert!(!q.push(key(1), 2, pri(4)), "already runnable");
+        let lease = q.pop_operator().unwrap();
+        assert!(!q.push(key(1), 3, pri(1)), "leased operator is not newly runnable");
+        q.check_in(lease);
+    }
+
+    #[test]
+    fn local_priority_orders_within_operator() {
+        let mut q = TwoLevelQueue::new();
+        q.push(key(1), "late", Priority::new(20, 0));
+        q.push(key(1), "early", Priority::new(10, 0));
+        let lease = q.pop_operator().unwrap();
+        assert_eq!(q.next_message(&lease).unwrap().0, "early");
+        assert_eq!(q.next_message(&lease).unwrap().0, "late");
+        assert!(q.next_message(&lease).is_none());
+        q.check_in(lease);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn improved_priority_reorders_heap() {
+        let mut q = TwoLevelQueue::new();
+        q.push(key(1), 1, pri(100));
+        q.push(key(2), 2, pri(50));
+        // Operator 1 receives a more urgent message: it must now pop first.
+        q.push(key(1), 3, pri(5));
+        let lease = q.pop_operator().unwrap();
+        assert_eq!(lease.key, key(1));
+        // Its most urgent message comes out first. (Local priorities are
+        // equal here, so global breaks the tie.)
+        assert_eq!(q.next_message(&lease).unwrap().0, 3);
+    }
+
+    #[test]
+    fn head_change_demotes_operator() {
+        // A new message with better *local* but worse *global* priority
+        // becomes the operator's next message; the operator must be
+        // re-ranked by that message's global priority.
+        let mut q = TwoLevelQueue::new();
+        q.push(key(4), "old-head", Priority::new(0, -1));
+        q.push(key(0), "other", Priority::new(0, 0));
+        // New head for op 4 by local order, but globally lazier.
+        q.push(key(4), "new-head", Priority::new(-1, 1));
+        let lease = q.pop_operator().unwrap();
+        assert_eq!(lease.key, key(0), "op 4 must be demoted to global 1");
+        q.check_in(lease);
+    }
+
+    #[test]
+    fn leased_operator_hidden_from_others() {
+        let mut q = TwoLevelQueue::new();
+        q.push(key(1), 1, pri(1));
+        let lease = q.pop_operator().unwrap();
+        // New urgent message for the leased operator must not make it
+        // poppable again.
+        q.push(key(1), 2, pri(0));
+        assert!(q.pop_operator().is_none());
+        // But the lease holder sees it.
+        assert_eq!(q.peek_message(&lease), Some(pri(0)));
+        q.check_in(lease);
+        assert!(q.pop_operator().is_some());
+    }
+
+    #[test]
+    fn check_in_requeues_leftovers() {
+        let mut q = TwoLevelQueue::new();
+        q.push(key(1), 1, pri(10));
+        q.push(key(1), 2, pri(20));
+        let lease = q.pop_operator().unwrap();
+        let _ = q.next_message(&lease);
+        q.check_in(lease);
+        assert_eq!(q.len(), 1);
+        let (k, p) = q.peek_best().unwrap();
+        assert_eq!(k, key(1));
+        assert_eq!(p, pri(20));
+    }
+
+    #[test]
+    fn fifo_tiebreak_on_equal_priority() {
+        let mut q = TwoLevelQueue::new();
+        q.push(key(1), "first", pri(7));
+        q.push(key(2), "second", pri(7));
+        assert_eq!(q.pop_operator().unwrap().key, key(1));
+    }
+
+    #[test]
+    fn peek_best_skips_stale_entries() {
+        let mut q = TwoLevelQueue::new();
+        q.push(key(1), 1, pri(10));
+        q.push(key(1), 2, pri(5)); // posts a second heap entry; first is stale
+        let lease = q.pop_operator().unwrap();
+        let _ = q.next_message(&lease);
+        let _ = q.next_message(&lease);
+        q.check_in(lease);
+        assert!(q.peek_best().is_none());
+        assert!(q.pop_operator().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn counts_track_contents() {
+        let mut q = TwoLevelQueue::new();
+        assert!(q.is_empty());
+        q.push(key(1), 1, pri(1));
+        q.push(key(2), 2, pri(2));
+        q.push(key(2), 3, pri(3));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pending_operators(), 2);
+        // Most urgent operator is key(1) (global priority 1, one message).
+        let lease = q.pop_operator().unwrap();
+        assert_eq!(lease.key, key(1));
+        while q.next_message(&lease).is_some() {}
+        q.check_in(lease);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pending_operators(), 1);
+    }
+}

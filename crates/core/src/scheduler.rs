@@ -1,0 +1,335 @@
+//! The stateless Cameo scheduler (§5.2).
+//!
+//! Wraps the [two-level queue](crate::queue::TwoLevelQueue) with the
+//! worker-facing protocol: acquire the most urgent operator, drain its
+//! messages, and at each message boundary decide — via
+//! [`CameoScheduler::decide`] — whether to keep going or swap to a more
+//! urgent operator once the scheduling quantum has elapsed. Execution is
+//! non-preemptive at message granularity: a message that has started
+//! always runs to completion.
+//!
+//! The scheduler holds *no per-job state*; everything it reads arrives
+//! inside the message's priority (derived from the Priority Context by
+//! the operator-side converters). That is the property that lets one
+//! scheduler instance serve any number of jobs — and what Fig 12
+//! measures the cost of.
+
+use crate::config::SchedulerConfig;
+use crate::ids::OperatorKey;
+use crate::priority::Priority;
+use crate::queue::{OperatorLease, TwoLevelQueue};
+use crate::time::{Micros, PhysicalTime};
+
+/// Counters exposed for experiments (operator swaps drive the Fig 14
+/// analysis; message counts drive overhead accounting in Fig 12).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SchedulerStats {
+    pub messages_scheduled: u64,
+    pub operator_acquisitions: u64,
+    pub quantum_swaps: u64,
+}
+
+/// What a worker should do after finishing a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep draining the current operator.
+    Continue,
+    /// Return the lease and acquire a more urgent operator.
+    Swap,
+    /// The current operator has no more messages; return the lease.
+    Idle,
+}
+
+/// An acquired operator plus the bookkeeping needed for quantum
+/// decisions.
+#[derive(Debug)]
+pub struct Execution {
+    lease: OperatorLease,
+    acquired_at: PhysicalTime,
+}
+
+impl Execution {
+    pub fn key(&self) -> OperatorKey {
+        self.lease.key
+    }
+
+    pub fn acquired_at(&self) -> PhysicalTime {
+        self.acquired_at
+    }
+}
+
+/// The scheduler: a two-level queue plus quantum logic and counters.
+#[derive(Debug)]
+pub struct CameoScheduler<M> {
+    queue: TwoLevelQueue<M>,
+    config: SchedulerConfig,
+    stats: SchedulerStats,
+    /// Most recent time observed via `acquire`/`decide`; used by the
+    /// starvation guard to clamp submission priorities.
+    last_now: PhysicalTime,
+}
+
+impl<M> CameoScheduler<M> {
+    pub fn new(config: SchedulerConfig) -> Self {
+        CameoScheduler {
+            queue: TwoLevelQueue::new(),
+            config,
+            stats: SchedulerStats::default(),
+            last_now: PhysicalTime::ZERO,
+        }
+    }
+
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    pub fn pending_operators(&self) -> usize {
+        self.queue.pending_operators()
+    }
+
+    /// Submit a message for `key`. Returns `true` when the target
+    /// operator just became runnable (used by runtimes to wake workers).
+    ///
+    /// With a starvation limit configured (§6.3's starvation
+    /// prevention), the global priority is clamped to
+    /// `now + limit`: no message can be bypassed indefinitely by a
+    /// stream of more urgent arrivals, because once time passes its
+    /// clamped deadline it is at least as urgent as anything newer.
+    pub fn submit(&mut self, key: OperatorKey, msg: M, pri: Priority) -> bool {
+        let pri = match self.config.starvation_limit {
+            Some(limit) => {
+                let clamp =
+                    crate::priority::deadline_to_priority((self.last_now + limit).0);
+                Priority::new(pri.local.min(clamp), pri.global.min(clamp))
+            }
+            None => pri,
+        };
+        self.queue.push(key, msg, pri)
+    }
+
+    /// Check out the most urgent operator, if any.
+    pub fn acquire(&mut self, now: PhysicalTime) -> Option<Execution> {
+        self.last_now = self.last_now.max(now);
+        let lease = self.queue.pop_operator()?;
+        self.stats.operator_acquisitions += 1;
+        Some(Execution {
+            lease,
+            acquired_at: now,
+        })
+    }
+
+    /// Take the next message of the acquired operator.
+    pub fn take_message(&mut self, exec: &Execution) -> Option<(M, Priority)> {
+        let out = self.queue.next_message(&exec.lease);
+        if out.is_some() {
+            self.stats.messages_scheduled += 1;
+        }
+        out
+    }
+
+    /// Decide what the worker should do after completing a message at
+    /// time `now` (§5.2: "while processing a message, Cameo peeks at the
+    /// priority of the next operator in the queue; if the next operator
+    /// has higher priority, we swap with the current operator after a
+    /// fixed time quantum").
+    pub fn decide(&mut self, exec: &Execution, now: PhysicalTime) -> Decision {
+        self.last_now = self.last_now.max(now);
+        let Some(mine) = self.queue.peek_message(&exec.lease) else {
+            return Decision::Idle;
+        };
+        let quantum_expired = now.since(exec.acquired_at) >= self.config.quantum;
+        if !quantum_expired {
+            return Decision::Continue;
+        }
+        match self.queue.peek_best() {
+            Some((_, theirs)) if theirs.more_urgent_globally(&mine) => {
+                self.stats.quantum_swaps += 1;
+                Decision::Swap
+            }
+            _ => Decision::Continue,
+        }
+    }
+
+    /// Return a lease (after `Decision::Swap`/`Decision::Idle`, or on
+    /// shutdown). Restarts the quantum for whoever acquires the operator
+    /// next.
+    pub fn release(&mut self, exec: Execution) {
+        self.queue.check_in(exec.lease);
+    }
+
+    /// Peek the priority of the most urgent available operator.
+    pub fn peek_best(&mut self) -> Option<(OperatorKey, Priority)> {
+        self.queue.peek_best()
+    }
+
+    /// Effective quantum, exposed for runtimes that want to time-slice.
+    pub fn quantum(&self) -> Micros {
+        self.config.quantum
+    }
+}
+
+impl<M> Default for CameoScheduler<M> {
+    fn default() -> Self {
+        Self::new(SchedulerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{JobId, OperatorKey};
+
+    fn key(op: u32) -> OperatorKey {
+        OperatorKey::new(JobId(0), op)
+    }
+
+    fn sched(quantum_us: u64) -> CameoScheduler<&'static str> {
+        CameoScheduler::new(SchedulerConfig::default().with_quantum(Micros(quantum_us)))
+    }
+
+    #[test]
+    fn drains_in_priority_order() {
+        let mut s = sched(0);
+        s.submit(key(1), "b", Priority::uniform(20));
+        s.submit(key(2), "a", Priority::uniform(10));
+        s.submit(key(3), "c", Priority::uniform(30));
+        let mut order = Vec::new();
+        while let Some(exec) = s.acquire(PhysicalTime::ZERO) {
+            while let Some((m, _)) = s.take_message(&exec) {
+                order.push(m);
+            }
+            s.release(exec);
+        }
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(s.stats().messages_scheduled, 3);
+        assert_eq!(s.stats().operator_acquisitions, 3);
+    }
+
+    #[test]
+    fn idle_when_operator_drained() {
+        let mut s = sched(0);
+        s.submit(key(1), "only", Priority::uniform(1));
+        let exec = s.acquire(PhysicalTime::ZERO).unwrap();
+        let _ = s.take_message(&exec).unwrap();
+        assert_eq!(s.decide(&exec, PhysicalTime(10)), Decision::Idle);
+        s.release(exec);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn no_swap_before_quantum_expires() {
+        let mut s = sched(1_000);
+        s.submit(key(1), "mine1", Priority::uniform(50));
+        s.submit(key(1), "mine2", Priority::uniform(50));
+        let exec = s.acquire(PhysicalTime::ZERO).unwrap();
+        let _ = s.take_message(&exec);
+        // A more urgent operator arrives, but the quantum hasn't elapsed.
+        s.submit(key(2), "urgent", Priority::uniform(1));
+        assert_eq!(s.decide(&exec, PhysicalTime(500)), Decision::Continue);
+        // Once the quantum expires the worker must swap.
+        assert_eq!(s.decide(&exec, PhysicalTime(1_000)), Decision::Swap);
+        assert_eq!(s.stats().quantum_swaps, 1);
+        s.release(exec);
+        let next = s.acquire(PhysicalTime(1_000)).unwrap();
+        assert_eq!(next.key(), key(2));
+        s.release(next);
+    }
+
+    #[test]
+    fn zero_quantum_swaps_immediately() {
+        let mut s = sched(0);
+        s.submit(key(1), "mine1", Priority::uniform(50));
+        s.submit(key(1), "mine2", Priority::uniform(50));
+        let exec = s.acquire(PhysicalTime::ZERO).unwrap();
+        let _ = s.take_message(&exec);
+        s.submit(key(2), "urgent", Priority::uniform(1));
+        assert_eq!(s.decide(&exec, PhysicalTime::ZERO), Decision::Swap);
+    }
+
+    #[test]
+    fn no_swap_to_less_urgent() {
+        let mut s = sched(0);
+        s.submit(key(1), "mine1", Priority::uniform(10));
+        s.submit(key(1), "mine2", Priority::uniform(10));
+        s.submit(key(2), "later", Priority::uniform(99));
+        let exec = s.acquire(PhysicalTime::ZERO).unwrap();
+        let _ = s.take_message(&exec);
+        assert_eq!(s.decide(&exec, PhysicalTime(5_000)), Decision::Continue);
+        s.release(exec);
+    }
+
+    #[test]
+    fn starvation_limit_clamps_priorities() {
+        let mut s: CameoScheduler<&str> = CameoScheduler::new(
+            SchedulerConfig::default()
+                .with_quantum(Micros(0))
+                .with_starvation_limit(Micros(1_000)),
+        );
+        // Advance the scheduler's notion of time to t=0 (acquire on empty).
+        assert!(s.acquire(PhysicalTime::ZERO).is_none());
+        s.submit(key(1), "soon", Priority::uniform(500));
+        s.submit(key(2), "starved", Priority::IDLE); // clamped to 1000
+        s.submit(key(3), "far", Priority::uniform(2_000)); // clamped to 1000
+        let mut order = Vec::new();
+        while let Some(exec) = s.acquire(PhysicalTime(0)) {
+            while let Some((m, _)) = s.take_message(&exec) {
+                order.push(m);
+            }
+            s.release(exec);
+        }
+        // Without the clamp the order would be soon, far, starved.
+        assert_eq!(order, vec!["soon", "starved", "far"]);
+    }
+
+    #[test]
+    fn no_starvation_limit_preserves_priorities() {
+        let mut s = sched(0);
+        assert!(s.acquire(PhysicalTime::ZERO).is_none());
+        s.submit(key(1), "soon", Priority::uniform(500));
+        s.submit(key(2), "starved", Priority::IDLE);
+        s.submit(key(3), "far", Priority::uniform(2_000));
+        let mut order = Vec::new();
+        while let Some(exec) = s.acquire(PhysicalTime(0)) {
+            while let Some((m, _)) = s.take_message(&exec) {
+                order.push(m);
+            }
+            s.release(exec);
+        }
+        assert_eq!(order, vec!["soon", "far", "starved"]);
+    }
+
+    #[test]
+    fn released_operator_resumes_later() {
+        let mut s = sched(0);
+        s.submit(key(1), "a1", Priority::uniform(10));
+        s.submit(key(1), "a2", Priority::uniform(40));
+        s.submit(key(2), "b", Priority::uniform(20));
+        // Drain most urgent first: a1, then swap to b, then back to a2.
+        let mut order = Vec::new();
+        let exec = s.acquire(PhysicalTime::ZERO).unwrap();
+        order.push(s.take_message(&exec).unwrap().0);
+        assert_eq!(s.decide(&exec, PhysicalTime::ZERO), Decision::Swap);
+        s.release(exec);
+        let exec = s.acquire(PhysicalTime::ZERO).unwrap();
+        assert_eq!(exec.key(), key(2));
+        order.push(s.take_message(&exec).unwrap().0);
+        assert_eq!(s.decide(&exec, PhysicalTime::ZERO), Decision::Idle);
+        s.release(exec);
+        let exec = s.acquire(PhysicalTime::ZERO).unwrap();
+        order.push(s.take_message(&exec).unwrap().0);
+        s.release(exec);
+        assert_eq!(order, vec!["a1", "b", "a2"]);
+    }
+}

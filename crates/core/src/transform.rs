@@ -1,0 +1,141 @@
+//! The `TRANSFORM` step of frontier mapping (§4.3, Step 1).
+//!
+//! For a message `M` sent from upstream operator `o_u` to a *windowed*
+//! downstream operator `o_d`, `TRANSFORM` lifts the message's logical
+//! time `p_M` to the *frontier progress* `p_MF`: the smallest stream
+//! progress whose observation completes the window `M` falls into, i.e.
+//! the logical time at which `o_d` will actually trigger. Following the
+//! out-of-order processing model of Li et al. (the paper's reference 62):
+//!
+//! ```text
+//! TRANSFORM(p) = (p / S_od + 1) * S_od     if S_ou < S_od
+//!              = p                          otherwise
+//! ```
+//!
+//! where `S_o` is the operator's *slide*: the logical-time step between
+//! consecutive triggers (window size for tumbling windows, slide for
+//! sliding windows, and 1 — event granularity — for regular operators
+//! and sources).
+
+use crate::time::LogicalTime;
+
+/// How often an operator triggers, in logical-time units.
+///
+/// * Regular operators trigger on every invocation: slide = 1.
+/// * A tumbling window of size `w` triggers every `w`.
+/// * A sliding window of size `w` and slide `s` triggers every `s`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slide(pub u64);
+
+impl Slide {
+    /// Event-granularity slide used by regular (non-windowed) operators.
+    pub const UNIT: Slide = Slide(1);
+
+    #[inline]
+    pub fn is_windowed(self) -> bool {
+        self.0 > 1
+    }
+}
+
+/// Lift `p` to the frontier progress of the target operator.
+///
+/// When the sender triggers at least as coarsely as the target
+/// (`S_ou >= S_od`), the sender's output progress already sits on the
+/// target's trigger grid and passes through unchanged. Otherwise the
+/// progress is rounded *up* to the next multiple of the target's slide:
+/// the window `[k*S, (k+1)*S)` containing `p` completes when progress
+/// reaches `(k+1)*S`.
+#[inline]
+pub fn transform(p: LogicalTime, sender: Slide, target: Slide) -> LogicalTime {
+    if sender.0 >= target.0 || target.0 <= 1 {
+        return p;
+    }
+    let s = target.0;
+    LogicalTime((p.0 / s).saturating_add(1).saturating_mul(s))
+}
+
+/// The window index that progress `p` falls into for slide `s`
+/// (windows are `[k*s, (k+1)*s)`).
+#[inline]
+pub fn window_index(p: LogicalTime, slide: Slide) -> u64 {
+    if slide.0 <= 1 {
+        p.0
+    } else {
+        p.0 / slide.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_target_passes_through() {
+        let p = LogicalTime(1234);
+        assert_eq!(transform(p, Slide::UNIT, Slide::UNIT), p);
+        assert_eq!(transform(p, Slide(10), Slide::UNIT), p);
+    }
+
+    #[test]
+    fn tumbling_window_rounds_up_to_next_boundary() {
+        let s = Slide(10);
+        // Window [0, 10) completes at progress 10.
+        assert_eq!(transform(LogicalTime(0), Slide::UNIT, s), LogicalTime(10));
+        assert_eq!(transform(LogicalTime(9), Slide::UNIT, s), LogicalTime(10));
+        // Window [10, 20) completes at 20.
+        assert_eq!(transform(LogicalTime(10), Slide::UNIT, s), LogicalTime(20));
+        assert_eq!(transform(LogicalTime(19), Slide::UNIT, s), LogicalTime(20));
+    }
+
+    #[test]
+    fn coarser_sender_is_already_aligned() {
+        // A 10s window feeding a 10s window: output progress passes through.
+        assert_eq!(
+            transform(LogicalTime(20), Slide(10), Slide(10)),
+            LogicalTime(20)
+        );
+        // A 20s window feeding a 10s window (coarser into finer): unchanged.
+        assert_eq!(
+            transform(LogicalTime(20), Slide(20), Slide(10)),
+            LogicalTime(20)
+        );
+    }
+
+    #[test]
+    fn finer_window_into_coarser_window() {
+        // 2s slides feeding a 10s window: progress 13 (window [10,20)) -> 20.
+        assert_eq!(
+            transform(LogicalTime(13), Slide(2), Slide(10)),
+            LogicalTime(20)
+        );
+    }
+
+    #[test]
+    fn transform_is_monotone_and_exceeds_input() {
+        let target = Slide(7);
+        let mut last = LogicalTime(0);
+        for p in 0..200u64 {
+            let f = transform(LogicalTime(p), Slide::UNIT, target);
+            assert!(f.0 > p, "frontier must be strictly after the input progress");
+            assert!(f >= last, "frontier must be monotone in p");
+            assert_eq!(f.0 % target.0, 0, "frontier sits on the trigger grid");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn window_index_partitions() {
+        let s = Slide(10);
+        assert_eq!(window_index(LogicalTime(0), s), 0);
+        assert_eq!(window_index(LogicalTime(9), s), 0);
+        assert_eq!(window_index(LogicalTime(10), s), 1);
+        assert_eq!(window_index(LogicalTime(25), s), 2);
+    }
+
+    #[test]
+    fn saturation_near_max() {
+        // Should not overflow/panic near u64::MAX.
+        let f = transform(LogicalTime(u64::MAX - 3), Slide::UNIT, Slide(10));
+        assert!(f.0 >= u64::MAX - 3 || f.0 == u64::MAX);
+    }
+}

@@ -1,0 +1,504 @@
+//! Job expansion: turning a stage-level [`JobSpec`]
+//! into operator *instances* with fully wired channels, out-routes, and
+//! per-operator converter state.
+//!
+//! Both execution engines (the real-time runtime and the discrete-event
+//! simulator) consume this exact structure, which is what guarantees
+//! they schedule the same dataflow with the same contexts.
+
+use crate::event::Batch;
+use crate::graph::{JobSpec, Routing, StageId};
+use crate::operator::{InstanceCtx, Operator, OperatorKind, WatermarkTracker};
+use cameo_core::context::ReplyContext;
+use cameo_core::ids::{JobId, OperatorKey};
+use cameo_core::policy::{ConverterState, HopInfo, TokenBucket};
+use cameo_core::time::Micros;
+use std::collections::HashMap;
+
+/// Deployment options applied uniformly to a job's converters.
+#[derive(Clone, Debug)]
+pub struct ExpandOptions {
+    /// Query-semantics awareness (Fig 15 ablation): when `false`,
+    /// deadlines are never extended to window frontiers.
+    pub semantics_aware: bool,
+    /// Seed per-edge cost/critical-path reports from the stage cost
+    /// hints so cold-start scheduling matches steady state. Reply
+    /// contexts overwrite the seeds as real profiles arrive.
+    pub seed_profiles: bool,
+    /// Token allocation per ingest source under the token fair-sharing
+    /// policy: (tokens per interval, interval length).
+    pub token_rate: Option<(u64, Micros)>,
+}
+
+impl Default for ExpandOptions {
+    fn default() -> Self {
+        ExpandOptions {
+            semantics_aware: true,
+            seed_profiles: true,
+            token_rate: None,
+        }
+    }
+}
+
+/// One outgoing stage-edge of an instance, with pre-resolved targets.
+#[derive(Clone, Debug)]
+pub struct OutRoute {
+    /// Ordinal of this edge among the sender stage's out-edges — the
+    /// profile key that reply contexts update (`HopInfo::edge`).
+    pub edge: u32,
+    pub routing: Routing,
+    /// Slide pair for `TRANSFORM` at this hop.
+    pub hop: HopInfo,
+    /// `(target instance index within job, channel index at target)`.
+    pub targets: Vec<(usize, u32)>,
+}
+
+/// One operator instance of an expanded job.
+pub struct OperatorInstance {
+    pub key: OperatorKey,
+    pub stage: StageId,
+    pub stage_name: String,
+    /// Index within the stage.
+    pub index: u32,
+    /// `None` for ingest instances (events enter there; nothing runs).
+    pub op: Option<Box<dyn Operator>>,
+    pub converter: ConverterState,
+    pub outs: Vec<OutRoute>,
+    /// For each input channel: `(sender instance index, sender's
+    /// out-edge ordinal)` — the reply path.
+    pub channel_senders: Vec<(usize, u32)>,
+    pub is_sink: bool,
+    pub cost_hint: Micros,
+    pub kind: OperatorKind,
+    /// Input-side stream progress per channel. Regular operators merge
+    /// several input channels into each output channel, so their output
+    /// progress must be the *minimum* progress over inputs — otherwise
+    /// a fast source would advance downstream watermarks past a slow
+    /// source's in-flight data (classic watermark propagation).
+    input_wm: Option<WatermarkTracker>,
+}
+
+impl OperatorInstance {
+    pub fn is_ingest(&self) -> bool {
+        self.op.is_none() && !self.is_sink
+    }
+
+    pub fn num_channels(&self) -> usize {
+        self.channel_senders.len()
+    }
+
+    /// Watermark bookkeeping around one execution of a *regular*
+    /// operator: observe the arriving progress, then clamp every output
+    /// batch's progress to the input watermark. Windowed operators are
+    /// untouched — they already emit watermark-correct window triggers.
+    pub fn propagate_watermark(&mut self, channel: u32, in_progress: u64, outs: &mut [Batch]) {
+        let Some(wm) = self.input_wm.as_mut() else {
+            return;
+        };
+        let w = wm.observe(channel, in_progress);
+        for b in outs.iter_mut() {
+            if b.progress.0 > w {
+                b.progress = cameo_core::time::LogicalTime(w);
+            }
+        }
+    }
+}
+
+/// A deployed job: all operator instances plus lookup tables.
+pub struct ExpandedJob {
+    pub id: JobId,
+    pub name: String,
+    pub latency_constraint: Micros,
+    pub instances: Vec<OperatorInstance>,
+    /// Instance indices of ingest (source) instances.
+    pub ingests: Vec<usize>,
+    /// First instance index of each stage.
+    pub stage_offsets: Vec<usize>,
+}
+
+/// Deterministic key spreader for partition routing.
+#[inline]
+pub fn partition_hash(key: u64) -> u64 {
+    // SplitMix64 finalizer: strong avalanche for sequential keys.
+    let mut x = key.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Split a batch across `route.targets` according to the routing mode.
+/// Under `Partition`, *every* target receives a sub-batch (possibly
+/// empty) carrying the full progress, so watermarks advance everywhere.
+pub fn route_batch(route: &OutRoute, batch: &Batch) -> Vec<(usize, u32, Batch)> {
+    match route.routing {
+        Routing::Forward => {
+            let (t, c) = route.targets[0];
+            vec![(t, c, batch.clone())]
+        }
+        Routing::Broadcast => route
+            .targets
+            .iter()
+            .map(|&(t, c)| (t, c, batch.clone()))
+            .collect(),
+        Routing::Partition => {
+            let n = route.targets.len();
+            let mut parts: Vec<Vec<crate::event::Tuple>> = vec![Vec::new(); n];
+            for &t in &batch.tuples {
+                parts[(partition_hash(t.key) % n as u64) as usize].push(t);
+            }
+            route
+                .targets
+                .iter()
+                .zip(parts)
+                .map(|(&(t, c), tuples)| {
+                    (t, c, Batch::with_progress(tuples, batch.progress, batch.time))
+                })
+                .collect()
+        }
+    }
+}
+
+impl ExpandedJob {
+    /// Expand `spec` into operator instances for job `id`.
+    pub fn expand(spec: &JobSpec, id: JobId, opts: &ExpandOptions) -> ExpandedJob {
+        let nstages = spec.stages.len();
+        // Global instance index per (stage, index).
+        let mut stage_offsets = Vec::with_capacity(nstages);
+        let mut total = 0usize;
+        for s in &spec.stages {
+            stage_offsets.push(total);
+            total += s.parallelism as usize;
+        }
+        let global =
+            |stage: StageId, idx: u32| stage_offsets[stage.0 as usize] + idx as usize;
+
+        // Pass 1: channels at every target instance.
+        // channel_senders[t] = ordered [(sender_instance, sender_edge_ordinal)]
+        // channel_edges[t]   = ordered [target-side in-edge ordinal] (for InstanceCtx)
+        // channel_of[(t, global_edge, sender)] = channel index
+        let mut channel_senders: Vec<Vec<(usize, u32)>> = vec![Vec::new(); total];
+        let mut channel_edges: Vec<Vec<u32>> = vec![Vec::new(); total];
+        let mut channel_of: HashMap<(usize, usize, usize), u32> = HashMap::new();
+
+        // Sender-side out-edge ordinals per stage.
+        let mut out_ordinal: HashMap<usize, u32> = HashMap::new(); // global edge idx -> ordinal
+        for s in 0..nstages as u32 {
+            for (ord, (gidx, _)) in spec.out_edges(StageId(s)).enumerate() {
+                out_ordinal.insert(gidx, ord as u32);
+            }
+        }
+
+        for s in 0..nstages as u32 {
+            let sid = StageId(s);
+            let tpar = spec.stage(sid).parallelism;
+            for (in_ord, (gidx, e)) in spec.in_edges(sid).enumerate() {
+                let spar = spec.stage(e.from).parallelism;
+                for tinst in 0..tpar {
+                    let tglobal = global(sid, tinst);
+                    let senders: Vec<u32> = match e.routing {
+                        Routing::Forward => (0..spar).filter(|i| i % tpar == tinst).collect(),
+                        Routing::Partition | Routing::Broadcast => (0..spar).collect(),
+                    };
+                    for sinst in senders {
+                        let sglobal = global(e.from, sinst);
+                        let ch = channel_senders[tglobal].len() as u32;
+                        channel_senders[tglobal].push((sglobal, out_ordinal[&gidx]));
+                        channel_edges[tglobal].push(in_ord as u32);
+                        channel_of.insert((tglobal, gidx, sglobal), ch);
+                    }
+                }
+            }
+        }
+
+        // Pass 2: build instances with out-routes and converters.
+        let mut instances = Vec::with_capacity(total);
+        let mut ingests = Vec::new();
+        for (sidx, stage) in spec.stages.iter().enumerate() {
+            let sid = StageId(sidx as u32);
+            let is_sink = spec.is_sink(sid);
+            for inst in 0..stage.parallelism {
+                let gidx = global(sid, inst);
+                let key = OperatorKey::new(id, gidx as u32);
+
+                // Out routes.
+                let mut outs = Vec::new();
+                for (gedge, e) in spec.out_edges(sid) {
+                    let ord = out_ordinal[&gedge];
+                    let tstage = spec.stage(e.to);
+                    let targets: Vec<(usize, u32)> = match e.routing {
+                        Routing::Forward => {
+                            let tinst = inst % tstage.parallelism;
+                            let t = global(e.to, tinst);
+                            vec![(t, channel_of[&(t, gedge, gidx)])]
+                        }
+                        Routing::Partition | Routing::Broadcast => (0..tstage.parallelism)
+                            .map(|ti| {
+                                let t = global(e.to, ti);
+                                (t, channel_of[&(t, gedge, gidx)])
+                            })
+                            .collect(),
+                    };
+                    outs.push(OutRoute {
+                        edge: ord,
+                        routing: e.routing,
+                        hop: HopInfo {
+                            edge: ord,
+                            sender_slide: stage.kind.slide(),
+                            target_slide: tstage.kind.slide(),
+                        },
+                        targets,
+                    });
+                }
+
+                // Converter state.
+                let mut converter = ConverterState::new(key, spec.time_domain)
+                    .with_semantics(opts.semantics_aware);
+                if opts.seed_profiles {
+                    converter.profile = cameo_core::profile::ProfileState::with_prior(stage.cost_hint);
+                    for (gedge, e) in spec.out_edges(sid) {
+                        let ord = out_ordinal[&gedge];
+                        let tstage = spec.stage(e.to);
+                        converter.profile.process_reply(
+                            ord,
+                            &ReplyContext {
+                                cost: tstage.cost_hint,
+                                cpath: spec.critical_path_below(e.to),
+                                queue_len: 0,
+                            },
+                        );
+                    }
+                }
+                if stage.is_ingest() {
+                    if let Some((tokens, interval)) = opts.token_rate {
+                        converter = converter.with_tokens(TokenBucket::new(tokens, interval));
+                    }
+                    ingests.push(gidx);
+                }
+
+                // The operator itself.
+                let op = stage.factory.as_ref().map(|f| {
+                    f(&InstanceCtx {
+                        channels: channel_edges[gidx].clone(),
+                        instance: inst,
+                        parallelism: stage.parallelism,
+                    })
+                });
+
+                let num_ch = channel_senders[gidx].len();
+                let input_wm = (matches!(stage.kind, OperatorKind::Regular)
+                    && !stage.is_ingest()
+                    && num_ch > 0)
+                    .then(|| WatermarkTracker::new(num_ch));
+                instances.push(OperatorInstance {
+                    key,
+                    stage: sid,
+                    stage_name: stage.name.clone(),
+                    index: inst,
+                    op,
+                    converter,
+                    outs,
+                    channel_senders: channel_senders[gidx].clone(),
+                    is_sink,
+                    cost_hint: stage.cost_hint,
+                    kind: stage.kind,
+                    input_wm,
+                });
+            }
+        }
+
+        ExpandedJob {
+            id,
+            name: spec.name.clone(),
+            latency_constraint: spec.latency_constraint,
+            instances,
+            ingests,
+            stage_offsets,
+        }
+    }
+
+    /// Instance lookup by `OperatorKey::op`.
+    pub fn instance(&self, op: u32) -> &OperatorInstance {
+        &self.instances[op as usize]
+    }
+
+    pub fn instance_mut(&mut self, op: u32) -> &mut OperatorInstance {
+        &mut self.instances[op as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Tuple;
+    use crate::graph::JobBuilder;
+    use crate::operator::OperatorKind;
+    use crate::ops::Passthrough;
+    use cameo_core::progress::TimeDomain;
+    use cameo_core::time::{LogicalTime, PhysicalTime};
+    use cameo_core::transform::Slide;
+
+    fn spec() -> JobSpec {
+        let mut b = JobBuilder::new("j", Micros(1_000), TimeDomain::IngestionTime);
+        let src = b.ingest("src", 4);
+        let parse = b.stage(
+            "parse",
+            2,
+            OperatorKind::Regular,
+            Micros(10),
+            |_| Box::new(Passthrough),
+        );
+        let agg = b.stage(
+            "agg",
+            2,
+            OperatorKind::Windowed { slide: Slide(100) },
+            Micros(20),
+            |_| Box::new(Passthrough),
+        );
+        let merge = b.stage(
+            "merge",
+            1,
+            OperatorKind::Windowed { slide: Slide(100) },
+            Micros(30),
+            |_| Box::new(Passthrough),
+        );
+        b.connect(src, parse, Routing::Partition);
+        b.connect(parse, agg, Routing::Forward);
+        b.connect(agg, merge, Routing::Partition);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn expansion_counts_and_offsets() {
+        let j = ExpandedJob::expand(&spec(), JobId(3), &ExpandOptions::default());
+        assert_eq!(j.instances.len(), 4 + 2 + 2 + 1);
+        assert_eq!(j.stage_offsets, vec![0, 4, 6, 8]);
+        assert_eq!(j.ingests, vec![0, 1, 2, 3]);
+        assert_eq!(j.instances[8].stage_name, "merge");
+        assert!(j.instances[8].is_sink);
+        assert_eq!(j.instances[5].key, OperatorKey::new(JobId(3), 5));
+    }
+
+    #[test]
+    fn channels_enumerate_senders() {
+        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default());
+        // Each parse instance receives from all 4 sources (Partition).
+        for p in 4..6 {
+            assert_eq!(j.instances[p].num_channels(), 4);
+        }
+        // Each agg instance receives from exactly one parse (Forward, 2->2).
+        for a in 6..8 {
+            assert_eq!(j.instances[a].num_channels(), 1);
+        }
+        // Merge receives from both agg instances.
+        assert_eq!(j.instances[8].num_channels(), 2);
+        assert_eq!(j.instances[8].channel_senders, vec![(6, 0), (7, 0)]);
+    }
+
+    #[test]
+    fn out_routes_carry_hops() {
+        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default());
+        // parse -> agg hop: regular sender, windowed target.
+        let parse = &j.instances[4];
+        assert_eq!(parse.outs.len(), 1);
+        assert_eq!(parse.outs[0].hop.sender_slide, Slide::UNIT);
+        assert_eq!(parse.outs[0].hop.target_slide, Slide(100));
+        // agg -> merge hop: windowed to windowed.
+        let agg = &j.instances[6];
+        assert_eq!(agg.outs[0].hop.sender_slide, Slide(100));
+        // Forward target of parse instance 0 is agg instance 0.
+        assert_eq!(parse.outs[0].targets, vec![(6, 0)]);
+    }
+
+    #[test]
+    fn profiles_seeded_from_hints() {
+        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default());
+        // Source converter knows parse costs 10 and 20+30 lies below it.
+        let src = &j.instances[0];
+        let report = src.converter.profile.edge_report(0).unwrap();
+        assert_eq!(report.cost, Micros(10));
+        assert_eq!(report.cpath, Micros(50));
+        // Sink converter: own cost prior 30.
+        assert_eq!(j.instances[8].converter.profile.own_cost(), Micros(30));
+    }
+
+    #[test]
+    fn no_seed_option() {
+        let opts = ExpandOptions {
+            seed_profiles: false,
+            ..Default::default()
+        };
+        let j = ExpandedJob::expand(&spec(), JobId(0), &opts);
+        assert!(j.instances[0].converter.profile.edge_report(0).is_none());
+    }
+
+    #[test]
+    fn partition_routes_every_target_with_progress() {
+        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default());
+        let src = &j.instances[0];
+        let batch = Batch::new(
+            (0..100)
+                .map(|k| Tuple::new(k, 1, LogicalTime(k)))
+                .collect(),
+            PhysicalTime(5),
+        );
+        let routed = route_batch(&src.outs[0], &batch);
+        assert_eq!(routed.len(), 2, "both parse instances receive a sub-batch");
+        let total: usize = routed.iter().map(|(_, _, b)| b.len()).sum();
+        assert_eq!(total, 100, "no tuple lost");
+        for (_, _, b) in &routed {
+            assert_eq!(b.progress, LogicalTime(99), "progress flows everywhere");
+            assert!(b.len() > 20, "hash spreads sequential keys");
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_by_key() {
+        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default());
+        let src = &j.instances[0];
+        let batch = Batch::new(vec![Tuple::new(42, 1, LogicalTime(0))], PhysicalTime(0));
+        let a = route_batch(&src.outs[0], &batch);
+        let b = route_batch(&src.outs[0], &batch);
+        let pos_a = a.iter().position(|(_, _, b)| !b.is_empty()).unwrap();
+        let pos_b = b.iter().position(|(_, _, b)| !b.is_empty()).unwrap();
+        assert_eq!(pos_a, pos_b);
+    }
+
+    #[test]
+    fn broadcast_clones_to_all() {
+        let mut b = JobBuilder::new("j", Micros(1), TimeDomain::IngestionTime);
+        let src = b.ingest("src", 1);
+        let s = b.stage("s", 3, OperatorKind::Regular, Micros(1), |_| {
+            Box::new(Passthrough)
+        });
+        b.connect(src, s, Routing::Broadcast);
+        let spec = b.build().unwrap();
+        let j = ExpandedJob::expand(&spec, JobId(0), &ExpandOptions::default());
+        let batch = Batch::new(vec![Tuple::new(1, 1, LogicalTime(0))], PhysicalTime(0));
+        let routed = route_batch(&j.instances[0].outs[0], &batch);
+        assert_eq!(routed.len(), 3);
+        assert!(routed.iter().all(|(_, _, b)| b.len() == 1));
+    }
+
+    #[test]
+    fn token_rate_only_on_ingests() {
+        let opts = ExpandOptions {
+            token_rate: Some((5, Micros::from_secs(1))),
+            ..Default::default()
+        };
+        let j = ExpandedJob::expand(&spec(), JobId(0), &opts);
+        assert!(j.instances[0].converter.tokens.is_some());
+        assert!(j.instances[4].converter.tokens.is_none());
+    }
+
+    #[test]
+    fn partition_hash_spreads() {
+        let n = 8u64;
+        let mut counts = vec![0u32; n as usize];
+        for k in 0..8_000u64 {
+            counts[(partition_hash(k) % n) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+}

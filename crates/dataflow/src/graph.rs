@@ -1,0 +1,419 @@
+//! Logical dataflow jobs: stages, edges, routing, validation and
+//! critical-path analysis (§4.2.1 uses the maximum critical-path cost
+//! from an operator to any output operator as `C_path`).
+//!
+//! A job is a DAG of *stages*; each stage expands into `parallelism`
+//! operator instances at deployment. *Ingest* stages model the client
+//! sources of the paper's testbed: events enter there, priority
+//! contexts are built there (`BUILDCXTATSOURCE`), but ingest instances
+//! are not scheduled — their work happens at the edge of the system.
+
+use crate::operator::{InstanceCtx, Operator, OperatorKind};
+use cameo_core::progress::TimeDomain;
+use cameo_core::time::Micros;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a stage within one job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StageId(pub u32);
+
+/// How output batches are routed to the instances of the next stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Routing {
+    /// Split by tuple key hash. Every target instance receives a
+    /// sub-batch (possibly empty — progress must flow everywhere).
+    Partition,
+    /// Instance `i` sends to target instance `i % target_parallelism`.
+    Forward,
+    /// Every target instance receives the full batch.
+    Broadcast,
+}
+
+/// One stage of a job.
+pub struct StageSpec {
+    pub name: String,
+    pub parallelism: u32,
+    pub kind: OperatorKind,
+    /// Modeled per-message execution cost: seeds profiling and drives
+    /// the simulator's cost model.
+    pub cost_hint: Micros,
+    /// Builds one operator per instance; `None` for ingest stages.
+    pub factory: Option<Arc<dyn Fn(&InstanceCtx) -> Box<dyn Operator> + Send + Sync>>,
+}
+
+impl fmt::Debug for StageSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageSpec")
+            .field("name", &self.name)
+            .field("parallelism", &self.parallelism)
+            .field("kind", &self.kind)
+            .field("cost_hint", &self.cost_hint)
+            .field("ingest", &self.factory.is_none())
+            .finish()
+    }
+}
+
+impl StageSpec {
+    pub fn is_ingest(&self) -> bool {
+        self.factory.is_none()
+    }
+}
+
+/// A directed stage-level edge.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeSpec {
+    pub from: StageId,
+    pub to: StageId,
+    pub routing: Routing,
+}
+
+/// A validated logical job.
+pub struct JobSpec {
+    pub name: String,
+    pub latency_constraint: Micros,
+    pub time_domain: TimeDomain,
+    pub stages: Vec<StageSpec>,
+    pub edges: Vec<EdgeSpec>,
+}
+
+impl fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("name", &self.name)
+            .field("latency_constraint", &self.latency_constraint)
+            .field("stages", &self.stages)
+            .field("edges", &self.edges)
+            .finish()
+    }
+}
+
+/// Errors produced by [`JobBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    NoStages,
+    NoIngest,
+    /// A non-ingest stage is unreachable from every ingest stage.
+    Unreachable(String),
+    /// An ingest stage has an incoming edge.
+    IngestHasInput(String),
+    /// The stage graph contains a cycle.
+    Cyclic,
+    /// An ingest stage has no outgoing edge.
+    DeadEnd(String),
+    /// No sink (a stage without outgoing edges) exists.
+    NoSink,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NoStages => write!(f, "job has no stages"),
+            GraphError::NoIngest => write!(f, "job has no ingest stage"),
+            GraphError::Unreachable(s) => write!(f, "stage '{s}' is unreachable from any ingest"),
+            GraphError::IngestHasInput(s) => write!(f, "ingest stage '{s}' has an incoming edge"),
+            GraphError::Cyclic => write!(f, "stage graph contains a cycle"),
+            GraphError::DeadEnd(s) => write!(f, "ingest stage '{s}' has no outgoing edge"),
+            GraphError::NoSink => write!(f, "job has no sink stage"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl JobSpec {
+    pub fn stage(&self, id: StageId) -> &StageSpec {
+        &self.stages[id.0 as usize]
+    }
+
+    pub fn out_edges(&self, id: StageId) -> impl Iterator<Item = (usize, &EdgeSpec)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.from == id)
+    }
+
+    pub fn in_edges(&self, id: StageId) -> impl Iterator<Item = (usize, &EdgeSpec)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.to == id)
+    }
+
+    pub fn is_sink(&self, id: StageId) -> bool {
+        self.out_edges(id).next().is_none()
+    }
+
+    /// Maximum execution cost (sum of `cost_hint`s) over paths from —
+    /// and excluding — `id` to any sink: the paper's `C_path` for
+    /// messages *produced by* stage `id`... is computed per target, so
+    /// this returns the cost strictly below `id`.
+    pub fn critical_path_below(&self, id: StageId) -> Micros {
+        let mut memo = vec![None; self.stages.len()];
+        self.cpath_rec(id, &mut memo)
+    }
+
+    fn cpath_rec(&self, id: StageId, memo: &mut Vec<Option<Micros>>) -> Micros {
+        if let Some(v) = memo[id.0 as usize] {
+            return v;
+        }
+        let v = self
+            .out_edges(id)
+            .map(|(_, e)| {
+                let child_cost = self.stage(e.to).cost_hint;
+                child_cost + self.cpath_rec(e.to, memo)
+            })
+            .max()
+            .unwrap_or(Micros::ZERO);
+        memo[id.0 as usize] = Some(v);
+        v
+    }
+
+    /// Total instance count across all stages.
+    pub fn total_instances(&self) -> u32 {
+        self.stages.iter().map(|s| s.parallelism).sum()
+    }
+
+    fn validate(&self) -> Result<(), GraphError> {
+        if self.stages.is_empty() {
+            return Err(GraphError::NoStages);
+        }
+        let ingests: Vec<StageId> = (0..self.stages.len() as u32)
+            .map(StageId)
+            .filter(|&s| self.stage(s).is_ingest())
+            .collect();
+        if ingests.is_empty() {
+            return Err(GraphError::NoIngest);
+        }
+        for &s in &ingests {
+            if self.in_edges(s).next().is_some() {
+                return Err(GraphError::IngestHasInput(self.stage(s).name.clone()));
+            }
+            if self.out_edges(s).next().is_none() {
+                return Err(GraphError::DeadEnd(self.stage(s).name.clone()));
+            }
+        }
+        // Cycle check via Kahn's algorithm.
+        let n = self.stages.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.to.0 as usize] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(i) = queue.pop() {
+            seen += 1;
+            for (_, e) in self.out_edges(StageId(i as u32)) {
+                indeg[e.to.0 as usize] -= 1;
+                if indeg[e.to.0 as usize] == 0 {
+                    queue.push(e.to.0 as usize);
+                }
+            }
+        }
+        if seen != n {
+            return Err(GraphError::Cyclic);
+        }
+        // Reachability from ingests.
+        let mut reach = vec![false; n];
+        let mut stack: Vec<u32> = ingests.iter().map(|s| s.0).collect();
+        while let Some(i) = stack.pop() {
+            if reach[i as usize] {
+                continue;
+            }
+            reach[i as usize] = true;
+            for (_, e) in self.out_edges(StageId(i)) {
+                stack.push(e.to.0);
+            }
+        }
+        for (i, r) in reach.iter().enumerate() {
+            if !r {
+                return Err(GraphError::Unreachable(self.stages[i].name.clone()));
+            }
+        }
+        if !(0..n as u32).any(|i| self.is_sink(StageId(i))) {
+            return Err(GraphError::NoSink);
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`JobSpec`].
+pub struct JobBuilder {
+    name: String,
+    latency_constraint: Micros,
+    time_domain: TimeDomain,
+    stages: Vec<StageSpec>,
+    edges: Vec<EdgeSpec>,
+}
+
+impl JobBuilder {
+    pub fn new(name: impl Into<String>, latency_constraint: Micros, domain: TimeDomain) -> Self {
+        JobBuilder {
+            name: name.into(),
+            latency_constraint,
+            time_domain: domain,
+            stages: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add an ingest stage: `parallelism` client sources feeding the
+    /// job. Not scheduled; events enter the dataflow here.
+    pub fn ingest(&mut self, name: impl Into<String>, parallelism: u32) -> StageId {
+        assert!(parallelism > 0);
+        let id = StageId(self.stages.len() as u32);
+        self.stages.push(StageSpec {
+            name: name.into(),
+            parallelism,
+            kind: OperatorKind::Regular,
+            cost_hint: Micros::ZERO,
+            factory: None,
+        });
+        id
+    }
+
+    /// Add a computing stage.
+    pub fn stage<F>(
+        &mut self,
+        name: impl Into<String>,
+        parallelism: u32,
+        kind: OperatorKind,
+        cost_hint: Micros,
+        factory: F,
+    ) -> StageId
+    where
+        F: Fn(&InstanceCtx) -> Box<dyn Operator> + Send + Sync + 'static,
+    {
+        assert!(parallelism > 0);
+        let id = StageId(self.stages.len() as u32);
+        self.stages.push(StageSpec {
+            name: name.into(),
+            parallelism,
+            kind,
+            cost_hint,
+            factory: Some(Arc::new(factory)),
+        });
+        id
+    }
+
+    pub fn connect(&mut self, from: StageId, to: StageId, routing: Routing) -> &mut Self {
+        self.edges.push(EdgeSpec { from, to, routing });
+        self
+    }
+
+    pub fn build(self) -> Result<JobSpec, GraphError> {
+        let spec = JobSpec {
+            name: self.name,
+            latency_constraint: self.latency_constraint,
+            time_domain: self.time_domain,
+            stages: self.stages,
+            edges: self.edges,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Passthrough;
+
+    fn passthrough() -> impl Fn(&InstanceCtx) -> Box<dyn Operator> + Send + Sync {
+        |_ctx| Box::new(Passthrough)
+    }
+
+    fn linear_job() -> JobSpec {
+        let mut b = JobBuilder::new("j", Micros(1000), TimeDomain::IngestionTime);
+        let src = b.ingest("src", 2);
+        let a = b.stage("a", 2, OperatorKind::Regular, Micros(10), passthrough());
+        let c = b.stage("c", 1, OperatorKind::Regular, Micros(30), passthrough());
+        b.connect(src, a, Routing::Forward);
+        b.connect(a, c, Routing::Partition);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_validates_linear_job() {
+        let j = linear_job();
+        assert_eq!(j.stages.len(), 3);
+        assert!(j.stage(StageId(0)).is_ingest());
+        assert!(j.is_sink(StageId(2)));
+        assert!(!j.is_sink(StageId(1)));
+        assert_eq!(j.total_instances(), 5);
+    }
+
+    #[test]
+    fn critical_path_sums_costs() {
+        let j = linear_job();
+        // Below src: a(10) + c(30) = 40. Below a: c = 30. Below c: 0.
+        assert_eq!(j.critical_path_below(StageId(0)), Micros(40));
+        assert_eq!(j.critical_path_below(StageId(1)), Micros(30));
+        assert_eq!(j.critical_path_below(StageId(2)), Micros::ZERO);
+    }
+
+    #[test]
+    fn critical_path_takes_max_branch() {
+        let mut b = JobBuilder::new("j", Micros(1000), TimeDomain::IngestionTime);
+        let src = b.ingest("src", 1);
+        let cheap = b.stage("cheap", 1, OperatorKind::Regular, Micros(5), passthrough());
+        let dear = b.stage("dear", 1, OperatorKind::Regular, Micros(500), passthrough());
+        b.connect(src, cheap, Routing::Forward);
+        b.connect(src, dear, Routing::Forward);
+        let j = b.build().unwrap();
+        assert_eq!(j.critical_path_below(StageId(0)), Micros(500));
+    }
+
+    #[test]
+    fn rejects_no_ingest() {
+        let mut b = JobBuilder::new("j", Micros(1), TimeDomain::IngestionTime);
+        let _ = b.stage("a", 1, OperatorKind::Regular, Micros(1), passthrough());
+        assert_eq!(b.build().unwrap_err(), GraphError::NoIngest);
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = JobBuilder::new("j", Micros(1), TimeDomain::IngestionTime);
+        let src = b.ingest("src", 1);
+        let a = b.stage("a", 1, OperatorKind::Regular, Micros(1), passthrough());
+        let c = b.stage("c", 1, OperatorKind::Regular, Micros(1), passthrough());
+        b.connect(src, a, Routing::Forward);
+        b.connect(a, c, Routing::Forward);
+        b.connect(c, a, Routing::Forward);
+        assert_eq!(b.build().unwrap_err(), GraphError::Cyclic);
+    }
+
+    #[test]
+    fn rejects_unreachable_stage() {
+        let mut b = JobBuilder::new("j", Micros(1), TimeDomain::IngestionTime);
+        let src = b.ingest("src", 1);
+        let a = b.stage("a", 1, OperatorKind::Regular, Micros(1), passthrough());
+        let _orphan = b.stage("orphan", 1, OperatorKind::Regular, Micros(1), passthrough());
+        b.connect(src, a, Routing::Forward);
+        assert!(matches!(b.build().unwrap_err(), GraphError::Unreachable(_)));
+    }
+
+    #[test]
+    fn rejects_ingest_with_input() {
+        let mut b = JobBuilder::new("j", Micros(1), TimeDomain::IngestionTime);
+        let src = b.ingest("src", 1);
+        let a = b.stage("a", 1, OperatorKind::Regular, Micros(1), passthrough());
+        b.connect(src, a, Routing::Forward);
+        b.connect(a, src, Routing::Forward);
+        let err = b.build().unwrap_err();
+        assert!(
+            matches!(err, GraphError::IngestHasInput(_) | GraphError::Cyclic),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_dead_end_ingest() {
+        let mut b = JobBuilder::new("j", Micros(1), TimeDomain::IngestionTime);
+        let _src = b.ingest("src", 1);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::DeadEnd(_) | GraphError::NoSink
+        ));
+    }
+}

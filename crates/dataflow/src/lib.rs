@@ -1,0 +1,36 @@
+//! # cameo-dataflow
+//!
+//! The streaming dataflow substrate for the Cameo reproduction: events,
+//! batches, windows, operators, logical job graphs and their expansion
+//! into wired operator instances.
+//!
+//! The paper runs Trill streaming operators inside the Flare/Orleans
+//! actor runtime; this crate plays Trill's role. It owns everything the
+//! scheduler treats as "the query": window semantics (slide sizes feed
+//! `TRANSFORM`), DAG topology (critical paths feed deadlines) and
+//! operator state machines. It knows nothing about *when* operators
+//! run — both the real-time runtime (`cameo-runtime`) and the simulator
+//! (`cameo-sim`) drive the same [`ExpandedJob`](expand::ExpandedJob).
+
+pub mod event;
+pub mod expand;
+pub mod graph;
+pub mod operator;
+pub mod ops;
+pub mod queries;
+pub mod window;
+
+pub mod prelude {
+    pub use crate::event::{Batch, Tuple};
+    pub use crate::expand::{route_batch, ExpandOptions, ExpandedJob, OperatorInstance, OutRoute};
+    pub use crate::graph::{EdgeSpec, GraphError, JobBuilder, JobSpec, Routing, StageId, StageSpec};
+    pub use crate::operator::{InstanceCtx, Operator, OperatorKind, WatermarkTracker};
+    pub use crate::ops::{
+        Aggregation, DistinctCount, FilterOp, FlatMapOp, MapOp, Passthrough, SessionWindow,
+        SpinMap, TopK, WindowAggregate, WindowJoin,
+    };
+    pub use crate::queries::{
+        agg_query, ipq1, ipq2, ipq3, ipq4, join_query, AggQueryParams, JoinQueryParams, StageCosts,
+    };
+    pub use crate::window::WindowSpec;
+}

@@ -1,0 +1,145 @@
+//! The operator abstraction executed by both runtimes.
+//!
+//! An operator is a single-threaded state machine fed one input batch at
+//! a time (actor semantics guarantee exclusive access). *Regular*
+//! operators may emit output on every invocation; *windowed* operators
+//! buffer state and emit only when stream progress completes a window
+//! (§4.1's invoked-vs-triggered distinction).
+
+use crate::event::Batch;
+use cameo_core::time::PhysicalTime;
+use cameo_core::transform::Slide;
+
+/// Whether an operator triggers on every message or on window
+/// completion; carries the trigger step used by `TRANSFORM`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OperatorKind {
+    Regular,
+    Windowed { slide: Slide },
+}
+
+impl OperatorKind {
+    pub fn slide(&self) -> Slide {
+        match *self {
+            OperatorKind::Regular => Slide::UNIT,
+            OperatorKind::Windowed { slide } => slide,
+        }
+    }
+}
+
+/// Static facts handed to an operator factory when a stage instance is
+/// created during job expansion.
+#[derive(Clone, Debug)]
+pub struct InstanceCtx {
+    /// Which stage-level input edge each of this instance's input
+    /// channels belongs to (`channels[c] = stage-edge ordinal`). Lets a
+    /// join distinguish its left and right inputs, and tells windowed
+    /// operators how many channels must pass a frontier before a window
+    /// can fire.
+    pub channels: Vec<u32>,
+    /// This instance's index within its stage.
+    pub instance: u32,
+    /// The stage's parallelism.
+    pub parallelism: u32,
+}
+
+impl InstanceCtx {
+    pub fn num_channels(&self) -> u32 {
+        self.channels.len() as u32
+    }
+}
+
+/// A dataflow operator. `on_batch` receives the input batch and appends
+/// any output batches to `out`; the surrounding engine routes them
+/// downstream and attaches priority contexts.
+pub trait Operator: Send {
+    /// Process one batch arriving on `channel` at physical time `now`.
+    fn on_batch(&mut self, channel: u32, batch: &Batch, now: PhysicalTime, out: &mut Vec<Batch>);
+
+    /// Buffered tuples (diagnostics / memory accounting).
+    fn pending(&self) -> usize {
+        0
+    }
+
+    /// Operator name for timelines and debugging.
+    fn name(&self) -> &'static str {
+        "operator"
+    }
+}
+
+/// Factory for stage instances: builds one operator per instance at
+/// deployment time.
+pub type OperatorFactory = Box<dyn Fn(&InstanceCtx) -> Box<dyn Operator> + Send + Sync>;
+
+/// Tracks per-channel stream progress and computes the watermark (the
+/// minimum progress over all input channels). Windowed operators fire a
+/// window once the watermark passes its end: in-order channels make
+/// this exact (§4.3 "channel-wise guarantee of in-order processing").
+#[derive(Clone, Debug)]
+pub struct WatermarkTracker {
+    per_channel: Vec<u64>,
+}
+
+impl WatermarkTracker {
+    pub fn new(num_channels: usize) -> Self {
+        assert!(num_channels > 0, "watermark tracker needs >= 1 channel");
+        WatermarkTracker {
+            per_channel: vec![0; num_channels],
+        }
+    }
+
+    /// Record progress `p` on `channel`; returns the new watermark.
+    pub fn observe(&mut self, channel: u32, p: u64) -> u64 {
+        let slot = &mut self.per_channel[channel as usize];
+        if p > *slot {
+            *slot = p;
+        }
+        self.watermark()
+    }
+
+    /// Minimum progress across channels.
+    pub fn watermark(&self) -> u64 {
+        self.per_channel.iter().copied().min().unwrap_or(0)
+    }
+
+    pub fn num_channels(&self) -> usize {
+        self.per_channel.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_is_min_over_channels() {
+        let mut w = WatermarkTracker::new(3);
+        assert_eq!(w.observe(0, 10), 0);
+        assert_eq!(w.observe(1, 20), 0);
+        assert_eq!(w.observe(2, 5), 5);
+        assert_eq!(w.observe(2, 30), 10);
+    }
+
+    #[test]
+    fn watermark_never_regresses() {
+        let mut w = WatermarkTracker::new(1);
+        assert_eq!(w.observe(0, 10), 10);
+        // Late/duplicate progress does not move the watermark backwards.
+        assert_eq!(w.observe(0, 5), 10);
+    }
+
+    #[test]
+    fn kind_slide() {
+        assert_eq!(OperatorKind::Regular.slide(), Slide::UNIT);
+        assert_eq!(
+            OperatorKind::Windowed { slide: Slide(10) }.slide(),
+            Slide(10)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_channels_rejected() {
+        let _ = WatermarkTracker::new(0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Keyed windowed aggregation — the workhorse of every query in the
+//! paper's evaluation (§6: "our queries feature multiple stages of
+//! windowed aggregation parallelized into a group of operators").
+//!
+//! Tuples are grouped by key into windows; when the watermark (minimum
+//! stream progress over all input channels) passes a window's end, the
+//! window fires and one output batch is emitted. Output tuples carry
+//! logical time `window_end - 1` (the last instant the window covers) so
+//! that a downstream window of the same size groups them with their own
+//! window, while the output *batch* progress is `window_end`, which is
+//! exactly the frontier progress `TRANSFORM` predicts — deadlines and
+//! actual trigger times line up by construction.
+
+use crate::event::{Batch, Tuple};
+use crate::operator::{Operator, WatermarkTracker};
+use crate::window::WindowSpec;
+use cameo_core::time::{LogicalTime, PhysicalTime};
+use std::collections::{BTreeMap, HashMap};
+
+/// Aggregation functions over tuple values within (window, key) groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aggregation {
+    Sum,
+    Count,
+    Min,
+    Max,
+    /// Arithmetic mean (integer division).
+    Mean,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct AggState {
+    acc: i64,
+    count: i64,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState { acc: 0, count: 0 }
+    }
+
+    fn update(&mut self, agg: Aggregation, v: i64) {
+        match agg {
+            Aggregation::Sum | Aggregation::Mean => self.acc = self.acc.wrapping_add(v),
+            Aggregation::Count => self.acc += 1,
+            Aggregation::Min => {
+                self.acc = if self.count == 0 { v } else { self.acc.min(v) }
+            }
+            Aggregation::Max => {
+                self.acc = if self.count == 0 { v } else { self.acc.max(v) }
+            }
+        }
+        self.count += 1;
+    }
+
+    fn finish(&self, agg: Aggregation) -> i64 {
+        match agg {
+            Aggregation::Mean => {
+                if self.count == 0 {
+                    0
+                } else {
+                    self.acc / self.count
+                }
+            }
+            _ => self.acc,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct WindowState {
+    groups: HashMap<u64, AggState>,
+    /// Physical arrival time of the latest contributing input (`t_M` of
+    /// the eventual output).
+    latest_input: PhysicalTime,
+}
+
+/// Keyed windowed aggregation operator.
+pub struct WindowAggregate {
+    window: WindowSpec,
+    agg: Aggregation,
+    watermark: WatermarkTracker,
+    /// Open windows by id (ordered so windows fire in order).
+    state: BTreeMap<u64, WindowState>,
+    /// Windows with id < this have fired; late tuples are dropped.
+    fired_below: u64,
+    late_drops: u64,
+}
+
+impl WindowAggregate {
+    pub fn new(window: WindowSpec, agg: Aggregation, num_channels: u32) -> Self {
+        WindowAggregate {
+            window,
+            agg,
+            watermark: WatermarkTracker::new(num_channels.max(1) as usize),
+            state: BTreeMap::new(),
+            fired_below: 0,
+            late_drops: 0,
+        }
+    }
+
+    pub fn late_drops(&self) -> u64 {
+        self.late_drops
+    }
+
+    fn fire_ready(&mut self, watermark: u64, out: &mut Vec<Batch>) {
+        loop {
+            let Some((&wid, _)) = self.state.iter().next() else {
+                break;
+            };
+            let end = self.window.window_end(wid);
+            if end.0 > watermark {
+                break;
+            }
+            let ws = self.state.remove(&wid).expect("peeked above");
+            self.emit(wid, ws, out);
+            self.fired_below = self.fired_below.max(wid + 1);
+        }
+    }
+
+    fn emit(&self, wid: u64, ws: WindowState, out: &mut Vec<Batch>) {
+        let end = self.window.window_end(wid);
+        let tuple_time = LogicalTime(end.0 - 1);
+        let mut tuples: Vec<Tuple> = ws
+            .groups
+            .iter()
+            .map(|(&k, st)| Tuple::new(k, st.finish(self.agg), tuple_time))
+            .collect();
+        // HashMap order is nondeterministic; sort for reproducibility.
+        tuples.sort_unstable_by_key(|t| t.key);
+        out.push(Batch::with_progress(tuples, end, ws.latest_input));
+    }
+}
+
+impl Operator for WindowAggregate {
+    fn on_batch(&mut self, channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
+        // A tuple is late if its window already fired — or could have
+        // fired: the watermark passed the window's end even if the
+        // window held no data.
+        let wm_before = self.watermark.watermark();
+        for t in &batch.tuples {
+            for wid in self.window.windows_for(t.time) {
+                if wid < self.fired_below || self.window.window_end(wid).0 <= wm_before {
+                    self.late_drops += 1;
+                    continue;
+                }
+                let ws = self.state.entry(wid).or_default();
+                ws.groups.entry(t.key).or_insert_with(AggState::new).update(self.agg, t.value);
+                if batch.time > ws.latest_input {
+                    ws.latest_input = batch.time;
+                }
+            }
+        }
+        let wm = self.watermark.observe(channel, batch.progress.0);
+        self.fire_ready(wm, out);
+    }
+
+    fn pending(&self) -> usize {
+        self.state.values().map(|w| w.groups.len()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "window_aggregate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(k: u64, v: i64, p: u64) -> Tuple {
+        Tuple::new(k, v, LogicalTime(p))
+    }
+
+    fn run(op: &mut WindowAggregate, channel: u32, tuples: Vec<Tuple>, arrival: u64) -> Vec<Batch> {
+        let mut out = Vec::new();
+        let b = Batch::new(tuples, PhysicalTime(arrival));
+        op.on_batch(channel, &b, PhysicalTime(arrival), &mut out);
+        out
+    }
+
+    #[test]
+    fn tumbling_sum_fires_on_watermark() {
+        let mut op = WindowAggregate::new(WindowSpec::tumbling(10), Aggregation::Sum, 1);
+        // Window [0,10): two tuples, no trigger yet.
+        let out = run(&mut op, 0, vec![tuple(1, 5, 3), tuple(1, 7, 8)], 100);
+        assert!(out.is_empty());
+        // Progress reaches 12 -> window 0 fires.
+        let out = run(&mut op, 0, vec![tuple(2, 1, 12)], 200);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tuples, vec![tuple(1, 12, 9)]);
+        assert_eq!(out[0].progress, LogicalTime(10));
+        assert_eq!(out[0].time, PhysicalTime(100), "t_M is the last *contributing* arrival");
+    }
+
+    #[test]
+    fn multi_channel_waits_for_all() {
+        let mut op = WindowAggregate::new(WindowSpec::tumbling(10), Aggregation::Sum, 2);
+        // Channel 0: a tuple in window 0 plus progress past the boundary.
+        let out = run(&mut op, 0, vec![tuple(1, 5, 3), tuple(2, 0, 11)], 100);
+        assert!(out.is_empty(), "channel 1 has not advanced");
+        let out = run(&mut op, 1, vec![tuple(1, 6, 4), tuple(2, 0, 11)], 150);
+        assert_eq!(out.len(), 1, "both channels past window end");
+        // Window 0 holds key 1 from both channels.
+        assert_eq!(out[0].tuples[0].value, 5 + 6);
+    }
+
+    #[test]
+    fn groups_by_key_sorted() {
+        let mut op = WindowAggregate::new(WindowSpec::tumbling(10), Aggregation::Count, 1);
+        let out = run(
+            &mut op,
+            0,
+            vec![tuple(9, 1, 1), tuple(3, 1, 2), tuple(9, 1, 3), tuple(3, 1, 9), tuple(10, 1, 12)],
+            50,
+        );
+        assert_eq!(out.len(), 1);
+        let t = &out[0].tuples;
+        assert_eq!(t.len(), 2);
+        assert_eq!((t[0].key, t[0].value), (3, 2));
+        assert_eq!((t[1].key, t[1].value), (9, 2));
+    }
+
+    #[test]
+    fn min_max_mean() {
+        for (agg, expect) in [
+            (Aggregation::Min, 2),
+            (Aggregation::Max, 9),
+            (Aggregation::Mean, 5),
+        ] {
+            let mut op = WindowAggregate::new(WindowSpec::tumbling(10), agg, 1);
+            let out = run(
+                &mut op,
+                0,
+                vec![tuple(1, 9, 1), tuple(1, 2, 2), tuple(1, 4, 3), tuple(1, 1, 10)],
+                50,
+            );
+            assert_eq!(out[0].tuples[0].value, expect, "{agg:?}");
+        }
+    }
+
+    #[test]
+    fn sliding_window_counts_overlaps() {
+        // size 20, slide 10: tuple at p=15 is in windows 0 ([0,20)) and 1 ([10,30)).
+        let mut op = WindowAggregate::new(WindowSpec::sliding(20, 10), Aggregation::Sum, 1);
+        let out = run(&mut op, 0, vec![tuple(1, 3, 15)], 10);
+        assert!(out.is_empty());
+        // Watermark 30 fires windows 0 and 1.
+        let out = run(&mut op, 0, vec![tuple(1, 100, 30)], 20);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].progress, LogicalTime(20));
+        assert_eq!(out[0].tuples[0].value, 3);
+        assert_eq!(out[1].progress, LogicalTime(30));
+        assert_eq!(out[1].tuples[0].value, 3);
+    }
+
+    #[test]
+    fn late_tuples_dropped_and_counted() {
+        let mut op = WindowAggregate::new(WindowSpec::tumbling(10), Aggregation::Sum, 1);
+        let _ = run(&mut op, 0, vec![tuple(1, 1, 15)], 10); // fires window 0 (empty)
+        let out = run(&mut op, 0, vec![tuple(1, 5, 3)], 20); // p=3 is late
+        assert!(out.iter().all(|b| b.tuples.iter().all(|t| t.value != 5)));
+        assert_eq!(op.late_drops(), 1);
+    }
+
+    #[test]
+    fn windows_fire_in_order() {
+        let mut op = WindowAggregate::new(WindowSpec::tumbling(10), Aggregation::Sum, 1);
+        let out = run(
+            &mut op,
+            0,
+            vec![tuple(1, 1, 5), tuple(1, 2, 15), tuple(1, 3, 25), tuple(1, 4, 31)],
+            10,
+        );
+        // Windows 0,1,2 all complete at watermark 31.
+        assert_eq!(out.len(), 3);
+        assert!(out.windows(2).all(|w| w[0].progress < w[1].progress));
+    }
+
+    #[test]
+    fn empty_punctuation_advances_watermark() {
+        let mut op = WindowAggregate::new(WindowSpec::tumbling(10), Aggregation::Sum, 1);
+        let _ = run(&mut op, 0, vec![tuple(1, 5, 3)], 10);
+        let mut out = Vec::new();
+        op.on_batch(
+            0,
+            &Batch::punctuation(LogicalTime(10), PhysicalTime(20)),
+            PhysicalTime(20),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1, "punctuation alone can fire a window");
+        assert_eq!(out[0].tuples[0].value, 5);
+    }
+
+    #[test]
+    fn output_tuple_time_feeds_next_same_size_window() {
+        // Chain property: output tuple of window k has logical time inside
+        // downstream window k (same size): end-1.
+        let mut op = WindowAggregate::new(WindowSpec::tumbling(10), Aggregation::Sum, 1);
+        let out = run(&mut op, 0, vec![tuple(1, 5, 3), tuple(1, 2, 11)], 10);
+        assert_eq!(out[0].tuples[0].time, LogicalTime(9));
+    }
+}

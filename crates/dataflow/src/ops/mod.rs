@@ -1,0 +1,12 @@
+//! Built-in operators: stateless transforms (map / filter / flat-map /
+//! pass-through), keyed windowed aggregation, and windowed stream join.
+
+mod aggregate;
+mod join;
+mod session;
+mod transform;
+
+pub use aggregate::{Aggregation, WindowAggregate};
+pub use join::WindowJoin;
+pub use session::{DistinctCount, SessionWindow, TopK};
+pub use transform::{FilterOp, FlatMapOp, MapOp, Passthrough, SpinMap};

@@ -1,0 +1,372 @@
+//! Session windows and two more aggregating operators.
+//!
+//! [`SessionWindow`] groups a key's tuples into activity sessions
+//! closed by a gap of inactivity. Sessions have *data-dependent*
+//! trigger times, so the frontier mapping of §4.3 cannot predict them —
+//! this is exactly the paper's conservative fallback ("when an event's
+//! physical arrival time cannot be inferred from stream progress, we
+//! treat windowed operators as regular operators"). Session stages are
+//! therefore declared `OperatorKind::Regular`: no deadline extension,
+//! correct scheduling.
+//!
+//! [`TopK`] and [`DistinctCount`] are tumbling-window aggregates with
+//! non-decomposable state, common in the paper's dashboard workloads.
+
+use crate::event::{Batch, Tuple};
+use crate::operator::{Operator, WatermarkTracker};
+use crate::window::WindowSpec;
+use cameo_core::time::{LogicalTime, PhysicalTime};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Per-key session state.
+#[derive(Debug)]
+struct Session {
+    start: u64,
+    last: u64,
+    acc: i64,
+    count: i64,
+    latest_input: PhysicalTime,
+}
+
+/// Gap-based session windows: a key's session closes once stream
+/// progress passes `last activity + gap`; the emitted tuple carries the
+/// session's value sum, stamped at the session's end.
+pub struct SessionWindow {
+    gap: u64,
+    watermark: WatermarkTracker,
+    open: HashMap<u64, Session>,
+}
+
+impl SessionWindow {
+    pub fn new(gap: u64, num_channels: u32) -> Self {
+        assert!(gap > 0, "session gap must be positive");
+        SessionWindow {
+            gap,
+            watermark: WatermarkTracker::new(num_channels.max(1) as usize),
+            open: HashMap::new(),
+        }
+    }
+
+    pub fn open_sessions(&self) -> usize {
+        self.open.len()
+    }
+}
+
+impl Operator for SessionWindow {
+    fn on_batch(&mut self, channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
+        for t in &batch.tuples {
+            let s = self.open.entry(t.key).or_insert(Session {
+                start: t.time.0,
+                last: t.time.0,
+                acc: 0,
+                count: 0,
+                latest_input: PhysicalTime::ZERO,
+            });
+            // A tuple arriving after the session's gap would have closed
+            // it; treat as a new session for the same key (the close is
+            // emitted below once the watermark confirms it).
+            s.last = s.last.max(t.time.0);
+            s.start = s.start.min(t.time.0);
+            s.acc = s.acc.wrapping_add(t.value);
+            s.count += 1;
+            if batch.time > s.latest_input {
+                s.latest_input = batch.time;
+            }
+        }
+        let wm = self.watermark.observe(channel, batch.progress.0);
+        // Close sessions whose gap has fully elapsed.
+        let gap = self.gap;
+        let mut closed: Vec<(u64, Session)> = Vec::new();
+        self.open.retain(|&k, s| {
+            if s.last.saturating_add(gap) <= wm {
+                closed.push((
+                    k,
+                    Session {
+                        start: s.start,
+                        last: s.last,
+                        acc: s.acc,
+                        count: s.count,
+                        latest_input: s.latest_input,
+                    },
+                ));
+                false
+            } else {
+                true
+            }
+        });
+        if closed.is_empty() {
+            // Still forward progress so downstream watermarks advance.
+            out.push(Batch::punctuation(LogicalTime(wm), batch.time));
+            return;
+        }
+        closed.sort_unstable_by_key(|(k, _)| *k);
+        let latest = closed
+            .iter()
+            .map(|(_, s)| s.latest_input)
+            .max()
+            .unwrap_or(batch.time);
+        let tuples: Vec<Tuple> = closed
+            .into_iter()
+            .map(|(k, s)| Tuple::new(k, s.acc, LogicalTime(s.last)))
+            .collect();
+        out.push(Batch::with_progress(tuples, LogicalTime(wm), latest));
+    }
+
+    fn pending(&self) -> usize {
+        self.open.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "session_window"
+    }
+}
+
+/// Top-K by per-key value sum within tumbling windows. Emits at most
+/// `k` tuples per window, highest sums first (key ascending on ties),
+/// each stamped `window_end - 1` like the other window operators.
+pub struct TopK {
+    window: WindowSpec,
+    k: usize,
+    watermark: WatermarkTracker,
+    state: BTreeMap<u64, (HashMap<u64, i64>, PhysicalTime)>,
+}
+
+impl TopK {
+    pub fn new(window_size: u64, k: usize, num_channels: u32) -> Self {
+        assert!(k > 0);
+        TopK {
+            window: WindowSpec::tumbling(window_size),
+            k,
+            watermark: WatermarkTracker::new(num_channels.max(1) as usize),
+            state: BTreeMap::new(),
+        }
+    }
+}
+
+impl Operator for TopK {
+    fn on_batch(&mut self, channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
+        for t in &batch.tuples {
+            for wid in self.window.windows_for(t.time) {
+                let (groups, latest) = self.state.entry(wid).or_default();
+                *groups.entry(t.key).or_insert(0) += t.value;
+                if batch.time > *latest {
+                    *latest = batch.time;
+                }
+            }
+        }
+        let wm = self.watermark.observe(channel, batch.progress.0);
+        loop {
+            let Some((&wid, _)) = self.state.iter().next() else {
+                break;
+            };
+            let end = self.window.window_end(wid);
+            if end.0 > wm {
+                break;
+            }
+            let (groups, latest) = self.state.remove(&wid).expect("peeked");
+            let mut ranked: Vec<(u64, i64)> = groups.into_iter().collect();
+            // Highest sum first; stable on key for determinism.
+            ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            ranked.truncate(self.k);
+            let t = LogicalTime(end.0 - 1);
+            let tuples = ranked
+                .into_iter()
+                .map(|(k, v)| Tuple::new(k, v, t))
+                .collect();
+            out.push(Batch::with_progress(tuples, end, latest));
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.state.values().map(|(g, _)| g.len()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "top_k"
+    }
+}
+
+/// Exact distinct-value count per key within tumbling windows (the
+/// "unique users per dashboard tile" shape).
+pub struct DistinctCount {
+    window: WindowSpec,
+    watermark: WatermarkTracker,
+    state: BTreeMap<u64, (HashMap<u64, HashSet<i64>>, PhysicalTime)>,
+}
+
+impl DistinctCount {
+    pub fn new(window_size: u64, num_channels: u32) -> Self {
+        DistinctCount {
+            window: WindowSpec::tumbling(window_size),
+            watermark: WatermarkTracker::new(num_channels.max(1) as usize),
+            state: BTreeMap::new(),
+        }
+    }
+}
+
+impl Operator for DistinctCount {
+    fn on_batch(&mut self, channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
+        for t in &batch.tuples {
+            for wid in self.window.windows_for(t.time) {
+                let (groups, latest) = self.state.entry(wid).or_default();
+                groups.entry(t.key).or_default().insert(t.value);
+                if batch.time > *latest {
+                    *latest = batch.time;
+                }
+            }
+        }
+        let wm = self.watermark.observe(channel, batch.progress.0);
+        loop {
+            let Some((&wid, _)) = self.state.iter().next() else {
+                break;
+            };
+            let end = self.window.window_end(wid);
+            if end.0 > wm {
+                break;
+            }
+            let (groups, latest) = self.state.remove(&wid).expect("peeked");
+            let t = LogicalTime(end.0 - 1);
+            let mut tuples: Vec<Tuple> = groups
+                .into_iter()
+                .map(|(k, set)| Tuple::new(k, set.len() as i64, t))
+                .collect();
+            tuples.sort_unstable_by_key(|t| t.key);
+            out.push(Batch::with_progress(tuples, end, latest));
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.state.values().map(|(g, _)| g.len()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "distinct_count"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(k: u64, v: i64, p: u64) -> Tuple {
+        Tuple::new(k, v, LogicalTime(p))
+    }
+
+    fn feed(op: &mut dyn Operator, tuples: Vec<Tuple>, progress: u64, arrival: u64) -> Vec<Batch> {
+        let mut out = Vec::new();
+        let b = Batch::with_progress(tuples, LogicalTime(progress), PhysicalTime(arrival));
+        op.on_batch(0, &b, PhysicalTime(arrival), &mut out);
+        out
+    }
+
+    #[test]
+    fn session_closes_after_gap() {
+        let mut op = SessionWindow::new(10, 1);
+        // Activity for key 1 at times 5, 8; progress reaches 12.
+        let out = feed(&mut op, vec![tuple(1, 3, 5), tuple(1, 4, 8)], 12, 100);
+        // Session's last activity is 8; closes only once progress >= 18.
+        assert!(out[0].is_empty(), "session still open at wm=12");
+        assert_eq!(op.open_sessions(), 1);
+        let out = feed(&mut op, vec![], 18, 200);
+        assert_eq!(out[0].tuples, vec![tuple(1, 7, 8)]);
+        assert_eq!(op.open_sessions(), 0);
+    }
+
+    #[test]
+    fn session_extends_with_activity() {
+        let mut op = SessionWindow::new(10, 1);
+        let _ = feed(&mut op, vec![tuple(1, 1, 5)], 5, 1);
+        // New activity at 14 (within gap of 5+10): session extends.
+        let _ = feed(&mut op, vec![tuple(1, 1, 14)], 14, 2);
+        let out = feed(&mut op, vec![], 20, 3);
+        assert!(out[0].is_empty(), "extended session must not close at 20");
+        let out = feed(&mut op, vec![], 24, 4);
+        assert_eq!(out[0].tuples, vec![tuple(1, 2, 14)]);
+    }
+
+    #[test]
+    fn sessions_are_per_key() {
+        let mut op = SessionWindow::new(10, 1);
+        let _ = feed(&mut op, vec![tuple(1, 1, 0), tuple(2, 5, 6)], 6, 1);
+        let out = feed(&mut op, vec![], 11, 2);
+        // Key 1 (last=0) closes at wm 11 >= 10; key 2 (last=6) stays open.
+        assert_eq!(out[0].tuples, vec![tuple(1, 1, 0)]);
+        assert_eq!(op.open_sessions(), 1);
+    }
+
+    #[test]
+    fn session_punctuates_progress() {
+        let mut op = SessionWindow::new(100, 1);
+        let _ = feed(&mut op, vec![tuple(1, 1, 5)], 5, 1);
+        let out = feed(&mut op, vec![], 50, 2);
+        assert_eq!(out[0].progress, LogicalTime(50), "progress must flow");
+        assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn top_k_ranks_and_truncates() {
+        let mut op = TopK::new(10, 2, 1);
+        let out = feed(
+            &mut op,
+            vec![
+                tuple(1, 5, 1),
+                tuple(2, 9, 2),
+                tuple(3, 1, 3),
+                tuple(1, 2, 4), // key 1 total 7
+                tuple(9, 0, 12),
+            ],
+            12,
+            50,
+        );
+        assert_eq!(out.len(), 1);
+        // Ranked: key 2 (9), key 1 (7); key 3 truncated.
+        assert_eq!(out[0].tuples, vec![tuple(2, 9, 9), tuple(1, 7, 9)]);
+        assert_eq!(out[0].progress, LogicalTime(10));
+    }
+
+    #[test]
+    fn top_k_tie_breaks_by_key() {
+        let mut op = TopK::new(10, 2, 1);
+        let out = feed(
+            &mut op,
+            vec![tuple(5, 4, 1), tuple(3, 4, 2), tuple(8, 4, 3), tuple(0, 0, 12)],
+            12,
+            50,
+        );
+        assert_eq!(out[0].tuples, vec![tuple(3, 4, 9), tuple(5, 4, 9)]);
+    }
+
+    #[test]
+    fn distinct_count_dedups_values() {
+        let mut op = DistinctCount::new(10, 1);
+        let out = feed(
+            &mut op,
+            vec![
+                tuple(1, 100, 1),
+                tuple(1, 100, 2), // duplicate value
+                tuple(1, 200, 3),
+                tuple(2, 7, 4),
+                tuple(0, 0, 12),
+            ],
+            12,
+            50,
+        );
+        let t = &out[0].tuples;
+        // Key 0 saw value 0 in window 1 (not fired); window 0: key 1 has
+        // 2 distinct values, key 2 has 1.
+        assert_eq!(t.len(), 2);
+        assert_eq!((t[0].key, t[0].value), (1, 2));
+        assert_eq!((t[1].key, t[1].value), (2, 1));
+    }
+
+    #[test]
+    fn distinct_count_windows_are_independent() {
+        let mut op = DistinctCount::new(10, 1);
+        let _ = feed(&mut op, vec![tuple(1, 5, 1)], 1, 1);
+        let out = feed(&mut op, vec![tuple(1, 5, 11), tuple(0, 0, 22)], 22, 2);
+        // Window 0: {5} -> 1. Window 1: {5} again -> 1 (fresh set).
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].tuples[0].value, 1);
+        assert_eq!(out[1].tuples[0].value, 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Stateless per-tuple operators (regular operators in the paper's
+//! taxonomy: invoked == triggered).
+
+use crate::event::{Batch, Tuple};
+use crate::operator::Operator;
+use cameo_core::time::{Micros, PhysicalTime};
+
+/// Applies a function to every tuple.
+pub struct MapOp<F: FnMut(Tuple) -> Tuple + Send> {
+    f: F,
+}
+
+impl<F: FnMut(Tuple) -> Tuple + Send> MapOp<F> {
+    pub fn new(f: F) -> Self {
+        MapOp { f }
+    }
+}
+
+impl<F: FnMut(Tuple) -> Tuple + Send> Operator for MapOp<F> {
+    fn on_batch(&mut self, _channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
+        let tuples = batch.tuples.iter().map(|&t| (self.f)(t)).collect();
+        out.push(Batch::with_progress(tuples, batch.progress, batch.time));
+    }
+
+    fn name(&self) -> &'static str {
+        "map"
+    }
+}
+
+/// Keeps only tuples matching a predicate. Progress still advances on
+/// fully filtered batches (an empty batch is forwarded), so downstream
+/// watermarks never stall.
+pub struct FilterOp<F: FnMut(&Tuple) -> bool + Send> {
+    f: F,
+}
+
+impl<F: FnMut(&Tuple) -> bool + Send> FilterOp<F> {
+    pub fn new(f: F) -> Self {
+        FilterOp { f }
+    }
+}
+
+impl<F: FnMut(&Tuple) -> bool + Send> Operator for FilterOp<F> {
+    fn on_batch(&mut self, _channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
+        let tuples = batch.tuples.iter().filter(|t| (self.f)(t)).copied().collect();
+        out.push(Batch::with_progress(tuples, batch.progress, batch.time));
+    }
+
+    fn name(&self) -> &'static str {
+        "filter"
+    }
+}
+
+/// Expands each tuple into zero or more tuples.
+pub struct FlatMapOp<F: FnMut(Tuple, &mut Vec<Tuple>) + Send> {
+    f: F,
+}
+
+impl<F: FnMut(Tuple, &mut Vec<Tuple>) + Send> FlatMapOp<F> {
+    pub fn new(f: F) -> Self {
+        FlatMapOp { f }
+    }
+}
+
+impl<F: FnMut(Tuple, &mut Vec<Tuple>) + Send> Operator for FlatMapOp<F> {
+    fn on_batch(&mut self, _channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
+        let mut tuples = Vec::with_capacity(batch.len());
+        for &t in &batch.tuples {
+            (self.f)(t, &mut tuples);
+        }
+        out.push(Batch::with_progress(tuples, batch.progress, batch.time));
+    }
+
+    fn name(&self) -> &'static str {
+        "flat_map"
+    }
+}
+
+/// Forwards batches untouched (useful as a parse/shuffle stage whose
+/// cost is modeled rather than computed).
+#[derive(Default)]
+pub struct Passthrough;
+
+impl Operator for Passthrough {
+    fn on_batch(&mut self, _channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
+        out.push(batch.clone());
+    }
+
+    fn name(&self) -> &'static str {
+        "passthrough"
+    }
+}
+
+/// A pass-through that burns real CPU for a configured duration —
+/// emulates an expensive UDF under the real-time runtime. (Under the
+/// simulator, costs come from the cost model instead; do not use this
+/// there.)
+pub struct SpinMap {
+    spin: Micros,
+}
+
+impl SpinMap {
+    pub fn new(spin: Micros) -> Self {
+        SpinMap { spin }
+    }
+}
+
+impl Operator for SpinMap {
+    fn on_batch(&mut self, _channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
+        let start = std::time::Instant::now();
+        let budget = std::time::Duration::from_micros(self.spin.0);
+        let mut x = 0u64;
+        while start.elapsed() < budget {
+            // Dependency chain the optimizer can't remove.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            std::hint::black_box(x);
+        }
+        out.push(batch.clone());
+    }
+
+    fn name(&self) -> &'static str {
+        "spin_map"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cameo_core::time::LogicalTime;
+
+    fn batch(vals: &[(u64, i64)]) -> Batch {
+        Batch::new(
+            vals.iter()
+                .enumerate()
+                .map(|(i, &(k, v))| Tuple::new(k, v, LogicalTime(i as u64)))
+                .collect(),
+            PhysicalTime(7),
+        )
+    }
+
+    #[test]
+    fn map_transforms_values() {
+        let mut op = MapOp::new(|mut t: Tuple| {
+            t.value *= 2;
+            t
+        });
+        let mut out = Vec::new();
+        op.on_batch(0, &batch(&[(1, 10), (2, 20)]), PhysicalTime(9), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].tuples[0].value, 20);
+        assert_eq!(out[0].tuples[1].value, 40);
+        assert_eq!(out[0].time, PhysicalTime(7), "stamp passes through");
+    }
+
+    #[test]
+    fn filter_keeps_progress_on_empty_output() {
+        let mut op = FilterOp::new(|t: &Tuple| t.value > 100);
+        let mut out = Vec::new();
+        let b = batch(&[(1, 10), (2, 20)]);
+        op.on_batch(0, &b, PhysicalTime(9), &mut out);
+        assert!(out[0].is_empty());
+        assert_eq!(out[0].progress, b.progress, "watermark must still advance");
+    }
+
+    #[test]
+    fn flat_map_expands() {
+        let mut op = FlatMapOp::new(|t: Tuple, out: &mut Vec<Tuple>| {
+            for _ in 0..t.value {
+                out.push(t);
+            }
+        });
+        let mut out = Vec::new();
+        op.on_batch(0, &batch(&[(1, 3)]), PhysicalTime(9), &mut out);
+        assert_eq!(out[0].len(), 3);
+    }
+
+    #[test]
+    fn passthrough_is_identity() {
+        let mut op = Passthrough;
+        let b = batch(&[(5, 50)]);
+        let mut out = Vec::new();
+        op.on_batch(0, &b, PhysicalTime(9), &mut out);
+        assert_eq!(out[0], b);
+    }
+
+    #[test]
+    fn spin_map_burns_time_and_forwards() {
+        let mut op = SpinMap::new(Micros(200));
+        let b = batch(&[(1, 1)]);
+        let mut out = Vec::new();
+        let start = std::time::Instant::now();
+        op.on_batch(0, &b, PhysicalTime(0), &mut out);
+        assert!(start.elapsed().as_micros() >= 200);
+        assert_eq!(out[0], b);
+    }
+}

@@ -1,0 +1,367 @@
+//! Prebuilt query shapes matching the paper's evaluation workloads
+//! (§6.1): multi-stage windowed aggregations (IPQ1–IPQ3) and a windowed
+//! two-stream join (IPQ4), each parameterized so experiments can scale
+//! sources, parallelism, windows and costs.
+//!
+//! All queries follow the four-stage layout of Fig 7(c):
+//!
+//! ```text
+//! stage 0: parse        (regular,   key extraction)
+//! stage 1: local window aggregation (windowed, partial per partition)
+//! stage 2: merge        (windowed, combines partials)
+//! stage 3: final output (windowed, parallelism 1 — the sink)
+//! ```
+
+use crate::graph::{JobBuilder, JobSpec, Routing};
+use crate::operator::OperatorKind;
+use crate::ops::{Aggregation, MapOp, WindowAggregate, WindowJoin};
+use crate::window::WindowSpec;
+use cameo_core::progress::TimeDomain;
+use cameo_core::time::Micros;
+
+/// Per-stage modeled execution costs (per message).
+#[derive(Clone, Copy, Debug)]
+pub struct StageCosts {
+    pub parse: Micros,
+    pub agg: Micros,
+    pub merge: Micros,
+    pub final_: Micros,
+}
+
+impl Default for StageCosts {
+    fn default() -> Self {
+        StageCosts {
+            parse: Micros(100),
+            agg: Micros(150),
+            merge: Micros(100),
+            final_: Micros(50),
+        }
+    }
+}
+
+impl StageCosts {
+    /// Uniformly scale all costs (e.g. to model heavier UDFs).
+    pub fn scaled(self, factor: f64) -> Self {
+        let s = |m: Micros| Micros((m.0 as f64 * factor) as u64);
+        StageCosts {
+            parse: s(self.parse),
+            agg: s(self.agg),
+            merge: s(self.merge),
+            final_: s(self.final_),
+        }
+    }
+}
+
+/// Parameters for a windowed aggregation query.
+#[derive(Clone, Debug)]
+pub struct AggQueryParams {
+    pub name: String,
+    /// Number of client sources (ingest parallelism).
+    pub sources: u32,
+    /// Parallelism of the parse and local-aggregation stages.
+    pub parallelism: u32,
+    /// Merge-stage parallelism.
+    pub merge_parallelism: u32,
+    /// Window size in logical units (microseconds of stream time).
+    pub window: u64,
+    /// Slide for sliding windows; `None` = tumbling.
+    pub slide: Option<u64>,
+    pub latency_constraint: Micros,
+    pub domain: TimeDomain,
+    pub aggregation: Aggregation,
+    /// Key-space size after parsing (group-by cardinality).
+    pub keys: u64,
+    pub costs: StageCosts,
+}
+
+impl AggQueryParams {
+    /// A sensibly sized default: tumbling window, 8 sources, parallelism 4.
+    pub fn new(name: impl Into<String>, window: u64, latency_constraint: Micros) -> Self {
+        AggQueryParams {
+            name: name.into(),
+            sources: 8,
+            parallelism: 4,
+            merge_parallelism: 2,
+            window,
+            slide: None,
+            latency_constraint,
+            domain: TimeDomain::EventTime,
+            aggregation: Aggregation::Sum,
+            keys: 64,
+            costs: StageCosts::default(),
+        }
+    }
+
+    pub fn sliding(mut self, slide: u64) -> Self {
+        assert!(slide > 0 && self.window % slide == 0);
+        self.slide = Some(slide);
+        self
+    }
+
+    pub fn with_sources(mut self, n: u32) -> Self {
+        self.sources = n;
+        self
+    }
+
+    pub fn with_parallelism(mut self, p: u32) -> Self {
+        self.parallelism = p;
+        self
+    }
+
+    pub fn with_aggregation(mut self, a: Aggregation) -> Self {
+        self.aggregation = a;
+        self
+    }
+
+    pub fn with_domain(mut self, d: TimeDomain) -> Self {
+        self.domain = d;
+        self
+    }
+
+    pub fn with_costs(mut self, c: StageCosts) -> Self {
+        self.costs = c;
+        self
+    }
+
+    pub fn with_keys(mut self, k: u64) -> Self {
+        self.keys = k;
+        self
+    }
+}
+
+/// The aggregation used when combining partial aggregates.
+fn merge_aggregation(a: Aggregation) -> Aggregation {
+    match a {
+        Aggregation::Sum | Aggregation::Count => Aggregation::Sum,
+        Aggregation::Min => Aggregation::Min,
+        Aggregation::Max => Aggregation::Max,
+        Aggregation::Mean => panic!("Mean cannot be merged across partials; use Sum/Count"),
+    }
+}
+
+/// Build a multi-stage windowed aggregation job (IPQ1/IPQ2/IPQ3 shape).
+pub fn agg_query(p: &AggQueryParams) -> JobSpec {
+    let local_spec = match p.slide {
+        Some(s) => WindowSpec::sliding(p.window, s),
+        None => WindowSpec::tumbling(p.window),
+    };
+    // Partials of sliding window k carry logical time k·slide + size − 1;
+    // a *tumbling* window of the slide size groups exactly one sliding
+    // window's partials and triggers the instant that window completes.
+    let merge_spec = WindowSpec::tumbling(local_spec.slide().0);
+    let merge_agg = merge_aggregation(p.aggregation);
+
+    let mut b = JobBuilder::new(p.name.clone(), p.latency_constraint, p.domain);
+    let src = b.ingest("sources", p.sources);
+
+    let keys = p.keys;
+    let parse = b.stage(
+        "parse",
+        p.parallelism,
+        OperatorKind::Regular,
+        p.costs.parse,
+        move |_ctx| {
+            Box::new(MapOp::new(move |mut t| {
+                t.key %= keys;
+                t
+            }))
+        },
+    );
+
+    let local_agg = p.aggregation;
+    let local = b.stage(
+        "local-agg",
+        p.parallelism,
+        OperatorKind::Windowed {
+            slide: local_spec.slide(),
+        },
+        p.costs.agg,
+        move |ctx| Box::new(WindowAggregate::new(local_spec, local_agg, ctx.num_channels())),
+    );
+
+    let merge = b.stage(
+        "merge",
+        p.merge_parallelism,
+        OperatorKind::Windowed {
+            slide: merge_spec.slide(),
+        },
+        p.costs.merge,
+        move |ctx| Box::new(WindowAggregate::new(merge_spec, merge_agg, ctx.num_channels())),
+    );
+
+    let final_ = b.stage(
+        "final",
+        1,
+        OperatorKind::Windowed {
+            slide: merge_spec.slide(),
+        },
+        p.costs.final_,
+        move |ctx| Box::new(WindowAggregate::new(merge_spec, merge_agg, ctx.num_channels())),
+    );
+
+    b.connect(src, parse, Routing::Partition);
+    b.connect(parse, local, Routing::Forward);
+    b.connect(local, merge, Routing::Partition);
+    b.connect(merge, final_, Routing::Partition);
+    b.build().expect("agg query shape is valid by construction")
+}
+
+/// Parameters for the windowed-join query (IPQ4 shape).
+#[derive(Clone, Debug)]
+pub struct JoinQueryParams {
+    pub name: String,
+    /// Sources per input stream.
+    pub sources: u32,
+    pub parallelism: u32,
+    pub window: u64,
+    pub latency_constraint: Micros,
+    pub domain: TimeDomain,
+    pub keys: u64,
+    pub costs: StageCosts,
+    /// Cost of the join stage itself (typically the heaviest — IPQ4 has
+    /// "higher execution time with heavy memory access").
+    pub join_cost: Micros,
+}
+
+impl JoinQueryParams {
+    pub fn new(name: impl Into<String>, window: u64, latency_constraint: Micros) -> Self {
+        JoinQueryParams {
+            name: name.into(),
+            sources: 4,
+            parallelism: 4,
+            window,
+            latency_constraint,
+            domain: TimeDomain::EventTime,
+            keys: 64,
+            costs: StageCosts::default(),
+            join_cost: Micros(400),
+        }
+    }
+}
+
+/// Build a two-stream windowed join followed by tumbling aggregation.
+pub fn join_query(p: &JoinQueryParams) -> JobSpec {
+    let win = WindowSpec::tumbling(p.window);
+    let mut b = JobBuilder::new(p.name.clone(), p.latency_constraint, p.domain);
+    let src_l = b.ingest("sources-left", p.sources);
+    let src_r = b.ingest("sources-right", p.sources);
+
+    let keys = p.keys;
+    let mk_parse = move |_ctx: &crate::operator::InstanceCtx| -> Box<dyn crate::operator::Operator> {
+        Box::new(MapOp::new(move |mut t| {
+            t.key %= keys;
+            t
+        }))
+    };
+    let parse_l = b.stage("parse-left", p.parallelism, OperatorKind::Regular, p.costs.parse, mk_parse);
+    let parse_r = b.stage("parse-right", p.parallelism, OperatorKind::Regular, p.costs.parse, mk_parse);
+
+    let join = b.stage(
+        "join",
+        p.parallelism,
+        OperatorKind::Windowed { slide: win.slide() },
+        p.join_cost,
+        move |ctx| Box::new(WindowJoin::new(win, ctx, |l, r| l + r)),
+    );
+
+    let final_ = b.stage(
+        "final",
+        1,
+        OperatorKind::Windowed { slide: win.slide() },
+        p.costs.final_,
+        move |ctx| Box::new(WindowAggregate::new(win, Aggregation::Sum, ctx.num_channels())),
+    );
+
+    b.connect(src_l, parse_l, Routing::Partition);
+    b.connect(src_r, parse_r, Routing::Partition);
+    b.connect(parse_l, join, Routing::Partition);
+    b.connect(parse_r, join, Routing::Partition);
+    b.connect(join, final_, Routing::Partition);
+    b.build().expect("join query shape is valid by construction")
+}
+
+/// IPQ1: periodic tumbling-window revenue sum (§6.1).
+pub fn ipq1(window: u64, latency: Micros) -> JobSpec {
+    agg_query(&AggQueryParams::new("IPQ1", window, latency))
+}
+
+/// IPQ2: the same aggregation on a sliding window (half-window slide).
+pub fn ipq2(window: u64, latency: Micros) -> JobSpec {
+    agg_query(&AggQueryParams::new("IPQ2", window, latency).sliding(window / 2))
+}
+
+/// IPQ3: event counts grouped by criterion (larger key space).
+pub fn ipq3(window: u64, latency: Micros) -> JobSpec {
+    agg_query(
+        &AggQueryParams::new("IPQ3", window, latency)
+            .with_aggregation(Aggregation::Count)
+            .with_keys(256),
+    )
+}
+
+/// IPQ4: windowed join of two log streams + tumbling aggregation.
+pub fn ipq4(window: u64, latency: Micros) -> JobSpec {
+    join_query(&JoinQueryParams::new("IPQ4", window, latency))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::{ExpandOptions, ExpandedJob};
+    use cameo_core::ids::JobId;
+
+    #[test]
+    fn ipq1_shape() {
+        let j = ipq1(1_000_000, Micros::from_millis(800));
+        assert_eq!(j.stages.len(), 5); // sources + 4 computing stages
+        assert_eq!(j.stages[4].name, "final");
+        assert!(j.is_sink(crate::graph::StageId(4)));
+        // The critical path below sources covers all four stages.
+        let c = j.critical_path_below(crate::graph::StageId(0));
+        assert_eq!(c, Micros(100 + 150 + 100 + 50));
+    }
+
+    #[test]
+    fn ipq2_uses_sliding_local_and_tumbling_merge() {
+        let j = ipq2(1_000_000, Micros::from_millis(800));
+        use cameo_core::transform::Slide;
+        // Local stage slides by half the window.
+        assert_eq!(j.stages[2].kind.slide(), Slide(500_000));
+        // Merge stage tumbles at the slide granularity.
+        assert_eq!(j.stages[3].kind.slide(), Slide(500_000));
+    }
+
+    #[test]
+    fn ipq4_has_two_ingests_and_join() {
+        let j = ipq4(1_000_000, Micros::from_millis(800));
+        let ingests = j.stages.iter().filter(|s| s.is_ingest()).count();
+        assert_eq!(ingests, 2);
+        assert!(j.stages.iter().any(|s| s.name == "join"));
+    }
+
+    #[test]
+    fn queries_expand_cleanly() {
+        for spec in [
+            ipq1(1_000_000, Micros(800_000)),
+            ipq2(1_000_000, Micros(800_000)),
+            ipq3(1_000_000, Micros(800_000)),
+            ipq4(1_000_000, Micros(800_000)),
+        ] {
+            let j = ExpandedJob::expand(&spec, JobId(1), &ExpandOptions::default());
+            assert!(!j.ingests.is_empty());
+            assert!(j.instances.iter().any(|i| i.is_sink));
+            // Every non-ingest instance has at least one input channel.
+            for inst in j.instances.iter().filter(|i| !i.is_ingest()) {
+                assert!(inst.num_channels() > 0, "{} lacks inputs", inst.stage_name);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mean_cannot_merge() {
+        let _ = agg_query(
+            &AggQueryParams::new("bad", 1_000, Micros(1)).with_aggregation(Aggregation::Mean),
+        );
+    }
+}

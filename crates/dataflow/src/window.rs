@@ -1,0 +1,188 @@
+//! Window specifications and assignment (§4.1: "windowed operators
+//! partition the data stream into sections by logical times and trigger
+//! only when all data from the section are observed").
+//!
+//! Windows are half-open intervals of logical time. A **tumbling**
+//! window of size `w` covers `[k·w, (k+1)·w)`; a **sliding** window of
+//! size `w` and slide `s` (with `s ≤ w`) covers `[k·s, k·s + w)` for
+//! every integer `k`, so each tuple belongs to `w/s` windows.
+
+use cameo_core::time::LogicalTime;
+use cameo_core::transform::Slide;
+
+/// A window specification over logical time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// Consecutive, non-overlapping windows of `size` logical units.
+    Tumbling { size: u64 },
+    /// Overlapping windows of `size` units advancing by `slide`.
+    Sliding { size: u64, slide: u64 },
+}
+
+impl WindowSpec {
+    pub fn tumbling(size: u64) -> Self {
+        assert!(size > 0, "window size must be positive");
+        WindowSpec::Tumbling { size }
+    }
+
+    pub fn sliding(size: u64, slide: u64) -> Self {
+        assert!(slide > 0 && size >= slide, "need 0 < slide <= size");
+        assert!(size % slide == 0, "size must be a multiple of slide");
+        WindowSpec::Sliding { size, slide }
+    }
+
+    /// The operator's trigger step (`S_o` in §4.3): window size for
+    /// tumbling, slide for sliding windows.
+    pub fn slide(&self) -> Slide {
+        match *self {
+            WindowSpec::Tumbling { size } => Slide(size),
+            WindowSpec::Sliding { slide, .. } => Slide(slide),
+        }
+    }
+
+    pub fn size(&self) -> u64 {
+        match *self {
+            WindowSpec::Tumbling { size } => size,
+            WindowSpec::Sliding { size, .. } => size,
+        }
+    }
+
+    /// Ids of the windows containing logical time `p`. Window `k` covers
+    /// `[k·slide, k·slide + size)`; the id is `k`.
+    pub fn windows_for(&self, p: LogicalTime) -> WindowIter {
+        let (size, slide) = (self.size(), self.slide().0);
+        let last = p.0 / slide; // largest k with k*slide <= p
+        // smallest k with k*slide + size > p, clamped at 0
+        let first = (p.0 + slide).saturating_sub(size) / slide;
+        WindowIter {
+            next: first,
+            last,
+            slide,
+            size,
+        }
+    }
+
+    /// The logical end (trigger point) of window `k`.
+    pub fn window_end(&self, k: u64) -> LogicalTime {
+        LogicalTime(k.saturating_mul(self.slide().0).saturating_add(self.size()))
+    }
+
+    /// The logical start of window `k`.
+    pub fn window_start(&self, k: u64) -> LogicalTime {
+        LogicalTime(k.saturating_mul(self.slide().0))
+    }
+}
+
+/// Iterator over the window ids a tuple belongs to.
+pub struct WindowIter {
+    next: u64,
+    last: u64,
+    slide: u64,
+    size: u64,
+}
+
+impl Iterator for WindowIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.next > self.last {
+            return None;
+        }
+        let k = self.next;
+        self.next += 1;
+        Some(k)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.last + 1 - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl WindowIter {
+    /// Number of windows a tuple belongs to (`size / slide`).
+    pub fn expected(&self) -> u64 {
+        self.size / self.slide
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_assignment_is_unique() {
+        let w = WindowSpec::tumbling(10);
+        assert_eq!(w.windows_for(LogicalTime(0)).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(w.windows_for(LogicalTime(9)).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(w.windows_for(LogicalTime(10)).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(w.windows_for(LogicalTime(25)).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn tumbling_bounds() {
+        let w = WindowSpec::tumbling(10);
+        assert_eq!(w.window_start(2), LogicalTime(20));
+        assert_eq!(w.window_end(2), LogicalTime(30));
+        assert_eq!(w.slide(), Slide(10));
+    }
+
+    #[test]
+    fn sliding_assignment_overlaps() {
+        // size 30, slide 10: tuple at p=25 is in windows starting at 0, 10, 20.
+        let w = WindowSpec::sliding(30, 10);
+        assert_eq!(
+            w.windows_for(LogicalTime(25)).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // Early tuples belong to fewer windows (no negative starts).
+        assert_eq!(w.windows_for(LogicalTime(5)).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(
+            w.windows_for(LogicalTime(15)).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn sliding_window_count_matches_ratio() {
+        let w = WindowSpec::sliding(40, 10);
+        // A mature tuple belongs to exactly size/slide windows.
+        let ids: Vec<_> = w.windows_for(LogicalTime(100)).collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids, vec![7, 8, 9, 10]);
+        for &k in &ids {
+            let start = w.window_start(k).0;
+            let end = w.window_end(k).0;
+            assert!(start <= 100 && 100 < end, "window {k} [{start},{end}) must contain 100");
+        }
+    }
+
+    #[test]
+    fn every_window_containing_p_is_reported() {
+        let w = WindowSpec::sliding(50, 10);
+        for p in 0..200u64 {
+            let ids: Vec<u64> = w.windows_for(LogicalTime(p)).collect();
+            for k in 0..30u64 {
+                let contains = w.window_start(k).0 <= p && p < w.window_end(k).0;
+                assert_eq!(
+                    ids.contains(&k),
+                    contains,
+                    "p={p} window={k} mismatch (ids={ids:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn slide_larger_than_size_rejected() {
+        let _ = WindowSpec::sliding(10, 20);
+    }
+
+    #[test]
+    fn slide_accessors() {
+        assert_eq!(WindowSpec::tumbling(7).slide(), Slide(7));
+        assert_eq!(WindowSpec::sliding(20, 5).slide(), Slide(5));
+        assert_eq!(WindowSpec::sliding(20, 5).size(), 20);
+    }
+}

@@ -1,0 +1,36 @@
+//! # cameo-runtime
+//!
+//! The real-time actor runtime for Cameo: the Flare/Orleans role of the
+//! paper's stack, rebuilt from scratch. A pool of worker threads drains
+//! the Cameo scheduler under wall-clock time; operators run with actor
+//! exclusivity (one message at a time), priorities come from the same
+//! `cameo-core` context machinery the simulator uses, and events can be
+//! ingested in-process or over TCP with length-prefixed framing.
+//!
+//! ```no_run
+//! use cameo_runtime::prelude::*;
+//! use cameo_dataflow::prelude::*;
+//! use cameo_core::prelude::*;
+//!
+//! let rt = Runtime::start(RuntimeConfig::default().with_workers(4));
+//! let spec = ipq1(1_000_000, Micros::from_millis(800));
+//! let job = rt.deploy(&spec, &ExpandOptions::default());
+//! rt.ingest(job, 0, vec![Tuple::new(1, 42, LogicalTime(0))]);
+//! let stats = rt.job_stats(job);
+//! println!("outputs so far: {}", stats.outputs);
+//! rt.shutdown();
+//! ```
+
+pub mod msg;
+pub mod net;
+pub mod runtime;
+pub mod stats;
+
+pub mod prelude {
+    pub use crate::msg::RtMsg;
+    pub use crate::net::{
+        decode_payload, encode_frame, read_frame, IngestClient, IngestFrame, IngestServer,
+    };
+    pub use crate::runtime::{JobHandle, OutputEvent, Runtime, RuntimeConfig};
+    pub use crate::stats::{JobStats, JobStatsSnapshot};
+}

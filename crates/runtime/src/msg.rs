@@ -1,0 +1,22 @@
+//! Runtime message envelope (the real-time twin of the simulator's
+//! `SimMsg`).
+
+use cameo_core::context::PriorityContext;
+use cameo_dataflow::event::Batch;
+
+/// Reply address: `(job index, instance index, sender out-edge)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SenderRef {
+    pub job: u32,
+    pub op: u32,
+    pub edge: u32,
+}
+
+/// One scheduled message.
+#[derive(Clone, Debug)]
+pub struct RtMsg {
+    pub channel: u32,
+    pub batch: Batch,
+    pub pc: PriorityContext,
+    pub sender: Option<SenderRef>,
+}

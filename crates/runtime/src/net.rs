@@ -1,0 +1,309 @@
+//! TCP event ingestion: remote clients feed tuples into a deployed job
+//! over a length-prefixed binary protocol.
+//!
+//! The paper's testbed drives servers from 16 separate client machines;
+//! this module is that wire path. Framing follows the networking-guide
+//! conventions: a 4-byte big-endian length prefix, then the payload —
+//! explicit bounds, no partial-frame surprises, and a hard frame-size
+//! cap so a misbehaving client cannot balloon memory.
+//!
+//! ```text
+//! frame   := len:u32be payload
+//! payload := job:u32le source:u32le count:u32le tuple*
+//! tuple   := key:u64le value:i64le time:u64le
+//! ```
+
+use crate::runtime::{JobHandle, Runtime};
+use cameo_core::time::LogicalTime;
+use cameo_dataflow::event::Tuple;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Maximum accepted frame, matching a generous batch of ~43k tuples.
+pub const MAX_FRAME: u32 = 1 << 20;
+const TUPLE_WIRE: usize = 24;
+const HEADER_WIRE: usize = 12;
+
+/// One decoded ingest frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IngestFrame {
+    pub job: u32,
+    pub source: u32,
+    pub tuples: Vec<Tuple>,
+}
+
+/// Encode a frame (length prefix included).
+pub fn encode_frame(frame: &IngestFrame) -> Vec<u8> {
+    let payload_len = HEADER_WIRE + frame.tuples.len() * TUPLE_WIRE;
+    let mut buf = Vec::with_capacity(4 + payload_len);
+    buf.extend_from_slice(&(payload_len as u32).to_be_bytes());
+    buf.extend_from_slice(&frame.job.to_le_bytes());
+    buf.extend_from_slice(&frame.source.to_le_bytes());
+    buf.extend_from_slice(&(frame.tuples.len() as u32).to_le_bytes());
+    for t in &frame.tuples {
+        buf.extend_from_slice(&t.key.to_le_bytes());
+        buf.extend_from_slice(&t.value.to_le_bytes());
+        buf.extend_from_slice(&t.time.0.to_le_bytes());
+    }
+    buf
+}
+
+/// Decode a payload (after the length prefix has been stripped).
+pub fn decode_payload(payload: &[u8]) -> io::Result<IngestFrame> {
+    if payload.len() < HEADER_WIRE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "payload shorter than header",
+        ));
+    }
+    let job = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+    let source = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+    let count = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+    let expect = HEADER_WIRE + count * TUPLE_WIRE;
+    if payload.len() != expect {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame: {} bytes for {count} tuples", payload.len()),
+        ));
+    }
+    let mut tuples = Vec::with_capacity(count);
+    let mut off = HEADER_WIRE;
+    for _ in 0..count {
+        let key = u64::from_le_bytes(payload[off..off + 8].try_into().unwrap());
+        let value = i64::from_le_bytes(payload[off + 8..off + 16].try_into().unwrap());
+        let time = u64::from_le_bytes(payload[off + 16..off + 24].try_into().unwrap());
+        tuples.push(Tuple::new(key, value, LogicalTime(time)));
+        off += TUPLE_WIRE;
+    }
+    Ok(IngestFrame {
+        job,
+        source,
+        tuples,
+    })
+}
+
+/// Read one frame from a stream. `Ok(None)` signals a clean EOF at a
+/// frame boundary.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<IngestFrame>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    decode_payload(&payload).map(Some)
+}
+
+/// A TCP ingestion server feeding a [`Runtime`]. One thread per
+/// connection (client counts are small: the paper uses 16 client
+/// machines).
+pub struct IngestServer {
+    addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    frames: Arc<AtomicU64>,
+}
+
+impl IngestServer {
+    /// Bind and start serving. Frames for unknown jobs are dropped
+    /// (counted, not fatal): clients may race deployment.
+    pub fn start(runtime: Arc<Runtime>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let frames = Arc::new(AtomicU64::new(0));
+        let stop2 = stop.clone();
+        let frames2 = frames.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("cameo-ingest-accept".into())
+            .spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                while !stop2.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            stream.set_nonblocking(false).ok();
+                            let rt = runtime.clone();
+                            let stop3 = stop2.clone();
+                            let frames3 = frames2.clone();
+                            conns.push(
+                                std::thread::Builder::new()
+                                    .name("cameo-ingest-conn".into())
+                                    .spawn(move || serve_conn(rt, stream, stop3, frames3))
+                                    .expect("spawn conn thread"),
+                            );
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for c in conns {
+                    let _ = c.join();
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(IngestServer {
+            addr: local,
+            accept_thread: Some(accept_thread),
+            stop,
+            frames,
+        })
+    }
+
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Frames successfully ingested so far.
+    pub fn frames_received(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IngestServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_conn(
+    rt: Arc<Runtime>,
+    mut stream: TcpStream,
+    stop: Arc<AtomicBool>,
+    frames: Arc<AtomicU64>,
+) {
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .ok();
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match read_frame(&mut stream) {
+            Ok(Some(frame)) => {
+                rt.ingest(JobHandle(frame.job), frame.source, frame.tuples);
+                frames.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(None) => return, // clean EOF
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // poll the stop flag
+            }
+            Err(_) => return, // protocol violation or reset
+        }
+    }
+}
+
+/// Client-side sender.
+pub struct IngestClient {
+    stream: TcpStream,
+}
+
+impl IngestClient {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(IngestClient { stream })
+    }
+
+    pub fn send(&mut self, frame: &IngestFrame) -> io::Result<()> {
+        self.stream.write_all(&encode_frame(frame))
+    }
+
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(n: usize) -> IngestFrame {
+        IngestFrame {
+            job: 3,
+            source: 7,
+            tuples: (0..n as u64)
+                .map(|i| Tuple::new(i, i as i64 * 2, LogicalTime(1_000 + i)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = frame(5);
+        let bytes = encode_frame(&f);
+        let decoded = decode_payload(&bytes[4..]).unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn empty_frame_roundtrip() {
+        let f = frame(0);
+        let bytes = encode_frame(&f);
+        assert_eq!(decode_payload(&bytes[4..]).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let f = frame(3);
+        let bytes = encode_frame(&f);
+        assert!(decode_payload(&bytes[4..bytes.len() - 1]).is_err());
+        assert!(decode_payload(&bytes[4..10]).is_err());
+    }
+
+    #[test]
+    fn corrupt_count_rejected() {
+        let f = frame(2);
+        let mut bytes = encode_frame(&f);
+        // Claim 100 tuples in the header.
+        bytes[4 + 8..4 + 12].copy_from_slice(&100u32.to_le_bytes());
+        assert!(decode_payload(&bytes[4..]).is_err());
+    }
+
+    #[test]
+    fn read_frame_streams_multiple() {
+        let a = frame(2);
+        let b = frame(4);
+        let mut bytes = encode_frame(&a);
+        bytes.extend_from_slice(&encode_frame(&b));
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), a);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut bytes = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

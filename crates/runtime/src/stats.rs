@@ -1,0 +1,104 @@
+//! Runtime-side job statistics: thread-safe latency recording at sinks.
+
+use cameo_core::stats::Histogram;
+use cameo_core::time::{Micros, PhysicalTime};
+use parking_lot::Mutex;
+
+/// Snapshot of a job's output statistics.
+#[derive(Clone, Debug)]
+pub struct JobStatsSnapshot {
+    pub outputs: u64,
+    pub output_tuples: u64,
+    pub on_time: u64,
+    pub p50: Micros,
+    pub p99: Micros,
+    pub max: Micros,
+    pub mean: Micros,
+}
+
+impl JobStatsSnapshot {
+    pub fn success_rate(&self) -> f64 {
+        if self.outputs == 0 {
+            0.0
+        } else {
+            self.on_time as f64 / self.outputs as f64
+        }
+    }
+}
+
+/// Accumulates output latencies for one job.
+pub struct JobStats {
+    constraint: Micros,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    latency: Histogram,
+    outputs: u64,
+    output_tuples: u64,
+    on_time: u64,
+}
+
+impl JobStats {
+    pub fn new(constraint: Micros) -> Self {
+        JobStats {
+            constraint,
+            inner: Mutex::new(Inner {
+                latency: Histogram::new(),
+                outputs: 0,
+                output_tuples: 0,
+                on_time: 0,
+            }),
+        }
+    }
+
+    pub fn record(&self, produced_at: PhysicalTime, input_time: PhysicalTime, tuples: usize) {
+        let latency = produced_at - input_time;
+        let mut g = self.inner.lock();
+        g.latency.record(latency);
+        g.outputs += 1;
+        g.output_tuples += tuples as u64;
+        if latency <= self.constraint {
+            g.on_time += 1;
+        }
+    }
+
+    pub fn snapshot(&self) -> JobStatsSnapshot {
+        let g = self.inner.lock();
+        JobStatsSnapshot {
+            outputs: g.outputs,
+            output_tuples: g.output_tuples,
+            on_time: g.on_time,
+            p50: g.latency.median(),
+            p99: g.latency.percentile(99.0),
+            max: g.latency.max(),
+            mean: g.latency.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let s = JobStats::new(Micros(1_000));
+        s.record(PhysicalTime(1_500), PhysicalTime(1_000), 3); // 500us: on time
+        s.record(PhysicalTime(9_000), PhysicalTime(1_000), 2); // 8ms: late
+        let snap = s.snapshot();
+        assert_eq!(snap.outputs, 2);
+        assert_eq!(snap.output_tuples, 5);
+        assert_eq!(snap.on_time, 1);
+        assert!((snap.success_rate() - 0.5).abs() < 1e-9);
+        assert!(snap.p99 >= snap.p50);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = JobStats::new(Micros(1));
+        let snap = s.snapshot();
+        assert_eq!(snap.outputs, 0);
+        assert_eq!(snap.success_rate(), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Execution cost model: how long a message occupies a worker.
+//!
+//! `cost = stage base cost + per-tuple cost × batch size`, plus a
+//! context-switch penalty when a worker changes operators (the
+//! mechanism behind Fig 14's "finest granularity causes longer latency
+//! tail due to frequent context switches").
+//!
+//! Fig 16 perturbs the *measured profile* (`C_OM` from Eq. 3) rather
+//! than the actual execution time; [`CostModel::perturb_measurement`]
+//! implements exactly that: Gaussian noise applied to the value the
+//! profiler records, leaving the charged execution time untouched.
+
+use cameo_core::time::Micros;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+#[derive(Clone, Copy, Debug)]
+pub struct CostConfig {
+    /// Cost per tuple in nanoseconds (batch-size dependent share).
+    pub per_tuple_ns: u64,
+    /// Worker-side cost of switching to a different operator.
+    pub ctx_switch: Micros,
+    /// Std-dev of Gaussian noise on *measured* costs (Fig 16); zero
+    /// disables perturbation.
+    pub measure_sigma: Micros,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        CostConfig {
+            per_tuple_ns: 100,
+            ctx_switch: Micros(5),
+            measure_sigma: Micros::ZERO,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    pub config: CostConfig,
+}
+
+impl CostModel {
+    pub fn new(config: CostConfig) -> Self {
+        CostModel { config }
+    }
+
+    /// Execution cost charged to a worker for one message.
+    pub fn message_cost(&self, base: Micros, tuples: usize) -> Micros {
+        let tuple_cost_us = (self.config.per_tuple_ns * tuples as u64) / 1_000;
+        base + Micros(tuple_cost_us)
+    }
+
+    /// The value the profiler records for this execution (possibly
+    /// noisy — Fig 16's measurement-inaccuracy study).
+    pub fn perturb_measurement(&self, actual: Micros, rng: &mut ChaCha8Rng) -> Micros {
+        let sigma = self.config.measure_sigma.0 as f64;
+        if sigma == 0.0 {
+            return actual;
+        }
+        // Box-Muller: two uniforms -> one standard normal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let noisy = actual.0 as f64 + z * sigma;
+        Micros(noisy.max(0.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn message_cost_scales_with_tuples() {
+        let m = CostModel::new(CostConfig {
+            per_tuple_ns: 100,
+            ..Default::default()
+        });
+        assert_eq!(m.message_cost(Micros(50), 0), Micros(50));
+        assert_eq!(m.message_cost(Micros(50), 1_000), Micros(150));
+        assert_eq!(m.message_cost(Micros(0), 10_000), Micros(1_000));
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let m = CostModel::new(CostConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(m.perturb_measurement(Micros(500), &mut rng), Micros(500));
+    }
+
+    #[test]
+    fn perturbation_is_unbiased_and_spread() {
+        let m = CostModel::new(CostConfig {
+            measure_sigma: Micros(1_000),
+            ..Default::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let actual = Micros(10_000);
+        let n = 4_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| m.perturb_measurement(actual, &mut rng).0 as f64)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 10_000.0).abs() < 100.0, "mean {mean}");
+        let sd = var.sqrt();
+        assert!((sd - 1_000.0).abs() < 100.0, "sd {sd}");
+    }
+
+    #[test]
+    fn perturbation_clamps_at_zero() {
+        let m = CostModel::new(CostConfig {
+            measure_sigma: Micros(1_000_000),
+            ..Default::default()
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            // Never panics / wraps below zero.
+            let _ = m.perturb_measurement(Micros(10), &mut rng);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The simulator's message envelope: a data batch plus its Priority
+//! Context and the reply address.
+
+use cameo_core::context::PriorityContext;
+use cameo_dataflow::event::Batch;
+
+/// Address of an operator instance: `(job index, instance index)` in
+/// the engine's job table, plus the sender's out-edge ordinal for the
+/// reply path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SenderRef {
+    pub job: u16,
+    pub op: u32,
+    pub edge: u32,
+}
+
+/// One scheduled message: what the two-level queue holds.
+#[derive(Clone, Debug)]
+pub struct SimMsg {
+    /// Input channel at the target instance.
+    pub channel: u32,
+    pub batch: Batch,
+    pub pc: PriorityContext,
+    /// Where acknowledgements (Reply Contexts) go; `None` suppresses
+    /// the reply (not used in normal operation).
+    pub sender: Option<SenderRef>,
+}

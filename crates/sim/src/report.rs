@@ -1,0 +1,109 @@
+//! Plain-text table formatting for experiment output. The benchmark
+//! binaries print the same rows/series the paper's figures plot; this
+//! keeps the formatting consistent and dependency-free.
+
+use cameo_core::time::Micros;
+
+/// Render a table with a header row. Columns are sized to content.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", render_table(title, headers, rows));
+}
+
+/// Format microseconds as adaptive ms/s string.
+pub fn fmt_us(us: u64) -> String {
+    format!("{}", Micros(us))
+}
+
+/// Format a ratio as `N.NNx`.
+pub fn fmt_ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "inf".into()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+/// A simple ASCII CDF from samples: returns (value, percentile) points.
+pub fn cdf_points(samples: &[u64], points: usize) -> Vec<(u64, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    (1..=points)
+        .map(|i| {
+            let q = i as f64 / points as f64;
+            let idx = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+            (v[idx], q * 100.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = render_table(
+            "T",
+            &["col", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(s.contains("== T =="));
+        assert!(s.contains("col     value"));
+        assert!(s.contains("longer  22"));
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let samples: Vec<u64> = (0..1000).rev().collect();
+        let cdf = cdf_points(&samples, 10);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().0, 999);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(4.0, 2.0), "2.00x");
+        assert_eq!(fmt_ratio(1.0, 0.0), "inf");
+    }
+}

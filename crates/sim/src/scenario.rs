@@ -1,0 +1,220 @@
+//! Scenario builder: the high-level entry point experiments use.
+//!
+//! A scenario bundles a cluster, a set of jobs (query spec + workload +
+//! deployment options) and a scheduler choice, runs the engine, and
+//! returns a [`SimReport`]. Every benchmark binary in `cameo-bench`
+//! goes through this layer.
+
+use crate::cluster::{ClusterSpec, Placement};
+use crate::costmodel::CostConfig;
+use crate::engine::{Engine, EngineConfig, SchedulerKind};
+use crate::metrics::{JobMetrics, SimMetrics};
+use crate::workload::{WorkloadGen, WorkloadSpec};
+use cameo_core::ids::JobId;
+use cameo_core::time::Micros;
+use cameo_dataflow::expand::{ExpandOptions, ExpandedJob};
+use cameo_dataflow::graph::JobSpec;
+
+/// One job plus its workload and deployment options.
+pub struct JobSetup {
+    pub spec: JobSpec,
+    pub workload: WorkloadSpec,
+    pub opts: ExpandOptions,
+}
+
+/// A full experiment configuration.
+pub struct Scenario {
+    pub cluster: ClusterSpec,
+    pub sched: SchedulerKind,
+    pub quantum: Micros,
+    pub cost: CostConfig,
+    pub seed: u64,
+    pub capture_outputs: bool,
+    pub record_schedule: bool,
+    pub record_processing: bool,
+    pub placement: Placement,
+    pub disable_replies: bool,
+    jobs: Vec<JobSetup>,
+}
+
+impl Scenario {
+    pub fn new(cluster: ClusterSpec, sched: SchedulerKind) -> Self {
+        Scenario {
+            cluster,
+            sched,
+            quantum: Micros::from_millis(1),
+            cost: CostConfig::default(),
+            seed: 1,
+            capture_outputs: false,
+            record_schedule: false,
+            record_processing: false,
+            placement: Placement::default(),
+            disable_replies: false,
+            jobs: Vec::new(),
+        }
+    }
+
+    pub fn with_quantum(mut self, q: Micros) -> Self {
+        self.quantum = q;
+        self
+    }
+
+    pub fn with_cost(mut self, c: CostConfig) -> Self {
+        self.cost = c;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn capture_outputs(mut self, on: bool) -> Self {
+        self.capture_outputs = on;
+        self
+    }
+
+    pub fn record_schedule(mut self, on: bool) -> Self {
+        self.record_schedule = on;
+        self
+    }
+
+    pub fn record_processing(mut self, on: bool) -> Self {
+        self.record_processing = on;
+        self
+    }
+
+    pub fn with_placement(mut self, p: Placement) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Ablation: turn off the Reply Context feedback path.
+    pub fn disable_replies(mut self, off: bool) -> Self {
+        self.disable_replies = off;
+        self
+    }
+
+    pub fn add_job(&mut self, spec: JobSpec, workload: WorkloadSpec) -> &mut Self {
+        self.add_job_with(spec, workload, ExpandOptions::default())
+    }
+
+    pub fn add_job_with(
+        &mut self,
+        spec: JobSpec,
+        workload: WorkloadSpec,
+        opts: ExpandOptions,
+    ) -> &mut Self {
+        assert_eq!(
+            spec.stages.iter().filter(|s| s.is_ingest()).map(|s| s.parallelism).sum::<u32>()
+                as usize,
+            workload.sources.len(),
+            "workload must define one source pattern per ingest instance of '{}'",
+            spec.name
+        );
+        self.jobs.push(JobSetup {
+            spec,
+            workload,
+            opts,
+        });
+        self
+    }
+
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Run the scenario to completion.
+    pub fn run(self) -> SimReport {
+        let label = self.sched.label();
+        let mut cfg = EngineConfig::new(self.cluster, self.sched);
+        cfg.quantum = self.quantum;
+        cfg.cost = self.cost;
+        cfg.seed = self.seed;
+        cfg.capture_outputs = self.capture_outputs;
+        cfg.record_schedule = self.record_schedule;
+        cfg.record_processing = self.record_processing;
+        cfg.placement = self.placement;
+        cfg.disable_replies = self.disable_replies;
+        let mut engine_jobs = Vec::with_capacity(self.jobs.len());
+        for (i, setup) in self.jobs.into_iter().enumerate() {
+            let exp = ExpandedJob::expand(&setup.spec, JobId(i as u32), &setup.opts);
+            let gen = WorkloadGen::new(setup.workload, self.seed.wrapping_add(i as u64 * 7919));
+            engine_jobs.push((exp, Some(gen)));
+        }
+        let workers = self.cluster.workers_per_node;
+        let metrics = Engine::new(cfg, engine_jobs).run();
+        SimReport {
+            label,
+            workers_per_node: workers,
+            metrics,
+        }
+    }
+}
+
+/// Results of one scenario run.
+pub struct SimReport {
+    pub label: String,
+    pub workers_per_node: u16,
+    pub metrics: SimMetrics,
+}
+
+impl SimReport {
+    pub fn job(&self, i: usize) -> &JobMetrics {
+        &self.metrics.jobs[i]
+    }
+
+    pub fn utilization(&self) -> f64 {
+        self.metrics.utilization(self.workers_per_node)
+    }
+
+    /// Merge latency samples of a group of jobs (e.g. "all group 1
+    /// jobs") into (p50, p99) in microseconds.
+    pub fn group_percentiles(&self, jobs: &[usize], qs: &[f64]) -> Vec<u64> {
+        let mut samples = Vec::new();
+        for &j in jobs {
+            samples.extend_from_slice(&self.metrics.jobs[j].samples);
+        }
+        qs.iter()
+            .map(|&q| cameo_core::stats::exact_percentile(&samples, q))
+            .collect()
+    }
+
+    /// Combined success rate over a group of jobs.
+    pub fn group_success(&self, jobs: &[usize]) -> f64 {
+        let (mut on, mut total) = (0u64, 0u64);
+        for &j in jobs {
+            on += self.metrics.jobs[j].on_time;
+            total += self.metrics.jobs[j].outputs;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            on as f64 / total as f64
+        }
+    }
+
+    /// One-line summary per job.
+    pub fn print_summary(&self) {
+        println!(
+            "[{}] util={:.1}% executions={} delivered={} swaps={}",
+            self.label,
+            self.utilization() * 100.0,
+            self.metrics.executions,
+            self.metrics.delivered,
+            self.metrics.sched.quantum_swaps,
+        );
+        for j in &self.metrics.jobs {
+            println!(
+                "  {:<12} outputs={:<6} p50={:<10} p99={:<10} max={:<10} success={:.1}% tuples={}",
+                j.name,
+                j.outputs,
+                format!("{}", j.median()),
+                format!("{}", j.percentile(99.0)),
+                format!("{}", Micros(j.samples.iter().copied().max().unwrap_or(0))),
+                j.success_rate() * 100.0,
+                j.output_tuples,
+            );
+        }
+    }
+}

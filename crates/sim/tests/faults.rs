@@ -1,0 +1,84 @@
+//! Fault-injection and ablation behavior of the simulator.
+
+use cameo_core::time::Micros;
+use cameo_dataflow::queries::{agg_query, AggQueryParams};
+use cameo_sim::prelude::*;
+
+fn base_scenario(sched: SchedulerKind, jitter: Micros, no_replies: bool) -> Scenario {
+    let mut sc = Scenario::new(
+        ClusterSpec::new(2, 2).with_net_jitter(jitter),
+        sched,
+    )
+    .with_seed(17)
+    .capture_outputs(true)
+    .disable_replies(no_replies);
+    let params = AggQueryParams::new("f", 500_000, Micros::from_millis(800))
+        .with_sources(4)
+        .with_parallelism(2)
+        .with_keys(16);
+    let mut wl = WorkloadSpec::constant(4, 20.0, 40, Micros::from_secs(2));
+    wl.keys = 16;
+    sc.add_job(agg_query(&params), wl);
+    sc
+}
+
+#[test]
+fn jitter_preserves_answers() {
+    // Delay jitter reorders deliveries across channels but never within
+    // one channel, so windowed answers must be identical.
+    let clean = base_scenario(SchedulerKind::Cameo(PolicyKind::Llf), Micros::ZERO, false).run();
+    let jittered = base_scenario(
+        SchedulerKind::Cameo(PolicyKind::Llf),
+        Micros::from_millis(5),
+        false,
+    )
+    .run();
+    let mut a = clean.job(0).captured.as_ref().unwrap().clone();
+    let mut b = jittered.job(0).captured.as_ref().unwrap().clone();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "jitter must not change window results");
+    assert!(jittered.job(0).outputs > 0);
+}
+
+#[test]
+fn jitter_is_deterministic() {
+    let run = || {
+        let r = base_scenario(
+            SchedulerKind::Cameo(PolicyKind::Llf),
+            Micros::from_millis(3),
+            false,
+        )
+        .run();
+        (r.job(0).samples.clone(), r.metrics.executions)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn jitter_increases_latency_floor() {
+    let clean = base_scenario(SchedulerKind::Cameo(PolicyKind::Llf), Micros::ZERO, false).run();
+    let jittered = base_scenario(
+        SchedulerKind::Cameo(PolicyKind::Llf),
+        Micros::from_millis(10),
+        false,
+    )
+    .run();
+    assert!(
+        jittered.job(0).median() > clean.job(0).median(),
+        "10ms jitter must raise the median ({} vs {})",
+        jittered.job(0).median(),
+        clean.job(0).median()
+    );
+}
+
+#[test]
+fn disabled_replies_still_compute_correctly() {
+    let with = base_scenario(SchedulerKind::Cameo(PolicyKind::Llf), Micros::ZERO, false).run();
+    let without = base_scenario(SchedulerKind::Cameo(PolicyKind::Llf), Micros::ZERO, true).run();
+    let mut a = with.job(0).captured.as_ref().unwrap().clone();
+    let mut b = without.job(0).captured.as_ref().unwrap().clone();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "the reply path must not affect answers");
+}

@@ -1,0 +1,79 @@
+//! Quickstart: deploy a windowed aggregation on the real-time runtime,
+//! stream events at it, and watch deadline-aware scheduling at work.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cameo::prelude::*;
+use std::time::{Duration, Instant};
+
+fn main() {
+    // A runtime with 4 worker threads and the default LLF policy.
+    let rt = Runtime::start(RuntimeConfig::default().with_workers(4));
+
+    // IPQ1: parse -> per-partition windowed sum -> merge -> final.
+    // 100ms tumbling windows, 80ms end-to-end latency target.
+    let spec = agg_query(
+        &AggQueryParams::new("quickstart", 100_000, Micros::from_millis(80))
+            .with_sources(4)
+            .with_parallelism(2)
+            .with_keys(16)
+            .with_domain(TimeDomain::IngestionTime),
+    );
+    let job = rt.deploy(&spec, &ExpandOptions::default());
+    let outputs = rt.subscribe(job);
+
+    // Stream ~2 seconds of events from 4 sources: 50 tuples per message,
+    // 20 messages per second per source.
+    let start = Instant::now();
+    let mut sent = 0u64;
+    while start.elapsed() < Duration::from_secs(2) {
+        for source in 0..4u32 {
+            let now_us = start.elapsed().as_micros() as u64;
+            // Tuples cover the 50ms since this source's previous send,
+            // ending at "now": stream progress advances exactly with
+            // arrivals, so a window's last contributor is also the
+            // message that closes it — latency measures the pipeline,
+            // not the send period.
+            let tuples: Vec<Tuple> = (0..50)
+                .map(|i| {
+                    let t = now_us.saturating_sub(50_000) + (i + 1) * 1_000;
+                    Tuple::new((sent + i) % 16, 1, LogicalTime(t))
+                })
+                .collect();
+            rt.ingest(job, source, tuples);
+            sent += 50;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    rt.drain(Duration::from_secs(5));
+
+    // Windowed results arrive on the subscription channel.
+    println!("window results (first 5):");
+    let mut shown = 0;
+    while let Ok(ev) = outputs.try_recv() {
+        if shown < 5 {
+            let total: i64 = ev.batch.tuples.iter().map(|t| t.value).sum();
+            println!(
+                "  window ending p={} -> {} keys, total count {}, latency {}",
+                ev.batch.progress.0,
+                ev.batch.len(),
+                total,
+                ev.latency
+            );
+            shown += 1;
+        }
+    }
+
+    let stats = rt.job_stats(job);
+    println!("\n{} tuples ingested; {} windows emitted", sent, stats.outputs);
+    println!(
+        "latency: p50={} p99={} max={}  deadlines met: {:.1}%",
+        stats.p50,
+        stats.p99,
+        stats.max,
+        stats.success_rate() * 100.0
+    );
+    rt.shutdown();
+}

@@ -1,0 +1,72 @@
+//! Proportional fair sharing with the token policy (§5.4 / Fig 6):
+//! three tenants with 20/40/40 token allocations contend for one
+//! saturated node; processed throughput follows the allocation.
+//!
+//! ```sh
+//! cargo run --release --example token_fair_share
+//! ```
+
+use cameo::prelude::*;
+
+fn main() {
+    println!("Token-based proportional fair sharing (Cameo pluggable policy)");
+    println!("three tenants, equal demand, tokens split 20/40/40\n");
+
+    let mut sc = Scenario::new(
+        ClusterSpec::new(1, 4),
+        SchedulerKind::Cameo(PolicyKind::TokenFair),
+    )
+    .with_seed(3)
+    .with_cost(CostConfig {
+        per_tuple_ns: 400,
+        ..Default::default()
+    })
+    .record_processing(true);
+
+    let tokens = [30u64, 60, 60];
+    for (i, &t) in tokens.iter().enumerate() {
+        let spec = agg_query(
+            &AggQueryParams::new(format!("tenant-{}", i + 1), 1_000_000, Micros::from_secs(10))
+                .with_sources(8)
+                .with_parallelism(4)
+                .with_costs(StageCosts::default().scaled(4.0)),
+        );
+        sc.add_job_with(
+            spec,
+            WorkloadSpec::constant(8, 80.0, 100, Micros::from_secs(15)),
+            ExpandOptions {
+                token_rate: Some((t, Micros::from_secs(1))),
+                ..Default::default()
+            },
+        );
+    }
+
+    let report = sc.run();
+    let end = 15_000_000u64;
+    let series: Vec<Vec<u64>> = (0..3)
+        .map(|j| report.job(j).processed_per_bucket(5_000_000, end))
+        .collect();
+    println!("processed tuples per 5s interval:");
+    println!(
+        "  {:<6} {:>10} {:>10} {:>10}   shares",
+        "t", "tenant-1", "tenant-2", "tenant-3"
+    );
+    for b in 0..3 {
+        let total: u64 = series.iter().map(|s| s[b]).sum::<u64>().max(1);
+        println!(
+            "  {:<6} {:>10} {:>10} {:>10}   {:.0}% / {:.0}% / {:.0}%",
+            format!("{}s", b * 5),
+            series[0][b],
+            series[1][b],
+            series[2][b],
+            100.0 * series[0][b] as f64 / total as f64,
+            100.0 * series[1][b] as f64 / total as f64,
+            100.0 * series[2][b] as f64 / total as f64,
+        );
+    }
+    println!(
+        "\nEach source spreads its tokens across the second; untokened\n\
+         messages sink to minimum priority, so at saturation the shares\n\
+         converge to the 20/40/40 allocation."
+    );
+}

@@ -1,0 +1,76 @@
+//! Reproducibility: simulations are bit-for-bit deterministic under a
+//! seed, across every scheduler and workload family.
+
+use cameo::prelude::*;
+
+fn run_once(sched: SchedulerKind, seed: u64, pareto: bool) -> (Vec<u64>, u64, u64) {
+    let mut sc = Scenario::new(ClusterSpec::new(2, 2), sched)
+        .with_seed(seed)
+        .capture_outputs(true);
+    let wl = if pareto {
+        WorkloadSpec::pareto(4, 15.0, 1.5, 40, Micros::from_secs(2), 10.0, seed)
+    } else {
+        WorkloadSpec::constant(4, 15.0, 40, Micros::from_secs(2))
+    };
+    sc.add_job(
+        agg_query(
+            &AggQueryParams::new("d", 500_000, Micros::from_millis(800))
+                .with_sources(4)
+                .with_parallelism(2),
+        ),
+        wl,
+    );
+    let r = sc.run();
+    (
+        r.job(0).samples.clone(),
+        r.metrics.executions,
+        r.metrics.delivered,
+    )
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    for sched in [
+        SchedulerKind::Cameo(PolicyKind::Llf),
+        SchedulerKind::Fifo,
+        SchedulerKind::OrleansLike,
+        SchedulerKind::Slot,
+    ] {
+        let a = run_once(sched, 42, false);
+        let b = run_once(sched, 42, false);
+        assert_eq!(a, b, "{sched:?} must be deterministic");
+    }
+}
+
+#[test]
+fn identical_seeds_identical_runs_pareto() {
+    let a = run_once(SchedulerKind::Cameo(PolicyKind::Llf), 7, true);
+    let b = run_once(SchedulerKind::Cameo(PolicyKind::Llf), 7, true);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_once(SchedulerKind::Cameo(PolicyKind::Llf), 1, true);
+    let b = run_once(SchedulerKind::Cameo(PolicyKind::Llf), 2, true);
+    // Workload randomness must actually change something observable
+    // (Pareto rates differ wildly, so message counts must too; exact
+    // latencies can legitimately coincide on an uncontended cluster).
+    assert!(
+        a.1 != b.1 || a.2 != b.2 || a.0 != b.0,
+        "different seeds produced identical runs"
+    );
+}
+
+#[test]
+fn policies_share_the_same_workload() {
+    // The same seed must generate identical input streams regardless of
+    // the scheduler under test: execution counts can differ (quantum
+    // swaps etc.) but delivered source data must match.
+    let a = run_once(SchedulerKind::Cameo(PolicyKind::Llf), 11, false);
+    let b = run_once(SchedulerKind::Fifo, 11, false);
+    // Same number of source messages implies same deliveries at the
+    // first hop; total deliveries may differ slightly only if window
+    // emission timing shifts batches across boundaries — it must not.
+    assert_eq!(a.2, b.2, "deliveries must match across schedulers");
+}

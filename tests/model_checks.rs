@@ -1,0 +1,214 @@
+//! Model-based property tests: random operation sequences against
+//! simple reference models.
+
+use cameo::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Operations driven against the two-level queue and a flat reference
+/// model (a multiset of (operator, priority, id) triples).
+#[derive(Clone, Debug)]
+enum QueueOp {
+    Push { op: u32, local: i8, global: i8 },
+    /// Pop the best operator and drain up to `take` messages.
+    PopDrain { take: u8 },
+}
+
+fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..6, any::<i8>(), any::<i8>()).prop_map(|(op, local, global)| QueueOp::Push {
+                op,
+                local,
+                global
+            }),
+            (0u8..4).prop_map(|take| QueueOp::PopDrain { take }),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    /// Under any interleaving of pushes and partial drains, the queue
+    /// (a) never loses or duplicates messages, and (b) whenever it pops
+    /// an operator, that operator holds a message whose global priority
+    /// is minimal among all *available* messages.
+    #[test]
+    fn two_level_queue_matches_model(ops in queue_ops()) {
+        let mut q: TwoLevelQueue<u64> = TwoLevelQueue::new();
+        // model: id -> (operator, priority)
+        let mut model: BTreeMap<u64, (u32, Priority)> = BTreeMap::new();
+        let mut next_id = 0u64;
+        for step in ops {
+            match step {
+                QueueOp::Push { op, local, global } => {
+                    let pri = Priority::new(local as i64, global as i64);
+                    q.push(OperatorKey::new(JobId(0), op), next_id, pri);
+                    model.insert(next_id, (op, pri));
+                    next_id += 1;
+                }
+                QueueOp::PopDrain { take } => {
+                    let Some(lease) = q.pop_operator() else {
+                        prop_assert!(model.is_empty(), "queue idle but model has messages");
+                        continue;
+                    };
+                    // Fig 5(b) semantics: each operator is ranked by the
+                    // global priority of its *next* message, where "next"
+                    // is chosen by local priority. The popped operator's
+                    // next-message global must be minimal among all
+                    // operators' next-message globals.
+                    let next_global_of = |target: u32| {
+                        model
+                            .iter()
+                            .filter(|(_, (op, _))| *op == target)
+                            .map(|(&id, (_, p))| (p.local, p.global, id))
+                            .min()
+                            .map(|(_, g, _)| g)
+                    };
+                    let ops_present: std::collections::BTreeSet<u32> =
+                        model.values().map(|(op, _)| *op).collect();
+                    let popped_next = next_global_of(lease.key.op)
+                        .expect("popped operator must have pending messages");
+                    let best_next = ops_present
+                        .iter()
+                        .filter_map(|&op| next_global_of(op))
+                        .min()
+                        .unwrap();
+                    prop_assert_eq!(popped_next, best_next,
+                        "popped operator (next-global {}) is not best ({})",
+                        popped_next, best_next);
+                    for _ in 0..take {
+                        let Some((id, pri)) = q.next_message(&lease) else { break };
+                        let (mop, mpri) = model.remove(&id).expect("message exists once");
+                        prop_assert_eq!(OperatorKey::new(JobId(0), mop), lease.key);
+                        prop_assert_eq!(mpri, pri);
+                    }
+                    q.check_in(lease);
+                }
+            }
+        }
+        // Drain the rest; everything in the model must come out.
+        while let Some(lease) = q.pop_operator() {
+            while let Some((id, _)) = q.next_message(&lease) {
+                prop_assert!(model.remove(&id).is_some(), "unknown or duplicate {}", id);
+            }
+            q.check_in(lease);
+        }
+        prop_assert!(model.is_empty(), "lost messages: {:?}", model);
+        prop_assert!(q.is_empty());
+    }
+
+    /// WindowAggregate against a naive reference: arbitrary in-order
+    /// tuple streams produce exactly the per-(window, key) sums of the
+    /// fired windows.
+    #[test]
+    fn window_aggregate_matches_naive_model(
+        mut points in prop::collection::vec((0u64..200, 0u64..5, -50i64..50), 1..150),
+        window in 5u64..40,
+        batch_size in 1usize..10,
+    ) {
+        points.sort_unstable_by_key(|&(p, _, _)| p);
+        let mut op = WindowAggregate::new(
+            WindowSpec::tumbling(window),
+            Aggregation::Sum,
+            1,
+        );
+        let mut fired: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+        let mut outs = Vec::new();
+        for (i, chunk) in points.chunks(batch_size).enumerate() {
+            let tuples: Vec<Tuple> = chunk
+                .iter()
+                .map(|&(p, k, v)| Tuple::new(k, v, LogicalTime(p)))
+                .collect();
+            let b = Batch::new(tuples, PhysicalTime(i as u64));
+            op.on_batch(0, &b, PhysicalTime(i as u64), &mut outs);
+        }
+        for b in &outs {
+            for t in &b.tuples {
+                *fired.entry((b.progress.0, t.key)).or_insert(0) += t.value;
+            }
+        }
+        // Naive model: watermark = max tuple time; windows with
+        // end <= watermark fire with per-key sums.
+        let watermark = points.iter().map(|&(p, _, _)| p).max().unwrap();
+        let mut expected: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+        for &(p, k, v) in &points {
+            let end = (p / window + 1) * window;
+            if end <= watermark {
+                *expected.entry((end, k)).or_insert(0) += v;
+            }
+        }
+        prop_assert_eq!(fired, expected);
+    }
+
+    /// TCP ingest frames survive encode/decode for arbitrary contents.
+    #[test]
+    fn codec_roundtrip(
+        job in any::<u32>(),
+        source in any::<u32>(),
+        tuples in prop::collection::vec((any::<u64>(), any::<i64>(), any::<u64>()), 0..50),
+    ) {
+        let frame = IngestFrame {
+            job,
+            source,
+            tuples: tuples
+                .into_iter()
+                .map(|(k, v, t)| Tuple::new(k, v, LogicalTime(t)))
+                .collect(),
+        };
+        let bytes = encode_frame(&frame);
+        let decoded = decode_payload(&bytes[4..]).expect("roundtrip");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Corrupting any single byte of the header region either still
+    /// decodes (same length) or errors — never panics.
+    #[test]
+    fn codec_corruption_never_panics(
+        idx in 0usize..36,
+        byte in any::<u8>(),
+    ) {
+        let frame = IngestFrame {
+            job: 1,
+            source: 2,
+            tuples: vec![Tuple::new(3, 4, LogicalTime(5))],
+        };
+        let mut bytes = encode_frame(&frame);
+        if idx < bytes.len() {
+            bytes[idx] = byte;
+        }
+        let _ = decode_payload(&bytes[4..]); // must not panic
+    }
+
+    /// The Cameo scheduler processes any message set exactly once under
+    /// arbitrary quantum settings.
+    #[test]
+    fn scheduler_drains_exactly_once(
+        msgs in prop::collection::vec((0u32..8, any::<i16>()), 1..100),
+        quantum in 0u64..5_000,
+    ) {
+        let mut s: CameoScheduler<usize> = CameoScheduler::new(
+            SchedulerConfig::default().with_quantum(Micros(quantum)),
+        );
+        for (i, &(op, g)) in msgs.iter().enumerate() {
+            s.submit(OperatorKey::new(JobId(0), op), i, Priority::uniform(g as i64));
+        }
+        let mut seen = vec![false; msgs.len()];
+        let mut now = 0u64;
+        while let Some(exec) = s.acquire(PhysicalTime(now)) {
+            loop {
+                let Some((m, _)) = s.take_message(&exec) else { break };
+                prop_assert!(!seen[m], "duplicate {}", m);
+                seen[m] = true;
+                now += 100; // each message "takes" 100us
+                match s.decide(&exec, PhysicalTime(now)) {
+                    Decision::Continue => continue,
+                    Decision::Swap | Decision::Idle => break,
+                }
+            }
+            s.release(exec);
+        }
+        prop_assert!(seen.iter().all(|&x| x), "messages lost");
+        prop_assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests over the scheduling core: queue ordering and
+//! conservation, TRANSFORM laws, PROGRESSMAP recovery of affine maps,
+//! deadline monotonicity, and token-bucket accounting.
+
+use cameo::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// The two-level queue never loses or duplicates a message, and
+    /// drains operators in global-priority order of their heads.
+    #[test]
+    fn queue_conserves_and_orders(
+        msgs in prop::collection::vec((0u32..20, -1_000i64..1_000, -1_000i64..1_000), 1..200)
+    ) {
+        let mut q: TwoLevelQueue<usize> = TwoLevelQueue::new();
+        for (i, &(op, local, global)) in msgs.iter().enumerate() {
+            q.push(
+                OperatorKey::new(JobId(0), op),
+                i,
+                Priority::new(local, global),
+            );
+        }
+        prop_assert_eq!(q.len(), msgs.len());
+
+        let mut seen = vec![false; msgs.len()];
+        let mut last_head_priority: Option<i64> = None;
+        while let Some(lease) = q.pop_operator() {
+            // Heads come out in nondecreasing global priority *at pop
+            // time*: since we only drain (no new pushes), the popped
+            // operator's best message is >= the previous pop's best.
+            let head = q.peek_message(&lease).expect("leased op has messages");
+            if let Some(prev) = last_head_priority {
+                // Compare this operator's most urgent global against the
+                // previous operator's most urgent global.
+                let this_best = head.global;
+                prop_assert!(this_best >= prev || this_best == prev,
+                    "operator heads regressed: {} after {}", this_best, prev);
+            }
+            let mut best_global = i64::MAX;
+            let mut last_local = i64::MIN;
+            while let Some((msg, pri)) = q.next_message(&lease) {
+                prop_assert!(!seen[msg], "duplicate message {}", msg);
+                seen[msg] = true;
+                // Within an operator, local priority is nondecreasing.
+                prop_assert!(pri.local >= last_local);
+                last_local = pri.local;
+                best_global = best_global.min(pri.global);
+            }
+            last_head_priority = Some(best_global);
+            q.check_in(lease);
+        }
+        prop_assert!(seen.iter().all(|&s| s), "message lost");
+        prop_assert!(q.is_empty());
+    }
+
+    /// TRANSFORM: the frontier is strictly after the input progress,
+    /// sits on the target's trigger grid, and is monotone in `p`.
+    #[test]
+    fn transform_laws(p in 0u64..1_000_000, s in 2u64..10_000) {
+        let target = Slide(s);
+        let f = transform(LogicalTime(p), Slide::UNIT, target);
+        prop_assert!(f.0 > p);
+        prop_assert_eq!(f.0 % s, 0);
+        let f2 = transform(LogicalTime(p + 1), Slide::UNIT, target);
+        prop_assert!(f2 >= f);
+        // Idempotence on the grid: a coarser-or-equal sender passes through.
+        prop_assert_eq!(transform(f, target, target), f);
+    }
+
+    /// PROGRESSMAP recovers affine logical->physical maps exactly
+    /// enough for frontier prediction.
+    #[test]
+    fn progress_map_recovers_affine(
+        alpha_num in 1u64..4,
+        gamma in 0u64..100_000,
+        samples in 8usize..64
+    ) {
+        let mut m = ProgressMap::new(TimeDomain::EventTime);
+        for i in 0..samples as u64 {
+            let p = i * 1_000;
+            m.update(LogicalTime(p), PhysicalTime(alpha_num * p + gamma));
+        }
+        let q = samples as u64 * 2_000;
+        match m.predict(LogicalTime(q)) {
+            FrontierEstimate::Predicted(t) => {
+                let want = alpha_num * q + gamma;
+                let err = t.0.abs_diff(want);
+                prop_assert!(err <= want / 100 + 2, "err {} for want {}", err, want);
+            }
+            FrontierEstimate::Unavailable => prop_assert!(false, "fit unavailable"),
+        }
+    }
+
+    /// LLF deadlines: later frontiers and looser constraints never
+    /// produce more urgent priorities; higher costs never produce less
+    /// urgent ones.
+    #[test]
+    fn llf_deadline_monotonicity(
+        t in 0u64..10_000_000,
+        l in 1u64..10_000_000,
+        cost in 0u64..100_000,
+        extra in 1u64..1_000_000,
+    ) {
+        let key = OperatorKey::new(JobId(0), 0);
+        let hop = HopInfo::regular(0);
+        let build = |time: u64, latency: u64, c: u64| {
+            let mut st = ConverterState::new(key, TimeDomain::IngestionTime);
+            st.profile.process_reply(0, &ReplyContext {
+                cost: Micros(c),
+                cpath: Micros::ZERO,
+                queue_len: 0,
+            });
+            LlfPolicy.build_at_source(
+                JobId(0),
+                MessageStamp { progress: LogicalTime(time), time: PhysicalTime(time) },
+                Micros(latency),
+                &hop,
+                &mut st,
+            ).priority.global
+        };
+        let base = build(t, l, cost);
+        prop_assert!(build(t + extra, l, cost) >= base, "later events can't be more urgent");
+        prop_assert!(build(t, l + extra, cost) >= base, "looser constraints can't be more urgent");
+        prop_assert!(build(t, l, cost + extra) <= base, "higher costs can't be less urgent");
+    }
+
+    /// Token buckets: per interval, exactly `rate` tokens are issued,
+    /// with nondecreasing stamps inside the interval.
+    #[test]
+    fn token_bucket_accounting(rate in 1u64..50, draws in 1usize..200) {
+        let mut bucket = TokenBucket::new(rate, Micros::from_secs(1));
+        let mut granted_in_interval = 0u64;
+        let mut last_stamp = PhysicalTime::ZERO;
+        let mut interval = 0u64;
+        for i in 0..draws {
+            let now = PhysicalTime((i as u64) * 37_000); // ~37ms steps
+            let this_interval = now.0 / 1_000_000;
+            if this_interval != interval {
+                prop_assert!(granted_in_interval <= rate);
+                interval = this_interval;
+                granted_in_interval = 0;
+                last_stamp = PhysicalTime(interval * 1_000_000);
+            }
+            if let Some(tag) = bucket.try_take(now) {
+                granted_in_interval += 1;
+                prop_assert!(tag.stamp >= last_stamp, "stamps regress");
+                prop_assert_eq!(tag.interval, this_interval);
+                last_stamp = tag.stamp;
+            }
+        }
+        prop_assert!(granted_in_interval <= rate);
+    }
+
+    /// The histogram's percentile is within bucket error of the exact
+    /// percentile for arbitrary data.
+    #[test]
+    fn histogram_percentile_error(mut samples in prop::collection::vec(1u64..10_000_000, 10..500)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(Micros(s));
+        }
+        samples.sort_unstable();
+        for q in [50.0, 90.0, 99.0] {
+            let exact = exact_percentile(&samples, q);
+            let approx = h.percentile(q).0;
+            prop_assert!(approx <= exact, "histogram reports bucket lower bound");
+            let err = (exact - approx) as f64 / exact.max(1) as f64;
+            prop_assert!(err <= 1.0 / 16.0 + 0.001, "error {} at q{}", err, q);
+        }
+    }
+
+    /// Window assignment partitions logical time: every tuple lands in
+    /// exactly `size/slide` windows, and those windows cover it.
+    #[test]
+    fn window_assignment_partitions(p in 0u64..10_000_000, size_mult in 1u64..8, slide in 1u64..50_000) {
+        let size = slide * size_mult;
+        let w = WindowSpec::sliding(size, slide);
+        let ids: Vec<u64> = w.windows_for(LogicalTime(p)).collect();
+        prop_assert!(!ids.is_empty());
+        prop_assert!(ids.len() as u64 <= size_mult);
+        for &k in &ids {
+            prop_assert!(w.window_start(k).0 <= p && p < w.window_end(k).0);
+        }
+        // Tuples far from zero land in exactly size/slide windows.
+        if p >= size {
+            prop_assert_eq!(ids.len() as u64, size_mult);
+        }
+    }
+}
+
+/// Non-proptest invariant: EWMA stays within observed bounds.
+#[test]
+fn ewma_bounded_by_observations() {
+    let mut est = CostEstimator::new();
+    let values = [100u64, 5_000, 20, 900, 12_000, 1];
+    for &v in &values {
+        est.record(Micros(v));
+        let e = est.estimate().0;
+        assert!(e >= 1 && e <= 12_000, "estimate {e} out of observed range");
+    }
+}

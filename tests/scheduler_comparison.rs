@@ -1,0 +1,179 @@
+//! The headline claims, as executable tests: under contention Cameo
+//! keeps latency-sensitive jobs' latency at or below every baseline,
+//! token allocations turn into throughput shares, and answers never
+//! depend on the scheduler.
+
+use cameo::prelude::*;
+
+fn mix(sched: SchedulerKind, ba_rate: f64) -> SimReport {
+    let costs = StageCosts::default().scaled(4.0);
+    let mut sc = Scenario::new(ClusterSpec::new(2, 4), sched)
+        .with_seed(21)
+        .with_cost(CostConfig {
+            per_tuple_ns: 400,
+            ..Default::default()
+        });
+    for i in 0..2 {
+        sc.add_job(
+            agg_query(
+                &AggQueryParams::new(format!("LS-{i}"), 1_000_000, Micros::from_millis(800))
+                    .with_sources(8)
+                    .with_parallelism(4)
+                    .with_costs(costs),
+            ),
+            WorkloadSpec::constant(8, 1.0, 100, Micros::from_secs(15)),
+        );
+    }
+    for i in 0..4 {
+        sc.add_job(
+            agg_query(
+                &AggQueryParams::new(format!("BA-{i}"), 10_000_000, Micros::from_secs(7200))
+                    .with_sources(8)
+                    .with_parallelism(4)
+                    .with_costs(costs)
+                    .with_keys(256),
+            ),
+            WorkloadSpec::constant(8, ba_rate, 100, Micros::from_secs(15)),
+        );
+    }
+    sc.run()
+}
+
+#[test]
+fn cameo_protects_ls_jobs_under_contention() {
+    let ls = [0usize, 1];
+    // Near saturation of the 2x4 cluster.
+    let cameo = mix(SchedulerKind::Cameo(PolicyKind::Llf), 55.0);
+    let fifo = mix(SchedulerKind::Fifo, 55.0);
+    let orleans = mix(SchedulerKind::OrleansLike, 55.0);
+    let c99 = cameo.group_percentiles(&ls, &[99.0])[0];
+    let f99 = fifo.group_percentiles(&ls, &[99.0])[0];
+    let o99 = orleans.group_percentiles(&ls, &[99.0])[0];
+    assert!(
+        c99 <= f99,
+        "Cameo p99 ({c99}us) must not exceed FIFO ({f99}us)"
+    );
+    assert!(
+        c99 <= o99,
+        "Cameo p99 ({c99}us) must not exceed Orleans ({o99}us)"
+    );
+    assert!(
+        cameo.group_success(&ls) >= fifo.group_success(&ls),
+        "Cameo must meet at least as many deadlines as FIFO"
+    );
+}
+
+#[test]
+fn all_schedulers_idle_latency_is_comparable() {
+    // With no contention, scheduling policy must not matter (within a
+    // small factor).
+    let ls = [0usize, 1];
+    let cameo = mix(SchedulerKind::Cameo(PolicyKind::Llf), 5.0);
+    let fifo = mix(SchedulerKind::Fifo, 5.0);
+    let c50 = cameo.group_percentiles(&ls, &[50.0])[0] as f64;
+    let f50 = fifo.group_percentiles(&ls, &[50.0])[0] as f64;
+    assert!(
+        (c50 / f50 - 1.0).abs() < 0.25,
+        "idle medians diverge: cameo {c50}us vs fifo {f50}us"
+    );
+}
+
+#[test]
+fn edf_and_llf_are_close_with_uniform_costs() {
+    // §6.3: with near-uniform per-stage costs, omitting C_OM barely
+    // changes the schedule.
+    let ls = [0usize, 1];
+    let llf = mix(SchedulerKind::Cameo(PolicyKind::Llf), 40.0);
+    let edf = mix(SchedulerKind::Cameo(PolicyKind::Edf), 40.0);
+    let l = llf.group_percentiles(&ls, &[50.0])[0] as f64;
+    let e = edf.group_percentiles(&ls, &[50.0])[0] as f64;
+    assert!(
+        (l / e - 1.0).abs() < 0.5,
+        "LLF ({l}us) and EDF ({e}us) medians should be close"
+    );
+}
+
+#[test]
+fn token_shares_track_allocation_at_saturation() {
+    let mut sc = Scenario::new(
+        ClusterSpec::new(1, 4),
+        SchedulerKind::Cameo(PolicyKind::TokenFair),
+    )
+    .with_seed(8)
+    .with_cost(CostConfig {
+        per_tuple_ns: 400,
+        ..Default::default()
+    })
+    .record_processing(true);
+    let costs = StageCosts::default().scaled(4.0);
+    for (i, tokens) in [30u64, 60, 60].into_iter().enumerate() {
+        sc.add_job_with(
+            agg_query(
+                &AggQueryParams::new(format!("t{i}"), 1_000_000, Micros::from_secs(10))
+                    .with_sources(8)
+                    .with_parallelism(4)
+                    .with_costs(costs),
+            ),
+            WorkloadSpec::constant(8, 80.0, 100, Micros::from_secs(10)),
+            ExpandOptions {
+                token_rate: Some((tokens, Micros::from_secs(1))),
+                ..Default::default()
+            },
+        );
+    }
+    let report = sc.run();
+    let end = 10_000_000;
+    let totals: Vec<f64> = (0..3)
+        .map(|j| {
+            report.job(j).processed_per_bucket(end, end)[0] as f64
+        })
+        .collect();
+    let sum: f64 = totals.iter().sum();
+    let shares: Vec<f64> = totals.iter().map(|t| t / sum).collect();
+    assert!(
+        (shares[0] - 0.2).abs() < 0.05,
+        "tenant 0 share {:.2} != 0.2",
+        shares[0]
+    );
+    assert!(
+        (shares[1] - 0.4).abs() < 0.05 && (shares[2] - 0.4).abs() < 0.05,
+        "tenants 1/2 shares {:.2}/{:.2} != 0.4",
+        shares[1],
+        shares[2]
+    );
+}
+
+#[test]
+fn answers_are_scheduler_independent_in_mix() {
+    let run = |sched| {
+        let mut sc = Scenario::new(ClusterSpec::new(2, 2), sched)
+            .with_seed(33)
+            .capture_outputs(true);
+        for i in 0..2 {
+            let mut wl = WorkloadSpec::constant(2, 15.0, 30, Micros::from_secs(2));
+            wl.keys = 8;
+            sc.add_job(
+                agg_query(
+                    &AggQueryParams::new(format!("j{i}"), 400_000, Micros::from_millis(800))
+                        .with_sources(2)
+                        .with_parallelism(2)
+                        .with_keys(8),
+                ),
+                wl,
+            );
+        }
+        let r = sc.run();
+        let mut out: Vec<Vec<_>> = (0..2)
+            .map(|j| r.job(j).captured.as_ref().unwrap().clone())
+            .collect();
+        for o in &mut out {
+            o.sort_unstable();
+        }
+        out
+    };
+    let a = run(SchedulerKind::Cameo(PolicyKind::Llf));
+    let b = run(SchedulerKind::OrleansLike);
+    let c = run(SchedulerKind::Slot);
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+}
