@@ -1,9 +1,12 @@
 //! Criterion micro-benchmarks for Fig 12 (left): per-message cost of
 //! FIFO queueing vs two-level priority scheduling vs full Cameo
-//! (scheduling + priority generation).
+//! (scheduling + priority generation), plus the per-message cost of the
+//! sharded scheduler (single-threaded: what sharding *itself* costs; the
+//! contended multi-worker picture is `cargo run --release --bin
+//! bench_sharded_scheduler`).
 
 use cameo_core::prelude::*;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::collections::VecDeque;
 
 fn bench_fifo_queue(c: &mut Criterion) {
@@ -92,11 +95,37 @@ fn bench_quantum_decision(c: &mut Criterion) {
     });
 }
 
+fn bench_sharded_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sharded_submit_acquire_take_release");
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                let sched: ShardedScheduler<u64> =
+                    ShardedScheduler::new(SchedulerConfig::default().with_shards(shards));
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let key = OperatorKey::new(JobId((i % 300) as u32), 0);
+                    sched.submit(key, i, Priority::new(0, i as i64));
+                    let exec = sched.acquire(i as usize, PhysicalTime(i)).unwrap();
+                    let msg = sched.take_message(&exec);
+                    sched.release(exec);
+                    std::hint::black_box(msg)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fifo_queue,
     bench_priority_scheduling,
     bench_full_cameo,
-    bench_quantum_decision
+    bench_quantum_decision,
+    bench_sharded_scheduling
 );
 criterion_main!(benches);

@@ -52,7 +52,13 @@ fn main() {
     }
     print_table(
         "Delay jitter — group-1 latency",
-        &["jitter", "scheduler", "LS p50 (ms)", "LS p99 (ms)", "LS met"],
+        &[
+            "jitter",
+            "scheduler",
+            "LS p50 (ms)",
+            "LS p99 (ms)",
+            "LS met",
+        ],
         &rows,
     );
 }

@@ -1,0 +1,295 @@
+//! Contended scheduler throughput: messages/second of closed-loop
+//! submit → acquire → drain → release cycles, swept over scheduler
+//! configuration × worker threads.
+//!
+//! This is the experiment behind the sharded-scheduler refactor. The
+//! baseline (`mutex`) is the pre-refactor hot path verbatim: one
+//! `Mutex<CameoScheduler>` that every worker locks for every submit,
+//! acquire, take and release. The sharded rows run the same loop
+//! against a [`ShardedScheduler`] with 1/2/4/8 shards — per-shard
+//! locks, home-shard affinity, urgency-aware stealing enabled.
+//!
+//! Each worker owns a disjoint set of operators placed on its home
+//! shard (the runtime's steady state). A cycle submits a burst of
+//! `BURST` messages across its operators, then acquires and drains
+//! until its backlog is gone — the lock cadence of the real worker
+//! loop (one lock per submit, per take, per lease transition).
+//!
+//! Output: a table on stdout and `BENCH_sharded_scheduler.json` in the
+//! current directory, so later PRs have a perf trajectory to compare
+//! against. The artifact records the CPU count: on a single-core
+//! container the no-contention ceiling at W workers is the single-
+//! worker rate, so speedups there measure *contention tax removed*
+//! (lock handoffs, futex sleeps), not parallel scaling. Pass `--full`
+//! for longer measurement windows, `--out PATH` to redirect the
+//! artifact.
+
+use cameo_bench::BenchArgs;
+use cameo_core::config::SchedulerConfig;
+use cameo_core::ids::{JobId, OperatorKey};
+use cameo_core::priority::Priority;
+use cameo_core::scheduler::CameoScheduler;
+use cameo_core::shard::ShardedScheduler;
+use cameo_core::time::{Micros, PhysicalTime};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Operators per worker; enough that leases rotate across operators.
+const OPS_PER_WORKER: u32 = 32;
+/// Messages submitted per closed-loop cycle before draining.
+const BURST: u64 = 4;
+
+struct Cell {
+    config: String,
+    shards: usize,
+    workers: usize,
+    msgs_per_sec: f64,
+    steals: u64,
+}
+
+/// Operator keys whose shard is `shard` (the runtime reaches this state
+/// naturally; the bench constructs it directly so every worker's home
+/// shard holds its operators).
+fn keys_on_shard(sched: &ShardedScheduler<u64>, shard: usize, count: u32) -> Vec<OperatorKey> {
+    let mut keys = Vec::with_capacity(count as usize);
+    let mut op = 0u32;
+    while keys.len() < count as usize {
+        let key = OperatorKey::new(JobId(shard as u32), op);
+        if sched.shard_of(key) == shard {
+            keys.push(key);
+        }
+        op += 1;
+    }
+    keys
+}
+
+/// Spawn `workers` closed-loop threads running `body(worker) -> processed`
+/// for `measure`, returning total messages/sec and elapsed-normalized
+/// throughput.
+fn run_workers<F>(workers: usize, measure: Duration, stop: Arc<AtomicBool>, body: F) -> f64
+where
+    F: Fn(usize, &AtomicBool) -> u64 + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let start = Arc::new(Barrier::new(workers + 1));
+    let done = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let body = body.clone();
+            let stop = stop.clone();
+            let start = start.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                start.wait();
+                let processed = body(w, &stop);
+                done.fetch_add(processed, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    start.wait();
+    let t0 = Instant::now();
+    std::thread::sleep(measure);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("bench worker");
+    }
+    done.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// The pre-refactor hot path: one global mutex around the scheduler,
+/// locked once per submit / take / lease transition (exactly the old
+/// runtime's cadence).
+fn run_mutex_baseline(workers: usize, measure: Duration) -> Cell {
+    let sched: Arc<Mutex<CameoScheduler<u64>>> = Arc::new(Mutex::new(CameoScheduler::new(
+        SchedulerConfig::default().with_quantum(Micros::from_millis(1)),
+    )));
+    let stop = Arc::new(AtomicBool::new(false));
+    let rate = run_workers(workers, measure, stop, {
+        let sched = sched.clone();
+        move |w, stop| {
+            let keys: Vec<OperatorKey> = (0..OPS_PER_WORKER)
+                .map(|op| OperatorKey::new(JobId(w as u32), op))
+                .collect();
+            let mut i = 0u64;
+            let mut processed = 0u64;
+            let mut backlog = 0u64;
+            while !stop.load(Ordering::Relaxed) || backlog > 0 {
+                if !stop.load(Ordering::Relaxed) {
+                    for _ in 0..BURST {
+                        i += 1;
+                        let key = keys[(i % keys.len() as u64) as usize];
+                        sched
+                            .lock()
+                            .unwrap()
+                            .submit(key, i, Priority::new(0, i as i64));
+                        backlog += 1;
+                    }
+                }
+                while backlog > 0 {
+                    let exec = sched.lock().unwrap().acquire(PhysicalTime(i));
+                    let Some(exec) = exec else { break };
+                    while sched.lock().unwrap().take_message(&exec).is_some() {
+                        processed += 1;
+                        // A sibling may have drained some of this
+                        // worker's messages (one shared queue), so the
+                        // counter is a heuristic, not an invariant.
+                        backlog = backlog.saturating_sub(1);
+                    }
+                    sched.lock().unwrap().release(exec);
+                }
+                if stop.load(Ordering::Relaxed) && sched.lock().unwrap().is_empty() {
+                    break;
+                }
+            }
+            processed
+        }
+    });
+    Cell {
+        config: "mutex".into(),
+        shards: 1,
+        workers,
+        msgs_per_sec: rate,
+        steals: 0,
+    }
+}
+
+fn run_sharded(shards: usize, workers: usize, measure: Duration) -> Cell {
+    let sched: Arc<ShardedScheduler<u64>> = Arc::new(ShardedScheduler::new(
+        SchedulerConfig::default()
+            .with_shards(shards)
+            .with_quantum(Micros::from_millis(1)),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let rate = run_workers(workers, measure, stop, {
+        let sched = sched.clone();
+        move |w, stop| {
+            let home = w % shards;
+            let keys = keys_on_shard(&sched, home, OPS_PER_WORKER);
+            let mut i = 0u64;
+            let mut processed = 0u64;
+            let mut backlog = 0u64;
+            while !stop.load(Ordering::Relaxed) || backlog > 0 {
+                if !stop.load(Ordering::Relaxed) {
+                    for _ in 0..BURST {
+                        i += 1;
+                        let key = keys[(i % keys.len() as u64) as usize];
+                        sched.submit(key, i, Priority::new(0, i as i64));
+                        backlog += 1;
+                    }
+                }
+                while backlog > 0 {
+                    let Some(exec) = sched.acquire(home, PhysicalTime(i)) else {
+                        // Backlog may have been stolen by a sibling.
+                        break;
+                    };
+                    while sched.take_message(&exec).is_some() {
+                        processed += 1;
+                        backlog = backlog.saturating_sub(1);
+                    }
+                    sched.release(exec);
+                }
+                if stop.load(Ordering::Relaxed) && sched.is_empty() {
+                    break;
+                }
+            }
+            processed
+        }
+    });
+    Cell {
+        config: format!("sharded-{shards}"),
+        shards,
+        workers,
+        msgs_per_sec: rate,
+        steals: sched.stats().steals,
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut out_path = String::from("BENCH_sharded_scheduler.json");
+    let mut rest = args.rest.iter();
+    while let Some(a) = rest.next() {
+        if a == "--out" {
+            out_path = rest.next().expect("--out takes a path").clone();
+        }
+    }
+    let measure = if args.full {
+        Duration::from_millis(1_000)
+    } else {
+        Duration::from_millis(300)
+    };
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("contended scheduler throughput (closed-loop submit+drain, burst {BURST})");
+    println!("host: {cpus} cpu(s) — on 1 cpu, speedups measure contention tax, not scaling");
+    println!(
+        "{:>11} {:>8} {:>15} {:>10} {:>9}",
+        "config", "workers", "msgs/sec", "vs mutex", "steals"
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for &workers in &[1usize, 4, 8] {
+        let base = run_mutex_baseline(workers, measure);
+        let base_rate = base.msgs_per_sec;
+        println!(
+            "{:>11} {:>8} {:>15.0} {:>9.2}x {:>9}",
+            base.config, base.workers, base.msgs_per_sec, 1.0, base.steals
+        );
+        cells.push(base);
+        for &shards in &[1usize, 2, 4, 8] {
+            if shards > workers {
+                continue; // the runtime clamps shards to workers
+            }
+            let cell = run_sharded(shards, workers, measure);
+            println!(
+                "{:>11} {:>8} {:>15.0} {:>9.2}x {:>9}",
+                cell.config,
+                cell.workers,
+                cell.msgs_per_sec,
+                cell.msgs_per_sec / base_rate,
+                cell.steals
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Headline: best sharded config vs the single-mutex baseline at 8
+    // workers.
+    let base8 = cells
+        .iter()
+        .find(|c| c.workers == 8 && c.config == "mutex")
+        .map(|c| c.msgs_per_sec)
+        .unwrap_or(0.0);
+    let best8 = cells
+        .iter()
+        .filter(|c| c.workers == 8 && c.config != "mutex")
+        .map(|c| c.msgs_per_sec)
+        .fold(0.0, f64::max);
+    let speedup = if base8 > 0.0 { best8 / base8 } else { 0.0 };
+    println!("\n8-worker speedup over single-mutex baseline: {speedup:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"sharded_scheduler\",\n  \"unit\": \"msgs_per_sec\",\n");
+    json.push_str(&format!(
+        "  \"cpus\": {cpus},\n  \"burst\": {BURST},\n  \"measure_ms\": {},\n  \"speedup_8_workers\": {speedup:.3},\n  \"cells\": [\n",
+        measure.as_millis(),
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"shards\": {}, \"workers\": {}, \"msgs_per_sec\": {:.0}, \"steals\": {}}}{}\n",
+            c.config,
+            c.shards,
+            c.workers,
+            c.msgs_per_sec,
+            c.steals,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(&out_path).expect("create bench artifact");
+    f.write_all(json.as_bytes()).expect("write bench artifact");
+    println!("wrote {out_path}");
+}

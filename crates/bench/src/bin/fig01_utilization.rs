@@ -60,7 +60,14 @@ fn main() {
     }
     print_table(
         "Figure 1 — utilization and group-1 latency",
-        &["scheduler", "cluster", "cpu util", "p50 (ms)", "p99 (ms)", "deadlines met"],
+        &[
+            "scheduler",
+            "cluster",
+            "cpu util",
+            "p50 (ms)",
+            "p99 (ms)",
+            "deadlines met",
+        ],
         &rows,
     );
     println!(

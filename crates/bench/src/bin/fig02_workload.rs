@@ -135,7 +135,13 @@ fn ingestion_heatmap(args: &BenchArgs) {
     }
     print_table(
         "Figure 2(c) — ingestion variability (first 5 of 20 sources)",
-        &["source", "mean msgs/s", "peak msgs/s", "peak/mean", "near-idle seconds"],
+        &[
+            "source",
+            "mean msgs/s",
+            "peak msgs/s",
+            "peak/mean",
+            "near-idle seconds",
+        ],
         &rows,
     );
     println!(

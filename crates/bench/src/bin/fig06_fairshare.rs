@@ -87,7 +87,15 @@ fn main() {
     }
     print_table(
         "Figure 6 — processed tuples per 5s interval and shares",
-        &["t", "df1 tuples", "df2 tuples", "df3 tuples", "df1 %", "df2 %", "df3 %"],
+        &[
+            "t",
+            "df1 tuples",
+            "df2 tuples",
+            "df3 tuples",
+            "df1 %",
+            "df2 %",
+            "df3 %",
+        ],
         &rows,
     );
     println!(

@@ -105,7 +105,15 @@ fn main() {
     }
     print_table(
         "Figure 7(a) — single-tenant query latency",
-        &["query", "scheduler", "p50 (ms)", "p95 (ms)", "p99 (ms)", "met", "util"],
+        &[
+            "query",
+            "scheduler",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "met",
+            "util",
+        ],
         &rows,
     );
 
@@ -134,9 +142,10 @@ fn print_timeline(q: &str, log: &[SchedEvent]) {
     for win in 1..=2u64 {
         let mut per_stage: std::collections::BTreeMap<u32, (u64, u64, u64)> =
             std::collections::BTreeMap::new();
-        for ev in log.iter().filter(|e| {
-            e.progress > (win - 1) * window && e.progress <= win * window
-        }) {
+        for ev in log
+            .iter()
+            .filter(|e| e.progress > (win - 1) * window && e.progress <= win * window)
+        {
             let entry = per_stage.entry(ev.stage).or_insert((u64::MAX, 0, 0));
             entry.0 = entry.0.min(ev.time);
             entry.1 = entry.1.max(ev.time);

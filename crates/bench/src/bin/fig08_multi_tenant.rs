@@ -58,7 +58,14 @@ fn sweep_rate(args: &BenchArgs) {
     }
     print_table(
         "Figure 8(a) — group 1 latency vs BA rate (msgs/s/source)",
-        &["BA rate", "scheduler", "LS p50 (ms)", "LS p99 (ms)", "LS met", "util"],
+        &[
+            "BA rate",
+            "scheduler",
+            "LS p50 (ms)",
+            "LS p99 (ms)",
+            "LS met",
+            "util",
+        ],
         &rows,
     );
     println!();
@@ -95,7 +102,14 @@ fn sweep_tenants(args: &BenchArgs) {
     }
     print_table(
         "Figure 8(b) — group 1 latency vs number of BA tenants",
-        &["BA jobs", "scheduler", "LS p50 (ms)", "LS p99 (ms)", "LS met", "util"],
+        &[
+            "BA jobs",
+            "scheduler",
+            "LS p50 (ms)",
+            "LS p99 (ms)",
+            "LS met",
+            "util",
+        ],
         &rows,
     );
     println!();

@@ -60,11 +60,8 @@ fn main() {
         // Distribution rows for both groups.
         for (group, idx) in [("Group1(LS)", &ls), ("Group2(BA)", &ba)] {
             let q = report.group_percentiles(idx, &[50.0, 99.0, 100.0]);
-            let std: f64 = idx
-                .iter()
-                .map(|&j| report.job(j).std_dev_ms())
-                .sum::<f64>()
-                / idx.len() as f64;
+            let std: f64 =
+                idx.iter().map(|&j| report.job(j).std_dev_ms()).sum::<f64>() / idx.len() as f64;
             dist_rows.push(vec![
                 group.to_string(),
                 report.label.clone(),
@@ -90,16 +87,19 @@ fn main() {
     }
     print_table(
         "Figure 9(d) — latency distribution under Pareto arrivals",
-        &["group", "scheduler", "p50 (ms)", "p99 (ms)", "max (ms)", "std dev (ms)"],
+        &[
+            "group",
+            "scheduler",
+            "p50 (ms)",
+            "p99 (ms)",
+            "max (ms)",
+            "std dev (ms)",
+        ],
         &dist_rows,
     );
 
     println!("\nFigure 9(a-c) — group-1 worst latency per 5s interval (ms):");
-    let max_buckets = timelines
-        .iter()
-        .map(|(_, t)| t.len())
-        .max()
-        .unwrap_or(0);
+    let max_buckets = timelines.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
     let mut rows = Vec::new();
     for b in 0..max_buckets {
         let mut row = vec![format!("{:>4}s", b * 5)];

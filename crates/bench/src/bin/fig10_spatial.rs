@@ -93,14 +93,28 @@ fn main() {
             t1.push(sc.job_count());
             sc.add_job(
                 scale.ls_spec(i),
-                skewed_periodic(scale.sources, type1_total, 4.0, scale.tuples, duration, i as u64),
+                skewed_periodic(
+                    scale.sources,
+                    type1_total,
+                    4.0,
+                    scale.tuples,
+                    duration,
+                    i as u64,
+                ),
             );
         }
         for i in 0..jobs_per_type {
             t2.push(sc.job_count());
             sc.add_job(
                 scale.ls_spec(10 + i),
-                skewed_periodic(scale.sources, type2_total, 200.0, scale.tuples, duration, 2 + i as u64),
+                skewed_periodic(
+                    scale.sources,
+                    type2_total,
+                    200.0,
+                    scale.tuples,
+                    duration,
+                    2 + i as u64,
+                ),
             );
         }
         let report = sc.run();
@@ -117,7 +131,13 @@ fn main() {
     }
     print_table(
         "Figure 10 — deadline success under spatially skewed ingestion",
-        &["workload", "scheduler", "success rate", "p50 (ms)", "p99 (ms)"],
+        &[
+            "workload",
+            "scheduler",
+            "success rate",
+            "p50 (ms)",
+            "p99 (ms)",
+        ],
         &rows,
     );
 }

@@ -65,15 +65,12 @@ fn single_query(args: &BenchArgs) {
             };
             let rate = if q == "IPQ4" { 12.0 } else { 85.0 };
             let dur = Micros::from_secs(if args.full { 60 } else { 25 });
-            let mut sc = Scenario::new(
-                ClusterSpec::single_node(4),
-                SchedulerKind::Cameo(policy),
-            )
-            .with_seed(args.seed)
-            .with_cost(CostConfig {
-                per_tuple_ns: 400,
-                ..Default::default()
-            });
+            let mut sc = Scenario::new(ClusterSpec::single_node(4), SchedulerKind::Cameo(policy))
+                .with_seed(args.seed)
+                .with_cost(CostConfig {
+                    per_tuple_ns: 400,
+                    ..Default::default()
+                });
             sc.add_job(spec, WorkloadSpec::constant(8, rate, 100, dur));
             let report = sc.run();
             let j = report.job(0);

@@ -154,13 +154,8 @@ fn batch_sweep(n: u64) {
                 progress: LogicalTime(i),
                 time: PhysicalTime(i + 50),
             };
-            let pc = LlfPolicy.build_at_source(
-                JobId(0),
-                stamp,
-                Micros::from_millis(800),
-                &hop,
-                &mut st,
-            );
+            let pc =
+                LlfPolicy.build_at_source(JobId(0), stamp, Micros::from_millis(800), &hop, &mut st);
             sched.submit(OperatorKey::new(JobId(0), 0), i, pc.priority);
             let exec = sched.acquire(PhysicalTime(i)).unwrap();
             std::hint::black_box(sched.take_message(&exec));

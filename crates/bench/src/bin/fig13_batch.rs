@@ -59,7 +59,14 @@ fn main() {
     }
     print_table(
         "Figure 13 — group-1 latency vs group-2 batch size",
-        &["tuples/msg", "msgs/s/src", "scheduler", "LS p50 (ms)", "LS p99 (ms)", "LS met"],
+        &[
+            "tuples/msg",
+            "msgs/s/src",
+            "scheduler",
+            "LS p50 (ms)",
+            "LS p99 (ms)",
+            "LS met",
+        ],
         &rows,
     );
 }

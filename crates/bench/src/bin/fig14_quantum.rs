@@ -53,13 +53,8 @@ fn main() {
             // jobs whose deep queues hold workers across quanta.
             for (i, &lag) in lags.iter().enumerate() {
                 let spec = scale.ls_spec(i);
-                let wl = WorkloadSpec::constant(
-                    scale.sources,
-                    20.0,
-                    scale.tuples,
-                    scale.duration,
-                )
-                .with_lag(Micros(lag));
+                let wl = WorkloadSpec::constant(scale.sources, 20.0, scale.tuples, scale.duration)
+                    .with_lag(Micros(lag));
                 sc.add_job(spec, wl);
             }
             for i in 0..4 {
@@ -78,7 +73,13 @@ fn main() {
         }
         print_table(
             &format!("Figure 14 — {mode} stream progress (group-1 latency)"),
-            &["quantum", "p50 (ms)", "p99 (ms)", "max (ms)", "operator swaps"],
+            &[
+                "quantum",
+                "p50 (ms)",
+                "p99 (ms)",
+                "max (ms)",
+                "operator swaps",
+            ],
             &rows,
         );
         println!();

@@ -32,12 +32,9 @@ fn main() {
     for (label, sigma) in sigmas {
         let mut cost = scale.cost_config();
         cost.measure_sigma = sigma;
-        let mut sc = Scenario::new(
-            scale.cluster(),
-            SchedulerKind::Cameo(PolicyKind::Llf),
-        )
-        .with_seed(args.seed)
-        .with_cost(cost);
+        let mut sc = Scenario::new(scale.cluster(), SchedulerKind::Cameo(PolicyKind::Llf))
+            .with_seed(args.seed)
+            .with_cost(cost);
         for i in 0..scale.ls_jobs {
             sc.add_job(scale.ls_spec(i), scale.ls_workload());
         }

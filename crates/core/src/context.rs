@@ -139,6 +139,9 @@ mod tests {
             queue_len: 4,
         };
         assert_eq!(rc.total_downstream(), Micros(1_500));
-        assert_eq!(ReplyContext::at_sink(Micros(50)).total_downstream(), Micros(50));
+        assert_eq!(
+            ReplyContext::at_sink(Micros(50)).total_downstream(),
+            Micros(50)
+        );
     }
 }

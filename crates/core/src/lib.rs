@@ -29,6 +29,8 @@
 //!   LLF / EDF / SJF / FIFO / token-fair policies (§4.2, §5.4).
 //! * [`queue`] — the two-level priority structure (Fig 5b).
 //! * [`scheduler`] — the stateless scheduler with quantum logic (§5.2).
+//! * [`shard`] — N scheduler shards with urgency-aware work stealing
+//!   (the scalable, lock-per-shard form of the same scheduler).
 //! * [`stats`] — histograms and percentile helpers.
 //!
 //! ## Quick example
@@ -63,6 +65,7 @@ pub mod profile;
 pub mod progress;
 pub mod queue;
 pub mod scheduler;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod transform;
@@ -73,14 +76,15 @@ pub mod prelude {
     pub use crate::context::{DataflowField, PriorityContext, ReplyContext, TokenTag};
     pub use crate::ids::{JobId, MessageId, OperatorKey};
     pub use crate::policy::{
-        ConverterState, EdfPolicy, FifoPolicy, HopInfo, LlfPolicy, MessageStamp, Policy,
-        SjfPolicy, TokenBucket, TokenFairPolicy,
+        ConverterState, EdfPolicy, FifoPolicy, HopInfo, LlfPolicy, MessageStamp, Policy, SjfPolicy,
+        TokenBucket, TokenFairPolicy,
     };
     pub use crate::priority::Priority;
     pub use crate::profile::{CostEstimator, ProfileState};
     pub use crate::progress::{FrontierEstimate, ProgressMap, TimeDomain};
     pub use crate::queue::{OperatorLease, TwoLevelQueue};
     pub use crate::scheduler::{CameoScheduler, Decision, Execution, SchedulerStats};
+    pub use crate::shard::{ShardExecution, ShardedScheduler, Submission};
     pub use crate::stats::{exact_percentile, Histogram, OnlineStats};
     pub use crate::time::{Clock, LogicalTime, ManualClock, Micros, PhysicalTime, SystemClock};
     pub use crate::transform::{transform, window_index, Slide};

@@ -52,10 +52,8 @@ macro_rules! deadline_policy {
                 let $cpath = report.cpath;
                 let global: u64 = $global;
                 stamp_fields(&mut base, stamp, pmf, tmf);
-                base.priority = Priority::new(
-                    deadline_to_priority(pmf.0),
-                    deadline_to_priority(global),
-                );
+                base.priority =
+                    Priority::new(deadline_to_priority(pmf.0), deadline_to_priority(global));
                 base
             }
         }
@@ -211,10 +209,16 @@ mod tests {
             target_slide: Slide(10_000), // 10ms windows in logical units
         };
         // Message early in its window: p = 1000, window completes at 10000.
-        let early = LlfPolicy.build_at_source(JobId(1), stamp(1_000, 1_000), Micros(500), &hop, &mut st);
+        let early =
+            LlfPolicy.build_at_source(JobId(1), stamp(1_000, 1_000), Micros(500), &hop, &mut st);
         // Regular hop for comparison.
-        let regular =
-            LlfPolicy.build_at_source(JobId(1), stamp(1_000, 1_000), Micros(500), &HopInfo::regular(0), &mut st);
+        let regular = LlfPolicy.build_at_source(
+            JobId(1),
+            stamp(1_000, 1_000),
+            Micros(500),
+            &HopInfo::regular(0),
+            &mut st,
+        );
         // Eq. 3 vs Eq. 2: frontier extension postpones the deadline.
         assert_eq!(early.priority.global, 10_000 + 500);
         assert_eq!(regular.priority.global, 1_000 + 500);
@@ -230,8 +234,12 @@ mod tests {
             sender_slide: Slide::UNIT,
             target_slide: Slide(10_000),
         };
-        let pc = LlfPolicy.build_at_source(JobId(1), stamp(1_000, 1_000), Micros(500), &hop, &mut st);
-        assert_eq!(pc.priority.global, 1_500, "no deadline extension without semantics");
+        let pc =
+            LlfPolicy.build_at_source(JobId(1), stamp(1_000, 1_000), Micros(500), &hop, &mut st);
+        assert_eq!(
+            pc.priority.global, 1_500,
+            "no deadline extension without semantics"
+        );
         assert_eq!(pc.field.frontier_progress, LogicalTime(1_000));
     }
 

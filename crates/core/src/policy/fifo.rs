@@ -53,9 +53,14 @@ mod tests {
             progress: LogicalTime(5),
             time: PhysicalTime(5),
         };
-        let a = FifoPolicy.build_at_source(JobId(0), stamp, Micros(100), &HopInfo::regular(0), &mut st);
-        let b = FifoPolicy.build_at_source(JobId(0), stamp, Micros(100), &HopInfo::regular(0), &mut st);
-        assert!(a.priority < b.priority, "earlier arrival must be more urgent");
+        let a =
+            FifoPolicy.build_at_source(JobId(0), stamp, Micros(100), &HopInfo::regular(0), &mut st);
+        let b =
+            FifoPolicy.build_at_source(JobId(0), stamp, Micros(100), &HopInfo::regular(0), &mut st);
+        assert!(
+            a.priority < b.priority,
+            "earlier arrival must be more urgent"
+        );
         assert_eq!(a.field.progress, LogicalTime(5));
     }
 }

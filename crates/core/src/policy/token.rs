@@ -131,7 +131,10 @@ mod tests {
             .map(|_| b.try_take(PhysicalTime(0)).unwrap().stamp.0)
             .collect();
         assert_eq!(stamps, vec![0, 250_000, 500_000, 750_000]);
-        assert!(b.try_take(PhysicalTime(10)).is_none(), "allocation exhausted");
+        assert!(
+            b.try_take(PhysicalTime(10)).is_none(),
+            "allocation exhausted"
+        );
     }
 
     #[test]
@@ -148,8 +151,10 @@ mod tests {
     fn untokened_messages_get_minimum_priority() {
         let mut st = source_state(1);
         let hop = HopInfo::regular(0);
-        let first = TokenFairPolicy.build_at_source(JobId(0), stamp_at(0), Micros(0), &hop, &mut st);
-        let second = TokenFairPolicy.build_at_source(JobId(0), stamp_at(1), Micros(0), &hop, &mut st);
+        let first =
+            TokenFairPolicy.build_at_source(JobId(0), stamp_at(0), Micros(0), &hop, &mut st);
+        let second =
+            TokenFairPolicy.build_at_source(JobId(0), stamp_at(1), Micros(0), &hop, &mut st);
         assert!(first.token.is_some());
         assert!(second.token.is_none());
         assert_eq!(second.priority, Priority::IDLE);

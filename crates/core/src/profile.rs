@@ -180,7 +180,10 @@ mod tests {
             e.record(Micros(500));
         }
         let est = e.estimate().0;
-        assert!(est > 480 && est <= 500, "estimate {est} should approach 500");
+        assert!(
+            est > 480 && est <= 500,
+            "estimate {est} should approach 500"
+        );
     }
 
     #[test]

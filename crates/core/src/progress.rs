@@ -66,7 +66,10 @@ impl ProgressMap {
     }
 
     pub fn with_capacity(domain: TimeDomain, capacity: usize) -> Self {
-        assert!(capacity >= MIN_SAMPLES, "window must hold at least {MIN_SAMPLES} samples");
+        assert!(
+            capacity >= MIN_SAMPLES,
+            "window must hold at least {MIN_SAMPLES} samples"
+        );
         ProgressMap {
             domain,
             window: VecDeque::with_capacity(capacity),
@@ -180,7 +183,10 @@ mod tests {
         }
         match m.predict(LogicalTime(101)) {
             FrontierEstimate::Predicted(t) => {
-                assert!((t.0 as i64 - 103).abs() <= 1, "predicted {t:?}, wanted ~103");
+                assert!(
+                    (t.0 as i64 - 103).abs() <= 1,
+                    "predicted {t:?}, wanted ~103"
+                );
             }
             FrontierEstimate::Unavailable => panic!("fit should be available"),
         }
@@ -195,7 +201,10 @@ mod tests {
         }
         match m.predict(LogicalTime(1_000)) {
             FrontierEstimate::Predicted(t) => {
-                assert!((t.0 as i64 - 5_100).abs() <= 2, "predicted {t:?}, wanted ~5100");
+                assert!(
+                    (t.0 as i64 - 5_100).abs() <= 2,
+                    "predicted {t:?}, wanted ~5100"
+                );
             }
             FrontierEstimate::Unavailable => panic!("fit should be available"),
         }
@@ -227,7 +236,10 @@ mod tests {
         assert_eq!(m.len(), 4);
         match m.predict(LogicalTime(200)) {
             FrontierEstimate::Predicted(t) => {
-                assert!((t.0 as i64 - 1_200).abs() <= 2, "predicted {t:?}, wanted ~1200");
+                assert!(
+                    (t.0 as i64 - 1_200).abs() <= 2,
+                    "predicted {t:?}, wanted ~1200"
+                );
             }
             FrontierEstimate::Unavailable => panic!("fit should be available"),
         }

@@ -146,10 +146,7 @@ impl<M> TwoLevelQueue<M> {
 
     /// Number of operators currently holding pending messages.
     pub fn pending_operators(&self) -> usize {
-        self.ops
-            .values()
-            .filter(|o| !o.msgs.is_empty())
-            .count()
+        self.ops.values().filter(|o| !o.msgs.is_empty()).count()
     }
 
     /// Enqueue a message for `key` with priority `pri`. Returns `true`
@@ -212,7 +209,10 @@ impl<M> TwoLevelQueue<M> {
     pub fn pop_operator(&mut self) -> Option<OperatorLease> {
         self.clean_head();
         let Reverse(entry) = self.heap.pop()?;
-        let op = self.ops.get_mut(&entry.key).expect("validated by clean_head");
+        let op = self
+            .ops
+            .get_mut(&entry.key)
+            .expect("validated by clean_head");
         op.leased = true;
         op.posted = None;
         Some(OperatorLease { key: entry.key })
@@ -288,7 +288,10 @@ mod tests {
         assert!(q.push(key(1), 1, pri(5)), "idle operator becomes runnable");
         assert!(!q.push(key(1), 2, pri(4)), "already runnable");
         let lease = q.pop_operator().unwrap();
-        assert!(!q.push(key(1), 3, pri(1)), "leased operator is not newly runnable");
+        assert!(
+            !q.push(key(1), 3, pri(1)),
+            "leased operator is not newly runnable"
+        );
         q.check_in(lease);
     }
 

@@ -22,11 +22,29 @@ use crate::time::{Micros, PhysicalTime};
 
 /// Counters exposed for experiments (operator swaps drive the Fig 14
 /// analysis; message counts drive overhead accounting in Fig 12).
+/// `steals` and `cross_shard_swaps` are only nonzero under the
+/// [sharded scheduler](crate::shard::ShardedScheduler).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SchedulerStats {
     pub messages_scheduled: u64,
     pub operator_acquisitions: u64,
     pub quantum_swaps: u64,
+    /// Operators acquired from a non-home shard.
+    pub steals: u64,
+    /// Quantum swaps triggered by a more urgent operator on *another*
+    /// shard (the current shard's own decide said Continue).
+    pub cross_shard_swaps: u64,
+}
+
+impl SchedulerStats {
+    /// Field-wise sum, used when aggregating across shards or nodes.
+    pub fn merge(&mut self, other: SchedulerStats) {
+        self.messages_scheduled += other.messages_scheduled;
+        self.operator_acquisitions += other.operator_acquisitions;
+        self.quantum_swaps += other.quantum_swaps;
+        self.steals += other.steals;
+        self.cross_shard_swaps += other.cross_shard_swaps;
+    }
 }
 
 /// What a worker should do after finishing a message.
@@ -110,8 +128,7 @@ impl<M> CameoScheduler<M> {
     pub fn submit(&mut self, key: OperatorKey, msg: M, pri: Priority) -> bool {
         let pri = match self.config.starvation_limit {
             Some(limit) => {
-                let clamp =
-                    crate::priority::deadline_to_priority((self.last_now + limit).0);
+                let clamp = crate::priority::deadline_to_priority((self.last_now + limit).0);
                 Priority::new(pri.local.min(clamp), pri.global.min(clamp))
             }
             None => pri,
@@ -172,6 +189,13 @@ impl<M> CameoScheduler<M> {
     /// Peek the priority of the most urgent available operator.
     pub fn peek_best(&mut self) -> Option<(OperatorKey, Priority)> {
         self.queue.peek_best()
+    }
+
+    /// Priority of the acquired operator's next pending message, if any.
+    /// Used by the sharded scheduler to compare the in-hand work against
+    /// other shards at quantum boundaries.
+    pub fn peek_next(&self, exec: &Execution) -> Option<Priority> {
+        self.queue.peek_message(&exec.lease)
     }
 
     /// Effective quantum, exposed for runtimes that want to time-slice.

@@ -116,7 +116,10 @@ mod tests {
         let mut last = LogicalTime(0);
         for p in 0..200u64 {
             let f = transform(LogicalTime(p), Slide::UNIT, target);
-            assert!(f.0 > p, "frontier must be strictly after the input progress");
+            assert!(
+                f.0 > p,
+                "frontier must be strictly after the input progress"
+            );
             assert!(f >= last, "frontier must be monotone in p");
             assert_eq!(f.0 % target.0, 0, "frontier sits on the trigger grid");
             last = f;

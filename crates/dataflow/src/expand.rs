@@ -151,7 +151,11 @@ pub fn route_batch(route: &OutRoute, batch: &Batch) -> Vec<(usize, u32, Batch)> 
                 .iter()
                 .zip(parts)
                 .map(|(&(t, c), tuples)| {
-                    (t, c, Batch::with_progress(tuples, batch.progress, batch.time))
+                    (
+                        t,
+                        c,
+                        Batch::with_progress(tuples, batch.progress, batch.time),
+                    )
                 })
                 .collect()
         }
@@ -169,8 +173,7 @@ impl ExpandedJob {
             stage_offsets.push(total);
             total += s.parallelism as usize;
         }
-        let global =
-            |stage: StageId, idx: u32| stage_offsets[stage.0 as usize] + idx as usize;
+        let global = |stage: StageId, idx: u32| stage_offsets[stage.0 as usize] + idx as usize;
 
         // Pass 1: channels at every target instance.
         // channel_senders[t] = ordered [(sender_instance, sender_edge_ordinal)]
@@ -251,10 +254,11 @@ impl ExpandedJob {
                 }
 
                 // Converter state.
-                let mut converter = ConverterState::new(key, spec.time_domain)
-                    .with_semantics(opts.semantics_aware);
+                let mut converter =
+                    ConverterState::new(key, spec.time_domain).with_semantics(opts.semantics_aware);
                 if opts.seed_profiles {
-                    converter.profile = cameo_core::profile::ProfileState::with_prior(stage.cost_hint);
+                    converter.profile =
+                        cameo_core::profile::ProfileState::with_prior(stage.cost_hint);
                     for (gedge, e) in spec.out_edges(sid) {
                         let ord = out_ordinal[&gedge];
                         let tstage = spec.stage(e.to);
@@ -340,13 +344,9 @@ mod tests {
     fn spec() -> JobSpec {
         let mut b = JobBuilder::new("j", Micros(1_000), TimeDomain::IngestionTime);
         let src = b.ingest("src", 4);
-        let parse = b.stage(
-            "parse",
-            2,
-            OperatorKind::Regular,
-            Micros(10),
-            |_| Box::new(Passthrough),
-        );
+        let parse = b.stage("parse", 2, OperatorKind::Regular, Micros(10), |_| {
+            Box::new(Passthrough)
+        });
         let agg = b.stage(
             "agg",
             2,
@@ -436,9 +436,7 @@ mod tests {
         let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default());
         let src = &j.instances[0];
         let batch = Batch::new(
-            (0..100)
-                .map(|k| Tuple::new(k, 1, LogicalTime(k)))
-                .collect(),
+            (0..100).map(|k| Tuple::new(k, 1, LogicalTime(k))).collect(),
             PhysicalTime(5),
         );
         let routed = route_batch(&src.outs[0], &batch);

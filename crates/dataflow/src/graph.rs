@@ -30,6 +30,9 @@ pub enum Routing {
     Broadcast,
 }
 
+/// Builds one operator per expanded instance of a stage.
+pub type OperatorFactory = Arc<dyn Fn(&InstanceCtx) -> Box<dyn Operator> + Send + Sync>;
+
 /// One stage of a job.
 pub struct StageSpec {
     pub name: String,
@@ -39,7 +42,7 @@ pub struct StageSpec {
     /// the simulator's cost model.
     pub cost_hint: Micros,
     /// Builds one operator per instance; `None` for ingest stages.
-    pub factory: Option<Arc<dyn Fn(&InstanceCtx) -> Box<dyn Operator> + Send + Sync>>,
+    pub factory: Option<OperatorFactory>,
 }
 
 impl fmt::Debug for StageSpec {

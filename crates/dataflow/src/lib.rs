@@ -23,7 +23,9 @@ pub mod window;
 pub mod prelude {
     pub use crate::event::{Batch, Tuple};
     pub use crate::expand::{route_batch, ExpandOptions, ExpandedJob, OperatorInstance, OutRoute};
-    pub use crate::graph::{EdgeSpec, GraphError, JobBuilder, JobSpec, Routing, StageId, StageSpec};
+    pub use crate::graph::{
+        EdgeSpec, GraphError, JobBuilder, JobSpec, Routing, StageId, StageSpec,
+    };
     pub use crate::operator::{InstanceCtx, Operator, OperatorKind, WatermarkTracker};
     pub use crate::ops::{
         Aggregation, DistinctCount, FilterOp, FlatMapOp, MapOp, Passthrough, SessionWindow,

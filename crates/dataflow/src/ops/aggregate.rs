@@ -43,12 +43,8 @@ impl AggState {
         match agg {
             Aggregation::Sum | Aggregation::Mean => self.acc = self.acc.wrapping_add(v),
             Aggregation::Count => self.acc += 1,
-            Aggregation::Min => {
-                self.acc = if self.count == 0 { v } else { self.acc.min(v) }
-            }
-            Aggregation::Max => {
-                self.acc = if self.count == 0 { v } else { self.acc.max(v) }
-            }
+            Aggregation::Min => self.acc = if self.count == 0 { v } else { self.acc.min(v) },
+            Aggregation::Max => self.acc = if self.count == 0 { v } else { self.acc.max(v) },
         }
         self.count += 1;
     }
@@ -104,10 +100,7 @@ impl WindowAggregate {
     }
 
     fn fire_ready(&mut self, watermark: u64, out: &mut Vec<Batch>) {
-        loop {
-            let Some((&wid, _)) = self.state.iter().next() else {
-                break;
-            };
+        while let Some((&wid, _)) = self.state.iter().next() {
             let end = self.window.window_end(wid);
             if end.0 > watermark {
                 break;
@@ -145,7 +138,10 @@ impl Operator for WindowAggregate {
                     continue;
                 }
                 let ws = self.state.entry(wid).or_default();
-                ws.groups.entry(t.key).or_insert_with(AggState::new).update(self.agg, t.value);
+                ws.groups
+                    .entry(t.key)
+                    .or_insert_with(AggState::new)
+                    .update(self.agg, t.value);
                 if batch.time > ws.latest_input {
                     ws.latest_input = batch.time;
                 }
@@ -190,7 +186,11 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].tuples, vec![tuple(1, 12, 9)]);
         assert_eq!(out[0].progress, LogicalTime(10));
-        assert_eq!(out[0].time, PhysicalTime(100), "t_M is the last *contributing* arrival");
+        assert_eq!(
+            out[0].time,
+            PhysicalTime(100),
+            "t_M is the last *contributing* arrival"
+        );
     }
 
     #[test]
@@ -211,7 +211,13 @@ mod tests {
         let out = run(
             &mut op,
             0,
-            vec![tuple(9, 1, 1), tuple(3, 1, 2), tuple(9, 1, 3), tuple(3, 1, 9), tuple(10, 1, 12)],
+            vec![
+                tuple(9, 1, 1),
+                tuple(3, 1, 2),
+                tuple(9, 1, 3),
+                tuple(3, 1, 9),
+                tuple(10, 1, 12),
+            ],
             50,
         );
         assert_eq!(out.len(), 1);
@@ -232,7 +238,12 @@ mod tests {
             let out = run(
                 &mut op,
                 0,
-                vec![tuple(1, 9, 1), tuple(1, 2, 2), tuple(1, 4, 3), tuple(1, 1, 10)],
+                vec![
+                    tuple(1, 9, 1),
+                    tuple(1, 2, 2),
+                    tuple(1, 4, 3),
+                    tuple(1, 1, 10),
+                ],
                 50,
             );
             assert_eq!(out[0].tuples[0].value, expect, "{agg:?}");
@@ -269,7 +280,12 @@ mod tests {
         let out = run(
             &mut op,
             0,
-            vec![tuple(1, 1, 5), tuple(1, 2, 15), tuple(1, 3, 25), tuple(1, 4, 31)],
+            vec![
+                tuple(1, 1, 5),
+                tuple(1, 2, 15),
+                tuple(1, 3, 25),
+                tuple(1, 4, 31),
+            ],
             10,
         );
         // Windows 0,1,2 all complete at watermark 31.

@@ -61,10 +61,7 @@ impl WindowJoin {
     }
 
     fn fire_ready(&mut self, watermark: u64, out: &mut Vec<Batch>) {
-        loop {
-            let Some((&wid, _)) = self.state.iter().next() else {
-                break;
-            };
+        while let Some((&wid, _)) = self.state.iter().next() {
             let end = self.window.window_end(wid);
             if end.0 > watermark {
                 break;
@@ -153,7 +150,13 @@ mod tests {
         Tuple::new(k, v, LogicalTime(p))
     }
 
-    fn feed(op: &mut WindowJoin, channel: u32, tuples: Vec<Tuple>, progress: u64, arrival: u64) -> Vec<Batch> {
+    fn feed(
+        op: &mut WindowJoin,
+        channel: u32,
+        tuples: Vec<Tuple>,
+        progress: u64,
+        arrival: u64,
+    ) -> Vec<Batch> {
         let mut out = Vec::new();
         let b = Batch::with_progress(tuples, LogicalTime(progress), PhysicalTime(arrival));
         op.on_batch(channel, &b, PhysicalTime(arrival), &mut out);

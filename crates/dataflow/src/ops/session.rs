@@ -155,10 +155,7 @@ impl Operator for TopK {
             }
         }
         let wm = self.watermark.observe(channel, batch.progress.0);
-        loop {
-            let Some((&wid, _)) = self.state.iter().next() else {
-                break;
-            };
+        while let Some((&wid, _)) = self.state.iter().next() {
             let end = self.window.window_end(wid);
             if end.0 > wm {
                 break;
@@ -216,10 +213,7 @@ impl Operator for DistinctCount {
             }
         }
         let wm = self.watermark.observe(channel, batch.progress.0);
-        loop {
-            let Some((&wid, _)) = self.state.iter().next() else {
-                break;
-            };
+        while let Some((&wid, _)) = self.state.iter().next() {
             let end = self.window.window_end(wid);
             if end.0 > wm {
                 break;
@@ -329,7 +323,12 @@ mod tests {
         let mut op = TopK::new(10, 2, 1);
         let out = feed(
             &mut op,
-            vec![tuple(5, 4, 1), tuple(3, 4, 2), tuple(8, 4, 3), tuple(0, 0, 12)],
+            vec![
+                tuple(5, 4, 1),
+                tuple(3, 4, 2),
+                tuple(8, 4, 3),
+                tuple(0, 0, 12),
+            ],
             12,
             50,
         );

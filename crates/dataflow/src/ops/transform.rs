@@ -42,7 +42,12 @@ impl<F: FnMut(&Tuple) -> bool + Send> FilterOp<F> {
 
 impl<F: FnMut(&Tuple) -> bool + Send> Operator for FilterOp<F> {
     fn on_batch(&mut self, _channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
-        let tuples = batch.tuples.iter().filter(|t| (self.f)(t)).copied().collect();
+        let tuples = batch
+            .tuples
+            .iter()
+            .filter(|t| (self.f)(t))
+            .copied()
+            .collect();
         out.push(Batch::with_progress(tuples, batch.progress, batch.time));
     }
 
@@ -112,7 +117,9 @@ impl Operator for SpinMap {
         let mut x = 0u64;
         while start.elapsed() < budget {
             // Dependency chain the optimizer can't remove.
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             std::hint::black_box(x);
         }
         out.push(batch.clone());

@@ -93,7 +93,7 @@ impl AggQueryParams {
     }
 
     pub fn sliding(mut self, slide: u64) -> Self {
-        assert!(slide > 0 && self.window % slide == 0);
+        assert!(slide > 0 && self.window.is_multiple_of(slide));
         self.slide = Some(slide);
         self
     }
@@ -176,7 +176,13 @@ pub fn agg_query(p: &AggQueryParams) -> JobSpec {
             slide: local_spec.slide(),
         },
         p.costs.agg,
-        move |ctx| Box::new(WindowAggregate::new(local_spec, local_agg, ctx.num_channels())),
+        move |ctx| {
+            Box::new(WindowAggregate::new(
+                local_spec,
+                local_agg,
+                ctx.num_channels(),
+            ))
+        },
     );
 
     let merge = b.stage(
@@ -186,7 +192,13 @@ pub fn agg_query(p: &AggQueryParams) -> JobSpec {
             slide: merge_spec.slide(),
         },
         p.costs.merge,
-        move |ctx| Box::new(WindowAggregate::new(merge_spec, merge_agg, ctx.num_channels())),
+        move |ctx| {
+            Box::new(WindowAggregate::new(
+                merge_spec,
+                merge_agg,
+                ctx.num_channels(),
+            ))
+        },
     );
 
     let final_ = b.stage(
@@ -196,7 +208,13 @@ pub fn agg_query(p: &AggQueryParams) -> JobSpec {
             slide: merge_spec.slide(),
         },
         p.costs.final_,
-        move |ctx| Box::new(WindowAggregate::new(merge_spec, merge_agg, ctx.num_channels())),
+        move |ctx| {
+            Box::new(WindowAggregate::new(
+                merge_spec,
+                merge_agg,
+                ctx.num_channels(),
+            ))
+        },
     );
 
     b.connect(src, parse, Routing::Partition);
@@ -247,14 +265,27 @@ pub fn join_query(p: &JoinQueryParams) -> JobSpec {
     let src_r = b.ingest("sources-right", p.sources);
 
     let keys = p.keys;
-    let mk_parse = move |_ctx: &crate::operator::InstanceCtx| -> Box<dyn crate::operator::Operator> {
-        Box::new(MapOp::new(move |mut t| {
-            t.key %= keys;
-            t
-        }))
-    };
-    let parse_l = b.stage("parse-left", p.parallelism, OperatorKind::Regular, p.costs.parse, mk_parse);
-    let parse_r = b.stage("parse-right", p.parallelism, OperatorKind::Regular, p.costs.parse, mk_parse);
+    let mk_parse =
+        move |_ctx: &crate::operator::InstanceCtx| -> Box<dyn crate::operator::Operator> {
+            Box::new(MapOp::new(move |mut t| {
+                t.key %= keys;
+                t
+            }))
+        };
+    let parse_l = b.stage(
+        "parse-left",
+        p.parallelism,
+        OperatorKind::Regular,
+        p.costs.parse,
+        mk_parse,
+    );
+    let parse_r = b.stage(
+        "parse-right",
+        p.parallelism,
+        OperatorKind::Regular,
+        p.costs.parse,
+        mk_parse,
+    );
 
     let join = b.stage(
         "join",
@@ -269,7 +300,13 @@ pub fn join_query(p: &JoinQueryParams) -> JobSpec {
         1,
         OperatorKind::Windowed { slide: win.slide() },
         p.costs.final_,
-        move |ctx| Box::new(WindowAggregate::new(win, Aggregation::Sum, ctx.num_channels())),
+        move |ctx| {
+            Box::new(WindowAggregate::new(
+                win,
+                Aggregation::Sum,
+                ctx.num_channels(),
+            ))
+        },
     );
 
     b.connect(src_l, parse_l, Routing::Partition);
@@ -277,7 +314,8 @@ pub fn join_query(p: &JoinQueryParams) -> JobSpec {
     b.connect(parse_l, join, Routing::Partition);
     b.connect(parse_r, join, Routing::Partition);
     b.connect(join, final_, Routing::Partition);
-    b.build().expect("join query shape is valid by construction")
+    b.build()
+        .expect("join query shape is valid by construction")
 }
 
 /// IPQ1: periodic tumbling-window revenue sum (§6.1).

@@ -27,7 +27,10 @@ impl WindowSpec {
 
     pub fn sliding(size: u64, slide: u64) -> Self {
         assert!(slide > 0 && size >= slide, "need 0 < slide <= size");
-        assert!(size % slide == 0, "size must be a multiple of slide");
+        assert!(
+            size.is_multiple_of(slide),
+            "size must be a multiple of slide"
+        );
         WindowSpec::Sliding { size, slide }
     }
 
@@ -51,7 +54,8 @@ impl WindowSpec {
     /// `[k·slide, k·slide + size)`; the id is `k`.
     pub fn windows_for(&self, p: LogicalTime) -> WindowIter {
         let (size, slide) = (self.size(), self.slide().0);
-        let last = p.0 / slide; // largest k with k*slide <= p
+        // largest k with k*slide <= p
+        let last = p.0 / slide;
         // smallest k with k*slide + size > p, clamped at 0
         let first = (p.0 + slide).saturating_sub(size) / slide;
         WindowIter {
@@ -153,7 +157,10 @@ mod tests {
         for &k in &ids {
             let start = w.window_start(k).0;
             let end = w.window_end(k).0;
-            assert!(start <= 100 && 100 < end, "window {k} [{start},{end}) must contain 100");
+            assert!(
+                start <= 100 && 100 < end,
+                "window {k} [{start},{end}) must contain 100"
+            );
         }
     }
 

@@ -210,8 +210,7 @@ fn serve_conn(
             }
             Ok(None) => return, // clean EOF
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 continue; // poll the stop flag
             }

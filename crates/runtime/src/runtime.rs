@@ -1,34 +1,56 @@
-//! The real-time actor runtime: a worker pool draining the Cameo
-//! scheduler under wall-clock time.
+//! The real-time actor runtime: a worker pool draining the *sharded*
+//! Cameo scheduler under wall-clock time.
 //!
 //! This is the Flare/Orleans role in the paper's stack, rebuilt the way
 //! the networking guides recommend for a CPU-scheduling executor: plain
 //! worker *threads* (not an async runtime — operators are CPU-bound and
-//! the scheduler itself decides interleaving), a condvar-parked shared
-//! run queue, and actor exclusivity enforced by operator leases plus a
-//! per-instance mutex (never contended in steady state, because the
-//! scheduler leases an operator to one worker at a time).
+//! the scheduler itself decides interleaving), and actor exclusivity
+//! enforced by operator leases plus a per-instance mutex (never
+//! contended in steady state, because the scheduler leases an operator
+//! to one worker at a time).
+//!
+//! ## Scheduling path
+//!
+//! Earlier versions funneled every `submit`/`acquire`/`decide`/`release`
+//! through a single `Mutex<CameoScheduler>`, so all workers serialized
+//! on one lock per message — the opposite of the paper's "scheduler
+//! overhead stays negligible as workers scale" claim (§5.2, Fig 12).
+//! The runtime now drives a [`ShardedScheduler`]: operators hash to
+//! independent scheduler shards, each worker is *affine* to a home
+//! shard (`worker_index % shards`), and a worker steals the globally
+//! most urgent operator from other shards whenever its home shard is
+//! idle or strictly less urgent. Per-shard condvars replace the single
+//! condvar: `submit` wakes a worker parked on the target operator's
+//! shard, and parks are bounded (`PARK_TIMEOUT`) so cross-shard work is
+//! picked up promptly even when wakeups race.
 //!
 //! Lock ordering: a worker holds at most one instance lock at a time;
 //! reply application locks the *sender* instance only after the
-//! executing instance's guard is dropped. The run-queue mutex is never
-//! held while an instance lock is held.
+//! executing instance's guard is dropped. No shard lock is ever held
+//! while an instance lock is held (the sharded scheduler acquires and
+//! releases its internal locks within each call).
 
 use crate::msg::{RtMsg, SenderRef};
 use crate::stats::{JobStats, JobStatsSnapshot};
 use cameo_core::config::SchedulerConfig;
 use cameo_core::ids::JobId;
 use cameo_core::policy::{LlfPolicy, MessageStamp, Policy};
-use cameo_core::scheduler::{CameoScheduler, Decision, SchedulerStats};
+use cameo_core::scheduler::{Decision, SchedulerStats};
+use cameo_core::shard::ShardedScheduler;
 use cameo_core::time::{Clock, Micros, PhysicalTime, SystemClock};
 use cameo_dataflow::event::{Batch, Tuple};
 use cameo_dataflow::expand::{route_batch, ExpandOptions, ExpandedJob, OperatorInstance};
 use cameo_dataflow::graph::JobSpec;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on how long an idle worker sleeps before rescanning all
+/// shards. This is the worst-case steal latency when every wakeup
+/// races; in steady state submits wake the right shard directly.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 
 /// An output emitted by a job's sink operator.
 #[derive(Clone, Debug)]
@@ -48,6 +70,12 @@ pub struct RuntimeConfig {
     pub workers: usize,
     pub quantum: Micros,
     pub policy: Arc<dyn Policy>,
+    /// Scheduler shards. `0` (default) auto-sizes to
+    /// `min(workers, 8)`; the count is always clamped to `workers` so
+    /// every shard has at least one affine worker.
+    pub shards: usize,
+    /// Steal slack passed through to [`SchedulerConfig`].
+    pub steal_threshold: Micros,
 }
 
 impl Default for RuntimeConfig {
@@ -58,6 +86,8 @@ impl Default for RuntimeConfig {
                 .unwrap_or(4),
             quantum: Micros::from_millis(1),
             policy: Arc::new(LlfPolicy),
+            shards: 0,
+            steal_threshold: Micros::ZERO,
         }
     }
 }
@@ -78,6 +108,27 @@ impl RuntimeConfig {
         self.policy = p;
         self
     }
+
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    pub fn with_steal_threshold(mut self, slack: Micros) -> Self {
+        self.steal_threshold = slack;
+        self
+    }
+
+    fn effective_shards(&self) -> usize {
+        let requested = if self.shards == 0 {
+            self.workers.min(8)
+        } else {
+            self.shards
+        };
+        // `workers == 0` (a queue-only runtime that never drains) is
+        // still a valid configuration; it gets one shard to submit into.
+        requested.clamp(1, self.workers.max(1))
+    }
 }
 
 struct JobRt {
@@ -90,11 +141,16 @@ struct JobRt {
 
 struct Shared {
     clock: SystemClock,
-    queue: Mutex<CameoScheduler<RtMsg>>,
-    cv: Condvar,
+    sched: ShardedScheduler<RtMsg>,
     jobs: RwLock<Vec<Arc<JobRt>>>,
     policy: Arc<dyn Policy>,
     shutdown: AtomicBool,
+}
+
+/// Recover a poisoned guard: a panicking operator must not wedge the
+/// rest of the runtime (mirrors the old parking_lot behavior).
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 impl Shared {
@@ -104,12 +160,9 @@ impl Shared {
 
     fn submit(&self, key: cameo_core::ids::OperatorKey, msg: RtMsg) {
         let pri = msg.pc.priority;
-        let newly_runnable = {
-            let mut q = self.queue.lock();
-            q.submit(key, msg, pri)
-        };
-        if newly_runnable {
-            self.cv.notify_one();
+        let sub = self.sched.submit(key, msg, pri);
+        if sub.newly_runnable {
+            self.sched.notify_shard(sub.shard);
         }
     }
 }
@@ -122,12 +175,15 @@ pub struct Runtime {
 
 impl Runtime {
     pub fn start(config: RuntimeConfig) -> Self {
+        let shards = config.effective_shards();
         let shared = Arc::new(Shared {
             clock: SystemClock::new(),
-            queue: Mutex::new(CameoScheduler::new(
-                SchedulerConfig::default().with_quantum(config.quantum),
-            )),
-            cv: Condvar::new(),
+            sched: ShardedScheduler::new(
+                SchedulerConfig::default()
+                    .with_quantum(config.quantum)
+                    .with_shards(shards)
+                    .with_steal_threshold(config.steal_threshold),
+            ),
             jobs: RwLock::new(Vec::new()),
             policy: config.policy.clone(),
             shutdown: AtomicBool::new(false),
@@ -135,9 +191,10 @@ impl Runtime {
         let workers = (0..config.workers)
             .map(|i| {
                 let sh = shared.clone();
+                let home = i % shards;
                 std::thread::Builder::new()
                     .name(format!("cameo-worker-{i}"))
-                    .spawn(move || worker_loop(sh))
+                    .spawn(move || worker_loop(sh, home))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -145,10 +202,21 @@ impl Runtime {
     }
 
     /// Deploy a job; events may be ingested immediately afterwards.
+    ///
+    /// Panics if the expanded job has no ingest operators: such a job
+    /// could never receive events, and catching it here (rather than as
+    /// a division-by-zero inside [`Runtime::ingest`]) points at the
+    /// actual mistake — a `JobSpec` whose first stage has no instances.
     pub fn deploy(&self, spec: &JobSpec, opts: &ExpandOptions) -> JobHandle {
-        let mut jobs = self.shared.jobs.write();
+        let mut jobs = self.shared.jobs.write().unwrap_or_else(|p| p.into_inner());
         let id = JobId(jobs.len() as u32);
         let exp = ExpandedJob::expand(spec, id, opts);
+        assert!(
+            !exp.ingests.is_empty(),
+            "job '{}' expands to zero ingest operators; every deployable \
+             JobSpec needs at least one source instance",
+            spec.name
+        );
         let job = JobRt {
             ingests: exp.ingests.clone(),
             latency_constraint: exp.latency_constraint,
@@ -162,11 +230,9 @@ impl Runtime {
 
     /// Subscribe to a job's sink outputs.
     pub fn subscribe(&self, job: JobHandle) -> Receiver<OutputEvent> {
-        let (tx, rx) = unbounded();
-        self.shared.jobs.read()[job.0 as usize]
-            .subscribers
-            .lock()
-            .push(tx);
+        let (tx, rx) = channel();
+        let jobs = self.shared.jobs.read().unwrap_or_else(|p| p.into_inner());
+        relock(&jobs[job.0 as usize].subscribers).push(tx);
         rx
     }
 
@@ -189,9 +255,10 @@ impl Runtime {
     pub fn ingest_batch(&self, job: JobHandle, source: u32, mut batch: Batch) {
         let now = self.shared.now();
         batch.time = now;
-        let jobs = self.shared.jobs.read();
-        let jrt = jobs[job.0 as usize].clone();
-        drop(jobs);
+        let jrt = {
+            let jobs = self.shared.jobs.read().unwrap_or_else(|p| p.into_inner());
+            jobs[job.0 as usize].clone()
+        };
         let ingest_idx = jrt.ingests[source as usize % jrt.ingests.len()];
         let stamp = MessageStamp {
             progress: batch.progress,
@@ -199,7 +266,7 @@ impl Runtime {
         };
         let mut outbound = Vec::new();
         {
-            let mut inst = jrt.instances[ingest_idx].lock();
+            let mut inst = relock(&jrt.instances[ingest_idx]);
             let jid = JobId(job.0);
             let constraint = jrt.latency_constraint;
             let inst = &mut *inst;
@@ -234,17 +301,24 @@ impl Runtime {
 
     /// Latency statistics of a job's sink outputs.
     pub fn job_stats(&self, job: JobHandle) -> JobStatsSnapshot {
-        self.shared.jobs.read()[job.0 as usize].stats.snapshot()
+        self.shared.jobs.read().unwrap_or_else(|p| p.into_inner())[job.0 as usize]
+            .stats
+            .snapshot()
     }
 
-    /// Scheduler counters.
+    /// Scheduler counters, aggregated across shards.
     pub fn scheduler_stats(&self) -> SchedulerStats {
-        self.shared.queue.lock().stats()
+        self.shared.sched.stats()
+    }
+
+    /// Number of scheduler shards in use.
+    pub fn shard_count(&self) -> usize {
+        self.shared.sched.shard_count()
     }
 
     /// Pending message count.
     pub fn queue_len(&self) -> usize {
-        self.shared.queue.lock().len()
+        self.shared.sched.len()
     }
 
     /// Wait (bounded) for the queue to drain.
@@ -261,8 +335,12 @@ impl Runtime {
 
     /// Stop all workers and join them. Pending messages are dropped.
     pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.cv.notify_all();
+        self.shared.sched.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -271,51 +349,38 @@ impl Runtime {
 
 impl Drop for Runtime {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.cv.notify_all();
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
+        self.stop_workers();
     }
 }
 
-fn worker_loop(sh: Arc<Shared>) {
+fn worker_loop(sh: Arc<Shared>, home: usize) {
     loop {
-        // Acquire the most urgent operator, parking when idle.
-        let exec = {
-            let mut q = sh.queue.lock();
-            loop {
-                if sh.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                if let Some(exec) = q.acquire(sh.now()) {
-                    break exec;
-                }
-                sh.cv.wait(&mut q);
-            }
+        if sh.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Acquire the most urgent operator (home shard first, stealing
+        // from hotter shards), parking briefly when everything is idle.
+        let Some(exec) = sh.sched.acquire(home, sh.now()) else {
+            sh.sched.park(home, PARK_TIMEOUT);
+            continue;
         };
         // Drain the operator until the scheduler says stop.
         loop {
-            let msg = {
-                let mut q = sh.queue.lock();
-                q.take_message(&exec)
-            };
-            let Some((msg, _pri)) = msg else {
-                sh.queue.lock().release(exec);
+            let Some((msg, _pri)) = sh.sched.take_message(&exec) else {
+                sh.sched.release(exec);
                 break;
             };
             process_message(&sh, exec.key(), msg);
-            let decision = {
-                let mut q = sh.queue.lock();
-                q.decide(&exec, sh.now())
-            };
-            match decision {
+            match sh.sched.decide(&exec, sh.now()) {
                 Decision::Continue => continue,
                 Decision::Swap | Decision::Idle => {
-                    sh.queue.lock().release(exec);
+                    let shard = exec.shard();
                     // The released operator may still be runnable (swap
-                    // leaves messages behind); wake a parked sibling.
-                    sh.cv.notify_one();
+                    // leaves messages behind); wake a parked sibling on
+                    // that shard.
+                    if sh.sched.release(exec) {
+                        sh.sched.notify_shard(shard);
+                    }
                     break;
                 }
             }
@@ -326,9 +391,10 @@ fn worker_loop(sh: Arc<Shared>) {
 /// Execute one message on its operator: run the UDF, record the cost,
 /// acknowledge upstream, route outputs downstream.
 fn process_message(sh: &Arc<Shared>, key: cameo_core::ids::OperatorKey, msg: RtMsg) {
-    let jobs = sh.jobs.read();
-    let jrt = jobs[key.job.0 as usize].clone();
-    drop(jobs);
+    let jrt = {
+        let jobs = sh.jobs.read().unwrap_or_else(|p| p.into_inner());
+        jobs[key.job.0 as usize].clone()
+    };
     let op_idx = key.op as usize;
 
     let mut outbound: Vec<(usize, RtMsg)> = Vec::new();
@@ -336,7 +402,7 @@ fn process_message(sh: &Arc<Shared>, key: cameo_core::ids::OperatorKey, msg: RtM
     let mut outputs: Vec<Batch> = Vec::new();
     let is_sink;
     {
-        let mut guard = jrt.instances[op_idx].lock();
+        let mut guard = relock(&jrt.instances[op_idx]);
         let inst = &mut *guard;
         is_sink = inst.is_sink;
         let started = sh.now();
@@ -348,7 +414,10 @@ fn process_message(sh: &Arc<Shared>, key: cameo_core::ids::OperatorKey, msg: RtM
         let cost = sh.now() - started;
         inst.converter.profile.record_own_cost(cost);
         if let Some(sender) = msg.sender {
-            reply = Some((sender, sh.policy.prepare_reply(&inst.converter, inst.is_sink)));
+            reply = Some((
+                sender,
+                sh.policy.prepare_reply(&inst.converter, inst.is_sink),
+            ));
         }
         if !inst.is_sink {
             let sender_op = op_idx as u32;
@@ -386,7 +455,7 @@ fn process_message(sh: &Arc<Shared>, key: cameo_core::ids::OperatorKey, msg: RtM
         let now = sh.now();
         for b in &outputs {
             jrt.stats.record(now, b.time, b.len());
-            let mut subs = jrt.subscribers.lock();
+            let mut subs = relock(&jrt.subscribers);
             subs.retain(|tx| {
                 tx.send(OutputEvent {
                     job: JobHandle(key.job.0),
@@ -400,11 +469,12 @@ fn process_message(sh: &Arc<Shared>, key: cameo_core::ids::OperatorKey, msg: RtM
     }
     if let Some((sender, rc)) = reply {
         let sender_jrt = {
-            let jobs = sh.jobs.read();
+            let jobs = sh.jobs.read().unwrap_or_else(|p| p.into_inner());
             jobs[sender.job as usize].clone()
         };
-        let mut inst = sender_jrt.instances[sender.op as usize].lock();
-        sh.policy.process_reply(&mut inst.converter, sender.edge, &rc);
+        let mut inst = relock(&sender_jrt.instances[sender.op as usize]);
+        sh.policy
+            .process_reply(&mut inst.converter, sender.edge, &rc);
     }
     for (target, m) in outbound {
         let tkey = cameo_core::ids::OperatorKey::new(key.job, target as u32);
@@ -494,5 +564,91 @@ mod tests {
         assert!(rt.drain(std::time::Duration::from_secs(5)));
         assert!(rt.scheduler_stats().messages_scheduled > 0);
         rt.shutdown();
+    }
+
+    #[test]
+    fn zero_worker_runtime_still_constructs() {
+        // A queue-only runtime (submissions accumulate, nothing drains)
+        // was accepted before the sharding refactor and must stay valid.
+        let rt = Runtime::start(RuntimeConfig {
+            workers: 0,
+            ..Default::default()
+        });
+        assert_eq!(rt.shard_count(), 1);
+        let job = rt.deploy(&tiny_query("q", 5_000), &ExpandOptions::default());
+        rt.ingest(job, 0, vec![Tuple::new(1, 1, LogicalTime(1))]);
+        assert!(rt.queue_len() > 0, "message queued with no one to drain it");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn explicit_shard_count_is_clamped_to_workers() {
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(2).with_shards(16));
+        assert_eq!(rt.shard_count(), 2, "shards clamp to worker count");
+        rt.shutdown();
+
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(4).with_shards(3));
+        assert_eq!(rt.shard_count(), 3);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn sharded_runtime_processes_everything() {
+        let rt = Runtime::start(
+            RuntimeConfig::default()
+                .with_workers(4)
+                .with_shards(4)
+                .with_quantum(Micros(100)),
+        );
+        let job = rt.deploy(&tiny_query("sh", 5_000), &ExpandOptions::default());
+        let before = rt.job_stats(job).outputs;
+        assert_eq!(before, 0);
+        for round in 0..20u64 {
+            for source in [0u32, 1] {
+                let tuples = (0..20)
+                    .map(|i| Tuple::new(i, 1, LogicalTime(round * 1_000 + i)))
+                    .collect();
+                rt.ingest(job, source, tuples);
+            }
+        }
+        for source in [0u32, 1] {
+            rt.ingest(job, source, vec![Tuple::new(0, 1, LogicalTime(90_000))]);
+        }
+        assert!(rt.drain(std::time::Duration::from_secs(10)));
+        let stats = rt.scheduler_stats();
+        assert!(stats.messages_scheduled > 0);
+        assert!(
+            rt.job_stats(job).outputs >= 1,
+            "windows fired across shards"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero ingest operators")]
+    fn deploy_rejects_jobs_without_ingests() {
+        use cameo_dataflow::graph::StageSpec;
+        use cameo_dataflow::operator::OperatorKind;
+        use cameo_dataflow::ops::Passthrough;
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(1));
+        // `JobBuilder::build` validates an ingest stage exists, but the
+        // JobSpec fields are public — a hand-assembled spec used to slip
+        // through deploy and blow up later as a division-by-zero inside
+        // `ingest`. It must be rejected at deploy time with a message
+        // naming the actual mistake.
+        let spec = JobSpec {
+            name: "empty".into(),
+            latency_constraint: Micros::from_millis(500),
+            time_domain: cameo_core::progress::TimeDomain::IngestionTime,
+            stages: vec![StageSpec {
+                name: "only".into(),
+                parallelism: 1,
+                kind: OperatorKind::Regular,
+                cost_hint: Micros(10),
+                factory: Some(Arc::new(|_ctx| Box::new(Passthrough))),
+            }],
+            edges: vec![],
+        };
+        let _ = rt.deploy(&spec, &ExpandOptions::default());
     }
 }

@@ -2,7 +2,7 @@
 
 use cameo_core::stats::Histogram;
 use cameo_core::time::{Micros, PhysicalTime};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Snapshot of a job's output statistics.
 #[derive(Clone, Debug)]
@@ -54,7 +54,7 @@ impl JobStats {
 
     pub fn record(&self, produced_at: PhysicalTime, input_time: PhysicalTime, tuples: usize) {
         let latency = produced_at - input_time;
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         g.latency.record(latency);
         g.outputs += 1;
         g.output_tuples += tuples as u64;
@@ -64,7 +64,7 @@ impl JobStats {
     }
 
     pub fn snapshot(&self) -> JobStatsSnapshot {
-        let g = self.inner.lock();
+        let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         JobStatsSnapshot {
             outputs: g.outputs,
             output_tuples: g.output_tuples,

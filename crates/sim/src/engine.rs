@@ -14,7 +14,9 @@
 
 use crate::cluster::{ClusterSpec, Placement, OFF_CLUSTER};
 use crate::costmodel::{CostConfig, CostModel};
-use crate::dispatch::{CameoDispatcher, DispatchLease, Dispatcher, OrleansDispatcher, SlotDispatcher};
+use crate::dispatch::{
+    CameoDispatcher, DispatchLease, Dispatcher, OrleansDispatcher, SlotDispatcher,
+};
 use crate::message::{SenderRef, SimMsg};
 use crate::metrics::{SchedEvent, SimMetrics};
 use crate::workload::WorkloadGen;
@@ -93,6 +95,13 @@ pub struct EngineConfig {
     pub sched: SchedulerKind,
     /// Re-scheduling quantum (§5.2; default 1 ms).
     pub quantum: Micros,
+    /// Scheduler shards per node for the Cameo/FIFO dispatchers. The
+    /// default of 1 reproduces the single two-level queue bit-for-bit;
+    /// larger values model the sharded hot path (still deterministic —
+    /// the event loop is single-threaded).
+    pub shards: usize,
+    /// Steal slack for multi-shard dispatch (ignored at 1 shard).
+    pub steal_threshold: Micros,
     pub cost: CostConfig,
     pub seed: u64,
     /// Capture sink output records for correctness checks.
@@ -114,6 +123,8 @@ impl EngineConfig {
             cluster,
             sched,
             quantum: Micros::from_millis(1),
+            shards: 1,
+            steal_threshold: Micros::ZERO,
             cost: CostConfig::default(),
             seed: 1,
             capture_outputs: false,
@@ -131,7 +142,12 @@ enum Ev {
     /// Message arrives at a target operator's node.
     Deliver { job: u16, op: u32, msg: SimMsg },
     /// Acknowledgement (RC) arrives back at the sending operator.
-    Reply { job: u16, op: u32, edge: u32, rc: ReplyContext },
+    Reply {
+        job: u16,
+        op: u32,
+        edge: u32,
+        rc: ReplyContext,
+    },
     /// Worker finishes its current message.
     Complete { node: u16, worker: u16 },
 }
@@ -225,7 +241,10 @@ impl Engine {
         let make_dispatcher = |workers: u16| -> Box<dyn Dispatcher> {
             match cfg.sched {
                 SchedulerKind::Cameo(_) | SchedulerKind::Fifo => Box::new(CameoDispatcher::new(
-                    SchedulerConfig::default().with_quantum(cfg.quantum),
+                    SchedulerConfig::default()
+                        .with_quantum(cfg.quantum)
+                        .with_shards(cfg.shards)
+                        .with_steal_threshold(cfg.steal_threshold),
                 )),
                 SchedulerKind::OrleansLike => {
                     Box::new(OrleansDispatcher::new(workers, cfg.quantum))
@@ -315,10 +334,7 @@ impl Engine {
     pub fn sched_stats(&self) -> SchedulerStats {
         let mut total = SchedulerStats::default();
         for n in &self.nodes {
-            let s = n.disp.stats();
-            total.messages_scheduled += s.messages_scheduled;
-            total.operator_acquisitions += s.operator_acquisitions;
-            total.quantum_swaps += s.quantum_swaps;
+            total.merge(n.disp.stats());
         }
         total
     }
@@ -490,10 +506,8 @@ impl Engine {
     fn complete(&mut self, node: u16, worker: u16) {
         let policy = self.policy.clone();
         let w = &mut self.nodes[node as usize].workers[worker as usize];
-        let Running { lease, msg, cost } = w
-            .running
-            .take()
-            .expect("complete fired for idle worker");
+        let Running { lease, msg, cost } =
+            w.running.take().expect("complete fired for idle worker");
         w.completing = true;
         let key = lease.key;
         let job = key.job.0 as usize;

@@ -27,6 +27,10 @@ pub struct Scenario {
     pub cluster: ClusterSpec,
     pub sched: SchedulerKind,
     pub quantum: Micros,
+    /// Scheduler shards per node (Cameo/FIFO dispatchers); 1 = the
+    /// paper's single two-level queue.
+    pub shards: usize,
+    pub steal_threshold: Micros,
     pub cost: CostConfig,
     pub seed: u64,
     pub capture_outputs: bool,
@@ -43,6 +47,8 @@ impl Scenario {
             cluster,
             sched,
             quantum: Micros::from_millis(1),
+            shards: 1,
+            steal_threshold: Micros::ZERO,
             cost: CostConfig::default(),
             seed: 1,
             capture_outputs: false,
@@ -56,6 +62,16 @@ impl Scenario {
 
     pub fn with_quantum(mut self, q: Micros) -> Self {
         self.quantum = q;
+        self
+    }
+
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    pub fn with_steal_threshold(mut self, slack: Micros) -> Self {
+        self.steal_threshold = slack;
         self
     }
 
@@ -106,8 +122,11 @@ impl Scenario {
         opts: ExpandOptions,
     ) -> &mut Self {
         assert_eq!(
-            spec.stages.iter().filter(|s| s.is_ingest()).map(|s| s.parallelism).sum::<u32>()
-                as usize,
+            spec.stages
+                .iter()
+                .filter(|s| s.is_ingest())
+                .map(|s| s.parallelism)
+                .sum::<u32>() as usize,
             workload.sources.len(),
             "workload must define one source pattern per ingest instance of '{}'",
             spec.name
@@ -129,6 +148,8 @@ impl Scenario {
         let label = self.sched.label();
         let mut cfg = EngineConfig::new(self.cluster, self.sched);
         cfg.quantum = self.quantum;
+        cfg.shards = self.shards;
+        cfg.steal_threshold = self.steal_threshold;
         cfg.cost = self.cost;
         cfg.seed = self.seed;
         cfg.capture_outputs = self.capture_outputs;

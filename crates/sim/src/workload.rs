@@ -235,7 +235,13 @@ impl WorkloadSpec {
         seed: u64,
     ) -> Self {
         assert!(alpha > 1.0 && sources > 0 && spread >= 1.0);
-        let base = Self::skewed(sources, total_msgs_per_sec, spread, tuples_per_msg, duration);
+        let base = Self::skewed(
+            sources,
+            total_msgs_per_sec,
+            spread,
+            tuples_per_msg,
+            duration,
+        );
         let seconds = (duration.0 / 1_000_000).max(1);
         // One burst sequence for the whole stream: spikes are correlated
         // across its sources, concentrating on the hot ones.

@@ -137,7 +137,10 @@ fn ipq4_join_pipeline_completes() {
 
 #[test]
 fn multi_tenant_multi_node_runs() {
-    let mut sc = Scenario::new(ClusterSpec::new(4, 2), SchedulerKind::Cameo(PolicyKind::Llf));
+    let mut sc = Scenario::new(
+        ClusterSpec::new(4, 2),
+        SchedulerKind::Cameo(PolicyKind::Llf),
+    );
     for i in 0..3 {
         let params = AggQueryParams::new(format!("job{i}"), 1_000_000, Micros::from_millis(800))
             .with_sources(4)

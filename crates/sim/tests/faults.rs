@@ -5,13 +5,10 @@ use cameo_dataflow::queries::{agg_query, AggQueryParams};
 use cameo_sim::prelude::*;
 
 fn base_scenario(sched: SchedulerKind, jitter: Micros, no_replies: bool) -> Scenario {
-    let mut sc = Scenario::new(
-        ClusterSpec::new(2, 2).with_net_jitter(jitter),
-        sched,
-    )
-    .with_seed(17)
-    .capture_outputs(true)
-    .disable_replies(no_replies);
+    let mut sc = Scenario::new(ClusterSpec::new(2, 2).with_net_jitter(jitter), sched)
+        .with_seed(17)
+        .capture_outputs(true)
+        .disable_replies(no_replies);
     let params = AggQueryParams::new("f", 500_000, Micros::from_millis(800))
         .with_sources(4)
         .with_parallelism(2)

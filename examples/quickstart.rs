@@ -67,7 +67,10 @@ fn main() {
     }
 
     let stats = rt.job_stats(job);
-    println!("\n{} tuples ingested; {} windows emitted", sent, stats.outputs);
+    println!(
+        "\n{} tuples ingested; {} windows emitted",
+        sent, stats.outputs
+    );
     println!(
         "latency: p50={} p99={} max={}  deadlines met: {:.1}%",
         stats.p50,

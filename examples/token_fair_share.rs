@@ -26,10 +26,14 @@ fn main() {
     let tokens = [30u64, 60, 60];
     for (i, &t) in tokens.iter().enumerate() {
         let spec = agg_query(
-            &AggQueryParams::new(format!("tenant-{}", i + 1), 1_000_000, Micros::from_secs(10))
-                .with_sources(8)
-                .with_parallelism(4)
-                .with_costs(StageCosts::default().scaled(4.0)),
+            &AggQueryParams::new(
+                format!("tenant-{}", i + 1),
+                1_000_000,
+                Micros::from_secs(10),
+            )
+            .with_sources(8)
+            .with_parallelism(4)
+            .with_costs(StageCosts::default().scaled(4.0)),
         );
         sc.add_job_with(
             spec,

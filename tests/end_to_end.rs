@@ -7,7 +7,12 @@ use std::collections::BTreeMap;
 /// Replays a workload directly through window assignment to compute
 /// the expected (window, key) -> sum table, independently of the whole
 /// dataflow/scheduling machinery.
-fn expected_sums(spec: WorkloadSpec, seed: u64, window: u64, keys: u64) -> BTreeMap<(u64, u64), i64> {
+fn expected_sums(
+    spec: WorkloadSpec,
+    seed: u64,
+    window: u64,
+    keys: u64,
+) -> BTreeMap<(u64, u64), i64> {
     let mut gen = WorkloadGen::new(spec, seed);
     let mut all: Vec<Tuple> = Vec::new();
     let mut per_source_progress: Vec<u64> = Vec::new();
@@ -63,7 +68,10 @@ fn simulated_pipeline_matches_direct_evaluation() {
     // Scenario derives the generator seed from the scenario seed and
     // job index 0, so the direct evaluation replays the same stream.
     let expected = expected_sums(mk_wl(), seed, window, keys);
-    assert!(!expected.is_empty(), "direct evaluation found no complete windows");
+    assert!(
+        !expected.is_empty(),
+        "direct evaluation found no complete windows"
+    );
     for (k, v) in &expected {
         assert_eq!(got.get(k), Some(v), "window/key {k:?} mismatch");
     }
@@ -94,7 +102,14 @@ fn count_aggregation_counts_every_tuple() {
             wl
         });
         let report = sc.run();
-        let total: i64 = report.job(0).captured.as_ref().unwrap().iter().map(|&(_, _, v)| v).sum();
+        let total: i64 = report
+            .job(0)
+            .captured
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|&(_, _, v)| v)
+            .sum();
         // 4 sources x 20 msg/s x 50 tuples x 2s = 8000 generated; fired
         // windows hold most of them (the final partial window can't fire).
         assert!(
@@ -189,6 +204,14 @@ fn latency_constraint_separates_groups() {
         );
     }
     let report = sc.run();
-    assert_eq!(report.job(0).success_rate(), 0.0, "1us budget is unmeetable");
-    assert_eq!(report.job(1).success_rate(), 1.0, "60s budget is trivially met");
+    assert_eq!(
+        report.job(0).success_rate(),
+        0.0,
+        "1us budget is unmeetable"
+    );
+    assert_eq!(
+        report.job(1).success_rate(),
+        1.0,
+        "60s budget is trivially met"
+    );
 }

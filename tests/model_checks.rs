@@ -9,9 +9,15 @@ use std::collections::BTreeMap;
 /// model (a multiset of (operator, priority, id) triples).
 #[derive(Clone, Debug)]
 enum QueueOp {
-    Push { op: u32, local: i8, global: i8 },
+    Push {
+        op: u32,
+        local: i8,
+        global: i8,
+    },
     /// Pop the best operator and drain up to `take` messages.
-    PopDrain { take: u8 },
+    PopDrain {
+        take: u8,
+    },
 }
 
 fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
@@ -196,8 +202,7 @@ proptest! {
         let mut seen = vec![false; msgs.len()];
         let mut now = 0u64;
         while let Some(exec) = s.acquire(PhysicalTime(now)) {
-            loop {
-                let Some((m, _)) = s.take_message(&exec) else { break };
+            while let Some((m, _)) = s.take_message(&exec) {
                 prop_assert!(!seen[m], "duplicate {}", m);
                 seen[m] = true;
                 now += 100; // each message "takes" 100us

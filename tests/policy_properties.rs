@@ -196,6 +196,9 @@ fn ewma_bounded_by_observations() {
     for &v in &values {
         est.record(Micros(v));
         let e = est.estimate().0;
-        assert!(e >= 1 && e <= 12_000, "estimate {e} out of observed range");
+        assert!(
+            (1..=12_000).contains(&e),
+            "estimate {e} out of observed range"
+        );
     }
 }

@@ -95,7 +95,9 @@ fn tcp_ingest_end_to_end() {
             .send(&IngestFrame {
                 job: job.0,
                 source,
-                tuples: (0..20).map(|i| Tuple::new(i % 8, 1, LogicalTime(1 + i))).collect(),
+                tuples: (0..20)
+                    .map(|i| Tuple::new(i % 8, 1, LogicalTime(1 + i)))
+                    .collect(),
             })
             .expect("send");
         client
