@@ -63,7 +63,9 @@ fn bench_pop_cycle(c: &mut Criterion) {
 
 fn bench_peek_best(c: &mut Criterion) {
     c.bench_function("queue_peek_best_1000ops", |b| {
-        let mut q = loaded_queue(1_000, 8);
+        // `peek_best` is now a `&self` O(1) read (the heap top is kept
+        // eagerly valid by push/pop).
+        let q = loaded_queue(1_000, 8);
         b.iter(|| std::hint::black_box(q.peek_best()));
     });
 }

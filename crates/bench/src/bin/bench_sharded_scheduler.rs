@@ -1,28 +1,38 @@
-//! Contended scheduler throughput: messages/second of closed-loop
-//! submit → acquire → drain → release cycles, swept over scheduler
-//! configuration × worker threads.
+//! Contended scheduler throughput plus single-threaded submit overhead,
+//! swept over scheduler configuration × worker threads.
 //!
-//! This is the experiment behind the sharded-scheduler refactor. The
-//! baseline (`mutex`) is the pre-refactor hot path verbatim: one
-//! `Mutex<CameoScheduler>` that every worker locks for every submit,
-//! acquire, take and release. The sharded rows run the same loop
-//! against a [`ShardedScheduler`] with 1/2/4/8 shards — per-shard
-//! locks, home-shard affinity, urgency-aware stealing enabled.
+//! Two experiments in one artifact:
 //!
-//! Each worker owns a disjoint set of operators placed on its home
-//! shard (the runtime's steady state). A cycle submits a burst of
-//! `BURST` messages across its operators, then acquires and drains
-//! until its backlog is gone — the lock cadence of the real worker
-//! loop (one lock per submit, per take, per lease transition).
+//! 1. **Closed-loop throughput** (`cells`): messages/second of
+//!    submit → acquire → drain → release cycles. The baseline (`mutex`)
+//!    is the pre-sharding hot path verbatim: one `Mutex<CameoScheduler>`
+//!    that every worker locks for every submit, acquire, take and
+//!    release. The `locked-N` rows run the sharded scheduler with its
+//!    *locked* ingress (submit takes the shard mutex — the pre-mailbox
+//!    hot path), and the `mailbox-N` rows run the default *lock-free*
+//!    ingress (submit = mailbox CAS + hint CAS, drains fold the mailbox
+//!    in at lease boundaries), so the mailbox path is measured against
+//!    the locked path in the same run.
+//! 2. **Submit overhead** (`submit_ns`): single-threaded nanoseconds
+//!    per `submit` for the bare (unlocked) `CameoScheduler` vs both
+//!    sharded ingress paths, measured on submit-only bursts with the
+//!    drain untimed. `overhead_ns_*` = path minus bare; this is the
+//!    number the lock-free-ingress work targets (≤ 45 ns for the
+//!    mailbox path, half the locked path's historical ~90 ns).
+//!
+//! Each closed-loop worker owns a disjoint set of operators placed on
+//! its home shard (the runtime's steady state). A cycle submits a burst
+//! of `BURST` messages across its operators, then acquires and drains
+//! until its backlog is gone — the cadence of the real worker loop.
 //!
 //! Output: a table on stdout and `BENCH_sharded_scheduler.json` in the
 //! current directory, so later PRs have a perf trajectory to compare
 //! against. The artifact records the CPU count: on a single-core
 //! container the no-contention ceiling at W workers is the single-
 //! worker rate, so speedups there measure *contention tax removed*
-//! (lock handoffs, futex sleeps), not parallel scaling. Pass `--full`
-//! for longer measurement windows, `--out PATH` to redirect the
-//! artifact.
+//! (lock handoffs, futex sleeps), not parallel scaling. Pass `--quick`
+//! for a CI smoke run (seconds), `--full` for longer measurement
+//! windows, `--out PATH` to redirect the artifact.
 
 use cameo_bench::BenchArgs;
 use cameo_core::config::SchedulerConfig;
@@ -40,6 +50,9 @@ use std::time::{Duration, Instant};
 const OPS_PER_WORKER: u32 = 32;
 /// Messages submitted per closed-loop cycle before draining.
 const BURST: u64 = 4;
+/// Submit-only burst length for the overhead measurement (long enough
+/// to amortize the two `Instant::now` calls around it).
+const SUBMIT_BURST: u64 = 64;
 
 struct Cell {
     config: String,
@@ -47,6 +60,7 @@ struct Cell {
     workers: usize,
     msgs_per_sec: f64,
     steals: u64,
+    mailbox_drained: u64,
 }
 
 /// Operator keys whose shard is `shard` (the runtime reaches this state
@@ -98,7 +112,7 @@ where
     done.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64()
 }
 
-/// The pre-refactor hot path: one global mutex around the scheduler,
+/// The pre-sharding hot path: one global mutex around the scheduler,
 /// locked once per submit / take / lease transition (exactly the old
 /// runtime's cadence).
 fn run_mutex_baseline(workers: usize, measure: Duration) -> Cell {
@@ -152,14 +166,16 @@ fn run_mutex_baseline(workers: usize, measure: Duration) -> Cell {
         workers,
         msgs_per_sec: rate,
         steals: 0,
+        mailbox_drained: 0,
     }
 }
 
-fn run_sharded(shards: usize, workers: usize, measure: Duration) -> Cell {
+fn run_sharded(shards: usize, workers: usize, measure: Duration, mailbox: bool) -> Cell {
     let sched: Arc<ShardedScheduler<u64>> = Arc::new(ShardedScheduler::new(
         SchedulerConfig::default()
             .with_shards(shards)
-            .with_quantum(Micros::from_millis(1)),
+            .with_quantum(Micros::from_millis(1))
+            .with_mailbox(mailbox),
     ));
     let stop = Arc::new(AtomicBool::new(false));
     let rate = run_workers(workers, measure, stop, {
@@ -197,12 +213,97 @@ fn run_sharded(shards: usize, workers: usize, measure: Duration) -> Cell {
             processed
         }
     });
+    let stats = sched.stats();
     Cell {
-        config: format!("sharded-{shards}"),
+        config: format!("{}-{shards}", if mailbox { "mailbox" } else { "locked" }),
         shards,
         workers,
         msgs_per_sec: rate,
-        steals: sched.stats().steals,
+        steals: stats.steals,
+        mailbox_drained: stats.mailbox_drained,
+    }
+}
+
+/// Single-threaded submit cost: time bursts of `SUBMIT_BURST` submits,
+/// drain untimed, until `measure` of *timed* submit work accumulates.
+/// Returns ns per submit.
+fn submit_ns<Su, Dr>(measure: Duration, mut submit: Su, mut drain: Dr) -> f64
+where
+    Su: FnMut(OperatorKey, u64, Priority),
+    Dr: FnMut(),
+{
+    let keys: Vec<OperatorKey> = (0..OPS_PER_WORKER)
+        .map(|op| OperatorKey::new(JobId(0), op))
+        .collect();
+    let mut i = 0u64;
+    let mut timed = Duration::ZERO;
+    let mut submits = 0u64;
+    while timed < measure {
+        let t0 = Instant::now();
+        for _ in 0..SUBMIT_BURST {
+            i += 1;
+            let key = keys[(i % keys.len() as u64) as usize];
+            submit(key, i, Priority::new(0, i as i64));
+        }
+        timed += t0.elapsed();
+        submits += SUBMIT_BURST;
+        drain();
+    }
+    timed.as_nanos() as f64 / submits as f64
+}
+
+struct SubmitCosts {
+    bare_ns: f64,
+    locked_ns: f64,
+    mailbox_ns: f64,
+}
+
+fn measure_submit_costs(measure: Duration) -> SubmitCosts {
+    let quantum = Micros::from_millis(1);
+    // Bare scheduler: no lock at all — the floor every path is charged
+    // against.
+    let bare = std::cell::RefCell::new(CameoScheduler::<u64>::new(
+        SchedulerConfig::default().with_quantum(quantum),
+    ));
+    let bare_ns = submit_ns(
+        measure,
+        |k, m, p| {
+            bare.borrow_mut().submit(k, m, p);
+        },
+        || {
+            let mut s = bare.borrow_mut();
+            while let Some(exec) = s.acquire(PhysicalTime::ZERO) {
+                while s.take_message(&exec).is_some() {}
+                s.release(exec);
+            }
+        },
+    );
+    let sharded = |mailbox: bool| {
+        ShardedScheduler::<u64>::new(
+            SchedulerConfig::default()
+                .with_quantum(quantum)
+                .with_mailbox(mailbox),
+        )
+    };
+    let path_ns = |mailbox: bool| {
+        let s = sharded(mailbox);
+        submit_ns(
+            measure,
+            |k, m, p| {
+                s.submit(k, m, p);
+            },
+            || {
+                while let Some(exec) = s.acquire(0, PhysicalTime::ZERO) {
+                    while s.take_message(&exec).is_some() {}
+                    s.release(exec);
+                }
+            },
+        )
+    };
+    SubmitCosts {
+        bare_ns,
+        locked_ns: path_ns(false),
+        mailbox_ns: path_ns(true),
     }
 }
 
@@ -217,74 +318,108 @@ fn main() {
     }
     let measure = if args.full {
         Duration::from_millis(1_000)
+    } else if args.quick {
+        Duration::from_millis(100)
     } else {
         Duration::from_millis(300)
     };
+    let worker_sweep: &[usize] = if args.quick { &[1, 4] } else { &[1, 4, 8] };
+    let shard_sweep: &[usize] = if args.quick { &[1, 4] } else { &[1, 2, 4, 8] };
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
-    println!("contended scheduler throughput (closed-loop submit+drain, burst {BURST})");
+    println!("single-threaded submit cost (burst {SUBMIT_BURST}, drain untimed)");
+    let costs = measure_submit_costs(measure);
+    let locked_overhead = costs.locked_ns - costs.bare_ns;
+    let mailbox_overhead = costs.mailbox_ns - costs.bare_ns;
+    println!("  bare CameoScheduler : {:8.1} ns/submit", costs.bare_ns);
+    println!(
+        "  sharded, locked     : {:8.1} ns/submit  (+{:.1} ns vs bare)",
+        costs.locked_ns, locked_overhead
+    );
+    println!(
+        "  sharded, mailbox    : {:8.1} ns/submit  ({}{:.1} ns vs bare)",
+        costs.mailbox_ns,
+        if mailbox_overhead >= 0.0 { "+" } else { "" },
+        mailbox_overhead
+    );
+
+    println!("\ncontended scheduler throughput (closed-loop submit+drain, burst {BURST})");
     println!("host: {cpus} cpu(s) — on 1 cpu, speedups measure contention tax, not scaling");
     println!(
-        "{:>11} {:>8} {:>15} {:>10} {:>9}",
-        "config", "workers", "msgs/sec", "vs mutex", "steals"
+        "{:>11} {:>8} {:>15} {:>10} {:>9} {:>10}",
+        "config", "workers", "msgs/sec", "vs mutex", "steals", "mb-drain"
     );
     let mut cells: Vec<Cell> = Vec::new();
-    for &workers in &[1usize, 4, 8] {
+    for &workers in worker_sweep {
         let base = run_mutex_baseline(workers, measure);
         let base_rate = base.msgs_per_sec;
         println!(
-            "{:>11} {:>8} {:>15.0} {:>9.2}x {:>9}",
-            base.config, base.workers, base.msgs_per_sec, 1.0, base.steals
+            "{:>11} {:>8} {:>15.0} {:>9.2}x {:>9} {:>10}",
+            base.config, base.workers, base.msgs_per_sec, 1.0, base.steals, base.mailbox_drained
         );
         cells.push(base);
-        for &shards in &[1usize, 2, 4, 8] {
+        for &shards in shard_sweep {
             if shards > workers {
                 continue; // the runtime clamps shards to workers
             }
-            let cell = run_sharded(shards, workers, measure);
-            println!(
-                "{:>11} {:>8} {:>15.0} {:>9.2}x {:>9}",
-                cell.config,
-                cell.workers,
-                cell.msgs_per_sec,
-                cell.msgs_per_sec / base_rate,
-                cell.steals
-            );
-            cells.push(cell);
+            for mailbox in [false, true] {
+                let cell = run_sharded(shards, workers, measure, mailbox);
+                println!(
+                    "{:>11} {:>8} {:>15.0} {:>9.2}x {:>9} {:>10}",
+                    cell.config,
+                    cell.workers,
+                    cell.msgs_per_sec,
+                    cell.msgs_per_sec / base_rate,
+                    cell.steals,
+                    cell.mailbox_drained
+                );
+                cells.push(cell);
+            }
         }
     }
 
-    // Headline: best sharded config vs the single-mutex baseline at 8
-    // workers.
-    let base8 = cells
+    // Headline: best sharded config vs the single-mutex baseline at the
+    // widest worker count measured.
+    let top_workers = *worker_sweep.last().unwrap();
+    let base_top = cells
         .iter()
-        .find(|c| c.workers == 8 && c.config == "mutex")
+        .find(|c| c.workers == top_workers && c.config == "mutex")
         .map(|c| c.msgs_per_sec)
         .unwrap_or(0.0);
-    let best8 = cells
+    let best_top = cells
         .iter()
-        .filter(|c| c.workers == 8 && c.config != "mutex")
+        .filter(|c| c.workers == top_workers && c.config != "mutex")
         .map(|c| c.msgs_per_sec)
         .fold(0.0, f64::max);
-    let speedup = if base8 > 0.0 { best8 / base8 } else { 0.0 };
-    println!("\n8-worker speedup over single-mutex baseline: {speedup:.2}x");
+    let speedup = if base_top > 0.0 {
+        best_top / base_top
+    } else {
+        0.0
+    };
+    println!("\n{top_workers}-worker speedup over single-mutex baseline: {speedup:.2}x");
 
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"sharded_scheduler\",\n  \"unit\": \"msgs_per_sec\",\n");
     json.push_str(&format!(
-        "  \"cpus\": {cpus},\n  \"burst\": {BURST},\n  \"measure_ms\": {},\n  \"speedup_8_workers\": {speedup:.3},\n  \"cells\": [\n",
+        "  \"cpus\": {cpus},\n  \"burst\": {BURST},\n  \"measure_ms\": {},\n  \"speedup_top_workers\": {speedup:.3},\n  \"top_workers\": {top_workers},\n",
         measure.as_millis(),
     ));
+    json.push_str(&format!(
+        "  \"submit_ns\": {{\"bare\": {:.1}, \"locked\": {:.1}, \"mailbox\": {:.1}, \"overhead_ns_locked\": {:.1}, \"overhead_ns_mailbox\": {:.1}}},\n",
+        costs.bare_ns, costs.locked_ns, costs.mailbox_ns, locked_overhead, mailbox_overhead
+    ));
+    json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"config\": \"{}\", \"shards\": {}, \"workers\": {}, \"msgs_per_sec\": {:.0}, \"steals\": {}}}{}\n",
+            "    {{\"config\": \"{}\", \"shards\": {}, \"workers\": {}, \"msgs_per_sec\": {:.0}, \"steals\": {}, \"mailbox_drained\": {}}}{}\n",
             c.config,
             c.shards,
             c.workers,
             c.msgs_per_sec,
             c.steals,
+            c.mailbox_drained,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }

@@ -17,6 +17,9 @@ use cameo_sim::prelude::*;
 pub struct BenchArgs {
     /// `--full`: paper-sized dimensions (slower).
     pub full: bool,
+    /// `--quick`: CI-smoke dimensions (shorter measurement windows and
+    /// smaller sweeps than even the default; seconds total).
+    pub quick: bool,
     /// `--seed N`
     pub seed: u64,
     /// Positional arguments (subcommands like `rate`/`tenants`).
@@ -26,12 +29,14 @@ pub struct BenchArgs {
 impl BenchArgs {
     pub fn parse() -> Self {
         let mut full = false;
+        let mut quick = false;
         let mut seed = 1u64;
         let mut rest = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => full = true,
+                "--quick" => quick = true,
                 "--seed" => {
                     seed = args
                         .next()
@@ -41,7 +46,12 @@ impl BenchArgs {
                 other => rest.push(other.to_string()),
             }
         }
-        BenchArgs { full, seed, rest }
+        BenchArgs {
+            full,
+            quick,
+            seed,
+            rest,
+        }
     }
 }
 

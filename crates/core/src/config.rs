@@ -31,6 +31,25 @@ pub struct SchedulerConfig {
     /// this. `ZERO` steals on any strictly more urgent operator,
     /// matching the single-queue drain order up to same-priority ties.
     pub steal_threshold: Micros,
+    /// Ingress path of the sharded scheduler. `true` (the default)
+    /// routes `submit` through a lock-free per-shard mailbox — one CAS,
+    /// never the shard mutex — and drains the mailbox into the
+    /// two-level queue under the lock workers already hold at
+    /// acquire/decide/take/release boundaries. `false` restores the
+    /// locked ingress path (submit takes the shard mutex directly);
+    /// kept for A/B benchmarking and the mailbox-vs-locked equivalence
+    /// tests.
+    pub mailbox: bool,
+    /// Maximum mailbox messages admitted into a shard's two-level queue
+    /// per lock acquisition. `0` (the default) drains everything, which
+    /// is what keeps single-threaded drivers bit-identical to the
+    /// locked path *and* what makes the zero-threshold steal order
+    /// match the single-queue drain order (a capped drain can leave a
+    /// shard's hint a stale bound, so steal picks become approximate);
+    /// a positive cap bounds the time a drain can extend a lock hold
+    /// under bursty ingress (leftovers carry over to the next drain,
+    /// still in submission order).
+    pub mailbox_drain_batch: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -40,6 +59,8 @@ impl Default for SchedulerConfig {
             starvation_limit: None,
             shards: 1,
             steal_threshold: Micros::ZERO,
+            mailbox: true,
+            mailbox_drain_batch: 0,
         }
     }
 }
@@ -65,6 +86,18 @@ impl SchedulerConfig {
         self
     }
 
+    /// Toggle the lock-free mailbox ingress path (default on).
+    pub fn with_mailbox(mut self, on: bool) -> Self {
+        self.mailbox = on;
+        self
+    }
+
+    /// Cap mailbox messages admitted per lock acquisition (0 = all).
+    pub fn with_mailbox_drain_batch(mut self, batch: usize) -> Self {
+        self.mailbox_drain_batch = batch;
+        self
+    }
+
     /// Effective shard count (`shards` with the zero case mapped to 1).
     pub fn effective_shards(&self) -> usize {
         self.shards.max(1)
@@ -82,6 +115,8 @@ mod tests {
         assert!(c.starvation_limit.is_none());
         assert_eq!(c.shards, 1);
         assert_eq!(c.steal_threshold, Micros::ZERO);
+        assert!(c.mailbox, "mailbox ingress is the default");
+        assert_eq!(c.mailbox_drain_batch, 0, "default drains everything");
     }
 
     #[test]
@@ -90,11 +125,15 @@ mod tests {
             .with_quantum(Micros(0))
             .with_starvation_limit(Micros::from_secs(5))
             .with_shards(8)
-            .with_steal_threshold(Micros(250));
+            .with_steal_threshold(Micros(250))
+            .with_mailbox(false)
+            .with_mailbox_drain_batch(64);
         assert_eq!(c.quantum, Micros::ZERO);
         assert_eq!(c.starvation_limit, Some(Micros(5_000_000)));
         assert_eq!(c.shards, 8);
         assert_eq!(c.steal_threshold, Micros(250));
+        assert!(!c.mailbox);
+        assert_eq!(c.mailbox_drain_batch, 64);
     }
 
     #[test]

@@ -29,8 +29,10 @@
 //!   LLF / EDF / SJF / FIFO / token-fair policies (§4.2, §5.4).
 //! * [`queue`] — the two-level priority structure (Fig 5b).
 //! * [`scheduler`] — the stateless scheduler with quantum logic (§5.2).
+//! * [`mailbox`] — the lock-free per-shard submission mailbox.
 //! * [`shard`] — N scheduler shards with urgency-aware work stealing
-//!   (the scalable, lock-per-shard form of the same scheduler).
+//!   (the scalable, lock-per-shard form of the same scheduler), fed
+//!   through lock-free per-shard submission mailboxes.
 //! * [`stats`] — histograms and percentile helpers.
 //!
 //! ## Quick example
@@ -59,6 +61,7 @@
 pub mod config;
 pub mod context;
 pub mod ids;
+pub mod mailbox;
 pub mod policy;
 pub mod priority;
 pub mod profile;
@@ -75,6 +78,7 @@ pub mod prelude {
     pub use crate::config::SchedulerConfig;
     pub use crate::context::{DataflowField, PriorityContext, ReplyContext, TokenTag};
     pub use crate::ids::{JobId, MessageId, OperatorKey};
+    pub use crate::mailbox::{Mail, Mailbox};
     pub use crate::policy::{
         ConverterState, EdfPolicy, FifoPolicy, HopInfo, LlfPolicy, MessageStamp, Policy, SjfPolicy,
         TokenBucket, TokenFairPolicy,
@@ -82,7 +86,7 @@ pub mod prelude {
     pub use crate::priority::Priority;
     pub use crate::profile::{CostEstimator, ProfileState};
     pub use crate::progress::{FrontierEstimate, ProgressMap, TimeDomain};
-    pub use crate::queue::{OperatorLease, TwoLevelQueue};
+    pub use crate::queue::{OperatorLease, PushOutcome, TwoLevelQueue};
     pub use crate::scheduler::{CameoScheduler, Decision, Execution, SchedulerStats};
     pub use crate::shard::{ShardExecution, ShardedScheduler, Submission};
     pub use crate::stats::{exact_percentile, Histogram, OnlineStats};

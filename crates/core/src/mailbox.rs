@@ -1,0 +1,264 @@
+//! A lock-free multi-producer submission mailbox (Treiber stack).
+//!
+//! The sharded scheduler keeps one mailbox per shard so that `submit`
+//! never touches the shard's mutex: producers push with a single CAS,
+//! and whichever worker next takes the shard lock detaches the whole
+//! stack with one `swap` and replays it into the two-level queue in
+//! submission order. Ingress (bursty submitters) and drain (the worker
+//! executing the shard's operators) therefore never contend on a lock —
+//! the decoupling Cameo needs for per-event scheduling to stay off the
+//! critical path (PAPER.md §5, Fig 5(b)).
+//!
+//! Why a Treiber stack and not a segmented MPSC ring: the consumer
+//! always detaches the *entire* list atomically (`swap(null)`), so
+//! there is no pop-side ABA window and no need for tagged pointers or
+//! hazard domains — the unsafe surface stays tiny. The stack yields
+//! LIFO order; [`Mailbox::drain`] reverses the detached list in place
+//! (O(n), no allocation) to restore FIFO submission order, which the
+//! deterministic single-shard drivers rely on.
+//!
+//! Memory ordering: pushes publish with a `SeqCst` CAS and drains
+//! detach with a `SeqCst` swap. `SeqCst` (not mere release/acquire) is
+//! deliberate — the park/wake protocol in `shard.rs` runs a Dekker-style
+//! handshake between "producer: push mail, then read the parked count"
+//! and "parker: bump the parked count, then check for mail", and that
+//! handshake is only lost-wakeup-free if both sides' operations hit the
+//! single total order.
+
+use crate::ids::OperatorKey;
+use crate::priority::Priority;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// One submitted message, as it travels through a mailbox.
+#[derive(Debug)]
+pub struct Mail<M> {
+    pub key: OperatorKey,
+    pub pri: Priority,
+    pub msg: M,
+}
+
+struct Node<M> {
+    mail: Mail<M>,
+    next: *mut Node<M>,
+}
+
+/// Lock-free multi-producer mailbox; see the module docs.
+///
+/// Producers call [`push`](Mailbox::push) concurrently from any thread.
+/// [`drain`](Mailbox::drain) may also be called concurrently (each call
+/// detaches a disjoint batch), though the sharded scheduler only drains
+/// under the shard lock.
+pub struct Mailbox<M> {
+    head: AtomicPtr<Node<M>>,
+}
+
+// The raw node pointers are owned exclusively by the mailbox: nodes are
+// unreachable by producers once pushed (only `drain` ever follows
+// `next`), so sending/sharing the mailbox is safe whenever the payload
+// is Send.
+unsafe impl<M: Send> Send for Mailbox<M> {}
+unsafe impl<M: Send> Sync for Mailbox<M> {}
+
+impl<M> Default for Mailbox<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Mailbox<M> {
+    pub fn new() -> Self {
+        Mailbox {
+            head: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Lock-free push: one allocation plus one CAS loop. Safe to call
+    /// from any number of threads concurrently.
+    pub fn push(&self, key: OperatorKey, msg: M, pri: Priority) {
+        let node = Box::into_raw(Box::new(Node {
+            mail: Mail { key, pri, msg },
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            // The node is not yet shared; writing `next` through the raw
+            // pointer is unsynchronized by construction.
+            unsafe { (*node).next = head };
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::SeqCst, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// True when no undrained mail is queued. Used by the park fast
+    /// path; `SeqCst` so the check participates in the anti-lost-wakeup
+    /// handshake (module docs).
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::SeqCst).is_null()
+    }
+
+    /// Detach everything currently in the mailbox and hand it to `f` in
+    /// submission (FIFO) order. Returns the number of messages drained.
+    ///
+    /// The detach is a single atomic swap, so concurrent pushes are
+    /// never torn: they either made this batch or land in the next one.
+    pub fn drain<F: FnMut(Mail<M>)>(&self, mut f: F) -> usize {
+        let mut node = self.head.swap(ptr::null_mut(), Ordering::SeqCst);
+        // Reverse the detached list in place: the stack holds
+        // newest-first, callers want submission order.
+        let mut prev: *mut Node<M> = ptr::null_mut();
+        while !node.is_null() {
+            // Safety: the swap made this whole list exclusively ours.
+            let next = unsafe { (*node).next };
+            unsafe { (*node).next = prev };
+            prev = node;
+            node = next;
+        }
+        let mut drained = 0usize;
+        let mut cur = prev;
+        while !cur.is_null() {
+            // Safety: exclusively owned (above); each node is consumed
+            // exactly once.
+            let boxed = unsafe { Box::from_raw(cur) };
+            cur = boxed.next;
+            f(boxed.mail);
+            drained += 1;
+        }
+        drained
+    }
+}
+
+impl<M> Drop for Mailbox<M> {
+    fn drop(&mut self) {
+        self.drain(|_| {});
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::JobId;
+    use std::sync::Arc;
+
+    fn key(op: u32) -> OperatorKey {
+        OperatorKey::new(JobId(0), op)
+    }
+
+    #[test]
+    fn drains_in_submission_order() {
+        let mb: Mailbox<u64> = Mailbox::new();
+        for i in 0..100u64 {
+            mb.push(key(i as u32), i, Priority::uniform(i as i64));
+        }
+        assert!(!mb.is_empty());
+        let mut got = Vec::new();
+        let n = mb.drain(|m| got.push(m.msg));
+        assert_eq!(n, 100);
+        assert_eq!(got, (0..100).collect::<Vec<_>>(), "FIFO order restored");
+        assert!(mb.is_empty());
+        assert_eq!(mb.drain(|_| panic!("empty")), 0);
+    }
+
+    #[test]
+    fn interleaved_push_drain_batches() {
+        let mb: Mailbox<u64> = Mailbox::new();
+        mb.push(key(0), 1, Priority::uniform(0));
+        mb.push(key(0), 2, Priority::uniform(0));
+        let mut a = Vec::new();
+        mb.drain(|m| a.push(m.msg));
+        mb.push(key(0), 3, Priority::uniform(0));
+        let mut b = Vec::new();
+        mb.drain(|m| b.push(m.msg));
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(b, vec![3]);
+    }
+
+    #[test]
+    fn drop_frees_undrained_mail() {
+        // Miri-style sanity: drop with queued nodes must not leak (the
+        // Drop impl drains). Payload drop side effects prove it ran.
+        struct Tracked(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        {
+            let mb: Mailbox<Tracked> = Mailbox::new();
+            for _ in 0..10 {
+                mb.push(key(0), Tracked(hits.clone()), Priority::uniform(0));
+            }
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn concurrent_pushers_lose_nothing() {
+        const THREADS: u64 = 8;
+        const PER: u64 = 10_000;
+        let mb: Arc<Mailbox<u64>> = Arc::new(Mailbox::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let mb = mb.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        mb.push(key(t as u32), t * PER + i, Priority::uniform(0));
+                    }
+                })
+            })
+            .collect();
+        // Drain concurrently with the pushers.
+        let mut got = Vec::new();
+        while got.len() < (THREADS * PER) as usize {
+            mb.drain(|m| got.push(m.msg));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        mb.drain(|m| got.push(m.msg));
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), (THREADS * PER) as usize, "lost or duplicated");
+        // Per-thread FIFO: each producer's messages must have been
+        // drained in its own submission order. (Checked via sortedness
+        // of per-thread subsequences in a fresh run below.)
+    }
+
+    #[test]
+    fn per_producer_fifo_survives_concurrent_drain() {
+        const THREADS: u64 = 4;
+        const PER: u64 = 5_000;
+        let mb: Arc<Mailbox<u64>> = Arc::new(Mailbox::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let mb = mb.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        mb.push(key(t as u32), t * PER + i, Priority::uniform(0));
+                    }
+                })
+            })
+            .collect();
+        let mut got: Vec<u64> = Vec::new();
+        while got.len() < (THREADS * PER) as usize {
+            mb.drain(|m| got.push(m.msg));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Within each producer, drained order == submission order.
+        for t in 0..THREADS {
+            let sub: Vec<u64> = got.iter().copied().filter(|v| v / PER == t).collect();
+            assert!(
+                sub.windows(2).all(|w| w[0] < w[1]),
+                "producer {t} order scrambled"
+            );
+        }
+    }
+}

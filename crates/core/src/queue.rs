@@ -14,6 +14,16 @@
 //! is pushed and stale entries are skipped on pop. Every push adds at
 //! most one heap entry, so the heap stays linear in the number of
 //! pushes between pops.
+//!
+//! Invalidation is lazy but the heap *top* is kept eagerly valid: the
+//! only two operations that can leave a stale entry on top — a push
+//! that demotes the top operator's head, and popping the top — clean
+//! the head before returning. Every other public method can only stack
+//! valid entries on top of a valid top. That invariant is what makes
+//! [`TwoLevelQueue::peek_best`] an O(1) `&self` read, and what lets
+//! [`TwoLevelQueue::push`] report the post-push queue-best (the hint
+//! the sharded scheduler advertises) as a [`PushOutcome`] without a
+//! separate heap peek.
 
 use crate::ids::OperatorKey;
 use crate::priority::Priority;
@@ -108,6 +118,26 @@ pub struct OperatorLease {
     pub key: OperatorKey,
 }
 
+/// What a [`TwoLevelQueue::push`] learned about the queue, in O(1),
+/// from the work the push already did. Callers that maintain a
+/// best-priority hint (the sharded scheduler) read the new hint straight
+/// from here instead of re-peeking the operator heap per message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushOutcome {
+    /// The target operator became newly runnable (it was idle and
+    /// unleased) — runtimes use this to wake a parked worker.
+    pub newly_runnable: bool,
+    /// Exact priority of the most urgent *available* (unleased,
+    /// non-empty) operator after this push. `None` when every pending
+    /// operator is leased out.
+    pub queue_best: Option<Priority>,
+    /// `queue_best` came from the O(1) fast path: the push either
+    /// improved the top of the heap or left it untouched. `false` on
+    /// the rare demotion path (the pushed operator *was* the heap top
+    /// and its head got lazier), which pays a lazy-invalidation cleanup.
+    pub fast_hint: bool,
+}
+
 /// The two-level priority queue. Not thread-safe by itself — the
 /// real-time runtime wraps it in a mutex, the simulator drives it
 /// single-threaded.
@@ -149,16 +179,17 @@ impl<M> TwoLevelQueue<M> {
         self.ops.values().filter(|o| !o.msgs.is_empty()).count()
     }
 
-    /// Enqueue a message for `key` with priority `pri`. Returns `true`
-    /// if the operator became newly runnable (it was idle and unleased),
-    /// which the runtime uses to wake a parked worker.
-    pub fn push(&mut self, key: OperatorKey, msg: M, pri: Priority) -> bool {
+    /// Enqueue a message for `key` with priority `pri`. The returned
+    /// [`PushOutcome`] carries the "newly runnable" wake signal plus the
+    /// exact post-push queue-best, learned in O(1) in the common case.
+    pub fn push(&mut self, key: OperatorKey, msg: M, pri: Priority) -> PushOutcome {
         self.seq += 1;
         let seq = self.seq;
         let op = self.ops.entry(key).or_insert_with(OpState::new);
         let was_idle = op.msgs.is_empty() && !op.leased;
         op.msgs.push(Reverse(MsgEntry { pri, seq, msg }));
         self.msg_count += 1;
+        let mut fast_hint = true;
         if !op.leased {
             let head = op.head_priority().expect("just pushed");
             // Re-post whenever the head message's priority *changed* in
@@ -168,6 +199,15 @@ impl<M> TwoLevelQueue<M> {
             // operators rank by the global priority of their next
             // message, where next is chosen by local priority).
             if op.posted != Some(head) {
+                // The repost invalidates this operator's live heap
+                // entry. If that entry is the (valid, by invariant)
+                // heap top and the new head is *lazier*, the top goes
+                // stale and must be cleaned; a more urgent head simply
+                // stacks the fresh entry above it.
+                let demotes_top = match (op.posted, self.heap.peek()) {
+                    (Some(old), Some(Reverse(top))) => top.key == key && head > old,
+                    _ => false,
+                };
                 op.version += 1;
                 op.posted = Some(head);
                 self.heap.push(Reverse(HeapEntry {
@@ -176,9 +216,17 @@ impl<M> TwoLevelQueue<M> {
                     key,
                     version: op.version,
                 }));
+                if demotes_top {
+                    self.clean_head();
+                    fast_hint = false;
+                }
             }
         }
-        was_idle
+        PushOutcome {
+            newly_runnable: was_idle,
+            queue_best: self.peek_best().map(|(_, p)| p),
+            fast_hint,
+        }
     }
 
     /// Drop heap entries that no longer describe a poppable operator,
@@ -197,24 +245,44 @@ impl<M> TwoLevelQueue<M> {
         }
     }
 
+    /// True when the heap's top entry describes a poppable operator.
+    /// Public methods maintain this as an invariant (or an empty heap),
+    /// which is what makes [`peek_best`](Self::peek_best) a `&self`
+    /// O(1) read.
+    fn head_is_valid(&self) -> bool {
+        match self.heap.peek() {
+            None => true,
+            Some(Reverse(head)) => self
+                .ops
+                .get(&head.key)
+                .map(|op| !op.leased && op.version == head.version && !op.msgs.is_empty())
+                .unwrap_or(false),
+        }
+    }
+
     /// Priority of the most urgent *available* (unleased, non-empty)
-    /// operator. Used by workers for quantum-boundary swap decisions.
-    pub fn peek_best(&mut self) -> Option<(OperatorKey, Priority)> {
-        self.clean_head();
+    /// operator. Used by workers for quantum-boundary swap decisions and
+    /// by the sharded scheduler's hint refresh. O(1): the heap top is
+    /// kept eagerly valid by `push`/`pop_operator`.
+    pub fn peek_best(&self) -> Option<(OperatorKey, Priority)> {
+        debug_assert!(self.head_is_valid(), "stale heap top escaped a mutation");
         self.heap.peek().map(|Reverse(e)| (e.key, e.pri))
     }
 
     /// Check out the most urgent operator. The lease must be returned
     /// via [`check_in`](Self::check_in).
     pub fn pop_operator(&mut self) -> Option<OperatorLease> {
-        self.clean_head();
+        debug_assert!(self.head_is_valid(), "stale heap top escaped a mutation");
         let Reverse(entry) = self.heap.pop()?;
         let op = self
             .ops
             .get_mut(&entry.key)
-            .expect("validated by clean_head");
+            .expect("head validity is a maintained invariant");
         op.leased = true;
         op.posted = None;
+        // Removing the top may expose stale entries; restore the
+        // valid-top invariant before returning.
+        self.clean_head();
         Some(OperatorLease { key: entry.key })
     }
 
@@ -285,14 +353,57 @@ mod tests {
     #[test]
     fn push_returns_newly_runnable() {
         let mut q = TwoLevelQueue::new();
-        assert!(q.push(key(1), 1, pri(5)), "idle operator becomes runnable");
-        assert!(!q.push(key(1), 2, pri(4)), "already runnable");
+        assert!(
+            q.push(key(1), 1, pri(5)).newly_runnable,
+            "idle operator becomes runnable"
+        );
+        assert!(
+            !q.push(key(1), 2, pri(4)).newly_runnable,
+            "already runnable"
+        );
         let lease = q.pop_operator().unwrap();
         assert!(
-            !q.push(key(1), 3, pri(1)),
+            !q.push(key(1), 3, pri(1)).newly_runnable,
             "leased operator is not newly runnable"
         );
         q.check_in(lease);
+    }
+
+    #[test]
+    fn push_outcome_reports_queue_best() {
+        let mut q = TwoLevelQueue::new();
+        let out = q.push(key(1), 1, pri(50));
+        assert_eq!(out.queue_best, Some(pri(50)));
+        assert!(out.fast_hint);
+        // A more urgent operator: best improves, still the fast path.
+        let out = q.push(key(2), 2, pri(10));
+        assert_eq!(out.queue_best, Some(pri(10)));
+        assert!(out.fast_hint);
+        // A lazier operator: best unchanged, fast path.
+        let out = q.push(key(3), 3, pri(99));
+        assert_eq!(out.queue_best, Some(pri(10)));
+        assert!(out.fast_hint);
+        // Pushing to a leased operator leaves the best untouched.
+        let lease = q.pop_operator().unwrap();
+        assert_eq!(lease.key, key(2));
+        let out = q.push(key(2), 4, pri(1));
+        assert_eq!(out.queue_best, Some(pri(50)), "leased op is invisible");
+        assert!(out.fast_hint);
+        q.check_in(lease);
+    }
+
+    #[test]
+    fn push_outcome_demotion_repeeks() {
+        // A new message with better local but worse global priority
+        // demotes the heap-top operator: the outcome must report the
+        // *new* queue-best and flag the slow path.
+        let mut q = TwoLevelQueue::new();
+        q.push(key(4), "old-head", Priority::new(0, -1));
+        q.push(key(0), "other", Priority::new(0, 0));
+        let out = q.push(key(4), "new-head", Priority::new(-1, 1));
+        assert!(!out.fast_hint, "demoting the top pays the cleanup");
+        assert_eq!(out.queue_best, Some(Priority::new(0, 0)));
+        assert_eq!(q.peek_best(), Some((key(0), Priority::new(0, 0))));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::config::SchedulerConfig;
 use crate::ids::OperatorKey;
 use crate::priority::Priority;
-use crate::queue::{OperatorLease, TwoLevelQueue};
+use crate::queue::{OperatorLease, PushOutcome, TwoLevelQueue};
 use crate::time::{Micros, PhysicalTime};
 
 /// Counters exposed for experiments (operator swaps drive the Fig 14
@@ -34,6 +34,16 @@ pub struct SchedulerStats {
     /// Quantum swaps triggered by a more urgent operator on *another*
     /// shard (the current shard's own decide said Continue).
     pub cross_shard_swaps: u64,
+    /// Submissions whose best-priority hint came straight from the
+    /// [push outcome](crate::queue::PushOutcome) in O(1) — no heap
+    /// cleanup was needed. The complement (demotion repeeks) should be
+    /// rare; this counter makes that claim measurable.
+    pub hint_fast_path: u64,
+    /// Messages moved from a shard's lock-free submission mailbox into
+    /// its two-level queue by a draining worker. Only nonzero under the
+    /// [sharded scheduler](crate::shard::ShardedScheduler)'s mailbox
+    /// ingress path.
+    pub mailbox_drained: u64,
 }
 
 impl SchedulerStats {
@@ -44,6 +54,8 @@ impl SchedulerStats {
         self.quantum_swaps += other.quantum_swaps;
         self.steals += other.steals;
         self.cross_shard_swaps += other.cross_shard_swaps;
+        self.hint_fast_path += other.hint_fast_path;
+        self.mailbox_drained += other.mailbox_drained;
     }
 }
 
@@ -117,15 +129,18 @@ impl<M> CameoScheduler<M> {
         self.queue.pending_operators()
     }
 
-    /// Submit a message for `key`. Returns `true` when the target
-    /// operator just became runnable (used by runtimes to wake workers).
+    /// Submit a message for `key`. The returned
+    /// [`PushOutcome`] reports whether the target operator just became
+    /// runnable (used by runtimes to wake workers) and the exact
+    /// post-push queue-best (used by the sharded scheduler to refresh
+    /// its per-shard hint without a separate heap peek).
     ///
     /// With a starvation limit configured (§6.3's starvation
     /// prevention), the global priority is clamped to
     /// `now + limit`: no message can be bypassed indefinitely by a
     /// stream of more urgent arrivals, because once time passes its
     /// clamped deadline it is at least as urgent as anything newer.
-    pub fn submit(&mut self, key: OperatorKey, msg: M, pri: Priority) -> bool {
+    pub fn submit(&mut self, key: OperatorKey, msg: M, pri: Priority) -> PushOutcome {
         let pri = match self.config.starvation_limit {
             Some(limit) => {
                 let clamp = crate::priority::deadline_to_priority((self.last_now + limit).0);
@@ -133,7 +148,11 @@ impl<M> CameoScheduler<M> {
             }
             None => pri,
         };
-        self.queue.push(key, msg, pri)
+        let out = self.queue.push(key, msg, pri);
+        if out.fast_hint {
+            self.stats.hint_fast_path += 1;
+        }
+        out
     }
 
     /// Check out the most urgent operator, if any.
@@ -186,8 +205,11 @@ impl<M> CameoScheduler<M> {
         self.queue.check_in(exec.lease);
     }
 
-    /// Peek the priority of the most urgent available operator.
-    pub fn peek_best(&mut self) -> Option<(OperatorKey, Priority)> {
+    /// Peek the priority of the most urgent available operator. O(1)
+    /// and `&self`: the two-level queue keeps its heap top eagerly
+    /// valid, so no lazy-invalidation cleanup (and no mutable borrow)
+    /// is needed.
+    pub fn peek_best(&self) -> Option<(OperatorKey, Priority)> {
         self.queue.peek_best()
     }
 

@@ -1,5 +1,6 @@
 //! The sharded scheduler: N independent [`CameoScheduler`] shards
-//! behind per-shard locks, with urgency-aware work stealing.
+//! behind per-shard locks, fed by lock-free submission mailboxes, with
+//! urgency-aware work stealing.
 //!
 //! The paper's scheduler is *stateless* precisely so one instance can
 //! serve any number of jobs with negligible overhead (§5.2, Fig 12) —
@@ -8,6 +9,26 @@
 //! module removes that global lock while keeping the paper's semantics
 //! per operator:
 //!
+//! * **Lock-free ingress.** `submit` never takes a shard lock: the
+//!   message lands in the shard's [`Mailbox`] (one CAS), the shard's
+//!   best-priority hint is lowered with a CAS when the new message
+//!   beats it, and a parked worker is woken if one exists. Workers
+//!   *drain* the mailbox into the shard's two-level queue under the
+//!   lock they already hold at every acquire/take/decide/release
+//!   boundary, in submission order. A bursty submitter therefore never
+//!   blocks the worker draining that shard — ingress and compute are
+//!   decoupled the way Muppet decouples update hashing from workers,
+//!   which is what lets fine-grained scheduling stay off the critical
+//!   path. (`SchedulerConfig::mailbox = false` restores the locked
+//!   ingress path for A/B benchmarks and equivalence tests.)
+//! * **O(1) hint maintenance.** Refreshing a shard's hint used to
+//!   re-peek the operator heap per message. The two-level queue now
+//!   reports the post-push queue-best in its
+//!   [push outcome](crate::queue::PushOutcome) and keeps its heap top
+//!   eagerly valid, so both the per-message refresh during a drain and
+//!   the peek-based refresh after acquire/release are O(1);
+//!   [`SchedulerStats::hint_fast_path`] counts how often the O(1) path
+//!   sufficed.
 //! * **Placement.** Every operator hashes to a fixed shard
 //!   ([`ShardedScheduler::shard_of`]), so all messages of one operator
 //!   live in one two-level queue. Lease exclusivity and per-operator
@@ -29,23 +50,46 @@
 //!   cold shard cannot monopolize itself while a hot shard backs up.
 //! * **Starvation clamp.** The §6.3 starvation guard is enforced by
 //!   each shard's own `CameoScheduler` using that shard's latest
-//!   observed time. Since a shard's clock only advances via the workers
-//!   that touch it, a completely idle shard clamps against a slightly
-//!   stale `now`; the clamp is a *bound*, so staleness only makes it
-//!   stricter (earlier deadlines), never unsafe.
+//!   observed time. Mailbox messages are clamped when they are
+//!   *drained* (slightly later than their submission instant); the
+//!   clamp is a *bound*, and a later `now` only tightens it, so the
+//!   guard stays safe.
 //!
-//! Hints are advisory: they are refreshed under the shard lock at every
-//! mutation, but a reader may act on a stale value. Correctness never
-//! depends on them — acquisition always re-validates under the shard
-//! lock, falling back to a sweep over all shards — only the quality of
-//! the urgency approximation does.
+//! Hints are advisory: submissions lower them with a CAS, drains
+//! recompute them exactly under the shard lock, and a reader may act on
+//! a stale value in between. Correctness never depends on them —
+//! acquisition always re-validates under the shard lock, falling back
+//! to a sweep over all shards (which also drains every mailbox it
+//! passes) — only the quality of the urgency approximation does.
+//!
+//! ## The park/wake handshake
+//!
+//! With ingress off the lock, waking a parked worker can no longer
+//! piggyback on mutex ordering, so parking runs a Dekker-style
+//! handshake against a dedicated per-shard park mutex (deliberately
+//! *not* the scheduler mutex — wakers must never contend with drains):
+//!
+//! 1. the parker bumps the shard's `parked` count, takes the park lock,
+//!    and re-checks every shard's hint *and* mailbox before sleeping;
+//! 2. the waker publishes work (mailbox CAS or hint store), then — in
+//!    that order — checks `parked` and, if nonzero, locks/unlocks the
+//!    park mutex before notifying.
+//!
+//! Sequential consistency between the publish and the `parked` read
+//! (SeqCst atomics plus fences on the slow paths) guarantees at least
+//! one side sees the other: either the parker's re-check observes the
+//! work, or the waker observes `parked > 0` and its notify is
+//! serialized by the park lock to land after the parker starts
+//! waiting. `tests/mailbox_stress.rs` hammers exactly this window.
 
 use crate::config::SchedulerConfig;
 use crate::ids::OperatorKey;
+use crate::mailbox::{Mail, Mailbox};
 use crate::priority::Priority;
 use crate::scheduler::{CameoScheduler, Decision, Execution, SchedulerStats};
 use crate::time::{Micros, PhysicalTime};
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{fence, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
@@ -61,23 +105,56 @@ const EMPTY_HINT: i64 = i64::MAX;
 /// The least urgent hint a non-empty shard can advertise.
 const LEAST_URGENT_HINT: i64 = i64::MAX - 1;
 
-/// Cache-line aligned so neighboring shards' hot fields (the lock word
-/// and the hint atomics, written on every operation) never share a
-/// line — cross-shard traffic should be limited to the intentional
-/// hint reads of the steal scan.
+/// Clamp a priority into storable hint space.
+#[inline]
+fn hint_of(pri: Priority) -> i64 {
+    pri.global.min(LEAST_URGENT_HINT)
+}
+
+/// Everything guarded by a shard's mutex: the scheduler itself plus the
+/// overflow buffer for batch-capped mailbox drains.
+struct ShardCore<M> {
+    q: CameoScheduler<M>,
+    /// Mailbox messages detached but not yet admitted into `q` (only
+    /// ever non-empty when `mailbox_drain_batch > 0`). FIFO, so
+    /// submission order survives the cap.
+    pending: VecDeque<Mail<M>>,
+    /// Conservative lower bound (clamped global priority) over
+    /// `pending`; reset to [`EMPTY_HINT`] whenever `pending` empties.
+    /// May be stale-low after pops — hints are advisory, and a too-low
+    /// hint only costs an extra acquire attempt that drains the batch.
+    pending_min: i64,
+}
+
+/// Cache-line aligned so neighboring shards' hot fields (the lock word,
+/// the mailbox head and the hint atomics, written on every operation)
+/// never share a line — cross-shard traffic should be limited to the
+/// intentional hint reads of the steal scan.
 #[repr(align(128))]
 struct Shard<M> {
-    sched: Mutex<CameoScheduler<M>>,
+    core: Mutex<ShardCore<M>>,
+    /// Lock-free ingress: `submit` pushes here, workers drain under the
+    /// core lock at acquire/take/decide/release boundaries.
+    mailbox: Mailbox<M>,
     /// Workers homed to this shard park here when the whole scheduler
     /// looks idle; `submit` wakes the target shard.
     cv: Condvar,
+    /// Mutex paired with `cv`. Deliberately separate from `core`: a
+    /// waker takes this (briefly, empty critical section) to serialize
+    /// with a parker's predicate re-check, without ever contending with
+    /// the drain path.
+    park: Mutex<()>,
+    /// Number of workers inside [`ShardedScheduler::park`] on this
+    /// shard. Wakers skip the park lock entirely while this is zero.
+    parked: AtomicUsize,
     /// Global priority of the shard's most urgent *available* operator
-    /// (`EMPTY_HINT` when none). Recomputed under the shard lock at
-    /// every mutation, so in single-threaded use it is always exact;
-    /// concurrent readers may see a value one mutation old and must
+    /// (`EMPTY_HINT` when none). Lowered by submitters with a CAS
+    /// (never raised), recomputed exactly under the shard lock at every
+    /// drain; concurrent readers may see a stale value and must
     /// re-validate after locking.
     best: AtomicI64,
-    /// Pending message count (approximate between lock regions).
+    /// Pending message count across mailbox + pending + queue
+    /// (approximate between lock regions).
     msgs: AtomicUsize,
 }
 
@@ -86,9 +163,11 @@ struct Shard<M> {
 pub struct Submission {
     /// Shard the message landed on.
     pub shard: usize,
-    /// The target operator just became runnable (was idle and
-    /// unleased) — runtimes use this to wake a parked worker.
-    pub newly_runnable: bool,
+    /// The submitted priority improved the shard's advertised
+    /// best-priority hint (on the mailbox path) or made the target
+    /// operator newly runnable (on the locked path). Parked workers are
+    /// woken by `submit` itself either way; this is informational.
+    pub hint_improved: bool,
 }
 
 /// An acquired operator plus the shard it came from.
@@ -112,7 +191,8 @@ impl ShardExecution {
     }
 }
 
-/// N independent Cameo schedulers with urgency-aware work stealing.
+/// N independent Cameo schedulers with lock-free submission mailboxes
+/// and urgency-aware work stealing.
 ///
 /// All methods take `&self`; the per-shard locks live inside. The type
 /// is `Sync` for `M: Send`, so runtimes share it via `Arc` without an
@@ -122,8 +202,13 @@ pub struct ShardedScheduler<M> {
     quantum: Micros,
     /// Steal slack in priority units (see `SchedulerConfig`).
     steal_threshold: i64,
+    /// Lock-free mailbox ingress (default) vs locked ingress.
+    use_mailbox: bool,
+    /// Max mailbox messages admitted per lock acquisition (0 = all).
+    drain_batch: usize,
     steals: AtomicU64,
     cross_swaps: AtomicU64,
+    mailbox_drained: AtomicU64,
 }
 
 impl<M> ShardedScheduler<M> {
@@ -135,16 +220,26 @@ impl<M> ShardedScheduler<M> {
         ShardedScheduler {
             shards: (0..n)
                 .map(|_| Shard {
-                    sched: Mutex::new(CameoScheduler::new(config)),
+                    core: Mutex::new(ShardCore {
+                        q: CameoScheduler::new(config),
+                        pending: VecDeque::new(),
+                        pending_min: EMPTY_HINT,
+                    }),
+                    mailbox: Mailbox::new(),
                     cv: Condvar::new(),
+                    park: Mutex::new(()),
+                    parked: AtomicUsize::new(0),
                     best: AtomicI64::new(EMPTY_HINT),
                     msgs: AtomicUsize::new(0),
                 })
                 .collect(),
             quantum: config.quantum,
             steal_threshold: config.steal_threshold.0.min(i64::MAX as u64) as i64,
+            use_mailbox: config.mailbox,
+            drain_batch: config.mailbox_drain_batch,
             steals: AtomicU64::new(0),
             cross_swaps: AtomicU64::new(0),
+            mailbox_drained: AtomicU64::new(0),
         }
     }
 
@@ -166,54 +261,143 @@ impl<M> ShardedScheduler<M> {
         ((mixed >> 32) % self.shards.len() as u64) as usize
     }
 
-    fn lock(&self, s: usize) -> MutexGuard<'_, CameoScheduler<M>> {
+    fn lock(&self, s: usize) -> MutexGuard<'_, ShardCore<M>> {
         // A worker panicking inside scheduler code must not wedge the
         // other workers: recover the guard, matching parking_lot
         // semantics.
         self.shards[s]
-            .sched
+            .core
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Recompute a shard's best-priority hint exactly. Must be called
-    /// with the shard lock held (the guard proves it). The store is
-    /// skipped when nothing changed to keep the line clean for the
-    /// steal scans of other workers.
-    fn refresh_hint(&self, s: usize, q: &mut CameoScheduler<M>) {
-        let hint = q
-            .peek_best()
-            .map(|(_, p)| p.global.min(LEAST_URGENT_HINT))
-            .unwrap_or(EMPTY_HINT);
-        let best = &self.shards[s].best;
-        if best.load(Ordering::Relaxed) != hint {
-            best.store(hint, Ordering::Release);
+    /// Move everything the mailbox holds into the shard's two-level
+    /// queue (capped by `mailbox_drain_batch`), in submission order.
+    /// Must be called with the shard lock held (the `core` borrow
+    /// proves it).
+    fn drain_locked(&self, s: usize, core: &mut ShardCore<M>) {
+        let sh = &self.shards[s];
+        if !sh.mailbox.is_empty() {
+            let pending = &mut core.pending;
+            let pending_min = &mut core.pending_min;
+            sh.mailbox.drain(|mail| {
+                *pending_min = (*pending_min).min(hint_of(mail.pri));
+                pending.push_back(mail);
+            });
+        }
+        if core.pending.is_empty() {
+            return;
+        }
+        let cap = if self.drain_batch == 0 {
+            usize::MAX
+        } else {
+            self.drain_batch
+        };
+        let mut admitted = 0u64;
+        while (admitted as usize) < cap {
+            let Some(mail) = core.pending.pop_front() else {
+                break;
+            };
+            core.q.submit(mail.key, mail.msg, mail.pri);
+            admitted += 1;
+        }
+        if core.pending.is_empty() {
+            core.pending_min = EMPTY_HINT;
+        }
+        if admitted > 0 {
+            self.mailbox_drained.fetch_add(admitted, Ordering::Relaxed);
         }
     }
 
+    /// Recompute a shard's best-priority hint exactly (O(1): the
+    /// two-level queue keeps its heap top valid, and the pending-batch
+    /// bound is tracked incrementally). Must be called with the shard
+    /// lock held. The store is skipped when nothing changed to keep the
+    /// line clean for the steal scans of other workers.
+    fn refresh_hint(&self, s: usize, core: &ShardCore<M>) {
+        let hint = core
+            .q
+            .peek_best()
+            .map(|(_, p)| hint_of(p))
+            .unwrap_or(EMPTY_HINT)
+            .min(core.pending_min);
+        let best = &self.shards[s].best;
+        if best.load(Ordering::Relaxed) != hint {
+            best.store(hint, Ordering::SeqCst);
+        }
+    }
+
+    /// Lower a shard's hint to `hint` if it improves on the current
+    /// value (lock-free; used by `submit`). Returns whether it did.
+    fn lower_hint(&self, s: usize, hint: i64) -> bool {
+        let best = &self.shards[s].best;
+        let mut cur = best.load(Ordering::Relaxed);
+        while hint < cur {
+            match best.compare_exchange_weak(cur, hint, Ordering::SeqCst, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(c) => cur = c,
+            }
+        }
+        false
+    }
+
     /// Submit a message for `key`. The shard is derived from the key;
-    /// the caller learns which shard (to wake its workers) and whether
-    /// the operator just became runnable.
+    /// the caller learns which shard it landed on. Parked workers are
+    /// woken internally — callers no longer need to pair `submit` with
+    /// [`notify_shard`](Self::notify_shard).
+    ///
+    /// On the default mailbox path this is lock-free: a mailbox CAS, a
+    /// downward hint CAS when the message improves the shard's best,
+    /// and a wake check. The shard mutex is never touched, so a bursty
+    /// submitter cannot block the worker draining the same shard.
     pub fn submit(&self, key: OperatorKey, msg: M, pri: Priority) -> Submission {
         let s = self.shard_of(key);
-        let newly_runnable = {
-            let mut q = self.lock(s);
-            let r = q.submit(key, msg, pri);
-            self.shards[s].msgs.fetch_add(1, Ordering::Relaxed);
-            self.refresh_hint(s, &mut q);
-            r
-        };
+        if !self.use_mailbox {
+            return self.submit_locked(s, key, msg, pri);
+        }
+        let sh = &self.shards[s];
+        sh.mailbox.push(key, msg, pri);
+        sh.msgs.fetch_add(1, Ordering::Relaxed);
+        let hint_improved = self.lower_hint(s, hint_of(pri));
+        // The mailbox push was a SeqCst RMW, so it is ordered before
+        // this parked read in the SC total order — the handshake the
+        // module docs describe.
+        self.wake_one(s);
         Submission {
             shard: s,
-            newly_runnable,
+            hint_improved,
+        }
+    }
+
+    /// The pre-mailbox ingress path (`SchedulerConfig::mailbox =
+    /// false`): submit under the shard lock, refreshing the hint from
+    /// the push outcome.
+    fn submit_locked(&self, s: usize, key: OperatorKey, msg: M, pri: Priority) -> Submission {
+        let newly_runnable = {
+            let mut core = self.lock(s);
+            let out = core.q.submit(key, msg, pri);
+            self.shards[s].msgs.fetch_add(1, Ordering::Relaxed);
+            self.refresh_hint(s, &core);
+            out.newly_runnable
+        };
+        if newly_runnable {
+            fence(Ordering::SeqCst);
+            self.wake_one(s);
+        }
+        Submission {
+            shard: s,
+            hint_improved: newly_runnable,
         }
     }
 
     fn try_acquire_at(&self, s: usize, now: PhysicalTime) -> Option<ShardExecution> {
-        let mut q = self.lock(s);
-        let exec = q.acquire(now)?;
-        self.refresh_hint(s, &mut q);
-        Some(ShardExecution { shard: s, exec })
+        let mut core = self.lock(s);
+        self.drain_locked(s, &mut core);
+        let exec = core.q.acquire(now);
+        // Refresh even on failure: a failed sweep must settle every
+        // hint to EMPTY so park's fast path stops spinning.
+        self.refresh_hint(s, &core);
+        exec.map(|exec| ShardExecution { shard: s, exec })
     }
 
     /// Check out the most urgent operator for a worker homed on shard
@@ -221,11 +405,12 @@ impl<M> ShardedScheduler<M> {
     /// operator is more urgent by more than the steal threshold (or the
     /// home shard is idle), in which case the worker steals from the
     /// most urgent shard. Hints may be stale, so a failed first choice
-    /// falls back to sweeping every shard from `home`.
+    /// falls back to sweeping every shard from `home` (draining each
+    /// shard's mailbox along the way).
     pub fn acquire(&self, home: usize, now: PhysicalTime) -> Option<ShardExecution> {
         let n = self.shards.len();
         let home = home % n;
-        let first = if n == 1 { home } else { self.pick_shard(home) };
+        let first = if n == 1 { home } else { self.pick_stable(home) };
         if let Some(e) = self.try_acquire_at(first, now) {
             if first != home {
                 self.steals.fetch_add(1, Ordering::Relaxed);
@@ -242,6 +427,43 @@ impl<M> ShardedScheduler<M> {
             }
         }
         None
+    }
+
+    /// Pick a steal target whose hint is *exact*, not merely a bound.
+    ///
+    /// Submit-side hint CASes only lower a shard's hint toward the
+    /// submitted priority, but a mailboxed message need not become its
+    /// operator's head (local priority chooses the head), so a shard
+    /// with undrained mail may advertise itself as more urgent than it
+    /// really is. Steal decisions based on such a bound would break the
+    /// zero-threshold drain-order property. So: whenever the picked
+    /// shard still has undrained mail, drain it (which makes its hint
+    /// exact under the default unlimited drain batch; with
+    /// `mailbox_drain_batch > 0` a leftover `pending_min` can keep the
+    /// hint a bound, so the drain-order property only holds for the
+    /// default), re-pick, and repeat until the pick is stable. Each
+    /// iteration empties one shard's mailbox, so single-threaded this
+    /// converges within one pass; the cap keeps adversarial concurrent
+    /// submit storms from livelocking the picker (hints are advisory
+    /// there anyway — `try_acquire_at` re-validates under the lock).
+    fn pick_stable(&self, home: usize) -> usize {
+        let mut pick = self.pick_shard(home);
+        for _ in 0..self.shards.len() {
+            if self.shards[pick].mailbox.is_empty() {
+                return pick;
+            }
+            {
+                let mut core = self.lock(pick);
+                self.drain_locked(pick, &mut core);
+                self.refresh_hint(pick, &core);
+            }
+            let repick = self.pick_shard(home);
+            if repick == pick {
+                return pick;
+            }
+            pick = repick;
+        }
+        pick
     }
 
     /// The steal rule: home, unless some other shard beats home's best
@@ -269,13 +491,17 @@ impl<M> ShardedScheduler<M> {
         }
     }
 
-    /// Take the next message of the acquired operator.
+    /// Take the next message of the acquired operator. Drains the
+    /// shard's mailbox first, so messages submitted while the operator
+    /// is held become visible exactly as they did on the locked path.
     pub fn take_message(&self, exec: &ShardExecution) -> Option<(M, Priority)> {
-        let mut q = self.lock(exec.shard);
-        let out = q.take_message(&exec.exec);
+        let mut core = self.lock(exec.shard);
+        self.drain_locked(exec.shard, &mut core);
+        let out = core.q.take_message(&exec.exec);
         if out.is_some() {
             self.shards[exec.shard].msgs.fetch_sub(1, Ordering::Relaxed);
         }
+        self.refresh_hint(exec.shard, &core);
         out
     }
 
@@ -285,9 +511,10 @@ impl<M> ShardedScheduler<M> {
     /// strictly more urgent operator anywhere in the system.
     pub fn decide(&self, exec: &ShardExecution, now: PhysicalTime) -> Decision {
         let mine = {
-            let mut q = self.lock(exec.shard);
-            match q.decide(&exec.exec, now) {
-                Decision::Continue => q.peek_next(&exec.exec),
+            let mut core = self.lock(exec.shard);
+            self.drain_locked(exec.shard, &mut core);
+            match core.q.decide(&exec.exec, now) {
+                Decision::Continue => core.q.peek_next(&exec.exec),
                 other => return other,
             }
         };
@@ -304,9 +531,7 @@ impl<M> ShardedScheduler<M> {
                 // Compare in clamped hint space: in-hand IDLE work must
                 // not register as less urgent than another shard's
                 // (equally IDLE) clamped hint.
-                if best_other.saturating_add(self.steal_threshold)
-                    < mine.global.min(LEAST_URGENT_HINT)
-                {
+                if best_other.saturating_add(self.steal_threshold) < hint_of(mine) {
                     self.cross_swaps.fetch_add(1, Ordering::Relaxed);
                     return Decision::Swap;
                 }
@@ -320,13 +545,14 @@ impl<M> ShardedScheduler<M> {
     /// single-queue runtime's behavior after a swap).
     pub fn release(&self, exec: ShardExecution) -> bool {
         let s = exec.shard;
-        let mut q = self.lock(s);
-        q.release(exec.exec);
-        self.refresh_hint(s, &mut q);
+        let mut core = self.lock(s);
+        self.drain_locked(s, &mut core);
+        core.q.release(exec.exec);
+        self.refresh_hint(s, &core);
         self.shards[s].best.load(Ordering::Acquire) != EMPTY_HINT
     }
 
-    /// Total pending messages across shards.
+    /// Total pending messages across shards (mailboxes included).
     pub fn len(&self) -> usize {
         self.shards
             .iter()
@@ -338,15 +564,27 @@ impl<M> ShardedScheduler<M> {
         self.len() == 0
     }
 
-    /// Aggregated counters across shards, including steal accounting.
+    /// Aggregated counters across shards, including steal and mailbox
+    /// accounting. Messages still sitting in a mailbox have not reached
+    /// a `CameoScheduler` yet, so their submit-side counters
+    /// (`hint_fast_path`) appear only after a worker drains them.
     pub fn stats(&self) -> SchedulerStats {
         let mut total = SchedulerStats::default();
         for s in 0..self.shards.len() {
-            total.merge(self.lock(s).stats());
+            total.merge(self.lock(s).q.stats());
         }
         total.steals = self.steals.load(Ordering::Relaxed);
         total.cross_shard_swaps = self.cross_swaps.load(Ordering::Relaxed);
+        total.mailbox_drained = self.mailbox_drained.load(Ordering::Relaxed);
         total
+    }
+
+    /// True when some shard advertises available work — a non-empty
+    /// hint or undrained mail.
+    fn work_advertised(&self) -> bool {
+        self.shards
+            .iter()
+            .any(|sh| sh.best.load(Ordering::SeqCst) != EMPTY_HINT || !sh.mailbox.is_empty())
     }
 
     /// Park the calling worker on its home shard until work may be
@@ -354,34 +592,55 @@ impl<M> ShardedScheduler<M> {
     /// *other* shards' work arrive via the timeout (or via that shard's
     /// own workers), so `timeout` caps the steal latency of an
     /// all-parked pool. Returns immediately when any shard advertises
-    /// work.
+    /// work (hint *or* undrained mailbox).
     pub fn park(&self, home: usize, timeout: Duration) {
         let s = home % self.shards.len();
-        let guard = self.lock(s);
-        if self
-            .shards
-            .iter()
-            .any(|sh| sh.best.load(Ordering::Acquire) != EMPTY_HINT)
-        {
+        let sh = &self.shards[s];
+        sh.parked.fetch_add(1, Ordering::SeqCst);
+        // Order the parked bump before the predicate loads (the other
+        // half of the submit-side handshake).
+        fence(Ordering::SeqCst);
+        let guard = sh.park.lock().unwrap_or_else(|p| p.into_inner());
+        if self.work_advertised() {
+            drop(guard);
+            sh.parked.fetch_sub(1, Ordering::SeqCst);
             return;
         }
-        let (_guard, _timed_out) = self.shards[s]
+        let _ = sh
             .cv
             .wait_timeout(guard, timeout)
             .unwrap_or_else(|poisoned| poisoned.into_inner());
+        sh.parked.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Wake one worker parked on `shard` (after a submit that made an
-    /// operator runnable there).
+    /// Wake one worker parked on `s`, serializing with the parker's
+    /// predicate re-check via the park lock. Callers must order their
+    /// work-publishing store before this call's `parked` load (a SeqCst
+    /// RMW on the publish, or an explicit SeqCst fence).
+    fn wake_one(&self, s: usize) {
+        let sh = &self.shards[s];
+        if sh.parked.load(Ordering::SeqCst) > 0 {
+            // Empty critical section: the notify now lands either after
+            // the parker began waiting (delivered) or before its
+            // re-check (which then sees the published work).
+            drop(sh.park.lock().unwrap_or_else(|p| p.into_inner()));
+            sh.cv.notify_one();
+        }
+    }
+
+    /// Wake one worker parked on `shard` (e.g. after `release` reported
+    /// leftover work). `submit` wakes its target shard by itself.
     pub fn notify_shard(&self, shard: usize) {
-        self.shards[shard % self.shards.len()].cv.notify_one();
+        fence(Ordering::SeqCst);
+        self.wake_one(shard % self.shards.len());
     }
 
     /// Wake every parked worker (shutdown, or broadcast after bulk
     /// submission).
     pub fn notify_all(&self) {
-        for s in &self.shards {
-            s.cv.notify_all();
+        for sh in &self.shards {
+            drop(sh.park.lock().unwrap_or_else(|p| p.into_inner()));
+            sh.cv.notify_all();
         }
     }
 }
@@ -432,6 +691,42 @@ mod tests {
             plain.release(exec);
         }
         assert_eq!(drain(&sh, 0), plain_order);
+    }
+
+    #[test]
+    fn mailbox_and_locked_ingress_drain_identically() {
+        let mk = |mailbox: bool| {
+            ShardedScheduler::<u64>::new(
+                SchedulerConfig::default()
+                    .with_quantum(Micros(0))
+                    .with_mailbox(mailbox),
+            )
+        };
+        let a = mk(true);
+        let b = mk(false);
+        for (i, g) in [7i64, 3, 9, 3, 1, 8, 2].iter().enumerate() {
+            a.submit(key(i as u32 % 3), i as u64, Priority::uniform(*g));
+            b.submit(key(i as u32 % 3), i as u64, Priority::uniform(*g));
+        }
+        assert_eq!(drain(&a, 0), drain(&b, 0));
+        assert!(a.stats().mailbox_drained > 0);
+        assert_eq!(b.stats().mailbox_drained, 0);
+    }
+
+    #[test]
+    fn drain_batch_cap_preserves_order_and_loses_nothing() {
+        let sh = ShardedScheduler::<u64>::new(
+            SchedulerConfig::default()
+                .with_quantum(Micros(0))
+                .with_mailbox_drain_batch(3),
+        );
+        for i in 0..20u64 {
+            sh.submit(key(0), i, Priority::uniform(0));
+        }
+        // Equal priorities: FIFO order must survive the capped drains.
+        assert_eq!(drain(&sh, 0), (0..20).collect::<Vec<_>>());
+        assert!(sh.is_empty());
+        assert_eq!(sh.stats().mailbox_drained, 20);
     }
 
     #[test]
@@ -546,6 +841,8 @@ mod tests {
         let st = sh.stats();
         assert_eq!(st.messages_scheduled, 32);
         assert_eq!(st.operator_acquisitions, 32);
+        assert_eq!(st.mailbox_drained, 32, "all ingress went via mailboxes");
+        assert!(st.hint_fast_path > 0, "drain refreshes hints in O(1)");
     }
 
     #[test]
@@ -602,18 +899,61 @@ mod tests {
     }
 
     #[test]
+    fn park_returns_on_undrained_mail_even_if_hint_raced() {
+        // Force the hint to look empty while mail is queued: the park
+        // predicate must also consult the mailbox.
+        let sh = sharded(2, 0);
+        let sub = sh.submit(key(0), 1, Priority::uniform(1));
+        // Simulate the race where a concurrent failed acquire refreshed
+        // the hint to EMPTY just before the submit's mail landed: the
+        // mailbox check alone must keep the parker awake.
+        sh.shards[sub.shard]
+            .best
+            .store(EMPTY_HINT, Ordering::SeqCst);
+        assert!(!sh.shards[sub.shard].mailbox.is_empty());
+        let t0 = std::time::Instant::now();
+        sh.park(0, Duration::from_secs(5));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        // Draining restores the hint.
+        assert_eq!(drain(&sh, 0), vec![1]);
+    }
+
+    #[test]
     fn notify_wakes_parked_thread() {
         let sh = std::sync::Arc::new(sharded(2, 0));
         let sh2 = sh.clone();
         let h = std::thread::spawn(move || {
-            // Parks (empty), then is woken by the submit+notify below.
+            // Parks (empty), then is woken by the submit below (which
+            // wakes its target shard internally).
             sh2.park(0, Duration::from_secs(10));
         });
         std::thread::sleep(Duration::from_millis(50));
-        let sub = sh.submit(key(0), 1, Priority::uniform(1));
-        sh.notify_shard(sub.shard);
+        let _sub = sh.submit(key(0), 1, Priority::uniform(1));
         sh.notify_all();
         h.join().unwrap();
         assert_eq!(sh.len(), 1);
+    }
+
+    #[test]
+    fn submit_wakes_parker_without_external_notify() {
+        // The submit→wake path alone (no notify_all safety net) must
+        // unpark a worker waiting on the target shard.
+        let sh = std::sync::Arc::new(sharded(2, 0));
+        // key(0)'s shard:
+        let target = sh.shard_of(key(0));
+        let sh2 = sh.clone();
+        let h = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            sh2.park(target, Duration::from_secs(30));
+            t0.elapsed()
+        });
+        // Give the thread time to actually park.
+        std::thread::sleep(Duration::from_millis(100));
+        sh.submit(key(0), 1, Priority::uniform(1));
+        let waited = h.join().unwrap();
+        assert!(
+            waited < Duration::from_secs(5),
+            "parker slept through a submit wake ({waited:?})"
+        );
     }
 }

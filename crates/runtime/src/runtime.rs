@@ -19,10 +19,18 @@
 //! independent scheduler shards, each worker is *affine* to a home
 //! shard (`worker_index % shards`), and a worker steals the globally
 //! most urgent operator from other shards whenever its home shard is
-//! idle or strictly less urgent. Per-shard condvars replace the single
-//! condvar: `submit` wakes a worker parked on the target operator's
-//! shard, and parks are bounded (`PARK_TIMEOUT`) so cross-shard work is
-//! picked up promptly even when wakeups race.
+//! idle or strictly less urgent.
+//!
+//! Ingress is *lock-free*: `submit` pushes into the target shard's
+//! mailbox with a CAS, lowers the shard's best-priority hint, and wakes
+//! a parked worker — it never takes the shard mutex, so ingest threads
+//! (TCP sources, operator fan-out) cannot block the worker draining
+//! that shard. Workers fold the mailbox into the shard's two-level
+//! queue under the lock they already hold at acquire/take/decide/
+//! release boundaries. Per-shard condvars replace the single condvar;
+//! parks are bounded (`PARK_TIMEOUT`) so cross-shard work is picked up
+//! promptly even when wakeups race, and the park/wake handshake itself
+//! is lost-wakeup-free (see `cameo_core::shard`).
 //!
 //! Lock ordering: a worker holds at most one instance lock at a time;
 //! reply application locks the *sender* instance only after the
@@ -76,6 +84,12 @@ pub struct RuntimeConfig {
     pub shards: usize,
     /// Steal slack passed through to [`SchedulerConfig`].
     pub steal_threshold: Micros,
+    /// Lock-free mailbox ingress (default). `false` restores the
+    /// locked submit path; passed through to [`SchedulerConfig`].
+    pub mailbox: bool,
+    /// Mailbox messages admitted per lock acquisition (0 = all);
+    /// passed through to [`SchedulerConfig`].
+    pub mailbox_drain_batch: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -88,6 +102,8 @@ impl Default for RuntimeConfig {
             policy: Arc::new(LlfPolicy),
             shards: 0,
             steal_threshold: Micros::ZERO,
+            mailbox: true,
+            mailbox_drain_batch: 0,
         }
     }
 }
@@ -116,6 +132,16 @@ impl RuntimeConfig {
 
     pub fn with_steal_threshold(mut self, slack: Micros) -> Self {
         self.steal_threshold = slack;
+        self
+    }
+
+    pub fn with_mailbox(mut self, on: bool) -> Self {
+        self.mailbox = on;
+        self
+    }
+
+    pub fn with_mailbox_drain_batch(mut self, batch: usize) -> Self {
+        self.mailbox_drain_batch = batch;
         self
     }
 
@@ -160,10 +186,9 @@ impl Shared {
 
     fn submit(&self, key: cameo_core::ids::OperatorKey, msg: RtMsg) {
         let pri = msg.pc.priority;
-        let sub = self.sched.submit(key, msg, pri);
-        if sub.newly_runnable {
-            self.sched.notify_shard(sub.shard);
-        }
+        // Lock-free: lands in the shard's mailbox; the scheduler wakes
+        // a parked worker on that shard internally.
+        let _ = self.sched.submit(key, msg, pri);
     }
 }
 
@@ -182,7 +207,9 @@ impl Runtime {
                 SchedulerConfig::default()
                     .with_quantum(config.quantum)
                     .with_shards(shards)
-                    .with_steal_threshold(config.steal_threshold),
+                    .with_steal_threshold(config.steal_threshold)
+                    .with_mailbox(config.mailbox)
+                    .with_mailbox_drain_batch(config.mailbox_drain_batch),
             ),
             jobs: RwLock::new(Vec::new()),
             policy: config.policy.clone(),
@@ -620,6 +647,51 @@ mod tests {
         assert!(
             rt.job_stats(job).outputs >= 1,
             "windows fired across shards"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn locked_ingress_runtime_still_processes() {
+        // The pre-mailbox ingress path stays available behind the knob
+        // and must drain end to end just like the default.
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(2).with_mailbox(false));
+        let job = rt.deploy(&tiny_query("lk", 5_000), &ExpandOptions::default());
+        for source in [0u32, 1] {
+            rt.ingest(job, source, vec![Tuple::new(1, 1, LogicalTime(1_000))]);
+            rt.ingest(job, source, vec![Tuple::new(1, 1, LogicalTime(9_000))]);
+        }
+        assert!(rt.drain(std::time::Duration::from_secs(5)));
+        assert_eq!(
+            rt.scheduler_stats().mailbox_drained,
+            0,
+            "locked ingress must not touch the mailbox"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn drain_batch_cap_runtime_processes_everything() {
+        let rt = Runtime::start(
+            RuntimeConfig::default()
+                .with_workers(2)
+                .with_mailbox_drain_batch(2),
+        );
+        let job = rt.deploy(&tiny_query("db", 5_000), &ExpandOptions::default());
+        for round in 0..10u64 {
+            for source in [0u32, 1] {
+                let tuples = (0..10)
+                    .map(|i| Tuple::new(i, 1, LogicalTime(round * 1_000 + i)))
+                    .collect();
+                rt.ingest(job, source, tuples);
+            }
+        }
+        assert!(rt.drain(std::time::Duration::from_secs(10)));
+        let stats = rt.scheduler_stats();
+        assert!(stats.mailbox_drained > 0, "ingress went through mailboxes");
+        assert_eq!(
+            stats.mailbox_drained, stats.messages_scheduled,
+            "every scheduled message travelled through a mailbox"
         );
         rt.shutdown();
     }

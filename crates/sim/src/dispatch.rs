@@ -57,14 +57,23 @@ pub trait Dispatcher: Send {
 // ---------------------------------------------------------------- Cameo
 
 /// The paper's scheduler: wraps the [`ShardedScheduler`] (per-shard
-/// two-level priority queues + quantum logic + urgency-aware stealing).
+/// two-level priority queues + quantum logic + urgency-aware stealing,
+/// fed through lock-free submission mailboxes).
 /// With `config.shards == 1` — the default — this is exactly the
 /// single two-level queue of §5.2, and the simulator's event loop stays
-/// bit-for-bit deterministic. Multi-shard configurations model the
-/// production runtime's sharded hot path: workers map to home shards
-/// (`worker % shards`) and steal per the configured threshold, still
-/// deterministically (the simulator is single-threaded, so shard hints
-/// are always exact).
+/// bit-for-bit deterministic: `submit` parks messages in the shard
+/// mailbox, and the scheduler folds the mailbox into the two-level
+/// queue *in submission order* before every simulated
+/// acquire/take/decide/release it performs, so the queue state at every
+/// observation point is identical to the old locked ingress path.
+/// Multi-shard configurations model the production runtime's sharded
+/// hot path: workers map to home shards (`worker % shards`) and steal
+/// per the configured threshold, still deterministically — the
+/// simulator is single-threaded, so hints take the same value on every
+/// run. (Between a submit and the next drain of that shard, a hint is
+/// a lower *bound* rather than exact — acquire re-drains its pick until
+/// stable, while `decide`'s cross-shard check may act on the bound;
+/// both deterministically.)
 pub struct CameoDispatcher {
     inner: ShardedScheduler<SimMsg>,
 }

@@ -1,0 +1,235 @@
+//! Stress tests for the lock-free shard ingress path: N submitters ×
+//! M workers hammering the per-shard submission mailboxes, plus a
+//! regression test aimed squarely at the park/wake race window.
+
+use cameo::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn key(job: u32, op: u32) -> OperatorKey {
+    OperatorKey::new(JobId(job), op)
+}
+
+/// N submitters × M workers: every message is delivered exactly once,
+/// and — because every submitter's messages to one operator carry equal
+/// priorities and ascending ids — per-operator delivery order must be
+/// exactly per-operator submission order once drained (the mailbox's
+/// FIFO restoration + the two-level queue's arrival tiebreak).
+#[test]
+fn mailbox_stress_no_loss_no_dup_fifo_per_operator() {
+    const SUBMITTERS: usize = 6;
+    const WORKERS: usize = 3;
+    const PER_THREAD: u64 = 4_000;
+    const OPS_PER_SUBMITTER: u64 = 5;
+    const TOTAL: u64 = SUBMITTERS as u64 * PER_THREAD;
+
+    let sched: Arc<ShardedScheduler<(u32, u64)>> = Arc::new(ShardedScheduler::new(
+        SchedulerConfig::default()
+            .with_shards(WORKERS)
+            .with_quantum(Micros(20)),
+    ));
+    let consumed = Arc::new(AtomicUsize::new(0));
+    // op id -> delivered message ids, appended while the lease is held,
+    // so the per-op order here is the true delivery order.
+    let delivered: Arc<Mutex<HashMap<u32, Vec<u64>>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let submitters: Vec<_> = (0..SUBMITTERS as u64)
+        .map(|t| {
+            let sched = sched.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Disjoint operators per submitter: per-op
+                    // submission order is this thread's program order.
+                    let op = (t * OPS_PER_SUBMITTER + i % OPS_PER_SUBMITTER) as u32;
+                    // Equal priorities within an operator, so delivery
+                    // order == submission order is a hard requirement.
+                    let _ = sched.submit(key(0, op), (op, i), Priority::uniform(t as i64));
+                }
+            })
+        })
+        .collect();
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let sched = sched.clone();
+            let consumed = consumed.clone();
+            let delivered = delivered.clone();
+            std::thread::spawn(move || {
+                let mut now = 0u64;
+                while consumed.load(Ordering::Acquire) < TOTAL as usize {
+                    let Some(exec) = sched.acquire(w, PhysicalTime(now)) else {
+                        sched.park(w, Duration::from_millis(1));
+                        continue;
+                    };
+                    while let Some(((op, id), _)) = sched.take_message(&exec) {
+                        // Holding the lease serializes this append with
+                        // every other delivery of the same operator.
+                        delivered.lock().unwrap().entry(op).or_default().push(id);
+                        consumed.fetch_add(1, Ordering::AcqRel);
+                        now += 5;
+                        match sched.decide(&exec, PhysicalTime(now)) {
+                            Decision::Continue => continue,
+                            Decision::Swap | Decision::Idle => break,
+                        }
+                    }
+                    if sched.release(exec) {
+                        sched.notify_shard(w);
+                    }
+                }
+                sched.notify_all();
+            })
+        })
+        .collect();
+
+    for h in submitters {
+        h.join().unwrap();
+    }
+    for h in workers {
+        h.join().unwrap();
+    }
+
+    let delivered = Arc::try_unwrap(delivered).unwrap().into_inner().unwrap();
+    let total: usize = delivered.values().map(|v| v.len()).sum();
+    assert_eq!(total, TOTAL as usize, "messages lost or duplicated");
+    assert_eq!(
+        delivered.len(),
+        SUBMITTERS * OPS_PER_SUBMITTER as usize,
+        "every operator saw traffic"
+    );
+    for (op, ids) in &delivered {
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "operator {op}: equal-priority delivery order broke submission \
+             order (ids {:?}...)",
+            &ids[..ids.len().min(16)]
+        );
+    }
+    assert!(sched.is_empty());
+    let stats = sched.stats();
+    assert_eq!(stats.messages_scheduled, TOTAL);
+    assert_eq!(
+        stats.mailbox_drained, TOTAL,
+        "every message travelled through a mailbox"
+    );
+}
+
+/// Regression test for the lost-wakeup window: a submit that lands
+/// *between* a parker's predicate check and its condvar wait must still
+/// wake it. One worker round-trips park→acquire while the main thread
+/// submits exactly one message per round and waits for it to be
+/// consumed — with the race unfixed, some round stalls for the full
+/// 10 s park timeout and the per-round deadline below trips.
+#[test]
+fn submit_during_park_race_window_always_wakes() {
+    const ROUNDS: usize = 300;
+    let sched: Arc<ShardedScheduler<u64>> = Arc::new(ShardedScheduler::new(
+        SchedulerConfig::default().with_quantum(Micros(0)),
+    ));
+    let consumed = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicUsize::new(0));
+
+    let worker = {
+        let sched = sched.clone();
+        let consumed = consumed.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while stop.load(Ordering::Acquire) == 0 {
+                match sched.acquire(0, PhysicalTime::ZERO) {
+                    Some(exec) => {
+                        while sched.take_message(&exec).is_some() {
+                            consumed.fetch_add(1, Ordering::AcqRel);
+                        }
+                        sched.release(exec);
+                    }
+                    // The dangerous moment: going to sleep right as the
+                    // next round's submit flies in. Long timeout so a
+                    // lost wakeup is loud, not papered over.
+                    None => sched.park(0, Duration::from_secs(10)),
+                }
+            }
+        })
+    };
+
+    for r in 0..ROUNDS {
+        let _ = sched.submit(key(0, (r % 7) as u32), r as u64, Priority::uniform(1));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while consumed.load(Ordering::Acquire) < r + 1 {
+            assert!(
+                Instant::now() < deadline,
+                "round {r}: worker slept through a submit (lost wakeup)"
+            );
+            std::hint::spin_loop();
+        }
+    }
+    stop.store(1, Ordering::Release);
+    sched.notify_all();
+    worker.join().unwrap();
+    assert!(sched.is_empty());
+}
+
+/// Same window, many shards and workers parking concurrently: no
+/// submission may be stranded while every worker sleeps.
+#[test]
+fn bursty_submits_never_strand_parked_pool() {
+    const WORKERS: usize = 4;
+    const BURSTS: usize = 50;
+    const BURST: u64 = 64;
+    let sched: Arc<ShardedScheduler<u64>> = Arc::new(ShardedScheduler::new(
+        SchedulerConfig::default()
+            .with_shards(WORKERS)
+            .with_quantum(Micros(0)),
+    ));
+    let consumed = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicUsize::new(0));
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let sched = sched.clone();
+            let consumed = consumed.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while stop.load(Ordering::Acquire) == 0 {
+                    match sched.acquire(w, PhysicalTime::ZERO) {
+                        Some(exec) => {
+                            while sched.take_message(&exec).is_some() {
+                                consumed.fetch_add(1, Ordering::AcqRel);
+                            }
+                            if sched.release(exec) {
+                                sched.notify_shard(w);
+                            }
+                        }
+                        None => sched.park(w, Duration::from_secs(10)),
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut sent = 0usize;
+    for b in 0..BURSTS {
+        for i in 0..BURST {
+            let _ = sched.submit(
+                key(0, (b as u64 * BURST + i) as u32 % 61),
+                i,
+                Priority::uniform(i as i64),
+            );
+            sent += 1;
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while consumed.load(Ordering::Acquire) < sent {
+            assert!(
+                Instant::now() < deadline,
+                "burst {b}: pool stranded with {} of {sent} consumed",
+                consumed.load(Ordering::Acquire)
+            );
+            std::thread::yield_now();
+        }
+    }
+    stop.store(1, Ordering::Release);
+    sched.notify_all();
+    for h in workers {
+        h.join().unwrap();
+    }
+    assert!(sched.is_empty());
+}
