@@ -16,9 +16,13 @@
 //! 2. **Submit overhead** (`submit_ns`): single-threaded nanoseconds
 //!    per `submit` for the bare (unlocked) `CameoScheduler` vs both
 //!    sharded ingress paths, measured on submit-only bursts with the
-//!    drain untimed. `overhead_ns_*` = path minus bare; this is the
-//!    number the lock-free-ingress work targets (≤ 45 ns for the
-//!    mailbox path, half the locked path's historical ~90 ns).
+//!    drain untimed. `overhead_ns_*` = path minus bare. The mailbox
+//!    path is now *arena-backed* (no `Box` per push), so its number is
+//!    the one the zero-allocation-ingress work targets: at or below the
+//!    PR 2 boxed-mailbox figure. `batch64` times
+//!    `ShardedScheduler::submit_batch` with 64-message batches — one
+//!    publish CAS + one hint + one wake for the whole batch — and must
+//!    stay under 8× a single submit.
 //!
 //! Each closed-loop worker owns a disjoint set of operators placed on
 //! its home shard (the runtime's steady state). A cycle submits a burst
@@ -27,12 +31,16 @@
 //!
 //! Output: a table on stdout and `BENCH_sharded_scheduler.json` in the
 //! current directory, so later PRs have a perf trajectory to compare
-//! against. The artifact records the CPU count: on a single-core
-//! container the no-contention ceiling at W workers is the single-
-//! worker rate, so speedups there measure *contention tax removed*
-//! (lock handoffs, futex sleeps), not parallel scaling. Pass `--quick`
-//! for a CI smoke run (seconds), `--full` for longer measurement
-//! windows, `--out PATH` to redirect the artifact.
+//! against. The artifact records the CPU count and whether workers were
+//! core-pinned: on a single-core container the no-contention ceiling at
+//! W workers is the single-worker rate, so speedups there measure
+//! *contention tax removed* (lock handoffs, futex sleeps), not parallel
+//! scaling, and pinning is a no-op. Per-cell `node_reuse` /
+//! `node_alloc_fallback` counters audit the zero-allocation claim from
+//! the artifact alone. Pass `--quick` for a CI smoke run (seconds),
+//! `--full` for longer measurement windows, `--pin` to
+//! `sched_setaffinity` each closed-loop worker to core `w % cpus`,
+//! `--out PATH` to redirect the artifact.
 
 use cameo_bench::BenchArgs;
 use cameo_core::config::SchedulerConfig;
@@ -61,6 +69,30 @@ struct Cell {
     msgs_per_sec: f64,
     steals: u64,
     mailbox_drained: u64,
+    node_reuse: u64,
+    node_alloc_fallback: u64,
+}
+
+/// How the closed-loop workers submit their bursts.
+#[derive(Clone, Copy, PartialEq)]
+enum Ingress {
+    /// Sharded scheduler, locked submit path (pre-mailbox hot path).
+    Locked,
+    /// Lock-free arena-backed mailbox, one submit per message.
+    Mailbox,
+    /// Lock-free mailbox via `submit_batch`: the whole burst goes in
+    /// with one CAS + one hint + one wake per shard.
+    Batched,
+}
+
+impl Ingress {
+    fn label(self) -> &'static str {
+        match self {
+            Ingress::Locked => "locked",
+            Ingress::Mailbox => "mailbox",
+            Ingress::Batched => "batched",
+        }
+    }
 }
 
 /// Operator keys whose shard is `shard` (the runtime reaches this state
@@ -82,13 +114,22 @@ fn keys_on_shard(sched: &ShardedScheduler<u64>, shard: usize, count: u32) -> Vec
 /// Spawn `workers` closed-loop threads running `body(worker) -> processed`
 /// for `measure`, returning total messages/sec and elapsed-normalized
 /// throughput.
-fn run_workers<F>(workers: usize, measure: Duration, stop: Arc<AtomicBool>, body: F) -> f64
+fn run_workers<F>(
+    workers: usize,
+    measure: Duration,
+    stop: Arc<AtomicBool>,
+    pin: bool,
+    body: F,
+) -> f64
 where
     F: Fn(usize, &AtomicBool) -> u64 + Send + Sync + 'static,
 {
     let body = Arc::new(body);
     let start = Arc::new(Barrier::new(workers + 1));
     let done = Arc::new(AtomicU64::new(0));
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let handles: Vec<_> = (0..workers)
         .map(|w| {
             let body = body.clone();
@@ -96,6 +137,10 @@ where
             let start = start.clone();
             let done = done.clone();
             std::thread::spawn(move || {
+                if pin {
+                    // Same worker→core map as the runtime's pinning.
+                    let _ = cameo_core::affinity::pin_to_core(w % cpus);
+                }
                 start.wait();
                 let processed = body(w, &stop);
                 done.fetch_add(processed, Ordering::Relaxed);
@@ -115,12 +160,12 @@ where
 /// The pre-sharding hot path: one global mutex around the scheduler,
 /// locked once per submit / take / lease transition (exactly the old
 /// runtime's cadence).
-fn run_mutex_baseline(workers: usize, measure: Duration) -> Cell {
+fn run_mutex_baseline(workers: usize, measure: Duration, pin: bool) -> Cell {
     let sched: Arc<Mutex<CameoScheduler<u64>>> = Arc::new(Mutex::new(CameoScheduler::new(
         SchedulerConfig::default().with_quantum(Micros::from_millis(1)),
     )));
     let stop = Arc::new(AtomicBool::new(false));
-    let rate = run_workers(workers, measure, stop, {
+    let rate = run_workers(workers, measure, stop, pin, {
         let sched = sched.clone();
         move |w, stop| {
             let keys: Vec<OperatorKey> = (0..OPS_PER_WORKER)
@@ -167,18 +212,26 @@ fn run_mutex_baseline(workers: usize, measure: Duration) -> Cell {
         msgs_per_sec: rate,
         steals: 0,
         mailbox_drained: 0,
+        node_reuse: 0,
+        node_alloc_fallback: 0,
     }
 }
 
-fn run_sharded(shards: usize, workers: usize, measure: Duration, mailbox: bool) -> Cell {
+fn run_sharded(
+    shards: usize,
+    workers: usize,
+    measure: Duration,
+    ingress: Ingress,
+    pin: bool,
+) -> Cell {
     let sched: Arc<ShardedScheduler<u64>> = Arc::new(ShardedScheduler::new(
         SchedulerConfig::default()
             .with_shards(shards)
             .with_quantum(Micros::from_millis(1))
-            .with_mailbox(mailbox),
+            .with_mailbox(ingress != Ingress::Locked),
     ));
     let stop = Arc::new(AtomicBool::new(false));
-    let rate = run_workers(workers, measure, stop, {
+    let rate = run_workers(workers, measure, stop, pin, {
         let sched = sched.clone();
         move |w, stop| {
             let home = w % shards;
@@ -188,11 +241,22 @@ fn run_sharded(shards: usize, workers: usize, measure: Duration, mailbox: bool) 
             let mut backlog = 0u64;
             while !stop.load(Ordering::Relaxed) || backlog > 0 {
                 if !stop.load(Ordering::Relaxed) {
-                    for _ in 0..BURST {
-                        i += 1;
-                        let key = keys[(i % keys.len() as u64) as usize];
-                        sched.submit(key, i, Priority::new(0, i as i64));
-                        backlog += 1;
+                    if ingress == Ingress::Batched {
+                        let base = i;
+                        sched.submit_batch((0..BURST).map(|b| {
+                            let n = base + b + 1;
+                            let key = keys[(n % keys.len() as u64) as usize];
+                            (key, n, Priority::new(0, n as i64))
+                        }));
+                        i += BURST;
+                        backlog += BURST;
+                    } else {
+                        for _ in 0..BURST {
+                            i += 1;
+                            let key = keys[(i % keys.len() as u64) as usize];
+                            sched.submit(key, i, Priority::new(0, i as i64));
+                            backlog += 1;
+                        }
                     }
                 }
                 while backlog > 0 {
@@ -215,12 +279,14 @@ fn run_sharded(shards: usize, workers: usize, measure: Duration, mailbox: bool) 
     });
     let stats = sched.stats();
     Cell {
-        config: format!("{}-{shards}", if mailbox { "mailbox" } else { "locked" }),
+        config: format!("{}-{shards}", ingress.label()),
         shards,
         workers,
         msgs_per_sec: rate,
         steals: stats.steals,
         mailbox_drained: stats.mailbox_drained,
+        node_reuse: stats.node_reuse_hits,
+        node_alloc_fallback: stats.node_alloc_fallback,
     }
 }
 
@@ -256,6 +322,8 @@ struct SubmitCosts {
     bare_ns: f64,
     locked_ns: f64,
     mailbox_ns: f64,
+    /// ns per whole 64-message `submit_batch` call (single shard).
+    batch64_ns: f64,
 }
 
 fn measure_submit_costs(measure: Duration) -> SubmitCosts {
@@ -300,22 +368,71 @@ fn measure_submit_costs(measure: Duration) -> SubmitCosts {
             },
         )
     };
+    // Batched submission: time whole 64-message `submit_batch` calls
+    // (item-vector construction untimed; several batches per clock
+    // pair, mirroring how the single-submit loop amortizes its timer
+    // over a burst), drain untimed so recycled nodes feed the next
+    // round — the steady state of `ingest_batch`.
+    let batch64_ns = {
+        const BATCHES_PER_ROUND: usize = 2;
+        let s = sharded(true);
+        let keys: Vec<OperatorKey> = (0..OPS_PER_WORKER)
+            .map(|op| OperatorKey::new(JobId(0), op))
+            .collect();
+        let mut i = 0u64;
+        let mut timed = Duration::ZERO;
+        let mut batches = 0u64;
+        while timed < measure {
+            let rounds: Vec<Vec<(OperatorKey, u64, Priority)>> = (0..BATCHES_PER_ROUND)
+                .map(|_| {
+                    (0..SUBMIT_BURST)
+                        .map(|_| {
+                            i += 1;
+                            let key = keys[(i % keys.len() as u64) as usize];
+                            (key, i, Priority::new(0, i as i64))
+                        })
+                        .collect()
+                })
+                .collect();
+            let t0 = Instant::now();
+            for items in rounds {
+                s.submit_batch(items);
+            }
+            timed += t0.elapsed();
+            batches += BATCHES_PER_ROUND as u64;
+            while let Some(exec) = s.acquire(0, PhysicalTime::ZERO) {
+                while s.take_message(&exec).is_some() {}
+                s.release(exec);
+            }
+        }
+        timed.as_nanos() as f64 / batches as f64
+    };
     SubmitCosts {
         bare_ns,
         locked_ns: path_ns(false),
         mailbox_ns: path_ns(true),
+        batch64_ns,
     }
 }
 
 fn main() {
     let args = BenchArgs::parse();
     let mut out_path = String::from("BENCH_sharded_scheduler.json");
+    let mut pin = false;
     let mut rest = args.rest.iter();
     while let Some(a) = rest.next() {
         if a == "--out" {
             out_path = rest.next().expect("--out takes a path").clone();
+        } else if a == "--pin" {
+            pin = true;
         }
     }
+    // Probe (in a scratch thread, so the main thread keeps its
+    // affinity) whether pinning can actually take effect here.
+    let pinned = pin
+        && std::thread::spawn(|| cameo_core::affinity::pin_to_core(0))
+            .join()
+            .unwrap_or(false);
     let measure = if args.full {
         Duration::from_millis(1_000)
     } else if args.quick {
@@ -333,48 +450,59 @@ fn main() {
     let costs = measure_submit_costs(measure);
     let locked_overhead = costs.locked_ns - costs.bare_ns;
     let mailbox_overhead = costs.mailbox_ns - costs.bare_ns;
+    let batch64_per_msg = costs.batch64_ns / SUBMIT_BURST as f64;
+    let batch64_vs_single = costs.batch64_ns / costs.mailbox_ns;
     println!("  bare CameoScheduler : {:8.1} ns/submit", costs.bare_ns);
     println!(
         "  sharded, locked     : {:8.1} ns/submit  (+{:.1} ns vs bare)",
         costs.locked_ns, locked_overhead
     );
     println!(
-        "  sharded, mailbox    : {:8.1} ns/submit  ({}{:.1} ns vs bare)",
+        "  sharded, arena mbox : {:8.1} ns/submit  ({}{:.1} ns vs bare)",
         costs.mailbox_ns,
         if mailbox_overhead >= 0.0 { "+" } else { "" },
         mailbox_overhead
     );
+    println!(
+        "  submit_batch(64)    : {:8.1} ns/batch   ({:.1} ns/msg, {:.2}x one submit)",
+        costs.batch64_ns, batch64_per_msg, batch64_vs_single
+    );
 
     println!("\ncontended scheduler throughput (closed-loop submit+drain, burst {BURST})");
-    println!("host: {cpus} cpu(s) — on 1 cpu, speedups measure contention tax, not scaling");
     println!(
-        "{:>11} {:>8} {:>15} {:>10} {:>9} {:>10}",
-        "config", "workers", "msgs/sec", "vs mutex", "steals", "mb-drain"
+        "host: {cpus} cpu(s), worker pinning {} — on 1 cpu, speedups measure contention tax, not scaling",
+        if pinned { "on" } else { "off" }
     );
+    println!(
+        "{:>11} {:>8} {:>15} {:>10} {:>9} {:>10} {:>10} {:>8}",
+        "config", "workers", "msgs/sec", "vs mutex", "steals", "mb-drain", "nd-reuse", "nd-fb"
+    );
+    let print_cell = |cell: &Cell, base_rate: f64| {
+        println!(
+            "{:>11} {:>8} {:>15.0} {:>9.2}x {:>9} {:>10} {:>10} {:>8}",
+            cell.config,
+            cell.workers,
+            cell.msgs_per_sec,
+            cell.msgs_per_sec / base_rate,
+            cell.steals,
+            cell.mailbox_drained,
+            cell.node_reuse,
+            cell.node_alloc_fallback
+        );
+    };
     let mut cells: Vec<Cell> = Vec::new();
     for &workers in worker_sweep {
-        let base = run_mutex_baseline(workers, measure);
+        let base = run_mutex_baseline(workers, measure, pinned);
         let base_rate = base.msgs_per_sec;
-        println!(
-            "{:>11} {:>8} {:>15.0} {:>9.2}x {:>9} {:>10}",
-            base.config, base.workers, base.msgs_per_sec, 1.0, base.steals, base.mailbox_drained
-        );
+        print_cell(&base, base_rate);
         cells.push(base);
         for &shards in shard_sweep {
             if shards > workers {
                 continue; // the runtime clamps shards to workers
             }
-            for mailbox in [false, true] {
-                let cell = run_sharded(shards, workers, measure, mailbox);
-                println!(
-                    "{:>11} {:>8} {:>15.0} {:>9.2}x {:>9} {:>10}",
-                    cell.config,
-                    cell.workers,
-                    cell.msgs_per_sec,
-                    cell.msgs_per_sec / base_rate,
-                    cell.steals,
-                    cell.mailbox_drained
-                );
+            for ingress in [Ingress::Locked, Ingress::Mailbox, Ingress::Batched] {
+                let cell = run_sharded(shards, workers, measure, ingress, pinned);
+                print_cell(&cell, base_rate);
                 cells.push(cell);
             }
         }
@@ -403,23 +531,26 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"sharded_scheduler\",\n  \"unit\": \"msgs_per_sec\",\n");
     json.push_str(&format!(
-        "  \"cpus\": {cpus},\n  \"burst\": {BURST},\n  \"measure_ms\": {},\n  \"speedup_top_workers\": {speedup:.3},\n  \"top_workers\": {top_workers},\n",
+        "  \"cpus\": {cpus},\n  \"pinned\": {pinned},\n  \"burst\": {BURST},\n  \"measure_ms\": {},\n  \"speedup_top_workers\": {speedup:.3},\n  \"top_workers\": {top_workers},\n",
         measure.as_millis(),
     ));
     json.push_str(&format!(
-        "  \"submit_ns\": {{\"bare\": {:.1}, \"locked\": {:.1}, \"mailbox\": {:.1}, \"overhead_ns_locked\": {:.1}, \"overhead_ns_mailbox\": {:.1}}},\n",
-        costs.bare_ns, costs.locked_ns, costs.mailbox_ns, locked_overhead, mailbox_overhead
+        "  \"submit_ns\": {{\"bare\": {:.1}, \"locked\": {:.1}, \"mailbox\": {:.1}, \"overhead_ns_locked\": {:.1}, \"overhead_ns_mailbox\": {:.1}, \"batch64\": {:.1}, \"batch64_per_msg\": {:.1}, \"batch64_vs_single\": {:.2}}},\n",
+        costs.bare_ns, costs.locked_ns, costs.mailbox_ns, locked_overhead, mailbox_overhead,
+        costs.batch64_ns, batch64_per_msg, batch64_vs_single
     ));
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"config\": \"{}\", \"shards\": {}, \"workers\": {}, \"msgs_per_sec\": {:.0}, \"steals\": {}, \"mailbox_drained\": {}}}{}\n",
+            "    {{\"config\": \"{}\", \"shards\": {}, \"workers\": {}, \"msgs_per_sec\": {:.0}, \"steals\": {}, \"mailbox_drained\": {}, \"node_reuse_hits\": {}, \"node_alloc_fallback\": {}}}{}\n",
             c.config,
             c.shards,
             c.workers,
             c.msgs_per_sec,
             c.steals,
             c.mailbox_drained,
+            c.node_reuse,
+            c.node_alloc_fallback,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }

@@ -1,0 +1,101 @@
+//! Worker→core pinning for home-shard memory locality.
+//!
+//! The sharded runtime gives every worker a home shard, and the arena
+//! ([`crate::arena`]) keeps that shard's mailbox nodes in segments the
+//! draining worker touches on every cycle. Pinning the worker to one
+//! core keeps those segments in that core's cache (and, on NUMA hosts,
+//! faults them onto that core's node via first-touch), so steals are
+//! the only remaining cross-core traffic — exactly the locality the
+//! ROADMAP's "NUMA-aware shard pinning" item asked for.
+//!
+//! Implemented with a direct `extern "C"` declaration of Linux's
+//! `sched_setaffinity` (no libc crate — this workspace builds fully
+//! offline). On non-Linux targets, or when the syscall rejects the
+//! mask (e.g. a cgroup cpuset excluding the requested core), pinning
+//! is a graceful no-op and the caller learns it via the `false` return.
+
+/// Maximum CPU index addressable by the fixed-size mask (matches the
+/// kernel's default `CPU_SETSIZE`).
+pub const MAX_CORES: usize = 1024;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::MAX_CORES;
+
+    /// `cpu_set_t`: a 1024-bit mask, as glibc lays it out.
+    #[repr(C)]
+    struct CpuSet {
+        bits: [u64; MAX_CORES / 64],
+    }
+
+    extern "C" {
+        /// glibc wrapper; `pid == 0` applies to the calling thread.
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u8) -> i32;
+    }
+
+    pub fn pin_to_core(core: usize) -> bool {
+        if core >= MAX_CORES {
+            return false;
+        }
+        let mut set = CpuSet {
+            bits: [0; MAX_CORES / 64],
+        };
+        set.bits[core / 64] |= 1u64 << (core % 64);
+        // Safety: the mask is a plain POD local of the exact size we
+        // pass; the call only reads it.
+        unsafe {
+            sched_setaffinity(
+                0,
+                std::mem::size_of::<CpuSet>(),
+                &set as *const CpuSet as *const u8,
+            ) == 0
+        }
+    }
+
+    pub const SUPPORTED: bool = true;
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    pub fn pin_to_core(_core: usize) -> bool {
+        false
+    }
+
+    pub const SUPPORTED: bool = false;
+}
+
+/// Pin the *calling thread* to `core`. Returns whether the kernel
+/// accepted the mask; `false` is always safe to ignore (the thread
+/// simply keeps its previous affinity).
+pub fn pin_to_core(core: usize) -> bool {
+    imp::pin_to_core(core)
+}
+
+/// Whether this build can pin at all (Linux only).
+pub fn pinning_supported() -> bool {
+    imp::SUPPORTED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_core_is_rejected() {
+        assert!(!pin_to_core(MAX_CORES));
+        assert!(!pin_to_core(usize::MAX));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pinning_some_core_succeeds_on_linux() {
+        assert!(pinning_supported());
+        // Run in a scratch thread so the test harness thread keeps its
+        // affinity. A cgroup cpuset may exclude low core ids, so accept
+        // any pinnable core within the first MAX_CORES.
+        let ok = std::thread::spawn(|| (0..MAX_CORES).any(pin_to_core))
+            .join()
+            .unwrap();
+        assert!(ok, "no core in the mask range was pinnable");
+    }
+}

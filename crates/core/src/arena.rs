@@ -1,0 +1,806 @@
+//! Per-shard segmented node arenas: zero-allocation storage for
+//! mailbox nodes.
+//!
+//! PR 2 made `submit` lock-free, which left memory as the binding cost
+//! on the ingress hot path: every `Mailbox::push` paid a `Box`
+//! allocation and every drain paid the matching free. This module
+//! replaces that traffic with a per-shard **segment arena**: nodes are
+//! carved from fixed-size segments owned by the arena, and nodes freed
+//! by the draining worker go back onto a lock-free free list that
+//! producers take from — so in steady state a push touches no
+//! allocator at all, and a shard's nodes stay in memory the shard's
+//! worker keeps hot (pair with worker pinning, [`crate::affinity`]).
+//!
+//! ## Why the free list is ABA-safe
+//!
+//! The mailbox's own Treiber stack avoids pop-side ABA by never
+//! popping single nodes — the consumer detaches the *whole* list with
+//! one `swap`. The arena's free list cannot use that trick: many
+//! producers pop single nodes concurrently, and a node popped by one
+//! producer can travel through the mailbox, be drained, and be pushed
+//! back while another producer still holds a stale head/next pair —
+//! the classic recycling ABA. The defense here is a **generation tag**:
+//! the free-list head is a single `AtomicU64` packing
+//! `(tag: u32, slot index: u32)`, and every successful push *and* pop
+//! increments the tag, so a stale CAS can never succeed even when the
+//! same slot index reappears at the head. Slot *indices* (not
+//! pointers) are what make the tag fit: segments are never freed
+//! before the arena itself, so dereferencing a stale index to peek its
+//! `free_next` is always safe, and the tag check discards the value if
+//! the slot was recycled in between.
+//!
+//! The free list is *consumer-refilled*: the draining worker returns a
+//! whole batch of nodes with a single tagged CAS
+//! ([`Reclaimer`]), which is what keeps drain-side cost O(1) in
+//! atomics per batch.
+//!
+//! ## Growth and fallback
+//!
+//! Fresh slots are carved bump-style (`fetch`-CAS on a cursor) from
+//! lazily installed segments of [`SEGMENT_SLOTS`] slots; installation
+//! races are resolved with a CAS on the per-segment pointer (the loser
+//! frees its allocation). When the indexed capacity
+//! ([`MAX_SEGMENTS`] × [`SEGMENT_SLOTS`] slots) is exhausted, `take`
+//! degrades gracefully to plain `Box` nodes, marked with a sentinel
+//! index so recycling frees them instead of pushing them onto the free
+//! list. [`ArenaStats`] counts both paths (`reuse_hits`,
+//! `alloc_fallback`) so "no allocation on the steady-state push path"
+//! is auditable from the scheduler's counters.
+//!
+//! Segments are never returned to the OS before the arena drops; a
+//! burst that carved N segments keeps them cached for the next burst.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+/// Slots per segment. One segment is one allocation; a burst of this
+/// many pushes costs a single allocator round-trip while warming up.
+pub const SEGMENT_SLOTS: usize = 512;
+
+/// Maximum number of segments per arena. Beyond
+/// `MAX_SEGMENTS * SEGMENT_SLOTS` simultaneously live nodes, `take`
+/// falls back to heap boxes (counted, never failing).
+pub const MAX_SEGMENTS: usize = 512;
+
+/// Free-list "no slot" index, and — as a slot's own `index` — the
+/// marker for heap-fallback nodes (indexed slots are always below
+/// `MAX_SEGMENTS * SEGMENT_SLOTS`, far under `u32::MAX`).
+const NONE: u32 = u32::MAX;
+
+#[inline]
+fn pack(tag: u32, idx: u32) -> u64 {
+    ((tag as u64) << 32) | idx as u64
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, (word & 0xFFFF_FFFF) as u32)
+}
+
+/// One arena-managed node: a payload slot plus its links.
+///
+/// `next` is the *user* link (the mailbox chains checked-out nodes
+/// through it); it is owned exclusively by whoever holds the slot, so
+/// it is a plain cell. `free_next` is the free-list link; it must stay
+/// loadable by producers racing on a stale head (see the module docs),
+/// so it is atomic. `batch_tail` records, while the slot sits on the
+/// free list, the index of the last node of the reclaim batch it
+/// belongs to — [`SegmentArena::return_pool`] uses it to jump over
+/// whole batches instead of walking node by node.
+/// Cache-line aligned, payload first: a typical mailbox node fits one
+/// line, so a push writes (and a drain reads) exactly one line per
+/// message, and neighboring slots never share a line.
+#[repr(align(64))]
+pub struct ArenaSlot<T> {
+    value: UnsafeCell<MaybeUninit<T>>,
+    free_next: AtomicU32,
+    batch_tail: AtomicU32,
+    /// This slot's arena index; [`NONE`] for heap-fallback boxes.
+    index: u32,
+    next: UnsafeCell<*mut ArenaSlot<T>>,
+}
+
+impl<T> ArenaSlot<T> {
+    fn new(index: u32) -> Self {
+        ArenaSlot {
+            free_next: AtomicU32::new(NONE),
+            batch_tail: AtomicU32::new(NONE),
+            index,
+            next: UnsafeCell::new(ptr::null_mut()),
+            value: UnsafeCell::new(MaybeUninit::uninit()),
+        }
+    }
+
+    /// Set the user chain link.
+    ///
+    /// # Safety
+    /// The caller must have exclusive ownership of the slot (taken from
+    /// the arena, or detached from a published chain).
+    #[inline]
+    pub unsafe fn set_next(&self, next: *mut ArenaSlot<T>) {
+        *self.next.get() = next;
+    }
+
+    /// Read the user chain link.
+    ///
+    /// # Safety
+    /// As [`set_next`](Self::set_next).
+    #[inline]
+    pub unsafe fn next(&self) -> *mut ArenaSlot<T> {
+        *self.next.get()
+    }
+
+    /// Write the payload (the slot must be empty: freshly taken, or
+    /// already read out).
+    ///
+    /// # Safety
+    /// Exclusive ownership, and the slot must not currently hold an
+    /// unread payload (it would leak).
+    #[inline]
+    pub unsafe fn write(&self, value: T) {
+        (*self.value.get()).write(value);
+    }
+
+    /// Move the payload out, leaving the slot empty.
+    ///
+    /// # Safety
+    /// Exclusive ownership, and the slot must hold a payload written by
+    /// [`write`](Self::write) exactly once since the last `read`.
+    #[inline]
+    pub unsafe fn read(&self) -> T {
+        (*self.value.get()).assume_init_read()
+    }
+}
+
+/// Counters and sizing of one arena, for stats plumbing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ArenaStats {
+    /// Nodes recycled onto the free list after their payload was
+    /// consumed (counted on the consumer side, one atomic add per
+    /// reclaim batch, so the producer hot path carries no counter
+    /// traffic). Every later take is served from these without
+    /// allocating; in steady state this tracks messages drained while
+    /// `carved` plateaus — together with `alloc_fallback == 0` that is
+    /// the auditable "no allocation on the steady-state push path"
+    /// claim.
+    pub reuse_hits: u64,
+    /// Takes that fell back to a heap `Box` because the indexed
+    /// capacity was exhausted.
+    pub alloc_fallback: u64,
+    /// Segments currently installed (never shrinks before drop).
+    pub segments: usize,
+    /// Fresh slots carved so far (bounded by the indexed capacity;
+    /// warm-up traffic, neither reuse nor fallback).
+    pub carved: u64,
+}
+
+/// A segmented, lock-free node cache. See the module docs.
+pub struct SegmentArena<T> {
+    /// Tagged free-list head: `(generation tag, slot index)`.
+    free: AtomicU64,
+    /// Bump cursor over the indexed slot space.
+    fresh: AtomicU32,
+    /// Lazily installed segments; entry `i` points at the first slot of
+    /// segment `i` (null until installed).
+    segments: Box<[AtomicPtr<ArenaSlot<T>>]>,
+    recycled: AtomicU64,
+    alloc_fallback: AtomicU64,
+}
+
+// Slots only ever carry the payload across threads by value; the raw
+// pointers are arena bookkeeping. Safe to share whenever T may move
+// between threads.
+unsafe impl<T: Send> Send for SegmentArena<T> {}
+unsafe impl<T: Send> Sync for SegmentArena<T> {}
+
+impl<T> Default for SegmentArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SegmentArena<T> {
+    pub fn new() -> Self {
+        SegmentArena {
+            free: AtomicU64::new(pack(0, NONE)),
+            fresh: AtomicU32::new(0),
+            segments: (0..MAX_SEGMENTS)
+                .map(|_| AtomicPtr::new(ptr::null_mut()))
+                .collect(),
+            recycled: AtomicU64::new(0),
+            alloc_fallback: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn capacity() -> u32 {
+        (MAX_SEGMENTS * SEGMENT_SLOTS) as u32
+    }
+
+    /// Pointer to indexed slot `idx`. The segment must be installed
+    /// (it is: indices only circulate after `carve` installed them) and
+    /// its installation must be *visible* to this thread — which is why
+    /// every load of `free` whose index may be dereferenced uses
+    /// `Acquire`: the index was published after the (Release-)install,
+    /// so the Acquire edge carries the segment pointer along.
+    #[inline]
+    fn indexed(&self, idx: u32) -> *mut ArenaSlot<T> {
+        let base = self.segments[idx as usize / SEGMENT_SLOTS].load(Ordering::Acquire);
+        debug_assert!(!base.is_null(), "free list held an uncarved index");
+        unsafe { base.add(idx as usize % SEGMENT_SLOTS) }
+    }
+
+    /// Pointer form of a free-list head index (`NONE` → null), for the
+    /// mirrored pool links. Same visibility requirement as
+    /// [`indexed`](Self::indexed).
+    #[inline]
+    fn mirror_of(&self, head: u32) -> *mut ArenaSlot<T> {
+        if head == NONE {
+            ptr::null_mut()
+        } else {
+            self.indexed(head)
+        }
+    }
+
+    /// Check out one empty slot. Never fails: recycled slot, fresh
+    /// carve, or heap fallback, in that order. The caller owns the slot
+    /// until it is recycled (directly or via a [`Reclaimer`]).
+    pub fn take(&self) -> *mut ArenaSlot<T> {
+        // 1) Recycled node (tagged pop; see module docs for why the tag
+        //    makes the stale-head race benign).
+        let mut cur = self.free.load(Ordering::Acquire);
+        loop {
+            let (tag, idx) = unpack(cur);
+            if idx == NONE {
+                break;
+            }
+            let slot = self.indexed(idx);
+            // May race with a concurrent recycle of this very slot; the
+            // tag check below rejects the CAS in that case, so a torn
+            // read here is discarded, never acted on.
+            let next = unsafe { (*slot).free_next.load(Ordering::Relaxed) };
+            match self.free.compare_exchange_weak(
+                cur,
+                pack(tag.wrapping_add(1), next),
+                Ordering::Acquire,
+                Ordering::Acquire,
+            ) {
+                // No counter here: reuse is accounted on the consumer
+                // side (one add per reclaim batch), keeping the push
+                // hot path at exactly one RMW.
+                Ok(_) => return slot,
+                Err(c) => cur = c,
+            }
+        }
+        // 2) Fresh carve from the bump cursor. A CAS loop (not
+        //    fetch_add) so the cursor can never overshoot and wrap back
+        //    into valid index space.
+        let mut fresh = self.fresh.load(Ordering::Relaxed);
+        while fresh < Self::capacity() {
+            match self.fresh.compare_exchange_weak(
+                fresh,
+                fresh + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return self.carve(fresh),
+                Err(f) => fresh = f,
+            }
+        }
+        // 3) Indexed capacity exhausted: plain heap node, reclaimed by
+        //    `recycle` via its sentinel index.
+        self.alloc_fallback.fetch_add(1, Ordering::Relaxed);
+        Box::into_raw(Box::new(ArenaSlot::new(NONE)))
+    }
+
+    /// Resolve a freshly claimed bump index to its slot, installing the
+    /// segment on first touch.
+    fn carve(&self, idx: u32) -> *mut ArenaSlot<T> {
+        let seg = idx as usize / SEGMENT_SLOTS;
+        let mut base = self.segments[seg].load(Ordering::Acquire);
+        if base.is_null() {
+            base = self.install_segment(seg);
+        }
+        unsafe { base.add(idx as usize % SEGMENT_SLOTS) }
+    }
+
+    /// Allocate and publish segment `seg`; on an install race the loser
+    /// frees its allocation and adopts the winner's.
+    fn install_segment(&self, seg: usize) -> *mut ArenaSlot<T> {
+        let first = (seg * SEGMENT_SLOTS) as u32;
+        let boxed: Box<[ArenaSlot<T>]> = (0..SEGMENT_SLOTS as u32)
+            .map(|i| ArenaSlot::new(first + i))
+            .collect();
+        let fresh = Box::into_raw(boxed) as *mut ArenaSlot<T>;
+        match self.segments[seg].compare_exchange(
+            ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => fresh,
+            Err(winner) => {
+                // Safety: `fresh` is ours alone; no index into it ever
+                // escaped.
+                unsafe {
+                    drop(Box::from_raw(ptr::slice_from_raw_parts_mut(
+                        fresh,
+                        SEGMENT_SLOTS,
+                    )))
+                };
+                winner
+            }
+        }
+    }
+
+    /// Return one slot to the arena (a reclaim batch of one).
+    ///
+    /// # Safety
+    /// The caller must own the slot and must have moved its payload out
+    /// (the arena never drops payloads).
+    pub unsafe fn recycle(&self, slot: *mut ArenaSlot<T>) {
+        let idx = (*slot).index;
+        if idx == NONE {
+            drop(Box::from_raw(slot));
+            return;
+        }
+        (*slot).batch_tail.store(idx, Ordering::Relaxed);
+        // Acquire (here and on CAS failure): the head index read below
+        // is dereferenced by `mirror_of`, so the segment that backs it
+        // must be visible (see `indexed`).
+        let mut cur = self.free.load(Ordering::Acquire);
+        loop {
+            let (tag, head) = unpack(cur);
+            (*slot).free_next.store(head, Ordering::Relaxed);
+            // Mirror the link in pointer form so pool peels skip the
+            // segment-table lookup (free slots' user links are dead
+            // storage anyway).
+            (*slot).set_next(self.mirror_of(head));
+            match self.free.compare_exchange_weak(
+                cur,
+                pack(tag.wrapping_add(1), idx),
+                Ordering::Release,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        self.recycled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Detach the *entire* free list and hand it to the caller as a
+    /// private pool (null when empty). The exchange is unconditional —
+    /// no pointer is compared — so this path has no ABA window at all;
+    /// the pool is then peeled with plain loads via
+    /// [`pool_next`](Self::pool_next): zero atomics per node. This is
+    /// what makes `submit_batch` amortize — one claim, N peels, one
+    /// [`return_pool`](Self::return_pool) for the leftovers.
+    pub fn claim_pool(&self) -> *mut ArenaSlot<T> {
+        // Quick reject without an RMW when the list is empty.
+        let (_, idx) = unpack(self.free.load(Ordering::Acquire));
+        if idx == NONE {
+            return ptr::null_mut();
+        }
+        let mut cur = self.free.load(Ordering::Acquire);
+        loop {
+            let (tag, idx) = unpack(cur);
+            if idx == NONE {
+                return ptr::null_mut();
+            }
+            match self.free.compare_exchange_weak(
+                cur,
+                pack(tag.wrapping_add(1), NONE),
+                Ordering::Acquire,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return self.indexed(idx),
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Successor of `slot` within a claimed pool (null at the pool's
+    /// end). One plain load: free slots mirror their free-list link in
+    /// pointer form in the (otherwise dead) user link.
+    ///
+    /// # Safety
+    /// `slot` must belong to a pool obtained from
+    /// [`claim_pool`](Self::claim_pool) of this arena and not yet have
+    /// been peeled, recycled or returned.
+    #[inline(always)]
+    pub unsafe fn pool_next(&self, slot: *mut ArenaSlot<T>) -> *mut ArenaSlot<T> {
+        (*slot).next()
+    }
+
+    /// Splice an unpeeled pool suffix back onto the free list.
+    ///
+    /// The suffix's end is found by jumping reclaim-*batch* tails (each
+    /// free node remembers the tail of the batch it was recycled with),
+    /// so the walk costs one hop per batch rather than per node — in
+    /// steady state the pool is at most a drain batch or two deep.
+    ///
+    /// # Safety
+    /// `pool` must be the unpeeled remainder of a chain obtained from
+    /// [`claim_pool`](Self::claim_pool) of this arena.
+    pub unsafe fn return_pool(&self, pool: *mut ArenaSlot<T>) {
+        if pool.is_null() {
+            return;
+        }
+        // Find the end. Invariant: the bottom of any free chain links
+        // to NONE (the first-ever push spliced onto an empty list, and
+        // claims always take everything), so the batch-tail walk
+        // terminates there.
+        let mut end = pool;
+        loop {
+            let tail_idx = (*end).batch_tail.load(Ordering::Relaxed);
+            debug_assert_ne!(tail_idx, NONE, "pool node without a batch tail");
+            let tail = self.indexed(tail_idx);
+            let next = (*tail).free_next.load(Ordering::Relaxed);
+            if next == NONE {
+                end = tail;
+                break;
+            }
+            end = self.indexed(next);
+        }
+        let head_idx = (*pool).index;
+        // Acquire: the spliced-onto head is dereferenced by `mirror_of`.
+        let mut cur = self.free.load(Ordering::Acquire);
+        loop {
+            let (tag, head) = unpack(cur);
+            (*end).free_next.store(head, Ordering::Relaxed);
+            (*end).set_next(self.mirror_of(head));
+            // A suffix that starts mid-batch still carries valid batch
+            // tails (they always point deeper into the chain), so the
+            // returned pool remains jumpable for the next claimer.
+            match self.free.compare_exchange_weak(
+                cur,
+                pack(tag.wrapping_add(1), head_idx),
+                Ordering::Release,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Start a batched reclaim: add any number of consumed slots, and
+    /// the whole chain is pushed back with a single tagged CAS when the
+    /// reclaimer drops. This is the consumer-refill path drains use.
+    pub fn reclaimer(&self) -> Reclaimer<'_, T> {
+        Reclaimer {
+            arena: self,
+            head: NONE,
+            head_ptr: ptr::null_mut(),
+            tail: ptr::null_mut(),
+            tail_idx: NONE,
+            count: 0,
+        }
+    }
+
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            reuse_hits: self.recycled.load(Ordering::Relaxed),
+            alloc_fallback: self.alloc_fallback.load(Ordering::Relaxed),
+            segments: self
+                .segments
+                .iter()
+                .filter(|s| !s.load(Ordering::Relaxed).is_null())
+                .count(),
+            carved: self.fresh.load(Ordering::Relaxed).min(Self::capacity()) as u64,
+        }
+    }
+}
+
+impl<T> Drop for SegmentArena<T> {
+    fn drop(&mut self) {
+        // Payloads are the owners' responsibility (the mailbox drains
+        // before its arena drops); slots have no Drop of their own, so
+        // this only releases the segment memory.
+        for seg in self.segments.iter() {
+            let p = seg.load(Ordering::Relaxed);
+            if !p.is_null() {
+                unsafe {
+                    drop(Box::from_raw(ptr::slice_from_raw_parts_mut(
+                        p,
+                        SEGMENT_SLOTS,
+                    )))
+                };
+            }
+        }
+    }
+}
+
+/// Batched reclaim handle: chains consumed slots locally and publishes
+/// the whole chain to the free list with one CAS on drop. Heap-fallback
+/// slots are freed immediately (they never enter the free list).
+pub struct Reclaimer<'a, T> {
+    arena: &'a SegmentArena<T>,
+    /// Most recently added slot's index (chain head).
+    head: u32,
+    /// Pointer form of `head` (the mirrored pool link).
+    head_ptr: *mut ArenaSlot<T>,
+    /// First slot added (chain tail; its `free_next` is spliced onto
+    /// the global list at publish time).
+    tail: *mut ArenaSlot<T>,
+    tail_idx: u32,
+    count: u64,
+}
+
+impl<T> Reclaimer<'_, T> {
+    /// Add one consumed slot to the batch.
+    ///
+    /// # Safety
+    /// As [`SegmentArena::recycle`]: caller owns the slot, payload
+    /// already moved out.
+    pub unsafe fn add(&mut self, slot: *mut ArenaSlot<T>) {
+        let idx = (*slot).index;
+        if idx == NONE {
+            drop(Box::from_raw(slot));
+            return;
+        }
+        (*slot).free_next.store(self.head, Ordering::Relaxed);
+        (*slot).set_next(self.head_ptr);
+        if self.tail.is_null() {
+            self.tail = slot;
+            self.tail_idx = idx;
+        }
+        // Every node remembers its batch's tail so pool claimers can
+        // jump whole batches (see `SegmentArena::return_pool`).
+        (*slot).batch_tail.store(self.tail_idx, Ordering::Relaxed);
+        self.head = idx;
+        self.head_ptr = slot;
+        self.count += 1;
+    }
+}
+
+impl<T> Drop for Reclaimer<'_, T> {
+    fn drop(&mut self) {
+        if self.head == NONE {
+            return;
+        }
+        // Acquire: the spliced-onto head is dereferenced by `mirror_of`.
+        let mut cur = self.arena.free.load(Ordering::Acquire);
+        loop {
+            let (tag, head) = unpack(cur);
+            // Safety: the chain (including its tail) is exclusively
+            // ours until the CAS below publishes it.
+            unsafe {
+                (*self.tail).free_next.store(head, Ordering::Relaxed);
+                (*self.tail).set_next(self.arena.mirror_of(head));
+            }
+            match self.arena.free.compare_exchange_weak(
+                cur,
+                pack(tag.wrapping_add(1), self.head),
+                Ordering::Release,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        self.arena.recycled.fetch_add(self.count, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn take_then_recycle_reuses_the_same_slot() {
+        let a: SegmentArena<u64> = SegmentArena::new();
+        let s1 = a.take();
+        unsafe {
+            (*s1).write(7);
+            assert_eq!((*s1).read(), 7);
+            a.recycle(s1);
+        }
+        let s2 = a.take();
+        assert_eq!(s1, s2, "freed slot must be handed out again");
+        let st = a.stats();
+        assert_eq!(st.reuse_hits, 1);
+        assert_eq!(st.alloc_fallback, 0);
+        assert_eq!(st.carved, 1);
+        assert_eq!(st.segments, 1);
+        unsafe { a.recycle(s2) };
+    }
+
+    #[test]
+    fn carves_across_segments() {
+        let a: SegmentArena<u32> = SegmentArena::new();
+        let n = SEGMENT_SLOTS + 3;
+        let slots: Vec<_> = (0..n).map(|_| a.take()).collect();
+        // All distinct.
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n);
+        assert_eq!(a.stats().segments, 2);
+        assert_eq!(a.stats().carved, n as u64);
+        let mut r = a.reclaimer();
+        for s in slots {
+            unsafe { r.add(s) };
+        }
+        drop(r);
+        assert_eq!(a.stats().reuse_hits, n as u64, "batch reclaim counted");
+        // The whole batch is reusable again.
+        for _ in 0..n {
+            let s = a.take();
+            unsafe { a.recycle(s) };
+        }
+        assert_eq!(a.stats().reuse_hits, 2 * n as u64);
+        assert_eq!(a.stats().segments, 2, "no further growth");
+        assert_eq!(a.stats().carved, n as u64, "recycling stopped carving");
+    }
+
+    #[test]
+    fn reclaimer_chain_preserves_all_slots() {
+        let a: SegmentArena<u8> = SegmentArena::new();
+        let slots: Vec<_> = (0..10).map(|_| a.take()).collect();
+        let mut r = a.reclaimer();
+        for &s in &slots {
+            unsafe { r.add(s) };
+        }
+        drop(r);
+        let mut back: Vec<_> = (0..10).map(|_| a.take()).collect();
+        back.sort_unstable();
+        let mut orig = slots;
+        orig.sort_unstable();
+        assert_eq!(back, orig, "reclaimed chain lost a slot");
+        for s in back {
+            unsafe { a.recycle(s) };
+        }
+    }
+
+    #[test]
+    fn pool_claim_peel_and_return() {
+        let a: SegmentArena<u64> = SegmentArena::new();
+        // Recycle two batches: [0..5) then [5..8).
+        let first: Vec<_> = (0..5).map(|_| a.take()).collect();
+        let second: Vec<_> = (5..8).map(|_| a.take()).collect();
+        let mut r = a.reclaimer();
+        for &s in &first {
+            unsafe { r.add(s) };
+        }
+        drop(r);
+        let mut r = a.reclaimer();
+        for &s in &second {
+            unsafe { r.add(s) };
+        }
+        drop(r);
+        // Claim everything, peel 3, return the rest.
+        let mut pool = a.claim_pool();
+        assert!(!pool.is_null());
+        assert!(a.claim_pool().is_null(), "claim detaches the whole list");
+        let mut peeled = Vec::new();
+        for _ in 0..3 {
+            peeled.push(pool);
+            pool = unsafe { a.pool_next(pool) };
+        }
+        unsafe { a.return_pool(pool) };
+        // The 5 returned slots are all takeable again; with the 3
+        // peeled ones, all 8 distinct slots are accounted for.
+        let mut all = peeled;
+        for _ in 0..5 {
+            all.push(a.take());
+        }
+        assert!(a.claim_pool().is_null(), "free list exhausted");
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8, "pool peel/return lost or duplicated slots");
+        assert_eq!(a.stats().carved, 8, "no extra carving");
+        let mut r = a.reclaimer();
+        for s in all {
+            unsafe { r.add(s) };
+        }
+    }
+
+    #[test]
+    fn return_pool_suffix_starting_mid_batch_stays_walkable() {
+        let a: SegmentArena<u64> = SegmentArena::new();
+        let slots: Vec<_> = (0..6).map(|_| a.take()).collect();
+        let mut r = a.reclaimer();
+        for &s in &slots {
+            unsafe { r.add(s) };
+        }
+        drop(r);
+        // Peel one node (pool now starts mid-batch), return, re-claim,
+        // and peel the rest — the batch-tail walk must still terminate.
+        let pool = a.claim_pool();
+        let rest = unsafe { a.pool_next(pool) };
+        unsafe {
+            a.return_pool(rest);
+            a.recycle(pool);
+        }
+        let mut pool = a.claim_pool();
+        let mut n = 0;
+        let mut r = a.reclaimer();
+        while !pool.is_null() {
+            let next = unsafe { a.pool_next(pool) };
+            unsafe { r.add(pool) };
+            pool = next;
+            n += 1;
+        }
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn user_links_survive_until_recycled() {
+        let a: SegmentArena<u16> = SegmentArena::new();
+        let s1 = a.take();
+        let s2 = a.take();
+        unsafe {
+            (*s1).set_next(s2);
+            assert_eq!((*s1).next(), s2);
+            a.recycle(s2);
+            a.recycle(s1);
+        }
+    }
+
+    #[test]
+    fn concurrent_take_recycle_never_double_hands_a_slot() {
+        // Hammer the tagged free list from many threads; ownership is
+        // proven by a per-slot claim flag living in the payload area.
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 20_000;
+        let a: Arc<SegmentArena<usize>> = Arc::new(SegmentArena::new());
+        let collisions = Arc::new(AtomicUsize::new(0));
+        // Pre-warm a small pool so reuse dominates.
+        let warm: Vec<_> = (0..64).map(|_| a.take()).collect();
+        let mut r = a.reclaimer();
+        for s in warm {
+            unsafe { r.add(s) };
+        }
+        drop(r);
+        let claimed: Arc<Vec<AtomicUsize>> = Arc::new(
+            (0..SEGMENT_SLOTS * 2)
+                .map(|_| AtomicUsize::new(0))
+                .collect(),
+        );
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let a = a.clone();
+                let collisions = collisions.clone();
+                let claimed = claimed.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        let s = a.take();
+                        let idx = unsafe { (*s).index };
+                        if idx != u32::MAX {
+                            if claimed[idx as usize].fetch_add(1, Ordering::SeqCst) != 0 {
+                                collisions.fetch_add(1, Ordering::SeqCst);
+                            }
+                            std::hint::spin_loop();
+                            claimed[idx as usize].fetch_sub(1, Ordering::SeqCst);
+                        }
+                        unsafe { a.recycle(s) };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            collisions.load(Ordering::SeqCst),
+            0,
+            "a slot was handed to two owners at once (free-list ABA)"
+        );
+    }
+
+    #[test]
+    fn stats_default_is_zero() {
+        let a: SegmentArena<u8> = SegmentArena::new();
+        let st = a.stats();
+        assert_eq!(st.reuse_hits, 0);
+        assert_eq!(st.alloc_fallback, 0);
+        assert_eq!(st.segments, 0, "segments install lazily");
+        assert_eq!(st.carved, 0);
+    }
+}

@@ -1,5 +1,6 @@
 //! Scheduler configuration knobs (§5.2, §6.3).
 
+use crate::profile::DEFAULT_ALPHA;
 use crate::time::Micros;
 
 /// Tunables of the Cameo scheduler.
@@ -50,6 +51,20 @@ pub struct SchedulerConfig {
     /// under bursty ingress (leftovers carry over to the next drain,
     /// still in submission order).
     pub mailbox_drain_batch: usize,
+    /// Pin each worker thread (and thus the segment arena of its home
+    /// shard's mailbox) to a core: worker `i` goes to core
+    /// `i % cpus` via `sched_setaffinity` (see [`crate::affinity`]).
+    /// Off by default; a graceful no-op on non-Linux targets or when
+    /// the kernel rejects the mask. The scheduler itself spawns no
+    /// threads — runtimes honor this flag when spawning workers.
+    pub pin_workers: bool,
+    /// EWMA smoothing factor for operator cost profiling
+    /// ([`CostEstimator`](crate::profile::CostEstimator)), in `(0, 1]`.
+    /// Runtimes plumb this into each operator's
+    /// [`ConverterState`](crate::policy::ConverterState) at deploy
+    /// time. Higher = more responsive to workload drift, lower = more
+    /// damping of per-message noise.
+    pub profile_alpha: f64,
 }
 
 impl Default for SchedulerConfig {
@@ -61,6 +76,8 @@ impl Default for SchedulerConfig {
             steal_threshold: Micros::ZERO,
             mailbox: true,
             mailbox_drain_batch: 0,
+            pin_workers: false,
+            profile_alpha: DEFAULT_ALPHA,
         }
     }
 }
@@ -98,6 +115,24 @@ impl SchedulerConfig {
         self
     }
 
+    /// Pin worker threads (and their home shards' arenas) to cores
+    /// (default off; Linux only, graceful no-op elsewhere).
+    pub fn with_pinning(mut self, on: bool) -> Self {
+        self.pin_workers = on;
+        self
+    }
+
+    /// Set the cost-profiling EWMA smoothing factor (must be in
+    /// `(0, 1]`).
+    pub fn with_profile_alpha(mut self, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "profile_alpha must be in (0, 1]"
+        );
+        self.profile_alpha = alpha;
+        self
+    }
+
     /// Effective shard count (`shards` with the zero case mapped to 1).
     pub fn effective_shards(&self) -> usize {
         self.shards.max(1)
@@ -117,6 +152,8 @@ mod tests {
         assert_eq!(c.steal_threshold, Micros::ZERO);
         assert!(c.mailbox, "mailbox ingress is the default");
         assert_eq!(c.mailbox_drain_batch, 0, "default drains everything");
+        assert!(!c.pin_workers, "pinning is opt-in");
+        assert_eq!(c.profile_alpha, DEFAULT_ALPHA);
     }
 
     #[test]
@@ -127,13 +164,23 @@ mod tests {
             .with_shards(8)
             .with_steal_threshold(Micros(250))
             .with_mailbox(false)
-            .with_mailbox_drain_batch(64);
+            .with_mailbox_drain_batch(64)
+            .with_pinning(true)
+            .with_profile_alpha(0.5);
         assert_eq!(c.quantum, Micros::ZERO);
         assert_eq!(c.starvation_limit, Some(Micros(5_000_000)));
         assert_eq!(c.shards, 8);
         assert_eq!(c.steal_threshold, Micros(250));
         assert!(!c.mailbox);
         assert_eq!(c.mailbox_drain_batch, 64);
+        assert!(c.pin_workers);
+        assert_eq!(c.profile_alpha, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile_alpha")]
+    fn zero_profile_alpha_rejected() {
+        let _ = SchedulerConfig::default().with_profile_alpha(0.0);
     }
 
     #[test]

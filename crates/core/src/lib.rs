@@ -29,10 +29,15 @@
 //!   LLF / EDF / SJF / FIFO / token-fair policies (§4.2, §5.4).
 //! * [`queue`] — the two-level priority structure (Fig 5b).
 //! * [`scheduler`] — the stateless scheduler with quantum logic (§5.2).
-//! * [`mailbox`] — the lock-free per-shard submission mailbox.
+//! * [`arena`] — per-shard segment arenas: recycled mailbox-node
+//!   storage, so the steady-state submit path allocates nothing.
+//! * [`mailbox`] — the lock-free per-shard submission mailbox
+//!   (arena-backed, with single-CAS batch publication).
 //! * [`shard`] — N scheduler shards with urgency-aware work stealing
 //!   (the scalable, lock-per-shard form of the same scheduler), fed
 //!   through lock-free per-shard submission mailboxes.
+//! * [`affinity`] — worker→core pinning (`sched_setaffinity`), so a
+//!   shard's arena stays hot in its worker's cache.
 //! * [`stats`] — histograms and percentile helpers.
 //!
 //! ## Quick example
@@ -58,6 +63,8 @@
 //! sched.release(exec);
 //! ```
 
+pub mod affinity;
+pub mod arena;
 pub mod config;
 pub mod context;
 pub mod ids;
@@ -75,10 +82,11 @@ pub mod transform;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
+    pub use crate::arena::{ArenaStats, SegmentArena};
     pub use crate::config::SchedulerConfig;
     pub use crate::context::{DataflowField, PriorityContext, ReplyContext, TokenTag};
     pub use crate::ids::{JobId, MessageId, OperatorKey};
-    pub use crate::mailbox::{Mail, Mailbox};
+    pub use crate::mailbox::{Mail, MailChain, Mailbox};
     pub use crate::policy::{
         ConverterState, EdfPolicy, FifoPolicy, HopInfo, LlfPolicy, MessageStamp, Policy, SjfPolicy,
         TokenBucket, TokenFairPolicy,

@@ -1,4 +1,5 @@
-//! A lock-free multi-producer submission mailbox (Treiber stack).
+//! A lock-free multi-producer submission mailbox (Treiber stack) over
+//! an arena of recycled nodes.
 //!
 //! The sharded scheduler keeps one mailbox per shard so that `submit`
 //! never touches the shard's mutex: producers push with a single CAS,
@@ -9,13 +10,30 @@
 //! the decoupling Cameo needs for per-event scheduling to stay off the
 //! critical path (PAPER.md §5, Fig 5(b)).
 //!
+//! **Node memory** comes from a per-mailbox (= per-shard)
+//! [`SegmentArena`]: the draining worker returns every consumed node to
+//! the arena's free list in one batched CAS, and producers take
+//! recycled nodes from it, so the steady-state push path performs *no
+//! heap allocation* — the `Box`-per-push of the original design is gone
+//! (ROADMAP "Mailbox node reuse"). Because the arena is per shard, a
+//! pinned worker keeps its shard's node segments hot in its own core's
+//! cache (see [`crate::affinity`]).
+//!
 //! Why a Treiber stack and not a segmented MPSC ring: the consumer
 //! always detaches the *entire* list atomically (`swap(null)`), so
-//! there is no pop-side ABA window and no need for tagged pointers or
-//! hazard domains — the unsafe surface stays tiny. The stack yields
-//! LIFO order; [`Mailbox::drain`] reverses the detached list in place
-//! (O(n), no allocation) to restore FIFO submission order, which the
-//! deterministic single-shard drivers rely on.
+//! there is no pop-side ABA window on the mailbox itself — the unsafe
+//! surface stays tiny. (The arena's free list *does* recycle nodes
+//! through single-slot pops; it defends with generation tags — see
+//! [`crate::arena`].) The stack yields LIFO order; [`Mailbox::drain`]
+//! reverses the detached list in place (O(n), no allocation) to restore
+//! FIFO submission order, which the deterministic single-shard drivers
+//! rely on.
+//!
+//! **Batched submission**: [`Mailbox::chain`] builds a private chain of
+//! nodes (one arena take per message, no mailbox traffic) and
+//! [`MailChain::publish`] splices the whole chain into the mailbox with
+//! a single CAS — the scheduler's `submit_batch` uses this to pay one
+//! CAS + one hint update + one wake per *shard* instead of per message.
 //!
 //! Memory ordering: pushes publish with a `SeqCst` CAS and drains
 //! detach with a `SeqCst` swap. `SeqCst` (not mere release/acquire) is
@@ -25,6 +43,7 @@
 //! handshake is only lost-wakeup-free if both sides' operations hit the
 //! single total order.
 
+use crate::arena::{ArenaSlot, ArenaStats, SegmentArena};
 use crate::ids::OperatorKey;
 use crate::priority::Priority;
 use std::ptr;
@@ -38,10 +57,7 @@ pub struct Mail<M> {
     pub msg: M,
 }
 
-struct Node<M> {
-    mail: Mail<M>,
-    next: *mut Node<M>,
-}
+type Node<M> = ArenaSlot<Mail<M>>;
 
 /// Lock-free multi-producer mailbox; see the module docs.
 ///
@@ -51,6 +67,10 @@ struct Node<M> {
 /// under the shard lock.
 pub struct Mailbox<M> {
     head: AtomicPtr<Node<M>>,
+    /// Node storage. Nodes in flight hold raw pointers into these
+    /// segments, so the arena lives exactly as long as the mailbox (and
+    /// drops after `Drop` drains the stack).
+    arena: SegmentArena<Mail<M>>,
 }
 
 // The raw node pointers are owned exclusively by the mailbox: nodes are
@@ -70,29 +90,65 @@ impl<M> Mailbox<M> {
     pub fn new() -> Self {
         Mailbox {
             head: AtomicPtr::new(ptr::null_mut()),
+            arena: SegmentArena::new(),
         }
     }
 
-    /// Lock-free push: one allocation plus one CAS loop. Safe to call
-    /// from any number of threads concurrently.
+    /// Lock-free push: one arena take (a tagged CAS in steady state —
+    /// no allocation) plus one publish CAS. Safe to call from any
+    /// number of threads concurrently.
     pub fn push(&self, key: OperatorKey, msg: M, pri: Priority) {
-        let node = Box::into_raw(Box::new(Node {
-            mail: Mail { key, pri, msg },
-            next: ptr::null_mut(),
-        }));
+        let node = self.arena.take();
+        // Safety: freshly taken, exclusively ours until published.
+        unsafe { (*node).write(Mail { key, pri, msg }) };
+        self.publish(node, node);
+    }
+
+    /// Splice a pre-linked chain (`newest` → … → `oldest`) onto the
+    /// stack with one CAS. `oldest`'s link is overwritten here.
+    fn publish(&self, newest: *mut Node<M>, oldest: *mut Node<M>) {
         let mut head = self.head.load(Ordering::Relaxed);
         loop {
-            // The node is not yet shared; writing `next` through the raw
-            // pointer is unsynchronized by construction.
-            unsafe { (*node).next = head };
+            // The chain is not yet shared; writing its tail link through
+            // the raw pointer is unsynchronized by construction.
+            unsafe { (*oldest).set_next(head) };
             match self
                 .head
-                .compare_exchange_weak(head, node, Ordering::SeqCst, Ordering::Relaxed)
+                .compare_exchange_weak(head, newest, Ordering::SeqCst, Ordering::Relaxed)
             {
                 Ok(_) => return,
                 Err(h) => head = h,
             }
         }
+    }
+
+    /// Start building a batch. Messages [`add`](MailChain::add)ed to
+    /// the chain take arena nodes immediately but stay invisible to
+    /// drains until [`publish`](MailChain::publish) splices the whole
+    /// chain in with one CAS. Dropping an unpublished chain releases
+    /// its messages and nodes.
+    pub fn chain(&self) -> MailChain<'_, M> {
+        MailChain {
+            mb: self,
+            newest: ptr::null_mut(),
+            oldest: ptr::null_mut(),
+            len: 0,
+            pool: ptr::null_mut(),
+            pool_claimed: false,
+        }
+    }
+
+    /// Convenience: build and publish a chain from an iterator. The
+    /// whole batch becomes visible atomically, in iteration order.
+    pub fn push_chain<I: IntoIterator<Item = (OperatorKey, M, Priority)>>(
+        &self,
+        items: I,
+    ) -> usize {
+        let mut chain = self.chain();
+        for (key, msg, pri) in items {
+            chain.add(key, msg, pri);
+        }
+        chain.publish()
     }
 
     /// True when no undrained mail is queued. Used by the park fast
@@ -102,11 +158,19 @@ impl<M> Mailbox<M> {
         self.head.load(Ordering::SeqCst).is_null()
     }
 
+    /// Node-recycling counters of this mailbox's arena.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
     /// Detach everything currently in the mailbox and hand it to `f` in
     /// submission (FIFO) order. Returns the number of messages drained.
     ///
     /// The detach is a single atomic swap, so concurrent pushes are
     /// never torn: they either made this batch or land in the next one.
+    /// Consumed nodes are returned to the arena as one chain (a single
+    /// tagged CAS) — this is the consumer-refill half of the recycling
+    /// loop.
     pub fn drain<F: FnMut(Mail<M>)>(&self, mut f: F) -> usize {
         let mut node = self.head.swap(ptr::null_mut(), Ordering::SeqCst);
         // Reverse the detached list in place: the stack holds
@@ -114,19 +178,24 @@ impl<M> Mailbox<M> {
         let mut prev: *mut Node<M> = ptr::null_mut();
         while !node.is_null() {
             // Safety: the swap made this whole list exclusively ours.
-            let next = unsafe { (*node).next };
-            unsafe { (*node).next = prev };
+            let next = unsafe { (*node).next() };
+            unsafe { (*node).set_next(prev) };
             prev = node;
             node = next;
         }
         let mut drained = 0usize;
         let mut cur = prev;
+        let mut reclaim = self.arena.reclaimer();
         while !cur.is_null() {
-            // Safety: exclusively owned (above); each node is consumed
-            // exactly once.
-            let boxed = unsafe { Box::from_raw(cur) };
-            cur = boxed.next;
-            f(boxed.mail);
+            // Safety: exclusively owned (above); each node's payload is
+            // moved out exactly once, then the empty node is chained
+            // into the reclaimer (which owns it from here — even if `f`
+            // panics, the reclaimer's Drop returns the chain).
+            let next = unsafe { (*cur).next() };
+            let mail = unsafe { (*cur).read() };
+            unsafe { reclaim.add(cur) };
+            cur = next;
+            f(mail);
             drained += 1;
         }
         drained
@@ -136,6 +205,114 @@ impl<M> Mailbox<M> {
 impl<M> Drop for Mailbox<M> {
     fn drop(&mut self) {
         self.drain(|_| {});
+    }
+}
+
+/// A batch of messages being assembled for single-CAS publication; see
+/// [`Mailbox::chain`].
+pub struct MailChain<'a, M> {
+    mb: &'a Mailbox<M>,
+    /// Last-added node (the stack head after publish).
+    newest: *mut Node<M>,
+    /// First-added node (spliced onto the old mailbox head).
+    oldest: *mut Node<M>,
+    len: usize,
+    /// Privately claimed free-list pool: peeled with plain loads, so
+    /// adds after the first cost zero atomics for node acquisition.
+    pool: *mut Node<M>,
+    /// Whether the single claim attempt was spent (an empty pool must
+    /// not re-claim per add — that would put a CAS back on every add).
+    pool_claimed: bool,
+}
+
+impl<M> MailChain<'_, M> {
+    /// Append one message to the (still private) chain.
+    ///
+    /// The first add claims the arena's whole recycled pool with one
+    /// exchange; later adds peel from it with plain loads. Only when
+    /// the pool runs dry does an add pay the shared-list/carve path.
+    #[inline(always)]
+    pub fn add(&mut self, key: OperatorKey, msg: M, pri: Priority) {
+        let node = if !self.pool.is_null() {
+            let node = self.pool;
+            // Safety: `node` heads our claimed pool.
+            self.pool = unsafe { self.mb.arena.pool_next(node) };
+            node
+        } else {
+            self.acquire_node_slow()
+        };
+        // Safety: exclusively ours until publish.
+        unsafe {
+            (*node).write(Mail { key, pri, msg });
+            (*node).set_next(self.newest);
+        }
+        if self.oldest.is_null() {
+            self.oldest = node;
+        }
+        self.newest = node;
+        self.len += 1;
+    }
+
+    /// Node acquisition when the private pool is empty: one claim
+    /// attempt, then the shared-list/carve path per add.
+    #[cold]
+    fn acquire_node_slow(&mut self) -> *mut Node<M> {
+        if !self.pool_claimed {
+            self.pool_claimed = true;
+            let claimed = self.mb.arena.claim_pool();
+            if !claimed.is_null() {
+                // Safety: freshly claimed, exclusively ours.
+                self.pool = unsafe { self.mb.arena.pool_next(claimed) };
+                return claimed;
+            }
+        }
+        self.mb.arena.take()
+    }
+
+    /// Messages added so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Make the whole chain visible with one CAS, preserving add order
+    /// under the mailbox's FIFO drain. Returns the batch size.
+    /// (Unpeeled pool leftovers go back to the free list here — and in
+    /// Drop — so nothing is stranded.)
+    pub fn publish(mut self) -> usize {
+        let n = self.len;
+        if !self.newest.is_null() {
+            self.mb.publish(self.newest, self.oldest);
+            // Ownership transferred to the mailbox: disarm Drop.
+            self.newest = ptr::null_mut();
+            self.oldest = ptr::null_mut();
+            self.len = 0;
+        }
+        n
+    }
+}
+
+impl<M> Drop for MailChain<'_, M> {
+    /// Return unpeeled pool leftovers, and — for an unpublished chain —
+    /// drop the payloads and hand those nodes back too.
+    fn drop(&mut self) {
+        if !self.pool.is_null() {
+            // Safety: the unpeeled suffix of our claimed pool.
+            unsafe { self.mb.arena.return_pool(self.pool) };
+            self.pool = ptr::null_mut();
+        }
+        let mut cur = self.newest;
+        let mut reclaim = self.mb.arena.reclaimer();
+        while !cur.is_null() {
+            // Safety: the chain never became visible to any drain.
+            let next = unsafe { (*cur).next() };
+            drop(unsafe { (*cur).read() });
+            unsafe { reclaim.add(cur) };
+            cur = next;
+        }
     }
 }
 
@@ -179,6 +356,77 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_push_reuses_nodes() {
+        let mb: Mailbox<u64> = Mailbox::new();
+        for round in 0..10u64 {
+            for i in 0..64u64 {
+                mb.push(key(0), round * 64 + i, Priority::uniform(0));
+            }
+            assert_eq!(mb.drain(|_| {}), 64);
+        }
+        let st = mb.arena_stats();
+        assert!(
+            st.reuse_hits >= 9 * 64,
+            "steady-state pushes must come from the free list: {st:?}"
+        );
+        assert_eq!(st.alloc_fallback, 0, "no heap nodes within capacity");
+        assert!(st.carved <= 64 + 1, "carve stops once recycling feeds");
+    }
+
+    #[test]
+    fn chain_publish_is_atomic_and_fifo() {
+        let mb: Mailbox<u64> = Mailbox::new();
+        mb.push(key(9), 100, Priority::uniform(0));
+        let mut chain = mb.chain();
+        for i in 0..5u64 {
+            chain.add(key(i as u32), i, Priority::uniform(0));
+        }
+        assert_eq!(chain.len(), 5);
+        assert_eq!(chain.publish(), 5);
+        mb.push(key(9), 200, Priority::uniform(0));
+        let mut got = Vec::new();
+        mb.drain(|m| got.push(m.msg));
+        assert_eq!(got, vec![100, 0, 1, 2, 3, 4, 200]);
+    }
+
+    #[test]
+    fn push_chain_convenience_and_empty_chain() {
+        let mb: Mailbox<u64> = Mailbox::new();
+        assert_eq!(mb.push_chain(std::iter::empty()), 0);
+        assert!(mb.is_empty());
+        let n = mb.push_chain((0..7u64).map(|i| (key(0), i, Priority::uniform(0))));
+        assert_eq!(n, 7);
+        let mut got = Vec::new();
+        mb.drain(|m| got.push(m.msg));
+        assert_eq!(got, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropped_unpublished_chain_releases_payloads_and_nodes() {
+        struct Tracked(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mb: Mailbox<Tracked> = Mailbox::new();
+        {
+            let mut chain = mb.chain();
+            for _ in 0..4 {
+                chain.add(key(0), Tracked(hits.clone()), Priority::uniform(0));
+            }
+            // Dropped without publish.
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 4, "payloads freed");
+        assert!(mb.is_empty(), "nothing leaked into the mailbox");
+        // The nodes went back to the free list.
+        mb.push(key(0), Tracked(hits.clone()), Priority::uniform(0));
+        assert!(mb.arena_stats().reuse_hits >= 1);
+        mb.drain(|_| {});
+    }
+
+    #[test]
     fn drop_frees_undrained_mail() {
         // Miri-style sanity: drop with queued nodes must not leak (the
         // Drop impl drains). Payload drop side effects prove it ran.
@@ -213,7 +461,8 @@ mod tests {
                 })
             })
             .collect();
-        // Drain concurrently with the pushers.
+        // Drain concurrently with the pushers (and recycle their nodes
+        // back under them).
         let mut got = Vec::new();
         while got.len() < (THREADS * PER) as usize {
             mb.drain(|m| got.push(m.msg));
@@ -225,9 +474,6 @@ mod tests {
         got.sort_unstable();
         got.dedup();
         assert_eq!(got.len(), (THREADS * PER) as usize, "lost or duplicated");
-        // Per-thread FIFO: each producer's messages must have been
-        // drained in its own submission order. (Checked via sortedness
-        // of per-thread subsequences in a fresh run below.)
     }
 
     #[test]

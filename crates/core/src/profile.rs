@@ -69,6 +69,18 @@ impl CostEstimator {
     pub fn samples(&self) -> u64 {
         self.samples
     }
+
+    /// Change the smoothing factor in place, keeping the estimate and
+    /// sample count (used when deployment config overrides the default
+    /// after priors were seeded).
+    pub fn set_alpha(&mut self, alpha: f64) {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        self.alpha = alpha;
+    }
+
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
 }
 
 impl Default for CostEstimator {
@@ -110,6 +122,17 @@ impl ProfileState {
     /// Record one observed execution of this operator.
     pub fn record_own_cost(&mut self, cost: Micros) {
         self.own.record(cost);
+    }
+
+    /// Override the own-cost EWMA smoothing factor (keeps any seeded
+    /// prior). See [`CostEstimator::set_alpha`].
+    pub fn set_alpha(&mut self, alpha: f64) {
+        self.own.set_alpha(alpha);
+    }
+
+    /// Current own-cost smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.own.alpha()
     }
 
     /// This operator's current cost estimate (`C_m`).
@@ -201,6 +224,26 @@ mod tests {
     fn prior_seeds_estimate() {
         let e = CostEstimator::with_prior(Micros(250));
         assert_eq!(e.estimate(), Micros(250));
+    }
+
+    #[test]
+    fn set_alpha_keeps_state_and_changes_responsiveness() {
+        let mut e = CostEstimator::with_prior(Micros(100));
+        e.set_alpha(1.0);
+        assert_eq!(e.estimate(), Micros(100), "prior survives the override");
+        assert_eq!(e.alpha(), 1.0);
+        e.record(Micros(900));
+        assert_eq!(e.estimate(), Micros(900), "alpha=1 tracks instantly");
+        let mut damped = CostEstimator::with_prior(Micros(100));
+        damped.set_alpha(0.01);
+        damped.record(Micros(900));
+        assert!(damped.estimate().0 < 200, "alpha=0.01 barely moves");
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_alpha_rejects_out_of_range() {
+        CostEstimator::new().set_alpha(1.5);
     }
 
     #[test]

@@ -44,6 +44,17 @@ pub struct SchedulerStats {
     /// [sharded scheduler](crate::shard::ShardedScheduler)'s mailbox
     /// ingress path.
     pub mailbox_drained: u64,
+    /// Mailbox nodes recycled into a shard arena's free list for reuse
+    /// (counted on the consumer side as drains return them — the
+    /// producer hot path carries no counter). Every later push is
+    /// served from these without allocating; in steady state this
+    /// tracks `mailbox_drained` while the arena's carve count plateaus
+    /// ([`SegmentArena`](crate::arena::SegmentArena)).
+    pub node_reuse_hits: u64,
+    /// Mailbox pushes that fell back to a heap `Box` because the
+    /// arena's indexed capacity was exhausted. Flat-at-zero here is the
+    /// auditable "no allocation on the steady-state push path" claim.
+    pub node_alloc_fallback: u64,
 }
 
 impl SchedulerStats {
@@ -56,6 +67,8 @@ impl SchedulerStats {
         self.cross_shard_swaps += other.cross_shard_swaps;
         self.hint_fast_path += other.hint_fast_path;
         self.mailbox_drained += other.mailbox_drained;
+        self.node_reuse_hits += other.node_reuse_hits;
+        self.node_alloc_fallback += other.node_alloc_fallback;
     }
 }
 

@@ -49,7 +49,7 @@ use cameo_core::time::{Clock, Micros, PhysicalTime, SystemClock};
 use cameo_dataflow::event::{Batch, Tuple};
 use cameo_dataflow::expand::{route_batch, ExpandOptions, ExpandedJob, OperatorInstance};
 use cameo_dataflow::graph::JobSpec;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
@@ -90,6 +90,16 @@ pub struct RuntimeConfig {
     /// Mailbox messages admitted per lock acquisition (0 = all);
     /// passed through to [`SchedulerConfig`].
     pub mailbox_drain_batch: usize,
+    /// Pin worker `i` to core `i % cpus` via `sched_setaffinity`, so
+    /// each home shard's mailbox arena is touched by one core
+    /// (default off; Linux only, graceful no-op elsewhere). Passed
+    /// through to [`SchedulerConfig`]; honored at worker spawn.
+    pub pin_workers: bool,
+    /// Cost-profiling EWMA smoothing factor applied to every deployed
+    /// operator's converter (`None` keeps
+    /// [`cameo_core::profile::DEFAULT_ALPHA`], or whatever the job's
+    /// [`ExpandOptions`] chose).
+    pub profile_alpha: Option<f64>,
 }
 
 impl Default for RuntimeConfig {
@@ -104,6 +114,8 @@ impl Default for RuntimeConfig {
             steal_threshold: Micros::ZERO,
             mailbox: true,
             mailbox_drain_batch: 0,
+            pin_workers: false,
+            profile_alpha: None,
         }
     }
 }
@@ -145,6 +157,23 @@ impl RuntimeConfig {
         self
     }
 
+    /// Pin workers (and their home shards' arenas) to cores.
+    pub fn with_pinning(mut self, on: bool) -> Self {
+        self.pin_workers = on;
+        self
+    }
+
+    /// Override the cost-profiling smoothing factor for every job this
+    /// runtime deploys (must be in `(0, 1]`).
+    pub fn with_profile_alpha(mut self, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "profile_alpha must be in (0, 1]"
+        );
+        self.profile_alpha = Some(alpha);
+        self
+    }
+
     fn effective_shards(&self) -> usize {
         let requested = if self.shards == 0 {
             self.workers.min(8)
@@ -171,6 +200,10 @@ struct Shared {
     jobs: RwLock<Vec<Arc<JobRt>>>,
     policy: Arc<dyn Policy>,
     shutdown: AtomicBool,
+    /// Workers whose `sched_setaffinity` call succeeded.
+    pinned: AtomicUsize,
+    /// Deploy-time converter smoothing override (see `RuntimeConfig`).
+    profile_alpha: Option<f64>,
 }
 
 /// Recover a poisoned guard: a panicking operator must not wedge the
@@ -184,11 +217,18 @@ impl Shared {
         self.clock.now()
     }
 
-    fn submit(&self, key: cameo_core::ids::OperatorKey, msg: RtMsg) {
-        let pri = msg.pc.priority;
-        // Lock-free: lands in the shard's mailbox; the scheduler wakes
-        // a parked worker on that shard internally.
-        let _ = self.sched.submit(key, msg, pri);
+    /// Batched submit: every shard touched pays one mailbox CAS, one
+    /// hint update and one wake (the scheduler wakes parked workers on
+    /// those shards internally), and nodes come from the shards'
+    /// arenas — the fan-out path stays off the allocator entirely.
+    fn submit_batch<I: IntoIterator<Item = (cameo_core::ids::OperatorKey, RtMsg)>>(
+        &self,
+        items: I,
+    ) {
+        let _ = self.sched.submit_batch(items.into_iter().map(|(key, msg)| {
+            let pri = msg.pc.priority;
+            (key, msg, pri)
+        }));
     }
 }
 
@@ -201,31 +241,60 @@ pub struct Runtime {
 impl Runtime {
     pub fn start(config: RuntimeConfig) -> Self {
         let shards = config.effective_shards();
+        let mut sched_config = SchedulerConfig::default()
+            .with_quantum(config.quantum)
+            .with_shards(shards)
+            .with_steal_threshold(config.steal_threshold)
+            .with_mailbox(config.mailbox)
+            .with_mailbox_drain_batch(config.mailbox_drain_batch)
+            .with_pinning(config.pin_workers);
+        if let Some(alpha) = config.profile_alpha {
+            sched_config = sched_config.with_profile_alpha(alpha);
+        }
+        // The composed SchedulerConfig is the operative record: worker
+        // spawn reads the pinning flag back from it, so a scheduler
+        // config inspected later tells the truth about this runtime.
+        let pin = sched_config.pin_workers;
         let shared = Arc::new(Shared {
             clock: SystemClock::new(),
-            sched: ShardedScheduler::new(
-                SchedulerConfig::default()
-                    .with_quantum(config.quantum)
-                    .with_shards(shards)
-                    .with_steal_threshold(config.steal_threshold)
-                    .with_mailbox(config.mailbox)
-                    .with_mailbox_drain_batch(config.mailbox_drain_batch),
-            ),
+            sched: ShardedScheduler::new(sched_config),
             jobs: RwLock::new(Vec::new()),
             policy: config.policy.clone(),
             shutdown: AtomicBool::new(false),
+            pinned: AtomicUsize::new(0),
+            // As with pinning: when set, the value deploys read comes
+            // back out of the composed SchedulerConfig.
+            profile_alpha: config.profile_alpha.map(|_| sched_config.profile_alpha),
         });
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let workers = (0..config.workers)
             .map(|i| {
                 let sh = shared.clone();
                 let home = i % shards;
                 std::thread::Builder::new()
                     .name(format!("cameo-worker-{i}"))
-                    .spawn(move || worker_loop(sh, home))
+                    .spawn(move || {
+                        // Pin before the first drain so the home
+                        // shard's arena segments are first-touched (and
+                        // kept) by this core. Failure is benign: the
+                        // worker just keeps the default affinity.
+                        if pin && cameo_core::affinity::pin_to_core(i % cpus) {
+                            sh.pinned.fetch_add(1, Ordering::Relaxed);
+                        }
+                        worker_loop(sh, home)
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
         Runtime { shared, workers }
+    }
+
+    /// Number of workers the kernel accepted a core pin for (zero when
+    /// [`RuntimeConfig::with_pinning`] is off or unsupported).
+    pub fn pinned_workers(&self) -> usize {
+        self.shared.pinned.load(Ordering::Relaxed)
     }
 
     /// Deploy a job; events may be ingested immediately afterwards.
@@ -237,7 +306,16 @@ impl Runtime {
     pub fn deploy(&self, spec: &JobSpec, opts: &ExpandOptions) -> JobHandle {
         let mut jobs = self.shared.jobs.write().unwrap_or_else(|p| p.into_inner());
         let id = JobId(jobs.len() as u32);
-        let exp = ExpandedJob::expand(spec, id, opts);
+        let mut exp = ExpandedJob::expand(spec, id, opts);
+        // Runtime-level smoothing override; a job-level choice in the
+        // ExpandOptions wins over the runtime default.
+        if let Some(alpha) = self.shared.profile_alpha {
+            if opts.profile_alpha.is_none() {
+                for inst in exp.instances.iter_mut() {
+                    inst.converter.set_profile_alpha(alpha);
+                }
+            }
+        }
         assert!(
             !exp.ingests.is_empty(),
             "job '{}' expands to zero ingest operators; every deployable \
@@ -320,10 +398,15 @@ impl Runtime {
                 }
             }
         }
-        for (target, msg) in outbound {
-            let key = cameo_core::ids::OperatorKey::new(JobId(job.0), target as u32);
-            self.shared.submit(key, msg);
-        }
+        // One mailbox CAS + one hint update + one wake per shard for
+        // the whole batch, instead of per-message traffic.
+        self.shared
+            .submit_batch(outbound.into_iter().map(|(target, msg)| {
+                (
+                    cameo_core::ids::OperatorKey::new(JobId(job.0), target as u32),
+                    msg,
+                )
+            }));
     }
 
     /// Latency statistics of a job's sink outputs.
@@ -503,10 +586,13 @@ fn process_message(sh: &Arc<Shared>, key: cameo_core::ids::OperatorKey, msg: RtM
         sh.policy
             .process_reply(&mut inst.converter, sender.edge, &rc);
     }
-    for (target, m) in outbound {
-        let tkey = cameo_core::ids::OperatorKey::new(key.job, target as u32);
-        sh.submit(tkey, m);
-    }
+    // Operator fan-out goes out as one batch per shard (single CAS +
+    // hint + wake), with nodes from the target shards' arenas.
+    sh.submit_batch(
+        outbound
+            .into_iter()
+            .map(|(target, m)| (cameo_core::ids::OperatorKey::new(key.job, target as u32), m)),
+    );
 }
 
 #[cfg(test)]
@@ -693,6 +779,106 @@ mod tests {
             stats.mailbox_drained, stats.messages_scheduled,
             "every scheduled message travelled through a mailbox"
         );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn pinned_runtime_processes_everything() {
+        let rt = Runtime::start(
+            RuntimeConfig::default()
+                .with_workers(2)
+                .with_shards(2)
+                .with_pinning(true),
+        );
+        // Probe whether this host can pin the cores the two workers
+        // will target: a cgroup cpuset that excludes low core ids
+        // (e.g. --cpuset-cpus=2,3) makes pin_to_core a documented
+        // graceful no-op, so only assert when it can work.
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let pinnable = cameo_core::affinity::pinning_supported()
+            && (0..2usize).all(|i| {
+                std::thread::spawn(move || cameo_core::affinity::pin_to_core(i % cpus))
+                    .join()
+                    .unwrap_or(false)
+            });
+        if pinnable {
+            // The spawn loop pins before the first acquire; give the
+            // threads a beat to come up.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            while rt.pinned_workers() < 2 && std::time::Instant::now() < deadline {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            assert_eq!(rt.pinned_workers(), 2, "both workers pinned on linux");
+        }
+        let job = rt.deploy(&tiny_query("pin", 5_000), &ExpandOptions::default());
+        for source in [0u32, 1] {
+            rt.ingest(job, source, vec![Tuple::new(1, 1, LogicalTime(1_000))]);
+            rt.ingest(job, source, vec![Tuple::new(1, 1, LogicalTime(9_000))]);
+        }
+        assert!(rt.drain(std::time::Duration::from_secs(5)));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unpinned_runtime_reports_zero_pins() {
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(2));
+        assert_eq!(rt.pinned_workers(), 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn profile_alpha_flows_to_deployed_converters() {
+        let rt = Runtime::start(
+            RuntimeConfig::default()
+                .with_workers(1)
+                .with_profile_alpha(0.9),
+        );
+        let job = rt.deploy(&tiny_query("al", 5_000), &ExpandOptions::default());
+        {
+            let jobs = rt.shared.jobs.read().unwrap();
+            for inst in jobs[job.0 as usize].instances.iter() {
+                assert_eq!(relock(inst).converter.profile.alpha(), 0.9);
+            }
+        }
+        // A job-level choice beats the runtime default.
+        let opts = ExpandOptions {
+            profile_alpha: Some(0.3),
+            ..Default::default()
+        };
+        let job2 = rt.deploy(&tiny_query("al2", 5_000), &opts);
+        {
+            let jobs = rt.shared.jobs.read().unwrap();
+            assert_eq!(
+                relock(&jobs[job2.0 as usize].instances[0])
+                    .converter
+                    .profile
+                    .alpha(),
+                0.3
+            );
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn ingress_recycles_mailbox_nodes() {
+        // Steady-state ingest must be served by the arenas, not the
+        // heap: reuse counters grow, the fallback counter stays zero.
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(2));
+        let job = rt.deploy(&tiny_query("ar", 5_000), &ExpandOptions::default());
+        for round in 0..20u64 {
+            for source in [0u32, 1] {
+                let tuples = (0..10)
+                    .map(|i| Tuple::new(i, 1, LogicalTime(round * 1_000 + i)))
+                    .collect();
+                rt.ingest(job, source, tuples);
+            }
+        }
+        assert!(rt.drain(std::time::Duration::from_secs(10)));
+        let stats = rt.scheduler_stats();
+        assert!(stats.node_reuse_hits > 0, "recycled nodes fed submits");
+        assert_eq!(stats.node_alloc_fallback, 0, "no heap fallback");
         rt.shutdown();
     }
 

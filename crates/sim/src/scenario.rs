@@ -38,6 +38,9 @@ pub struct Scenario {
     pub record_processing: bool,
     pub placement: Placement,
     pub disable_replies: bool,
+    /// Cost-profiling smoothing override (see
+    /// [`EngineConfig::profile_alpha`]).
+    pub profile_alpha: Option<f64>,
     jobs: Vec<JobSetup>,
 }
 
@@ -56,6 +59,7 @@ impl Scenario {
             record_processing: false,
             placement: Placement::default(),
             disable_replies: false,
+            profile_alpha: None,
             jobs: Vec::new(),
         }
     }
@@ -111,6 +115,17 @@ impl Scenario {
         self
     }
 
+    /// Override the cost-profiling EWMA smoothing factor for every
+    /// operator in the scenario (must be in `(0, 1]`).
+    pub fn with_profile_alpha(mut self, alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "profile_alpha must be in (0, 1]"
+        );
+        self.profile_alpha = Some(alpha);
+        self
+    }
+
     pub fn add_job(&mut self, spec: JobSpec, workload: WorkloadSpec) -> &mut Self {
         self.add_job_with(spec, workload, ExpandOptions::default())
     }
@@ -158,7 +173,13 @@ impl Scenario {
         cfg.placement = self.placement;
         cfg.disable_replies = self.disable_replies;
         let mut engine_jobs = Vec::with_capacity(self.jobs.len());
-        for (i, setup) in self.jobs.into_iter().enumerate() {
+        for (i, mut setup) in self.jobs.into_iter().enumerate() {
+            // Scenario-level smoothing default; a job-level choice in
+            // its ExpandOptions wins (same precedence as the runtime's
+            // deploy path).
+            if setup.opts.profile_alpha.is_none() {
+                setup.opts.profile_alpha = self.profile_alpha;
+            }
             let exp = ExpandedJob::expand(&setup.spec, JobId(i as u32), &setup.opts);
             let gen = WorkloadGen::new(setup.workload, self.seed.wrapping_add(i as u64 * 7919));
             engine_jobs.push((exp, Some(gen)));

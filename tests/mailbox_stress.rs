@@ -1,8 +1,14 @@
 //! Stress tests for the lock-free shard ingress path: N submitters ×
 //! M workers hammering the per-shard submission mailboxes, plus a
-//! regression test aimed squarely at the park/wake race window.
+//! regression test aimed squarely at the park/wake race window, and —
+//! since the mailboxes went arena-backed — property/stress coverage for
+//! node recycling: FIFO must survive nodes being reused out from under
+//! concurrent producers, and a populated arena must free everything on
+//! drop.
 
+use cameo::core::arena::SEGMENT_SLOTS;
 use cameo::prelude::*;
+use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -115,6 +121,182 @@ fn mailbox_stress_no_loss_no_dup_fifo_per_operator() {
     );
 }
 
+/// FIFO-under-recycling property: N concurrent producers (mixing
+/// single pushes and `push_chain` batches) against a drain loop that
+/// recycles every node back under them. Per-producer submission order
+/// must survive arbitrary node reuse, nothing may be lost or
+/// duplicated, and the steady state must actually run on recycled
+/// nodes (not the heap).
+#[test]
+fn recycled_nodes_preserve_per_producer_fifo() {
+    const PRODUCERS: u64 = 6;
+    const PER: u64 = 8_000;
+    const CHAIN: u64 = 16;
+    let mb: Arc<Mailbox<u64>> = Arc::new(Mailbox::new());
+    let handles: Vec<_> = (0..PRODUCERS)
+        .map(|t| {
+            let mb = mb.clone();
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while i < PER {
+                    if i % (2 * CHAIN) < CHAIN {
+                        // A batch: one publish CAS for CHAIN messages.
+                        let base = i;
+                        mb.push_chain((0..CHAIN).map(|k| {
+                            (
+                                OperatorKey::new(JobId(0), t as u32),
+                                t * PER + base + k,
+                                Priority::uniform(0),
+                            )
+                        }));
+                        i += CHAIN;
+                    } else {
+                        mb.push(
+                            OperatorKey::new(JobId(0), t as u32),
+                            t * PER + i,
+                            Priority::uniform(0),
+                        );
+                        i += 1;
+                    }
+                }
+            })
+        })
+        .collect();
+    // Drain concurrently: every drained node immediately re-enters the
+    // free list the producers are allocating from.
+    let mut got: Vec<u64> = Vec::new();
+    while got.len() < (PRODUCERS * PER) as usize {
+        mb.drain(|m| got.push(m.msg));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    mb.drain(|m| got.push(m.msg));
+    assert_eq!(got.len(), (PRODUCERS * PER) as usize, "lost or duplicated");
+    for t in 0..PRODUCERS {
+        let sub: Vec<u64> = got.iter().copied().filter(|v| v / PER == t).collect();
+        assert_eq!(sub.len(), PER as usize, "producer {t} count off");
+        assert!(
+            sub.windows(2).all(|w| w[0] < w[1]),
+            "producer {t}: recycling scrambled submission order"
+        );
+    }
+    let st = mb.arena_stats();
+    assert!(
+        st.reuse_hits > PRODUCERS * PER / 2,
+        "most nodes must have been recycled at least once: {st:?}"
+    );
+    assert_eq!(st.alloc_fallback, 0, "no heap fallback under this load");
+}
+
+/// Single-threaded interleaving property: any mix of pushes, chain
+/// publishes and partial drains preserves global FIFO order exactly
+/// (one thread ⇒ total submission order is well defined), while nodes
+/// cycle through the arena.
+#[derive(Clone, Debug)]
+enum MbOp {
+    Push,
+    Chain { len: u8 },
+    Drain,
+}
+
+fn mb_ops() -> impl Strategy<Value = Vec<MbOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..1).prop_map(|_| MbOp::Push),
+            (1u8..9).prop_map(|len| MbOp::Chain { len }),
+            (0u8..1).prop_map(|_| MbOp::Drain),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #[test]
+    fn mailbox_fifo_survives_arbitrary_interleaving(ops in mb_ops()) {
+        let mb: Mailbox<u64> = Mailbox::new();
+        let mut next = 0u64;
+        let mut expect = std::collections::VecDeque::new();
+        let mut got = Vec::new();
+        for op in ops {
+            match op {
+                MbOp::Push => {
+                    mb.push(OperatorKey::new(JobId(0), 0), next, Priority::uniform(0));
+                    expect.push_back(next);
+                    next += 1;
+                }
+                MbOp::Chain { len } => {
+                    let base = next;
+                    let n = mb.push_chain((0..len as u64).map(|k| {
+                        (OperatorKey::new(JobId(0), 0), base + k, Priority::uniform(0))
+                    }));
+                    prop_assert_eq!(n, len as usize);
+                    for k in 0..len as u64 {
+                        expect.push_back(base + k);
+                    }
+                    next += len as u64;
+                }
+                MbOp::Drain => {
+                    mb.drain(|m| got.push(m.msg));
+                }
+            }
+        }
+        mb.drain(|m| got.push(m.msg));
+        prop_assert_eq!(got, expect.into_iter().collect::<Vec<_>>());
+        prop_assert_eq!(mb.arena_stats().alloc_fallback, 0);
+    }
+}
+
+/// Drop/leak check: a mailbox whose arena grew to multiple segments —
+/// with live (undrained) payloads still queued, including heap-fallback
+/// nodes if any — must drop every payload exactly once and release all
+/// segments (the latter is exercised by running under the test
+/// allocator: a leak would show in ASAN/Miri runs and the payload
+/// counter catches double-frees here).
+#[test]
+fn populated_multi_segment_arena_frees_everything_on_drop() {
+    struct Tracked(Arc<AtomicUsize>);
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let drops = Arc::new(AtomicUsize::new(0));
+    const LIVE: usize = 3 * SEGMENT_SLOTS / 2; // forces a second segment
+    {
+        let mb: Mailbox<Tracked> = Mailbox::new();
+        // Churn first so recycled nodes and fresh carves interleave.
+        for _ in 0..200 {
+            mb.push(
+                OperatorKey::new(JobId(0), 0),
+                Tracked(drops.clone()),
+                Priority::uniform(0),
+            );
+        }
+        mb.drain(|_| {});
+        let drained = drops.swap(0, Ordering::Relaxed);
+        assert_eq!(drained, 200, "drain consumed the churn payloads");
+        for _ in 0..LIVE {
+            mb.push(
+                OperatorKey::new(JobId(0), 0),
+                Tracked(drops.clone()),
+                Priority::uniform(0),
+            );
+        }
+        let st = mb.arena_stats();
+        assert!(
+            st.segments >= 2,
+            "load must have grown a second segment: {st:?}"
+        );
+        // Dropped here with LIVE payloads still queued.
+    }
+    assert_eq!(
+        drops.load(Ordering::Relaxed),
+        LIVE,
+        "drop must free every queued payload exactly once"
+    );
+}
+
 /// Regression test for the lost-wakeup window: a submit that lands
 /// *between* a parker's predicate check and its condvar wait must still
 /// wake it. One worker round-trips park→acquire while the main thread
@@ -208,13 +390,25 @@ fn bursty_submits_never_strand_parked_pool() {
 
     let mut sent = 0usize;
     for b in 0..BURSTS {
-        for i in 0..BURST {
-            let _ = sched.submit(
-                key(0, (b as u64 * BURST + i) as u32 % 61),
-                i,
-                Priority::uniform(i as i64),
-            );
-            sent += 1;
+        if b % 2 == 0 {
+            // Batched bursts: one chain splice + one wake per shard —
+            // the wake handshake must hold for these too.
+            sent += sched.submit_batch((0..BURST).map(|i| {
+                (
+                    key(0, (b as u64 * BURST + i) as u32 % 61),
+                    i,
+                    Priority::uniform(i as i64),
+                )
+            }));
+        } else {
+            for i in 0..BURST {
+                let _ = sched.submit(
+                    key(0, (b as u64 * BURST + i) as u32 % 61),
+                    i,
+                    Priority::uniform(i as i64),
+                );
+                sent += 1;
+            }
         }
         let deadline = Instant::now() + Duration::from_secs(5);
         while consumed.load(Ordering::Acquire) < sent {
