@@ -29,6 +29,18 @@
 //! of `BURST` messages across its operators, then acquires and drains
 //! until its backlog is gone — the cadence of the real worker loop.
 //!
+//! 3. **Network ingest** (`net_ingest`): closed-loop loopback TCP — a
+//!    client writes a burst of `frames_per_read` frames with one
+//!    syscall, the serve loop decodes the whole read and submits it as
+//!    one scheduler batch (`Runtime::ingest_frames`), and the client
+//!    waits for the server's frame counter before the next burst. The
+//!    runtime runs **zero workers**, so the cell isolates the wire
+//!    path itself (read + streaming decode + route + `submit_batch`)
+//!    from operator execution. Swept at 1/8/64 frames per read:
+//!    coalescing amortizes the syscall, the batch routing and the
+//!    per-shard mailbox publication, so ns/msg at 64 must sit strictly
+//!    below the 1-frame cell.
+//!
 //! Output: a table on stdout and `BENCH_sharded_scheduler.json` in the
 //! current directory, so later PRs have a perf trajectory to compare
 //! against. The artifact records the CPU count and whether workers were
@@ -130,16 +142,28 @@ where
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // Same worker→core map as the runtime's pinning: round-robin
+    // within the startup affinity mask, falling back to `w % cpus`
+    // when the mask is unreadable.
+    let allowed = Arc::new(if pin {
+        cameo_core::affinity::allowed_cores()
+    } else {
+        Vec::new()
+    });
     let handles: Vec<_> = (0..workers)
         .map(|w| {
             let body = body.clone();
             let stop = stop.clone();
             let start = start.clone();
             let done = done.clone();
+            let allowed = allowed.clone();
             std::thread::spawn(move || {
                 if pin {
-                    // Same worker→core map as the runtime's pinning.
-                    let _ = cameo_core::affinity::pin_to_core(w % cpus);
+                    let core = allowed
+                        .get(w % allowed.len().max(1))
+                        .copied()
+                        .unwrap_or(w % cpus);
+                    let _ = cameo_core::affinity::pin_to_core(core);
                 }
                 start.wait();
                 let processed = body(w, &stop);
@@ -415,6 +439,108 @@ fn measure_submit_costs(measure: Duration) -> SubmitCosts {
     }
 }
 
+/// One loopback network-ingest cell; see the module docs (experiment 3).
+struct NetCell {
+    frames_per_read: usize,
+    tuples_per_frame: usize,
+    /// Frames the closed loop pushed end to end.
+    frames: u64,
+    /// Scheduler messages those frames expanded into.
+    msgs: u64,
+    ns_per_frame: f64,
+    ns_per_msg: f64,
+    /// `ingest_frames` calls that landed (≈ socket reads with data).
+    net_batches: u64,
+    frames_coalesced: u64,
+    /// Chain publications — at most `net_batches × shards`.
+    batch_publications: u64,
+}
+
+fn run_net_ingest(frames_per_read: usize, measure: Duration) -> NetCell {
+    use cameo_dataflow::queries::AggQueryParams;
+    use cameo_runtime::prelude::*;
+
+    const TUPLES: usize = 8;
+    /// Frame budget: with zero workers nothing drains, so bound the
+    /// queue (and the arena) well under the indexed node capacity.
+    const FRAME_BUDGET: u64 = 60_000;
+
+    // Zero workers: submissions accumulate, nothing competes for the
+    // CPU, and the cell times exactly read + decode + route + submit.
+    let rt = std::sync::Arc::new(Runtime::start(cameo_runtime::runtime::RuntimeConfig {
+        workers: 0,
+        ..Default::default()
+    }));
+    let spec = cameo_dataflow::queries::agg_query(
+        &AggQueryParams::new(
+            "net-bench",
+            1_000_000,
+            cameo_core::time::Micros::from_millis(800),
+        )
+        .with_sources(1)
+        .with_parallelism(1)
+        .with_keys(8),
+    );
+    let job = rt.deploy(&spec, &Default::default());
+    let server = IngestServer::start(rt.clone(), "127.0.0.1:0").expect("bind loopback");
+    let mut client = IngestClient::connect(server.local_addr()).expect("connect loopback");
+    let burst: Vec<IngestFrame> = (0..frames_per_read)
+        .map(|f| IngestFrame {
+            job: job.0,
+            source: 0,
+            tuples: (0..TUPLES as u64)
+                .map(|i| {
+                    cameo_dataflow::event::Tuple::new(
+                        i % 8,
+                        1,
+                        cameo_core::time::LogicalTime(1 + f as u64 * TUPLES as u64 + i),
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    let mut sent = 0u64;
+    let t0 = Instant::now();
+    while t0.elapsed() < measure && sent < FRAME_BUDGET {
+        client.send_many(&burst).expect("burst write");
+        sent += frames_per_read as u64;
+        // Closed loop: the next burst leaves only after the server has
+        // decoded and submitted this one. Bounded, so a dropped
+        // connection fails the (CI-run) bench loudly instead of
+        // spinning forever.
+        let stall = Instant::now() + Duration::from_secs(10);
+        while server.frames_received() < sent {
+            assert!(
+                Instant::now() < stall,
+                "net_ingest stalled: {}/{} frames acked",
+                server.frames_received(),
+                sent
+            );
+            std::thread::yield_now();
+        }
+    }
+    let elapsed = t0.elapsed();
+    drop(client);
+    let stats = rt.scheduler_stats();
+    let msgs = rt.queue_len() as u64;
+    server.stop();
+    std::sync::Arc::try_unwrap(rt)
+        .ok()
+        .expect("sole runtime owner")
+        .shutdown();
+    NetCell {
+        frames_per_read,
+        tuples_per_frame: TUPLES,
+        frames: sent,
+        msgs,
+        ns_per_frame: elapsed.as_nanos() as f64 / sent as f64,
+        ns_per_msg: elapsed.as_nanos() as f64 / msgs.max(1) as f64,
+        net_batches: stats.net_batches,
+        frames_coalesced: stats.frames_coalesced,
+        batch_publications: stats.batch_publications,
+    }
+}
+
 fn main() {
     let args = BenchArgs::parse();
     let mut out_path = String::from("BENCH_sharded_scheduler.json");
@@ -428,11 +554,18 @@ fn main() {
         }
     }
     // Probe (in a scratch thread, so the main thread keeps its
-    // affinity) whether pinning can actually take effect here.
+    // affinity) whether pinning can actually take effect here —
+    // against the first core of the *allowed* mask, which is what the
+    // workers will actually target.
     let pinned = pin
-        && std::thread::spawn(|| cameo_core::affinity::pin_to_core(0))
-            .join()
-            .unwrap_or(false);
+        && std::thread::spawn(|| {
+            cameo_core::affinity::allowed_cores()
+                .first()
+                .map(|&c| cameo_core::affinity::pin_to_core(c))
+                .unwrap_or(false)
+        })
+        .join()
+        .unwrap_or(false);
     let measure = if args.full {
         Duration::from_millis(1_000)
     } else if args.quick {
@@ -528,6 +661,37 @@ fn main() {
     };
     println!("\n{top_workers}-worker speedup over single-mutex baseline: {speedup:.2}x");
 
+    println!("\nloopback network ingest (closed-loop, zero-worker runtime, 8 tuples/frame)");
+    println!(
+        "{:>15} {:>10} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "frames/read", "frames", "ns/frame", "ns/msg", "reads", "coalesced", "pubs"
+    );
+    let net_measure = measure.min(Duration::from_millis(500));
+    let net_cells: Vec<NetCell> = [1usize, 8, 64]
+        .iter()
+        .map(|&fpr| {
+            let cell = run_net_ingest(fpr, net_measure);
+            println!(
+                "{:>15} {:>10} {:>12.1} {:>12.1} {:>10} {:>10} {:>8}",
+                cell.frames_per_read,
+                cell.frames,
+                cell.ns_per_frame,
+                cell.ns_per_msg,
+                cell.net_batches,
+                cell.frames_coalesced,
+                cell.batch_publications
+            );
+            cell
+        })
+        .collect();
+    if let (Some(one), Some(big)) = (net_cells.first(), net_cells.last()) {
+        println!(
+            "coalescing win: {:.2}x lower ns/msg at {} frames/read vs 1",
+            one.ns_per_msg / big.ns_per_msg,
+            big.frames_per_read
+        );
+    }
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"sharded_scheduler\",\n  \"unit\": \"msgs_per_sec\",\n");
     json.push_str(&format!(
@@ -552,6 +716,22 @@ fn main() {
             c.node_reuse,
             c.node_alloc_fallback,
             if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"net_ingest\": [\n");
+    for (i, c) in net_cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"frames_per_read\": {}, \"tuples_per_frame\": {}, \"frames\": {}, \"msgs\": {}, \"ns_per_frame\": {:.1}, \"ns_per_msg\": {:.1}, \"net_batches\": {}, \"frames_coalesced\": {}, \"batch_publications\": {}}}{}\n",
+            c.frames_per_read,
+            c.tuples_per_frame,
+            c.frames,
+            c.msgs,
+            c.ns_per_frame,
+            c.ns_per_msg,
+            c.net_batches,
+            c.frames_coalesced,
+            c.batch_publications,
+            if i + 1 == net_cells.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -31,6 +31,8 @@ mod imp {
     extern "C" {
         /// glibc wrapper; `pid == 0` applies to the calling thread.
         fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u8) -> i32;
+        /// glibc wrapper; `pid == 0` reads the calling thread's mask.
+        fn sched_getaffinity(pid: i32, cpusetsize: usize, mask: *mut u8) -> i32;
     }
 
     pub fn pin_to_core(core: usize) -> bool {
@@ -52,6 +54,34 @@ mod imp {
         }
     }
 
+    pub fn allowed_cores() -> Vec<usize> {
+        let mut set = CpuSet {
+            bits: [0; MAX_CORES / 64],
+        };
+        // Safety: the mask is a plain POD local of the exact size we
+        // pass; the call only writes into it.
+        let rc = unsafe {
+            sched_getaffinity(
+                0,
+                std::mem::size_of::<CpuSet>(),
+                &mut set as *mut CpuSet as *mut u8,
+            )
+        };
+        if rc != 0 {
+            return Vec::new();
+        }
+        let mut cores = Vec::new();
+        for (word, &bits) in set.bits.iter().enumerate() {
+            let mut b = bits;
+            while b != 0 {
+                let bit = b.trailing_zeros() as usize;
+                cores.push(word * 64 + bit);
+                b &= b - 1;
+            }
+        }
+        cores
+    }
+
     pub const SUPPORTED: bool = true;
 }
 
@@ -59,6 +89,10 @@ mod imp {
 mod imp {
     pub fn pin_to_core(_core: usize) -> bool {
         false
+    }
+
+    pub fn allowed_cores() -> Vec<usize> {
+        Vec::new()
     }
 
     pub const SUPPORTED: bool = false;
@@ -76,6 +110,19 @@ pub fn pinning_supported() -> bool {
     imp::SUPPORTED
 }
 
+/// The set of cores the *calling thread* may run on, ascending
+/// (`sched_getaffinity`). Empty when the platform has no affinity
+/// syscalls or the mask cannot be read.
+///
+/// Runtimes sample this once at startup and round-robin their workers
+/// *within* the allowed set: a runtime confined to a cgroup cpuset of
+/// cores `{4, 5}` pins workers `4, 5, 4, 5, …` rather than counting
+/// `0, 1, 2, …` from core 0 — so co-located runtimes with disjoint
+/// cpusets stop piling onto (and failing to pin) the same low cores.
+pub fn allowed_cores() -> Vec<usize> {
+    imp::allowed_cores()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +131,30 @@ mod tests {
     fn out_of_range_core_is_rejected() {
         assert!(!pin_to_core(MAX_CORES));
         assert!(!pin_to_core(usize::MAX));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn allowed_cores_reflects_a_narrowed_mask() {
+        // Narrow a scratch thread's mask to one allowed core and read
+        // it back: the regression this guards is the runtime pinning
+        // within the *actual* mask instead of assuming cores 0..cpus.
+        std::thread::spawn(|| {
+            let all = allowed_cores();
+            assert!(!all.is_empty(), "mask readable on linux");
+            assert!(all.windows(2).all(|w| w[0] < w[1]), "ascending");
+            let target = *all.last().unwrap();
+            assert!(pin_to_core(target), "cores in the mask are pinnable");
+            assert_eq!(allowed_cores(), vec![target], "narrowed mask read back");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    #[test]
+    fn allowed_cores_is_empty_when_unsupported() {
+        assert!(allowed_cores().is_empty());
     }
 
     #[cfg(target_os = "linux")]

@@ -202,6 +202,7 @@ impl<T> Default for SegmentArena<T> {
 }
 
 impl<T> SegmentArena<T> {
+    /// An empty arena: no segments are allocated until the first carve.
     pub fn new() -> Self {
         SegmentArena {
             free: AtomicU64::new(pack(0, NONE)),
@@ -481,6 +482,7 @@ impl<T> SegmentArena<T> {
         }
     }
 
+    /// A snapshot of the recycling counters.
     pub fn stats(&self) -> ArenaStats {
         ArenaStats {
             reuse_hits: self.recycled.load(Ordering::Relaxed),

@@ -83,21 +83,25 @@ impl Default for SchedulerConfig {
 }
 
 impl SchedulerConfig {
+    /// Set the scheduling quantum (0 = swap check at every message).
     pub fn with_quantum(mut self, quantum: Micros) -> Self {
         self.quantum = quantum;
         self
     }
 
+    /// Enable the §6.3 starvation guard with the given limit.
     pub fn with_starvation_limit(mut self, limit: Micros) -> Self {
         self.starvation_limit = Some(limit);
         self
     }
 
+    /// Set the shard count for [`ShardedScheduler`](crate::shard::ShardedScheduler) (0 = single shard).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
         self
     }
 
+    /// Set the work-stealing urgency slack (see the field docs).
     pub fn with_steal_threshold(mut self, slack: Micros) -> Self {
         self.steal_threshold = slack;
         self

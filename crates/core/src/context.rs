@@ -21,7 +21,9 @@ use crate::time::{LogicalTime, Micros, PhysicalTime};
 /// from; `stamp` is the token's spread-out timestamp within it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TokenTag {
+    /// The accounting interval the token was drawn from.
     pub interval: u64,
+    /// The token's spread-out timestamp within the interval.
     pub stamp: PhysicalTime,
 }
 
@@ -50,9 +52,13 @@ pub struct DataflowField {
 /// Priority Context: attached to every message before it is sent.
 #[derive(Clone, Copy, Debug)]
 pub struct PriorityContext {
+    /// The message this context travels with.
     pub id: MessageId,
+    /// The job the message belongs to.
     pub job: JobId,
+    /// The derived two-level priority the scheduler orders by.
     pub priority: Priority,
+    /// The dataflow-defined `(p_MF, t_MF, L)` field (§5.3).
     pub field: DataflowField,
     /// Set by the token fair-sharing policy; `None` under deadline
     /// policies.

@@ -15,11 +15,14 @@ pub struct JobId(pub u32);
 /// `job` scopes the dataflow, `op` is the operator's index inside it.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OperatorKey {
+    /// The dataflow the operator belongs to.
     pub job: JobId,
+    /// The operator's instance index inside that dataflow.
     pub op: u32,
 }
 
 impl OperatorKey {
+    /// The key of operator `op` within `job`.
     #[inline]
     pub fn new(job: JobId, op: u32) -> Self {
         OperatorKey { job, op }

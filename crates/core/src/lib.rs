@@ -63,6 +63,11 @@
 //! sched.release(exec);
 //! ```
 
+// The scheduling framework is the workspace's public contract: every
+// exported item carries a doc comment, and CI builds the docs with
+// `RUSTDOCFLAGS="-D warnings"` so the guarantee cannot rot.
+#![deny(missing_docs)]
+
 pub mod affinity;
 pub mod arena;
 pub mod config;

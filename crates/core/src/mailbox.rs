@@ -52,8 +52,11 @@ use std::sync::atomic::{AtomicPtr, Ordering};
 /// One submitted message, as it travels through a mailbox.
 #[derive(Debug)]
 pub struct Mail<M> {
+    /// The target operator.
     pub key: OperatorKey,
+    /// The submitted priority.
     pub pri: Priority,
+    /// The message payload.
     pub msg: M,
 }
 
@@ -87,6 +90,7 @@ impl<M> Default for Mailbox<M> {
 }
 
 impl<M> Mailbox<M> {
+    /// An empty mailbox with its own (empty) arena.
     pub fn new() -> Self {
         Mailbox {
             head: AtomicPtr::new(ptr::null_mut()),
@@ -274,6 +278,7 @@ impl<M> MailChain<'_, M> {
         self.len
     }
 
+    /// True when nothing has been added yet.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

@@ -37,7 +37,9 @@ use crate::transform::{transform, Slide};
 /// the physical time of the last event required to produce it.
 #[derive(Clone, Copy, Debug)]
 pub struct MessageStamp {
+    /// Stream progress `p` of the message.
     pub progress: LogicalTime,
+    /// Physical time `t` of the last event required to produce it.
     pub time: PhysicalTime,
 }
 
@@ -71,8 +73,11 @@ impl HopInfo {
 /// each operator; the scheduler holds none of this.
 #[derive(Debug)]
 pub struct ConverterState {
+    /// The operator this converter belongs to.
     pub key: OperatorKey,
+    /// Execution-cost and critical-path profiling (RC_local).
     pub profile: ProfileState,
+    /// The logical→physical frontier prediction model (§4.3).
     pub progress_map: ProgressMap,
     /// Query-semantics awareness (§6.3, Fig 15): when `false` the
     /// converter never extends deadlines past the triggering message's
@@ -84,6 +89,7 @@ pub struct ConverterState {
 }
 
 impl ConverterState {
+    /// Fresh converter state for `key` on a `domain` stream.
     pub fn new(key: OperatorKey, domain: TimeDomain) -> Self {
         ConverterState {
             key,
@@ -94,6 +100,7 @@ impl ConverterState {
         }
     }
 
+    /// Toggle query-semantics awareness (see the field docs).
     pub fn with_semantics(mut self, aware: bool) -> Self {
         self.semantics_aware = aware;
         self
@@ -113,6 +120,7 @@ impl ConverterState {
         self.profile.set_alpha(alpha);
     }
 
+    /// Attach a token bucket (token fair-sharing sources only).
     pub fn with_tokens(mut self, bucket: TokenBucket) -> Self {
         self.tokens = Some(bucket);
         self
@@ -145,6 +153,7 @@ impl ConverterState {
 /// Algorithm 1; implementations normally only provide [`Policy::convert`]
 /// (the `CXTCONVERT` step that derives the priority pair).
 pub trait Policy: Send + Sync {
+    /// Short policy name, used in reports and experiment labels.
     fn name(&self) -> &'static str;
 
     /// `BUILDCXTATSOURCE`: create a PC for a message entering the

@@ -38,6 +38,7 @@ impl TokenBucket {
         }
     }
 
+    /// The per-interval token allocation.
     pub fn tokens_per_interval(&self) -> u64 {
         self.tokens_per_interval
     }

@@ -14,7 +14,9 @@ use std::fmt;
 /// `global` orders operators in the scheduler. Lower is more urgent.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Priority {
+    /// Orders messages within one operator (lower runs first).
     pub local: i64,
+    /// Orders operators against each other (lower runs first).
     pub global: i64,
 }
 
@@ -34,6 +36,7 @@ impl Priority {
         global: i64::MAX,
     };
 
+    /// A priority from its two components.
     #[inline]
     pub fn new(local: i64, global: i64) -> Self {
         Priority { local, global }

@@ -27,10 +27,12 @@ pub struct CostEstimator {
 pub const DEFAULT_ALPHA: f64 = 0.2;
 
 impl CostEstimator {
+    /// An estimator with the [`DEFAULT_ALPHA`] smoothing factor.
     pub fn new() -> Self {
         Self::with_alpha(DEFAULT_ALPHA)
     }
 
+    /// An estimator with a caller-chosen smoothing factor in `(0, 1]`.
     pub fn with_alpha(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         CostEstimator {
@@ -66,6 +68,7 @@ impl CostEstimator {
         Micros(self.ewma_us.max(0.0) as u64)
     }
 
+    /// Costs recorded so far (priors count as one).
     pub fn samples(&self) -> u64 {
         self.samples
     }
@@ -78,6 +81,7 @@ impl CostEstimator {
         self.alpha = alpha;
     }
 
+    /// The smoothing factor in effect.
     pub fn alpha(&self) -> f64 {
         self.alpha
     }
@@ -108,10 +112,12 @@ pub struct ProfileState {
 }
 
 impl ProfileState {
+    /// Empty profiling state (no priors).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Profiling state whose own-cost estimator is seeded with `prior`.
     pub fn with_prior(prior: Micros) -> Self {
         ProfileState {
             own: CostEstimator::with_prior(prior),

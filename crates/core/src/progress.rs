@@ -61,10 +61,12 @@ const MIN_SAMPLES: usize = 2;
 pub const DEFAULT_WINDOW: usize = 64;
 
 impl ProgressMap {
+    /// A model with the [`DEFAULT_WINDOW`] sample capacity.
     pub fn new(domain: TimeDomain) -> Self {
         Self::with_capacity(domain, DEFAULT_WINDOW)
     }
 
+    /// A model keeping at most `capacity` recent samples.
     pub fn with_capacity(domain: TimeDomain, capacity: usize) -> Self {
         assert!(
             capacity >= MIN_SAMPLES,
@@ -81,14 +83,17 @@ impl ProgressMap {
         }
     }
 
+    /// The time domain the stream declared.
     pub fn domain(&self) -> TimeDomain {
         self.domain
     }
 
+    /// Samples currently in the window.
     pub fn len(&self) -> usize {
         self.window.len()
     }
 
+    /// True before the first observed sample.
     pub fn is_empty(&self) -> bool {
         self.window.is_empty()
     }

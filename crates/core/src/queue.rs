@@ -115,6 +115,7 @@ impl Ord for HeapEntry {
 /// executing it. Return it with [`TwoLevelQueue::check_in`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OperatorLease {
+    /// The leased operator.
     pub key: OperatorKey,
 }
 
@@ -156,6 +157,7 @@ impl<M> Default for TwoLevelQueue<M> {
 }
 
 impl<M> TwoLevelQueue<M> {
+    /// An empty queue.
     pub fn new() -> Self {
         TwoLevelQueue {
             heap: BinaryHeap::new(),
@@ -170,6 +172,7 @@ impl<M> TwoLevelQueue<M> {
         self.msg_count
     }
 
+    /// True when no message is pending anywhere.
     pub fn is_empty(&self) -> bool {
         self.msg_count == 0
     }

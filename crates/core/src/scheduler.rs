@@ -26,8 +26,12 @@ use crate::time::{Micros, PhysicalTime};
 /// [sharded scheduler](crate::shard::ShardedScheduler).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SchedulerStats {
+    /// Messages handed to workers via `take_message`.
     pub messages_scheduled: u64,
+    /// Operator leases checked out via `acquire`.
     pub operator_acquisitions: u64,
+    /// `decide` calls that swapped away from the in-hand operator at a
+    /// quantum boundary (an intra-shard, more-urgent-operator swap).
     pub quantum_swaps: u64,
     /// Operators acquired from a non-home shard.
     pub steals: u64,
@@ -55,6 +59,22 @@ pub struct SchedulerStats {
     /// arena's indexed capacity was exhausted. Flat-at-zero here is the
     /// auditable "no allocation on the steady-state push path" claim.
     pub node_alloc_fallback: u64,
+    /// Mailbox chain publications performed by `submit_batch`: one per
+    /// shard touched per batch (the whole chain lands with a single
+    /// CAS). Together with `mailbox_drained` this audits the
+    /// amortization claim — a batch of N messages over S shards shows
+    /// at most S publications here, not N. Per-message `submit` calls
+    /// (and the small-batch fallback) are not counted.
+    pub batch_publications: u64,
+    /// Decoded network frames submitted through the runtime's
+    /// multi-frame ingest (`Runtime::ingest_frames`). Filled by the
+    /// runtime layer, zero for the core scheduler itself.
+    pub frames_coalesced: u64,
+    /// Multi-frame ingest calls that submitted at least one frame —
+    /// each is one `submit_batch` spanning everything one socket read
+    /// produced. `frames_coalesced / net_batches` is the achieved
+    /// frames-per-read coalescing ratio. Filled by the runtime layer.
+    pub net_batches: u64,
 }
 
 impl SchedulerStats {
@@ -69,6 +89,9 @@ impl SchedulerStats {
         self.mailbox_drained += other.mailbox_drained;
         self.node_reuse_hits += other.node_reuse_hits;
         self.node_alloc_fallback += other.node_alloc_fallback;
+        self.batch_publications += other.batch_publications;
+        self.frames_coalesced += other.frames_coalesced;
+        self.net_batches += other.net_batches;
     }
 }
 
@@ -92,10 +115,12 @@ pub struct Execution {
 }
 
 impl Execution {
+    /// The leased operator.
     pub fn key(&self) -> OperatorKey {
         self.lease.key
     }
 
+    /// When the lease was checked out (quantum accounting starts here).
     pub fn acquired_at(&self) -> PhysicalTime {
         self.acquired_at
     }
@@ -113,6 +138,7 @@ pub struct CameoScheduler<M> {
 }
 
 impl<M> CameoScheduler<M> {
+    /// A scheduler with an empty queue under `config`.
     pub fn new(config: SchedulerConfig) -> Self {
         CameoScheduler {
             queue: TwoLevelQueue::new(),
@@ -122,22 +148,27 @@ impl<M> CameoScheduler<M> {
         }
     }
 
+    /// The configuration this scheduler was built with.
     pub fn config(&self) -> &SchedulerConfig {
         &self.config
     }
 
+    /// A snapshot of the counters.
     pub fn stats(&self) -> SchedulerStats {
         self.stats
     }
 
+    /// Pending messages across all operators.
     pub fn len(&self) -> usize {
         self.queue.len()
     }
 
+    /// True when no message is pending.
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
     }
 
+    /// Operators with at least one pending message.
     pub fn pending_operators(&self) -> usize {
         self.queue.pending_operators()
     }

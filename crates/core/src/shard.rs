@@ -178,14 +178,17 @@ pub struct ShardExecution {
 }
 
 impl ShardExecution {
+    /// The leased operator.
     pub fn key(&self) -> OperatorKey {
         self.exec.key()
     }
 
+    /// The shard the lease came from (home or steal victim).
     pub fn shard(&self) -> usize {
         self.shard
     }
 
+    /// When the lease was checked out (quantum accounting starts here).
     pub fn acquired_at(&self) -> PhysicalTime {
         self.exec.acquired_at()
     }
@@ -209,6 +212,10 @@ pub struct ShardedScheduler<M> {
     steals: AtomicU64,
     cross_swaps: AtomicU64,
     mailbox_drained: AtomicU64,
+    /// Chain publications by `submit_batch` (one per shard per batch);
+    /// audits the one-CAS-per-shard amortization. Counted only on the
+    /// batch path — per-message `submit` stays free of extra RMWs.
+    batch_pubs: AtomicU64,
 }
 
 impl<M> ShardedScheduler<M> {
@@ -240,13 +247,16 @@ impl<M> ShardedScheduler<M> {
             steals: AtomicU64::new(0),
             cross_swaps: AtomicU64::new(0),
             mailbox_drained: AtomicU64::new(0),
+            batch_pubs: AtomicU64::new(0),
         }
     }
 
+    /// Number of shards in use.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
+    /// The scheduling quantum every shard runs under.
     pub fn quantum(&self) -> Micros {
         self.quantum
     }
@@ -429,6 +439,7 @@ impl<M> ShardedScheduler<M> {
             let n = chain.publish();
             if n > 0 {
                 sh.msgs.fetch_add(n, Ordering::Relaxed);
+                self.batch_pubs.fetch_add(1, Ordering::Relaxed);
                 self.lower_hint(0, min_pri.min(LEAST_URGENT_HINT));
                 self.wake_one(0);
             }
@@ -452,6 +463,7 @@ impl<M> ShardedScheduler<M> {
             };
             let n = chain.publish();
             self.shards[s].msgs.fetch_add(n, Ordering::Relaxed);
+            self.batch_pubs.fetch_add(1, Ordering::Relaxed);
             self.lower_hint(s, min_hint);
             // The publish CAS was SeqCst, ordering it before wake_one's
             // parked read — same handshake as the single-submit path.
@@ -651,6 +663,7 @@ impl<M> ShardedScheduler<M> {
             .sum()
     }
 
+    /// True when no message is pending on any shard.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -668,6 +681,7 @@ impl<M> ShardedScheduler<M> {
         total.steals = self.steals.load(Ordering::Relaxed);
         total.cross_shard_swaps = self.cross_swaps.load(Ordering::Relaxed);
         total.mailbox_drained = self.mailbox_drained.load(Ordering::Relaxed);
+        total.batch_publications = self.batch_pubs.load(Ordering::Relaxed);
         for sh in &self.shards {
             let a = sh.mailbox.arena_stats();
             total.node_reuse_hits += a.reuse_hits;
@@ -848,6 +862,15 @@ mod tests {
         assert_eq!(drain(&a, 0), drain(&b, 0), "batched == per-message order");
         let st = b.stats();
         assert_eq!(st.mailbox_drained, 40);
+        assert!(
+            st.batch_publications >= 1 && st.batch_publications <= 4,
+            "one publication per touched shard, at most shard count: {st:?}"
+        );
+        assert_eq!(
+            a.stats().batch_publications,
+            0,
+            "per-message path uncounted"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// An empty histogram.
     pub fn new() -> Self {
         Histogram {
             counts: Box::new([0; BUCKETS]),
@@ -57,6 +58,7 @@ impl Histogram {
         (1u64 << exp) + ((sub as u64) << (exp - log_sub))
     }
 
+    /// Record one observation.
     pub fn record(&mut self, v: Micros) {
         let x = v.0;
         self.counts[Self::index(x).min(BUCKETS - 1)] += 1;
@@ -66,14 +68,17 @@ impl Histogram {
         self.max = self.max.max(x);
     }
 
+    /// Observations recorded so far.
     pub fn count(&self) -> u64 {
         self.total
     }
 
+    /// True before the first observation.
     pub fn is_empty(&self) -> bool {
         self.total == 0
     }
 
+    /// Exact mean of all observations (zero when empty).
     pub fn mean(&self) -> Micros {
         if self.total == 0 {
             Micros::ZERO
@@ -82,6 +87,7 @@ impl Histogram {
         }
     }
 
+    /// Smallest observation (zero when empty).
     pub fn min(&self) -> Micros {
         if self.total == 0 {
             Micros::ZERO
@@ -90,6 +96,7 @@ impl Histogram {
         }
     }
 
+    /// Largest observation (zero when empty).
     pub fn max(&self) -> Micros {
         Micros(self.max)
     }
@@ -111,6 +118,7 @@ impl Histogram {
         Micros(self.max)
     }
 
+    /// The 50th percentile (same bucket bounds as [`percentile`](Self::percentile)).
     pub fn median(&self) -> Micros {
         self.percentile(50.0)
     }
@@ -165,6 +173,7 @@ pub struct OnlineStats {
 }
 
 impl OnlineStats {
+    /// Fold one sample into the running mean/variance.
     pub fn record(&mut self, x: f64) {
         self.n += 1;
         let d = x - self.mean;
@@ -172,14 +181,17 @@ impl OnlineStats {
         self.m2 += d * (x - self.mean);
     }
 
+    /// Samples recorded so far.
     pub fn count(&self) -> u64 {
         self.n
     }
 
+    /// Running mean (zero before the first sample).
     pub fn mean(&self) -> f64 {
         self.mean
     }
 
+    /// Unbiased sample variance (zero below two samples).
     pub fn variance(&self) -> f64 {
         if self.n < 2 {
             0.0
@@ -188,6 +200,7 @@ impl OnlineStats {
         }
     }
 
+    /// Sample standard deviation.
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }

@@ -35,9 +35,12 @@ pub struct Micros(pub u64);
 pub struct LogicalTime(pub u64);
 
 impl PhysicalTime {
+    /// The start of the run.
     pub const ZERO: PhysicalTime = PhysicalTime(0);
+    /// The far future (sorts after every real timestamp).
     pub const MAX: PhysicalTime = PhysicalTime(u64::MAX);
 
+    /// Microseconds since the start of the run.
     #[inline]
     pub fn as_micros(self) -> u64 {
         self.0
@@ -49,11 +52,13 @@ impl PhysicalTime {
         Micros(self.0.saturating_sub(earlier.0))
     }
 
+    /// The timestamp `ms` milliseconds into the run (saturating).
     #[inline]
     pub fn from_millis(ms: u64) -> Self {
         PhysicalTime(ms.saturating_mul(1_000))
     }
 
+    /// The timestamp `s` seconds into the run (saturating).
     #[inline]
     pub fn from_secs(s: u64) -> Self {
         PhysicalTime(s.saturating_mul(1_000_000))
@@ -61,54 +66,66 @@ impl PhysicalTime {
 }
 
 impl Micros {
+    /// The empty duration.
     pub const ZERO: Micros = Micros(0);
+    /// The longest representable duration (used as "no limit").
     pub const MAX: Micros = Micros(u64::MAX);
 
+    /// `ms` milliseconds as microseconds (saturating).
     #[inline]
     pub fn from_millis(ms: u64) -> Self {
         Micros(ms.saturating_mul(1_000))
     }
 
+    /// `s` seconds as microseconds (saturating).
     #[inline]
     pub fn from_secs(s: u64) -> Self {
         Micros(s.saturating_mul(1_000_000))
     }
 
+    /// The raw microsecond count.
     #[inline]
     pub fn as_micros(self) -> u64 {
         self.0
     }
 
+    /// The duration in fractional milliseconds.
     #[inline]
     pub fn as_millis_f64(self) -> f64 {
         self.0 as f64 / 1_000.0
     }
 
+    /// The duration in fractional seconds.
     #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1_000_000.0
     }
 
+    /// Sum, clamped to [`Micros::MAX`] on overflow.
     #[inline]
     pub fn saturating_add(self, rhs: Micros) -> Micros {
         Micros(self.0.saturating_add(rhs.0))
     }
 
+    /// Difference, clamped to zero when `rhs` is larger.
     #[inline]
     pub fn saturating_sub(self, rhs: Micros) -> Micros {
         Micros(self.0.saturating_sub(rhs.0))
     }
 
+    /// The larger of the two durations.
     #[inline]
     pub fn max(self, rhs: Micros) -> Micros {
         Micros(self.0.max(rhs.0))
     }
 
+    /// The smaller of the two durations.
     #[inline]
     pub fn min(self, rhs: Micros) -> Micros {
         Micros(self.0.min(rhs.0))
     }
 
+    /// True for the empty duration.
     #[inline]
     pub fn is_zero(self) -> bool {
         self.0 == 0
@@ -116,9 +133,13 @@ impl Micros {
 }
 
 impl LogicalTime {
+    /// The least progress value (also "no event time": the runtime
+    /// stamps ingestion time over it on arrival).
     pub const ZERO: LogicalTime = LogicalTime(0);
+    /// The greatest progress value (a closed stream's frontier).
     pub const MAX: LogicalTime = LogicalTime(u64::MAX);
 
+    /// The raw progress value.
     #[inline]
     pub fn as_u64(self) -> u64 {
         self.0
@@ -211,6 +232,7 @@ impl fmt::Debug for LogicalTime {
 /// simulator's virtual clock; every scheduling decision reads time only
 /// through this trait.
 pub trait Clock: Send + Sync {
+    /// The current physical time.
     fn now(&self) -> PhysicalTime;
 }
 
@@ -220,6 +242,7 @@ pub struct SystemClock {
 }
 
 impl SystemClock {
+    /// A clock whose zero is this instant.
     pub fn new() -> Self {
         SystemClock {
             start: Instant::now(),
@@ -247,16 +270,20 @@ pub struct ManualClock {
 }
 
 impl ManualClock {
+    /// A shareable clock starting at time zero.
     pub fn new() -> Arc<Self> {
         Arc::new(ManualClock {
             now: AtomicU64::new(0),
         })
     }
 
+    /// Jump the clock to `t` (backwards jumps included — tests use
+    /// them; production clocks never should).
     pub fn set(&self, t: PhysicalTime) {
         self.now.store(t.0, Ordering::Release);
     }
 
+    /// Advance the clock by `d`.
     pub fn advance(&self, d: Micros) {
         self.now.fetch_add(d.0, Ordering::AcqRel);
     }

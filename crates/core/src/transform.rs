@@ -31,6 +31,7 @@ impl Slide {
     /// Event-granularity slide used by regular (non-windowed) operators.
     pub const UNIT: Slide = Slide(1);
 
+    /// True for windowed operators (slide coarser than one event).
     #[inline]
     pub fn is_windowed(self) -> bool {
         self.0 > 1

@@ -27,10 +27,10 @@ pub mod runtime;
 pub mod stats;
 
 pub mod prelude {
-    pub use crate::msg::RtMsg;
+    pub use crate::msg::{FrameDecoder, RtMsg};
     pub use crate::net::{
         decode_payload, encode_frame, read_frame, IngestClient, IngestFrame, IngestServer,
     };
-    pub use crate::runtime::{JobHandle, OutputEvent, Runtime, RuntimeConfig};
+    pub use crate::runtime::{IngestOutcome, JobHandle, OutputEvent, Runtime, RuntimeConfig};
     pub use crate::stats::{JobStats, JobStatsSnapshot};
 }

@@ -2,91 +2,44 @@
 //! over a length-prefixed binary protocol.
 //!
 //! The paper's testbed drives servers from 16 separate client machines;
-//! this module is that wire path. Framing follows the networking-guide
-//! conventions: a 4-byte big-endian length prefix, then the payload —
-//! explicit bounds, no partial-frame surprises, and a hard frame-size
-//! cap so a misbehaving client cannot balloon memory.
+//! this module is that wire path. The wire format (frame layout,
+//! encoding, the streaming [`FrameDecoder`]) lives in [`crate::msg`];
+//! this module owns the sockets and the coalescing serve loop.
 //!
-//! ```text
-//! frame   := len:u32be payload
-//! payload := job:u32le source:u32le count:u32le tuple*
-//! tuple   := key:u64le value:i64le time:u64le
-//! ```
+//! ## Coalesced ingress
+//!
+//! The serve loop is built around one invariant: **all frames that
+//! arrive in one socket read enter the scheduler as one batch.** Each
+//! connection owns a [`FrameDecoder`] (a reusable buffer that carries
+//! partial frames across reads); every loop iteration issues a single
+//! `read`, decodes every frame it completed, and hands the whole set to
+//! [`Runtime::ingest_frames`] — which routes the tuples of *all* those
+//! frames and splices the resulting messages into the scheduler's
+//! per-shard mailboxes with one CAS, one hint update and one wake per
+//! shard (`ShardedScheduler::submit_batch`). Under burst arrival the
+//! per-frame cost therefore collapses to the decode itself: the
+//! syscall, the scheduler publication and the worker wake are all paid
+//! once per read, not once per frame. `SchedulerStats::frames_coalesced`
+//! / `net_batches` record the achieved coalescing ratio.
 
-use crate::runtime::{JobHandle, Runtime};
-use cameo_core::time::LogicalTime;
-use cameo_dataflow::event::Tuple;
+use crate::runtime::Runtime;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Maximum accepted frame, matching a generous batch of ~43k tuples.
-pub const MAX_FRAME: u32 = 1 << 20;
-const TUPLE_WIRE: usize = 24;
-const HEADER_WIRE: usize = 12;
-
-/// One decoded ingest frame.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct IngestFrame {
-    pub job: u32,
-    pub source: u32,
-    pub tuples: Vec<Tuple>,
-}
-
-/// Encode a frame (length prefix included).
-pub fn encode_frame(frame: &IngestFrame) -> Vec<u8> {
-    let payload_len = HEADER_WIRE + frame.tuples.len() * TUPLE_WIRE;
-    let mut buf = Vec::with_capacity(4 + payload_len);
-    buf.extend_from_slice(&(payload_len as u32).to_be_bytes());
-    buf.extend_from_slice(&frame.job.to_le_bytes());
-    buf.extend_from_slice(&frame.source.to_le_bytes());
-    buf.extend_from_slice(&(frame.tuples.len() as u32).to_le_bytes());
-    for t in &frame.tuples {
-        buf.extend_from_slice(&t.key.to_le_bytes());
-        buf.extend_from_slice(&t.value.to_le_bytes());
-        buf.extend_from_slice(&t.time.0.to_le_bytes());
-    }
-    buf
-}
-
-/// Decode a payload (after the length prefix has been stripped).
-pub fn decode_payload(payload: &[u8]) -> io::Result<IngestFrame> {
-    if payload.len() < HEADER_WIRE {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "payload shorter than header",
-        ));
-    }
-    let job = u32::from_le_bytes(payload[0..4].try_into().unwrap());
-    let source = u32::from_le_bytes(payload[4..8].try_into().unwrap());
-    let count = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
-    let expect = HEADER_WIRE + count * TUPLE_WIRE;
-    if payload.len() != expect {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("bad frame: {} bytes for {count} tuples", payload.len()),
-        ));
-    }
-    let mut tuples = Vec::with_capacity(count);
-    let mut off = HEADER_WIRE;
-    for _ in 0..count {
-        let key = u64::from_le_bytes(payload[off..off + 8].try_into().unwrap());
-        let value = i64::from_le_bytes(payload[off + 8..off + 16].try_into().unwrap());
-        let time = u64::from_le_bytes(payload[off + 16..off + 24].try_into().unwrap());
-        tuples.push(Tuple::new(key, value, LogicalTime(time)));
-        off += TUPLE_WIRE;
-    }
-    Ok(IngestFrame {
-        job,
-        source,
-        tuples,
-    })
-}
+pub use crate::msg::{
+    decode_payload, encode_frame, FrameDecoder, IngestFrame, HEADER_WIRE, MAX_FRAME, TUPLE_WIRE,
+};
 
 /// Read one frame from a stream. `Ok(None)` signals a clean EOF at a
 /// frame boundary.
+///
+/// This is the one-frame-at-a-time convenience (two `read_exact` calls,
+/// a payload allocation per frame); the serve loop does **not** use it —
+/// it runs a [`FrameDecoder`] so that every frame available in one
+/// socket read is decoded and submitted as one batch.
 pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<IngestFrame>> {
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
@@ -114,19 +67,24 @@ pub struct IngestServer {
     accept_thread: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     frames: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
 }
 
 impl IngestServer {
-    /// Bind and start serving. Frames for unknown jobs are dropped
-    /// (counted, not fatal): clients may race deployment.
+    /// Bind and start serving. Frames addressed to jobs this runtime
+    /// has not deployed are dropped (counted via
+    /// [`frames_dropped`](Self::frames_dropped), not fatal): clients
+    /// may race deployment.
     pub fn start(runtime: Arc<Runtime>, addr: impl ToSocketAddrs) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let frames = Arc::new(AtomicU64::new(0));
+        let dropped = Arc::new(AtomicU64::new(0));
         let stop2 = stop.clone();
         let frames2 = frames.clone();
+        let dropped2 = dropped.clone();
         let accept_thread = std::thread::Builder::new()
             .name("cameo-ingest-accept".into())
             .spawn(move || {
@@ -138,10 +96,11 @@ impl IngestServer {
                             let rt = runtime.clone();
                             let stop3 = stop2.clone();
                             let frames3 = frames2.clone();
+                            let dropped3 = dropped2.clone();
                             conns.push(
                                 std::thread::Builder::new()
                                     .name("cameo-ingest-conn".into())
-                                    .spawn(move || serve_conn(rt, stream, stop3, frames3))
+                                    .spawn(move || serve_conn(rt, stream, stop3, frames3, dropped3))
                                     .expect("spawn conn thread"),
                             );
                         }
@@ -161,6 +120,7 @@ impl IngestServer {
             accept_thread: Some(accept_thread),
             stop,
             frames,
+            dropped,
         })
     }
 
@@ -168,9 +128,14 @@ impl IngestServer {
         self.addr
     }
 
-    /// Frames successfully ingested so far.
+    /// Frames successfully ingested so far (dropped frames excluded).
     pub fn frames_received(&self) -> u64 {
         self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Well-formed frames dropped because their job was not deployed.
+    pub fn frames_dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     pub fn stop(mut self) {
@@ -190,24 +155,37 @@ impl Drop for IngestServer {
     }
 }
 
+/// Per-connection serve loop: one `read` per iteration, every frame the
+/// read completed submitted as one batch. See the module docs.
 fn serve_conn(
     rt: Arc<Runtime>,
     mut stream: TcpStream,
     stop: Arc<AtomicBool>,
     frames: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
 ) {
     stream
         .set_read_timeout(Some(std::time::Duration::from_millis(200)))
         .ok();
+    let mut decoder = FrameDecoder::new();
+    // Reused across reads: the drain below returns it to len 0 with its
+    // capacity intact, so steady-state decoding allocates no frame
+    // vector either.
+    let mut batch: Vec<IngestFrame> = Vec::new();
     loop {
         if stop.load(Ordering::Acquire) {
             return;
         }
-        match read_frame(&mut stream) {
-            Ok(Some(frame)) => {
-                rt.ingest(JobHandle(frame.job), frame.source, frame.tuples);
-                frames.fetch_add(1, Ordering::Relaxed);
-            }
+        let outcome = decoder.read_frames(&mut stream, &mut batch);
+        // Whatever decoded before an error still counts — ingest it
+        // before deciding the connection's fate.
+        if !batch.is_empty() {
+            let res = rt.ingest_frames(batch.drain(..));
+            frames.fetch_add(res.frames as u64, Ordering::Relaxed);
+            dropped.fetch_add(res.dropped as u64, Ordering::Relaxed);
+        }
+        match outcome {
+            Ok(Some(_)) => {}
             Ok(None) => return, // clean EOF
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -222,17 +200,55 @@ fn serve_conn(
 /// Client-side sender.
 pub struct IngestClient {
     stream: TcpStream,
+    /// Scratch encode buffer, reused across [`send_many`](Self::send_many)
+    /// calls.
+    scratch: Vec<u8>,
 }
 
 impl IngestClient {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(IngestClient { stream })
+        Ok(IngestClient {
+            stream,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Reject a frame the server is guaranteed to refuse *before* it
+    /// poisons the stream: an oversized frame would pass the local
+    /// write, then kill the connection server-side with no client
+    /// error until much later.
+    fn check_frame(frame: &IngestFrame) -> io::Result<()> {
+        if frame.wire_len() > 4 + MAX_FRAME as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "frame of {} tuples exceeds the {MAX_FRAME}-byte wire cap",
+                    frame.tuples.len()
+                ),
+            ));
+        }
+        Ok(())
     }
 
     pub fn send(&mut self, frame: &IngestFrame) -> io::Result<()> {
+        Self::check_frame(frame)?;
         self.stream.write_all(&encode_frame(frame))
+    }
+
+    /// Encode a whole burst of frames into one buffer and write it with
+    /// a single syscall. Over loopback (and any path without mid-stream
+    /// segmentation) the burst lands in the server's buffer as one unit,
+    /// so the serve loop's next read picks up *all* of it and submits it
+    /// as one scheduler batch — the client half of frame coalescing.
+    pub fn send_many(&mut self, frames: &[IngestFrame]) -> io::Result<()> {
+        self.scratch.clear();
+        for f in frames {
+            Self::check_frame(f)?;
+            f.encode_into(&mut self.scratch);
+        }
+        self.stream.write_all(&self.scratch)
     }
 
     pub fn flush(&mut self) -> io::Result<()> {
@@ -243,6 +259,8 @@ impl IngestClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cameo_core::time::LogicalTime;
+    use cameo_dataflow::event::Tuple;
 
     fn frame(n: usize) -> IngestFrame {
         IngestFrame {
@@ -252,38 +270,6 @@ mod tests {
                 .map(|i| Tuple::new(i, i as i64 * 2, LogicalTime(1_000 + i)))
                 .collect(),
         }
-    }
-
-    #[test]
-    fn frame_roundtrip() {
-        let f = frame(5);
-        let bytes = encode_frame(&f);
-        let decoded = decode_payload(&bytes[4..]).unwrap();
-        assert_eq!(decoded, f);
-    }
-
-    #[test]
-    fn empty_frame_roundtrip() {
-        let f = frame(0);
-        let bytes = encode_frame(&f);
-        assert_eq!(decode_payload(&bytes[4..]).unwrap(), f);
-    }
-
-    #[test]
-    fn truncated_payload_rejected() {
-        let f = frame(3);
-        let bytes = encode_frame(&f);
-        assert!(decode_payload(&bytes[4..bytes.len() - 1]).is_err());
-        assert!(decode_payload(&bytes[4..10]).is_err());
-    }
-
-    #[test]
-    fn corrupt_count_rejected() {
-        let f = frame(2);
-        let mut bytes = encode_frame(&f);
-        // Claim 100 tuples in the header.
-        bytes[4 + 8..4 + 12].copy_from_slice(&100u32.to_le_bytes());
-        assert!(decode_payload(&bytes[4..]).is_err());
     }
 
     #[test]
@@ -304,5 +290,25 @@ mod tests {
         bytes.extend_from_slice(&[0u8; 16]);
         let mut cursor = std::io::Cursor::new(bytes);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn client_rejects_oversized_frames_before_writing() {
+        // The server would refuse the frame and drop the connection;
+        // the client must error at the offending call instead of
+        // silently poisoning the stream.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = IngestClient::connect(listener.local_addr().unwrap()).unwrap();
+        let too_big = IngestFrame {
+            job: 0,
+            source: 0,
+            tuples: vec![Tuple::new(0, 0, LogicalTime(1)); (MAX_FRAME as usize / TUPLE_WIRE) + 1],
+        };
+        let err = client.send(&too_big).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = client.send_many(&[frame(1), too_big]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // An in-cap frame still goes through.
+        client.send(&frame(3)).unwrap();
     }
 }

@@ -25,7 +25,12 @@
 //! mailbox with a CAS, lowers the shard's best-priority hint, and wakes
 //! a parked worker — it never takes the shard mutex, so ingest threads
 //! (TCP sources, operator fan-out) cannot block the worker draining
-//! that shard. Workers fold the mailbox into the shard's two-level
+//! that shard. Ingress is also *batched end to end*: source batches
+//! ([`Runtime::ingest_batch`]), whole socket reads
+//! ([`Runtime::ingest_frames`] — every frame one TCP read completed,
+//! see `crate::net`) and operator fan-out all travel through
+//! `ShardedScheduler::submit_batch`, paying one mailbox CAS, one hint
+//! update and one wake per *shard* per call instead of per message. Workers fold the mailbox into the shard's two-level
 //! queue under the lock they already hold at acquire/take/decide/
 //! release boundaries. Per-shard condvars replace the single condvar;
 //! parks are bounded (`PARK_TIMEOUT`) so cross-shard work is picked up
@@ -38,7 +43,7 @@
 //! while an instance lock is held (the sharded scheduler acquires and
 //! releases its internal locks within each call).
 
-use crate::msg::{RtMsg, SenderRef};
+use crate::msg::{IngestFrame, RtMsg, SenderRef};
 use crate::stats::{JobStats, JobStatsSnapshot};
 use cameo_core::config::SchedulerConfig;
 use cameo_core::ids::JobId;
@@ -49,7 +54,7 @@ use cameo_core::time::{Clock, Micros, PhysicalTime, SystemClock};
 use cameo_dataflow::event::{Batch, Tuple};
 use cameo_dataflow::expand::{route_batch, ExpandOptions, ExpandedJob, OperatorInstance};
 use cameo_dataflow::graph::JobSpec;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
@@ -73,6 +78,19 @@ pub struct OutputEvent {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct JobHandle(pub u32);
 
+/// Outcome of one [`Runtime::ingest_frames`] call (one socket read's
+/// worth of frames).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Frames routed and submitted.
+    pub frames: usize,
+    /// Well-formed frames dropped because their job is not deployed.
+    pub dropped: usize,
+    /// Scheduler messages the submitted frames expanded into (what one
+    /// `submit_batch` spliced across the shards).
+    pub messages: usize,
+}
+
 /// Runtime configuration.
 pub struct RuntimeConfig {
     pub workers: usize,
@@ -90,10 +108,13 @@ pub struct RuntimeConfig {
     /// Mailbox messages admitted per lock acquisition (0 = all);
     /// passed through to [`SchedulerConfig`].
     pub mailbox_drain_batch: usize,
-    /// Pin worker `i` to core `i % cpus` via `sched_setaffinity`, so
-    /// each home shard's mailbox arena is touched by one core
-    /// (default off; Linux only, graceful no-op elsewhere). Passed
-    /// through to [`SchedulerConfig`]; honored at worker spawn.
+    /// Pin workers to cores via `sched_setaffinity`, so each home
+    /// shard's mailbox arena is touched by one core (default off;
+    /// Linux only, graceful no-op elsewhere). The runtime reads its
+    /// *allowed* core set (`sched_getaffinity`) once at startup and
+    /// round-robins workers within it, so co-located runtimes confined
+    /// to disjoint cpusets no longer pile onto core 0. Passed through
+    /// to [`SchedulerConfig`]; honored at worker spawn.
     pub pin_workers: bool,
     /// Cost-profiling EWMA smoothing factor applied to every deployed
     /// operator's converter (`None` keeps
@@ -204,6 +225,13 @@ struct Shared {
     pinned: AtomicUsize,
     /// Deploy-time converter smoothing override (see `RuntimeConfig`).
     profile_alpha: Option<f64>,
+    /// Multi-frame ingest calls that submitted at least one frame
+    /// (each is one `submit_batch` — at most one mailbox publication
+    /// per shard for the whole socket read).
+    net_batches: AtomicU64,
+    /// Frames submitted through those calls; `frames_coalesced /
+    /// net_batches` is the achieved frames-per-read ratio.
+    frames_coalesced: AtomicU64,
 }
 
 /// Recover a poisoned guard: a panicking operator must not wedge the
@@ -229,6 +257,56 @@ impl Shared {
             let pri = msg.pc.priority;
             (key, msg, pri)
         }));
+    }
+
+    /// Route one or more source batches through a job's ingest
+    /// instance, appending the priced outbound messages (with their
+    /// scheduler keys) to `outbound`. Shared by the single-batch and
+    /// the multi-frame ingest entry points, so both build identical
+    /// messages and differ only in how many frames feed one
+    /// `submit_batch`. The instance mutex is taken **once** for the
+    /// whole batch slice — a coalesced burst pays the routing lock per
+    /// `(job, source)` group, not per frame. Each batch stays its own
+    /// message set (frame boundaries are preserved downstream).
+    fn route_ingest(
+        &self,
+        jrt: &JobRt,
+        job: u32,
+        ingest_idx: usize,
+        batches: &[Batch],
+        outbound: &mut Vec<(cameo_core::ids::OperatorKey, RtMsg)>,
+    ) {
+        let jid = JobId(job);
+        let constraint = jrt.latency_constraint;
+        let mut inst = relock(&jrt.instances[ingest_idx]);
+        let inst = &mut *inst;
+        let converter = &mut inst.converter;
+        for batch in batches {
+            let stamp = MessageStamp {
+                progress: batch.progress,
+                time: batch.time,
+            };
+            for route in &inst.outs {
+                let pc = self
+                    .policy
+                    .build_at_source(jid, stamp, constraint, &route.hop, converter);
+                for (target, channel, sub) in route_batch(route, batch) {
+                    outbound.push((
+                        cameo_core::ids::OperatorKey::new(jid, target as u32),
+                        RtMsg {
+                            channel,
+                            batch: sub,
+                            pc,
+                            sender: Some(SenderRef {
+                                job,
+                                op: ingest_idx as u32,
+                                edge: route.edge,
+                            }),
+                        },
+                    ));
+                }
+            }
+        }
     }
 }
 
@@ -265,13 +343,24 @@ impl Runtime {
             // As with pinning: when set, the value deploys read comes
             // back out of the composed SchedulerConfig.
             profile_alpha: config.profile_alpha.map(|_| sched_config.profile_alpha),
+            net_batches: AtomicU64::new(0),
+            frames_coalesced: AtomicU64::new(0),
         });
         let cpus = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
+        // The startup affinity mask: workers round-robin within it, so
+        // two runtimes confined to disjoint cpusets pin onto disjoint
+        // cores instead of both counting `0, 1, 2, …` from core 0.
+        let allowed: Arc<Vec<usize>> = Arc::new(if pin {
+            cameo_core::affinity::allowed_cores()
+        } else {
+            Vec::new()
+        });
         let workers = (0..config.workers)
             .map(|i| {
                 let sh = shared.clone();
+                let allowed = allowed.clone();
                 let home = i % shards;
                 std::thread::Builder::new()
                     .name(format!("cameo-worker-{i}"))
@@ -280,8 +369,14 @@ impl Runtime {
                         // shard's arena segments are first-touched (and
                         // kept) by this core. Failure is benign: the
                         // worker just keeps the default affinity.
-                        if pin && cameo_core::affinity::pin_to_core(i % cpus) {
-                            sh.pinned.fetch_add(1, Ordering::Relaxed);
+                        if pin {
+                            let core = allowed
+                                .get(i % allowed.len().max(1))
+                                .copied()
+                                .unwrap_or(i % cpus);
+                            if cameo_core::affinity::pin_to_core(core) {
+                                sh.pinned.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                         worker_loop(sh, home)
                     })
@@ -365,48 +460,92 @@ impl Runtime {
             jobs[job.0 as usize].clone()
         };
         let ingest_idx = jrt.ingests[source as usize % jrt.ingests.len()];
-        let stamp = MessageStamp {
-            progress: batch.progress,
-            time: batch.time,
-        };
         let mut outbound = Vec::new();
-        {
-            let mut inst = relock(&jrt.instances[ingest_idx]);
-            let jid = JobId(job.0);
-            let constraint = jrt.latency_constraint;
-            let inst = &mut *inst;
-            let converter = &mut inst.converter;
-            for route in &inst.outs {
-                let pc = self
-                    .shared
-                    .policy
-                    .build_at_source(jid, stamp, constraint, &route.hop, converter);
-                for (target, channel, sub) in route_batch(route, &batch) {
-                    outbound.push((
-                        target,
-                        RtMsg {
-                            channel,
-                            batch: sub,
-                            pc,
-                            sender: Some(SenderRef {
-                                job: job.0,
-                                op: ingest_idx as u32,
-                                edge: route.edge,
-                            }),
-                        },
-                    ));
-                }
-            }
-        }
+        self.shared.route_ingest(
+            &jrt,
+            job.0,
+            ingest_idx,
+            std::slice::from_ref(&batch),
+            &mut outbound,
+        );
         // One mailbox CAS + one hint update + one wake per shard for
         // the whole batch, instead of per-message traffic.
-        self.shared
-            .submit_batch(outbound.into_iter().map(|(target, msg)| {
-                (
-                    cameo_core::ids::OperatorKey::new(JobId(job.0), target as u32),
-                    msg,
-                )
-            }));
+        self.shared.submit_batch(outbound);
+    }
+
+    /// Ingest a whole read's worth of decoded network frames as **one**
+    /// scheduler batch: every frame is routed through its job's ingest
+    /// instance, and the outbound messages of *all* frames are spliced
+    /// into the per-shard mailboxes together — one mailbox CAS, one
+    /// hint update and one wake per shard for the entire call, however
+    /// many frames (and jobs) it spans. This is the multi-frame twin of
+    /// [`ingest_batch`](Self::ingest_batch) and the entry point the TCP
+    /// serve loop uses for frame coalescing.
+    ///
+    /// Frames addressed to jobs this runtime has not deployed are
+    /// dropped and counted in the outcome (clients may race
+    /// deployment); unlike the in-process entry points, an unknown job
+    /// here is remote-input data, not a programming error, so it must
+    /// not panic. Tuples with `LogicalTime::ZERO` event times are
+    /// stamped with ingestion time, as in [`ingest`](Self::ingest).
+    ///
+    /// `SchedulerStats::net_batches` / `frames_coalesced` record each
+    /// call and its frame count, so the achieved coalescing ratio is
+    /// observable.
+    pub fn ingest_frames<I: IntoIterator<Item = IngestFrame>>(&self, frames: I) -> IngestOutcome {
+        let now = self.shared.now();
+        let mut out = IngestOutcome::default();
+        // Snapshot the deployed-jobs table (a Vec<Arc> clone) and drop
+        // the read lock before any routing: routing takes per-instance
+        // mutexes, and holding the jobs RwLock across those would let a
+        // slow UDF plus a waiting `deploy` (writer) stall every
+        // worker's own `jobs.read()`.
+        let jobs: Vec<Arc<JobRt>> = self
+            .shared
+            .jobs
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        // Group the read's frames by (job, ingest instance), keeping
+        // first-seen group order and per-group frame order, so each
+        // group pays its instance lock once — not once per frame.
+        let mut groups: Vec<(u32, usize, Vec<Batch>)> = Vec::new();
+        for frame in frames {
+            let Some(jrt) = jobs.get(frame.job as usize) else {
+                out.dropped += 1;
+                continue;
+            };
+            let ingest_idx = jrt.ingests[frame.source as usize % jrt.ingests.len()];
+            let job = frame.job;
+            let batch = frame.into_batch(now);
+            match groups
+                .iter_mut()
+                .find(|(j, idx, _)| *j == job && *idx == ingest_idx)
+            {
+                Some((_, _, batches)) => batches.push(batch),
+                None => groups.push((job, ingest_idx, vec![batch])),
+            }
+            out.frames += 1;
+        }
+        let mut outbound = Vec::new();
+        for (job, ingest_idx, batches) in &groups {
+            self.shared.route_ingest(
+                &jobs[*job as usize],
+                *job,
+                *ingest_idx,
+                batches,
+                &mut outbound,
+            );
+        }
+        out.messages = outbound.len();
+        if out.frames > 0 {
+            self.shared.net_batches.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .frames_coalesced
+                .fetch_add(out.frames as u64, Ordering::Relaxed);
+        }
+        self.shared.submit_batch(outbound);
+        out
     }
 
     /// Latency statistics of a job's sink outputs.
@@ -416,9 +555,14 @@ impl Runtime {
             .snapshot()
     }
 
-    /// Scheduler counters, aggregated across shards.
+    /// Scheduler counters, aggregated across shards, plus the
+    /// runtime-level network-coalescing counters (`net_batches`,
+    /// `frames_coalesced`).
     pub fn scheduler_stats(&self) -> SchedulerStats {
-        self.shared.sched.stats()
+        let mut stats = self.shared.sched.stats();
+        stats.net_batches += self.shared.net_batches.load(Ordering::Relaxed);
+        stats.frames_coalesced += self.shared.frames_coalesced.load(Ordering::Relaxed);
+        stats
     }
 
     /// Number of scheduler shards in use.
@@ -791,15 +935,16 @@ mod tests {
                 .with_pinning(true),
         );
         // Probe whether this host can pin the cores the two workers
-        // will target: a cgroup cpuset that excludes low core ids
-        // (e.g. --cpuset-cpus=2,3) makes pin_to_core a documented
-        // graceful no-op, so only assert when it can work.
-        let cpus = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        // will target: workers now round-robin within the startup
+        // affinity mask, so the targets are the first entries of
+        // `allowed_cores` (cores inside the mask are pinnable by
+        // definition, but probe anyway in a scratch thread).
+        let allowed = cameo_core::affinity::allowed_cores();
         let pinnable = cameo_core::affinity::pinning_supported()
+            && !allowed.is_empty()
             && (0..2usize).all(|i| {
-                std::thread::spawn(move || cameo_core::affinity::pin_to_core(i % cpus))
+                let core = allowed[i % allowed.len()];
+                std::thread::spawn(move || cameo_core::affinity::pin_to_core(core))
                     .join()
                     .unwrap_or(false)
             });
@@ -819,6 +964,135 @@ mod tests {
         }
         assert!(rt.drain(std::time::Duration::from_secs(5)));
         rt.shutdown();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pinning_respects_narrowed_affinity_mask() {
+        // A runtime started inside a cpuset narrowed to one core must
+        // pin every worker onto *that* core (round-robin within the
+        // allowed set), not onto `i % cpus` counted from core 0 —
+        // which the kernel would reject for every core outside the
+        // mask. Narrow a scratch thread's mask and start the runtime
+        // from it: the workers inherit the narrowed mask.
+        let pinned = std::thread::spawn(|| {
+            let allowed = cameo_core::affinity::allowed_cores();
+            let Some(&target) = allowed.last() else {
+                return None; // mask unreadable: nothing to regress
+            };
+            if !cameo_core::affinity::pin_to_core(target) {
+                return None;
+            }
+            assert_eq!(
+                cameo_core::affinity::allowed_cores(),
+                vec![target],
+                "pin_to_core narrows the mask to one core"
+            );
+            let rt = Runtime::start(
+                RuntimeConfig::default()
+                    .with_workers(2)
+                    .with_shards(2)
+                    .with_pinning(true),
+            );
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            while rt.pinned_workers() < 2 && std::time::Instant::now() < deadline {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            let pinned = rt.pinned_workers();
+            rt.shutdown();
+            Some(pinned)
+        })
+        .join()
+        .unwrap();
+        if let Some(pinned) = pinned {
+            assert_eq!(pinned, 2, "both workers pinned inside the narrowed mask");
+        }
+    }
+
+    #[test]
+    fn ingest_frames_coalesces_into_one_submit_batch() {
+        // A 0-worker runtime: nothing drains, so the counters and the
+        // queue length observe exactly what one ingest_frames call
+        // produced.
+        let rt = Runtime::start(RuntimeConfig {
+            workers: 0,
+            ..Default::default()
+        });
+        let job = rt.deploy(&tiny_query("nf", 5_000), &ExpandOptions::default());
+        let frames: Vec<IngestFrame> = (0..6u32)
+            .map(|i| IngestFrame {
+                job: job.0,
+                source: i % 2,
+                tuples: vec![Tuple::new(i as u64, 1, LogicalTime(1_000 + i as u64))],
+            })
+            .collect();
+        let out = rt.ingest_frames(frames);
+        assert_eq!(out.frames, 6);
+        assert_eq!(out.dropped, 0);
+        assert!(out.messages >= 6, "each frame expands to >= 1 message");
+        assert_eq!(rt.queue_len(), out.messages);
+        let stats = rt.scheduler_stats();
+        assert_eq!(stats.net_batches, 1, "one call = one net batch");
+        assert_eq!(stats.frames_coalesced, 6);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn ingest_frames_drops_unknown_jobs_without_panicking() {
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(1));
+        let job = rt.deploy(&tiny_query("uk", 5_000), &ExpandOptions::default());
+        let out = rt.ingest_frames(vec![
+            IngestFrame {
+                job: job.0 + 99,
+                source: 0,
+                tuples: vec![Tuple::new(1, 1, LogicalTime(1))],
+            },
+            IngestFrame {
+                job: job.0,
+                source: 0,
+                tuples: vec![Tuple::new(2, 1, LogicalTime(2))],
+            },
+        ]);
+        assert_eq!(out.dropped, 1);
+        assert_eq!(out.frames, 1);
+        assert!(rt.drain(std::time::Duration::from_secs(5)));
+        assert_eq!(rt.scheduler_stats().frames_coalesced, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn ingest_frames_matches_ingest_per_frame() {
+        // The coalesced entry point must produce the same processing
+        // results as per-frame ingest: same windows, same counts.
+        let run = |coalesced: bool| {
+            let rt = Runtime::start(RuntimeConfig::default().with_workers(2));
+            let job = rt.deploy(&tiny_query("eq", 10_000), &ExpandOptions::default());
+            let mk = |source: u32, base: u64| IngestFrame {
+                job: job.0,
+                source,
+                tuples: (0..50)
+                    .map(|i| Tuple::new(i, 1, LogicalTime(base + i * 10)))
+                    .collect(),
+            };
+            let frames = vec![mk(0, 0), mk(1, 0), mk(0, 50_000), mk(1, 50_000)];
+            if coalesced {
+                let out = rt.ingest_frames(frames);
+                assert_eq!(out.frames, 4);
+            } else {
+                for f in frames {
+                    rt.ingest(JobHandle(f.job), f.source, f.tuples);
+                }
+            }
+            assert!(rt.drain(std::time::Duration::from_secs(5)));
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let outputs = rt.job_stats(job).outputs;
+            rt.shutdown();
+            outputs
+        };
+        let batched = run(true);
+        let per_frame = run(false);
+        assert!(batched >= 1, "coalesced ingest fired windows");
+        assert_eq!(batched, per_frame, "same windows either way");
     }
 
     #[test]

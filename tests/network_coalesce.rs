@@ -1,0 +1,173 @@
+//! Loopback integration tests for coalesced network ingress: frames
+//! written in one send must travel the whole pipeline — socket read →
+//! streaming decoder → `Runtime::ingest_frames` → per-shard batch
+//! chains — as **one** scheduler batch, observable via
+//! `SchedulerStats` (`net_batches`, `frames_coalesced`,
+//! `batch_publications`).
+
+use cameo::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn query(name: &str) -> cameo::dataflow::graph::JobSpec {
+    agg_query(
+        &AggQueryParams::new(name, 10_000, Micros::from_millis(500))
+            .with_sources(2)
+            .with_parallelism(2)
+            .with_keys(8)
+            .with_domain(TimeDomain::IngestionTime),
+    )
+}
+
+fn frame(job: u32, source: u32, base: u64, n: u64) -> IngestFrame {
+    IngestFrame {
+        job,
+        source,
+        tuples: (0..n)
+            .map(|i| Tuple::new(base + i, 1, LogicalTime(1_000 + base + i)))
+            .collect(),
+    }
+}
+
+fn wait_for(deadline: Duration, mut ok: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if ok() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    ok()
+}
+
+/// The acceptance property: N frames written in one send produce at
+/// most shard-count mailbox publications (here: one — a 0-worker
+/// runtime has a single shard, and nothing drains, so the counters
+/// observe exactly what the socket read produced).
+#[test]
+fn one_send_coalesces_to_at_most_shard_count_publications() {
+    const FRAMES: u64 = 8;
+    let rt = Arc::new(Runtime::start(cameo::runtime::runtime::RuntimeConfig {
+        workers: 0,
+        ..Default::default()
+    }));
+    assert_eq!(rt.shard_count(), 1);
+    let job = rt.deploy(&query("coalesce"), &ExpandOptions::default());
+    let server = IngestServer::start(rt.clone(), "127.0.0.1:0").unwrap();
+    let mut client = IngestClient::connect(server.local_addr()).unwrap();
+
+    // One send: 8 small frames in a single write syscall. Over
+    // loopback this is one TCP segment, so the (blocked) serve loop's
+    // next read returns the whole burst.
+    let frames: Vec<IngestFrame> = (0..FRAMES)
+        .map(|f| frame(job.0, (f % 2) as u32, f * 100, 4))
+        .collect();
+    client.send_many(&frames).unwrap();
+
+    assert!(
+        wait_for(Duration::from_secs(5), || rt
+            .scheduler_stats()
+            .frames_coalesced
+            >= FRAMES),
+        "server ingested the whole burst"
+    );
+    let stats = rt.scheduler_stats();
+    assert_eq!(stats.frames_coalesced, FRAMES);
+    assert_eq!(
+        stats.net_batches, 1,
+        "8 frames in one send = one multi-frame ingest call"
+    );
+    assert!(
+        stats.batch_publications <= rt.shard_count() as u64,
+        "one send coalesced into <= shard-count mailbox publications: {stats:?}"
+    );
+    // Every frame routed: at least one message per frame, at most one
+    // per parallel window instance (keys hash-partition across 2).
+    let queued = rt.queue_len();
+    assert!(
+        (8..=16).contains(&queued),
+        "8 frames route to 8..=16 messages, got {queued}"
+    );
+    assert_eq!(server.frames_received(), FRAMES);
+    assert_eq!(server.frames_dropped(), 0);
+
+    drop(client);
+    server.stop();
+    Arc::try_unwrap(rt).ok().expect("sole owner").shutdown();
+}
+
+/// End-to-end over a draining runtime: burst-sent frames flow through
+/// the coalesced path and still produce windowed outputs; the
+/// coalescing counters show multi-frame reads actually happened.
+#[test]
+fn coalesced_ingress_processes_end_to_end() {
+    let rt = Arc::new(Runtime::start(
+        cameo::runtime::runtime::RuntimeConfig::default().with_workers(2),
+    ));
+    let job = rt.deploy(&query("e2e"), &ExpandOptions::default());
+    let server = IngestServer::start(rt.clone(), "127.0.0.1:0").unwrap();
+    let mut client = IngestClient::connect(server.local_addr()).unwrap();
+    // Several bursts: window-filling tuples, then window-crossing ones.
+    for round in 0..4u64 {
+        let frames: Vec<IngestFrame> = (0..8u64)
+            .map(|f| frame(job.0, (f % 2) as u32, round * 1_000 + f * 10, 4))
+            .collect();
+        client.send_many(&frames).unwrap();
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    for source in [0u32, 1] {
+        client.send(&frame(job.0, source, 30_000_000, 1)).unwrap();
+    }
+    assert!(
+        wait_for(Duration::from_secs(5), || server.frames_received() == 34),
+        "all 34 frames ingested"
+    );
+    assert!(rt.drain(Duration::from_secs(5)));
+    assert!(
+        wait_for(Duration::from_secs(5), || rt.job_stats(job).outputs >= 1),
+        "windows fired through the coalesced path"
+    );
+    let stats = rt.scheduler_stats();
+    assert_eq!(stats.frames_coalesced, 34);
+    assert!(
+        stats.net_batches <= stats.frames_coalesced,
+        "coalescing cannot exceed one batch per frame: {stats:?}"
+    );
+    drop(client);
+    server.stop();
+    Arc::try_unwrap(rt).ok().expect("sole owner").shutdown();
+}
+
+/// Unknown-job frames inside a coalesced burst are dropped and counted
+/// — they must not poison the valid frames sharing the read, and must
+/// not kill the connection.
+#[test]
+fn unknown_job_frames_are_dropped_not_fatal() {
+    let rt = Arc::new(Runtime::start(cameo::runtime::runtime::RuntimeConfig {
+        workers: 0,
+        ..Default::default()
+    }));
+    let job = rt.deploy(&query("drop"), &ExpandOptions::default());
+    let server = IngestServer::start(rt.clone(), "127.0.0.1:0").unwrap();
+    let mut client = IngestClient::connect(server.local_addr()).unwrap();
+    client
+        .send_many(&[
+            frame(job.0, 0, 0, 3),
+            frame(job.0 + 77, 0, 0, 3), // not deployed
+            frame(job.0, 1, 100, 3),
+        ])
+        .unwrap();
+    assert!(wait_for(Duration::from_secs(5), || server
+        .frames_received()
+        >= 2));
+    assert_eq!(server.frames_received(), 2);
+    assert_eq!(server.frames_dropped(), 1);
+    // The connection survived: a later send still lands.
+    client.send(&frame(job.0, 0, 500, 2)).unwrap();
+    assert!(wait_for(Duration::from_secs(5), || server
+        .frames_received()
+        == 3));
+    drop(client);
+    server.stop();
+    Arc::try_unwrap(rt).ok().expect("sole owner").shutdown();
+}
