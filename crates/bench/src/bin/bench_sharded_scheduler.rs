@@ -41,6 +41,14 @@
 //!    per-shard mailbox publication, so ns/msg at 64 must sit strictly
 //!    below the 1-frame cell.
 //!
+//! 4. **Job churn** (`job_churn`): deploy → ingest → drain → undeploy
+//!    → redeploy cycles on a live 2-worker runtime. Proves the
+//!    lifecycle control plane leaks no scheduler state: after N full
+//!    cycles the queue is empty, the slot was reused every cycle, and
+//!    the artifact records what retirement purged. The per-cycle cost
+//!    is the control-plane overhead a multi-tenant operator pays for
+//!    tenant arrival/departure (PAPER §6, Fig 8's dynamic workload).
+//!
 //! Output: a table on stdout and `BENCH_sharded_scheduler.json` in the
 //! current directory, so later PRs have a perf trajectory to compare
 //! against. The artifact records the CPU count and whether workers were
@@ -481,12 +489,12 @@ fn run_net_ingest(frames_per_read: usize, measure: Duration) -> NetCell {
         .with_parallelism(1)
         .with_keys(8),
     );
-    let job = rt.deploy(&spec, &Default::default());
+    let job = rt.deploy(&spec, &Default::default()).expect("deploy");
     let server = IngestServer::start(rt.clone(), "127.0.0.1:0").expect("bind loopback");
     let mut client = IngestClient::connect(server.local_addr()).expect("connect loopback");
     let burst: Vec<IngestFrame> = (0..frames_per_read)
         .map(|f| IngestFrame {
-            job: job.0,
+            job: job.slot(),
             source: 0,
             tuples: (0..TUPLES as u64)
                 .map(|i| {
@@ -538,6 +546,86 @@ fn run_net_ingest(frames_per_read: usize, measure: Duration) -> NetCell {
         net_batches: stats.net_batches,
         frames_coalesced: stats.frames_coalesced,
         batch_publications: stats.batch_publications,
+    }
+}
+
+/// One deploy→ingest→drain→undeploy→redeploy sweep; see module docs
+/// (experiment 4).
+struct ChurnCell {
+    cycles: u64,
+    us_per_cycle: f64,
+    /// Messages retirement had to purge (drain timeouts only — the
+    /// graceful drain should leave nothing).
+    purged: u64,
+    /// Stale submissions/executions dropped around retirement.
+    retired_drops: u64,
+    jobs_retired: u64,
+    queue_len_after: usize,
+    /// Every cycle landed in the same slot (the slot map reuses
+    /// retired slots instead of growing).
+    slot_reused: bool,
+}
+
+fn run_job_churn(cycles: u64) -> ChurnCell {
+    use cameo_dataflow::queries::AggQueryParams;
+    use cameo_runtime::prelude::*;
+
+    let rt = Runtime::start(
+        cameo_runtime::runtime::RuntimeConfig::default()
+            .with_workers(2)
+            .with_shards(2),
+    );
+    let spec = cameo_dataflow::queries::agg_query(
+        &AggQueryParams::new(
+            "churn-bench",
+            5_000,
+            cameo_core::time::Micros::from_millis(100),
+        )
+        .with_sources(2)
+        .with_parallelism(2)
+        .with_keys(8),
+    );
+    let mut purged = 0u64;
+    let mut slot_reused = true;
+    let mut first_slot = None;
+    let t0 = Instant::now();
+    for c in 0..cycles {
+        let job = rt.deploy(&spec, &Default::default()).expect("deploy");
+        match first_slot {
+            None => first_slot = Some(job.slot()),
+            Some(s) => slot_reused &= job.slot() == s,
+        }
+        for source in 0..2u32 {
+            let tuples: Vec<cameo_dataflow::event::Tuple> = (0..32u64)
+                .map(|i| {
+                    cameo_dataflow::event::Tuple::new(
+                        i % 8,
+                        1,
+                        cameo_core::time::LogicalTime(1 + c * 10_000 + i),
+                    )
+                })
+                .collect();
+            rt.ingest(job, source, tuples).expect("ingest");
+        }
+        purged += rt.undeploy(job).expect("undeploy");
+    }
+    let elapsed = t0.elapsed();
+    let stats = rt.scheduler_stats();
+    let queue_len_after = rt.queue_len();
+    assert_eq!(
+        queue_len_after, 0,
+        "job churn leaked scheduler state: {queue_len_after} messages after {cycles} cycles"
+    );
+    assert!(slot_reused, "churn cycles must reuse the retired slot");
+    rt.shutdown();
+    ChurnCell {
+        cycles,
+        us_per_cycle: elapsed.as_micros() as f64 / cycles as f64,
+        purged,
+        retired_drops: stats.retired_drops,
+        jobs_retired: stats.jobs_retired,
+        queue_len_after,
+        slot_reused,
     }
 }
 
@@ -692,6 +780,20 @@ fn main() {
         );
     }
 
+    println!("\njob churn (deploy -> ingest -> drain -> undeploy -> redeploy, 2 workers)");
+    let churn_cycles = if args.quick { 20 } else { 100 };
+    let churn = run_job_churn(churn_cycles);
+    println!(
+        "  {} cycles: {:.0} us/cycle, purged {} (drain-timeout leftovers), \
+         retired_drops {}, queue after: {} (slot reused: {})",
+        churn.cycles,
+        churn.us_per_cycle,
+        churn.purged,
+        churn.retired_drops,
+        churn.queue_len_after,
+        churn.slot_reused
+    );
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"sharded_scheduler\",\n  \"unit\": \"msgs_per_sec\",\n");
     json.push_str(&format!(
@@ -734,7 +836,18 @@ fn main() {
             if i + 1 == net_cells.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"job_churn\": {{\"cycles\": {}, \"us_per_cycle\": {:.1}, \"purged\": {}, \"retired_drops\": {}, \"jobs_retired\": {}, \"queue_len_after\": {}, \"slot_reused\": {}}}\n",
+        churn.cycles,
+        churn.us_per_cycle,
+        churn.purged,
+        churn.retired_drops,
+        churn.jobs_retired,
+        churn.queue_len_after,
+        churn.slot_reused
+    ));
+    json.push_str("}\n");
     let mut f = std::fs::File::create(&out_path).expect("create bench artifact");
     f.write_all(json.as_bytes()).expect("write bench artifact");
     println!("wrote {out_path}");

@@ -19,19 +19,33 @@
 //!
 //! ## Quickstart
 //!
+//! The control plane is fallible and full-lifecycle: `deploy` validates
+//! the job graph and returns `Result`, every per-job call checks the
+//! generational [`JobHandle`](runtime::runtime::JobHandle), and
+//! `undeploy` drains and retires a job, freeing its slot for reuse —
+//! a stale handle gets `JobError::Stale`, never another job's data.
+//!
 //! ```no_run
 //! use cameo::prelude::*;
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Deploy a 1s tumbling-window aggregation with an 800ms target.
 //! let rt = Runtime::start(RuntimeConfig::default().with_workers(4));
 //! let spec = ipq1(1_000_000, Micros::from_millis(800));
-//! let job = rt.deploy(&spec, &ExpandOptions::default());
+//! let job = rt.deploy(&spec, &ExpandOptions::default())?;
 //!
 //! // Feed events and read windowed outputs.
-//! rt.ingest(job, 0, vec![Tuple::new(7, 42, LogicalTime(0))]);
-//! let stats = rt.job_stats(job);
+//! rt.ingest(job, 0, vec![Tuple::new(7, 42, LogicalTime(0))])?;
+//! let stats = rt.job_stats(job)?;
 //! println!("p99 latency so far: {}", stats.p99);
+//!
+//! // Tear the job down: drain in-flight work, retire it in the
+//! // scheduler, recycle the slot.
+//! rt.undeploy(job)?;
+//! assert!(rt.job_stats(job).is_err(), "handle is stale now");
 //! rt.shutdown();
+//! # Ok(())
+//! # }
 //! ```
 
 pub use cameo_core as core;

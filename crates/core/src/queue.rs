@@ -25,7 +25,7 @@
 //! the sharded scheduler advertises) as a [`PushOutcome`] without a
 //! separate heap peek.
 
-use crate::ids::OperatorKey;
+use crate::ids::{JobId, OperatorKey};
 use crate::priority::Priority;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -303,6 +303,39 @@ impl<M> TwoLevelQueue<M> {
         self.ops.get(&lease.key).and_then(|o| o.head_priority())
     }
 
+    /// Drop every pending message belonging to `job`, across all of its
+    /// operators, and remove the operators from the queue. Returns the
+    /// number of messages dropped.
+    ///
+    /// Unleased operators are removed outright; their heap entries go
+    /// stale and are cleaned lazily (the eager-valid top invariant is
+    /// restored before returning). A *leased* operator keeps its entry
+    /// until the holder checks the lease back in — its message queue is
+    /// emptied here, so the holder's next `next_message` returns `None`
+    /// and the eventual [`check_in`](Self::check_in) finds nothing to
+    /// re-post. This is what makes job retirement safe to run while
+    /// workers hold leases: no lease is ever invalidated under a
+    /// worker's feet, it just runs dry.
+    pub fn purge_job(&mut self, job: JobId) -> usize {
+        let mut purged = 0usize;
+        self.ops.retain(|key, op| {
+            if key.job != job {
+                return true;
+            }
+            purged += op.msgs.len();
+            op.msgs.clear();
+            // Invalidate any live heap entry for this operator: the
+            // version guard makes posted entries stale whether the
+            // OpState survives (leased) or not (removed).
+            op.version += 1;
+            op.posted = None;
+            op.leased
+        });
+        self.msg_count -= purged;
+        self.clean_head();
+        purged
+    }
+
     /// Return a lease. If the operator still has pending messages it
     /// re-enters the heap at its current head priority.
     pub fn check_in(&mut self, lease: OperatorLease) {
@@ -500,6 +533,57 @@ mod tests {
         assert!(q.peek_best().is_none());
         assert!(q.pop_operator().is_none());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn purge_job_drops_messages_and_operators() {
+        let mut q = TwoLevelQueue::new();
+        let other = OperatorKey::new(JobId(7), 0);
+        q.push(key(1), 1, pri(10));
+        q.push(key(1), 2, pri(20));
+        q.push(key(2), 3, pri(5));
+        q.push(other, 4, pri(1));
+        assert_eq!(q.purge_job(JobId(0)), 3);
+        assert_eq!(q.len(), 1);
+        // Only the other job's operator remains poppable.
+        let lease = q.pop_operator().unwrap();
+        assert_eq!(lease.key, other);
+        assert_eq!(q.next_message(&lease).unwrap().0, 4);
+        q.check_in(lease);
+        assert!(q.pop_operator().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn purge_job_runs_leased_operator_dry() {
+        let mut q = TwoLevelQueue::new();
+        q.push(key(1), 1, pri(10));
+        q.push(key(1), 2, pri(20));
+        let lease = q.pop_operator().unwrap();
+        assert_eq!(q.next_message(&lease).unwrap().0, 1);
+        // Purge while the lease is out: the remaining message vanishes,
+        // the lease itself stays valid.
+        assert_eq!(q.purge_job(JobId(0)), 1);
+        assert!(q.next_message(&lease).is_none());
+        q.check_in(lease);
+        assert!(q.is_empty());
+        assert!(q.pop_operator().is_none());
+        // The key is reusable afterwards (slot reuse).
+        q.push(key(1), 9, pri(1));
+        let lease = q.pop_operator().unwrap();
+        assert_eq!(q.next_message(&lease).unwrap().0, 9);
+        q.check_in(lease);
+    }
+
+    #[test]
+    fn purge_job_keeps_heap_top_valid() {
+        let mut q = TwoLevelQueue::new();
+        let other = OperatorKey::new(JobId(7), 0);
+        // The purged job holds the heap top; the survivor must surface.
+        q.push(key(1), 1, pri(1));
+        q.push(other, 2, pri(50));
+        assert_eq!(q.purge_job(JobId(0)), 1);
+        assert_eq!(q.peek_best(), Some((other, pri(50))));
     }
 
     #[test]

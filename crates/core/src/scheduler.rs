@@ -75,6 +75,19 @@ pub struct SchedulerStats {
     /// produced. `frames_coalesced / net_batches` is the achieved
     /// frames-per-read coalescing ratio. Filled by the runtime layer.
     pub net_batches: u64,
+    /// Jobs retired via
+    /// [`ShardedScheduler::retire_job`](crate::shard::ShardedScheduler::retire_job).
+    pub jobs_retired: u64,
+    /// Messages removed from the queues and mailboxes by job
+    /// retirement: the backlog a retiring job left behind after its
+    /// graceful drain window.
+    pub messages_purged: u64,
+    /// Messages dropped because they addressed a retired job: straggler
+    /// submissions refused at ingress or at mailbox drain, plus (when
+    /// filled by the runtime layer) in-flight executions abandoned at a
+    /// generation check. Flat-at-zero in steady state; nonzero only
+    /// around job churn.
+    pub retired_drops: u64,
 }
 
 impl SchedulerStats {
@@ -92,6 +105,9 @@ impl SchedulerStats {
         self.batch_publications += other.batch_publications;
         self.frames_coalesced += other.frames_coalesced;
         self.net_batches += other.net_batches;
+        self.jobs_retired += other.jobs_retired;
+        self.messages_purged += other.messages_purged;
+        self.retired_drops += other.retired_drops;
     }
 }
 
@@ -247,6 +263,16 @@ impl<M> CameoScheduler<M> {
     /// next.
     pub fn release(&mut self, exec: Execution) {
         self.queue.check_in(exec.lease);
+    }
+
+    /// Retire `job`: drop every pending message of its operators and
+    /// remove them from the queue (leased operators run dry — see
+    /// [`TwoLevelQueue::purge_job`]). Returns the number of messages
+    /// purged; [`SchedulerStats::messages_purged`] accumulates it.
+    pub fn retire(&mut self, job: crate::ids::JobId) -> usize {
+        let purged = self.queue.purge_job(job);
+        self.stats.messages_purged += purged as u64;
+        purged
     }
 
     /// Peek the priority of the most urgent available operator. O(1)

@@ -83,12 +83,12 @@
 //! waiting. `tests/mailbox_stress.rs` hammers exactly this window.
 
 use crate::config::SchedulerConfig;
-use crate::ids::OperatorKey;
+use crate::ids::{JobId, OperatorKey};
 use crate::mailbox::{Mail, MailChain, Mailbox};
 use crate::priority::Priority;
 use crate::scheduler::{CameoScheduler, Decision, Execution, SchedulerStats};
 use crate::time::{Micros, PhysicalTime};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{fence, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
@@ -216,6 +216,29 @@ pub struct ShardedScheduler<M> {
     /// audits the one-CAS-per-shard amortization. Counted only on the
     /// batch path — per-message `submit` stays free of extra RMWs.
     batch_pubs: AtomicU64,
+    /// Jobs currently retired: their messages are refused at ingress
+    /// and dropped at mailbox drain, and their operators are never
+    /// leased. Populated by [`retire_job`](Self::retire_job), cleared
+    /// per job by [`reinstate_job`](Self::reinstate_job) when a runtime
+    /// reuses the job id. Lock ordering: this mutex may be taken while
+    /// a shard core lock is held (drain-time checks), never the other
+    /// way around.
+    retired: Mutex<HashSet<JobId>>,
+    /// 64-bit membership fingerprint over `retired` (bit `slot % 64`).
+    /// Submit-side checks test one bit before touching the set mutex,
+    /// so ingress for *live* jobs stays lock-free even while other
+    /// slots sit retired indefinitely (a tenant scaled down without a
+    /// replacement). A false positive (two slots colliding mod 64)
+    /// just pays the mutex; correctness never depends on the bit.
+    retired_fp: AtomicU64,
+    jobs_retired: AtomicU64,
+    retired_drops: AtomicU64,
+}
+
+/// The fingerprint bit for a job slot.
+#[inline]
+fn fp_bit(job: JobId) -> u64 {
+    1u64 << (job.0 % 64)
 }
 
 impl<M> ShardedScheduler<M> {
@@ -248,7 +271,31 @@ impl<M> ShardedScheduler<M> {
             cross_swaps: AtomicU64::new(0),
             mailbox_drained: AtomicU64::new(0),
             batch_pubs: AtomicU64::new(0),
+            retired: Mutex::new(HashSet::new()),
+            retired_fp: AtomicU64::new(0),
+            jobs_retired: AtomicU64::new(0),
+            retired_drops: AtomicU64::new(0),
         }
+    }
+
+    /// Lock-free pre-filter: false means `job` is definitely not
+    /// retired (the overwhelmingly common case on ingress, one load +
+    /// one AND); true means "check the set". The fingerprint is stored
+    /// before the retirement fence, so any submitter ordered after the
+    /// mark sees the bit.
+    #[inline]
+    fn maybe_retired(&self, job: JobId) -> bool {
+        self.retired_fp.load(Ordering::SeqCst) & fp_bit(job) != 0
+    }
+
+    /// True when `job` is currently retired. Callers should gate on
+    /// [`maybe_retired`](Self::maybe_retired) first to keep the set
+    /// lock off the hot path.
+    fn is_retired(&self, job: JobId) -> bool {
+        self.retired
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .contains(&job)
     }
 
     /// Number of shards in use.
@@ -288,18 +335,62 @@ impl<M> ShardedScheduler<M> {
     /// queue (capped by `mailbox_drain_batch`), in submission order.
     /// Must be called with the shard lock held (the `core` borrow
     /// proves it).
-    fn drain_locked(&self, s: usize, core: &mut ShardCore<M>) {
+    ///
+    /// Retired jobs' mail is dropped instead of admitted (zero happens
+    /// outside churn windows). The return value counts those drops —
+    /// all of them when `count_job` is `None`, or only the named job's
+    /// when `Some` (so `retire_job` can attribute its purge total to
+    /// the job actually being retired, not to other concurrently
+    /// retiring jobs' stragglers swept up in the same drain).
+    fn drain_locked(&self, s: usize, core: &mut ShardCore<M>, count_job: Option<JobId>) -> usize {
+        let mut retired_dropped = 0usize;
         let sh = &self.shards[s];
         if !sh.mailbox.is_empty() {
             let pending = &mut core.pending;
             let pending_min = &mut core.pending_min;
-            sh.mailbox.drain(|mail| {
-                *pending_min = (*pending_min).min(hint_of(mail.pri));
-                pending.push_back(mail);
-            });
+            let fp = self.retired_fp.load(Ordering::SeqCst);
+            if fp == 0 {
+                sh.mailbox.drain(|mail| {
+                    *pending_min = (*pending_min).min(hint_of(mail.pri));
+                    pending.push_back(mail);
+                });
+            } else {
+                // Straggler mail for retired jobs (a producer's CAS that
+                // raced the retirement mark) is discarded here, so a
+                // retired job's messages can never re-enter a queue.
+                // Per-mail fingerprint test first; the set mutex is
+                // taken lazily on the first bit hit, so live jobs' mail
+                // drains lock-free even while other slots sit retired.
+                let mut retired: Option<MutexGuard<'_, HashSet<JobId>>> = None;
+                let mut dropped = 0usize;
+                let mut counted = 0usize;
+                sh.mailbox.drain(|mail| {
+                    if fp & fp_bit(mail.key.job) != 0 {
+                        let set = retired.get_or_insert_with(|| {
+                            self.retired.lock().unwrap_or_else(|p| p.into_inner())
+                        });
+                        if set.contains(&mail.key.job) {
+                            dropped += 1;
+                            if count_job.is_none_or(|j| j == mail.key.job) {
+                                counted += 1;
+                            }
+                            return;
+                        }
+                    }
+                    *pending_min = (*pending_min).min(hint_of(mail.pri));
+                    pending.push_back(mail);
+                });
+                drop(retired);
+                if dropped > 0 {
+                    sh.msgs.fetch_sub(dropped, Ordering::Relaxed);
+                    self.retired_drops
+                        .fetch_add(dropped as u64, Ordering::Relaxed);
+                    retired_dropped = counted;
+                }
+            }
         }
         if core.pending.is_empty() {
-            return;
+            return retired_dropped;
         }
         let cap = if self.drain_batch == 0 {
             usize::MAX
@@ -320,6 +411,7 @@ impl<M> ShardedScheduler<M> {
         if admitted > 0 {
             self.mailbox_drained.fetch_add(admitted, Ordering::Relaxed);
         }
+        retired_dropped
     }
 
     /// Recompute a shard's best-priority hint exactly (O(1): the
@@ -365,6 +457,13 @@ impl<M> ShardedScheduler<M> {
     /// submitter cannot block the worker draining the same shard.
     pub fn submit(&self, key: OperatorKey, msg: M, pri: Priority) -> Submission {
         let s = self.shard_of(key);
+        if self.maybe_retired(key.job) && self.is_retired(key.job) {
+            self.retired_drops.fetch_add(1, Ordering::Relaxed);
+            return Submission {
+                shard: s,
+                hint_improved: false,
+            };
+        }
         if !self.use_mailbox {
             return self.submit_locked(s, key, msg, pri);
         }
@@ -398,7 +497,52 @@ impl<M> ShardedScheduler<M> {
     where
         I: IntoIterator<Item = (OperatorKey, M, Priority)>,
     {
-        let items = items.into_iter();
+        let fp = self.retired_fp.load(Ordering::SeqCst);
+        if fp == 0 {
+            return self.submit_batch_inner(items.into_iter());
+        }
+        // Retirements exist somewhere: filter per item through the
+        // fingerprint, consulting the set only on a bit hit — batches
+        // of live jobs stay lock-free and allocation-free even while
+        // other slots sit retired indefinitely. Verdicts are memoized
+        // per distinct job, so a fingerprint collision costs one set
+        // lookup per job per batch, not one per message. Each lookup
+        // takes the set mutex *briefly and on its own* (`is_retired`):
+        // the filter runs lazily inside the submission loop, so holding
+        // a cached guard across it would self-deadlock against
+        // `submit`'s own retirement check on the small-batch path and
+        // invert the core→retired lock order on the locked-ingress
+        // path.
+        let mut verdicts: Vec<(JobId, bool)> = Vec::new();
+        let mut dropped = 0usize;
+        let n = self.submit_batch_inner(items.into_iter().filter(|(key, _, _)| {
+            if fp & fp_bit(key.job) == 0 {
+                return true;
+            }
+            let retired = match verdicts.iter().find(|(j, _)| *j == key.job) {
+                Some(&(_, r)) => r,
+                None => {
+                    let r = self.is_retired(key.job);
+                    verdicts.push((key.job, r));
+                    r
+                }
+            };
+            if retired {
+                dropped += 1;
+            }
+            !retired
+        }));
+        if dropped > 0 {
+            self.retired_drops
+                .fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+        n
+    }
+
+    fn submit_batch_inner<I>(&self, items: I) -> usize
+    where
+        I: Iterator<Item = (OperatorKey, M, Priority)>,
+    {
         if !self.use_mailbox {
             let mut total = 0usize;
             for (key, msg, pri) in items {
@@ -495,8 +639,27 @@ impl<M> ShardedScheduler<M> {
 
     fn try_acquire_at(&self, s: usize, now: PhysicalTime) -> Option<ShardExecution> {
         let mut core = self.lock(s);
-        self.drain_locked(s, &mut core);
-        let exec = core.q.acquire(now);
+        self.drain_locked(s, &mut core, None);
+        let exec = loop {
+            let Some(exec) = core.q.acquire(now) else {
+                break None;
+            };
+            // Refuse leases on retired jobs' operators: purge whatever
+            // the retirement sweep has not reached on this shard yet and
+            // try the next most urgent operator instead. The purge is
+            // counted once, as `messages_purged` (inside `retire`) —
+            // not also as `retired_drops` — keeping the two counters
+            // disjoint.
+            if self.maybe_retired(exec.key().job) && self.is_retired(exec.key().job) {
+                let purged = core.q.retire(exec.key().job);
+                if purged > 0 {
+                    self.shards[s].msgs.fetch_sub(purged, Ordering::Relaxed);
+                }
+                core.q.release(exec);
+                continue;
+            }
+            break Some(exec);
+        };
         // Refresh even on failure: a failed sweep must settle every
         // hint to EMPTY so park's fast path stops spinning.
         self.refresh_hint(s, &core);
@@ -557,7 +720,7 @@ impl<M> ShardedScheduler<M> {
             }
             {
                 let mut core = self.lock(pick);
-                self.drain_locked(pick, &mut core);
+                self.drain_locked(pick, &mut core, None);
                 self.refresh_hint(pick, &core);
             }
             let repick = self.pick_shard(home);
@@ -599,7 +762,7 @@ impl<M> ShardedScheduler<M> {
     /// is held become visible exactly as they did on the locked path.
     pub fn take_message(&self, exec: &ShardExecution) -> Option<(M, Priority)> {
         let mut core = self.lock(exec.shard);
-        self.drain_locked(exec.shard, &mut core);
+        self.drain_locked(exec.shard, &mut core, None);
         let out = core.q.take_message(&exec.exec);
         if out.is_some() {
             self.shards[exec.shard].msgs.fetch_sub(1, Ordering::Relaxed);
@@ -615,7 +778,7 @@ impl<M> ShardedScheduler<M> {
     pub fn decide(&self, exec: &ShardExecution, now: PhysicalTime) -> Decision {
         let mine = {
             let mut core = self.lock(exec.shard);
-            self.drain_locked(exec.shard, &mut core);
+            self.drain_locked(exec.shard, &mut core, None);
             match core.q.decide(&exec.exec, now) {
                 Decision::Continue => core.q.peek_next(&exec.exec),
                 other => return other,
@@ -649,10 +812,91 @@ impl<M> ShardedScheduler<M> {
     pub fn release(&self, exec: ShardExecution) -> bool {
         let s = exec.shard;
         let mut core = self.lock(s);
-        self.drain_locked(s, &mut core);
+        self.drain_locked(s, &mut core, None);
         core.q.release(exec.exec);
         self.refresh_hint(s, &core);
         self.shards[s].best.load(Ordering::Acquire) != EMPTY_HINT
+    }
+
+    /// Retire `job`: a first-class scheduler operation backing the
+    /// runtime's `undeploy`. Marks the job retired, then sweeps every
+    /// shard, purging the job's messages from the mailbox, the pending
+    /// overflow buffer and the two-level queue. Returns the total
+    /// number of messages purged.
+    ///
+    /// The mark is placed *before* the sweep, so from the sweep's point
+    /// of view the job's message population can only shrink: new
+    /// submissions are refused at ingress ([`submit`](Self::submit) /
+    /// [`submit_batch`](Self::submit_batch) drop them), straggler mail
+    /// that raced the mark is discarded at the next drain, and
+    /// [`acquire`](Self::acquire) refuses leases on the job's
+    /// operators. A lease already held when the mark lands simply runs
+    /// dry: its queued messages are purged and its holder's next
+    /// `take_message` returns `None` (the in-flight message a worker is
+    /// *currently executing* is outside the scheduler and is the
+    /// runtime's to abandon).
+    ///
+    /// The mark persists — and keeps refusing the `JobId` — until
+    /// [`reinstate_job`](Self::reinstate_job) clears it, which runtimes
+    /// call when they reuse the id for a new deployment.
+    pub fn retire_job(&self, job: JobId) -> usize {
+        {
+            let mut set = self.retired.lock().unwrap_or_else(|p| p.into_inner());
+            if set.insert(job) {
+                self.retired_fp.fetch_or(fp_bit(job), Ordering::SeqCst);
+                self.jobs_retired.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // SeqCst fence pairs with the submit paths' SeqCst RMWs: any
+        // producer that passed its retirement check before the mark has
+        // either published already (its mail is seen and purged or
+        // dropped below / at the next drain) or will re-check and drop.
+        fence(Ordering::SeqCst);
+        let mut purged = 0usize;
+        for s in 0..self.shards.len() {
+            let mut core = self.lock(s);
+            // Drain first: with the mark set, the job's mailbox entries
+            // are dropped (and counted) right here; `count_job` keeps
+            // other concurrently-retiring jobs' stragglers out of this
+            // job's purge total.
+            purged += self.drain_locked(s, &mut core, Some(job));
+            let before = core.pending.len();
+            core.pending.retain(|mail| mail.key.job != job);
+            let from_pending = before - core.pending.len();
+            core.pending_min = core
+                .pending
+                .iter()
+                .map(|m| hint_of(m.pri))
+                .min()
+                .unwrap_or(EMPTY_HINT);
+            let from_queue = core.q.retire(job);
+            let n = from_pending + from_queue;
+            if n > 0 {
+                purged += n;
+                self.shards[s].msgs.fetch_sub(n, Ordering::Relaxed);
+            }
+            // Overflow-buffer removals are detached-but-unadmitted mail,
+            // like mailbox stragglers — count them as retired drops so
+            // `messages_purged + retired_drops` covers the whole purge.
+            if from_pending > 0 {
+                self.retired_drops
+                    .fetch_add(from_pending as u64, Ordering::Relaxed);
+            }
+            self.refresh_hint(s, &core);
+        }
+        purged
+    }
+
+    /// Clear `job`'s retirement mark so the id can be deployed again
+    /// (slot reuse). A no-op when the job is not retired.
+    pub fn reinstate_job(&self, job: JobId) {
+        let mut set = self.retired.lock().unwrap_or_else(|p| p.into_inner());
+        if set.remove(&job) {
+            // Rebuild the fingerprint from the survivors: the removed
+            // slot's bit may be shared with another retired slot.
+            let fp = set.iter().fold(0u64, |fp, &j| fp | fp_bit(j));
+            self.retired_fp.store(fp, Ordering::SeqCst);
+        }
     }
 
     /// Total pending messages across shards (mailboxes included).
@@ -682,6 +926,8 @@ impl<M> ShardedScheduler<M> {
         total.cross_shard_swaps = self.cross_swaps.load(Ordering::Relaxed);
         total.mailbox_drained = self.mailbox_drained.load(Ordering::Relaxed);
         total.batch_publications = self.batch_pubs.load(Ordering::Relaxed);
+        total.jobs_retired = self.jobs_retired.load(Ordering::Relaxed);
+        total.retired_drops += self.retired_drops.load(Ordering::Relaxed);
         for sh in &self.shards {
             let a = sh.mailbox.arena_stats();
             total.node_reuse_hits += a.reuse_hits;
@@ -1081,6 +1327,153 @@ mod tests {
         assert_eq!(sh.take_message(&exec).unwrap().0, 8);
         sh.release(exec);
         assert!(sh.is_empty());
+    }
+
+    #[test]
+    fn retire_job_purges_across_shards_and_refuses_new_submits() {
+        let sh = sharded(4, 0);
+        let keep = OperatorKey::new(JobId(1), 0);
+        // Spread the doomed job across shards; keep one survivor.
+        for op in 0..16u32 {
+            sh.submit(key(op), op as u64, Priority::uniform(op as i64));
+        }
+        sh.submit(keep, 999, Priority::uniform(5));
+        assert_eq!(sh.len(), 17);
+        let purged = sh.retire_job(JobId(0));
+        assert_eq!(purged, 16, "every queued message of the job purged");
+        assert_eq!(sh.len(), 1, "survivor job untouched");
+        // New submissions for the retired id are refused on both paths.
+        sh.submit(key(0), 7, Priority::uniform(1));
+        assert_eq!(
+            sh.submit_batch((0..8u64).map(|i| (key(1), i, Priority::uniform(1)))),
+            0,
+            "batch for a retired job is dropped"
+        );
+        assert_eq!(sh.len(), 1);
+        assert_eq!(drain(&sh, 0), vec![999]);
+        let st = sh.stats();
+        assert_eq!(st.jobs_retired, 1);
+        // The 16 purged messages split between `messages_purged` (those
+        // already folded into a queue) and `retired_drops` (those still
+        // in a mailbox, discarded at the retirement drain); the 9
+        // post-retirement submissions are always `retired_drops`.
+        assert_eq!(st.messages_purged + st.retired_drops, 16 + 9);
+        // Reinstating the id makes it schedulable again (slot reuse).
+        sh.reinstate_job(JobId(0));
+        sh.submit(key(0), 42, Priority::uniform(1));
+        assert_eq!(drain(&sh, 0), vec![42]);
+    }
+
+    #[test]
+    fn retire_job_discards_straggler_mail_at_drain() {
+        // Mail that lands *after* the retirement mark (simulating a
+        // producer whose CAS raced the mark) must be discarded at the
+        // next drain, not admitted to the queue.
+        let sh = sharded(1, 0);
+        sh.retire_job(JobId(0));
+        // Bypass submit's ingress check: push straight into the mailbox
+        // like a racing producer whose check passed pre-mark.
+        sh.shards[0]
+            .mailbox
+            .push(key(3), 1u64, Priority::uniform(1));
+        sh.shards[0].msgs.fetch_add(1, Ordering::Relaxed);
+        assert!(drain(&sh, 0).is_empty(), "straggler mail never drains out");
+        assert!(sh.is_empty());
+        assert!(sh.stats().retired_drops >= 1);
+    }
+
+    #[test]
+    fn retire_job_runs_held_lease_dry() {
+        let sh = sharded(1, 0);
+        sh.submit(key(0), 1, Priority::uniform(1));
+        sh.submit(key(0), 2, Priority::uniform(2));
+        let exec = sh.acquire(0, PhysicalTime::ZERO).unwrap();
+        assert_eq!(sh.take_message(&exec).unwrap().0, 1);
+        // Retire while the lease is out: the remaining message vanishes
+        // and the holder's next take returns None.
+        assert_eq!(sh.retire_job(JobId(0)), 1);
+        assert!(sh.take_message(&exec).is_none());
+        sh.release(exec);
+        assert!(sh.is_empty());
+        assert!(sh.acquire(0, PhysicalTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn retire_counts_pending_overflow_purges() {
+        // With a capped drain batch, retirement finds messages in three
+        // places — mailbox, pending overflow, and the queue — and every
+        // one of them must land in `messages_purged + retired_drops`.
+        let sh = ShardedScheduler::<u64>::new(
+            SchedulerConfig::default()
+                .with_quantum(Micros(0))
+                .with_mailbox_drain_batch(2),
+        );
+        for i in 0..10u64 {
+            sh.submit(key(0), i, Priority::uniform(0));
+        }
+        // One acquire drains the mailbox into `pending` (admitting 2);
+        // consume one message, leaving work in both pending and queue.
+        let exec = sh.acquire(0, PhysicalTime::ZERO).unwrap();
+        assert_eq!(sh.take_message(&exec).unwrap().0, 0);
+        sh.release(exec);
+        let purged = sh.retire_job(JobId(0));
+        assert_eq!(purged, 9, "everything but the consumed message");
+        assert!(sh.is_empty());
+        let st = sh.stats();
+        assert_eq!(
+            st.messages_purged + st.retired_drops,
+            9,
+            "pending-overflow purges must be counted: {st:?}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_collisions_do_not_misroute_live_jobs() {
+        // JobId 64 shares JobId 0's fingerprint bit (64 % 64 == 0): a
+        // retired job 0 must not cause job 64's (false-positive path)
+        // or job 1's (clean-bit path) submissions to be refused.
+        let sh = sharded(2, 0);
+        sh.retire_job(JobId(0));
+        sh.submit(OperatorKey::new(JobId(64), 0), 7, Priority::uniform(1));
+        sh.submit(OperatorKey::new(JobId(1), 0), 8, Priority::uniform(2));
+        let mut got = drain(&sh, 0);
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8]);
+        // And the retired id itself stays refused.
+        sh.submit(key(0), 9, Priority::uniform(0));
+        assert!(drain(&sh, 0).is_empty());
+    }
+
+    #[test]
+    fn small_batch_with_retired_item_does_not_deadlock() {
+        // The ≤2-item batch path degrades to per-message `submit`,
+        // whose own retirement check takes the set mutex — the batch
+        // filter must not be holding it (regression: a cached guard
+        // across the submission loop self-deadlocked here).
+        let sh = sharded(1, 0);
+        sh.retire_job(JobId(0));
+        let live = OperatorKey::new(JobId(1), 0);
+        let n = sh.submit_batch(vec![
+            (key(0), 1u64, Priority::uniform(1)),
+            (live, 2u64, Priority::uniform(1)),
+        ]);
+        assert_eq!(n, 1, "retired item dropped, live item submitted");
+        assert_eq!(drain(&sh, 0), vec![2]);
+    }
+
+    #[test]
+    fn retirement_has_no_effect_on_other_jobs_order() {
+        let a = sharded(2, 0);
+        let b = sharded(2, 0);
+        let keep = |op: u32| OperatorKey::new(JobId(1), op);
+        for (i, g) in [9i64, 2, 7, 4].iter().enumerate() {
+            a.submit(keep(i as u32), i as u64, Priority::uniform(*g));
+            b.submit(keep(i as u32), i as u64, Priority::uniform(*g));
+        }
+        // Retiring an absent job must not perturb anything.
+        b.submit(key(50), 99, Priority::uniform(0));
+        b.retire_job(JobId(0));
+        assert_eq!(drain(&a, 0), drain(&b, 0));
     }
 
     #[test]

@@ -12,12 +12,16 @@ use cameo_core::time::{LogicalTime, PhysicalTime};
 /// logical time (stream progress).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Tuple {
+    /// Routing / grouping key.
     pub key: u64,
+    /// Payload value (aggregated, joined, filtered on).
     pub value: i64,
+    /// The tuple's logical time (stream progress coordinate).
     pub time: LogicalTime,
 }
 
 impl Tuple {
+    /// A tuple with the given key, value and logical time.
     pub fn new(key: u64, value: i64, time: LogicalTime) -> Self {
         Tuple { key, value, time }
     }
@@ -33,8 +37,11 @@ impl Tuple {
 ///   the paper's latency definition (§4.1).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Batch {
+    /// The tuples travelling together.
     pub tuples: Vec<Tuple>,
+    /// Stream progress after this batch (`p_M`).
     pub progress: LogicalTime,
+    /// Source-observation time of the latest contributing event (`t_M`).
     pub time: PhysicalTime,
 }
 
@@ -73,10 +80,12 @@ impl Batch {
         }
     }
 
+    /// Number of tuples in the batch.
     pub fn len(&self) -> usize {
         self.tuples.len()
     }
 
+    /// True when the batch carries no tuples (pure progress).
     pub fn is_empty(&self) -> bool {
         self.tuples.is_empty()
     }

@@ -7,7 +7,7 @@
 //! they schedule the same dataflow with the same contexts.
 
 use crate::event::Batch;
-use crate::graph::{JobSpec, Routing, StageId};
+use crate::graph::{GraphError, JobSpec, Routing, StageId};
 use crate::operator::{InstanceCtx, Operator, OperatorKind, WatermarkTracker};
 use cameo_core::context::ReplyContext;
 use cameo_core::ids::{JobId, OperatorKey};
@@ -52,6 +52,7 @@ pub struct OutRoute {
     /// Ordinal of this edge among the sender stage's out-edges — the
     /// profile key that reply contexts update (`HopInfo::edge`).
     pub edge: u32,
+    /// How batches fan out across the targets.
     pub routing: Routing,
     /// Slide pair for `TRANSFORM` at this hop.
     pub hop: HopInfo,
@@ -61,20 +62,28 @@ pub struct OutRoute {
 
 /// One operator instance of an expanded job.
 pub struct OperatorInstance {
+    /// The instance's scheduler key (job id + global instance index).
     pub key: OperatorKey,
+    /// Stage this instance belongs to.
     pub stage: StageId,
+    /// The stage's name (diagnostics).
     pub stage_name: String,
     /// Index within the stage.
     pub index: u32,
     /// `None` for ingest instances (events enter there; nothing runs).
     pub op: Option<Box<dyn Operator>>,
+    /// Per-operator Cameo context-conversion state.
     pub converter: ConverterState,
+    /// Pre-resolved outgoing routes.
     pub outs: Vec<OutRoute>,
     /// For each input channel: `(sender instance index, sender's
     /// out-edge ordinal)` — the reply path.
     pub channel_senders: Vec<(usize, u32)>,
+    /// True for instances of the job's sink stage.
     pub is_sink: bool,
+    /// Modeled per-message cost inherited from the stage.
     pub cost_hint: Micros,
+    /// Regular vs windowed triggering.
     pub kind: OperatorKind,
     /// Input-side stream progress per channel. Regular operators merge
     /// several input channels into each output channel, so their output
@@ -85,10 +94,12 @@ pub struct OperatorInstance {
 }
 
 impl OperatorInstance {
+    /// True for source instances (no operator; events enter here).
     pub fn is_ingest(&self) -> bool {
         self.op.is_none() && !self.is_sink
     }
 
+    /// Number of wired input channels.
     pub fn num_channels(&self) -> usize {
         self.channel_senders.len()
     }
@@ -112,9 +123,13 @@ impl OperatorInstance {
 
 /// A deployed job: all operator instances plus lookup tables.
 pub struct ExpandedJob {
+    /// The job id the instances are keyed under.
     pub id: JobId,
+    /// Job name.
     pub name: String,
+    /// End-to-end latency target.
     pub latency_constraint: Micros,
+    /// Every operator instance, indexed by `OperatorKey::op`.
     pub instances: Vec<OperatorInstance>,
     /// Instance indices of ingest (source) instances.
     pub ingests: Vec<usize>,
@@ -170,7 +185,21 @@ pub fn route_batch(route: &OutRoute, batch: &Batch) -> Vec<(usize, u32, Batch)> 
 
 impl ExpandedJob {
     /// Expand `spec` into operator instances for job `id`.
-    pub fn expand(spec: &JobSpec, id: JobId, opts: &ExpandOptions) -> ExpandedJob {
+    ///
+    /// The spec is re-validated first ([`JobSpec::validate`]): `JobSpec`
+    /// fields are public, so a hand-assembled spec that skipped
+    /// [`JobBuilder::build`](crate::graph::JobBuilder::build) is
+    /// rejected here with the precise [`GraphError`] instead of
+    /// panicking (or dividing by zero) somewhere inside an execution
+    /// engine. Both engines — `Runtime::deploy` and the simulator —
+    /// deploy exclusively through this function, which is what makes
+    /// deployment a total, fallible operation end to end.
+    pub fn expand(
+        spec: &JobSpec,
+        id: JobId,
+        opts: &ExpandOptions,
+    ) -> Result<ExpandedJob, GraphError> {
+        spec.validate()?;
         let nstages = spec.stages.len();
         // Global instance index per (stage, index).
         let mut stage_offsets = Vec::with_capacity(nstages);
@@ -322,14 +351,14 @@ impl ExpandedJob {
             }
         }
 
-        ExpandedJob {
+        Ok(ExpandedJob {
             id,
             name: spec.name.clone(),
             latency_constraint: spec.latency_constraint,
             instances,
             ingests,
             stage_offsets,
-        }
+        })
     }
 
     /// Instance lookup by `OperatorKey::op`.
@@ -337,6 +366,7 @@ impl ExpandedJob {
         &self.instances[op as usize]
     }
 
+    /// Mutable instance lookup by `OperatorKey::op`.
     pub fn instance_mut(&mut self, op: u32) -> &mut OperatorInstance {
         &mut self.instances[op as usize]
     }
@@ -381,7 +411,7 @@ mod tests {
 
     #[test]
     fn expansion_counts_and_offsets() {
-        let j = ExpandedJob::expand(&spec(), JobId(3), &ExpandOptions::default());
+        let j = ExpandedJob::expand(&spec(), JobId(3), &ExpandOptions::default()).unwrap();
         assert_eq!(j.instances.len(), 4 + 2 + 2 + 1);
         assert_eq!(j.stage_offsets, vec![0, 4, 6, 8]);
         assert_eq!(j.ingests, vec![0, 1, 2, 3]);
@@ -392,7 +422,7 @@ mod tests {
 
     #[test]
     fn channels_enumerate_senders() {
-        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default());
+        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default()).unwrap();
         // Each parse instance receives from all 4 sources (Partition).
         for p in 4..6 {
             assert_eq!(j.instances[p].num_channels(), 4);
@@ -408,7 +438,7 @@ mod tests {
 
     #[test]
     fn out_routes_carry_hops() {
-        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default());
+        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default()).unwrap();
         // parse -> agg hop: regular sender, windowed target.
         let parse = &j.instances[4];
         assert_eq!(parse.outs.len(), 1);
@@ -423,7 +453,7 @@ mod tests {
 
     #[test]
     fn profiles_seeded_from_hints() {
-        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default());
+        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default()).unwrap();
         // Source converter knows parse costs 10 and 20+30 lies below it.
         let src = &j.instances[0];
         let report = src.converter.profile.edge_report(0).unwrap();
@@ -439,14 +469,14 @@ mod tests {
             profile_alpha: Some(0.75),
             ..Default::default()
         };
-        let j = ExpandedJob::expand(&spec(), JobId(0), &opts);
+        let j = ExpandedJob::expand(&spec(), JobId(0), &opts).unwrap();
         for inst in &j.instances {
             assert_eq!(inst.converter.profile.alpha(), 0.75);
         }
         // Seeded priors survive the override.
         assert_eq!(j.instances[8].converter.profile.own_cost(), Micros(30));
         // Default stays at the crate default.
-        let d = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default());
+        let d = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default()).unwrap();
         assert_eq!(
             d.instances[0].converter.profile.alpha(),
             cameo_core::profile::DEFAULT_ALPHA
@@ -459,13 +489,13 @@ mod tests {
             seed_profiles: false,
             ..Default::default()
         };
-        let j = ExpandedJob::expand(&spec(), JobId(0), &opts);
+        let j = ExpandedJob::expand(&spec(), JobId(0), &opts).unwrap();
         assert!(j.instances[0].converter.profile.edge_report(0).is_none());
     }
 
     #[test]
     fn partition_routes_every_target_with_progress() {
-        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default());
+        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default()).unwrap();
         let src = &j.instances[0];
         let batch = Batch::new(
             (0..100).map(|k| Tuple::new(k, 1, LogicalTime(k))).collect(),
@@ -483,7 +513,7 @@ mod tests {
 
     #[test]
     fn partition_is_deterministic_by_key() {
-        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default());
+        let j = ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default()).unwrap();
         let src = &j.instances[0];
         let batch = Batch::new(vec![Tuple::new(42, 1, LogicalTime(0))], PhysicalTime(0));
         let a = route_batch(&src.outs[0], &batch);
@@ -502,7 +532,7 @@ mod tests {
         });
         b.connect(src, s, Routing::Broadcast);
         let spec = b.build().unwrap();
-        let j = ExpandedJob::expand(&spec, JobId(0), &ExpandOptions::default());
+        let j = ExpandedJob::expand(&spec, JobId(0), &ExpandOptions::default()).unwrap();
         let batch = Batch::new(vec![Tuple::new(1, 1, LogicalTime(0))], PhysicalTime(0));
         let routed = route_batch(&j.instances[0].outs[0], &batch);
         assert_eq!(routed.len(), 3);
@@ -515,9 +545,44 @@ mod tests {
             token_rate: Some((5, Micros::from_secs(1))),
             ..Default::default()
         };
-        let j = ExpandedJob::expand(&spec(), JobId(0), &opts);
+        let j = ExpandedJob::expand(&spec(), JobId(0), &opts).unwrap();
         assert!(j.instances[0].converter.tokens.is_some());
         assert!(j.instances[4].converter.tokens.is_none());
+    }
+
+    #[test]
+    fn expand_rejects_invalid_specs() {
+        use crate::graph::StageSpec;
+        use std::sync::Arc;
+        // A hand-assembled spec (builder skipped): no ingest stage.
+        let no_ingest = JobSpec {
+            name: "bad".into(),
+            latency_constraint: Micros(1),
+            time_domain: TimeDomain::IngestionTime,
+            stages: vec![StageSpec {
+                name: "only".into(),
+                parallelism: 1,
+                kind: OperatorKind::Regular,
+                cost_hint: Micros(1),
+                factory: Some(Arc::new(|_| Box::new(Passthrough))),
+            }],
+            edges: vec![],
+        };
+        assert_eq!(
+            ExpandedJob::expand(&no_ingest, JobId(0), &ExpandOptions::default())
+                .err()
+                .unwrap(),
+            crate::graph::GraphError::NoIngest
+        );
+        // Zero parallelism would expand to no instances.
+        let mut zero_par = spec();
+        zero_par.stages[1].parallelism = 0;
+        assert!(matches!(
+            ExpandedJob::expand(&zero_par, JobId(0), &ExpandOptions::default()).err().unwrap(),
+            crate::graph::GraphError::ZeroParallelism(ref s) if s == "parse"
+        ));
+        // A valid spec still expands.
+        assert!(ExpandedJob::expand(&spec(), JobId(0), &ExpandOptions::default()).is_ok());
     }
 
     #[test]

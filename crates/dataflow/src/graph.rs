@@ -35,8 +35,11 @@ pub type OperatorFactory = Arc<dyn Fn(&InstanceCtx) -> Box<dyn Operator> + Send 
 
 /// One stage of a job.
 pub struct StageSpec {
+    /// Stage name (diagnostics and error messages).
     pub name: String,
+    /// Operator instances this stage expands into.
     pub parallelism: u32,
+    /// Regular vs windowed triggering.
     pub kind: OperatorKind,
     /// Modeled per-message execution cost: seeds profiling and drives
     /// the simulator's cost model.
@@ -58,6 +61,7 @@ impl fmt::Debug for StageSpec {
 }
 
 impl StageSpec {
+    /// True for ingest (source) stages — they have no operator factory.
     pub fn is_ingest(&self) -> bool {
         self.factory.is_none()
     }
@@ -66,17 +70,25 @@ impl StageSpec {
 /// A directed stage-level edge.
 #[derive(Clone, Copy, Debug)]
 pub struct EdgeSpec {
+    /// Sending stage.
     pub from: StageId,
+    /// Receiving stage.
     pub to: StageId,
+    /// How batches fan out across the receiver's instances.
     pub routing: Routing,
 }
 
 /// A validated logical job.
 pub struct JobSpec {
+    /// Job name.
     pub name: String,
+    /// End-to-end latency target (drives deadline scheduling).
     pub latency_constraint: Micros,
+    /// Event-time vs ingestion-time semantics.
     pub time_domain: TimeDomain,
+    /// The stages, indexed by [`StageId`].
     pub stages: Vec<StageSpec>,
+    /// Stage-level edges.
     pub edges: Vec<EdgeSpec>,
 }
 
@@ -91,11 +103,19 @@ impl fmt::Debug for JobSpec {
     }
 }
 
-/// Errors produced by [`JobBuilder::build`].
+/// Errors produced by [`JobBuilder::build`] and
+/// [`JobSpec::validate`] — and therefore by every deployment path
+/// (`ExpandedJob::expand`, `Runtime::deploy`): an invalid job graph is
+/// rejected with one of these instead of panicking inside the engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
+    /// The job defines no stages at all.
     NoStages,
+    /// The job has no ingest stage, so no event could ever enter it.
     NoIngest,
+    /// A stage declares zero parallelism — it would expand to no
+    /// instances (and divide workloads by zero downstream).
+    ZeroParallelism(String),
     /// A non-ingest stage is unreachable from every ingest stage.
     Unreachable(String),
     /// An ingest stage has an incoming edge.
@@ -113,6 +133,9 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::NoStages => write!(f, "job has no stages"),
             GraphError::NoIngest => write!(f, "job has no ingest stage"),
+            GraphError::ZeroParallelism(s) => {
+                write!(f, "stage '{s}' declares zero parallelism")
+            }
             GraphError::Unreachable(s) => write!(f, "stage '{s}' is unreachable from any ingest"),
             GraphError::IngestHasInput(s) => write!(f, "ingest stage '{s}' has an incoming edge"),
             GraphError::Cyclic => write!(f, "stage graph contains a cycle"),
@@ -125,10 +148,12 @@ impl fmt::Display for GraphError {
 impl std::error::Error for GraphError {}
 
 impl JobSpec {
+    /// The stage with the given id.
     pub fn stage(&self, id: StageId) -> &StageSpec {
         &self.stages[id.0 as usize]
     }
 
+    /// `(global edge index, edge)` of every edge leaving `id`.
     pub fn out_edges(&self, id: StageId) -> impl Iterator<Item = (usize, &EdgeSpec)> {
         self.edges
             .iter()
@@ -136,6 +161,7 @@ impl JobSpec {
             .filter(move |(_, e)| e.from == id)
     }
 
+    /// `(global edge index, edge)` of every edge entering `id`.
     pub fn in_edges(&self, id: StageId) -> impl Iterator<Item = (usize, &EdgeSpec)> {
         self.edges
             .iter()
@@ -143,6 +169,7 @@ impl JobSpec {
             .filter(move |(_, e)| e.to == id)
     }
 
+    /// True when `id` has no outgoing edges (its outputs leave the job).
     pub fn is_sink(&self, id: StageId) -> bool {
         self.out_edges(id).next().is_none()
     }
@@ -177,9 +204,20 @@ impl JobSpec {
         self.stages.iter().map(|s| s.parallelism).sum()
     }
 
-    fn validate(&self) -> Result<(), GraphError> {
+    /// Validate the spec's structural invariants: at least one ingest
+    /// and one sink, no cycles, no unreachable or zero-parallelism
+    /// stages, no edges into ingests. [`JobBuilder::build`] runs this
+    /// automatically, but `JobSpec`'s fields are public, so every
+    /// deployment path ([`ExpandedJob::expand`](crate::expand::ExpandedJob::expand))
+    /// re-validates hand-assembled specs instead of trusting them.
+    pub fn validate(&self) -> Result<(), GraphError> {
         if self.stages.is_empty() {
             return Err(GraphError::NoStages);
+        }
+        for s in &self.stages {
+            if s.parallelism == 0 {
+                return Err(GraphError::ZeroParallelism(s.name.clone()));
+            }
         }
         let ingests: Vec<StageId> = (0..self.stages.len() as u32)
             .map(StageId)
@@ -250,6 +288,8 @@ pub struct JobBuilder {
 }
 
 impl JobBuilder {
+    /// Start building a job with the given name, latency target and
+    /// time domain.
     pub fn new(name: impl Into<String>, latency_constraint: Micros, domain: TimeDomain) -> Self {
         JobBuilder {
             name: name.into(),
@@ -299,11 +339,13 @@ impl JobBuilder {
         id
     }
 
+    /// Connect two stages with the given routing.
     pub fn connect(&mut self, from: StageId, to: StageId, routing: Routing) -> &mut Self {
         self.edges.push(EdgeSpec { from, to, routing });
         self
     }
 
+    /// Validate and produce the [`JobSpec`].
     pub fn build(self) -> Result<JobSpec, GraphError> {
         let spec = JobSpec {
             name: self.name,

@@ -12,6 +12,8 @@
 //! run — both the real-time runtime (`cameo-runtime`) and the simulator
 //! (`cameo-sim`) drive the same [`ExpandedJob`](expand::ExpandedJob).
 
+#![deny(missing_docs)]
+
 pub mod event;
 pub mod expand;
 pub mod graph;
@@ -20,6 +22,7 @@ pub mod ops;
 pub mod queries;
 pub mod window;
 
+/// Everything most dataflow users need.
 pub mod prelude {
     pub use crate::event::{Batch, Tuple};
     pub use crate::expand::{route_batch, ExpandOptions, ExpandedJob, OperatorInstance, OutRoute};

@@ -14,11 +14,17 @@ use cameo_core::transform::Slide;
 /// completion; carries the trigger step used by `TRANSFORM`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OperatorKind {
+    /// Triggers on every message (no frontier prediction).
     Regular,
-    Windowed { slide: Slide },
+    /// Triggers at window boundaries.
+    Windowed {
+        /// The window's slide (trigger step) in logical-time units.
+        slide: Slide,
+    },
 }
 
 impl OperatorKind {
+    /// The trigger step `TRANSFORM` uses for this operator.
     pub fn slide(&self) -> Slide {
         match *self {
             OperatorKind::Regular => Slide::UNIT,
@@ -44,6 +50,7 @@ pub struct InstanceCtx {
 }
 
 impl InstanceCtx {
+    /// Number of input channels wired into this instance.
     pub fn num_channels(&self) -> u32 {
         self.channels.len() as u32
     }
@@ -81,6 +88,7 @@ pub struct WatermarkTracker {
 }
 
 impl WatermarkTracker {
+    /// A tracker over `num_channels` input channels, all at progress 0.
     pub fn new(num_channels: usize) -> Self {
         assert!(num_channels > 0, "watermark tracker needs >= 1 channel");
         WatermarkTracker {
@@ -102,6 +110,7 @@ impl WatermarkTracker {
         self.per_channel.iter().copied().min().unwrap_or(0)
     }
 
+    /// Number of tracked channels.
     pub fn num_channels(&self) -> usize {
         self.per_channel.len()
     }

@@ -20,9 +20,13 @@ use std::collections::{BTreeMap, HashMap};
 /// Aggregation functions over tuple values within (window, key) groups.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Aggregation {
+    /// Sum of values.
     Sum,
+    /// Number of tuples.
     Count,
+    /// Minimum value.
     Min,
+    /// Maximum value.
     Max,
     /// Arithmetic mean (integer division).
     Mean,
@@ -84,6 +88,7 @@ pub struct WindowAggregate {
 }
 
 impl WindowAggregate {
+    /// A windowed aggregate over `num_channels` input channels.
     pub fn new(window: WindowSpec, agg: Aggregation, num_channels: u32) -> Self {
         WindowAggregate {
             window,
@@ -95,6 +100,7 @@ impl WindowAggregate {
         }
     }
 
+    /// Tuples dropped because they arrived behind the watermark.
     pub fn late_drops(&self) -> u64 {
         self.late_drops
     }

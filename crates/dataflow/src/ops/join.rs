@@ -56,6 +56,7 @@ impl WindowJoin {
         }
     }
 
+    /// Tuples dropped because they arrived behind the watermark.
     pub fn late_drops(&self) -> u64 {
         self.late_drops
     }

@@ -38,6 +38,8 @@ pub struct SessionWindow {
 }
 
 impl SessionWindow {
+    /// Gap-based session windows: a session closes after `gap` logical
+    /// units of silence on its key.
     pub fn new(gap: u64, num_channels: u32) -> Self {
         assert!(gap > 0, "session gap must be positive");
         SessionWindow {
@@ -47,6 +49,7 @@ impl SessionWindow {
         }
     }
 
+    /// Number of sessions currently open.
     pub fn open_sessions(&self) -> usize {
         self.open.len()
     }
@@ -132,6 +135,7 @@ pub struct TopK {
 }
 
 impl TopK {
+    /// Top-`k` keys by value sum per tumbling window.
     pub fn new(window_size: u64, k: usize, num_channels: u32) -> Self {
         assert!(k > 0);
         TopK {
@@ -192,6 +196,7 @@ pub struct DistinctCount {
 }
 
 impl DistinctCount {
+    /// Distinct values per key per tumbling window.
     pub fn new(window_size: u64, num_channels: u32) -> Self {
         DistinctCount {
             window: WindowSpec::tumbling(window_size),

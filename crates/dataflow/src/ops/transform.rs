@@ -11,6 +11,7 @@ pub struct MapOp<F: FnMut(Tuple) -> Tuple + Send> {
 }
 
 impl<F: FnMut(Tuple) -> Tuple + Send> MapOp<F> {
+    /// Map every tuple through `f`.
     pub fn new(f: F) -> Self {
         MapOp { f }
     }
@@ -35,6 +36,7 @@ pub struct FilterOp<F: FnMut(&Tuple) -> bool + Send> {
 }
 
 impl<F: FnMut(&Tuple) -> bool + Send> FilterOp<F> {
+    /// Keep tuples for which `f` returns true.
     pub fn new(f: F) -> Self {
         FilterOp { f }
     }
@@ -62,6 +64,7 @@ pub struct FlatMapOp<F: FnMut(Tuple, &mut Vec<Tuple>) + Send> {
 }
 
 impl<F: FnMut(Tuple, &mut Vec<Tuple>) + Send> FlatMapOp<F> {
+    /// Expand each tuple via `f`, which appends outputs to its `Vec`.
     pub fn new(f: F) -> Self {
         FlatMapOp { f }
     }
@@ -105,6 +108,8 @@ pub struct SpinMap {
 }
 
 impl SpinMap {
+    /// A passthrough that busy-spins for `spin` per batch (models UDF
+    /// cost in real time).
     pub fn new(spin: Micros) -> Self {
         SpinMap { spin }
     }

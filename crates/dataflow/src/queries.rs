@@ -22,9 +22,13 @@ use cameo_core::time::Micros;
 /// Per-stage modeled execution costs (per message).
 #[derive(Clone, Copy, Debug)]
 pub struct StageCosts {
+    /// Parse-stage cost.
     pub parse: Micros,
+    /// Local-aggregation-stage cost.
     pub agg: Micros,
+    /// Merge-stage cost.
     pub merge: Micros,
+    /// Final/sink-stage cost.
     pub final_: Micros,
 }
 
@@ -55,6 +59,7 @@ impl StageCosts {
 /// Parameters for a windowed aggregation query.
 #[derive(Clone, Debug)]
 pub struct AggQueryParams {
+    /// Job name (shows up in reports and deploy errors).
     pub name: String,
     /// Number of client sources (ingest parallelism).
     pub sources: u32,
@@ -66,11 +71,15 @@ pub struct AggQueryParams {
     pub window: u64,
     /// Slide for sliding windows; `None` = tumbling.
     pub slide: Option<u64>,
+    /// End-to-end latency target of the job.
     pub latency_constraint: Micros,
+    /// Event-time vs ingestion-time semantics.
     pub domain: TimeDomain,
+    /// The window's aggregation function.
     pub aggregation: Aggregation,
     /// Key-space size after parsing (group-by cardinality).
     pub keys: u64,
+    /// Modeled per-stage execution costs.
     pub costs: StageCosts,
 }
 
@@ -92,37 +101,45 @@ impl AggQueryParams {
         }
     }
 
+    /// Make the window sliding with the given slide (must divide the
+    /// window size).
     pub fn sliding(mut self, slide: u64) -> Self {
         assert!(slide > 0 && self.window.is_multiple_of(slide));
         self.slide = Some(slide);
         self
     }
 
+    /// Set the number of client sources.
     pub fn with_sources(mut self, n: u32) -> Self {
         self.sources = n;
         self
     }
 
+    /// Set the parse/local-aggregation parallelism.
     pub fn with_parallelism(mut self, p: u32) -> Self {
         self.parallelism = p;
         self
     }
 
+    /// Set the aggregation function.
     pub fn with_aggregation(mut self, a: Aggregation) -> Self {
         self.aggregation = a;
         self
     }
 
+    /// Set the time domain.
     pub fn with_domain(mut self, d: TimeDomain) -> Self {
         self.domain = d;
         self
     }
 
+    /// Set the modeled stage costs.
     pub fn with_costs(mut self, c: StageCosts) -> Self {
         self.costs = c;
         self
     }
 
+    /// Set the group-by key cardinality.
     pub fn with_keys(mut self, k: u64) -> Self {
         self.keys = k;
         self
@@ -227,14 +244,21 @@ pub fn agg_query(p: &AggQueryParams) -> JobSpec {
 /// Parameters for the windowed-join query (IPQ4 shape).
 #[derive(Clone, Debug)]
 pub struct JoinQueryParams {
+    /// Job name.
     pub name: String,
     /// Sources per input stream.
     pub sources: u32,
+    /// Parse/join parallelism.
     pub parallelism: u32,
+    /// Join-window size in logical units.
     pub window: u64,
+    /// End-to-end latency target of the job.
     pub latency_constraint: Micros,
+    /// Event-time vs ingestion-time semantics.
     pub domain: TimeDomain,
+    /// Key-space size after parsing.
     pub keys: u64,
+    /// Modeled per-stage execution costs.
     pub costs: StageCosts,
     /// Cost of the join stage itself (typically the heaviest — IPQ4 has
     /// "higher execution time with heavy memory access").
@@ -242,6 +266,7 @@ pub struct JoinQueryParams {
 }
 
 impl JoinQueryParams {
+    /// A sensibly sized default: 4 sources per stream, parallelism 4.
     pub fn new(name: impl Into<String>, window: u64, latency_constraint: Micros) -> Self {
         JoinQueryParams {
             name: name.into(),
@@ -385,7 +410,7 @@ mod tests {
             ipq3(1_000_000, Micros(800_000)),
             ipq4(1_000_000, Micros(800_000)),
         ] {
-            let j = ExpandedJob::expand(&spec, JobId(1), &ExpandOptions::default());
+            let j = ExpandedJob::expand(&spec, JobId(1), &ExpandOptions::default()).unwrap();
             assert!(!j.ingests.is_empty());
             assert!(j.instances.iter().any(|i| i.is_sink));
             // Every non-ingest instance has at least one input channel.

@@ -14,17 +14,27 @@ use cameo_core::transform::Slide;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WindowSpec {
     /// Consecutive, non-overlapping windows of `size` logical units.
-    Tumbling { size: u64 },
+    Tumbling {
+        /// Window size in logical units.
+        size: u64,
+    },
     /// Overlapping windows of `size` units advancing by `slide`.
-    Sliding { size: u64, slide: u64 },
+    Sliding {
+        /// Window size in logical units.
+        size: u64,
+        /// Advance step in logical units (divides `size`).
+        slide: u64,
+    },
 }
 
 impl WindowSpec {
+    /// A tumbling window of `size` logical units.
     pub fn tumbling(size: u64) -> Self {
         assert!(size > 0, "window size must be positive");
         WindowSpec::Tumbling { size }
     }
 
+    /// A sliding window of `size` units advancing by `slide`.
     pub fn sliding(size: u64, slide: u64) -> Self {
         assert!(slide > 0 && size >= slide, "need 0 < slide <= size");
         assert!(
@@ -43,6 +53,7 @@ impl WindowSpec {
         }
     }
 
+    /// The window's span in logical units.
     pub fn size(&self) -> u64 {
         match *self {
             WindowSpec::Tumbling { size } => size,

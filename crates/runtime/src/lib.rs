@@ -14,23 +14,30 @@
 //!
 //! let rt = Runtime::start(RuntimeConfig::default().with_workers(4));
 //! let spec = ipq1(1_000_000, Micros::from_millis(800));
-//! let job = rt.deploy(&spec, &ExpandOptions::default());
-//! rt.ingest(job, 0, vec![Tuple::new(1, 42, LogicalTime(0))]);
-//! let stats = rt.job_stats(job);
+//! let job = rt.deploy(&spec, &ExpandOptions::default()).expect("valid job graph");
+//! rt.ingest(job, 0, vec![Tuple::new(1, 42, LogicalTime(0))]).expect("job is live");
+//! let stats = rt.job_stats(job).expect("job is live");
 //! println!("outputs so far: {}", stats.outputs);
+//! rt.undeploy(job).expect("drain and retire");
 //! rt.shutdown();
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod msg;
 pub mod net;
 pub mod runtime;
 pub mod stats;
 
+/// Everything most runtime users need.
 pub mod prelude {
     pub use crate::msg::{FrameDecoder, RtMsg};
     pub use crate::net::{
         decode_payload, encode_frame, read_frame, IngestClient, IngestFrame, IngestServer,
     };
-    pub use crate::runtime::{IngestOutcome, JobHandle, OutputEvent, Runtime, RuntimeConfig};
+    pub use crate::runtime::{
+        DeployError, IngestOutcome, JobError, JobHandle, OutputEvent, OutputSubscription, Runtime,
+        RuntimeConfig,
+    };
     pub use crate::stats::{JobStats, JobStatsSnapshot};
 }

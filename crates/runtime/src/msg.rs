@@ -23,18 +23,32 @@ use std::io::{self, Read};
 /// Reply address: `(job index, instance index, sender out-edge)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SenderRef {
+    /// Jobs-table slot of the sending job.
     pub job: u32,
+    /// Instance index of the sending operator within the job.
     pub op: u32,
+    /// The sender's out-edge ordinal (the profile the reply updates).
     pub edge: u32,
 }
 
 /// One scheduled message.
 #[derive(Clone, Debug)]
 pub struct RtMsg {
+    /// Input channel at the target operator.
     pub channel: u32,
+    /// The tuple batch being delivered.
     pub batch: Batch,
+    /// The Cameo priority context the batch travels with.
     pub pc: PriorityContext,
+    /// Reply address for the acknowledgement (Reply Context) path.
     pub sender: Option<SenderRef>,
+    /// Generation of the jobs-table slot this message belongs to,
+    /// stamped at submission. Workers compare it against the slot's
+    /// current occupant before executing: a mismatch means the job was
+    /// undeployed (and the slot possibly reused) while this message was
+    /// in flight, and the message is dropped — a stale message must
+    /// never run against another job's operators.
+    pub gen: u32,
 }
 
 /// Maximum accepted frame, matching a generous batch of ~43k tuples.
@@ -47,8 +61,12 @@ pub const HEADER_WIRE: usize = 12;
 /// One decoded ingest frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IngestFrame {
+    /// Jobs-table slot of the target job (`JobHandle::slot()`); the
+    /// wire addresses the slot's current occupant.
     pub job: u32,
+    /// Source index within the job (taken modulo its ingest count).
     pub source: u32,
+    /// The frame's tuples.
     pub tuples: Vec<Tuple>,
 }
 

@@ -42,6 +42,20 @@
 //! executing instance's guard is dropped. No shard lock is ever held
 //! while an instance lock is held (the sharded scheduler acquires and
 //! releases its internal locks within each call).
+//!
+//! ## Job lifecycle
+//!
+//! The control plane is fallible and full-lifecycle: [`Runtime::deploy`]
+//! validates the job graph and returns `Result` (no panics on bad
+//! specs), every per-job entry point checks the handle against a
+//! **generational slot-map** jobs table, and [`Runtime::undeploy`]
+//! drains a job's in-flight work, retires it inside the scheduler
+//! ([`ShardedScheduler::retire_job`]) and frees its slot for reuse. A
+//! [`JobHandle`] is `(slot, generation)`: after undeploy the slot's
+//! generation advances, so a stale handle gets
+//! [`JobError::Stale`] — never another job's data — and a stale
+//! in-flight message is dropped at a generation check before it can
+//! touch the slot's new occupant.
 
 use crate::msg::{IngestFrame, RtMsg, SenderRef};
 use crate::stats::{JobStats, JobStatsSnapshot};
@@ -53,12 +67,14 @@ use cameo_core::shard::ShardedScheduler;
 use cameo_core::time::{Clock, Micros, PhysicalTime, SystemClock};
 use cameo_dataflow::event::{Batch, Tuple};
 use cameo_dataflow::expand::{route_batch, ExpandOptions, ExpandedJob, OperatorInstance};
-use cameo_dataflow::graph::JobSpec;
+use cameo_dataflow::graph::{GraphError, JobSpec};
+use std::fmt;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bound on how long an idle worker sleeps before rescanning all
 /// shards. This is the worst-case steal latency when every wakeup
@@ -68,15 +84,130 @@ const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 /// An output emitted by a job's sink operator.
 #[derive(Clone, Debug)]
 pub struct OutputEvent {
+    /// Handle of the job that produced the output.
     pub job: JobHandle,
+    /// The sink's output batch.
     pub batch: Batch,
+    /// End-to-end latency of the batch (arrival of its closing input to
+    /// this output).
     pub latency: Micros,
+    /// Wall-clock emission time.
     pub at: PhysicalTime,
 }
 
-/// Identifies a deployed job.
+/// Identifies a deployed job: a slot in the runtime's jobs table plus
+/// the slot's *generation* at deploy time.
+///
+/// Slots are reused after [`Runtime::undeploy`], but every reuse bumps
+/// the slot's generation, so a handle held across its job's retirement
+/// goes stale rather than silently addressing the slot's next occupant:
+/// every per-job entry point returns [`JobError::Stale`] for it. A
+/// handle is `Copy` and hashable — share it freely across threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct JobHandle(pub u32);
+pub struct JobHandle {
+    slot: u32,
+    gen: u32,
+}
+
+impl JobHandle {
+    /// The jobs-table slot this handle addresses. This is the job id
+    /// the scheduler keys on and the `job` field of the TCP ingest wire
+    /// format ([`IngestFrame::job`]) — the wire addresses slots, not
+    /// generations, so remote frames reach the slot's *current*
+    /// occupant (and are dropped, counted, while the slot is vacant).
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// The slot generation this handle was issued for. Stale once the
+    /// job is undeployed.
+    pub fn generation(&self) -> u32 {
+        self.gen
+    }
+}
+
+/// Why a deployment was rejected. Deployment is *total*: every invalid
+/// spec maps to an error here instead of a panic inside the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The job graph failed validation (see [`GraphError`]).
+    Graph(GraphError),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Graph(g) => write!(f, "invalid job graph: {g}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeployError::Graph(g) => Some(g),
+        }
+    }
+}
+
+impl From<GraphError> for DeployError {
+    fn from(g: GraphError) -> Self {
+        DeployError::Graph(g)
+    }
+}
+
+/// Why a per-job operation (`ingest`, `subscribe`, `job_stats`,
+/// `undeploy`) was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// The handle's generation no longer matches its slot: the job was
+    /// undeployed (and the slot possibly reused by a newer job). A
+    /// stale handle is *rejected*, never routed to the slot's new
+    /// occupant.
+    Stale,
+    /// The handle's slot was never allocated by this runtime — the
+    /// handle came from somewhere else entirely.
+    NotFound,
+    /// The job is mid-[`undeploy`](Runtime::undeploy): new ingest is
+    /// refused while in-flight work drains.
+    Draining,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Stale => write!(f, "stale job handle: the job was undeployed"),
+            JobError::NotFound => write!(f, "unknown job handle"),
+            JobError::Draining => write!(f, "job is draining (undeploy in progress)"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A live subscription to a job's sink outputs, returned by
+/// [`Runtime::subscribe`]. Dereferences to the underlying
+/// [`Receiver`], so `recv` / `try_recv` / `recv_timeout` / iteration
+/// all work directly on it.
+///
+/// Dropping the subscription is how unsubscription works: the runtime
+/// holds only a [`Weak`] liveness token per subscriber and prunes dead
+/// entries on every later `subscribe` call and on every output
+/// delivery, so abandoned subscriptions do not accumulate.
+pub struct OutputSubscription {
+    rx: Receiver<OutputEvent>,
+    /// Liveness token: the runtime's subscriber entry holds the `Weak`
+    /// side and treats an unupgradable token as "unsubscribed".
+    _alive: Arc<()>,
+}
+
+impl Deref for OutputSubscription {
+    type Target = Receiver<OutputEvent>;
+
+    fn deref(&self) -> &Receiver<OutputEvent> {
+        &self.rx
+    }
+}
 
 /// Outcome of one [`Runtime::ingest_frames`] call (one socket read's
 /// worth of frames).
@@ -84,7 +215,9 @@ pub struct JobHandle(pub u32);
 pub struct IngestOutcome {
     /// Frames routed and submitted.
     pub frames: usize,
-    /// Well-formed frames dropped because their job is not deployed.
+    /// Well-formed frames dropped because their jobs-table slot is
+    /// vacant (never deployed, or retired) or its occupant is draining
+    /// mid-`undeploy`.
     pub dropped: usize,
     /// Scheduler messages the submitted frames expanded into (what one
     /// `submit_batch` spliced across the shards).
@@ -93,8 +226,11 @@ pub struct IngestOutcome {
 
 /// Runtime configuration.
 pub struct RuntimeConfig {
+    /// Worker threads draining the scheduler (0 = queue-only runtime).
     pub workers: usize,
+    /// Scheduling quantum (§5.2; default 1 ms).
     pub quantum: Micros,
+    /// The priority policy building and interpreting contexts.
     pub policy: Arc<dyn Policy>,
     /// Scheduler shards. `0` (default) auto-sizes to
     /// `min(workers, 8)`; the count is always clamped to `workers` so
@@ -142,37 +278,45 @@ impl Default for RuntimeConfig {
 }
 
 impl RuntimeConfig {
+    /// Set the worker-thread count (must be nonzero here; construct the
+    /// struct literally for a 0-worker queue-only runtime).
     pub fn with_workers(mut self, n: usize) -> Self {
         assert!(n > 0);
         self.workers = n;
         self
     }
 
+    /// Set the scheduling quantum.
     pub fn with_quantum(mut self, q: Micros) -> Self {
         self.quantum = q;
         self
     }
 
+    /// Set the scheduling policy.
     pub fn with_policy(mut self, p: Arc<dyn Policy>) -> Self {
         self.policy = p;
         self
     }
 
+    /// Set the scheduler shard count (0 = auto-size).
     pub fn with_shards(mut self, n: usize) -> Self {
         self.shards = n;
         self
     }
 
+    /// Set the work-stealing urgency slack.
     pub fn with_steal_threshold(mut self, slack: Micros) -> Self {
         self.steal_threshold = slack;
         self
     }
 
+    /// Toggle lock-free mailbox ingress (on by default).
     pub fn with_mailbox(mut self, on: bool) -> Self {
         self.mailbox = on;
         self
     }
 
+    /// Cap mailbox messages admitted per lock acquisition (0 = all).
     pub fn with_mailbox_drain_batch(mut self, batch: usize) -> Self {
         self.mailbox_drain_batch = batch;
         self
@@ -207,20 +351,88 @@ impl RuntimeConfig {
     }
 }
 
+/// One subscriber entry: the event channel plus a liveness token (the
+/// strong side lives inside the handed-out [`OutputSubscription`]).
+struct Subscriber {
+    tx: Sender<OutputEvent>,
+    alive: Weak<()>,
+}
+
+impl Subscriber {
+    fn live(&self) -> bool {
+        self.alive.strong_count() > 0
+    }
+}
+
 struct JobRt {
     instances: Vec<Mutex<OperatorInstance>>,
     ingests: Vec<usize>,
     latency_constraint: Micros,
+    /// Generation of the jobs-table slot this job occupies; stamped
+    /// into every scheduler message and checked before execution.
+    gen: u32,
+    /// Set by `undeploy`: new ingest is refused while in-flight work
+    /// drains.
+    draining: AtomicBool,
+    /// Scheduler messages submitted for this job and not yet executed.
+    /// Batched increments at every submission point, one decrement per
+    /// executed message (program order on the same atomic guarantees a
+    /// worker's fan-out increment lands before its own decrement, so
+    /// the count never dips to zero while a causal chain is alive).
+    /// `undeploy` polls this for the graceful-drain phase.
+    inflight: AtomicU64,
     stats: Arc<JobStats>,
-    subscribers: Mutex<Vec<Sender<OutputEvent>>>,
+    subscribers: Mutex<Vec<Subscriber>>,
+}
+
+/// One slot of the generational jobs table.
+struct JobSlot {
+    /// Current generation. Bumped when the occupant is retired, which
+    /// is what invalidates outstanding handles and in-flight messages.
+    gen: u32,
+    /// The occupant, if any.
+    job: Option<Arc<JobRt>>,
+}
+
+/// The generational slot map behind every `JobHandle`.
+#[derive(Default)]
+struct JobsTable {
+    slots: Vec<JobSlot>,
+    /// Vacant slot indices, reused LIFO by `deploy`.
+    free: Vec<u32>,
+}
+
+impl JobsTable {
+    /// The slot's occupant, when the handle's generation is current.
+    fn get(&self, handle: JobHandle) -> Result<&Arc<JobRt>, JobError> {
+        let slot = self
+            .slots
+            .get(handle.slot as usize)
+            .ok_or(JobError::NotFound)?;
+        if slot.gen != handle.gen {
+            return Err(JobError::Stale);
+        }
+        // Generation bumps and occupancy change together under the
+        // write lock, so a matching generation implies an occupant;
+        // stay defensive anyway.
+        slot.job.as_ref().ok_or(JobError::Stale)
+    }
+
+    /// The current occupant of a raw slot index (wire-level lookup).
+    fn occupant(&self, slot: u32) -> Option<&Arc<JobRt>> {
+        self.slots.get(slot as usize).and_then(|s| s.job.as_ref())
+    }
 }
 
 struct Shared {
     clock: SystemClock,
     sched: ShardedScheduler<RtMsg>,
-    jobs: RwLock<Vec<Arc<JobRt>>>,
+    jobs: RwLock<JobsTable>,
     policy: Arc<dyn Policy>,
     shutdown: AtomicBool,
+    /// In-flight messages abandoned at the pre-execution generation
+    /// check (their job was undeployed while they sat in the queue).
+    stale_exec_drops: AtomicU64,
     /// Workers whose `sched_setaffinity` call succeeded.
     pinned: AtomicUsize,
     /// Deploy-time converter smoothing override (see `RuntimeConfig`).
@@ -238,6 +450,29 @@ struct Shared {
 /// rest of the runtime (mirrors the old parking_lot behavior).
 fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// RAII +1 on a job's in-flight count for the duration of one ingress
+/// call. Taken *before* the draining check (SeqCst on both sides, so
+/// either the ingress sees the draining flag and refuses, or
+/// `undeploy`'s drain wait sees the count and waits): without it, an
+/// ingress preempted between its draining check and its message-count
+/// increment could slip past a concurrent undeploy's drain, and tuples
+/// accepted with `Ok(())` would be silently discarded by the
+/// retirement purge.
+struct IngressGuard(Arc<JobRt>);
+
+impl IngressGuard {
+    fn new(jrt: &Arc<JobRt>) -> Self {
+        jrt.inflight.fetch_add(1, Ordering::SeqCst);
+        IngressGuard(jrt.clone())
+    }
+}
+
+impl Drop for IngressGuard {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl Shared {
@@ -278,6 +513,7 @@ impl Shared {
     ) {
         let jid = JobId(job);
         let constraint = jrt.latency_constraint;
+        let gen = jrt.gen;
         let mut inst = relock(&jrt.instances[ingest_idx]);
         let inst = &mut *inst;
         let converter = &mut inst.converter;
@@ -302,6 +538,7 @@ impl Shared {
                                 op: ingest_idx as u32,
                                 edge: route.edge,
                             }),
+                            gen,
                         },
                     ));
                 }
@@ -317,6 +554,9 @@ pub struct Runtime {
 }
 
 impl Runtime {
+    /// Start the runtime: spawn the worker pool and the sharded
+    /// scheduler per `config`. Jobs are deployed afterwards via
+    /// [`deploy`](Self::deploy).
     pub fn start(config: RuntimeConfig) -> Self {
         let shards = config.effective_shards();
         let mut sched_config = SchedulerConfig::default()
@@ -336,9 +576,10 @@ impl Runtime {
         let shared = Arc::new(Shared {
             clock: SystemClock::new(),
             sched: ShardedScheduler::new(sched_config),
-            jobs: RwLock::new(Vec::new()),
+            jobs: RwLock::new(JobsTable::default()),
             policy: config.policy.clone(),
             shutdown: AtomicBool::new(false),
+            stale_exec_drops: AtomicU64::new(0),
             pinned: AtomicUsize::new(0),
             // As with pinning: when set, the value deploys read comes
             // back out of the composed SchedulerConfig.
@@ -394,14 +635,63 @@ impl Runtime {
 
     /// Deploy a job; events may be ingested immediately afterwards.
     ///
-    /// Panics if the expanded job has no ingest operators: such a job
-    /// could never receive events, and catching it here (rather than as
-    /// a division-by-zero inside [`Runtime::ingest`]) points at the
-    /// actual mistake — a `JobSpec` whose first stage has no instances.
-    pub fn deploy(&self, spec: &JobSpec, opts: &ExpandOptions) -> JobHandle {
-        let mut jobs = self.shared.jobs.write().unwrap_or_else(|p| p.into_inner());
-        let id = JobId(jobs.len() as u32);
-        let mut exp = ExpandedJob::expand(spec, id, opts);
+    /// The spec is validated via the now-fallible
+    /// [`ExpandedJob::expand`]: an invalid graph (no ingest stage, a
+    /// cycle, zero parallelism, …) is rejected with the precise
+    /// [`GraphError`] instead of panicking — a division-by-zero deep in
+    /// [`Runtime::ingest`] used to be the failure mode for a job with
+    /// no source instances.
+    ///
+    /// Slots freed by [`undeploy`](Self::undeploy) are reused; the new
+    /// handle carries the slot's bumped generation, so handles to the
+    /// previous occupant stay invalid.
+    pub fn deploy(&self, spec: &JobSpec, opts: &ExpandOptions) -> Result<JobHandle, DeployError> {
+        // Reserve a slot under the write lock, but run the expansion
+        // *unlocked*: expanding builds every operator instance of the
+        // job and can be arbitrarily large, and holding the jobs write
+        // lock across it would stall every worker's per-message
+        // `jobs.read()`. A reserved-but-uninstalled slot is harmless —
+        // no handle for it exists yet, and wire frames addressing it
+        // are dropped as vacant.
+        let (slot, gen) = {
+            let mut jobs = self.shared.jobs.write().unwrap_or_else(|p| p.into_inner());
+            let slot = match jobs.free.pop() {
+                Some(s) => s,
+                None => {
+                    jobs.slots.push(JobSlot { gen: 0, job: None });
+                    (jobs.slots.len() - 1) as u32
+                }
+            };
+            (slot, jobs.slots[slot as usize].gen)
+        };
+        let id = JobId(slot);
+        // Hand the reserved slot back on *any* early exit — including a
+        // panic inside expansion, which runs user-supplied operator
+        // factories. Without this, a panicking factory would leak one
+        // permanently-vacant slot per failed deploy.
+        struct SlotReservation<'a> {
+            shared: &'a Shared,
+            slot: u32,
+            armed: bool,
+        }
+        impl Drop for SlotReservation<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.shared
+                        .jobs
+                        .write()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .free
+                        .push(self.slot);
+                }
+            }
+        }
+        let mut reservation = SlotReservation {
+            shared: &self.shared,
+            slot,
+            armed: true,
+        };
+        let mut exp = ExpandedJob::expand(spec, id, opts).map_err(DeployError::Graph)?;
         // Runtime-level smoothing override; a job-level choice in the
         // ExpandOptions wins over the runtime default.
         if let Some(alpha) = self.shared.profile_alpha {
@@ -411,35 +701,112 @@ impl Runtime {
                 }
             }
         }
-        assert!(
-            !exp.ingests.is_empty(),
-            "job '{}' expands to zero ingest operators; every deployable \
-             JobSpec needs at least one source instance",
-            spec.name
-        );
+        // Slot reuse: lift the scheduler-side retirement mark left by
+        // the previous occupant's undeploy, so the new job's messages
+        // are accepted again.
+        self.shared.sched.reinstate_job(id);
         let job = JobRt {
             ingests: exp.ingests.clone(),
             latency_constraint: exp.latency_constraint,
+            gen,
+            draining: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
             stats: Arc::new(JobStats::new(exp.latency_constraint)),
             subscribers: Mutex::new(Vec::new()),
             instances: exp.instances.into_iter().map(Mutex::new).collect(),
         };
-        jobs.push(Arc::new(job));
-        JobHandle(id.0)
+        // The slot is about to be occupied, not returned.
+        reservation.armed = false;
+        self.shared
+            .jobs
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .slots[slot as usize]
+            .job = Some(Arc::new(job));
+        Ok(JobHandle { slot, gen })
     }
 
-    /// Subscribe to a job's sink outputs.
-    pub fn subscribe(&self, job: JobHandle) -> Receiver<OutputEvent> {
+    /// Undeploy a job: gracefully drain its in-flight work (bounded by
+    /// a 5-second default — see
+    /// [`undeploy_within`](Self::undeploy_within)), then retire it.
+    /// Returns the number of messages the scheduler still had to purge
+    /// after the drain window (zero when the drain completed).
+    pub fn undeploy(&self, job: JobHandle) -> Result<u64, JobError> {
+        self.undeploy_within(job, Duration::from_secs(5))
+    }
+
+    /// [`undeploy`](Self::undeploy) with an explicit drain budget.
+    ///
+    /// The sequence is: mark the job draining (new `ingest` calls get
+    /// [`JobError::Draining`]; a concurrent `undeploy` of the same
+    /// handle gets it too), wait up to `drain` for the job's in-flight
+    /// message count to reach zero (skipped when the runtime has no
+    /// workers — nothing would ever drain), then retire the job in the
+    /// scheduler — [`ShardedScheduler::retire_job`] purges whatever the
+    /// drain left in every shard's mailbox and two-level queue and
+    /// keeps refusing the job id until the slot is redeployed — and
+    /// finally free the slot, bumping its generation so outstanding
+    /// handles and in-flight messages of the retired job are rejected
+    /// everywhere.
+    pub fn undeploy_within(&self, job: JobHandle, drain: Duration) -> Result<u64, JobError> {
+        let jrt = self.lookup(job)?;
+        if jrt.draining.swap(true, Ordering::SeqCst) {
+            return Err(JobError::Draining);
+        }
+        if !self.workers.is_empty() {
+            // SeqCst pairs with the ingress guards' SeqCst increment:
+            // an ingress that passed its draining check is visible
+            // here, so its messages are waited for, not purged.
+            let deadline = Instant::now() + drain;
+            while jrt.inflight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let purged = self.shared.sched.retire_job(JobId(job.slot)) as u64;
+        let mut jobs = self.shared.jobs.write().unwrap_or_else(|p| p.into_inner());
+        let slot = &mut jobs.slots[job.slot as usize];
+        slot.job = None;
+        slot.gen = slot.gen.wrapping_add(1);
+        jobs.free.push(job.slot);
+        Ok(purged)
+    }
+
+    /// Resolve a handle against the jobs table.
+    fn lookup(&self, job: JobHandle) -> Result<Arc<JobRt>, JobError> {
+        self.shared
+            .jobs
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(job)
+            .cloned()
+    }
+
+    /// Subscribe to a job's sink outputs. Dropping the returned
+    /// [`OutputSubscription`] unsubscribes: dead subscribers are pruned
+    /// on every later `subscribe` and on every output delivery, so the
+    /// subscriber list never grows with abandoned receivers.
+    pub fn subscribe(&self, job: JobHandle) -> Result<OutputSubscription, JobError> {
+        let jrt = self.lookup(job)?;
         let (tx, rx) = channel();
-        let jobs = self.shared.jobs.read().unwrap_or_else(|p| p.into_inner());
-        relock(&jobs[job.0 as usize].subscribers).push(tx);
-        rx
+        let alive = Arc::new(());
+        let mut subs = relock(&jrt.subscribers);
+        subs.retain(Subscriber::live);
+        subs.push(Subscriber {
+            tx,
+            alive: Arc::downgrade(&alive),
+        });
+        Ok(OutputSubscription { rx, _alive: alive })
     }
 
     /// Ingest a batch of tuples at one of the job's sources. Tuples
     /// without meaningful event times may use `LogicalTime::ZERO`; the
     /// runtime stamps ingestion time in that case.
-    pub fn ingest(&self, job: JobHandle, source: u32, mut tuples: Vec<Tuple>) {
+    pub fn ingest(
+        &self,
+        job: JobHandle,
+        source: u32,
+        mut tuples: Vec<Tuple>,
+    ) -> Result<(), JobError> {
         let now = self.shared.now();
         // Ingestion-time stamping for tuples without event time.
         for t in tuples.iter_mut() {
@@ -448,29 +815,39 @@ impl Runtime {
             }
         }
         let batch = Batch::new(tuples, now);
-        self.ingest_batch(job, source, batch);
+        self.ingest_batch(job, source, batch)
     }
 
     /// Ingest a pre-stamped batch (arrival time is set to "now").
-    pub fn ingest_batch(&self, job: JobHandle, source: u32, mut batch: Batch) {
+    pub fn ingest_batch(
+        &self,
+        job: JobHandle,
+        source: u32,
+        mut batch: Batch,
+    ) -> Result<(), JobError> {
         let now = self.shared.now();
         batch.time = now;
-        let jrt = {
-            let jobs = self.shared.jobs.read().unwrap_or_else(|p| p.into_inner());
-            jobs[job.0 as usize].clone()
-        };
+        let jrt = self.lookup(job)?;
+        // Guard before the draining check — see [`IngressGuard`].
+        let _ingress = IngressGuard::new(&jrt);
+        if jrt.draining.load(Ordering::SeqCst) {
+            return Err(JobError::Draining);
+        }
         let ingest_idx = jrt.ingests[source as usize % jrt.ingests.len()];
         let mut outbound = Vec::new();
         self.shared.route_ingest(
             &jrt,
-            job.0,
+            job.slot,
             ingest_idx,
             std::slice::from_ref(&batch),
             &mut outbound,
         );
+        jrt.inflight
+            .fetch_add(outbound.len() as u64, Ordering::AcqRel);
         // One mailbox CAS + one hint update + one wake per shard for
         // the whole batch, instead of per-message traffic.
         self.shared.submit_batch(outbound);
+        Ok(())
     }
 
     /// Ingest a whole read's worth of decoded network frames as **one**
@@ -482,12 +859,15 @@ impl Runtime {
     /// [`ingest_batch`](Self::ingest_batch) and the entry point the TCP
     /// serve loop uses for frame coalescing.
     ///
-    /// Frames addressed to jobs this runtime has not deployed are
-    /// dropped and counted in the outcome (clients may race
-    /// deployment); unlike the in-process entry points, an unknown job
-    /// here is remote-input data, not a programming error, so it must
-    /// not panic. Tuples with `LogicalTime::ZERO` event times are
-    /// stamped with ingestion time, as in [`ingest`](Self::ingest).
+    /// Frames addressed to vacant slots (jobs never deployed, or
+    /// already retired) and to draining jobs are dropped and counted in
+    /// the outcome (clients may race deployment and undeployment);
+    /// unlike the in-process entry points, an unknown job here is
+    /// remote-input data, not a programming error, so it must not
+    /// panic. The wire addresses *slots* — a frame that races a slot's
+    /// reuse reaches the new occupant, exactly as a late packet to a
+    /// rebound port would. Tuples with `LogicalTime::ZERO` event times
+    /// are stamped with ingestion time, as in [`ingest`](Self::ingest).
     ///
     /// `SchedulerStats::net_batches` / `frames_coalesced` record each
     /// call and its frame count, so the achieved coalescing ratio is
@@ -495,47 +875,72 @@ impl Runtime {
     pub fn ingest_frames<I: IntoIterator<Item = IngestFrame>>(&self, frames: I) -> IngestOutcome {
         let now = self.shared.now();
         let mut out = IngestOutcome::default();
-        // Snapshot the deployed-jobs table (a Vec<Arc> clone) and drop
-        // the read lock before any routing: routing takes per-instance
-        // mutexes, and holding the jobs RwLock across those would let a
-        // slow UDF plus a waiting `deploy` (writer) stall every
-        // worker's own `jobs.read()`.
-        let jobs: Vec<Arc<JobRt>> = self
-            .shared
-            .jobs
-            .read()
-            .unwrap_or_else(|p| p.into_inner())
-            .clone();
+        // Resolve only the slots this read actually references (a
+        // typical read is one job), cloning each referenced `Arc` under
+        // a brief jobs-table read lock — never the whole table — and
+        // dropping the lock before any routing: routing takes
+        // per-instance mutexes, and holding the jobs RwLock across
+        // those would let a slow UDF plus a waiting `deploy` (writer)
+        // stall every worker's own `jobs.read()`. First-occurrence
+        // cache, so each distinct slot pays one lock acquisition per
+        // read regardless of frame count.
+        let mut seen: Vec<(u32, Option<Arc<JobRt>>)> = Vec::new();
+        // One ingress guard per live job this read touches, held until
+        // the call's messages are submitted — see [`IngressGuard`].
+        let mut ingress: Vec<IngressGuard> = Vec::new();
         // Group the read's frames by (job, ingest instance), keeping
         // first-seen group order and per-group frame order, so each
         // group pays its instance lock once — not once per frame.
-        let mut groups: Vec<(u32, usize, Vec<Batch>)> = Vec::new();
+        let mut groups: Vec<(u32, Arc<JobRt>, usize, Vec<Batch>)> = Vec::new();
         for frame in frames {
-            let Some(jrt) = jobs.get(frame.job as usize) else {
+            let slot = frame.job;
+            let jrt = match seen.iter().find(|(s, _)| *s == slot) {
+                Some((_, cached)) => cached.clone(),
+                None => {
+                    let occupant = self
+                        .shared
+                        .jobs
+                        .read()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .occupant(slot)
+                        .cloned();
+                    // Guard before the draining check (a rejected
+                    // guard drops immediately).
+                    let resolved = occupant.and_then(|j| {
+                        let guard = IngressGuard::new(&j);
+                        if j.draining.load(Ordering::SeqCst) {
+                            None
+                        } else {
+                            ingress.push(guard);
+                            Some(j)
+                        }
+                    });
+                    seen.push((slot, resolved.clone()));
+                    resolved
+                }
+            };
+            let Some(jrt) = jrt else {
                 out.dropped += 1;
                 continue;
             };
             let ingest_idx = jrt.ingests[frame.source as usize % jrt.ingests.len()];
-            let job = frame.job;
             let batch = frame.into_batch(now);
             match groups
                 .iter_mut()
-                .find(|(j, idx, _)| *j == job && *idx == ingest_idx)
+                .find(|(j, _, idx, _)| *j == slot && *idx == ingest_idx)
             {
-                Some((_, _, batches)) => batches.push(batch),
-                None => groups.push((job, ingest_idx, vec![batch])),
+                Some((_, _, _, batches)) => batches.push(batch),
+                None => groups.push((slot, jrt, ingest_idx, vec![batch])),
             }
             out.frames += 1;
         }
         let mut outbound = Vec::new();
-        for (job, ingest_idx, batches) in &groups {
-            self.shared.route_ingest(
-                &jobs[*job as usize],
-                *job,
-                *ingest_idx,
-                batches,
-                &mut outbound,
-            );
+        for (slot, jrt, ingest_idx, batches) in &groups {
+            let before = outbound.len();
+            self.shared
+                .route_ingest(jrt, *slot, *ingest_idx, batches, &mut outbound);
+            jrt.inflight
+                .fetch_add((outbound.len() - before) as u64, Ordering::AcqRel);
         }
         out.messages = outbound.len();
         if out.frames > 0 {
@@ -548,20 +953,22 @@ impl Runtime {
         out
     }
 
-    /// Latency statistics of a job's sink outputs.
-    pub fn job_stats(&self, job: JobHandle) -> JobStatsSnapshot {
-        self.shared.jobs.read().unwrap_or_else(|p| p.into_inner())[job.0 as usize]
-            .stats
-            .snapshot()
+    /// Latency statistics of a job's sink outputs. Available while the
+    /// job is draining (the last snapshot before retirement is often
+    /// the interesting one); stale once the job is gone.
+    pub fn job_stats(&self, job: JobHandle) -> Result<JobStatsSnapshot, JobError> {
+        Ok(self.lookup(job)?.stats.snapshot())
     }
 
     /// Scheduler counters, aggregated across shards, plus the
     /// runtime-level network-coalescing counters (`net_batches`,
-    /// `frames_coalesced`).
+    /// `frames_coalesced`) and the runtime's own stale-execution drops
+    /// (folded into `retired_drops`).
     pub fn scheduler_stats(&self) -> SchedulerStats {
         let mut stats = self.shared.sched.stats();
         stats.net_batches += self.shared.net_batches.load(Ordering::Relaxed);
         stats.frames_coalesced += self.shared.frames_coalesced.load(Ordering::Relaxed);
+        stats.retired_drops += self.shared.stale_exec_drops.load(Ordering::Relaxed);
         stats
     }
 
@@ -644,11 +1051,38 @@ fn worker_loop(sh: Arc<Shared>, home: usize) {
 
 /// Execute one message on its operator: run the UDF, record the cost,
 /// acknowledge upstream, route outputs downstream.
+///
+/// The message's slot generation is checked against the slot's current
+/// occupant first: a mismatch (or a vacant slot) means the message's
+/// job was undeployed while it was in flight, and it is dropped — a
+/// stale message must never execute against, or fan out into, the
+/// slot's new occupant.
 fn process_message(sh: &Arc<Shared>, key: cameo_core::ids::OperatorKey, msg: RtMsg) {
     let jrt = {
         let jobs = sh.jobs.read().unwrap_or_else(|p| p.into_inner());
-        jobs[key.job.0 as usize].clone()
+        jobs.occupant(key.job.0).cloned()
     };
+    let jrt = match jrt {
+        Some(jrt) if jrt.gen == msg.gen => jrt,
+        _ => {
+            sh.stale_exec_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    // This message's inflight decrement, released on *every* exit —
+    // including a panicking operator UDF unwinding through here.
+    // Without the guard, one UDF panic would strand the job's inflight
+    // count above zero forever and every later `undeploy` of the job
+    // would stall for its full drain budget. The fan-out increment
+    // below still precedes this drop on the normal path (guards drop
+    // at scope end), preserving the never-dips-to-zero ordering.
+    struct InflightMsg<'a>(&'a JobRt);
+    impl Drop for InflightMsg<'_> {
+        fn drop(&mut self) {
+            self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+    let _inflight = InflightMsg(&jrt);
     let op_idx = key.op as usize;
 
     let mut outbound: Vec<(usize, RtMsg)> = Vec::new();
@@ -697,6 +1131,7 @@ fn process_message(sh: &Arc<Shared>, key: cameo_core::ids::OperatorKey, msg: RtM
                                     op: sender_op,
                                     edge: route.edge,
                                 }),
+                                gen: msg.gen,
                             },
                         ));
                     }
@@ -707,31 +1142,50 @@ fn process_message(sh: &Arc<Shared>, key: cameo_core::ids::OperatorKey, msg: RtM
 
     if is_sink {
         let now = sh.now();
+        let handle = JobHandle {
+            slot: key.job.0,
+            gen: jrt.gen,
+        };
         for b in &outputs {
             jrt.stats.record(now, b.time, b.len());
             let mut subs = relock(&jrt.subscribers);
-            subs.retain(|tx| {
-                tx.send(OutputEvent {
-                    job: JobHandle(key.job.0),
-                    batch: b.clone(),
-                    latency: now - b.time,
-                    at: now,
-                })
-                .is_ok()
+            // Prune on delivery: a dropped OutputSubscription (dead
+            // liveness token) or a closed channel unsubscribes.
+            subs.retain(|s| {
+                s.live()
+                    && s.tx
+                        .send(OutputEvent {
+                            job: handle,
+                            batch: b.clone(),
+                            latency: now - b.time,
+                            at: now,
+                        })
+                        .is_ok()
             });
         }
     }
     if let Some((sender, rc)) = reply {
-        let sender_jrt = {
-            let jobs = sh.jobs.read().unwrap_or_else(|p| p.into_inner());
-            jobs[sender.job as usize].clone()
-        };
-        let mut inst = relock(&sender_jrt.instances[sender.op as usize]);
-        sh.policy
-            .process_reply(&mut inst.converter, sender.edge, &rc);
+        // Replies are intra-job (the sender is an upstream instance of
+        // the same dataflow), so the generation-checked `jrt` already
+        // is the right table entry — no second lookup, no stale risk.
+        // Enforced, not just assumed: a cross-job SenderRef (impossible
+        // today, but nothing in the type forbids it) must not index
+        // another job's instance vector, so it drops the reply instead.
+        debug_assert_eq!(sender.job, key.job.0, "replies never cross jobs");
+        if sender.job == key.job.0 {
+            let mut inst = relock(&jrt.instances[sender.op as usize]);
+            sh.policy
+                .process_reply(&mut inst.converter, sender.edge, &rc);
+        }
     }
     // Operator fan-out goes out as one batch per shard (single CAS +
-    // hint + wake), with nodes from the target shards' arenas.
+    // hint + wake), with nodes from the target shards' arenas. The
+    // fan-out is counted in-flight *before* this message's own
+    // decrement (the `InflightMsg` guard, dropped at scope end), so the
+    // job's inflight count cannot dip to zero while a causal chain is
+    // still alive.
+    jrt.inflight
+        .fetch_add(outbound.len() as u64, Ordering::AcqRel);
     sh.submit_batch(
         outbound
             .into_iter()
@@ -757,21 +1211,23 @@ mod tests {
     #[test]
     fn deploy_ingest_and_collect_outputs() {
         let rt = Runtime::start(RuntimeConfig::default().with_workers(2));
-        let job = rt.deploy(&tiny_query("t", 10_000), &ExpandOptions::default());
-        let rx = rt.subscribe(job);
+        let job = rt
+            .deploy(&tiny_query("t", 10_000), &ExpandOptions::default())
+            .unwrap();
+        let rx = rt.subscribe(job).unwrap();
         // Two rounds per source: fill window [0,10ms) then cross it.
         for (source, base) in [(0u32, 0u64), (1, 0)] {
             let tuples = (0..50)
                 .map(|i| Tuple::new(i, 1, LogicalTime(base + i * 10)))
                 .collect();
-            rt.ingest(job, source, tuples);
+            rt.ingest(job, source, tuples).unwrap();
         }
         std::thread::sleep(std::time::Duration::from_millis(20));
         for source in [0u32, 1] {
             let tuples = (0..50)
                 .map(|i| Tuple::new(i, 1, LogicalTime(50_000 + i)))
                 .collect();
-            rt.ingest(job, source, tuples);
+            rt.ingest(job, source, tuples).unwrap();
         }
         assert!(rt.drain(std::time::Duration::from_secs(5)), "queue drains");
         // The first window should have fired.
@@ -784,7 +1240,7 @@ mod tests {
             }
         }
         assert!(got > 0, "sink produced grouped output");
-        let stats = rt.job_stats(job);
+        let stats = rt.job_stats(job).unwrap();
         assert!(stats.outputs >= 1);
         rt.shutdown();
     }
@@ -792,14 +1248,22 @@ mod tests {
     #[test]
     fn multiple_jobs_isolated() {
         let rt = Runtime::start(RuntimeConfig::default().with_workers(2));
-        let a = rt.deploy(&tiny_query("a", 5_000), &ExpandOptions::default());
-        let b = rt.deploy(&tiny_query("b", 5_000), &ExpandOptions::default());
+        let a = rt
+            .deploy(&tiny_query("a", 5_000), &ExpandOptions::default())
+            .unwrap();
+        let b = rt
+            .deploy(&tiny_query("b", 5_000), &ExpandOptions::default())
+            .unwrap();
         assert_ne!(a, b);
         for job in [a, b] {
-            rt.ingest(job, 0, vec![Tuple::new(1, 1, LogicalTime(1_000))]);
-            rt.ingest(job, 1, vec![Tuple::new(2, 1, LogicalTime(1_000))]);
-            rt.ingest(job, 0, vec![Tuple::new(1, 1, LogicalTime(9_000))]);
-            rt.ingest(job, 1, vec![Tuple::new(2, 1, LogicalTime(9_000))]);
+            rt.ingest(job, 0, vec![Tuple::new(1, 1, LogicalTime(1_000))])
+                .unwrap();
+            rt.ingest(job, 1, vec![Tuple::new(2, 1, LogicalTime(1_000))])
+                .unwrap();
+            rt.ingest(job, 0, vec![Tuple::new(1, 1, LogicalTime(9_000))])
+                .unwrap();
+            rt.ingest(job, 1, vec![Tuple::new(2, 1, LogicalTime(9_000))])
+                .unwrap();
         }
         assert!(rt.drain(std::time::Duration::from_secs(5)));
         rt.shutdown();
@@ -816,8 +1280,11 @@ mod tests {
     #[test]
     fn scheduler_stats_accumulate() {
         let rt = Runtime::start(RuntimeConfig::default().with_workers(1));
-        let job = rt.deploy(&tiny_query("s", 5_000), &ExpandOptions::default());
-        rt.ingest(job, 0, vec![Tuple::new(1, 1, LogicalTime(1))]);
+        let job = rt
+            .deploy(&tiny_query("s", 5_000), &ExpandOptions::default())
+            .unwrap();
+        rt.ingest(job, 0, vec![Tuple::new(1, 1, LogicalTime(1))])
+            .unwrap();
         assert!(rt.drain(std::time::Duration::from_secs(5)));
         assert!(rt.scheduler_stats().messages_scheduled > 0);
         rt.shutdown();
@@ -832,8 +1299,11 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(rt.shard_count(), 1);
-        let job = rt.deploy(&tiny_query("q", 5_000), &ExpandOptions::default());
-        rt.ingest(job, 0, vec![Tuple::new(1, 1, LogicalTime(1))]);
+        let job = rt
+            .deploy(&tiny_query("q", 5_000), &ExpandOptions::default())
+            .unwrap();
+        rt.ingest(job, 0, vec![Tuple::new(1, 1, LogicalTime(1))])
+            .unwrap();
         assert!(rt.queue_len() > 0, "message queued with no one to drain it");
         rt.shutdown();
     }
@@ -857,25 +1327,28 @@ mod tests {
                 .with_shards(4)
                 .with_quantum(Micros(100)),
         );
-        let job = rt.deploy(&tiny_query("sh", 5_000), &ExpandOptions::default());
-        let before = rt.job_stats(job).outputs;
+        let job = rt
+            .deploy(&tiny_query("sh", 5_000), &ExpandOptions::default())
+            .unwrap();
+        let before = rt.job_stats(job).unwrap().outputs;
         assert_eq!(before, 0);
         for round in 0..20u64 {
             for source in [0u32, 1] {
                 let tuples = (0..20)
                     .map(|i| Tuple::new(i, 1, LogicalTime(round * 1_000 + i)))
                     .collect();
-                rt.ingest(job, source, tuples);
+                rt.ingest(job, source, tuples).unwrap();
             }
         }
         for source in [0u32, 1] {
-            rt.ingest(job, source, vec![Tuple::new(0, 1, LogicalTime(90_000))]);
+            rt.ingest(job, source, vec![Tuple::new(0, 1, LogicalTime(90_000))])
+                .unwrap();
         }
         assert!(rt.drain(std::time::Duration::from_secs(10)));
         let stats = rt.scheduler_stats();
         assert!(stats.messages_scheduled > 0);
         assert!(
-            rt.job_stats(job).outputs >= 1,
+            rt.job_stats(job).unwrap().outputs >= 1,
             "windows fired across shards"
         );
         rt.shutdown();
@@ -886,10 +1359,14 @@ mod tests {
         // The pre-mailbox ingress path stays available behind the knob
         // and must drain end to end just like the default.
         let rt = Runtime::start(RuntimeConfig::default().with_workers(2).with_mailbox(false));
-        let job = rt.deploy(&tiny_query("lk", 5_000), &ExpandOptions::default());
+        let job = rt
+            .deploy(&tiny_query("lk", 5_000), &ExpandOptions::default())
+            .unwrap();
         for source in [0u32, 1] {
-            rt.ingest(job, source, vec![Tuple::new(1, 1, LogicalTime(1_000))]);
-            rt.ingest(job, source, vec![Tuple::new(1, 1, LogicalTime(9_000))]);
+            rt.ingest(job, source, vec![Tuple::new(1, 1, LogicalTime(1_000))])
+                .unwrap();
+            rt.ingest(job, source, vec![Tuple::new(1, 1, LogicalTime(9_000))])
+                .unwrap();
         }
         assert!(rt.drain(std::time::Duration::from_secs(5)));
         assert_eq!(
@@ -907,13 +1384,15 @@ mod tests {
                 .with_workers(2)
                 .with_mailbox_drain_batch(2),
         );
-        let job = rt.deploy(&tiny_query("db", 5_000), &ExpandOptions::default());
+        let job = rt
+            .deploy(&tiny_query("db", 5_000), &ExpandOptions::default())
+            .unwrap();
         for round in 0..10u64 {
             for source in [0u32, 1] {
                 let tuples = (0..10)
                     .map(|i| Tuple::new(i, 1, LogicalTime(round * 1_000 + i)))
                     .collect();
-                rt.ingest(job, source, tuples);
+                rt.ingest(job, source, tuples).unwrap();
             }
         }
         assert!(rt.drain(std::time::Duration::from_secs(10)));
@@ -957,10 +1436,14 @@ mod tests {
             }
             assert_eq!(rt.pinned_workers(), 2, "both workers pinned on linux");
         }
-        let job = rt.deploy(&tiny_query("pin", 5_000), &ExpandOptions::default());
+        let job = rt
+            .deploy(&tiny_query("pin", 5_000), &ExpandOptions::default())
+            .unwrap();
         for source in [0u32, 1] {
-            rt.ingest(job, source, vec![Tuple::new(1, 1, LogicalTime(1_000))]);
-            rt.ingest(job, source, vec![Tuple::new(1, 1, LogicalTime(9_000))]);
+            rt.ingest(job, source, vec![Tuple::new(1, 1, LogicalTime(1_000))])
+                .unwrap();
+            rt.ingest(job, source, vec![Tuple::new(1, 1, LogicalTime(9_000))])
+                .unwrap();
         }
         assert!(rt.drain(std::time::Duration::from_secs(5)));
         rt.shutdown();
@@ -1018,10 +1501,12 @@ mod tests {
             workers: 0,
             ..Default::default()
         });
-        let job = rt.deploy(&tiny_query("nf", 5_000), &ExpandOptions::default());
+        let job = rt
+            .deploy(&tiny_query("nf", 5_000), &ExpandOptions::default())
+            .unwrap();
         let frames: Vec<IngestFrame> = (0..6u32)
             .map(|i| IngestFrame {
-                job: job.0,
+                job: job.slot(),
                 source: i % 2,
                 tuples: vec![Tuple::new(i as u64, 1, LogicalTime(1_000 + i as u64))],
             })
@@ -1040,15 +1525,17 @@ mod tests {
     #[test]
     fn ingest_frames_drops_unknown_jobs_without_panicking() {
         let rt = Runtime::start(RuntimeConfig::default().with_workers(1));
-        let job = rt.deploy(&tiny_query("uk", 5_000), &ExpandOptions::default());
+        let job = rt
+            .deploy(&tiny_query("uk", 5_000), &ExpandOptions::default())
+            .unwrap();
         let out = rt.ingest_frames(vec![
             IngestFrame {
-                job: job.0 + 99,
+                job: job.slot() + 99,
                 source: 0,
                 tuples: vec![Tuple::new(1, 1, LogicalTime(1))],
             },
             IngestFrame {
-                job: job.0,
+                job: job.slot(),
                 source: 0,
                 tuples: vec![Tuple::new(2, 1, LogicalTime(2))],
             },
@@ -1066,9 +1553,11 @@ mod tests {
         // results as per-frame ingest: same windows, same counts.
         let run = |coalesced: bool| {
             let rt = Runtime::start(RuntimeConfig::default().with_workers(2));
-            let job = rt.deploy(&tiny_query("eq", 10_000), &ExpandOptions::default());
+            let job = rt
+                .deploy(&tiny_query("eq", 10_000), &ExpandOptions::default())
+                .unwrap();
             let mk = |source: u32, base: u64| IngestFrame {
-                job: job.0,
+                job: job.slot(),
                 source,
                 tuples: (0..50)
                     .map(|i| Tuple::new(i, 1, LogicalTime(base + i * 10)))
@@ -1080,12 +1569,12 @@ mod tests {
                 assert_eq!(out.frames, 4);
             } else {
                 for f in frames {
-                    rt.ingest(JobHandle(f.job), f.source, f.tuples);
+                    rt.ingest(job, f.source, f.tuples).unwrap();
                 }
             }
             assert!(rt.drain(std::time::Duration::from_secs(5)));
             std::thread::sleep(std::time::Duration::from_millis(50));
-            let outputs = rt.job_stats(job).outputs;
+            let outputs = rt.job_stats(job).unwrap().outputs;
             rt.shutdown();
             outputs
         };
@@ -1109,10 +1598,12 @@ mod tests {
                 .with_workers(1)
                 .with_profile_alpha(0.9),
         );
-        let job = rt.deploy(&tiny_query("al", 5_000), &ExpandOptions::default());
+        let job = rt
+            .deploy(&tiny_query("al", 5_000), &ExpandOptions::default())
+            .unwrap();
         {
             let jobs = rt.shared.jobs.read().unwrap();
-            for inst in jobs[job.0 as usize].instances.iter() {
+            for inst in jobs.get(job).unwrap().instances.iter() {
                 assert_eq!(relock(inst).converter.profile.alpha(), 0.9);
             }
         }
@@ -1121,11 +1612,11 @@ mod tests {
             profile_alpha: Some(0.3),
             ..Default::default()
         };
-        let job2 = rt.deploy(&tiny_query("al2", 5_000), &opts);
+        let job2 = rt.deploy(&tiny_query("al2", 5_000), &opts).unwrap();
         {
             let jobs = rt.shared.jobs.read().unwrap();
             assert_eq!(
-                relock(&jobs[job2.0 as usize].instances[0])
+                relock(&jobs.get(job2).unwrap().instances[0])
                     .converter
                     .profile
                     .alpha(),
@@ -1140,13 +1631,15 @@ mod tests {
         // Steady-state ingest must be served by the arenas, not the
         // heap: reuse counters grow, the fallback counter stays zero.
         let rt = Runtime::start(RuntimeConfig::default().with_workers(2));
-        let job = rt.deploy(&tiny_query("ar", 5_000), &ExpandOptions::default());
+        let job = rt
+            .deploy(&tiny_query("ar", 5_000), &ExpandOptions::default())
+            .unwrap();
         for round in 0..20u64 {
             for source in [0u32, 1] {
                 let tuples = (0..10)
                     .map(|i| Tuple::new(i, 1, LogicalTime(round * 1_000 + i)))
                     .collect();
-                rt.ingest(job, source, tuples);
+                rt.ingest(job, source, tuples).unwrap();
             }
         }
         assert!(rt.drain(std::time::Duration::from_secs(10)));
@@ -1157,7 +1650,188 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero ingest operators")]
+    fn panicking_operator_factory_does_not_leak_the_slot() {
+        use cameo_dataflow::graph::JobBuilder;
+        use cameo_dataflow::operator::OperatorKind;
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(1));
+        let mut b = JobBuilder::new(
+            "boom",
+            Micros::from_millis(100),
+            cameo_core::progress::TimeDomain::IngestionTime,
+        );
+        let src = b.ingest("src", 1);
+        let s = b.stage(
+            "s",
+            1,
+            OperatorKind::Regular,
+            Micros(1),
+            |_| -> Box<dyn cameo_dataflow::operator::Operator> { panic!("factory bug") },
+        );
+        b.connect(src, s, cameo_dataflow::graph::Routing::Forward);
+        let bad = b.build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.deploy(&bad, &ExpandOptions::default())
+        }));
+        assert!(result.is_err(), "factory panic propagates");
+        // The reserved slot must have been handed back: the next deploy
+        // lands in slot 0 instead of growing the table.
+        let ok = rt
+            .deploy(&tiny_query("after", 5_000), &ExpandOptions::default())
+            .unwrap();
+        assert_eq!(ok.slot(), 0, "panicked deploy leaked its slot");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn undeploy_retires_and_rejects_stale_handles() {
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(2));
+        let job = rt
+            .deploy(&tiny_query("u", 5_000), &ExpandOptions::default())
+            .unwrap();
+        rt.ingest(job, 0, vec![Tuple::new(1, 1, LogicalTime(1_000))])
+            .unwrap();
+        assert!(rt.drain(std::time::Duration::from_secs(5)));
+        rt.undeploy(job).unwrap();
+        assert_eq!(rt.queue_len(), 0, "no retired-job messages linger");
+        // Every per-job entry point rejects the stale handle.
+        assert_eq!(rt.job_stats(job).err(), Some(JobError::Stale));
+        assert_eq!(
+            rt.ingest(job, 0, vec![Tuple::new(1, 1, LogicalTime(1))])
+                .err(),
+            Some(JobError::Stale)
+        );
+        assert!(rt.subscribe(job).is_err());
+        assert_eq!(rt.undeploy(job).err(), Some(JobError::Stale));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation_and_never_misroutes() {
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(2));
+        let old = rt
+            .deploy(&tiny_query("old", 5_000), &ExpandOptions::default())
+            .unwrap();
+        rt.undeploy(old).unwrap();
+        let new = rt
+            .deploy(&tiny_query("new", 5_000), &ExpandOptions::default())
+            .unwrap();
+        assert_eq!(new.slot(), old.slot(), "slot is reused");
+        assert_eq!(new.generation(), old.generation() + 1);
+        assert_ne!(old, new);
+        // The old handle must hit Stale — never the new job's data.
+        assert_eq!(rt.job_stats(old).err(), Some(JobError::Stale));
+        // The new handle works.
+        rt.ingest(new, 0, vec![Tuple::new(1, 1, LogicalTime(1_000))])
+            .unwrap();
+        rt.ingest(new, 0, vec![Tuple::new(1, 1, LogicalTime(9_000))])
+            .unwrap();
+        assert!(rt.drain(std::time::Duration::from_secs(5)));
+        assert_eq!(rt.job_stats(new).unwrap().outputs, 0); // window still open
+        rt.shutdown();
+    }
+
+    #[test]
+    fn undeploy_purges_queued_work_on_zero_worker_runtime() {
+        // No workers: nothing drains, so undeploy's purge must clean the
+        // scheduler by itself (the graceful-drain wait is skipped).
+        let rt = Runtime::start(RuntimeConfig {
+            workers: 0,
+            ..Default::default()
+        });
+        let job = rt
+            .deploy(&tiny_query("z", 5_000), &ExpandOptions::default())
+            .unwrap();
+        for round in 0..5u64 {
+            rt.ingest(job, 0, vec![Tuple::new(round, 1, LogicalTime(1 + round))])
+                .unwrap();
+        }
+        let queued = rt.queue_len();
+        assert!(queued > 0);
+        let purged = rt.undeploy(job).unwrap();
+        assert_eq!(purged as usize, queued, "every queued message purged");
+        assert_eq!(rt.queue_len(), 0);
+        let stats = rt.scheduler_stats();
+        assert_eq!(stats.jobs_retired, 1);
+        assert_eq!(
+            stats.messages_purged + stats.retired_drops,
+            purged,
+            "purge is visible in scheduler stats"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn draining_job_refuses_ingest_but_serves_stats() {
+        let rt = Runtime::start(RuntimeConfig {
+            workers: 0,
+            ..Default::default()
+        });
+        let job = rt
+            .deploy(&tiny_query("dr", 5_000), &ExpandOptions::default())
+            .unwrap();
+        // Flip the draining flag directly (undeploy would retire the
+        // job before we could observe the window).
+        rt.lookup(job)
+            .unwrap()
+            .draining
+            .store(true, Ordering::SeqCst);
+        assert_eq!(
+            rt.ingest(job, 0, vec![Tuple::new(1, 1, LogicalTime(1))])
+                .err(),
+            Some(JobError::Draining)
+        );
+        assert!(rt.job_stats(job).is_ok(), "stats remain readable");
+        assert_eq!(rt.undeploy(job).err(), Some(JobError::Draining));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unknown_slot_is_not_found() {
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(1));
+        let bogus = JobHandle { slot: 99, gen: 0 };
+        assert_eq!(rt.job_stats(bogus).err(), Some(JobError::NotFound));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(1));
+        let job = rt
+            .deploy(&tiny_query("sub", 5_000), &ExpandOptions::default())
+            .unwrap();
+        // Subscribe-then-drop N times: the list must not grow
+        // unboundedly (each subscribe prunes the dead entries).
+        for _ in 0..100 {
+            let sub = rt.subscribe(job).unwrap();
+            drop(sub);
+        }
+        let live = rt.subscribe(job).unwrap();
+        {
+            let jobs = rt.shared.jobs.read().unwrap();
+            let n = relock(&jobs.get(job).unwrap().subscribers).len();
+            assert!(n <= 2, "dead subscribers accumulate: {n} entries");
+        }
+        // The surviving subscription still receives outputs (same feed
+        // shape as `deploy_ingest_and_collect_outputs`).
+        for source in [0u32, 1] {
+            let tuples = (0..50)
+                .map(|i| Tuple::new(i, 1, LogicalTime(i * 10)))
+                .collect();
+            rt.ingest(job, source, tuples).unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        for source in [0u32, 1] {
+            let tuples = (0..50)
+                .map(|i| Tuple::new(i, 1, LogicalTime(50_000 + i)))
+                .collect();
+            rt.ingest(job, source, tuples).unwrap();
+        }
+        assert!(rt.drain(std::time::Duration::from_secs(5)));
+        assert!(live.recv_timeout(std::time::Duration::from_secs(5)).is_ok());
+        rt.shutdown();
+    }
+
+    #[test]
     fn deploy_rejects_jobs_without_ingests() {
         use cameo_dataflow::graph::StageSpec;
         use cameo_dataflow::operator::OperatorKind;
@@ -1166,8 +1840,8 @@ mod tests {
         // `JobBuilder::build` validates an ingest stage exists, but the
         // JobSpec fields are public — a hand-assembled spec used to slip
         // through deploy and blow up later as a division-by-zero inside
-        // `ingest`. It must be rejected at deploy time with a message
-        // naming the actual mistake.
+        // `ingest`. It must be rejected at deploy time with the precise
+        // graph error, and the slot it briefly held must be reusable.
         let spec = JobSpec {
             name: "empty".into(),
             latency_constraint: Micros::from_millis(500),
@@ -1181,6 +1855,16 @@ mod tests {
             }],
             edges: vec![],
         };
-        let _ = rt.deploy(&spec, &ExpandOptions::default());
+        assert_eq!(
+            rt.deploy(&spec, &ExpandOptions::default()),
+            Err(DeployError::Graph(GraphError::NoIngest))
+        );
+        // The failed deploy must not leak its slot: the next deploy
+        // lands in slot 0.
+        let ok = rt
+            .deploy(&tiny_query("ok", 5_000), &ExpandOptions::default())
+            .unwrap();
+        assert_eq!(ok.slot(), 0);
+        rt.shutdown();
     }
 }

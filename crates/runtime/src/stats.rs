@@ -7,16 +7,24 @@ use std::sync::Mutex;
 /// Snapshot of a job's output statistics.
 #[derive(Clone, Debug)]
 pub struct JobStatsSnapshot {
+    /// Sink batches emitted.
     pub outputs: u64,
+    /// Tuples across those batches.
     pub output_tuples: u64,
+    /// Outputs that met the job's latency constraint.
     pub on_time: u64,
+    /// Median output latency.
     pub p50: Micros,
+    /// 99th-percentile output latency.
     pub p99: Micros,
+    /// Worst output latency observed.
     pub max: Micros,
+    /// Mean output latency.
     pub mean: Micros,
 }
 
 impl JobStatsSnapshot {
+    /// Fraction of outputs that met the latency constraint.
     pub fn success_rate(&self) -> f64 {
         if self.outputs == 0 {
             0.0
@@ -40,6 +48,7 @@ struct Inner {
 }
 
 impl JobStats {
+    /// Empty statistics for a job with latency target `constraint`.
     pub fn new(constraint: Micros) -> Self {
         JobStats {
             constraint,
@@ -52,6 +61,8 @@ impl JobStats {
         }
     }
 
+    /// Record one sink output: produced at `produced_at`, closing the
+    /// input that arrived at `input_time`, carrying `tuples` tuples.
     pub fn record(&self, produced_at: PhysicalTime, input_time: PhysicalTime, tuples: usize) {
         let latency = produced_at - input_time;
         let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
@@ -63,6 +74,7 @@ impl JobStats {
         }
     }
 
+    /// A consistent snapshot of the counters and percentiles.
     pub fn snapshot(&self) -> JobStatsSnapshot {
         let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         JobStatsSnapshot {

@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn ingests_are_off_cluster() {
         let spec = ipq1(1_000_000, Micros(800_000));
-        let job = ExpandedJob::expand(&spec, JobId(0), &ExpandOptions::default());
+        let job = ExpandedJob::expand(&spec, JobId(0), &ExpandOptions::default()).unwrap();
         let placement = place_jobs(&[job], &ClusterSpec::new(4, 4));
         let job_p = &placement[0];
         // First 8 instances are sources.
@@ -116,8 +116,8 @@ mod tests {
         let spec = cameo_dataflow::queries::agg_query(
             &AggQueryParams::new("j", 1_000, Micros(1_000)).with_parallelism(4),
         );
-        let a = ExpandedJob::expand(&spec, JobId(0), &ExpandOptions::default());
-        let b = ExpandedJob::expand(&spec, JobId(1), &ExpandOptions::default());
+        let a = ExpandedJob::expand(&spec, JobId(0), &ExpandOptions::default()).unwrap();
+        let b = ExpandedJob::expand(&spec, JobId(1), &ExpandOptions::default()).unwrap();
         let placement = place_jobs(&[a, b], &ClusterSpec::new(3, 2));
         let mut counts = [0u32; 3];
         for job_p in &placement {

@@ -46,6 +46,12 @@ pub trait Dispatcher: Send {
     fn decide(&mut self, lease: &DispatchLease, now: PhysicalTime) -> Decision;
     /// Return the lease (worker needed so local re-queues land right).
     fn release(&mut self, lease: DispatchLease, worker: u16);
+    /// Retire a departing job: drop every queued message of its
+    /// operators and refuse it from the run queue. Returns the number
+    /// of messages purged. Mirrors the production scheduler's
+    /// [`ShardedScheduler::retire_job`] so churn scenarios exercise the
+    /// same lifecycle deterministically.
+    fn retire_job(&mut self, job: cameo_core::ids::JobId) -> usize;
     /// Total queued messages.
     fn pending(&self) -> usize;
     /// Scheduling counters, if the dispatcher keeps them.
@@ -115,6 +121,10 @@ impl Dispatcher for CameoDispatcher {
         self.inner.release(exec);
     }
 
+    fn retire_job(&mut self, job: cameo_core::ids::JobId) -> usize {
+        self.inner.retire_job(job)
+    }
+
     fn pending(&self) -> usize {
         self.inner.len()
     }
@@ -171,11 +181,35 @@ mod cameo_dispatcher_shard_tests {
 
 // -------------------------------------------------------------- Orleans
 
+/// Per-operator FIFO state shared by the Orleans and Slot baselines:
+/// a message queue plus the queued/leased flags their run queues key on.
 #[derive(Default)]
-struct BagOp {
+struct QueuedOp {
     msgs: VecDeque<SimMsg>,
     queued: bool,
     leased: bool,
+}
+
+/// Shared churn purge over a baseline dispatcher's operator map: drop
+/// the job's queued messages and remove its operators, keeping
+/// still-leased entries (their `release` bookkeeping must stay valid).
+/// Returns the number of messages dropped; the caller prunes its own
+/// run-queue structures.
+fn purge_queued_ops(
+    ops: &mut HashMap<OperatorKey, QueuedOp>,
+    job: cameo_core::ids::JobId,
+) -> usize {
+    let mut purged = 0usize;
+    ops.retain(|key, op| {
+        if key.job != job {
+            return true;
+        }
+        purged += op.msgs.len();
+        op.msgs.clear();
+        op.queued = false;
+        op.leased
+    });
+    purged
 }
 
 /// Models the default Orleans/.NET ConcurrentBag scheduler: per-worker
@@ -185,7 +219,7 @@ struct BagOp {
 pub struct OrleansDispatcher {
     locals: Vec<Vec<OperatorKey>>,
     global: VecDeque<OperatorKey>,
-    ops: HashMap<OperatorKey, BagOp>,
+    ops: HashMap<OperatorKey, QueuedOp>,
     quantum: Micros,
     pending: usize,
     stats: SchedulerStats,
@@ -280,6 +314,16 @@ impl Dispatcher for OrleansDispatcher {
         }
     }
 
+    fn retire_job(&mut self, job: cameo_core::ids::JobId) -> usize {
+        let purged = purge_queued_ops(&mut self.ops, job);
+        self.pending -= purged;
+        self.global.retain(|k| k.job != job);
+        for l in self.locals.iter_mut() {
+            l.retain(|k| k.job != job);
+        }
+        purged
+    }
+
     fn pending(&self) -> usize {
         self.pending
     }
@@ -291,13 +335,6 @@ impl Dispatcher for OrleansDispatcher {
 
 // ----------------------------------------------------------------- Slot
 
-#[derive(Default)]
-struct SlotOp {
-    msgs: VecDeque<SimMsg>,
-    queued: bool,
-    leased: bool,
-}
-
 /// Slot-based execution (Fig 1's Flink-on-YARN strawman): operators are
 /// pinned round-robin to workers at first sight; a worker only ever
 /// runs its own operators, in FIFO order. Perfect isolation, no
@@ -305,7 +342,7 @@ struct SlotOp {
 pub struct SlotDispatcher {
     pins: HashMap<OperatorKey, u16>,
     runnable: Vec<VecDeque<OperatorKey>>,
-    ops: HashMap<OperatorKey, SlotOp>,
+    ops: HashMap<OperatorKey, QueuedOp>,
     next_pin: u16,
     workers: u16,
     pending: usize,
@@ -388,6 +425,20 @@ impl Dispatcher for SlotDispatcher {
             op.queued = true;
             self.runnable[w as usize].push_back(lease.key);
         }
+    }
+
+    fn retire_job(&mut self, job: cameo_core::ids::JobId) -> usize {
+        let purged = purge_queued_ops(&mut self.ops, job);
+        self.pending -= purged;
+        for r in self.runnable.iter_mut() {
+            r.retain(|k| k.job != job);
+        }
+        // Pins are dropped too, so a redeployed job id re-pins from
+        // scratch — except for still-leased operators, whose `release`
+        // consults the pin.
+        let ops = &self.ops;
+        self.pins.retain(|k, _| k.job != job || ops.contains_key(k));
+        purged
     }
 
     fn pending(&self) -> usize {

@@ -161,6 +161,11 @@ enum Ev {
     },
     /// Worker finishes its current message.
     Complete { node: u16, worker: u16 },
+    /// A job departs the cluster (Fig 8-style churn): its workload
+    /// stops, every node's dispatcher retires it, and in-flight
+    /// messages are dropped at delivery/completion guards — mirroring
+    /// the runtime's `undeploy`.
+    Depart { job: u16 },
 }
 
 struct Scheduled {
@@ -208,6 +213,11 @@ struct Node {
 struct JobState {
     exp: ExpandedJob,
     workload: Option<WorkloadGen>,
+    /// Absolute departure time, if the scenario schedules one.
+    departure: Option<PhysicalTime>,
+    /// Set once the departure fires: arrivals, deliveries and fan-out
+    /// for this job are dropped from then on.
+    departed: bool,
 }
 
 /// The simulator.
@@ -295,7 +305,12 @@ impl Engine {
             seq: 0,
             jobs: jobs
                 .into_iter()
-                .map(|(exp, workload)| JobState { exp, workload })
+                .map(|(exp, workload)| JobState {
+                    exp,
+                    workload,
+                    departure: None,
+                    departed: false,
+                })
                 .collect(),
             placement,
             nodes,
@@ -317,35 +332,83 @@ impl Engine {
         }));
     }
 
+    /// Schedule job `job` to depart the cluster at `at` (it must have
+    /// been constructed with the engine; the departure fires during
+    /// [`run`](Self::run)). Mirrors `Runtime::undeploy` for
+    /// deterministic churn experiments: arrivals stop, dispatch queues
+    /// are purged, in-flight work is dropped.
+    pub fn depart_job_at(&mut self, job: usize, at: PhysicalTime) {
+        self.jobs[job].departure = Some(at);
+    }
+
     /// Run to completion (all workloads drained, all messages settled).
     pub fn run(mut self) -> SimMetrics {
         // Prime one arrival per job.
         for j in 0..self.jobs.len() {
             self.pull_arrival(j as u16);
         }
+        // Scheduled departures enter the event stream after the primer
+        // arrivals; a scenario without churn pushes nothing here and is
+        // bit-for-bit identical to the pre-lifecycle engine.
+        for j in 0..self.jobs.len() {
+            if let Some(at) = self.jobs[j].departure {
+                self.push_event(at, Ev::Depart { job: j as u16 });
+            }
+        }
         while let Some(Reverse(Scheduled { time, ev, .. })) = self.events.pop() {
             debug_assert!(time >= self.now, "time must not regress");
             self.now = time;
             match ev {
                 Ev::Arrival { job, source, batch } => {
+                    if self.jobs[job as usize].departed {
+                        continue;
+                    }
                     self.ingest(job, source, batch);
                     self.pull_arrival(job);
                 }
                 Ev::Deliver { job, op, msg } => {
+                    if self.jobs[job as usize].departed {
+                        self.metrics.departure_drops += 1;
+                        continue;
+                    }
                     self.deliver_at_node(job, op, msg);
                 }
                 Ev::Reply { job, op, edge, rc } => {
+                    if self.jobs[job as usize].departed {
+                        continue;
+                    }
                     let inst = &mut self.jobs[job as usize].exp.instances[op as usize];
                     self.policy.process_reply(&mut inst.converter, edge, &rc);
                 }
                 Ev::Complete { node, worker } => {
                     self.complete(node, worker);
                 }
+                Ev::Depart { job } => {
+                    self.depart(job);
+                }
             }
         }
         self.metrics.end_time = self.now;
         self.metrics.sched = self.sched_stats();
         self.metrics
+    }
+
+    /// Tear a job down mid-run: stop its workload, purge its messages
+    /// from every node's dispatcher, and record the purge.
+    fn depart(&mut self, job: u16) {
+        let js = &mut self.jobs[job as usize];
+        if js.departed {
+            return;
+        }
+        js.departed = true;
+        js.workload = None;
+        let jid = js.exp.id;
+        let mut purged = 0usize;
+        for n in self.nodes.iter_mut() {
+            purged += n.disp.retire_job(jid);
+        }
+        self.metrics.jobs_departed += 1;
+        self.metrics.purged_on_departure += purged as u64;
     }
 
     /// Aggregate scheduler stats across nodes.
@@ -530,6 +593,21 @@ impl Engine {
         let key = lease.key;
         let job = key.job.0 as usize;
         let op = key.op as usize;
+
+        // A message of a departed job that was already on a worker when
+        // the departure fired: abandon it (no operator execution, no
+        // outputs, no fan-out) and return the lease — the runtime's
+        // generation check does the same for stale in-flight messages.
+        if self.jobs[job].departed {
+            self.metrics.departure_drops += 1;
+            let n = &mut self.nodes[node as usize];
+            n.workers[worker as usize].completing = false;
+            let _ = cost;
+            let _ = msg;
+            n.disp.release(lease, worker);
+            self.try_start(node, worker);
+            return;
+        }
 
         let mut outbound: Vec<(u32, SimMsg)> = Vec::new();
         let mut reply: Option<(SenderRef, ReplyContext)> = None;

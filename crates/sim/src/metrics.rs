@@ -153,6 +153,13 @@ pub struct SimMetrics {
     pub end_time: PhysicalTime,
     /// Aggregated scheduler counters (filled in at end of run).
     pub sched: cameo_core::scheduler::SchedulerStats,
+    /// Jobs that departed mid-run (churn scenarios).
+    pub jobs_departed: u64,
+    /// Messages purged from dispatch queues by departures.
+    pub purged_on_departure: u64,
+    /// In-flight messages (deliveries and on-worker executions) dropped
+    /// because their job had departed.
+    pub departure_drops: u64,
 }
 
 impl SimMetrics {
@@ -174,6 +181,9 @@ impl SimMetrics {
             schedule_log: record_schedule.then(Vec::new),
             end_time: PhysicalTime::ZERO,
             sched: cameo_core::scheduler::SchedulerStats::default(),
+            jobs_departed: 0,
+            purged_on_departure: 0,
+            departure_drops: 0,
         }
     }
 

@@ -20,6 +20,11 @@ pub struct JobSetup {
     pub spec: JobSpec,
     pub workload: WorkloadSpec,
     pub opts: ExpandOptions,
+    /// Absolute departure time, if the job leaves mid-run (the paper's
+    /// Fig 8 dynamic workload): at this instant the engine stops its
+    /// arrivals, purges its queued messages from every dispatcher and
+    /// drops its in-flight work — `Runtime::undeploy`, deterministically.
+    pub departure: Option<Micros>,
 }
 
 /// A full experiment configuration.
@@ -136,6 +141,21 @@ impl Scenario {
         workload: WorkloadSpec,
         opts: ExpandOptions,
     ) -> &mut Self {
+        self.add_job_lifecycle(spec, workload, opts, Micros::ZERO, None)
+    }
+
+    /// Add a job that *arrives* `arrive` into the run (its workload is
+    /// shifted to start then) and, optionally, *departs* at an absolute
+    /// time — the deterministic mirror of deploy/undeploy under churn.
+    /// `depart = None` keeps the job for the whole run.
+    pub fn add_job_lifecycle(
+        &mut self,
+        spec: JobSpec,
+        workload: WorkloadSpec,
+        opts: ExpandOptions,
+        arrive: Micros,
+        depart: Option<Micros>,
+    ) -> &mut Self {
         assert_eq!(
             spec.stages
                 .iter()
@@ -146,10 +166,24 @@ impl Scenario {
             "workload must define one source pattern per ingest instance of '{}'",
             spec.name
         );
+        if let Some(d) = depart {
+            assert!(
+                d.0 >= arrive.0,
+                "job '{}' would depart before it arrives",
+                spec.name
+            );
+        }
+        let workload = if arrive > Micros::ZERO {
+            let start = workload.start;
+            workload.with_start(start + arrive)
+        } else {
+            workload
+        };
         self.jobs.push(JobSetup {
             spec,
             workload,
             opts,
+            departure: depart,
         });
         self
     }
@@ -173,6 +207,7 @@ impl Scenario {
         cfg.placement = self.placement;
         cfg.disable_replies = self.disable_replies;
         let mut engine_jobs = Vec::with_capacity(self.jobs.len());
+        let mut departures = Vec::new();
         for (i, mut setup) in self.jobs.into_iter().enumerate() {
             // Scenario-level smoothing default; a job-level choice in
             // its ExpandOptions wins (same precedence as the runtime's
@@ -180,12 +215,24 @@ impl Scenario {
             if setup.opts.profile_alpha.is_none() {
                 setup.opts.profile_alpha = self.profile_alpha;
             }
-            let exp = ExpandedJob::expand(&setup.spec, JobId(i as u32), &setup.opts);
+            // Scenario specs come from builders/query constructors, so
+            // an invalid one is a programming error in the experiment —
+            // surface the precise graph error instead of unwinding
+            // somewhere inside the engine.
+            let exp = ExpandedJob::expand(&setup.spec, JobId(i as u32), &setup.opts)
+                .unwrap_or_else(|e| panic!("scenario job {i} has an invalid spec: {e}"));
             let gen = WorkloadGen::new(setup.workload, self.seed.wrapping_add(i as u64 * 7919));
             engine_jobs.push((exp, Some(gen)));
+            if let Some(d) = setup.departure {
+                departures.push((i, d));
+            }
         }
         let workers = self.cluster.workers_per_node;
-        let metrics = Engine::new(cfg, engine_jobs).run();
+        let mut engine = Engine::new(cfg, engine_jobs);
+        for (i, d) in departures {
+            engine.depart_job_at(i, cameo_core::time::PhysicalTime(d.0));
+        }
+        let metrics = engine.run();
         SimReport {
             label,
             workers_per_node: workers,

@@ -158,6 +158,86 @@ fn multi_tenant_multi_node_runs() {
 }
 
 #[test]
+fn churn_scenario_departs_and_arrives_jobs_deterministically() {
+    // Fig 8-style dynamic workload: a steady job runs throughout, a
+    // bulk job departs mid-run, a third job arrives mid-run. The
+    // departing job's backlog is purged, the survivors keep producing,
+    // and the whole thing is bit-for-bit reproducible.
+    let run = || {
+        let steady = AggQueryParams::new("steady", 500_000, Micros::from_millis(800))
+            .with_sources(4)
+            .with_parallelism(2);
+        let leaver = AggQueryParams::new("leaver", 500_000, Micros::from_secs(7200))
+            .with_sources(4)
+            .with_parallelism(2);
+        let late = AggQueryParams::new("late", 500_000, Micros::from_millis(800))
+            .with_sources(4)
+            .with_parallelism(2);
+        let mut sc = Scenario::new(
+            ClusterSpec::single_node(2),
+            SchedulerKind::Cameo(PolicyKind::Llf),
+        )
+        .with_seed(11)
+        // Expensive tuples: the leaver's 160k tuples/s swamp the node,
+        // guaranteeing a real backlog exists at departure time.
+        .with_cost(CostConfig {
+            per_tuple_ns: 10_000,
+            ..Default::default()
+        })
+        .capture_outputs(true);
+        sc.add_job(
+            cameo_dataflow::queries::agg_query(&steady),
+            WorkloadSpec::constant(4, 10.0, 100, Micros::from_secs(3)),
+        );
+        // Heavy job leaves at t=1s with a large backlog queued.
+        sc.add_job_lifecycle(
+            cameo_dataflow::queries::agg_query(&leaver),
+            WorkloadSpec::constant(4, 100.0, 400, Micros::from_secs(3)),
+            Default::default(),
+            Micros::ZERO,
+            Some(Micros::from_secs(1)),
+        );
+        // Third tenant arrives at t=1.5s.
+        sc.add_job_lifecycle(
+            cameo_dataflow::queries::agg_query(&late),
+            WorkloadSpec::constant(4, 10.0, 100, Micros::from_millis(1_500)),
+            Default::default(),
+            Micros::from_millis(1_500),
+            None,
+        );
+        sc.run()
+    };
+    let r = run();
+    assert_eq!(r.metrics.jobs_departed, 1);
+    assert!(
+        r.metrics.purged_on_departure + r.metrics.departure_drops > 0,
+        "the overloaded leaver must have had a backlog to purge"
+    );
+    assert!(r.job(0).outputs >= 1, "steady job keeps producing");
+    assert!(r.job(2).outputs >= 1, "late arrival produces after joining");
+    // No output of the departed job is recorded after its departure.
+    let depart_us = 1_000_000u64;
+    assert!(
+        r.job(1).timeline.iter().all(|&(t, _)| t <= depart_us),
+        "departed job produced outputs after departure"
+    );
+    // Bit-for-bit determinism, churn included.
+    let r2 = run();
+    for j in 0..3 {
+        assert_eq!(r.job(j).samples, r2.job(j).samples, "job {j} diverged");
+        assert_eq!(
+            r.job(j).captured.as_ref().unwrap(),
+            r2.job(j).captured.as_ref().unwrap()
+        );
+    }
+    assert_eq!(r.metrics.executions, r2.metrics.executions);
+    assert_eq!(
+        r.metrics.purged_on_departure + r.metrics.departure_drops,
+        r2.metrics.purged_on_departure + r2.metrics.departure_drops
+    );
+}
+
+#[test]
 fn overload_degrades_latency_but_cameo_beats_fifo_for_ls_job() {
     // One latency-sensitive job + heavy bulk job on a small node:
     // Cameo should hold the LS job's tail latency below FIFO's.

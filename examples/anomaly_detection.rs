@@ -46,20 +46,24 @@ fn anomaly_job() -> cameo::dataflow::graph::JobSpec {
 
 fn main() {
     let rt = Runtime::start(RuntimeConfig::default().with_workers(4));
-    let job = rt.deploy(&anomaly_job(), &ExpandOptions::default());
-    let alerts = rt.subscribe(job);
+    let job = rt
+        .deploy(&anomaly_job(), &ExpandOptions::default())
+        .expect("deploy");
+    let alerts = rt.subscribe(job).expect("subscribe");
 
     // A bulk job shares the runtime (the multi-tenancy that makes
     // deadline scheduling matter).
-    let bulk = rt.deploy(
-        &agg_query(
-            &AggQueryParams::new("bulk", 200_000, Micros::from_secs(60))
-                .with_sources(2)
-                .with_parallelism(2)
-                .with_domain(TimeDomain::IngestionTime),
-        ),
-        &ExpandOptions::default(),
-    );
+    let bulk = rt
+        .deploy(
+            &agg_query(
+                &AggQueryParams::new("bulk", 200_000, Micros::from_secs(60))
+                    .with_sources(2)
+                    .with_parallelism(2)
+                    .with_domain(TimeDomain::IngestionTime),
+            ),
+            &ExpandOptions::default(),
+        )
+        .expect("deploy bulk job");
 
     // Drive ~1.5s of traffic: service 7 bursts errors mid-run.
     let start = Instant::now();
@@ -84,12 +88,12 @@ fn main() {
                     Tuple::new(service, severity, LogicalTime(now_us + i))
                 })
                 .collect();
-            rt.ingest(job, source, tuples);
+            rt.ingest(job, source, tuples).expect("ingest");
             // Bulk load.
             let bulk_tuples: Vec<Tuple> = (0..200)
                 .map(|i| Tuple::new(i % 64, 1, LogicalTime(now_us + i)))
                 .collect();
-            rt.ingest(bulk, source, bulk_tuples);
+            rt.ingest(bulk, source, bulk_tuples).expect("ingest");
         }
         std::thread::sleep(Duration::from_millis(10));
     }
@@ -105,7 +109,7 @@ fn main() {
     for (svc, sum, lat) in flagged.iter().take(8) {
         println!("  service {svc}: burst score {sum}, flagged {lat} after last event");
     }
-    let stats = rt.job_stats(job);
+    let stats = rt.job_stats(job).expect("job stats");
     println!(
         "\nflagged {} bursts; detector outputs p50={} p99={} (target 50ms, met {:.0}%)",
         flagged.len(),
@@ -117,6 +121,9 @@ fn main() {
         flagged.iter().any(|&(svc, _, _)| svc == 7),
         "the flooding service must be flagged"
     );
-    println!("bulk job windows emitted: {}", rt.job_stats(bulk).outputs);
+    println!(
+        "bulk job windows emitted: {}",
+        rt.job_stats(bulk).expect("job stats").outputs
+    );
     rt.shutdown();
 }

@@ -27,7 +27,7 @@ fn main() -> std::io::Result<()> {
             .with_keys(8)
             .with_domain(TimeDomain::IngestionTime),
     );
-    let job = rt.deploy(&spec, &ExpandOptions::default());
+    let job = rt.deploy(&spec, &ExpandOptions::default()).expect("deploy");
     let server = IngestServer::start(rt.clone(), "127.0.0.1:0")?;
     let addr = server.local_addr();
     println!("ingest server listening on {addr}");
@@ -44,7 +44,7 @@ fn main() -> std::io::Result<()> {
             for round in 0..ROUNDS {
                 let frames: Vec<IngestFrame> = (0..BURST_FRAMES)
                     .map(|f| IngestFrame {
-                        job: job.0,
+                        job: job.slot(),
                         source,
                         tuples: (0..25u64)
                             .map(|i| Tuple::new((round + f + i) % 8, 1, LogicalTime(0)))
@@ -66,7 +66,7 @@ fn main() -> std::io::Result<()> {
 
     rt.drain(Duration::from_secs(5));
     std::thread::sleep(Duration::from_millis(100));
-    let stats = rt.job_stats(job);
+    let stats = rt.job_stats(job).expect("job stats");
     println!(
         "clients sent {total_sent} tuples in {} frames; server ingested {} frames ({} dropped)",
         total_sent / 25,

@@ -21,8 +21,8 @@ fn main() {
             .with_keys(16)
             .with_domain(TimeDomain::IngestionTime),
     );
-    let job = rt.deploy(&spec, &ExpandOptions::default());
-    let outputs = rt.subscribe(job);
+    let job = rt.deploy(&spec, &ExpandOptions::default()).expect("deploy");
+    let outputs = rt.subscribe(job).expect("subscribe");
 
     // Stream ~2 seconds of events from 4 sources: 50 tuples per message,
     // 20 messages per second per source.
@@ -42,7 +42,7 @@ fn main() {
                     Tuple::new((sent + i) % 16, 1, LogicalTime(t))
                 })
                 .collect();
-            rt.ingest(job, source, tuples);
+            rt.ingest(job, source, tuples).expect("ingest");
             sent += 50;
         }
         std::thread::sleep(Duration::from_millis(50));
@@ -66,7 +66,7 @@ fn main() {
         }
     }
 
-    let stats = rt.job_stats(job);
+    let stats = rt.job_stats(job).expect("job stats");
     println!(
         "\n{} tuples ingested; {} windows emitted",
         sent, stats.outputs

@@ -52,7 +52,9 @@ fn one_send_coalesces_to_at_most_shard_count_publications() {
         ..Default::default()
     }));
     assert_eq!(rt.shard_count(), 1);
-    let job = rt.deploy(&query("coalesce"), &ExpandOptions::default());
+    let job = rt
+        .deploy(&query("coalesce"), &ExpandOptions::default())
+        .expect("deploy");
     let server = IngestServer::start(rt.clone(), "127.0.0.1:0").unwrap();
     let mut client = IngestClient::connect(server.local_addr()).unwrap();
 
@@ -60,7 +62,7 @@ fn one_send_coalesces_to_at_most_shard_count_publications() {
     // loopback this is one TCP segment, so the (blocked) serve loop's
     // next read returns the whole burst.
     let frames: Vec<IngestFrame> = (0..FRAMES)
-        .map(|f| frame(job.0, (f % 2) as u32, f * 100, 4))
+        .map(|f| frame(job.slot(), (f % 2) as u32, f * 100, 4))
         .collect();
     client.send_many(&frames).unwrap();
 
@@ -104,19 +106,23 @@ fn coalesced_ingress_processes_end_to_end() {
     let rt = Arc::new(Runtime::start(
         cameo::runtime::runtime::RuntimeConfig::default().with_workers(2),
     ));
-    let job = rt.deploy(&query("e2e"), &ExpandOptions::default());
+    let job = rt
+        .deploy(&query("e2e"), &ExpandOptions::default())
+        .expect("deploy");
     let server = IngestServer::start(rt.clone(), "127.0.0.1:0").unwrap();
     let mut client = IngestClient::connect(server.local_addr()).unwrap();
     // Several bursts: window-filling tuples, then window-crossing ones.
     for round in 0..4u64 {
         let frames: Vec<IngestFrame> = (0..8u64)
-            .map(|f| frame(job.0, (f % 2) as u32, round * 1_000 + f * 10, 4))
+            .map(|f| frame(job.slot(), (f % 2) as u32, round * 1_000 + f * 10, 4))
             .collect();
         client.send_many(&frames).unwrap();
         std::thread::sleep(Duration::from_millis(15));
     }
     for source in [0u32, 1] {
-        client.send(&frame(job.0, source, 30_000_000, 1)).unwrap();
+        client
+            .send(&frame(job.slot(), source, 30_000_000, 1))
+            .unwrap();
     }
     assert!(
         wait_for(Duration::from_secs(5), || server.frames_received() == 34),
@@ -124,7 +130,11 @@ fn coalesced_ingress_processes_end_to_end() {
     );
     assert!(rt.drain(Duration::from_secs(5)));
     assert!(
-        wait_for(Duration::from_secs(5), || rt.job_stats(job).outputs >= 1),
+        wait_for(Duration::from_secs(5), || rt
+            .job_stats(job)
+            .expect("job stats")
+            .outputs
+            >= 1),
         "windows fired through the coalesced path"
     );
     let stats = rt.scheduler_stats();
@@ -147,14 +157,16 @@ fn unknown_job_frames_are_dropped_not_fatal() {
         workers: 0,
         ..Default::default()
     }));
-    let job = rt.deploy(&query("drop"), &ExpandOptions::default());
+    let job = rt
+        .deploy(&query("drop"), &ExpandOptions::default())
+        .expect("deploy");
     let server = IngestServer::start(rt.clone(), "127.0.0.1:0").unwrap();
     let mut client = IngestClient::connect(server.local_addr()).unwrap();
     client
         .send_many(&[
-            frame(job.0, 0, 0, 3),
-            frame(job.0 + 77, 0, 0, 3), // not deployed
-            frame(job.0, 1, 100, 3),
+            frame(job.slot(), 0, 0, 3),
+            frame(job.slot() + 77, 0, 0, 3), // not deployed
+            frame(job.slot(), 1, 100, 3),
         ])
         .unwrap();
     assert!(wait_for(Duration::from_secs(5), || server
@@ -163,7 +175,7 @@ fn unknown_job_frames_are_dropped_not_fatal() {
     assert_eq!(server.frames_received(), 2);
     assert_eq!(server.frames_dropped(), 1);
     // The connection survived: a later send still lands.
-    client.send(&frame(job.0, 0, 500, 2)).unwrap();
+    client.send(&frame(job.slot(), 0, 500, 2)).unwrap();
     assert!(wait_for(Duration::from_secs(5), || server
         .frames_received()
         == 3));

@@ -21,22 +21,26 @@ fn feed_two_windows(rt: &Runtime, job: JobHandle, window: u64) {
         let tuples = (0..40)
             .map(|i| Tuple::new(i % 8, 1, LogicalTime(1 + i * (window / 50))))
             .collect();
-        rt.ingest_batch(job, source, Batch::new(tuples, PhysicalTime::ZERO));
+        rt.ingest_batch(job, source, Batch::new(tuples, PhysicalTime::ZERO))
+            .expect("ingest");
     }
     std::thread::sleep(Duration::from_millis(10));
     for source in 0..2u32 {
         let tuples = (0..40)
             .map(|i| Tuple::new(i % 8, 1, LogicalTime(window + 1 + i)))
             .collect();
-        rt.ingest_batch(job, source, Batch::new(tuples, PhysicalTime::ZERO));
+        rt.ingest_batch(job, source, Batch::new(tuples, PhysicalTime::ZERO))
+            .expect("ingest");
     }
 }
 
 #[test]
 fn runtime_fires_windows_and_reports_stats() {
     let rt = Runtime::start(RuntimeConfig::default().with_workers(2));
-    let job = rt.deploy(&small_query("rt", 100_000), &ExpandOptions::default());
-    let rx = rt.subscribe(job);
+    let job = rt
+        .deploy(&small_query("rt", 100_000), &ExpandOptions::default())
+        .expect("deploy");
+    let rx = rt.subscribe(job).expect("subscribe");
     feed_two_windows(&rt, job, 100_000);
     assert!(rt.drain(Duration::from_secs(5)), "queue must drain");
     let ev = rx
@@ -46,7 +50,7 @@ fn runtime_fires_windows_and_reports_stats() {
     let total: i64 = ev.batch.tuples.iter().map(|t| t.value).sum();
     assert_eq!(total, 80);
     assert_eq!(ev.batch.len(), 8, "8 distinct keys");
-    let stats = rt.job_stats(job);
+    let stats = rt.job_stats(job).expect("job stats");
     assert!(stats.outputs >= 1);
     assert!(stats.p99.0 > 0);
     rt.shutdown();
@@ -60,8 +64,10 @@ fn runtime_matches_sim_answers() {
 
     // Runtime side.
     let rt = Runtime::start(RuntimeConfig::default().with_workers(2));
-    let job = rt.deploy(&small_query("cmp", window), &ExpandOptions::default());
-    let rx = rt.subscribe(job);
+    let job = rt
+        .deploy(&small_query("cmp", window), &ExpandOptions::default())
+        .expect("deploy");
+    let rx = rt.subscribe(job).expect("subscribe");
     feed_two_windows(&rt, job, window);
     assert!(rt.drain(Duration::from_secs(5)));
     let mut rt_out = Vec::new();
@@ -85,7 +91,9 @@ fn runtime_matches_sim_answers() {
 #[test]
 fn tcp_ingest_end_to_end() {
     let rt = Arc::new(Runtime::start(RuntimeConfig::default().with_workers(2)));
-    let job = rt.deploy(&small_query("tcp", 50_000), &ExpandOptions::default());
+    let job = rt
+        .deploy(&small_query("tcp", 50_000), &ExpandOptions::default())
+        .expect("deploy");
     let server = IngestServer::start(rt.clone(), "127.0.0.1:0").expect("bind");
     let addr = server.local_addr();
 
@@ -93,7 +101,7 @@ fn tcp_ingest_end_to_end() {
     for source in 0..2u32 {
         client
             .send(&IngestFrame {
-                job: job.0,
+                job: job.slot(),
                 source,
                 tuples: (0..20)
                     .map(|i| Tuple::new(i % 8, 1, LogicalTime(1 + i)))
@@ -102,7 +110,7 @@ fn tcp_ingest_end_to_end() {
             .expect("send");
         client
             .send(&IngestFrame {
-                job: job.0,
+                job: job.slot(),
                 source,
                 tuples: (0..20)
                     .map(|i| Tuple::new(i % 8, 1, LogicalTime(60_000 + i)))
@@ -119,7 +127,7 @@ fn tcp_ingest_end_to_end() {
     }
     assert_eq!(server.frames_received(), 4, "all frames ingested");
     assert!(rt.drain(Duration::from_secs(5)));
-    let stats = rt.job_stats(job);
+    let stats = rt.job_stats(job).expect("job stats");
     assert!(stats.outputs >= 1, "TCP-fed window must fire");
     server.stop();
 }
@@ -132,10 +140,12 @@ fn quantum_zero_and_large_both_work() {
                 .with_workers(2)
                 .with_quantum(quantum),
         );
-        let job = rt.deploy(&small_query("q", 100_000), &ExpandOptions::default());
+        let job = rt
+            .deploy(&small_query("q", 100_000), &ExpandOptions::default())
+            .expect("deploy");
         feed_two_windows(&rt, job, 100_000);
         assert!(rt.drain(Duration::from_secs(5)));
-        assert!(rt.job_stats(job).outputs >= 1);
+        assert!(rt.job_stats(job).expect("job stats").outputs >= 1);
         rt.shutdown();
     }
 }
@@ -147,9 +157,11 @@ fn sjf_policy_runs_on_runtime() {
             .with_workers(2)
             .with_policy(std::sync::Arc::new(SjfPolicy)),
     );
-    let job = rt.deploy(&small_query("sjf", 100_000), &ExpandOptions::default());
+    let job = rt
+        .deploy(&small_query("sjf", 100_000), &ExpandOptions::default())
+        .expect("deploy");
     feed_two_windows(&rt, job, 100_000);
     assert!(rt.drain(Duration::from_secs(5)));
-    assert!(rt.job_stats(job).outputs >= 1);
+    assert!(rt.job_stats(job).expect("job stats").outputs >= 1);
     rt.shutdown();
 }
