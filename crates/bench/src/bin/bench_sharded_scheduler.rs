@@ -49,6 +49,18 @@
 //!    is the control-plane overhead a multi-tenant operator pays for
 //!    tenant arrival/departure (PAPER §6, Fig 8's dynamic workload).
 //!
+//! 5. **Connection sweep** (`conn_sweep`): the C100K shape of the
+//!    epoll serve loop. A child process (own fd table) opens 16 →
+//!    1k → 10k loopback connections (16/256 under `--quick`) and
+//!    blasts a fixed total frame budget across them; the parent times
+//!    the barrage against its zero-worker runtime. Each cell records
+//!    the process's OS thread count while every connection is live —
+//!    asserted *identical* across the sweep, the O(1)-threads claim —
+//!    plus RSS, readiness bursts and the connection high-water mark.
+//!    Before teardown every cell sends one frame stamped with a stale
+//!    `JobHandle` generation and asserts the server rejected and
+//!    counted it without routing it (`gen_rejected_frames`).
+//!
 //! Output: a table on stdout and `BENCH_sharded_scheduler.json` in the
 //! current directory, so later PRs have a perf trajectory to compare
 //! against. The artifact records the CPU count and whether workers were
@@ -462,6 +474,12 @@ struct NetCell {
     frames_coalesced: u64,
     /// Chain publications — at most `net_batches × shards`.
     batch_publications: u64,
+    /// `epoll_wait` returns that reported at least one ready fd.
+    readiness_bursts: u64,
+    /// High-water mark of concurrently open ingest connections.
+    conns_peak: u64,
+    /// Frames refused by the v2 generation check (should be 0 here).
+    gen_rejected: u64,
 }
 
 fn run_net_ingest(frames_per_read: usize, measure: Duration) -> NetCell {
@@ -493,18 +511,20 @@ fn run_net_ingest(frames_per_read: usize, measure: Duration) -> NetCell {
     let server = IngestServer::start(rt.clone(), "127.0.0.1:0").expect("bind loopback");
     let mut client = IngestClient::connect(server.local_addr()).expect("connect loopback");
     let burst: Vec<IngestFrame> = (0..frames_per_read)
-        .map(|f| IngestFrame {
-            job: job.slot(),
-            source: 0,
-            tuples: (0..TUPLES as u64)
-                .map(|i| {
-                    cameo_dataflow::event::Tuple::new(
-                        i % 8,
-                        1,
-                        cameo_core::time::LogicalTime(1 + f as u64 * TUPLES as u64 + i),
-                    )
-                })
-                .collect(),
+        .map(|f| {
+            IngestFrame::addressed(
+                job,
+                0,
+                (0..TUPLES as u64)
+                    .map(|i| {
+                        cameo_dataflow::event::Tuple::new(
+                            i % 8,
+                            1,
+                            cameo_core::time::LogicalTime(1 + f as u64 * TUPLES as u64 + i),
+                        )
+                    })
+                    .collect(),
+            )
         })
         .collect();
     let mut sent = 0u64;
@@ -531,6 +551,9 @@ fn run_net_ingest(frames_per_read: usize, measure: Duration) -> NetCell {
     drop(client);
     let stats = rt.scheduler_stats();
     let msgs = rt.queue_len() as u64;
+    let readiness_bursts = server.readiness_bursts();
+    let conns_peak = server.conns_peak();
+    let gen_rejected = server.gen_rejected_frames();
     server.stop();
     std::sync::Arc::try_unwrap(rt)
         .ok()
@@ -546,7 +569,278 @@ fn run_net_ingest(frames_per_read: usize, measure: Duration) -> NetCell {
         net_batches: stats.net_batches,
         frames_coalesced: stats.frames_coalesced,
         batch_publications: stats.batch_publications,
+        readiness_bursts,
+        conns_peak,
+        gen_rejected,
     }
+}
+
+/// One connection-sweep cell; see the module docs (experiment 5).
+struct ConnCell {
+    conns: usize,
+    frames_per_burst: usize,
+    /// Frames every connection pushed (budget / conns, burst-aligned).
+    frames: u64,
+    msgs: u64,
+    ns_per_frame: f64,
+    ns_per_msg: f64,
+    /// OS threads in this process while all `conns` were live — the
+    /// sweep asserts this is identical at every connection count.
+    threads: usize,
+    /// Resident set (KiB) right after the barrage, connections open.
+    rss_kb: u64,
+    readiness_bursts: u64,
+    conns_peak: u64,
+    /// Stale-generation probe frames the server refused (≥ 1).
+    gen_rejected: u64,
+    accepts_shed: u64,
+    net_batches: u64,
+    frames_coalesced: u64,
+}
+
+/// OS threads in this process, via `/proc/self/task`; 0 where procfs
+/// is unavailable (the constant-thread assertion is skipped there).
+fn threads_now() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+/// Resident set size in KiB from `/proc/self/status`; 0 if unknown.
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Child-process half of the connection sweep (`--conn-client`): open
+/// `conns` sockets, report readiness, then blast the same pre-encoded
+/// burst down every connection round-robin until each has sent
+/// `frames_each` frames. Runs as a separate process so parent + child
+/// fd tables each stay well under the rlimit at 10k connections.
+///
+/// Protocol on stdio: child prints `established N`, parent replies
+/// `go`, child sends, prints `sent`, and holds every socket open until
+/// the parent's final line (or EOF) releases it.
+fn conn_client_main(rest: &[String]) {
+    use cameo_runtime::prelude::IngestFrame;
+    use std::io::{BufRead, Write as _};
+    use std::net::TcpStream;
+
+    let addr = rest[0].clone();
+    let conns: usize = rest[1].parse().expect("conns");
+    let frames_each: usize = rest[2].parse().expect("frames_each");
+    let fpr: usize = rest[3].parse().expect("frames_per_burst");
+    let slot: u32 = rest[4].parse().expect("slot");
+    let gen: u32 = rest[5].parse().expect("gen");
+    let tuples: usize = rest[6].parse().expect("tuples");
+
+    // Every connection replays the same byte slab, encoded once.
+    let mut bytes = Vec::new();
+    for f in 0..fpr {
+        IngestFrame {
+            job: slot,
+            gen,
+            source: 0,
+            tuples: (0..tuples as u64)
+                .map(|i| {
+                    cameo_dataflow::event::Tuple::new(
+                        i % 8,
+                        1,
+                        cameo_core::time::LogicalTime(1 + f as u64 * tuples as u64 + i),
+                    )
+                })
+                .collect(),
+        }
+        .encode_into(&mut bytes);
+    }
+
+    let mut socks: Vec<TcpStream> = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        // Bounded retry: a full accept backlog drops SYNs while the
+        // serve loop catches up; a dead server must still fail loudly.
+        let mut attempts = 0;
+        let s = loop {
+            match TcpStream::connect(&addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    attempts += 1;
+                    assert!(attempts < 10_000, "conn client cannot connect: {e}");
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        };
+        s.set_nodelay(true).ok();
+        socks.push(s);
+    }
+    println!("established {}", socks.len());
+    std::io::stdout().flush().expect("flush");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    stdin.lock().read_line(&mut line).expect("go line");
+
+    for _ in 0..frames_each / fpr {
+        for s in socks.iter_mut() {
+            s.write_all(&bytes).expect("burst write");
+        }
+    }
+    println!("sent");
+    std::io::stdout().flush().expect("flush");
+    // Keep the sockets open while the parent samples counters and runs
+    // its stale-generation probe; EOF on stdin is the release.
+    line.clear();
+    let _ = stdin.lock().read_line(&mut line);
+}
+
+/// Parent half of the connection sweep: a zero-worker runtime and one
+/// epoll serve loop, fed by a child process holding `conns` live
+/// sockets. Times the barrage, samples threads + RSS while every
+/// connection is open, then proves a stale-generation frame is
+/// rejected-and-counted at this connection count before tearing down.
+fn run_conn_sweep(conns: usize, frames_per_burst: usize) -> ConnCell {
+    use cameo_dataflow::queries::AggQueryParams;
+    use cameo_runtime::prelude::*;
+    use std::io::{BufRead, BufReader, Write as _};
+
+    const TUPLES: usize = 8;
+    /// Total frames across all connections — zero workers means
+    /// nothing drains, so the budget bounds the queue exactly as in
+    /// `run_net_ingest`.
+    const FRAME_BUDGET: usize = 60_000;
+
+    let rt = std::sync::Arc::new(Runtime::start(cameo_runtime::runtime::RuntimeConfig {
+        workers: 0,
+        ..Default::default()
+    }));
+    let spec = cameo_dataflow::queries::agg_query(
+        &AggQueryParams::new(
+            "conn-bench",
+            1_000_000,
+            cameo_core::time::Micros::from_millis(800),
+        )
+        .with_sources(1)
+        .with_parallelism(1)
+        .with_keys(8),
+    );
+    let job = rt.deploy(&spec, &Default::default()).expect("deploy");
+    let server = IngestServer::start(rt.clone(), "127.0.0.1:0").expect("bind loopback");
+
+    let bursts_each = ((FRAME_BUDGET / conns).max(1) / frames_per_burst).max(1);
+    let frames_each = bursts_each * frames_per_burst;
+    let total = (conns * frames_each) as u64;
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .arg("--conn-client")
+        .arg(server.local_addr().to_string())
+        .arg(conns.to_string())
+        .arg(frames_each.to_string())
+        .arg(frames_per_burst.to_string())
+        .arg(job.slot().to_string())
+        .arg(job.generation().to_string())
+        .arg(TUPLES.to_string())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn conn client");
+    let mut child_out = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut child_in = child.stdin.take().expect("child stdin");
+    let mut line = String::new();
+    child_out.read_line(&mut line).expect("client hello");
+    assert_eq!(
+        line.trim(),
+        format!("established {conns}"),
+        "conn client failed to open {conns} connections"
+    );
+    // Every connection is open and idle: sample the number the sweep
+    // asserts is O(1) in `conns`, then release the barrage.
+    let threads = threads_now();
+    let t0 = Instant::now();
+    child_in.write_all(b"go\n").expect("go");
+    // Park while the child drives; a spinning watcher would steal the
+    // one CPU the serve loop and the client share on small hosts.
+    line.clear();
+    child_out.read_line(&mut line).expect("sent line");
+    let stall = Instant::now() + Duration::from_secs(60);
+    while server.frames_received() < total {
+        assert!(
+            Instant::now() < stall,
+            "conn_sweep stalled: {}/{} frames acked ({} conns)",
+            server.frames_received(),
+            total,
+            conns
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let elapsed = t0.elapsed();
+    let rss = rss_kb();
+
+    // Stale-generation probe while all `conns` sockets are still open:
+    // a frame stamped with a generation this slot never issued must be
+    // rejected and counted — and never routed — at every point of the
+    // sweep.
+    let rejected_before = server.gen_rejected_frames();
+    let mut probe = IngestClient::connect(server.local_addr()).expect("probe connect");
+    probe
+        .send(&IngestFrame {
+            job: job.slot(),
+            gen: job.generation().wrapping_add(1),
+            source: 0,
+            tuples: vec![cameo_dataflow::event::Tuple::new(
+                0,
+                1,
+                cameo_core::time::LogicalTime(1),
+            )],
+        })
+        .expect("probe send");
+    let probe_stall = Instant::now() + Duration::from_secs(10);
+    while server.gen_rejected_frames() == rejected_before {
+        assert!(
+            Instant::now() < probe_stall,
+            "stale-generation frame was neither rejected nor counted"
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    assert_eq!(
+        server.frames_received(),
+        total,
+        "a stale-generation frame must never count as received"
+    );
+    drop(probe);
+
+    let msgs = rt.queue_len() as u64;
+    let stats = rt.scheduler_stats();
+    let cell = ConnCell {
+        conns,
+        frames_per_burst,
+        frames: total,
+        msgs,
+        ns_per_frame: elapsed.as_nanos() as f64 / total as f64,
+        ns_per_msg: elapsed.as_nanos() as f64 / msgs.max(1) as f64,
+        threads,
+        rss_kb: rss,
+        readiness_bursts: server.readiness_bursts(),
+        conns_peak: server.conns_peak(),
+        gen_rejected: server.gen_rejected_frames() - rejected_before,
+        accepts_shed: server.accepts_shed(),
+        net_batches: stats.net_batches,
+        frames_coalesced: stats.frames_coalesced,
+    };
+    child_in.write_all(b"exit\n").ok();
+    drop(child_in);
+    child.wait().expect("conn client exit");
+    server.stop();
+    std::sync::Arc::try_unwrap(rt)
+        .ok()
+        .expect("sole runtime owner")
+        .shutdown();
+    cell
 }
 
 /// One deploy→ingest→drain→undeploy→redeploy sweep; see module docs
@@ -630,6 +924,13 @@ fn run_job_churn(cycles: u64) -> ChurnCell {
 }
 
 fn main() {
+    // Child-process mode for the connection sweep: re-invoked as
+    // `bench_sharded_scheduler --conn-client <addr> <conns> ...`.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--conn-client") {
+        conn_client_main(&argv[1..]);
+        return;
+    }
     let args = BenchArgs::parse();
     let mut out_path = String::from("BENCH_sharded_scheduler.json");
     let mut pin = false;
@@ -780,6 +1081,57 @@ fn main() {
         );
     }
 
+    println!("\nconnection sweep (epoll serve loop, child-process client, open-loop barrage)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>8} {:>10} {:>10} {:>8} {:>10}",
+        "conns", "f/burst", "frames", "ns/msg", "threads", "rss_kb", "bursts", "peak", "rejected"
+    );
+    let conn_sweep: &[(usize, usize)] = if args.quick {
+        &[(16, 64), (256, 8)]
+    } else {
+        &[(16, 64), (1_000, 8), (10_000, 4)]
+    };
+    let conn_cells: Vec<ConnCell> = conn_sweep
+        .iter()
+        .map(|&(conns, fpr)| {
+            let cell = run_conn_sweep(conns, fpr);
+            println!(
+                "{:>8} {:>10} {:>10} {:>12.1} {:>8} {:>10} {:>10} {:>8} {:>10}",
+                cell.conns,
+                cell.frames_per_burst,
+                cell.frames,
+                cell.ns_per_msg,
+                cell.threads,
+                cell.rss_kb,
+                cell.readiness_bursts,
+                cell.conns_peak,
+                cell.gen_rejected
+            );
+            cell
+        })
+        .collect();
+    // O(1) server threads: the process's thread count with 10k live
+    // connections must equal its count with 16. Skipped only where
+    // procfs is unavailable (threads_now() == 0).
+    let base_threads = conn_cells.first().map(|c| c.threads).unwrap_or(0);
+    if base_threads > 0 {
+        for c in &conn_cells {
+            assert_eq!(
+                c.threads, base_threads,
+                "thread count must be constant across the connection sweep \
+                 ({} conns used {} threads, {} at {} conns)",
+                c.conns, c.threads, base_threads, conn_cells[0].conns
+            );
+        }
+    }
+    for c in &conn_cells {
+        assert!(
+            c.gen_rejected >= 1,
+            "stale-generation probe must be rejected at {} conns",
+            c.conns
+        );
+    }
+
     println!("\njob churn (deploy -> ingest -> drain -> undeploy -> redeploy, 2 workers)");
     let churn_cycles = if args.quick { 20 } else { 100 };
     let churn = run_job_churn(churn_cycles);
@@ -823,7 +1175,7 @@ fn main() {
     json.push_str("  ],\n  \"net_ingest\": [\n");
     for (i, c) in net_cells.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"frames_per_read\": {}, \"tuples_per_frame\": {}, \"frames\": {}, \"msgs\": {}, \"ns_per_frame\": {:.1}, \"ns_per_msg\": {:.1}, \"net_batches\": {}, \"frames_coalesced\": {}, \"batch_publications\": {}}}{}\n",
+            "    {{\"frames_per_read\": {}, \"tuples_per_frame\": {}, \"frames\": {}, \"msgs\": {}, \"ns_per_frame\": {:.1}, \"ns_per_msg\": {:.1}, \"net_batches\": {}, \"frames_coalesced\": {}, \"batch_publications\": {}, \"readiness_bursts\": {}, \"conns_peak\": {}, \"gen_rejected_frames\": {}}}{}\n",
             c.frames_per_read,
             c.tuples_per_frame,
             c.frames,
@@ -833,7 +1185,31 @@ fn main() {
             c.net_batches,
             c.frames_coalesced,
             c.batch_publications,
+            c.readiness_bursts,
+            c.conns_peak,
+            c.gen_rejected,
             if i + 1 == net_cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"conn_sweep\": [\n");
+    for (i, c) in conn_cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"conns\": {}, \"frames_per_burst\": {}, \"frames\": {}, \"msgs\": {}, \"ns_per_frame\": {:.1}, \"ns_per_msg\": {:.1}, \"threads\": {}, \"rss_kb\": {}, \"readiness_bursts\": {}, \"conns_peak\": {}, \"gen_rejected_frames\": {}, \"accepts_shed\": {}, \"net_batches\": {}, \"frames_coalesced\": {}}}{}\n",
+            c.conns,
+            c.frames_per_burst,
+            c.frames,
+            c.msgs,
+            c.ns_per_frame,
+            c.ns_per_msg,
+            c.threads,
+            c.rss_kb,
+            c.readiness_bursts,
+            c.conns_peak,
+            c.gen_rejected,
+            c.accepts_shed,
+            c.net_batches,
+            c.frames_coalesced,
+            if i + 1 == conn_cells.len() { "" } else { "," }
         ));
     }
     json.push_str("  ],\n");

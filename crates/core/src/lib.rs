@@ -72,6 +72,7 @@ pub mod affinity;
 pub mod arena;
 pub mod config;
 pub mod context;
+pub mod epoll;
 pub mod ids;
 pub mod mailbox;
 pub mod policy;

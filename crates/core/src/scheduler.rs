@@ -75,6 +75,13 @@ pub struct SchedulerStats {
     /// produced. `frames_coalesced / net_batches` is the achieved
     /// frames-per-read coalescing ratio. Filled by the runtime layer.
     pub net_batches: u64,
+    /// Wire frames refused at the runtime's v2 generation check: their
+    /// slot generation no longer matched the occupant (the sender's job
+    /// was undeployed — and the slot possibly reused — while the frame
+    /// was in flight). The wire-side twin of a stale-handle rejection;
+    /// counted separately from `retired_drops` because the frame never
+    /// entered the scheduler. Filled by the runtime layer.
+    pub gen_rejected_frames: u64,
     /// Jobs retired via
     /// [`ShardedScheduler::retire_job`](crate::shard::ShardedScheduler::retire_job).
     pub jobs_retired: u64,
@@ -105,6 +112,7 @@ impl SchedulerStats {
         self.batch_publications += other.batch_publications;
         self.frames_coalesced += other.frames_coalesced;
         self.net_batches += other.net_batches;
+        self.gen_rejected_frames += other.gen_rejected_frames;
         self.jobs_retired += other.jobs_retired;
         self.messages_purged += other.messages_purged;
         self.retired_drops += other.retired_drops;

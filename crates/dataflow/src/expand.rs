@@ -151,6 +151,24 @@ pub fn partition_hash(key: u64) -> u64 {
 /// Under `Partition`, *every* target receives a sub-batch (possibly
 /// empty) carrying the full progress, so watermarks advance everywhere.
 pub fn route_batch(route: &OutRoute, batch: &Batch) -> Vec<(usize, u32, Batch)> {
+    route_batch_inner(route, batch)
+}
+
+/// Like [`route_batch`], but consumes the batch. With exactly one
+/// target every routing mode delivers the whole batch there — `Forward`
+/// by definition, `Broadcast` and `Partition` degenerately — so the
+/// single-target case (a parallelism-1 stage, the common shape on the
+/// ingest hot path) *moves* the batch instead of hashing and copying it
+/// tuple by tuple.
+pub fn route_batch_owned(route: &OutRoute, batch: Batch) -> Vec<(usize, u32, Batch)> {
+    if route.targets.len() == 1 {
+        let (t, c) = route.targets[0];
+        return vec![(t, c, batch)];
+    }
+    route_batch_inner(route, &batch)
+}
+
+fn route_batch_inner(route: &OutRoute, batch: &Batch) -> Vec<(usize, u32, Batch)> {
     match route.routing {
         Routing::Forward => {
             let (t, c) = route.targets[0];

@@ -9,9 +9,18 @@
 //! partial-frame surprises, and a hard frame-size cap so a misbehaving
 //! client cannot balloon memory.
 //!
+//! This is **wire format v2**: the payload header carries the slot
+//! *generation* of the sender's [`JobHandle`](crate::runtime::JobHandle) alongside the slot index,
+//! so the stale-handle guarantee extends across the wire — a frame that
+//! races its job's undeploy (and the slot's reuse) is rejected and
+//! counted by the server, never routed to the slot's new occupant. v1
+//! (no `gen` field) is not spoken anymore; the format is a clean break,
+//! and a v1 peer fails the frame-length consistency check rather than
+//! being half-parsed.
+//!
 //! ```text
 //! frame   := len:u32be payload
-//! payload := job:u32le source:u32le count:u32le tuple*
+//! payload := job:u32le gen:u32le source:u32le count:u32le tuple*
 //! tuple   := key:u64le value:i64le time:u64le
 //! ```
 
@@ -55,15 +64,20 @@ pub struct RtMsg {
 pub const MAX_FRAME: u32 = 1 << 20;
 /// Bytes per tuple on the wire (`key:u64 value:i64 time:u64`).
 pub const TUPLE_WIRE: usize = 24;
-/// Bytes of payload header (`job:u32 source:u32 count:u32`).
-pub const HEADER_WIRE: usize = 12;
+/// Bytes of payload header (`job:u32 gen:u32 source:u32 count:u32`).
+pub const HEADER_WIRE: usize = 16;
 
 /// One decoded ingest frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IngestFrame {
-    /// Jobs-table slot of the target job (`JobHandle::slot()`); the
-    /// wire addresses the slot's current occupant.
+    /// Jobs-table slot of the target job (`JobHandle::slot()`).
     pub job: u32,
+    /// Slot generation the sender holds a handle for
+    /// ([`JobHandle::generation`](crate::runtime::JobHandle::generation)). The runtime accepts the frame only
+    /// while this matches the slot's current occupant: a frame racing
+    /// its job's undeploy — even one that also races the slot's *reuse*
+    /// — is rejected and counted, never delivered to the new occupant.
+    pub gen: u32,
     /// Source index within the job (taken modulo its ingest count).
     pub source: u32,
     /// The frame's tuples.
@@ -71,6 +85,18 @@ pub struct IngestFrame {
 }
 
 impl IngestFrame {
+    /// A frame addressed by a live [`JobHandle`](crate::runtime::JobHandle): slot and generation
+    /// are stamped from the handle, which is the only way a remote
+    /// producer should mint frames.
+    pub fn addressed(job: crate::runtime::JobHandle, source: u32, tuples: Vec<Tuple>) -> Self {
+        IngestFrame {
+            job: job.slot(),
+            gen: job.generation(),
+            source,
+            tuples,
+        }
+    }
+
     /// Wire size of this frame including the length prefix.
     pub fn wire_len(&self) -> usize {
         4 + HEADER_WIRE + self.tuples.len() * TUPLE_WIRE
@@ -84,6 +110,7 @@ impl IngestFrame {
         buf.reserve(4 + payload_len);
         buf.extend_from_slice(&(payload_len as u32).to_be_bytes());
         buf.extend_from_slice(&self.job.to_le_bytes());
+        buf.extend_from_slice(&self.gen.to_le_bytes());
         buf.extend_from_slice(&self.source.to_le_bytes());
         buf.extend_from_slice(&(self.tuples.len() as u32).to_le_bytes());
         for t in &self.tuples {
@@ -121,8 +148,9 @@ pub fn decode_payload(payload: &[u8]) -> io::Result<IngestFrame> {
         ));
     }
     let job = u32::from_le_bytes(payload[0..4].try_into().unwrap());
-    let source = u32::from_le_bytes(payload[4..8].try_into().unwrap());
-    let count = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+    let gen = u32::from_le_bytes(payload[4..8].try_into().unwrap());
+    let source = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+    let count = u32::from_le_bytes(payload[12..16].try_into().unwrap()) as usize;
     let expect = HEADER_WIRE + count * TUPLE_WIRE;
     if payload.len() != expect {
         return Err(io::Error::new(
@@ -141,6 +169,7 @@ pub fn decode_payload(payload: &[u8]) -> io::Result<IngestFrame> {
     }
     Ok(IngestFrame {
         job,
+        gen,
         source,
         tuples,
     })
@@ -149,6 +178,13 @@ pub fn decode_payload(payload: &[u8]) -> io::Result<IngestFrame> {
 /// Default buffer size of a [`FrameDecoder`]: big enough that a burst
 /// of typical frames (a few hundred bytes each) arrives in one read.
 pub const DECODER_BUF: usize = 64 * 1024;
+
+/// Initial buffer of an *adaptive* [`FrameDecoder`]
+/// ([`FrameDecoder::adaptive`]): small enough that 10k mostly-idle
+/// connections cost tens of megabytes, not gigabytes. A connection
+/// whose reads saturate this doubles its way up to [`DECODER_BUF`], so
+/// active connections still pull whole bursts per read.
+pub const ADAPTIVE_BUF_INIT: usize = 2 * 1024;
 
 /// Streaming frame decoder over a reusable per-connection buffer.
 ///
@@ -172,10 +208,15 @@ pub const DECODER_BUF: usize = 64 * 1024;
 pub struct FrameDecoder {
     /// The connection buffer. Valid bytes live in `start..end`; the
     /// vector's length is its capacity (it is grown, never shrunk, and
-    /// only when a single frame exceeds it).
+    /// only when a single frame exceeds it — or, for
+    /// [`adaptive`](Self::adaptive) decoders, when a read saturates
+    /// it).
     buf: Vec<u8>,
     start: usize,
     end: usize,
+    /// Saturated reads double the buffer up to this bound; `0` for the
+    /// fixed-size decoders (`new` / `with_capacity`).
+    grow_to: usize,
 }
 
 impl Default for FrameDecoder {
@@ -198,6 +239,22 @@ impl FrameDecoder {
             buf: vec![0u8; cap.max(8)],
             start: 0,
             end: 0,
+            grow_to: 0,
+        }
+    }
+
+    /// A decoder for event-loop connections: starts at
+    /// [`ADAPTIVE_BUF_INIT`] and **doubles after every saturated read**
+    /// (a read that filled all spare buffer — the socket clearly had
+    /// more) up to [`DECODER_BUF`]. Ten thousand idle connections stay
+    /// at the small footprint; the busy ones quickly regain the
+    /// whole-burst-per-read coalescing of a full-size buffer.
+    pub fn adaptive() -> Self {
+        FrameDecoder {
+            buf: vec![0u8; ADAPTIVE_BUF_INIT],
+            start: 0,
+            end: 0,
+            grow_to: DECODER_BUF,
         }
     }
 
@@ -255,8 +312,17 @@ impl FrameDecoder {
             let grown = (self.buf.len() * 2).min(4 + MAX_FRAME as usize);
             self.buf.resize(grown.max(self.buf.len() + 8), 0);
         }
+        let spare = self.buf.len() - self.end;
         let n = r.read(&mut self.buf[self.end..])?;
         self.end += n;
+        // Adaptive sizing: a saturated read means the socket had more
+        // than fit — double the buffer (bounded) so the next read pulls
+        // a bigger slice of the burst. Fixed-size decoders (grow_to ==
+        // 0) never take this path.
+        if n == spare && self.buf.len() < self.grow_to {
+            let grown = (self.buf.len() * 2).min(self.grow_to);
+            self.buf.resize(grown, 0);
+        }
         Ok(n)
     }
 
@@ -322,6 +388,7 @@ mod tests {
     fn frame(n: usize) -> IngestFrame {
         IngestFrame {
             job: 3,
+            gen: 11,
             source: 7,
             tuples: (0..n as u64)
                 .map(|i| Tuple::new(i, i as i64 * 2, LogicalTime(1_000 + i)))
@@ -393,8 +460,24 @@ mod tests {
         let f = frame(2);
         let mut bytes = encode_frame(&f);
         // Claim 100 tuples in the header.
-        bytes[4 + 8..4 + 12].copy_from_slice(&100u32.to_le_bytes());
+        bytes[4 + 12..4 + 16].copy_from_slice(&100u32.to_le_bytes());
         assert!(decode_payload(&bytes[4..]).is_err());
+    }
+
+    #[test]
+    fn v1_style_frame_without_gen_is_rejected() {
+        // A v1 peer's header lacks the gen word, so its payload is 4
+        // bytes short of what its own count field promises under v2 —
+        // the length consistency check refuses it instead of shifting
+        // every later field by one word.
+        let f = frame(2);
+        let v2 = encode_frame(&f);
+        let mut v1 = Vec::new();
+        let payload_len = (v2.len() - 4 - 4) as u32; // drop the gen word
+        v1.extend_from_slice(&payload_len.to_be_bytes());
+        v1.extend_from_slice(&v2[4..8]); // job
+        v1.extend_from_slice(&v2[12..]); // source, count, tuples
+        assert!(decode_payload(&v1[4..]).is_err());
     }
 
     #[test]
@@ -487,7 +570,7 @@ mod tests {
 
     #[test]
     fn buffer_state_resets_between_bursts() {
-        let mut dec = FrameDecoder::with_capacity(64);
+        let mut dec = FrameDecoder::with_capacity(128);
         let mut out = Vec::new();
         for round in 0..5 {
             let f = frame(round % 3);
@@ -498,8 +581,62 @@ mod tests {
         assert_eq!(out.len(), 5);
         assert_eq!(
             dec.capacity(),
-            64,
-            "64-byte frames never grow a 64-byte buffer"
+            128,
+            "sub-128-byte frames never grow a fixed 128-byte buffer"
+        );
+    }
+
+    #[test]
+    fn adaptive_decoder_doubles_on_saturated_reads_and_caps() {
+        // A stream far bigger than the initial buffer: every read
+        // saturates, so the buffer doubles its way to DECODER_BUF and
+        // stops there.
+        let mut bytes = Vec::new();
+        let mut expect = 0usize;
+        while bytes.len() < 3 * DECODER_BUF {
+            frame(40).encode_into(&mut bytes);
+            expect += 1;
+        }
+        let mut r = Chunked {
+            bytes,
+            pos: 0,
+            chunk: usize::MAX,
+        };
+        let mut dec = FrameDecoder::adaptive();
+        assert_eq!(dec.capacity(), ADAPTIVE_BUF_INIT);
+        let mut out = Vec::new();
+        while dec.read_frames(&mut r, &mut out).unwrap().is_some() {}
+        assert_eq!(out.len(), expect);
+        assert_eq!(
+            dec.capacity(),
+            DECODER_BUF,
+            "saturated reads grow exactly to the cap"
+        );
+
+        // A trickle never saturates: the buffer stays at the cap it
+        // reached (growth is one-way, driven by demand only).
+        let mut slow = Chunked {
+            bytes: encode_frame(&frame(1)),
+            pos: 0,
+            chunk: 5,
+        };
+        while dec.read_frames(&mut slow, &mut out).unwrap().is_some() {}
+        assert_eq!(dec.capacity(), DECODER_BUF);
+    }
+
+    #[test]
+    fn adaptive_decoder_stays_small_when_idle() {
+        // One small frame per read — the 10k-idle-connections case.
+        let mut dec = FrameDecoder::adaptive();
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            let mut cursor = io::Cursor::new(encode_frame(&frame(2)));
+            dec.read_frames(&mut cursor, &mut out).unwrap();
+        }
+        assert_eq!(
+            dec.capacity(),
+            ADAPTIVE_BUF_INIT,
+            "unsaturated reads never grow the buffer"
         );
     }
 }

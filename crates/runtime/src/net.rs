@@ -1,26 +1,50 @@
 //! TCP event ingestion: remote clients feed tuples into a deployed job
-//! over a length-prefixed binary protocol.
+//! over a length-prefixed binary protocol (wire format v2 — see
+//! [`crate::msg`]).
 //!
 //! The paper's testbed drives servers from 16 separate client machines;
-//! this module is that wire path. The wire format (frame layout,
-//! encoding, the streaming [`FrameDecoder`]) lives in [`crate::msg`];
-//! this module owns the sockets and the coalescing serve loop.
+//! the ROADMAP's north star is millions of users. This module serves
+//! both from **one thread**: an epoll-driven event loop
+//! ([`cameo_core::epoll`]) owns every connection, so server thread
+//! count and idle-connection cost are O(1) in the connection count —
+//! the C100K shape — instead of one OS thread (≈8 MiB of stack
+//! address space and a scheduler entry) per client.
 //!
-//! ## Coalesced ingress
+//! ## Coalesced ingress, now per readiness burst
 //!
-//! The serve loop is built around one invariant: **all frames that
-//! arrive in one socket read enter the scheduler as one batch.** Each
-//! connection owns a [`FrameDecoder`] (a reusable buffer that carries
-//! partial frames across reads); every loop iteration issues a single
-//! `read`, decodes every frame it completed, and hands the whole set to
-//! [`Runtime::ingest_frames`] — which routes the tuples of *all* those
-//! frames and splices the resulting messages into the scheduler's
-//! per-shard mailboxes with one CAS, one hint update and one wake per
-//! shard (`ShardedScheduler::submit_batch`). Under burst arrival the
-//! per-frame cost therefore collapses to the decode itself: the
-//! syscall, the scheduler publication and the worker wake are all paid
-//! once per read, not once per frame. `SchedulerStats::frames_coalesced`
-//! / `net_batches` record the achieved coalescing ratio.
+//! The serve loop keeps PR 4's invariant and strengthens it: **all
+//! frames that arrive in one readiness burst enter the scheduler as one
+//! batch.** Each `epoll_wait` return delivers the set of currently
+//! readable connections; the loop issues one `read` per ready
+//! connection into that connection's own [`FrameDecoder`] (an adaptive
+//! buffer that carries partial frames across reads and across bursts),
+//! then hands the frames of *all* ready connections to
+//! [`Runtime::ingest_frames`] as a single call — one mailbox CAS, one
+//! hint update and one worker wake per shard for the entire burst,
+//! however many connections contributed. Where the thread-per-
+//! connection loop coalesced within one socket, the event loop
+//! coalesces *across* sockets, so batching gets stronger as connection
+//! count grows. Readiness is level-triggered: a connection with more
+//! buffered data than one read pulled simply reports ready again on the
+//! next wait, which keeps the loop starvation-free without
+//! read-until-`EAGAIN` inner loops.
+//!
+//! `SchedulerStats::frames_coalesced` / `net_batches` record the
+//! achieved frames-per-batch ratio; [`IngestServer::readiness_bursts`]
+//! and [`IngestServer::conns_peak`] describe the loop itself.
+//!
+//! ## Overload behavior
+//!
+//! When the process runs out of file descriptors (`EMFILE`/`ENFILE`),
+//! the accept path sheds the pending connection gracefully — accept it
+//! using a reserved descriptor, close it, count it
+//! ([`IngestServer::accepts_shed`]) — instead of tearing down the
+//! server or spinning on a backlog that level-triggered readiness would
+//! re-report forever.
+//!
+//! On non-Linux targets (no epoll) the server transparently falls back
+//! to the previous thread-per-connection loop; the wire format and
+//! counters are identical.
 
 use crate::runtime::Runtime;
 use std::io::{self, Read, Write};
@@ -39,7 +63,7 @@ pub use crate::msg::{
 /// This is the one-frame-at-a-time convenience (two `read_exact` calls,
 /// a payload allocation per frame); the serve loop does **not** use it —
 /// it runs a [`FrameDecoder`] so that every frame available in one
-/// socket read is decoded and submitted as one batch.
+/// readiness burst is decoded and submitted as one batch.
 pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<IngestFrame>> {
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
@@ -59,68 +83,72 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<IngestFrame>> {
     decode_payload(&payload).map(Some)
 }
 
-/// A TCP ingestion server feeding a [`Runtime`]. One thread per
-/// connection (client counts are small: the paper uses 16 client
-/// machines).
+/// Counters shared between the serving thread and the server handle.
+#[derive(Default)]
+struct Counters {
+    frames: AtomicU64,
+    dropped: AtomicU64,
+    gen_rejected: AtomicU64,
+    readiness_bursts: AtomicU64,
+    conns_open: AtomicU64,
+    conns_peak: AtomicU64,
+    accepts_shed: AtomicU64,
+}
+
+impl Counters {
+    /// Fold one `ingest_frames` outcome into the wire counters.
+    fn record(&self, out: &crate::runtime::IngestOutcome) {
+        self.frames.fetch_add(out.frames as u64, Ordering::Relaxed);
+        self.dropped
+            .fetch_add(out.dropped as u64, Ordering::Relaxed);
+        self.gen_rejected
+            .fetch_add(out.gen_rejected as u64, Ordering::Relaxed);
+    }
+
+    fn conn_opened(&self) {
+        let open = self.conns_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conns_peak.fetch_max(open, Ordering::Relaxed);
+    }
+
+    fn conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A TCP ingestion server feeding a [`Runtime`]. One event-loop thread
+/// serves *every* connection (see the module docs); thread count does
+/// not grow with client count.
 pub struct IngestServer {
     addr: std::net::SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    io_thread: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
-    frames: Arc<AtomicU64>,
-    dropped: Arc<AtomicU64>,
+    counters: Arc<Counters>,
 }
 
 impl IngestServer {
     /// Bind and start serving. Frames addressed to jobs this runtime
     /// has not deployed are dropped (counted via
-    /// [`frames_dropped`](Self::frames_dropped), not fatal): clients
-    /// may race deployment.
+    /// [`frames_dropped`](Self::frames_dropped), not fatal), and frames
+    /// carrying a stale slot generation are rejected (counted via
+    /// [`gen_rejected_frames`](Self::gen_rejected_frames)): clients may
+    /// race deployment and undeployment.
     pub fn start(runtime: Arc<Runtime>, addr: impl ToSocketAddrs) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let frames = Arc::new(AtomicU64::new(0));
-        let dropped = Arc::new(AtomicU64::new(0));
+        let counters = Arc::new(Counters::default());
         let stop2 = stop.clone();
-        let frames2 = frames.clone();
-        let dropped2 = dropped.clone();
-        let accept_thread = std::thread::Builder::new()
-            .name("cameo-ingest-accept".into())
-            .spawn(move || {
-                let mut conns: Vec<JoinHandle<()>> = Vec::new();
-                while !stop2.load(Ordering::Acquire) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            stream.set_nonblocking(false).ok();
-                            let rt = runtime.clone();
-                            let stop3 = stop2.clone();
-                            let frames3 = frames2.clone();
-                            let dropped3 = dropped2.clone();
-                            conns.push(
-                                std::thread::Builder::new()
-                                    .name("cameo-ingest-conn".into())
-                                    .spawn(move || serve_conn(rt, stream, stop3, frames3, dropped3))
-                                    .expect("spawn conn thread"),
-                            );
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(std::time::Duration::from_millis(5));
-                        }
-                        Err(_) => break,
-                    }
-                }
-                for c in conns {
-                    let _ = c.join();
-                }
-            })
-            .expect("spawn accept thread");
+        let counters2 = counters.clone();
+        let io_thread = std::thread::Builder::new()
+            .name("cameo-ingest-io".into())
+            .spawn(move || serve(runtime, listener, stop2, counters2))
+            .expect("spawn ingest io thread");
         Ok(IngestServer {
             addr: local,
-            accept_thread: Some(accept_thread),
+            io_thread: Some(io_thread),
             stop,
-            frames,
-            dropped,
+            counters,
         })
     }
 
@@ -129,22 +157,58 @@ impl IngestServer {
         self.addr
     }
 
-    /// Frames successfully ingested so far (dropped frames excluded).
+    /// Frames successfully ingested so far (dropped and gen-rejected
+    /// frames excluded).
     pub fn frames_received(&self) -> u64 {
-        self.frames.load(Ordering::Relaxed)
+        self.counters.frames.load(Ordering::Relaxed)
     }
 
     /// Well-formed frames dropped because their jobs-table slot was
     /// vacant (job never deployed, or already retired) or its occupant
     /// was draining mid-`undeploy`.
     pub fn frames_dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.counters.dropped.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting and join every connection thread.
+    /// Frames rejected at the wire-format-v2 generation check: the
+    /// sender's handle went stale (its job was undeployed, the slot
+    /// possibly reused) while the frame was in flight. Never delivered
+    /// to the slot's new occupant.
+    pub fn gen_rejected_frames(&self) -> u64 {
+        self.counters.gen_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Readiness bursts served: `epoll_wait` returns that delivered at
+    /// least one ready descriptor. All frames read in one burst enter
+    /// the scheduler as one batch, so `frames_received /
+    /// readiness_bursts` is the cross-connection coalescing ratio.
+    /// Zero on the non-epoll fallback path.
+    pub fn readiness_bursts(&self) -> u64 {
+        self.counters.readiness_bursts.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open.
+    pub fn conns_open(&self) -> u64 {
+        self.counters.conns_open.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of concurrently open connections.
+    pub fn conns_peak(&self) -> u64 {
+        self.counters.conns_peak.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed at accept because the process was out of file
+    /// descriptors (`EMFILE`/`ENFILE`): accepted via the reserve
+    /// descriptor, closed immediately, server intact.
+    pub fn accepts_shed(&self) -> u64 {
+        self.counters.accepts_shed.load(Ordering::Relaxed)
+    }
+
+    /// Stop serving and join the event-loop thread; every open
+    /// connection is closed.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::Release);
-        if let Some(h) = self.accept_thread.take() {
+        if let Some(h) = self.io_thread.take() {
             let _ = h.join();
         }
     }
@@ -153,28 +217,232 @@ impl IngestServer {
 impl Drop for IngestServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
-        if let Some(h) = self.accept_thread.take() {
+        if let Some(h) = self.io_thread.take() {
             let _ = h.join();
         }
     }
 }
 
-/// Per-connection serve loop: one `read` per iteration, every frame the
-/// read completed submitted as one batch. See the module docs.
-fn serve_conn(
+/// How long one `epoll_wait` may sleep before re-checking the stop
+/// flag. Long enough to keep the idle loop cold, short enough that
+/// `stop()` returns promptly.
+#[cfg(target_os = "linux")]
+const WAIT_MS: i32 = 25;
+
+/// Epoll token reserved for the listening socket (connection tokens are
+/// table indices, which stay far below this).
+#[cfg(target_os = "linux")]
+const LISTENER_TOKEN: u64 = u64::MAX;
+
+/// `errno` values for descriptor exhaustion (Linux).
+#[cfg(target_os = "linux")]
+const ENFILE: i32 = 23;
+#[cfg(target_os = "linux")]
+const EMFILE: i32 = 24;
+
+/// Submit the burst batch once it holds this many frames rather than
+/// accumulating a whole readiness burst first. Under load a single
+/// burst can decode tens of thousands of frames (every connection's
+/// buffer full); submitting in bounded chunks keeps the frames being
+/// routed resident in cache and bounds the first-frame latency of a
+/// burst, while sparse bursts (many connections, a frame or two each)
+/// still coalesce across connections up to this size.
+#[cfg(target_os = "linux")]
+const SUBMIT_CHUNK: usize = 512;
+
+/// One registered connection: its socket and the streaming decoder
+/// carrying partial frames across reads. The decoder starts small
+/// ([`crate::msg::ADAPTIVE_BUF_INIT`]) and grows only under load, so
+/// ten thousand mostly-idle connections stay cheap.
+#[cfg(target_os = "linux")]
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+/// The epoll event loop: every connection, plus the listener, served by
+/// the one calling thread. See the module docs for the coalescing
+/// invariant.
+#[cfg(target_os = "linux")]
+fn serve(rt: Arc<Runtime>, listener: TcpListener, stop: Arc<AtomicBool>, c: Arc<Counters>) {
+    use cameo_core::epoll::Epoll;
+    use std::os::unix::io::AsRawFd;
+
+    let ep = Epoll::new().expect("epoll_create1");
+    ep.add(listener.as_raw_fd(), LISTENER_TOKEN)
+        .expect("register listener");
+    // Slab-style connection table: the epoll token of a connection is
+    // its index here, freed indices are reused LIFO.
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    // The reserve descriptor backing graceful EMFILE shedding: held
+    // open so that, at exhaustion, dropping it frees exactly one fd to
+    // accept-then-close the pending connection with.
+    let mut reserve = std::fs::File::open("/dev/null").ok();
+    let mut events = Vec::new();
+    // Frames decoded across all connections of the current burst; one
+    // `ingest_frames` call drains it. Reused, so steady state allocates
+    // nothing here.
+    let mut batch: Vec<IngestFrame> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        let n = match ep.wait(&mut events, 1024, WAIT_MS) {
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        if n == 0 {
+            continue;
+        }
+        c.readiness_bursts.fetch_add(1, Ordering::Relaxed);
+        // Indices freed during this burst: reuse is deferred until the
+        // burst's events are all handled, so a not-yet-processed event
+        // for a closed connection can never alias a connection accepted
+        // later in the same burst.
+        let mut freed: Vec<usize> = Vec::new();
+        for ev in events.iter().take(n).copied() {
+            if ev.token == LISTENER_TOKEN {
+                accept_burst(&ep, &listener, &mut conns, &mut free, &mut reserve, &c);
+                continue;
+            }
+            let idx = ev.token as usize;
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                continue; // freed earlier in this burst
+            };
+            // One read per ready connection per burst (level-triggered
+            // epoll re-reports leftovers), then decode everything it
+            // completed into the shared burst batch.
+            let close = match conn.decoder.fill(&mut conn.stream) {
+                // Clean EOF only at a frame boundary; EOF inside a
+                // partial frame is a truncation either way the
+                // connection is done.
+                Ok(0) => true,
+                Ok(_) => conn.decoder.decode_available(&mut batch).is_err(),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => false,
+                Err(_) => true,
+            };
+            if close {
+                // Dropping the stream closes the fd, which deregisters
+                // it from the epoll set implicitly.
+                conns[idx] = None;
+                freed.push(idx);
+                c.conn_closed();
+            }
+            if batch.len() >= SUBMIT_CHUNK {
+                c.record(&rt.ingest_frames(batch.drain(..)));
+            }
+        }
+        if !batch.is_empty() {
+            // Whatever the burst's tail produced — still one scheduler
+            // batch for every remaining frame of every connection.
+            c.record(&rt.ingest_frames(batch.drain(..)));
+        }
+        free.append(&mut freed);
+    }
+}
+
+/// Accept every pending connection (the listener is level-triggered
+/// too, but draining it here saves wait round-trips under connect
+/// storms). Descriptor exhaustion sheds gracefully via the reserve fd.
+#[cfg(target_os = "linux")]
+fn accept_burst(
+    ep: &cameo_core::epoll::Epoll,
+    listener: &TcpListener,
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    reserve: &mut Option<std::fs::File>,
+    c: &Counters,
+) {
+    use std::os::unix::io::AsRawFd;
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue; // drop: an unusable socket
+                }
+                stream.set_nodelay(true).ok();
+                let idx = free.pop().unwrap_or_else(|| {
+                    conns.push(None);
+                    conns.len() - 1
+                });
+                if ep.add(stream.as_raw_fd(), idx as u64).is_err() {
+                    free.push(idx);
+                    continue; // drop the connection, keep serving
+                }
+                conns[idx] = Some(Conn {
+                    stream,
+                    decoder: FrameDecoder::adaptive(),
+                });
+                c.conn_opened();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if matches!(e.raw_os_error(), Some(EMFILE) | Some(ENFILE)) => {
+                // Out of descriptors: accept() failed but the
+                // connection is still in the backlog, and level-
+                // triggered readiness would re-report it forever. Free
+                // one fd (the reserve), accept the connection into it,
+                // close it immediately, then re-arm the reserve —
+                // graceful shed, server intact.
+                drop(reserve.take());
+                if let Ok((doomed, _)) = listener.accept() {
+                    drop(doomed);
+                    c.accepts_shed.fetch_add(1, Ordering::Relaxed);
+                }
+                *reserve = std::fs::File::open("/dev/null").ok();
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Thread-per-connection fallback for targets without epoll. Counters
+/// behave identically except `readiness_bursts`, which stays zero.
+#[cfg(not(target_os = "linux"))]
+fn serve(rt: Arc<Runtime>, listener: TcpListener, stop: Arc<AtomicBool>, c: Arc<Counters>) {
+    let mut threads: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nonblocking(false).ok();
+                c.conn_opened();
+                let rt = rt.clone();
+                let stop = stop.clone();
+                let c = c.clone();
+                threads.push(
+                    std::thread::Builder::new()
+                        .name("cameo-ingest-conn".into())
+                        .spawn(move || {
+                            serve_conn_blocking(rt, stream, stop, &c);
+                            c.conn_closed();
+                        })
+                        .expect("spawn conn thread"),
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+}
+
+/// Blocking per-connection serve loop (non-epoll fallback): one `read`
+/// per iteration, every frame the read completed submitted as one
+/// batch.
+#[cfg(not(target_os = "linux"))]
+fn serve_conn_blocking(
     rt: Arc<Runtime>,
     mut stream: TcpStream,
     stop: Arc<AtomicBool>,
-    frames: Arc<AtomicU64>,
-    dropped: Arc<AtomicU64>,
+    c: &Counters,
 ) {
     stream
         .set_read_timeout(Some(std::time::Duration::from_millis(200)))
         .ok();
     let mut decoder = FrameDecoder::new();
-    // Reused across reads: the drain below returns it to len 0 with its
-    // capacity intact, so steady-state decoding allocates no frame
-    // vector either.
     let mut batch: Vec<IngestFrame> = Vec::new();
     loop {
         if stop.load(Ordering::Acquire) {
@@ -184,9 +452,7 @@ fn serve_conn(
         // Whatever decoded before an error still counts — ingest it
         // before deciding the connection's fate.
         if !batch.is_empty() {
-            let res = rt.ingest_frames(batch.drain(..));
-            frames.fetch_add(res.frames as u64, Ordering::Relaxed);
-            dropped.fetch_add(res.dropped as u64, Ordering::Relaxed);
+            c.record(&rt.ingest_frames(batch.drain(..)));
         }
         match outcome {
             Ok(Some(_)) => {}
@@ -240,7 +506,9 @@ impl IngestClient {
         Ok(())
     }
 
-    /// Send one frame (one `write` syscall).
+    /// Send one frame (one `write` syscall). Use
+    /// [`IngestFrame::addressed`] to stamp the frame's slot and
+    /// generation from a live [`crate::runtime::JobHandle`].
     pub fn send(&mut self, frame: &IngestFrame) -> io::Result<()> {
         Self::check_frame(frame)?;
         self.stream.write_all(&encode_frame(frame))
@@ -318,6 +586,7 @@ mod tests {
     fn frame(n: usize) -> IngestFrame {
         IngestFrame {
             job: 3,
+            gen: 11,
             source: 7,
             tuples: (0..n as u64)
                 .map(|i| Tuple::new(i, i as i64 * 2, LogicalTime(1_000 + i)))
@@ -354,6 +623,7 @@ mod tests {
         let mut client = IngestClient::connect(listener.local_addr().unwrap()).unwrap();
         let too_big = IngestFrame {
             job: 0,
+            gen: 0,
             source: 0,
             tuples: vec![Tuple::new(0, 0, LogicalTime(1)); (MAX_FRAME as usize / TUPLE_WIRE) + 1],
         };

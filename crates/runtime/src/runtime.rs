@@ -66,13 +66,15 @@ use cameo_core::scheduler::{Decision, SchedulerStats};
 use cameo_core::shard::ShardedScheduler;
 use cameo_core::time::{Clock, Micros, PhysicalTime, SystemClock};
 use cameo_dataflow::event::{Batch, Tuple};
-use cameo_dataflow::expand::{route_batch, ExpandOptions, ExpandedJob, OperatorInstance};
+use cameo_dataflow::expand::{
+    route_batch, route_batch_owned, ExpandOptions, ExpandedJob, OperatorInstance,
+};
 use cameo_dataflow::graph::{GraphError, JobSpec};
 use std::fmt;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock, Weak};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -112,15 +114,18 @@ pub struct JobHandle {
 impl JobHandle {
     /// The jobs-table slot this handle addresses. This is the job id
     /// the scheduler keys on and the `job` field of the TCP ingest wire
-    /// format ([`IngestFrame::job`]) — the wire addresses slots, not
-    /// generations, so remote frames reach the slot's *current*
-    /// occupant (and are dropped, counted, while the slot is vacant).
+    /// format ([`IngestFrame::job`]). Wire format v2 pairs it with
+    /// [`generation`](Self::generation) ([`IngestFrame::gen`]), so a
+    /// remote frame is delivered only to the occupant its sender held a
+    /// handle for — frames racing the slot's reuse are rejected and
+    /// counted, exactly like a stale in-process handle.
     pub fn slot(&self) -> u32 {
         self.slot
     }
 
     /// The slot generation this handle was issued for. Stale once the
-    /// job is undeployed.
+    /// job is undeployed. Stamped into every v2 wire frame
+    /// ([`IngestFrame::gen`]).
     pub fn generation(&self) -> u32 {
         self.gen
     }
@@ -219,6 +224,12 @@ pub struct IngestOutcome {
     /// vacant (never deployed, or retired) or its occupant is draining
     /// mid-`undeploy`.
     pub dropped: usize,
+    /// Frames whose wire generation ([`IngestFrame::gen`]) did not
+    /// match the slot's current occupant: their job was undeployed (and
+    /// the slot reused) while they were in flight. Rejected, never
+    /// routed to the new occupant — the wire-side twin of
+    /// [`JobError::Stale`].
+    pub gen_rejected: usize,
     /// Scheduler messages the submitted frames expanded into (what one
     /// `submit_batch` spliced across the shards).
     pub messages: usize,
@@ -379,10 +390,41 @@ struct JobRt {
     /// executed message (program order on the same atomic guarantees a
     /// worker's fan-out increment lands before its own decrement, so
     /// the count never dips to zero while a causal chain is alive).
-    /// `undeploy` polls this for the graceful-drain phase.
+    /// `undeploy`'s graceful-drain phase sleeps on [`Self::drain_cv`]
+    /// until this reaches zero.
     inflight: AtomicU64,
+    /// Pairs with `drain_cv`: `undeploy` re-checks `inflight` under
+    /// this lock before each wait, and [`Self::dec_inflight`] bumps the
+    /// lock before notifying, so the last decrement can never slip into
+    /// the check→wait window unseen (same shape as the scheduler's
+    /// park/wake handshake).
+    drain_lock: Mutex<()>,
+    /// Signalled by the decrement that takes `inflight` to zero while
+    /// the job is draining.
+    drain_cv: Condvar,
     stats: Arc<JobStats>,
     subscribers: Mutex<Vec<Subscriber>>,
+}
+
+impl JobRt {
+    /// Decrement the in-flight count; the decrement that reaches zero
+    /// on a draining job wakes the waiting `undeploy`.
+    ///
+    /// Ordering (mirrors the shard park/wake protocol): the `SeqCst`
+    /// decrement and the `SeqCst` load of `draining` here, against
+    /// `undeploy`'s `SeqCst` swap of `draining` and `SeqCst` load of
+    /// `inflight`, give a single total order — either this decrement
+    /// sees `draining` and notifies, or `undeploy`'s count load sees
+    /// the decrement and never sleeps on it. The lock bump before the
+    /// notify closes the remaining race against a waiter between its
+    /// predicate check and its wait.
+    fn dec_inflight(&self) {
+        let was = self.inflight.fetch_sub(1, Ordering::SeqCst);
+        if was == 1 && self.draining.load(Ordering::SeqCst) {
+            drop(self.drain_lock.lock().unwrap_or_else(|p| p.into_inner()));
+            self.drain_cv.notify_all();
+        }
+    }
 }
 
 /// One slot of the generational jobs table.
@@ -444,6 +486,10 @@ struct Shared {
     /// Frames submitted through those calls; `frames_coalesced /
     /// net_batches` is the achieved frames-per-read ratio.
     frames_coalesced: AtomicU64,
+    /// Wire frames rejected at the v2 generation check (their job was
+    /// undeployed — and its slot possibly reused — while the frame was
+    /// in flight). Folded into `SchedulerStats::gen_rejected_frames`.
+    gen_rejected: AtomicU64,
 }
 
 /// Recover a poisoned guard: a panicking operator must not wedge the
@@ -471,7 +517,7 @@ impl IngressGuard {
 
 impl Drop for IngressGuard {
     fn drop(&mut self) {
-        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+        self.0.dec_inflight();
     }
 }
 
@@ -508,7 +554,7 @@ impl Shared {
         jrt: &JobRt,
         job: u32,
         ingest_idx: usize,
-        batches: &[Batch],
+        batches: Vec<Batch>,
         outbound: &mut Vec<(cameo_core::ids::OperatorKey, RtMsg)>,
     ) {
         let jid = JobId(job);
@@ -517,16 +563,27 @@ impl Shared {
         let mut inst = relock(&jrt.instances[ingest_idx]);
         let inst = &mut *inst;
         let converter = &mut inst.converter;
+        let last = inst.outs.len().saturating_sub(1);
         for batch in batches {
             let stamp = MessageStamp {
                 progress: batch.progress,
                 time: batch.time,
             };
-            for route in &inst.outs {
+            // The batch is borrowed by every route but the last, which
+            // consumes it: a single-target final route (the common,
+            // parallelism-1 shape) then moves the tuples straight into
+            // its message instead of cloning them.
+            let mut batch = Some(batch);
+            for (ri, route) in inst.outs.iter().enumerate() {
                 let pc = self
                     .policy
                     .build_at_source(jid, stamp, constraint, &route.hop, converter);
-                for (target, channel, sub) in route_batch(route, batch) {
+                let routed = if ri == last {
+                    route_batch_owned(route, batch.take().expect("last route consumes"))
+                } else {
+                    route_batch(route, batch.as_ref().expect("consumed only by last route"))
+                };
+                for (target, channel, sub) in routed {
                     outbound.push((
                         cameo_core::ids::OperatorKey::new(jid, target as u32),
                         RtMsg {
@@ -586,6 +643,7 @@ impl Runtime {
             profile_alpha: config.profile_alpha.map(|_| sched_config.profile_alpha),
             net_batches: AtomicU64::new(0),
             frames_coalesced: AtomicU64::new(0),
+            gen_rejected: AtomicU64::new(0),
         });
         let cpus = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -711,6 +769,8 @@ impl Runtime {
             gen,
             draining: AtomicBool::new(false),
             inflight: AtomicU64::new(0),
+            drain_lock: Mutex::new(()),
+            drain_cv: Condvar::new(),
             stats: Arc::new(JobStats::new(exp.latency_constraint)),
             subscribers: Mutex::new(Vec::new()),
             instances: exp.instances.into_iter().map(Mutex::new).collect(),
@@ -739,10 +799,13 @@ impl Runtime {
     ///
     /// The sequence is: mark the job draining (new `ingest` calls get
     /// [`JobError::Draining`]; a concurrent `undeploy` of the same
-    /// handle gets it too), wait up to `drain` for the job's in-flight
-    /// message count to reach zero (skipped when the runtime has no
-    /// workers — nothing would ever drain), then retire the job in the
-    /// scheduler — [`ShardedScheduler::retire_job`] purges whatever the
+    /// handle gets it too), sleep on the job's drain condvar until its
+    /// in-flight message count reaches zero or the `drain` budget
+    /// expires — the decrement that hits zero wakes this thread
+    /// directly, so drain completion is observed at the moment it
+    /// happens, not at the next poll tick (the wait is skipped when the
+    /// runtime has no workers — nothing would ever drain) — then retire
+    /// the job in the scheduler — [`ShardedScheduler::retire_job`] purges whatever the
     /// drain left in every shard's mailbox and two-level queue and
     /// keeps refusing the job id until the slot is redeployed — and
     /// finally free the slot, bumping its generation so outstanding
@@ -756,11 +819,26 @@ impl Runtime {
         if !self.workers.is_empty() {
             // SeqCst pairs with the ingress guards' SeqCst increment:
             // an ingress that passed its draining check is visible
-            // here, so its messages are waited for, not purged.
+            // here, so its messages are waited for, not purged. The
+            // count is re-checked under the drain lock before every
+            // wait and `dec_inflight` bumps that lock before notifying,
+            // so the zero-crossing cannot fall unseen between a check
+            // and its wait — the same no-lost-wakeup shape as the
+            // scheduler's park/wake handshake.
             let deadline = Instant::now() + drain;
-            while jrt.inflight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-                std::thread::sleep(Duration::from_micros(200));
+            let mut held = jrt.drain_lock.lock().unwrap_or_else(|p| p.into_inner());
+            while jrt.inflight.load(Ordering::SeqCst) > 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                held = jrt
+                    .drain_cv
+                    .wait_timeout(held, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner())
+                    .0;
             }
+            drop(held);
         }
         let purged = self.shared.sched.retire_job(JobId(job.slot)) as u64;
         let mut jobs = self.shared.jobs.write().unwrap_or_else(|p| p.into_inner());
@@ -835,13 +913,8 @@ impl Runtime {
         }
         let ingest_idx = jrt.ingests[source as usize % jrt.ingests.len()];
         let mut outbound = Vec::new();
-        self.shared.route_ingest(
-            &jrt,
-            job.slot,
-            ingest_idx,
-            std::slice::from_ref(&batch),
-            &mut outbound,
-        );
+        self.shared
+            .route_ingest(&jrt, job.slot, ingest_idx, vec![batch], &mut outbound);
         jrt.inflight
             .fetch_add(outbound.len() as u64, Ordering::AcqRel);
         // One mailbox CAS + one hint update + one wake per shard for
@@ -864,10 +937,13 @@ impl Runtime {
     /// the outcome (clients may race deployment and undeployment);
     /// unlike the in-process entry points, an unknown job here is
     /// remote-input data, not a programming error, so it must not
-    /// panic. The wire addresses *slots* — a frame that races a slot's
-    /// reuse reaches the new occupant, exactly as a late packet to a
-    /// rebound port would. Tuples with `LogicalTime::ZERO` event times
-    /// are stamped with ingestion time, as in [`ingest`](Self::ingest).
+    /// panic. The v2 wire addresses `(slot, generation)` — a frame that
+    /// races its job's undeploy, even one arriving after the slot's
+    /// *reuse*, fails the generation check and is rejected
+    /// ([`IngestOutcome::gen_rejected`]), never delivered to the new
+    /// occupant: the remote twin of [`JobError::Stale`]. Tuples with
+    /// `LogicalTime::ZERO` event times are stamped with ingestion time,
+    /// as in [`ingest`](Self::ingest).
     ///
     /// `SchedulerStats::net_batches` / `frames_coalesced` record each
     /// call and its frame count, so the achieved coalescing ratio is
@@ -923,6 +999,14 @@ impl Runtime {
                 out.dropped += 1;
                 continue;
             };
+            // The v2 generation check, per frame (one read can carry
+            // frames from producers holding handles of different
+            // generations): only the occupant the sender actually
+            // addressed may receive its tuples.
+            if frame.gen != jrt.gen {
+                out.gen_rejected += 1;
+                continue;
+            }
             let ingest_idx = jrt.ingests[frame.source as usize % jrt.ingests.len()];
             let batch = frame.into_batch(now);
             match groups
@@ -935,10 +1019,10 @@ impl Runtime {
             out.frames += 1;
         }
         let mut outbound = Vec::new();
-        for (slot, jrt, ingest_idx, batches) in &groups {
+        for (slot, jrt, ingest_idx, batches) in groups {
             let before = outbound.len();
             self.shared
-                .route_ingest(jrt, *slot, *ingest_idx, batches, &mut outbound);
+                .route_ingest(&jrt, slot, ingest_idx, batches, &mut outbound);
             jrt.inflight
                 .fetch_add((outbound.len() - before) as u64, Ordering::AcqRel);
         }
@@ -948,6 +1032,11 @@ impl Runtime {
             self.shared
                 .frames_coalesced
                 .fetch_add(out.frames as u64, Ordering::Relaxed);
+        }
+        if out.gen_rejected > 0 {
+            self.shared
+                .gen_rejected
+                .fetch_add(out.gen_rejected as u64, Ordering::Relaxed);
         }
         self.shared.submit_batch(outbound);
         out
@@ -962,12 +1051,13 @@ impl Runtime {
 
     /// Scheduler counters, aggregated across shards, plus the
     /// runtime-level network-coalescing counters (`net_batches`,
-    /// `frames_coalesced`) and the runtime's own stale-execution drops
-    /// (folded into `retired_drops`).
+    /// `frames_coalesced`, `gen_rejected_frames`) and the runtime's own
+    /// stale-execution drops (folded into `retired_drops`).
     pub fn scheduler_stats(&self) -> SchedulerStats {
         let mut stats = self.shared.sched.stats();
         stats.net_batches += self.shared.net_batches.load(Ordering::Relaxed);
         stats.frames_coalesced += self.shared.frames_coalesced.load(Ordering::Relaxed);
+        stats.gen_rejected_frames += self.shared.gen_rejected.load(Ordering::Relaxed);
         stats.retired_drops += self.shared.stale_exec_drops.load(Ordering::Relaxed);
         stats
     }
@@ -1079,7 +1169,7 @@ fn process_message(sh: &Arc<Shared>, key: cameo_core::ids::OperatorKey, msg: RtM
     struct InflightMsg<'a>(&'a JobRt);
     impl Drop for InflightMsg<'_> {
         fn drop(&mut self) {
-            self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.0.dec_inflight();
         }
     }
     let _inflight = InflightMsg(&jrt);
@@ -1505,10 +1595,12 @@ mod tests {
             .deploy(&tiny_query("nf", 5_000), &ExpandOptions::default())
             .unwrap();
         let frames: Vec<IngestFrame> = (0..6u32)
-            .map(|i| IngestFrame {
-                job: job.slot(),
-                source: i % 2,
-                tuples: vec![Tuple::new(i as u64, 1, LogicalTime(1_000 + i as u64))],
+            .map(|i| {
+                IngestFrame::addressed(
+                    job,
+                    i % 2,
+                    vec![Tuple::new(i as u64, 1, LogicalTime(1_000 + i as u64))],
+                )
             })
             .collect();
         let out = rt.ingest_frames(frames);
@@ -1531,14 +1623,11 @@ mod tests {
         let out = rt.ingest_frames(vec![
             IngestFrame {
                 job: job.slot() + 99,
+                gen: job.generation(),
                 source: 0,
                 tuples: vec![Tuple::new(1, 1, LogicalTime(1))],
             },
-            IngestFrame {
-                job: job.slot(),
-                source: 0,
-                tuples: vec![Tuple::new(2, 1, LogicalTime(2))],
-            },
+            IngestFrame::addressed(job, 0, vec![Tuple::new(2, 1, LogicalTime(2))]),
         ]);
         assert_eq!(out.dropped, 1);
         assert_eq!(out.frames, 1);
@@ -1556,12 +1645,14 @@ mod tests {
             let job = rt
                 .deploy(&tiny_query("eq", 10_000), &ExpandOptions::default())
                 .unwrap();
-            let mk = |source: u32, base: u64| IngestFrame {
-                job: job.slot(),
-                source,
-                tuples: (0..50)
-                    .map(|i| Tuple::new(i, 1, LogicalTime(base + i * 10)))
-                    .collect(),
+            let mk = |source: u32, base: u64| {
+                IngestFrame::addressed(
+                    job,
+                    source,
+                    (0..50)
+                        .map(|i| Tuple::new(i, 1, LogicalTime(base + i * 10)))
+                        .collect(),
+                )
             };
             let frames = vec![mk(0, 0), mk(1, 0), mk(0, 50_000), mk(1, 50_000)];
             if coalesced {

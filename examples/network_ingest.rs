@@ -43,12 +43,14 @@ fn main() -> std::io::Result<()> {
             let mut sent = 0u64;
             for round in 0..ROUNDS {
                 let frames: Vec<IngestFrame> = (0..BURST_FRAMES)
-                    .map(|f| IngestFrame {
-                        job: job.slot(),
-                        source,
-                        tuples: (0..25u64)
-                            .map(|i| Tuple::new((round + f + i) % 8, 1, LogicalTime(0)))
-                            .collect(),
+                    .map(|f| {
+                        IngestFrame::addressed(
+                            job,
+                            source,
+                            (0..25u64)
+                                .map(|i| Tuple::new((round + f + i) % 8, 1, LogicalTime(0)))
+                                .collect(),
+                        )
                     })
                     .collect();
                 sent += frames.iter().map(|f| f.tuples.len() as u64).sum::<u64>();

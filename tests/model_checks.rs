@@ -147,15 +147,18 @@ proptest! {
         prop_assert_eq!(fired, expected);
     }
 
-    /// TCP ingest frames survive encode/decode for arbitrary contents.
+    /// TCP ingest frames survive encode/decode for arbitrary contents
+    /// (v2 wire format: the generation word must round-trip too).
     #[test]
     fn codec_roundtrip(
         job in any::<u32>(),
+        gen in any::<u32>(),
         source in any::<u32>(),
         tuples in prop::collection::vec((any::<u64>(), any::<i64>(), any::<u64>()), 0..50),
     ) {
         let frame = IngestFrame {
             job,
+            gen,
             source,
             tuples: tuples
                 .into_iter()
@@ -167,15 +170,17 @@ proptest! {
         prop_assert_eq!(decoded, frame);
     }
 
-    /// Corrupting any single byte of the header region either still
-    /// decodes (same length) or errors — never panics.
+    /// Corrupting any single byte of the frame — length prefix, v2
+    /// header or tuple body — either still decodes (same length) or
+    /// errors; never panics.
     #[test]
     fn codec_corruption_never_panics(
-        idx in 0usize..36,
+        idx in 0usize..44,
         byte in any::<u8>(),
     ) {
         let frame = IngestFrame {
             job: 1,
+            gen: 9,
             source: 2,
             tuples: vec![Tuple::new(3, 4, LogicalTime(5))],
         };
@@ -184,6 +189,53 @@ proptest! {
             bytes[idx] = byte;
         }
         let _ = decode_payload(&bytes[4..]); // must not panic
+    }
+
+    /// The streaming decoder is slicing-invariant: a v2 wire stream of
+    /// arbitrary frames, cut at *arbitrary byte boundaries* into
+    /// successive reads, reassembles into exactly the frames that were
+    /// encoded — regardless of how the cuts land relative to length
+    /// prefixes, headers or tuple bodies.
+    #[test]
+    fn frame_decoder_reassembles_arbitrarily_sliced_streams(
+        frames in prop::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u32>(),
+             prop::collection::vec((any::<u64>(), any::<i64>(), any::<u64>()), 0..8)),
+            1..12,
+        ),
+        cuts in prop::collection::vec(1usize..64, 1..80),
+    ) {
+        let frames: Vec<IngestFrame> = frames
+            .into_iter()
+            .map(|(job, gen, source, tuples)| IngestFrame {
+                job,
+                gen,
+                source,
+                tuples: tuples
+                    .into_iter()
+                    .map(|(k, v, t)| Tuple::new(k, v, LogicalTime(t)))
+                    .collect(),
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut wire);
+        }
+        // Feed the stream slice by slice (cut sizes cycle through the
+        // random list), collecting whatever each burst completes.
+        let mut dec = FrameDecoder::new();
+        let mut decoded: Vec<IngestFrame> = Vec::new();
+        let mut off = 0;
+        let mut i = 0;
+        while off < wire.len() {
+            let n = cuts[i % cuts.len()].min(wire.len() - off);
+            i += 1;
+            let mut slice = &wire[off..off + n];
+            off += n;
+            prop_assert!(dec.fill(&mut slice).expect("fill") > 0);
+            dec.decode_available(&mut decoded).expect("well-formed stream");
+        }
+        prop_assert_eq!(decoded, frames);
     }
 
     /// The Cameo scheduler processes any message set exactly once under

@@ -19,14 +19,14 @@ fn query(name: &str) -> cameo::dataflow::graph::JobSpec {
     )
 }
 
-fn frame(job: u32, source: u32, base: u64, n: u64) -> IngestFrame {
-    IngestFrame {
-        job,
-        source,
-        tuples: (0..n)
-            .map(|i| Tuple::new(base + i, 1, LogicalTime(1_000 + base + i)))
-            .collect(),
-    }
+fn frame(job: JobHandle, source: u32, base: u64, n: u64) -> IngestFrame {
+    IngestFrame::addressed(job, source, tuples(base, n))
+}
+
+fn tuples(base: u64, n: u64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| Tuple::new(base + i, 1, LogicalTime(1_000 + base + i)))
+        .collect()
 }
 
 fn wait_for(deadline: Duration, mut ok: impl FnMut() -> bool) -> bool {
@@ -62,7 +62,7 @@ fn one_send_coalesces_to_at_most_shard_count_publications() {
     // loopback this is one TCP segment, so the (blocked) serve loop's
     // next read returns the whole burst.
     let frames: Vec<IngestFrame> = (0..FRAMES)
-        .map(|f| frame(job.slot(), (f % 2) as u32, f * 100, 4))
+        .map(|f| frame(job, (f % 2) as u32, f * 100, 4))
         .collect();
     client.send_many(&frames).unwrap();
 
@@ -114,15 +114,13 @@ fn coalesced_ingress_processes_end_to_end() {
     // Several bursts: window-filling tuples, then window-crossing ones.
     for round in 0..4u64 {
         let frames: Vec<IngestFrame> = (0..8u64)
-            .map(|f| frame(job.slot(), (f % 2) as u32, round * 1_000 + f * 10, 4))
+            .map(|f| frame(job, (f % 2) as u32, round * 1_000 + f * 10, 4))
             .collect();
         client.send_many(&frames).unwrap();
         std::thread::sleep(Duration::from_millis(15));
     }
     for source in [0u32, 1] {
-        client
-            .send(&frame(job.slot(), source, 30_000_000, 1))
-            .unwrap();
+        client.send(&frame(job, source, 30_000_000, 1)).unwrap();
     }
     assert!(
         wait_for(Duration::from_secs(5), || server.frames_received() == 34),
@@ -164,9 +162,14 @@ fn unknown_job_frames_are_dropped_not_fatal() {
     let mut client = IngestClient::connect(server.local_addr()).unwrap();
     client
         .send_many(&[
-            frame(job.slot(), 0, 0, 3),
-            frame(job.slot() + 77, 0, 0, 3), // not deployed
-            frame(job.slot(), 1, 100, 3),
+            frame(job, 0, 0, 3),
+            IngestFrame {
+                job: job.slot() + 77, // not deployed
+                gen: job.generation(),
+                source: 0,
+                tuples: tuples(0, 3),
+            },
+            frame(job, 1, 100, 3),
         ])
         .unwrap();
     assert!(wait_for(Duration::from_secs(5), || server
@@ -175,10 +178,73 @@ fn unknown_job_frames_are_dropped_not_fatal() {
     assert_eq!(server.frames_received(), 2);
     assert_eq!(server.frames_dropped(), 1);
     // The connection survived: a later send still lands.
-    client.send(&frame(job.slot(), 0, 500, 2)).unwrap();
+    client.send(&frame(job, 0, 500, 2)).unwrap();
     assert!(wait_for(Duration::from_secs(5), || server
         .frames_received()
         == 3));
+    drop(client);
+    server.stop();
+    Arc::try_unwrap(rt).ok().expect("sole owner").shutdown();
+}
+
+/// Wire-level stale-handle safety (the point of format v2): undeploy a
+/// job, redeploy into the *same slot*, and replay frames stamped with
+/// the retired generation. Every stale frame must be rejected and
+/// counted — never routed into the slot's new occupant — while frames
+/// carrying the new generation land normally on the same connection.
+#[test]
+fn stale_generation_frames_are_rejected_after_slot_reuse() {
+    let rt = Arc::new(Runtime::start(cameo::runtime::runtime::RuntimeConfig {
+        workers: 0,
+        ..Default::default()
+    }));
+    let old = rt
+        .deploy(&query("gen-old"), &ExpandOptions::default())
+        .expect("deploy old");
+    let server = IngestServer::start(rt.clone(), "127.0.0.1:0").unwrap();
+    let mut client = IngestClient::connect(server.local_addr()).unwrap();
+
+    // Nothing drains (0 workers), so undeploy purges the old job's
+    // queued messages and the counters below observe only the replay.
+    rt.undeploy(old).expect("undeploy");
+    let new = rt
+        .deploy(&query("gen-new"), &ExpandOptions::default())
+        .expect("redeploy");
+    assert_eq!(new.slot(), old.slot(), "retired slot is reused");
+    assert_ne!(new.generation(), old.generation(), "generation advanced");
+    let base = rt.queue_len();
+
+    // A coalesced burst mixing retired-handle frames with one valid
+    // frame: the stale ones die at the generation check, the valid one
+    // routes — same read, same connection.
+    client
+        .send_many(&[
+            frame(old, 0, 0, 4), // stale generation
+            frame(new, 0, 100, 4),
+            frame(old, 1, 200, 4), // stale generation
+        ])
+        .unwrap();
+    assert!(
+        wait_for(Duration::from_secs(5), || server.gen_rejected_frames() == 2),
+        "both stale frames rejected and counted, got {}",
+        server.gen_rejected_frames()
+    );
+    assert!(wait_for(Duration::from_secs(5), || server
+        .frames_received()
+        == 1));
+    assert_eq!(server.frames_dropped(), 0, "gen mismatch is not 'dropped'");
+    let routed = rt.queue_len() - base;
+    assert!(
+        (1..=2).contains(&routed),
+        "only the fresh frame routed (4 tuples, <= 2 window instances), got {routed}"
+    );
+    assert_eq!(rt.scheduler_stats().gen_rejected_frames, 2);
+
+    // The connection survived the stale frames.
+    client.send(&frame(new, 1, 300, 2)).unwrap();
+    assert!(wait_for(Duration::from_secs(5), || server
+        .frames_received()
+        == 2));
     drop(client);
     server.stop();
     Arc::try_unwrap(rt).ok().expect("sole owner").shutdown();

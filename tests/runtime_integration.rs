@@ -100,22 +100,22 @@ fn tcp_ingest_end_to_end() {
     let mut client = IngestClient::connect(addr).expect("connect");
     for source in 0..2u32 {
         client
-            .send(&IngestFrame {
-                job: job.slot(),
+            .send(&IngestFrame::addressed(
+                job,
                 source,
-                tuples: (0..20)
+                (0..20)
                     .map(|i| Tuple::new(i % 8, 1, LogicalTime(1 + i)))
                     .collect(),
-            })
+            ))
             .expect("send");
         client
-            .send(&IngestFrame {
-                job: job.slot(),
+            .send(&IngestFrame::addressed(
+                job,
                 source,
-                tuples: (0..20)
+                (0..20)
                     .map(|i| Tuple::new(i % 8, 1, LogicalTime(60_000 + i)))
                     .collect(),
-            })
+            ))
             .expect("send");
     }
     client.flush().expect("flush");
