@@ -61,6 +61,22 @@
 //!    `JobHandle` generation and asserts the server rejected and
 //!    counted it without routing it (`gen_rejected_frames`).
 //!
+//! 6. **Elastic load step** (`elastic_step`): quiet → step+spike →
+//!    quiet against a live runtime whose elastic controller may scale
+//!    between 1 and 4 workers. Arrivals are **open-loop** seeded
+//!    Poisson schedules — fixed before the run, never adjusted to
+//!    backpressure — and latency is captured coordinated-omission-safe:
+//!    tuples carry their *scheduled* send time and a subscriber thread
+//!    timestamps receipt, so a sender falling behind its own schedule
+//!    inflates rather than hides queueing delay. The spike opens with
+//!    one coalesced `ingest_frames` chain (the step proper), which
+//!    both overloads the single starting worker and pushes the mailbox
+//!    arena past one segment. Asserted in-binary (CI runs this under
+//!    `--quick`): the spike misses deadlines, the controller grows the
+//!    pool, the post-recovery quiet phase's miss rate sits below the
+//!    spike's, and on quiescence the pool shrinks back and arena
+//!    segment count returns to its pre-spike baseline.
+//!
 //! Output: a table on stdout and `BENCH_sharded_scheduler.json` in the
 //! current directory, so later PRs have a perf trajectory to compare
 //! against. The artifact records the CPU count and whether workers were
@@ -923,6 +939,334 @@ fn run_job_churn(cycles: u64) -> ChurnCell {
     }
 }
 
+/// One phase of the elastic load-step scenario; see module docs
+/// (experiment 6).
+struct ElasticPhase {
+    name: &'static str,
+    /// Frames the open-loop schedule submitted in this phase.
+    sends: u64,
+    /// Worst lateness of a scheduled send (µs): how far the submitting
+    /// thread fell behind its own fixed schedule.
+    send_lag_max_us: u64,
+    /// Sink outputs attributed to this phase (snapshot delta, taken
+    /// after the phase's backlog fully drained so recovery outputs
+    /// stay attributed to the phase that queued them).
+    outputs: u64,
+    /// Outputs that blew the job's latency constraint.
+    misses: u64,
+    miss_rate: f64,
+    /// Client-side coordinated-omission-safe latency (receipt wall
+    /// clock minus *scheduled* send time, so sender lag can never hide
+    /// queueing delay): percentiles over the phase's outputs.
+    co_p50_us: u64,
+    co_p99_us: u64,
+    co_max_us: u64,
+    /// Outputs whose CO-safe latency blew the constraint.
+    co_misses: u64,
+}
+
+/// The elastic load-step scenario's artifact row (experiment 6).
+struct ElasticCell {
+    phases: Vec<ElasticPhase>,
+    latency_constraint_us: u64,
+    burn_us: u64,
+    step_frames: u64,
+    segments_baseline: usize,
+    segments_peak: usize,
+    segments_final: usize,
+    workers_initial: usize,
+    workers_final: usize,
+    rss_baseline_kb: u64,
+    rss_peak_kb: u64,
+    rss_final_kb: u64,
+    tel: cameo_core::elastic::ElasticTelemetry,
+}
+
+/// Open-loop Poisson arrival offsets (µs from phase start) at `rate_hz`
+/// over `dur_us`, from the shared seeded stream: the schedule is fixed
+/// before the run and never adjusted to runtime backpressure.
+fn poisson_offsets(rng: &mut rand_chacha::ChaCha8Rng, rate_hz: f64, dur_us: u64) -> Vec<u64> {
+    use rand::Rng;
+    let mut offs = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / rate_hz * 1e6;
+        if t as u64 >= dur_us {
+            return offs;
+        }
+        offs.push(t as u64);
+    }
+}
+
+/// Quiet → spike (load step) → quiet against a live elastic runtime;
+/// see module docs (experiment 6).
+fn run_elastic_step(quick: bool, seed: u64) -> ElasticCell {
+    use cameo_core::elastic::ElasticConfig;
+    use cameo_core::progress::TimeDomain;
+    use cameo_core::time::LogicalTime;
+    use cameo_dataflow::event::Tuple;
+    use cameo_dataflow::graph::{JobBuilder, Routing};
+    use cameo_dataflow::operator::OperatorKind;
+    use cameo_dataflow::ops::SpinMap;
+    use cameo_runtime::prelude::*;
+    use rand::SeedableRng;
+
+    // The job: one source forwarding into a sink that burns real CPU
+    // per message — the runtime profiles *measured* UDF cost, so the
+    // overload has to be real work, not a cost-model hint.
+    const CONSTRAINT_US: u64 = 20_000;
+    const BURN_US: u64 = 300;
+    const QUIET_HZ: f64 = 150.0;
+    const SPIKE_HZ: f64 = 1_200.0;
+    // The load step proper: one coalesced burst, all scheduled at the
+    // spike instant. As a single `ingest_frames` chain it also forces
+    // the mailbox arena past one segment, so quiescent reclamation has
+    // something real to return.
+    const STEP_FRAMES: u64 = 1_200;
+    const MIN_WORKERS: usize = 1;
+    const MAX_WORKERS: usize = 4;
+    let phase_us: u64 = if quick { 250_000 } else { 400_000 };
+
+    let mut builder = JobBuilder::new("elastic-step", Micros(CONSTRAINT_US), TimeDomain::EventTime);
+    let src = builder.ingest("src", 1);
+    let burn = builder.stage("burn", 1, OperatorKind::Regular, Micros(BURN_US), |_| {
+        Box::new(SpinMap::new(Micros(BURN_US)))
+    });
+    builder.connect(src, burn, Routing::Forward);
+    let spec = builder.build().expect("elastic-step graph");
+
+    let rt = Runtime::start(
+        cameo_runtime::runtime::RuntimeConfig::default()
+            .with_workers(1)
+            .with_elastic(
+                ElasticConfig::new(MIN_WORKERS, MAX_WORKERS)
+                    .with_tick(Micros(20_000))
+                    .with_quiescent_ticks(3),
+            ),
+    );
+    let workers_initial = MIN_WORKERS;
+    let job = rt.deploy(&spec, &Default::default()).expect("deploy");
+    let s0 = rt.job_stats(job).expect("job stats");
+
+    // CO-safe capture: tuples are stamped with their *scheduled* send
+    // offset (µs from the bench epoch), a subscriber thread records
+    // (receipt offset, batch progress) for every sink output, and
+    // latency is receipt minus schedule — a sender that falls behind
+    // its own schedule inflates, never hides, the result.
+    let sub = rt.subscribe(job).expect("subscribe");
+    let recs: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let t0 = Instant::now();
+    let sub_thread = {
+        let recs = recs.clone();
+        std::thread::spawn(move || {
+            while let Ok(ev) = sub.recv() {
+                let at = t0.elapsed().as_micros() as u64;
+                recs.lock().unwrap().push((at, ev.batch.progress.0));
+            }
+        })
+    };
+
+    let now_us = || t0.elapsed().as_micros() as u64;
+    let send_phase = |base_us: u64, offsets: &[u64]| -> u64 {
+        let mut lag_max = 0u64;
+        for &off in offsets {
+            let sched = base_us + off;
+            loop {
+                let now = now_us();
+                if now >= sched {
+                    lag_max = lag_max.max(now - sched);
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros((sched - now).min(1_000)));
+            }
+            // Behind schedule: send immediately (open loop), the lag is
+            // recorded above and the CO stamp keeps the *scheduled* time.
+            rt.ingest_frames([IngestFrame::addressed(
+                job,
+                0,
+                vec![Tuple::new(off, 1, LogicalTime(sched + 1))],
+            )]);
+        }
+        lag_max
+    };
+    // Phase boundary: queue drained *and* the last in-flight burn has
+    // recorded its output, so snapshot deltas attribute every output —
+    // including recovery-time backlog — to the phase that queued it.
+    let settle = |label: &str| -> cameo_runtime::prelude::JobStatsSnapshot {
+        assert!(
+            rt.drain(Duration::from_secs(60)),
+            "elastic_step {label}: backlog failed to drain"
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut prev = rt.job_stats(job).expect("job stats").outputs;
+        loop {
+            std::thread::sleep(Duration::from_millis(20));
+            let cur = rt.job_stats(job).expect("job stats");
+            if cur.outputs == prev || Instant::now() > deadline {
+                return cur;
+            }
+            prev = cur.outputs;
+        }
+    };
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let q1_offs = poisson_offsets(&mut rng, QUIET_HZ, phase_us);
+    let spike_offs = poisson_offsets(&mut rng, SPIKE_HZ, phase_us);
+    let q2_offs = poisson_offsets(&mut rng, QUIET_HZ, phase_us);
+
+    // Phase 1: quiet. Its post-drain state is the elasticity baseline.
+    let q1_base = now_us();
+    let q1_lag = send_phase(q1_base, &q1_offs);
+    let s1 = settle("quiet1");
+    let segments_baseline = rt.arena_segments();
+    let rss_baseline_kb = rss_kb();
+
+    // Phase 2: the step. One coalesced chain of STEP_FRAMES messages
+    // lands at the spike instant, then the sustained overload schedule
+    // runs on top of the backlog.
+    let sp_base = now_us();
+    let step: Vec<IngestFrame> = (0..STEP_FRAMES)
+        .map(|i| IngestFrame::addressed(job, 0, vec![Tuple::new(i, 1, LogicalTime(sp_base + 1))]))
+        .collect();
+    let out = rt.ingest_frames(step);
+    assert_eq!(out.frames, STEP_FRAMES as usize, "step burst fully routed");
+    // Sampled right after the chain published, before reclamation can
+    // run: the arena high-water mark the final state must return from.
+    let segments_peak = rt.arena_segments();
+    let rss_peak_kb = rss_kb();
+    let spike_lag = send_phase(sp_base, &spike_offs);
+    let s2 = settle("spike+recovery");
+
+    // Phase 3: quiet again. Post-recovery miss rate comes from here.
+    let q2_base = now_us();
+    let q2_lag = send_phase(q2_base, &q2_offs);
+    let s3 = settle("quiet2");
+
+    // Final quiescence: the controller must shrink the pool back to
+    // the floor and hand the spike's arena segments back.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let tel = rt.elastic_telemetry();
+        if tel.shrinks >= 1
+            && tel.reclaims >= 1
+            && rt.worker_count() <= MIN_WORKERS
+            && rt.arena_segments() <= segments_baseline
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "elastic_step: no quiescent convergence: telemetry {tel:?}, \
+             workers {}, segments {} (baseline {segments_baseline})",
+            rt.worker_count(),
+            rt.arena_segments()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let segments_final = rt.arena_segments();
+    let rss_final_kb = rss_kb();
+    let workers_final = rt.worker_count();
+    let tel = rt.elastic_telemetry();
+
+    // Close the subscription (undeploy drops the job's sender side) and
+    // collect the CO records.
+    rt.undeploy(job).expect("undeploy");
+    sub_thread.join().expect("subscriber thread");
+    let recs = std::mem::take(&mut *recs.lock().unwrap());
+
+    // Attribute each output to its phase by the *scheduled* stamp it
+    // carries; phase bases are strictly increasing so the ranges are
+    // disjoint.
+    let co_phase = |lo: u64, hi: u64| -> (u64, u64, u64, u64) {
+        let mut lat: Vec<u64> = recs
+            .iter()
+            .filter(|&&(_, prog)| prog > lo && prog <= hi)
+            .map(|&(at, prog)| at.saturating_sub(prog - 1))
+            .collect();
+        lat.sort_unstable();
+        if lat.is_empty() {
+            return (0, 0, 0, 0);
+        }
+        let pick = |q: f64| lat[((lat.len() - 1) as f64 * q) as usize];
+        let misses = lat.iter().filter(|&&l| l > CONSTRAINT_US).count() as u64;
+        (pick(0.5), pick(0.99), *lat.last().unwrap(), misses)
+    };
+    let mk_phase = |name: &'static str,
+                    prev: &cameo_runtime::prelude::JobStatsSnapshot,
+                    cur: &cameo_runtime::prelude::JobStatsSnapshot,
+                    sends: u64,
+                    lag: u64,
+                    lo: u64,
+                    hi: u64| {
+        let outputs = cur.outputs - prev.outputs;
+        let misses = (cur.outputs - cur.on_time) - (prev.outputs - prev.on_time);
+        let (co_p50_us, co_p99_us, co_max_us, co_misses) = co_phase(lo, hi);
+        ElasticPhase {
+            name,
+            sends,
+            send_lag_max_us: lag,
+            outputs,
+            misses,
+            miss_rate: if outputs > 0 {
+                misses as f64 / outputs as f64
+            } else {
+                0.0
+            },
+            co_p50_us,
+            co_p99_us,
+            co_max_us,
+            co_misses,
+        }
+    };
+    let phases = vec![
+        mk_phase(
+            "quiet1",
+            &s0,
+            &s1,
+            q1_offs.len() as u64,
+            q1_lag,
+            q1_base,
+            sp_base,
+        ),
+        mk_phase(
+            "spike",
+            &s1,
+            &s2,
+            STEP_FRAMES + spike_offs.len() as u64,
+            spike_lag,
+            sp_base,
+            q2_base,
+        ),
+        mk_phase(
+            "quiet2",
+            &s2,
+            &s3,
+            q2_offs.len() as u64,
+            q2_lag,
+            q2_base,
+            u64::MAX,
+        ),
+    ];
+
+    rt.shutdown();
+    ElasticCell {
+        phases,
+        latency_constraint_us: CONSTRAINT_US,
+        burn_us: BURN_US,
+        step_frames: STEP_FRAMES,
+        segments_baseline,
+        segments_peak,
+        segments_final,
+        workers_initial,
+        workers_final,
+        rss_baseline_kb,
+        rss_peak_kb,
+        rss_final_kb,
+        tel,
+    }
+}
+
 fn main() {
     // Child-process mode for the connection sweep: re-invoked as
     // `bench_sharded_scheduler --conn-client <addr> <conns> ...`.
@@ -1146,6 +1490,87 @@ fn main() {
         churn.slot_reused
     );
 
+    println!("\nelastic load step (open-loop Poisson, quiet -> step+spike -> quiet, 1..4 workers)");
+    let elastic = run_elastic_step(args.quick, args.seed);
+    println!(
+        "{:>8} {:>7} {:>8} {:>7} {:>9} {:>10} {:>10} {:>10} {:>9} {:>8}",
+        "phase",
+        "sends",
+        "outputs",
+        "misses",
+        "miss_rate",
+        "co_p50_us",
+        "co_p99_us",
+        "co_max_us",
+        "co_miss",
+        "lag_us"
+    );
+    for p in &elastic.phases {
+        println!(
+            "{:>8} {:>7} {:>8} {:>7} {:>9.3} {:>10} {:>10} {:>10} {:>9} {:>8}",
+            p.name,
+            p.sends,
+            p.outputs,
+            p.misses,
+            p.miss_rate,
+            p.co_p50_us,
+            p.co_p99_us,
+            p.co_max_us,
+            p.co_misses,
+            p.send_lag_max_us
+        );
+    }
+    println!(
+        "  workers {} -> peak {} -> {} | segments {} -> peak {} -> {} | \
+         grows {} shrinks {} reclaims {} | rss_kb {} -> {} -> {}",
+        elastic.workers_initial,
+        elastic.tel.peak_workers,
+        elastic.workers_final,
+        elastic.segments_baseline,
+        elastic.segments_peak,
+        elastic.segments_final,
+        elastic.tel.grows,
+        elastic.tel.shrinks,
+        elastic.tel.reclaims,
+        elastic.rss_baseline_kb,
+        elastic.rss_peak_kb,
+        elastic.rss_final_kb
+    );
+    // Controller convergence, asserted from the artifact's own numbers
+    // (CI runs this under --quick): the spike must actually hurt, the
+    // controller must grow into it, and the post-recovery quiet phase
+    // must be healthy again with the pool and arena back at baseline.
+    let spike = &elastic.phases[1];
+    let quiet2 = &elastic.phases[2];
+    assert!(
+        spike.misses > 0,
+        "the load step must produce deadline misses (got none)"
+    );
+    assert!(
+        spike.miss_rate > quiet2.miss_rate,
+        "post-recovery miss rate must sit below the spike's: spike {:.3} vs quiet2 {:.3}",
+        spike.miss_rate,
+        quiet2.miss_rate
+    );
+    assert!(
+        elastic.tel.grows >= 1 && elastic.tel.peak_workers > elastic.workers_initial,
+        "the spike must grow the pool: {:?}",
+        elastic.tel
+    );
+    assert!(
+        elastic.segments_peak > elastic.segments_baseline,
+        "the step burst must grow the mailbox arena: baseline {} peak {}",
+        elastic.segments_baseline,
+        elastic.segments_peak
+    );
+    assert!(
+        elastic.segments_final <= elastic.segments_baseline,
+        "quiescent reclamation must return the arena to baseline: \
+         baseline {} final {}",
+        elastic.segments_baseline,
+        elastic.segments_final
+    );
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"sharded_scheduler\",\n  \"unit\": \"msgs_per_sec\",\n");
     json.push_str(&format!(
@@ -1213,6 +1638,44 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"elastic_step\": {{\"latency_constraint_us\": {}, \"burn_us\": {}, \"step_frames\": {}, \"phases\": [\n",
+        elastic.latency_constraint_us, elastic.burn_us, elastic.step_frames
+    ));
+    for (i, p) in elastic.phases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"sends\": {}, \"outputs\": {}, \"misses\": {}, \"miss_rate\": {:.4}, \"co_p50_us\": {}, \"co_p99_us\": {}, \"co_max_us\": {}, \"co_misses\": {}, \"send_lag_max_us\": {}}}{}\n",
+            p.name,
+            p.sends,
+            p.outputs,
+            p.misses,
+            p.miss_rate,
+            p.co_p50_us,
+            p.co_p99_us,
+            p.co_max_us,
+            p.co_misses,
+            p.send_lag_max_us,
+            if i + 1 == elastic.phases.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ], \"workers\": {{\"initial\": {}, \"peak\": {}, \"final\": {}}}, \"segments\": {{\"baseline\": {}, \"peak\": {}, \"final\": {}}}, \"rss_kb\": {{\"baseline\": {}, \"peak\": {}, \"final\": {}}}, \"telemetry\": {{\"ticks\": {}, \"grows\": {}, \"shrinks\": {}, \"migrations\": {}, \"reclaims\": {}, \"peak_workers\": {}}}}},\n",
+        elastic.workers_initial,
+        elastic.tel.peak_workers,
+        elastic.workers_final,
+        elastic.segments_baseline,
+        elastic.segments_peak,
+        elastic.segments_final,
+        elastic.rss_baseline_kb,
+        elastic.rss_peak_kb,
+        elastic.rss_final_kb,
+        elastic.tel.ticks,
+        elastic.tel.grows,
+        elastic.tel.shrinks,
+        elastic.tel.migrations,
+        elastic.tel.reclaims,
+        elastic.tel.peak_workers
+    ));
     json.push_str(&format!(
         "  \"job_churn\": {{\"cycles\": {}, \"us_per_cycle\": {:.1}, \"purged\": {}, \"retired_drops\": {}, \"jobs_retired\": {}, \"queue_len_after\": {}, \"slot_reused\": {}}}\n",
         churn.cycles,

@@ -47,13 +47,30 @@
 //! `alloc_fallback`) so "no allocation on the steady-state push path"
 //! is auditable from the scheduler's counters.
 //!
-//! Segments are never returned to the OS before the arena drops; a
-//! burst that carved N segments keeps them cached for the next burst.
+//! ## Reclamation on quiescence
+//!
+//! Segments are *kept* across bursts by default — a burst that carved
+//! N segments keeps them cached for the next one — but they are no
+//! longer pinned forever: [`SegmentArena::reclaim_segments`] detaches
+//! the whole free list (the ABA-free whole-list exchange), uninstalls
+//! every segment **all** of whose slots were on the list (a segment
+//! with even one slot checked out anywhere is untouchable), splices
+//! the surviving free nodes back, and hands the reclaimed segment
+//! memory to the caller as a [`ReclaimedSegments`] token. Dropping the
+//! token frees the memory; callers hold it for one controller-tick
+//! grace period first, because a producer that read a stale free-list
+//! head may still speculatively load that memory's `free_next` before
+//! its tagged CAS fails (the load's *value* is always discarded — the
+//! tag changed — but the load itself must land on mapped memory).
+//! Reclaimed segment ids go onto a spare list and are re-installed
+//! with fresh memory if demand ever outgrows the bump cursor again, so
+//! reclamation never erodes the arena's indexed capacity.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Slots per segment. One segment is one allocation; a burst of this
 /// many pushes costs a single allocator round-trip while warming up.
@@ -174,6 +191,10 @@ pub struct ArenaStats {
     /// Fresh slots carved so far (bounded by the indexed capacity;
     /// warm-up traffic, neither reuse nor fallback).
     pub carved: u64,
+    /// Segments returned to the allocator by
+    /// [`SegmentArena::reclaim_segments`] (cumulative; `segments`
+    /// reports what is currently installed).
+    pub reclaimed_segments: u64,
 }
 
 /// A segmented, lock-free node cache. See the module docs.
@@ -187,6 +208,11 @@ pub struct SegmentArena<T> {
     segments: Box<[AtomicPtr<ArenaSlot<T>>]>,
     recycled: AtomicU64,
     alloc_fallback: AtomicU64,
+    /// Segment ids whose memory was reclaimed; re-installed with fresh
+    /// memory if the bump cursor ever runs out (cold path only).
+    spare: Mutex<Vec<usize>>,
+    /// Cumulative segments reclaimed.
+    reclaimed_segs: AtomicU64,
 }
 
 // Slots only ever carry the payload across threads by value; the raw
@@ -212,6 +238,8 @@ impl<T> SegmentArena<T> {
                 .collect(),
             recycled: AtomicU64::new(0),
             alloc_fallback: AtomicU64::new(0),
+            spare: Mutex::new(Vec::new()),
+            reclaimed_segs: AtomicU64::new(0),
         }
     }
 
@@ -235,14 +263,22 @@ impl<T> SegmentArena<T> {
 
     /// Pointer form of a free-list head index (`NONE` → null), for the
     /// mirrored pool links. Same visibility requirement as
-    /// [`indexed`](Self::indexed).
+    /// [`indexed`](Self::indexed). Unlike `indexed`, tolerates an index
+    /// into a reclaimed (uninstalled) segment: that can only happen
+    /// when the head was read from a *stale* free word, in which case
+    /// the tagged CAS about to consume this value is guaranteed to fail
+    /// (the reclaim's whole-list detach bumped the tag), so the null is
+    /// never published.
     #[inline]
     fn mirror_of(&self, head: u32) -> *mut ArenaSlot<T> {
         if head == NONE {
-            ptr::null_mut()
-        } else {
-            self.indexed(head)
+            return ptr::null_mut();
         }
+        let base = self.segments[head as usize / SEGMENT_SLOTS].load(Ordering::Acquire);
+        if base.is_null() {
+            return ptr::null_mut();
+        }
+        unsafe { base.add(head as usize % SEGMENT_SLOTS) }
     }
 
     /// Check out one empty slot. Never fails: recycled slot, fresh
@@ -257,7 +293,15 @@ impl<T> SegmentArena<T> {
             if idx == NONE {
                 break;
             }
-            let slot = self.indexed(idx);
+            let base = self.segments[idx as usize / SEGMENT_SLOTS].load(Ordering::Acquire);
+            if base.is_null() {
+                // The segment behind this head was reclaimed, which can
+                // only mean `cur` is stale (the reclaim's whole-list
+                // detach changed the free word). Re-read and retry.
+                cur = self.free.load(Ordering::Acquire);
+                continue;
+            }
+            let slot = unsafe { base.add(idx as usize % SEGMENT_SLOTS) };
             // May race with a concurrent recycle of this very slot; the
             // tag check below rejects the CAS in that case, so a torn
             // read here is discarded, never acted on.
@@ -290,10 +334,73 @@ impl<T> SegmentArena<T> {
                 Err(f) => fresh = f,
             }
         }
-        // 3) Indexed capacity exhausted: plain heap node, reclaimed by
+        // 3) Bump space exhausted: re-install a previously reclaimed
+        //    segment id with fresh memory, if any (cold: only reachable
+        //    after the cursor ran dry, and only when `reclaim_segments`
+        //    freed something earlier).
+        if let Some(slot) = self.reinstall_spare() {
+            return slot;
+        }
+        // 4) Indexed capacity exhausted: plain heap node, reclaimed by
         //    `recycle` via its sentinel index.
         self.alloc_fallback.fetch_add(1, Ordering::Relaxed);
         Box::into_raw(Box::new(ArenaSlot::new(NONE)))
+    }
+
+    /// Re-install one reclaimed segment id with fresh memory: slot 0 is
+    /// returned to the caller, slots 1.. are spliced onto the free list
+    /// as one batch. `None` when no spare ids exist.
+    fn reinstall_spare(&self) -> Option<*mut ArenaSlot<T>> {
+        let seg = self.spare.lock().unwrap_or_else(|p| p.into_inner()).pop()?;
+        let first = (seg * SEGMENT_SLOTS) as u32;
+        let boxed: Box<[ArenaSlot<T>]> = (0..SEGMENT_SLOTS as u32)
+            .map(|i| ArenaSlot::new(first + i))
+            .collect();
+        let base = Box::into_raw(boxed) as *mut ArenaSlot<T>;
+        // The id came off the spare list under its lock, so nobody else
+        // can be installing this segment: the slot was nulled by the
+        // reclaim that produced the id, and the bump cursor is already
+        // past it (only fully carved segments are ever reclaimed).
+        let prev = self.segments[seg].swap(base, Ordering::AcqRel);
+        debug_assert!(prev.is_null(), "spare id pointed at a live segment");
+        // Chain slots 1.. privately (newest first so indices ascend
+        // from the head), then publish with one tagged CAS.
+        let tail_idx = first + SEGMENT_SLOTS as u32 - 1;
+        unsafe {
+            for i in 1..SEGMENT_SLOTS {
+                let slot = base.add(i);
+                let next = if i + 1 < SEGMENT_SLOTS {
+                    first + i as u32 + 1
+                } else {
+                    NONE
+                };
+                (*slot).free_next.store(next, Ordering::Relaxed);
+                (*slot).set_next(if next == NONE {
+                    ptr::null_mut()
+                } else {
+                    base.add(i + 1)
+                });
+                (*slot).batch_tail.store(tail_idx, Ordering::Relaxed);
+            }
+            let head_idx = first + 1;
+            let end = base.add(SEGMENT_SLOTS - 1);
+            let mut cur = self.free.load(Ordering::Acquire);
+            loop {
+                let (tag, head) = unpack(cur);
+                (*end).free_next.store(head, Ordering::Relaxed);
+                (*end).set_next(self.mirror_of(head));
+                match self.free.compare_exchange_weak(
+                    cur,
+                    pack(tag.wrapping_add(1), head_idx),
+                    Ordering::Release,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(c) => cur = c,
+                }
+            }
+        }
+        Some(base)
     }
 
     /// Resolve a freshly claimed bump index to its slot, installing the
@@ -482,6 +589,114 @@ impl<T> SegmentArena<T> {
         }
     }
 
+    /// Return fully-free segments to the allocator (see the module
+    /// docs, "Reclamation on quiescence").
+    ///
+    /// Detaches the entire free list with one exchange, uninstalls
+    /// every segment *all* of whose slots were on it — a segment with
+    /// even one slot checked out (in a mailbox, a private chain, or a
+    /// claimed pool) is untouchable, so no in-flight node is ever
+    /// reclaimed — and splices the surviving free nodes back. The
+    /// reclaimed memory is returned inside a [`ReclaimedSegments`]
+    /// token; the caller should hold the token across one grace period
+    /// (a controller tick) before dropping it, so any producer still
+    /// speculating on a stale free-list head has retired its load.
+    /// Reclaimed ids become spares, re-installed on demand, so indexed
+    /// capacity never erodes.
+    pub fn reclaim_segments(&self) -> ReclaimedSegments<T> {
+        let pool = self.claim_pool();
+        if pool.is_null() {
+            return ReclaimedSegments::empty();
+        }
+        // Bucket the pooled nodes by segment. The pool is private, so
+        // plain loads suffice.
+        let mut per_seg = vec![0u32; MAX_SEGMENTS];
+        let mut nodes: Vec<*mut ArenaSlot<T>> = Vec::new();
+        let mut p = pool;
+        while !p.is_null() {
+            nodes.push(p);
+            // Safety: pooled nodes are exclusively ours.
+            let idx = unsafe { (*p).index };
+            per_seg[idx as usize / SEGMENT_SLOTS] += 1;
+            p = unsafe { self.pool_next(p) };
+        }
+        // A segment is reclaimable iff every one of its slots is here
+        // (which also implies it is fully carved — uncarved slots never
+        // circulate).
+        let full: Vec<bool> = per_seg.iter().map(|&n| n == SEGMENT_SLOTS as u32).collect();
+        if !full.iter().any(|&f| f) {
+            // Nothing reclaimable: give the whole pool straight back.
+            unsafe { self.return_pool(pool) };
+            return ReclaimedSegments::empty();
+        }
+        // Re-chain the survivors privately (fresh batch links — the old
+        // ones may hop through segments about to disappear).
+        let mut head = NONE;
+        let mut head_ptr: *mut ArenaSlot<T> = ptr::null_mut();
+        let mut tail: *mut ArenaSlot<T> = ptr::null_mut();
+        let mut tail_idx = NONE;
+        for &slot in &nodes {
+            // Safety: exclusively ours until published below.
+            unsafe {
+                let idx = (*slot).index;
+                if full[idx as usize / SEGMENT_SLOTS] {
+                    continue;
+                }
+                (*slot).free_next.store(head, Ordering::Relaxed);
+                (*slot).set_next(head_ptr);
+                if tail.is_null() {
+                    tail = slot;
+                    tail_idx = idx;
+                }
+                (*slot).batch_tail.store(tail_idx, Ordering::Relaxed);
+                head = idx;
+                head_ptr = slot;
+            }
+        }
+        // Uninstall the reclaimed segments *before* republishing the
+        // survivors: once a survivor is visible, a taker may claim the
+        // list again, and it must never observe a reclaimable segment
+        // half-installed.
+        let mut bases = Vec::new();
+        let mut spare = self.spare.lock().unwrap_or_else(|p| p.into_inner());
+        for (seg, &f) in full.iter().enumerate() {
+            if !f {
+                continue;
+            }
+            let base = self.segments[seg].swap(ptr::null_mut(), Ordering::AcqRel);
+            debug_assert!(!base.is_null(), "fully pooled segment was not installed");
+            bases.push(base);
+            spare.push(seg);
+        }
+        drop(spare);
+        self.reclaimed_segs
+            .fetch_add(bases.len() as u64, Ordering::Relaxed);
+        // Publish the survivor chain with one tagged CAS (uncounted:
+        // these nodes were already recycled once; re-splicing them is
+        // not a new reuse).
+        if head != NONE {
+            let mut cur = self.free.load(Ordering::Acquire);
+            loop {
+                let (tag, old_head) = unpack(cur);
+                // Safety: the chain is exclusively ours until the CAS.
+                unsafe {
+                    (*tail).free_next.store(old_head, Ordering::Relaxed);
+                    (*tail).set_next(self.mirror_of(old_head));
+                }
+                match self.free.compare_exchange_weak(
+                    cur,
+                    pack(tag.wrapping_add(1), head),
+                    Ordering::Release,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(c) => cur = c,
+                }
+            }
+        }
+        ReclaimedSegments { bases }
+    }
+
     /// A snapshot of the recycling counters.
     pub fn stats(&self) -> ArenaStats {
         ArenaStats {
@@ -493,6 +708,64 @@ impl<T> SegmentArena<T> {
                 .filter(|s| !s.load(Ordering::Relaxed).is_null())
                 .count(),
             carved: self.fresh.load(Ordering::Relaxed).min(Self::capacity()) as u64,
+            reclaimed_segments: self.reclaimed_segs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Segment memory detached by [`SegmentArena::reclaim_segments`],
+/// still allocated until this token drops. Hold it across one grace
+/// period (e.g. the next controller tick) before dropping: a producer
+/// that read the free-list head just before the reclaim may still
+/// issue one speculative (tag-doomed, value-discarded) load against
+/// this memory.
+#[must_use = "dropping immediately skips the grace period the reclaim protocol relies on"]
+pub struct ReclaimedSegments<T> {
+    bases: Vec<*mut ArenaSlot<T>>,
+}
+
+// The token only carries ownership of segment memory across threads;
+// no payloads live in reclaimed slots (they were all free).
+unsafe impl<T: Send> Send for ReclaimedSegments<T> {}
+
+impl<T> ReclaimedSegments<T> {
+    fn empty() -> Self {
+        ReclaimedSegments { bases: Vec::new() }
+    }
+
+    /// Number of segments this token owns.
+    pub fn segments(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// True when the reclaim found nothing to free.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Fold another token into this one (accumulating across shards).
+    pub fn absorb(&mut self, mut other: ReclaimedSegments<T>) {
+        self.bases.append(&mut other.bases);
+    }
+}
+
+impl<T> Default for ReclaimedSegments<T> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<T> Drop for ReclaimedSegments<T> {
+    fn drop(&mut self) {
+        for &base in &self.bases {
+            // Safety: the bases were uninstalled from the segment table
+            // by `reclaim_segments`; every slot was free (no payloads).
+            unsafe {
+                drop(Box::from_raw(ptr::slice_from_raw_parts_mut(
+                    base,
+                    SEGMENT_SLOTS,
+                )))
+            };
         }
     }
 }
@@ -804,5 +1077,110 @@ mod tests {
         assert_eq!(st.alloc_fallback, 0);
         assert_eq!(st.segments, 0, "segments install lazily");
         assert_eq!(st.carved, 0);
+        assert_eq!(st.reclaimed_segments, 0);
+    }
+
+    #[test]
+    fn reclaim_frees_fully_free_segments_only() {
+        let a: SegmentArena<u64> = SegmentArena::new();
+        // Two segments: the first fully carved, the second partially.
+        let n = SEGMENT_SLOTS + 10;
+        let slots: Vec<_> = (0..n).map(|_| a.take()).collect();
+        assert_eq!(a.stats().segments, 2);
+        let mut r = a.reclaimer();
+        for &s in &slots {
+            unsafe { r.add(s) };
+        }
+        drop(r);
+        let tok = a.reclaim_segments();
+        assert_eq!(tok.segments(), 1, "only the fully-free segment goes");
+        assert!(!tok.is_empty());
+        let st = a.stats();
+        assert_eq!(st.segments, 1, "partial segment stays installed");
+        assert_eq!(st.reclaimed_segments, 1);
+        // The partial segment's 10 survivors are still takeable, then
+        // the cursor keeps carving the partial segment.
+        let mut got: Vec<_> = (0..10).map(|_| a.take()).collect();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 10, "survivors lost in the re-splice");
+        let extra = a.take();
+        assert_eq!(
+            a.stats().alloc_fallback,
+            0,
+            "reclaim must not force heap fallback"
+        );
+        unsafe { a.recycle(extra) };
+        let mut r = a.reclaimer();
+        for s in got {
+            unsafe { r.add(s) };
+        }
+        drop(r);
+        drop(tok);
+    }
+
+    #[test]
+    fn reclaim_never_touches_a_segment_with_a_checked_out_node() {
+        let a: SegmentArena<u32> = SegmentArena::new();
+        let slots: Vec<_> = (0..SEGMENT_SLOTS).map(|_| a.take()).collect();
+        let held = slots[7];
+        let mut r = a.reclaimer();
+        for &s in &slots {
+            if s != held {
+                unsafe { r.add(s) };
+            }
+        }
+        drop(r);
+        let tok = a.reclaim_segments();
+        assert!(tok.is_empty(), "one in-flight node pins the segment");
+        assert_eq!(a.stats().segments, 1);
+        assert_eq!(a.stats().reclaimed_segments, 0);
+        // Every free node survived the no-op reclaim.
+        let mut back: Vec<_> = (0..SEGMENT_SLOTS - 1).map(|_| a.take()).collect();
+        back.push(held);
+        back.sort_unstable();
+        back.dedup();
+        assert_eq!(back.len(), SEGMENT_SLOTS);
+        assert_eq!(a.stats().carved as usize, SEGMENT_SLOTS, "no re-carving");
+        let mut r = a.reclaimer();
+        for s in back {
+            unsafe { r.add(s) };
+        }
+    }
+
+    #[test]
+    fn reclaimed_ids_reinstall_when_the_cursor_runs_dry() {
+        let a: SegmentArena<u8> = SegmentArena::new();
+        // Exhaust the entire indexed space, free everything, reclaim.
+        let cap = MAX_SEGMENTS * SEGMENT_SLOTS;
+        let slots: Vec<_> = (0..cap).map(|_| a.take()).collect();
+        assert_eq!(a.stats().segments, MAX_SEGMENTS);
+        let mut r = a.reclaimer();
+        for &s in &slots {
+            unsafe { r.add(s) };
+        }
+        drop(r);
+        let tok = a.reclaim_segments();
+        assert_eq!(tok.segments(), MAX_SEGMENTS, "everything was free");
+        assert_eq!(a.stats().segments, 0);
+        // Next take: free list empty, cursor exhausted — a spare id is
+        // re-installed instead of falling back to the heap.
+        let s = a.take();
+        assert_ne!(unsafe { (*s).index }, u32::MAX, "indexed, not heap");
+        assert_eq!(a.stats().alloc_fallback, 0);
+        assert_eq!(a.stats().segments, 1);
+        // The rest of the re-installed segment is on the free list.
+        let mut rest: Vec<_> = (0..SEGMENT_SLOTS - 1).map(|_| a.take()).collect();
+        assert_eq!(a.stats().segments, 1, "served from the one segment");
+        rest.push(s);
+        rest.sort_unstable();
+        rest.dedup();
+        assert_eq!(rest.len(), SEGMENT_SLOTS);
+        let mut r = a.reclaimer();
+        for s in rest {
+            unsafe { r.add(s) };
+        }
+        drop(r);
+        drop(tok);
     }
 }

@@ -1,0 +1,499 @@
+//! The elastic control loop: a deterministic controller that turns
+//! observed deadline-miss rate and queue shape into structural
+//! actuation — worker-pool sizing, steal-threshold tuning, hot-operator
+//! re-placement, and arena segment reclamation.
+//!
+//! Cameo's scheduler carries the *sensor* half of a feedback loop (the
+//! per-operator cost profiles feeding priorities, per-job latency
+//! targets checked at sinks) but the original system never acts on it
+//! structurally: the worker pool, the `shard_of` placement and the
+//! steal threshold are all fixed at startup, and per-shard arenas hold
+//! their high-water mark forever. This module closes the loop.
+//!
+//! The controller itself is a **pure state machine**: no clock, no
+//! randomness, no I/O. Each [`tick`](ElasticController::tick) consumes
+//! one [`ElasticObservation`] (cumulative counters plus instantaneous
+//! queue shape) and returns a list of [`ElasticAction`]s. That purity
+//! is what lets the deterministic simulator run the *identical*
+//! controller at virtual-time ticks and prove the loop stable
+//! (bit-identical reruns) before the threaded runtime trusts it with
+//! real threads.
+//!
+//! Control policy, in one paragraph: the controller differentiates the
+//! cumulative sink counters into a per-tick windowed deadline-miss
+//! rate. While the system is *active* (outputs flowing or backlog
+//! pending), a miss rate above the high-water mark grows the worker
+//! pool one [`grow_step`](ElasticConfig::grow_step) at a time toward
+//! the ceiling and — when one shard's backlog dominates the mean — asks
+//! for the hottest operator to be migrated off the overloaded shard.
+//! Sustained quiescence (no outputs, no backlog, for
+//! [`quiescent_ticks`](ElasticConfig::quiescent_ticks) consecutive
+//! ticks) walks the pool back down one worker per tick and requests
+//! arena segment reclamation. The steal threshold is tuned from the
+//! observed steal ratio (steals per acquisition): overload drives it to
+//! zero (steal eagerly), healthy-but-churning stealing backs it off
+//! geometrically, and calm periods decay it back toward the configured
+//! base.
+
+use crate::time::Micros;
+
+/// Tuning knobs for the elastic control loop. All decisions are made
+/// from these plus the observation stream — nothing else — so two runs
+/// that feed the controller identical observations take identical
+/// actions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ElasticConfig {
+    /// Floor of the worker pool: quiescent shrink never goes below.
+    pub min_workers: usize,
+    /// Ceiling of the worker pool: overload growth never exceeds.
+    pub max_workers: usize,
+    /// Windowed deadline-miss rate above which the pool grows.
+    pub high_water: f64,
+    /// Windowed deadline-miss rate below which the system counts as
+    /// healthy for steal-threshold decay. Must be ≤ `high_water`.
+    pub low_water: f64,
+    /// Workers added per overloaded tick.
+    pub grow_step: usize,
+    /// Consecutive quiescent ticks (no outputs, empty queues) before
+    /// the pool shrinks and arenas are reclaimed.
+    pub quiescent_ticks: u32,
+    /// Controller sampling interval. The runtime's controller thread
+    /// sleeps this long between ticks; the simulator schedules a
+    /// controller event every `tick` of virtual time.
+    pub tick: Micros,
+    /// A shard is "overloaded" for migration purposes when its backlog
+    /// exceeds this multiple of the mean shard backlog (and the
+    /// absolute floor `migrate_min_backlog`).
+    pub migrate_backlog_ratio: f64,
+    /// Minimum absolute backlog (messages) on a shard before migration
+    /// is considered — keeps the controller from shuffling operators
+    /// over noise.
+    pub migrate_min_backlog: usize,
+    /// Base steal threshold the auto-tuner decays back to when the
+    /// system is healthy and stealing is not churning.
+    pub steal_base: Micros,
+}
+
+impl ElasticConfig {
+    /// A controller bounded to `[min_workers, max_workers]` with the
+    /// default thresholds: grow above 10% missed deadlines, shrink and
+    /// reclaim after 3 quiescent ticks of 10 ms each.
+    pub fn new(min_workers: usize, max_workers: usize) -> Self {
+        ElasticConfig {
+            min_workers: min_workers.max(1),
+            max_workers: max_workers.max(min_workers.max(1)),
+            high_water: 0.10,
+            low_water: 0.01,
+            grow_step: 1,
+            quiescent_ticks: 3,
+            tick: Micros::from_millis(10),
+            migrate_backlog_ratio: 2.0,
+            migrate_min_backlog: 16,
+            steal_base: Micros::ZERO,
+        }
+    }
+
+    /// Builder: grow/shrink miss-rate watermarks.
+    pub fn with_watermarks(mut self, high: f64, low: f64) -> Self {
+        assert!(low <= high, "low_water must be <= high_water");
+        self.high_water = high;
+        self.low_water = low;
+        self
+    }
+
+    /// Builder: controller tick interval.
+    pub fn with_tick(mut self, tick: Micros) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Builder: workers added per overloaded tick.
+    pub fn with_grow_step(mut self, step: usize) -> Self {
+        self.grow_step = step.max(1);
+        self
+    }
+
+    /// Builder: quiescent ticks before shrink/reclaim.
+    pub fn with_quiescent_ticks(mut self, ticks: u32) -> Self {
+        self.quiescent_ticks = ticks.max(1);
+        self
+    }
+
+    /// Builder: base steal threshold the tuner decays back to.
+    pub fn with_steal_base(mut self, base: Micros) -> Self {
+        self.steal_base = base;
+        self
+    }
+}
+
+/// One controller sample: cumulative counters (the controller
+/// differentiates them itself) plus instantaneous queue shape.
+#[derive(Clone, Debug, Default)]
+pub struct ElasticObservation {
+    /// Cumulative sink outputs (deadline hits + misses) since start.
+    pub outputs: u64,
+    /// Cumulative sink outputs that missed their job's latency target.
+    pub deadline_misses: u64,
+    /// Messages currently pending across all shards.
+    pub backlog: usize,
+    /// Current worker-pool target.
+    pub workers: usize,
+    /// Cumulative operators acquired from a non-home shard.
+    pub steals: u64,
+    /// Cumulative operator acquisitions.
+    pub acquisitions: u64,
+    /// Instantaneous per-shard pending-message counts (may be empty
+    /// when the caller runs a single queue).
+    pub shard_backlogs: Vec<usize>,
+}
+
+/// A structural adaptation the controller asks its host to perform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElasticAction {
+    /// Resize the worker pool to exactly this many workers.
+    SetWorkers(usize),
+    /// Retune the sharded scheduler's steal threshold.
+    SetStealThreshold(Micros),
+    /// Move the hottest operator off shard `from` onto shard `to`.
+    MigrateHottest {
+        /// Overloaded source shard.
+        from: usize,
+        /// Least-loaded destination shard.
+        to: usize,
+    },
+    /// Return fully-free arena segments to the allocator (the host
+    /// should hold the reclaimed memory for one grace tick — see
+    /// [`crate::arena::SegmentArena::reclaim_segments`]).
+    ReclaimArenas,
+}
+
+/// Counters describing what the controller has done so far; cheap to
+/// copy into metrics/artifacts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ElasticTelemetry {
+    /// Ticks evaluated.
+    pub ticks: u64,
+    /// Pool-grow actions emitted.
+    pub grows: u64,
+    /// Pool-shrink actions emitted.
+    pub shrinks: u64,
+    /// Migration requests emitted.
+    pub migrations: u64,
+    /// Arena reclamation requests emitted.
+    pub reclaims: u64,
+    /// Highest worker target ever requested (0 until the first resize).
+    pub peak_workers: usize,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Sample {
+    outputs: u64,
+    misses: u64,
+    steals: u64,
+    acquisitions: u64,
+}
+
+/// The deterministic elastic controller. See the module docs for the
+/// policy; construct with [`ElasticController::new`] and call
+/// [`tick`](ElasticController::tick) at a fixed cadence.
+#[derive(Clone, Debug)]
+pub struct ElasticController {
+    cfg: ElasticConfig,
+    prev: Option<Sample>,
+    quiet_streak: u32,
+    /// Additional steal damping (µs) on top of `steal_base`; doubled
+    /// when healthy stealing churns, halved when it calms down.
+    steal_damp: u64,
+    /// Last threshold emitted, to suppress no-op actions.
+    last_threshold: Option<Micros>,
+    /// Miss rate observed over the most recent tick window.
+    last_miss_rate: f64,
+    telemetry: ElasticTelemetry,
+}
+
+impl ElasticController {
+    /// Steal damping never exceeds this many microseconds.
+    const MAX_DAMP_US: u64 = 16_384;
+
+    /// A controller with no history under `cfg`.
+    pub fn new(cfg: ElasticConfig) -> Self {
+        ElasticController {
+            cfg,
+            prev: None,
+            quiet_streak: 0,
+            steal_damp: 0,
+            last_threshold: None,
+            last_miss_rate: 0.0,
+            telemetry: ElasticTelemetry::default(),
+        }
+    }
+
+    /// The configuration this controller runs under.
+    pub fn config(&self) -> &ElasticConfig {
+        &self.cfg
+    }
+
+    /// What the controller has done so far.
+    pub fn telemetry(&self) -> ElasticTelemetry {
+        self.telemetry
+    }
+
+    /// Deadline-miss rate over the most recent tick window (0.0 before
+    /// the second tick).
+    pub fn last_miss_rate(&self) -> f64 {
+        self.last_miss_rate
+    }
+
+    /// Evaluate one controller tick. The first tick only establishes
+    /// the counter baseline and never acts; every later tick
+    /// differentiates the cumulative counters against the previous one.
+    pub fn tick(&mut self, obs: &ElasticObservation) -> Vec<ElasticAction> {
+        self.telemetry.ticks += 1;
+        let cur = Sample {
+            outputs: obs.outputs,
+            misses: obs.deadline_misses,
+            steals: obs.steals,
+            acquisitions: obs.acquisitions,
+        };
+        let Some(prev) = self.prev.replace(cur) else {
+            return Vec::new();
+        };
+        let d_out = cur.outputs.saturating_sub(prev.outputs);
+        let d_miss = cur.misses.saturating_sub(prev.misses);
+        let d_steal = cur.steals.saturating_sub(prev.steals);
+        let d_acq = cur.acquisitions.saturating_sub(prev.acquisitions);
+        let miss_rate = if d_out > 0 {
+            d_miss as f64 / d_out as f64
+        } else {
+            0.0
+        };
+        self.last_miss_rate = miss_rate;
+        let active = d_out > 0 || obs.backlog > 0;
+
+        let mut actions = Vec::new();
+        if active {
+            self.quiet_streak = 0;
+            if miss_rate > self.cfg.high_water {
+                if obs.workers < self.cfg.max_workers {
+                    let target = (obs.workers + self.cfg.grow_step).min(self.cfg.max_workers);
+                    self.telemetry.grows += 1;
+                    self.telemetry.peak_workers = self.telemetry.peak_workers.max(target);
+                    actions.push(ElasticAction::SetWorkers(target));
+                }
+                if let Some((from, to)) = self.imbalanced_pair(&obs.shard_backlogs) {
+                    self.telemetry.migrations += 1;
+                    actions.push(ElasticAction::MigrateHottest { from, to });
+                }
+            }
+        } else {
+            self.quiet_streak = self.quiet_streak.saturating_add(1);
+            if self.quiet_streak >= self.cfg.quiescent_ticks {
+                if obs.workers > self.cfg.min_workers {
+                    self.telemetry.shrinks += 1;
+                    actions.push(ElasticAction::SetWorkers(obs.workers - 1));
+                }
+                self.telemetry.reclaims += 1;
+                actions.push(ElasticAction::ReclaimArenas);
+            }
+        }
+
+        // Steal-threshold tuning from the observed steal ratio.
+        let steal_ratio = if d_acq > 0 {
+            d_steal as f64 / d_acq as f64
+        } else {
+            0.0
+        };
+        if miss_rate > self.cfg.high_water {
+            // Overloaded: steal as eagerly as possible.
+            self.steal_damp = 0;
+        } else if miss_rate < self.cfg.low_water && steal_ratio > 0.25 {
+            // Healthy but stealing churns a quarter of acquisitions:
+            // back off geometrically so home-shard locality recovers.
+            self.steal_damp = (self.steal_damp.max(128) * 2).min(Self::MAX_DAMP_US);
+        } else if steal_ratio < 0.125 {
+            // Calm: decay back toward the configured base.
+            self.steal_damp /= 2;
+        }
+        let threshold = Micros(self.cfg.steal_base.0 + self.steal_damp);
+        if self.last_threshold != Some(threshold) {
+            self.last_threshold = Some(threshold);
+            actions.push(ElasticAction::SetStealThreshold(threshold));
+        }
+        actions
+    }
+
+    /// `(hottest, coolest)` shard pair when the hottest shard's backlog
+    /// dominates the mean by the configured ratio.
+    fn imbalanced_pair(&self, backlogs: &[usize]) -> Option<(usize, usize)> {
+        if backlogs.len() < 2 {
+            return None;
+        }
+        let total: usize = backlogs.iter().sum();
+        let mean = total as f64 / backlogs.len() as f64;
+        let (hot, &hot_len) = backlogs
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &len)| (len, std::cmp::Reverse(i)))?;
+        let (cold, _) = backlogs
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &len)| (len, i))?;
+        if hot == cold
+            || hot_len < self.cfg.migrate_min_backlog
+            || (hot_len as f64) <= mean * self.cfg.migrate_backlog_ratio
+        {
+            return None;
+        }
+        Some((hot, cold))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(outputs: u64, misses: u64, backlog: usize, workers: usize) -> ElasticObservation {
+        ElasticObservation {
+            outputs,
+            deadline_misses: misses,
+            backlog,
+            workers,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn first_tick_is_baseline_only() {
+        let mut c = ElasticController::new(ElasticConfig::new(1, 4));
+        assert!(c.tick(&obs(100, 50, 10, 1)).is_empty());
+    }
+
+    #[test]
+    fn grows_on_high_miss_rate_up_to_ceiling() {
+        let mut c = ElasticController::new(ElasticConfig::new(1, 3));
+        c.tick(&obs(0, 0, 0, 1));
+        let a = c.tick(&obs(100, 50, 10, 1));
+        assert!(a.contains(&ElasticAction::SetWorkers(2)), "{a:?}");
+        let a = c.tick(&obs(200, 100, 10, 2));
+        assert!(a.contains(&ElasticAction::SetWorkers(3)));
+        // At the ceiling: no further resize even while missing.
+        let a = c.tick(&obs(300, 150, 10, 3));
+        assert!(!a.iter().any(|x| matches!(x, ElasticAction::SetWorkers(_))));
+        assert_eq!(c.telemetry().grows, 2);
+        assert_eq!(c.telemetry().peak_workers, 3);
+    }
+
+    #[test]
+    fn shrinks_and_reclaims_after_sustained_quiescence() {
+        let cfg = ElasticConfig::new(1, 4).with_quiescent_ticks(2);
+        let mut c = ElasticController::new(cfg);
+        c.tick(&obs(0, 0, 0, 3));
+        // One quiet tick: not yet.
+        let a = c.tick(&obs(0, 0, 0, 3));
+        assert!(!a.contains(&ElasticAction::ReclaimArenas));
+        // Second quiet tick: shrink by one and reclaim.
+        let a = c.tick(&obs(0, 0, 0, 3));
+        assert!(a.contains(&ElasticAction::SetWorkers(2)));
+        assert!(a.contains(&ElasticAction::ReclaimArenas));
+        // Keeps walking down to the floor, never below.
+        let a = c.tick(&obs(0, 0, 0, 2));
+        assert!(a.contains(&ElasticAction::SetWorkers(1)));
+        let a = c.tick(&obs(0, 0, 0, 1));
+        assert!(!a.iter().any(|x| matches!(x, ElasticAction::SetWorkers(_))));
+        assert!(a.contains(&ElasticAction::ReclaimArenas));
+    }
+
+    #[test]
+    fn activity_resets_the_quiet_streak() {
+        let cfg = ElasticConfig::new(1, 4).with_quiescent_ticks(2);
+        let mut c = ElasticController::new(cfg);
+        c.tick(&obs(0, 0, 0, 2));
+        c.tick(&obs(0, 0, 0, 2)); // quiet 1
+        let a = c.tick(&obs(10, 0, 0, 2)); // activity
+        assert!(!a.contains(&ElasticAction::ReclaimArenas));
+        let a = c.tick(&obs(10, 0, 0, 2)); // quiet 1 again
+        assert!(!a.contains(&ElasticAction::ReclaimArenas));
+        let a = c.tick(&obs(10, 0, 0, 2)); // quiet 2
+        assert!(a.contains(&ElasticAction::ReclaimArenas));
+    }
+
+    #[test]
+    fn migrates_off_a_dominating_shard() {
+        let mut c = ElasticController::new(ElasticConfig::new(1, 4));
+        let mut o = obs(0, 0, 0, 4);
+        c.tick(&o);
+        o = obs(100, 50, 120, 4);
+        o.shard_backlogs = vec![100, 5, 10, 5];
+        let a = c.tick(&o);
+        assert!(a.contains(&ElasticAction::MigrateHottest { from: 0, to: 1 }));
+        // Balanced backlogs: no migration even while missing deadlines.
+        let mut o2 = obs(200, 100, 120, 4);
+        o2.shard_backlogs = vec![30, 30, 30, 30];
+        let a = c.tick(&o2);
+        assert!(!a
+            .iter()
+            .any(|x| matches!(x, ElasticAction::MigrateHottest { .. })));
+    }
+
+    #[test]
+    fn small_backlogs_never_migrate() {
+        let mut c = ElasticController::new(ElasticConfig::new(1, 4));
+        let mut o = obs(0, 0, 0, 4);
+        c.tick(&o);
+        o = obs(100, 50, 12, 4);
+        o.shard_backlogs = vec![10, 1, 1, 0];
+        let a = c.tick(&o);
+        assert!(!a
+            .iter()
+            .any(|x| matches!(x, ElasticAction::MigrateHottest { .. })));
+    }
+
+    #[test]
+    fn steal_threshold_backs_off_on_churn_and_zeroes_on_overload() {
+        let base = Micros(100);
+        let cfg = ElasticConfig::new(1, 4).with_steal_base(base);
+        let mut c = ElasticController::new(cfg);
+        let mut o = obs(0, 0, 0, 1);
+        c.tick(&o);
+        // Healthy (0 misses) but half of acquisitions are steals.
+        o = ElasticObservation {
+            outputs: 100,
+            deadline_misses: 0,
+            backlog: 1,
+            workers: 1,
+            steals: 50,
+            acquisitions: 100,
+            shard_backlogs: vec![],
+        };
+        let a = c.tick(&o);
+        let t1 = a.iter().find_map(|x| match x {
+            ElasticAction::SetStealThreshold(t) => Some(*t),
+            _ => None,
+        });
+        assert!(t1.unwrap() > base, "churn must raise the threshold");
+        // Overload: threshold snaps to the base (damping zeroed).
+        o.outputs = 200;
+        o.deadline_misses = 90;
+        let a = c.tick(&o);
+        assert!(a.contains(&ElasticAction::SetStealThreshold(base)));
+    }
+
+    #[test]
+    fn identical_observation_streams_take_identical_actions() {
+        let cfg = ElasticConfig::new(1, 4).with_quiescent_ticks(2);
+        let stream: Vec<ElasticObservation> = (0..20)
+            .map(|i| {
+                let mut o = obs(i * 37, i * 11, (i as usize % 5) * 8, 2);
+                o.shard_backlogs = vec![i as usize * 3, 4, 2, 1];
+                o.steals = i * 2;
+                o.acquisitions = i * 9;
+                o
+            })
+            .collect();
+        let run = |stream: &[ElasticObservation]| {
+            let mut c = ElasticController::new(cfg);
+            stream.iter().flat_map(|o| c.tick(o)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(&stream), run(&stream), "controller must be pure");
+    }
+}

@@ -30,7 +30,11 @@
 //! * [`queue`] — the two-level priority structure (Fig 5b).
 //! * [`scheduler`] — the stateless scheduler with quantum logic (§5.2).
 //! * [`arena`] — per-shard segment arenas: recycled mailbox-node
-//!   storage, so the steady-state submit path allocates nothing.
+//!   storage, so the steady-state submit path allocates nothing, with
+//!   whole-segment reclamation once a backlog spike drains.
+//! * [`elastic`] — the deterministic miss-rate-driven controller that
+//!   scales workers, re-places hot operators and reclaims arenas
+//!   (shared verbatim by the runtime and the simulator).
 //! * [`mailbox`] — the lock-free per-shard submission mailbox
 //!   (arena-backed, with single-CAS batch publication).
 //! * [`shard`] — N scheduler shards with urgency-aware work stealing
@@ -72,6 +76,7 @@ pub mod affinity;
 pub mod arena;
 pub mod config;
 pub mod context;
+pub mod elastic;
 pub mod epoll;
 pub mod ids;
 pub mod mailbox;
@@ -88,9 +93,12 @@ pub mod transform;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
-    pub use crate::arena::{ArenaStats, SegmentArena};
+    pub use crate::arena::{ArenaStats, ReclaimedSegments, SegmentArena};
     pub use crate::config::SchedulerConfig;
     pub use crate::context::{DataflowField, PriorityContext, ReplyContext, TokenTag};
+    pub use crate::elastic::{
+        ElasticAction, ElasticConfig, ElasticController, ElasticObservation, ElasticTelemetry,
+    };
     pub use crate::ids::{JobId, MessageId, OperatorKey};
     pub use crate::mailbox::{Mail, MailChain, Mailbox};
     pub use crate::policy::{

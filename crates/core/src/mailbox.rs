@@ -43,7 +43,7 @@
 //! handshake is only lost-wakeup-free if both sides' operations hit the
 //! single total order.
 
-use crate::arena::{ArenaSlot, ArenaStats, SegmentArena};
+use crate::arena::{ArenaSlot, ArenaStats, ReclaimedSegments, SegmentArena};
 use crate::ids::OperatorKey;
 use crate::priority::Priority;
 use std::ptr;
@@ -165,6 +165,17 @@ impl<M> Mailbox<M> {
     /// Node-recycling counters of this mailbox's arena.
     pub fn arena_stats(&self) -> ArenaStats {
         self.arena.stats()
+    }
+
+    /// Return fully-free arena segments to the allocator (see
+    /// [`SegmentArena::reclaim_segments`]). Safe to call at any time —
+    /// a segment with even one node in flight (queued here, held by a
+    /// chain, or claimed as a pool) is never touched — but only
+    /// *productive* when this mailbox has gone quiescent and its nodes
+    /// have all been recycled. The caller should hold the returned
+    /// token for one grace period before dropping it.
+    pub fn reclaim_segments(&self) -> ReclaimedSegments<Mail<M>> {
+        self.arena.reclaim_segments()
     }
 
     /// Detach everything currently in the mailbox and hand it to `f` in

@@ -29,12 +29,16 @@
 //!   the peek-based refresh after acquire/release are O(1);
 //!   [`SchedulerStats::hint_fast_path`] counts how often the O(1) path
 //!   sufficed.
-//! * **Placement.** Every operator hashes to a fixed shard
-//!   ([`ShardedScheduler::shard_of`]), so all messages of one operator
-//!   live in one two-level queue. Lease exclusivity and per-operator
-//!   FIFO/priority order are therefore exactly the single-queue
-//!   semantics — sharding only relaxes ordering *between* operators on
-//!   different shards.
+//! * **Placement.** Every operator hashes to a home shard, but the
+//!   hash is only a default: a placement override table lets the
+//!   elastic controller re-place hot operators at runtime
+//!   ([`ShardedScheduler::migrate_operator`]), and
+//!   [`ShardedScheduler::shard_of`] consults it through a 64-bit
+//!   fingerprint so the empty-table fast path stays one atomic load.
+//!   Either way all messages of one operator live in one two-level
+//!   queue, so lease exclusivity and per-operator FIFO/priority order
+//!   are exactly the single-queue semantics — sharding only relaxes
+//!   ordering *between* operators on different shards.
 //! * **Affinity + stealing.** Each worker has a *home* shard it drains
 //!   by default. On acquire, a worker compares its home shard's best
 //!   available priority against every other shard's (a lock-free scan
@@ -82,13 +86,14 @@
 //! serialized by the park lock to land after the parker starts
 //! waiting. `tests/mailbox_stress.rs` hammers exactly this window.
 
+use crate::arena::ReclaimedSegments;
 use crate::config::SchedulerConfig;
 use crate::ids::{JobId, OperatorKey};
 use crate::mailbox::{Mail, MailChain, Mailbox};
 use crate::priority::Priority;
 use crate::scheduler::{CameoScheduler, Decision, Execution, SchedulerStats};
 use crate::time::{Micros, PhysicalTime};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{fence, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
@@ -203,8 +208,12 @@ impl ShardExecution {
 pub struct ShardedScheduler<M> {
     shards: Vec<Shard<M>>,
     quantum: Micros,
-    /// Steal slack in priority units (see `SchedulerConfig`).
-    steal_threshold: i64,
+    /// Steal slack in priority units (see `SchedulerConfig`). Atomic
+    /// so the elastic controller can retune it at runtime
+    /// ([`set_steal_threshold`](Self::set_steal_threshold)); Relaxed
+    /// everywhere because the threshold only shapes the urgency
+    /// approximation, never correctness.
+    steal_threshold: AtomicI64,
     /// Lock-free mailbox ingress (default) vs locked ingress.
     use_mailbox: bool,
     /// Max mailbox messages admitted per lock acquisition (0 = all).
@@ -233,12 +242,45 @@ pub struct ShardedScheduler<M> {
     retired_fp: AtomicU64,
     jobs_retired: AtomicU64,
     retired_drops: AtomicU64,
+    /// Placement overrides installed by
+    /// [`migrate_operator`](Self::migrate_operator): operators listed
+    /// here live on the named shard instead of their hash home.
+    /// Installs and removals happen under the *source* shard's core
+    /// lock (core → placement lock order, like core → retired, never
+    /// the reverse), which is what makes the under-lock placement
+    /// re-checks in `submit_locked` and `migrate_operator`
+    /// authoritative.
+    placement: Mutex<HashMap<OperatorKey, usize>>,
+    /// 64-bit membership fingerprint over `placement` (bit from the
+    /// key's Fibonacci mix). [`shard_of`](Self::shard_of) tests one
+    /// bit before touching the table mutex, so placement for the
+    /// overwhelming majority of operators — and *all* of them while no
+    /// migration is active — stays a pure hash with zero extra cost.
+    placement_fp: AtomicU64,
+    operators_migrated: AtomicU64,
 }
 
 /// The fingerprint bit for a job slot.
 #[inline]
 fn fp_bit(job: JobId) -> u64 {
     1u64 << (job.0 % 64)
+}
+
+/// Fibonacci mix of a packed operator key. The high bits carry the
+/// most mixing; both the hash half of placement and the placement
+/// fingerprint bit derive from it.
+#[inline]
+fn mix(key: OperatorKey) -> u64 {
+    let packed = ((key.job.0 as u64) << 32) | key.op as u64;
+    packed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The placement-override fingerprint bit for an operator key (top six
+/// bits of the mix, independent of the bits `home_shard` consumes for
+/// small shard counts).
+#[inline]
+fn placement_bit(key: OperatorKey) -> u64 {
+    1u64 << (mix(key) >> 58)
 }
 
 impl<M> ShardedScheduler<M> {
@@ -264,7 +306,7 @@ impl<M> ShardedScheduler<M> {
                 })
                 .collect(),
             quantum: config.quantum,
-            steal_threshold: config.steal_threshold.0.min(i64::MAX as u64) as i64,
+            steal_threshold: AtomicI64::new(config.steal_threshold.0.min(i64::MAX as u64) as i64),
             use_mailbox: config.mailbox,
             drain_batch: config.mailbox_drain_batch,
             steals: AtomicU64::new(0),
@@ -275,6 +317,9 @@ impl<M> ShardedScheduler<M> {
             retired_fp: AtomicU64::new(0),
             jobs_retired: AtomicU64::new(0),
             retired_drops: AtomicU64::new(0),
+            placement: Mutex::new(HashMap::new()),
+            placement_fp: AtomicU64::new(0),
+            operators_migrated: AtomicU64::new(0),
         }
     }
 
@@ -308,17 +353,37 @@ impl<M> ShardedScheduler<M> {
         self.quantum
     }
 
-    /// Deterministic operator→shard placement (Fibonacci hashing of the
-    /// packed key; *not* `RandomState`, so placement is stable across
-    /// runs and processes).
+    /// The hash half of placement: where `key` lives absent any
+    /// migration override. Deterministic (Fibonacci hashing of the
+    /// packed key; *not* `RandomState`), so default placement is
+    /// stable across runs and processes.
+    #[inline]
+    fn home_shard(&self, key: OperatorKey) -> usize {
+        // Range reduction is a multiply-shift (Lemire) rather than `%`:
+        // an integer divide costs tens of cycles and sits on every
+        // submit. With one shard this is always 0, so single-shard
+        // placement is unchanged.
+        (((mix(key) >> 32) * self.shards.len() as u64) >> 32) as usize
+    }
+
+    /// Operator→shard placement: the hash home unless a migration
+    /// installed an override. The no-override fast path — all
+    /// operators while the table is empty, and every operator whose
+    /// fingerprint bit is clear while it is not — costs one atomic
+    /// load and a branch on top of the hash; only a bit hit consults
+    /// the table mutex (a false positive merely pays the lock).
     pub fn shard_of(&self, key: OperatorKey) -> usize {
-        let packed = ((key.job.0 as u64) << 32) | key.op as u64;
-        let mixed = packed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        // High bits carry the most mixing. Range reduction is a
-        // multiply-shift (Lemire) rather than `%`: an integer divide
-        // costs tens of cycles and sits on every submit. With one shard
-        // this is always 0, so single-shard placement is unchanged.
-        (((mixed >> 32) * self.shards.len() as u64) >> 32) as usize
+        if self.placement_fp.load(Ordering::SeqCst) & placement_bit(key) != 0 {
+            if let Some(&s) = self
+                .placement
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .get(&key)
+            {
+                return s;
+            }
+        }
+        self.home_shard(key)
     }
 
     fn lock(&self, s: usize) -> MutexGuard<'_, ShardCore<M>> {
@@ -349,7 +414,8 @@ impl<M> ShardedScheduler<M> {
             let pending = &mut core.pending;
             let pending_min = &mut core.pending_min;
             let fp = self.retired_fp.load(Ordering::SeqCst);
-            if fp == 0 {
+            let pfp = self.placement_fp.load(Ordering::SeqCst);
+            if fp == 0 && pfp == 0 {
                 sh.mailbox.drain(|mail| {
                     *pending_min = (*pending_min).min(hint_of(mail.pri));
                     pending.push_back(mail);
@@ -361,11 +427,22 @@ impl<M> ShardedScheduler<M> {
                 // Per-mail fingerprint test first; the set mutex is
                 // taken lazily on the first bit hit, so live jobs' mail
                 // drains lock-free even while other slots sit retired.
+                //
+                // Likewise, mail for a *migrated* operator (a producer
+                // whose placement read raced the override install) is
+                // forwarded to the operator's current shard instead of
+                // being admitted here — admission at a stale shard
+                // would split the operator across two queues and break
+                // lease exclusivity. The forward is the lock-free
+                // submit path (dest mailbox CAS + hint CAS + deferred
+                // wake), so no other shard's core lock is taken.
                 let mut retired: Option<MutexGuard<'_, HashSet<JobId>>> = None;
                 let mut dropped = 0usize;
                 let mut counted = 0usize;
+                let mut rerouted = 0usize;
+                let mut woken: Vec<usize> = Vec::new();
                 sh.mailbox.drain(|mail| {
-                    if fp & fp_bit(mail.key.job) != 0 {
+                    if fp != 0 && fp & fp_bit(mail.key.job) != 0 {
                         let set = retired.get_or_insert_with(|| {
                             self.retired.lock().unwrap_or_else(|p| p.into_inner())
                         });
@@ -374,6 +451,19 @@ impl<M> ShardedScheduler<M> {
                             if count_job.is_none_or(|j| j == mail.key.job) {
                                 counted += 1;
                             }
+                            return;
+                        }
+                    }
+                    if pfp != 0 && pfp & placement_bit(mail.key) != 0 {
+                        let dest = self.shard_of(mail.key);
+                        if dest != s {
+                            self.shards[dest].mailbox.push(mail.key, mail.msg, mail.pri);
+                            self.shards[dest].msgs.fetch_add(1, Ordering::Relaxed);
+                            self.lower_hint(dest, hint_of(mail.pri));
+                            if !woken.contains(&dest) {
+                                woken.push(dest);
+                            }
+                            rerouted += 1;
                             return;
                         }
                     }
@@ -386,6 +476,15 @@ impl<M> ShardedScheduler<M> {
                     self.retired_drops
                         .fetch_add(dropped as u64, Ordering::Relaxed);
                     retired_dropped = counted;
+                }
+                if rerouted > 0 {
+                    sh.msgs.fetch_sub(rerouted, Ordering::Relaxed);
+                }
+                for dest in woken {
+                    // The forwarding pushes were SeqCst RMWs, ordered
+                    // before wake_one's parked read — the usual
+                    // handshake.
+                    self.wake_one(dest);
                 }
             }
         }
@@ -619,13 +718,29 @@ impl<M> ShardedScheduler<M> {
     /// The pre-mailbox ingress path (`SchedulerConfig::mailbox =
     /// false`): submit under the shard lock, refreshing the hint from
     /// the push outcome.
-    fn submit_locked(&self, s: usize, key: OperatorKey, msg: M, pri: Priority) -> Submission {
-        let newly_runnable = {
+    fn submit_locked(&self, mut s: usize, key: OperatorKey, msg: M, pri: Priority) -> Submission {
+        let newly_runnable = loop {
             let mut core = self.lock(s);
+            // A migration may have moved `key` between the caller's
+            // placement read and this lock. Unlike the mailbox path
+            // (where a stale push is forwarded at the next drain),
+            // admission here is final, so re-check under the lock:
+            // overrides are installed under the source shard's core
+            // lock, so a read that still names the locked shard is
+            // authoritative. Skipped entirely while no override
+            // exists.
+            if self.placement_fp.load(Ordering::SeqCst) != 0 {
+                let cur = self.shard_of(key);
+                if cur != s {
+                    drop(core);
+                    s = cur;
+                    continue;
+                }
+            }
             let out = core.q.submit(key, msg, pri);
             self.shards[s].msgs.fetch_add(1, Ordering::Relaxed);
             self.refresh_hint(s, &core);
-            out.newly_runnable
+            break out.newly_runnable;
         };
         if newly_runnable {
             fence(Ordering::SeqCst);
@@ -750,7 +865,8 @@ impl<M> ShardedScheduler<M> {
                 victim = i;
             }
         }
-        if victim != home && victim_best.saturating_add(self.steal_threshold) < home_best {
+        let slack = self.steal_threshold.load(Ordering::Relaxed);
+        if victim != home && victim_best.saturating_add(slack) < home_best {
             victim
         } else {
             home
@@ -797,7 +913,8 @@ impl<M> ShardedScheduler<M> {
                 // Compare in clamped hint space: in-hand IDLE work must
                 // not register as less urgent than another shard's
                 // (equally IDLE) clamped hint.
-                if best_other.saturating_add(self.steal_threshold) < hint_of(mine) {
+                let slack = self.steal_threshold.load(Ordering::Relaxed);
+                if best_other.saturating_add(slack) < hint_of(mine) {
                     self.cross_swaps.fetch_add(1, Ordering::Relaxed);
                     return Decision::Swap;
                 }
@@ -899,6 +1016,173 @@ impl<M> ShardedScheduler<M> {
         }
     }
 
+    /// Current steal slack (see `SchedulerConfig::steal_threshold`).
+    pub fn steal_threshold(&self) -> Micros {
+        Micros(self.steal_threshold.load(Ordering::Relaxed).max(0) as u64)
+    }
+
+    /// Retune the steal slack at runtime — the elastic controller's
+    /// steal-damping actuator. Takes effect on the next
+    /// acquire/decide; no synchronization with in-flight steal
+    /// decisions is needed, because the threshold only shapes the
+    /// urgency approximation, never correctness.
+    pub fn set_steal_threshold(&self, slack: Micros) {
+        self.steal_threshold
+            .store(slack.0.min(i64::MAX as u64) as i64, Ordering::Relaxed);
+    }
+
+    /// The operator with the largest queued backlog on `shard`
+    /// (currently-leased operators excluded — they could not be
+    /// migrated anyway). Drains the shard's mailbox first so the
+    /// census sees recent ingress. This is the controller's choice
+    /// function for [`migrate_operator`](Self::migrate_operator).
+    pub fn busiest_operator(&self, shard: usize) -> Option<(OperatorKey, usize)> {
+        let s = shard % self.shards.len();
+        let mut core = self.lock(s);
+        self.drain_locked(s, &mut core, None);
+        core.q.busiest_operator()
+    }
+
+    /// Per-shard pending message counts (mailbox + pending overflow +
+    /// queue; approximate between lock regions) — the controller's
+    /// imbalance sensor.
+    pub fn shard_backlogs(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|sh| sh.msgs.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Re-place `key` onto shard `to`, draining and moving its queued
+    /// messages without losing any — the hot-operator actuator of the
+    /// elastic controller.
+    ///
+    /// Protocol: under the *source* shard's core lock, drain the
+    /// mailbox, extract the operator's queued messages from the
+    /// two-level queue, pull its stragglers out of the pending
+    /// overflow buffer, and install the placement override — still
+    /// under the lock, so nothing can be admitted at the source in
+    /// between. Once the lock drops, the extracted messages are
+    /// re-submitted and route to `to` via the new placement; mail
+    /// still in flight toward the source's mailbox is forwarded at its
+    /// next drain (`drain_locked`'s re-route), and the locked ingress
+    /// path re-checks placement under the lock. Messages present
+    /// strictly before the call keep their relative urgency order; a
+    /// submission racing the migration may interleave with the moved
+    /// batch by priority rather than strict submission order (the same
+    /// relaxation any concurrent submit already has). Moved messages
+    /// are admitted twice over their lifetime, so they count twice in
+    /// `messages_scheduled`/`mailbox_drained` — once per shard they
+    /// entered.
+    ///
+    /// Returns false — and changes nothing — when the operator is
+    /// already placed on `to`, is currently leased (a worker is
+    /// running it), or has no queued messages; callers retry on a
+    /// later tick. Migrating an operator back to its hash home removes
+    /// the override, so the table never grows beyond the set of
+    /// operators currently displaced.
+    pub fn migrate_operator(&self, key: OperatorKey, to: usize) -> bool {
+        let to = to % self.shards.len();
+        let mut from = self.shard_of(key);
+        loop {
+            if from == to {
+                return false;
+            }
+            let mut core = self.lock(from);
+            // Same re-check as `submit_locked`: a concurrent migration
+            // may have moved the key before we took the lock.
+            let cur = self.shard_of(key);
+            if cur != from {
+                drop(core);
+                from = cur;
+                continue;
+            }
+            self.drain_locked(from, &mut core, None);
+            let Some(msgs) = core.q.extract_operator(key) else {
+                return false;
+            };
+            let mut moved: Vec<(OperatorKey, M, Priority)> =
+                msgs.into_iter().map(|(m, p)| (key, m, p)).collect();
+            // Stragglers capped out of the last drain ride along too
+            // (only ever present with `mailbox_drain_batch > 0`).
+            if core.pending.iter().any(|mail| mail.key == key) {
+                let mut kept = VecDeque::with_capacity(core.pending.len());
+                for mail in core.pending.drain(..) {
+                    if mail.key == key {
+                        moved.push((mail.key, mail.msg, mail.pri));
+                    } else {
+                        kept.push_back(mail);
+                    }
+                }
+                core.pending = kept;
+                core.pending_min = core
+                    .pending
+                    .iter()
+                    .map(|m| hint_of(m.pri))
+                    .min()
+                    .unwrap_or(EMPTY_HINT);
+            }
+            {
+                let mut table = self.placement.lock().unwrap_or_else(|p| p.into_inner());
+                if to == self.home_shard(key) {
+                    table.remove(&key);
+                    // Rebuild from survivors: the bit may be shared.
+                    let fp = table.keys().fold(0u64, |f, &k| f | placement_bit(k));
+                    self.placement_fp.store(fp, Ordering::SeqCst);
+                } else {
+                    table.insert(key, to);
+                    self.placement_fp
+                        .fetch_or(placement_bit(key), Ordering::SeqCst);
+                }
+            }
+            self.shards[from]
+                .msgs
+                .fetch_sub(moved.len(), Ordering::Relaxed);
+            self.refresh_hint(from, &core);
+            drop(core);
+            self.operators_migrated.fetch_add(1, Ordering::Relaxed);
+            self.submit_batch(moved);
+            return true;
+        }
+    }
+
+    /// Release fully-free arena segments on every shard whose backlog
+    /// has drained — the memory actuator of the elastic controller,
+    /// so a load spike no longer pins its high-water arena footprint
+    /// for the life of the process.
+    ///
+    /// Only shards with no pending messages and an empty mailbox are
+    /// touched; the reclaim itself is unconditionally safe (a segment
+    /// with any checked-out node is never eligible — see
+    /// [`SegmentArena`](crate::arena::SegmentArena)), the gate just
+    /// avoids pointless pool churn on busy shards. Returns the
+    /// `#[must_use]` token owning the reclaimed memory; callers hold
+    /// it for one grace period (e.g. one controller tick) before
+    /// dropping, covering any producer's speculative free-list read
+    /// that raced the reclaim. [`SchedulerStats::segments_reclaimed`]
+    /// counts cumulatively.
+    pub fn reclaim_quiescent(&self) -> ReclaimedSegments<Mail<M>> {
+        let mut token = ReclaimedSegments::default();
+        for sh in &self.shards {
+            if sh.msgs.load(Ordering::SeqCst) == 0 && sh.mailbox.is_empty() {
+                token.absorb(sh.mailbox.reclaim_segments());
+            }
+        }
+        token
+    }
+
+    /// Currently installed arena segments across all shards' mailboxes
+    /// — a gauge, unlike the cumulative
+    /// [`SchedulerStats::segments_reclaimed`]. This is the
+    /// memory-footprint signal benches watch return to baseline after
+    /// a spike drains.
+    pub fn arena_segments(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|sh| sh.mailbox.arena_stats().segments)
+            .sum()
+    }
+
     /// Total pending messages across shards (mailboxes included).
     pub fn len(&self) -> usize {
         self.shards
@@ -928,10 +1212,12 @@ impl<M> ShardedScheduler<M> {
         total.batch_publications = self.batch_pubs.load(Ordering::Relaxed);
         total.jobs_retired = self.jobs_retired.load(Ordering::Relaxed);
         total.retired_drops += self.retired_drops.load(Ordering::Relaxed);
+        total.operators_migrated = self.operators_migrated.load(Ordering::Relaxed);
         for sh in &self.shards {
             let a = sh.mailbox.arena_stats();
             total.node_reuse_hits += a.reuse_hits;
             total.node_alloc_fallback += a.alloc_fallback;
+            total.segments_reclaimed += a.reclaimed_segments;
         }
         total
     }
@@ -1520,6 +1806,178 @@ mod tests {
         sh.notify_all();
         h.join().unwrap();
         assert_eq!(sh.len(), 1);
+    }
+
+    #[test]
+    fn migrate_operator_moves_backlog_and_reroutes_stragglers() {
+        let sh = sharded(4, 0);
+        let k = key(5);
+        let from = sh.shard_of(k);
+        let to = (from + 1) % 4;
+        for i in 0..6u64 {
+            sh.submit(k, i, Priority::uniform(i as i64));
+        }
+        assert!(sh.migrate_operator(k, to));
+        assert_eq!(sh.shard_of(k), to, "placement override installed");
+        assert_eq!(
+            sh.shards[from].msgs.load(Ordering::Relaxed),
+            0,
+            "backlog left the source shard"
+        );
+        // A straggler lands on the old shard's mailbox (simulating a
+        // producer whose placement read raced the override install).
+        sh.shards[from].mailbox.push(k, 6u64, Priority::uniform(6));
+        sh.shards[from].msgs.fetch_add(1, Ordering::Relaxed);
+        // Draining the old shard must forward it, not admit it there.
+        {
+            let mut core = sh.lock(from);
+            sh.drain_locked(from, &mut core, None);
+            assert!(
+                core.q.peek_best().is_none() && core.pending.is_empty(),
+                "straggler must not be admitted at the stale shard"
+            );
+        }
+        assert_eq!(sh.shards[to].msgs.load(Ordering::Relaxed), 7);
+        assert_eq!(drain(&sh, to), vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(sh.stats().operators_migrated, 1);
+    }
+
+    #[test]
+    fn migrate_operator_refuses_leased_and_restores_home() {
+        let sh = sharded(4, 0);
+        let k = key(1);
+        let home = sh.shard_of(k);
+        let to = (home + 1) % 4;
+        sh.submit(k, 1, Priority::uniform(1));
+        let exec = sh.acquire(home, PhysicalTime::ZERO).unwrap();
+        assert!(!sh.migrate_operator(k, to), "leased operator must not move");
+        assert_eq!(sh.take_message(&exec).unwrap().0, 1);
+        sh.submit(k, 2, Priority::uniform(2));
+        sh.release(exec);
+        assert!(sh.migrate_operator(k, to));
+        assert_eq!(sh.shard_of(k), to);
+        // Moving back to the hash home removes the override entirely.
+        assert!(sh.migrate_operator(k, home));
+        assert_eq!(sh.shard_of(k), home);
+        assert_eq!(
+            sh.placement_fp.load(Ordering::SeqCst),
+            0,
+            "override table empty again: fast path restored"
+        );
+        assert_eq!(drain(&sh, 0), vec![2]);
+        // Migrating an empty operator is refused (nothing to move).
+        assert!(!sh.migrate_operator(k, to));
+    }
+
+    #[test]
+    fn locked_ingress_follows_migrated_placement() {
+        let sh = ShardedScheduler::<u64>::new(
+            SchedulerConfig::default()
+                .with_shards(4)
+                .with_quantum(Micros(0))
+                .with_mailbox(false),
+        );
+        let k = key(2);
+        let to = (sh.shard_of(k) + 2) % 4;
+        sh.submit(k, 1, Priority::uniform(1));
+        assert!(sh.migrate_operator(k, to));
+        // Post-migration locked submits must land on the new shard —
+        // the under-lock placement re-check, since admission on the
+        // locked path is final.
+        sh.submit(k, 2, Priority::uniform(2));
+        assert_eq!(sh.shards[to].msgs.load(Ordering::Relaxed), 2);
+        assert_eq!(drain(&sh, 0), vec![1, 2]);
+    }
+
+    #[test]
+    fn migrate_operator_moves_capped_pending_overflow() {
+        let sh = ShardedScheduler::<u64>::new(
+            SchedulerConfig::default()
+                .with_shards(2)
+                .with_quantum(Micros(0))
+                .with_mailbox_drain_batch(2),
+        );
+        let k = key(0);
+        let from = sh.shard_of(k);
+        for i in 0..10u64 {
+            sh.submit(k, i, Priority::uniform(0));
+        }
+        // One acquire drains the mailbox but admits only 2 messages;
+        // the rest sit in the pending overflow buffer.
+        let exec = sh.acquire(from, PhysicalTime::ZERO).unwrap();
+        assert_eq!(sh.take_message(&exec).unwrap().0, 0);
+        sh.release(exec);
+        assert!(sh.migrate_operator(k, 1 - from));
+        // Every message — queue and overflow alike — survived the move
+        // in submission order (equal priorities).
+        assert_eq!(drain(&sh, 0), (1..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steal_threshold_retunes_at_runtime() {
+        let sh = sharded(4, 0);
+        assert_eq!(sh.steal_threshold(), Micros(0));
+        let mut by_shard: Vec<Option<u32>> = vec![None; 4];
+        for op in 0..64 {
+            let s = sh.shard_of(key(op));
+            if by_shard[s].is_none() {
+                by_shard[s] = Some(op);
+            }
+        }
+        let keys: Vec<u32> = by_shard.into_iter().map(|k| k.unwrap()).collect();
+        let home = sh.shard_of(key(keys[0]));
+        sh.submit(key(keys[0]), 0, Priority::uniform(500));
+        sh.submit(key(keys[1]), 1, Priority::uniform(100));
+        // With zero slack the 100 steals; after a live retune to 1000
+        // the same scenario keeps home work first.
+        sh.set_steal_threshold(Micros(1_000));
+        assert_eq!(sh.steal_threshold(), Micros(1_000));
+        let exec = sh.acquire(home, PhysicalTime::ZERO).unwrap();
+        assert_eq!(exec.shard(), home, "within retuned slack: stay home");
+        sh.release(exec);
+        drain(&sh, home);
+    }
+
+    #[test]
+    fn shard_backlogs_reports_per_shard_counts() {
+        let sh = sharded(4, 0);
+        sh.submit(key(0), 1, Priority::uniform(1));
+        let b = sh.shard_backlogs();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.iter().sum::<usize>(), 1);
+        assert_eq!(b[sh.shard_of(key(0))], 1);
+    }
+
+    #[test]
+    fn reclaim_quiescent_returns_spike_segments() {
+        use crate::arena::SEGMENT_SLOTS;
+        let sh = sharded(1, 0);
+        // Spike: two segments' worth of nodes in flight at once.
+        for i in 0..(SEGMENT_SLOTS as u64 * 2) {
+            sh.submit(key(0), i, Priority::uniform(0));
+        }
+        assert_eq!(drain(&sh, 0).len(), SEGMENT_SLOTS * 2);
+        assert!(sh.is_empty());
+        let carved = sh.shards[0].mailbox.arena_stats().segments;
+        assert_eq!(carved, 2, "spike carved two segments");
+        let token = sh.reclaim_quiescent();
+        assert_eq!(token.segments(), 2, "both segments fully free");
+        drop(token);
+        let st = sh.stats();
+        assert_eq!(st.segments_reclaimed, 2);
+        // The scheduler keeps working after the footprint dropped.
+        sh.submit(key(0), 7, Priority::uniform(0));
+        assert_eq!(drain(&sh, 0), vec![7]);
+    }
+
+    #[test]
+    fn reclaim_quiescent_skips_busy_shards() {
+        let sh = sharded(1, 0);
+        sh.submit(key(0), 1, Priority::uniform(0));
+        // Backlog pending: the gate must refuse to touch the shard.
+        let token = sh.reclaim_quiescent();
+        assert!(token.is_empty());
+        assert_eq!(drain(&sh, 0), vec![1]);
     }
 
     #[test]

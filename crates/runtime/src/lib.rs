@@ -34,10 +34,11 @@ pub mod prelude {
     pub use crate::msg::{FrameDecoder, RtMsg};
     pub use crate::net::{
         decode_payload, encode_frame, read_frame, IngestClient, IngestFrame, IngestServer,
+        NackFrame,
     };
     pub use crate::runtime::{
-        DeployError, IngestOutcome, JobError, JobHandle, OutputEvent, OutputSubscription, Runtime,
-        RuntimeConfig,
+        DeployError, IngestOutcome, JobError, JobHandle, OutputEvent, OutputSubscription,
+        RejectedFrame, Runtime, RuntimeConfig,
     };
     pub use crate::stats::{JobStats, JobStatsSnapshot};
 }

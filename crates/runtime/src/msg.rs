@@ -23,6 +23,17 @@
 //! payload := job:u32le gen:u32le source:u32le count:u32le tuple*
 //! tuple   := key:u64le value:i64le time:u64le
 //! ```
+//!
+//! The server→producer direction carries **control frames**: today the
+//! single [`NackFrame`], sent (best-effort) for every frame the
+//! generation check rejects, so a producer holding a stale
+//! [`JobHandle`](crate::runtime::JobHandle) finds out *immediately*
+//! instead of silently feeding a dead job. Control frames use the same
+//! length-prefixed outer framing with a magic first word:
+//!
+//! ```text
+//! nack := len:u32be magic:u32le job:u32le gen:u32le expected_gen:u32le
+//! ```
 
 use cameo_core::context::PriorityContext;
 use cameo_core::time::LogicalTime;
@@ -137,6 +148,94 @@ pub fn encode_frame(frame: &IngestFrame) -> Vec<u8> {
     let mut buf = Vec::with_capacity(frame.wire_len());
     frame.encode_into(&mut buf);
     buf
+}
+
+/// Magic word opening a control-frame payload on the server→producer
+/// direction (`"NACK"` read as a little-endian `u32`). Ingest payloads
+/// start with a jobs-table slot index, which in practice stays far
+/// below this, but the directions never share a decoder anyway: clients
+/// only ever *read* control frames, servers only ever write them.
+pub const NACK_MAGIC: u32 = u32::from_le_bytes(*b"NACK");
+
+/// Payload bytes of a NACK control frame
+/// (`magic:u32 job:u32 gen:u32 expected_gen:u32`).
+pub const NACK_WIRE: usize = 16;
+
+/// Server→producer rejection notice (wire format v2): the frame the
+/// producer just sent carried a slot generation that no longer matches
+/// the slot's occupant — its [`JobHandle`](crate::runtime::JobHandle)
+/// went stale (the job was undeployed, the slot possibly redeployed).
+/// Delivery is best-effort (a producer that never reads, or whose
+/// socket is full, simply misses it; the server still counts the
+/// rejection), but a producer that does read can stop wasting wire
+/// bytes on a dead handle the moment the first NACK arrives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NackFrame {
+    /// Jobs-table slot the rejected frame addressed.
+    pub job: u32,
+    /// The stale generation the rejected frame carried.
+    pub gen: u32,
+    /// The slot's current generation (what a live handle would carry).
+    pub expected_gen: u32,
+}
+
+impl NackFrame {
+    /// Encode the control frame, length prefix included.
+    pub fn encode(&self) -> [u8; 4 + NACK_WIRE] {
+        let mut buf = [0u8; 4 + NACK_WIRE];
+        buf[0..4].copy_from_slice(&(NACK_WIRE as u32).to_be_bytes());
+        buf[4..8].copy_from_slice(&NACK_MAGIC.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.job.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.gen.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.expected_gen.to_le_bytes());
+        buf
+    }
+
+    /// Decode a control payload (after the length prefix).
+    pub fn decode_payload(payload: &[u8]) -> io::Result<NackFrame> {
+        if payload.len() != NACK_WIRE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "control payload of {} bytes, expected {NACK_WIRE}",
+                    payload.len()
+                ),
+            ));
+        }
+        let magic = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+        if magic != NACK_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown control magic {magic:#x}"),
+            ));
+        }
+        Ok(NackFrame {
+            job: u32::from_le_bytes(payload[4..8].try_into().unwrap()),
+            gen: u32::from_le_bytes(payload[8..12].try_into().unwrap()),
+            expected_gen: u32::from_le_bytes(payload[12..16].try_into().unwrap()),
+        })
+    }
+}
+
+/// Read one control frame off the server→producer direction.
+/// `Ok(None)` is a clean EOF at a frame boundary.
+pub fn read_nack(stream: &mut impl Read) -> io::Result<Option<NackFrame>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len != NACK_WIRE {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("control frame of {len} bytes, expected {NACK_WIRE}"),
+        ));
+    }
+    let mut payload = [0u8; NACK_WIRE];
+    stream.read_exact(&mut payload)?;
+    NackFrame::decode_payload(&payload).map(Some)
 }
 
 /// Decode a payload (after the length prefix has been stripped).
@@ -638,5 +737,53 @@ mod tests {
             ADAPTIVE_BUF_INIT,
             "unsaturated reads never grow the buffer"
         );
+    }
+
+    #[test]
+    fn nack_round_trips() {
+        let nack = NackFrame {
+            job: 7,
+            gen: 3,
+            expected_gen: 4,
+        };
+        let wire = nack.encode();
+        assert_eq!(wire.len(), 4 + NACK_WIRE);
+        assert_eq!(
+            u32::from_be_bytes(wire[0..4].try_into().unwrap()),
+            NACK_WIRE as u32
+        );
+        assert_eq!(NackFrame::decode_payload(&wire[4..]).unwrap(), nack);
+
+        // The streaming reader sees frame, frame, clean EOF.
+        let mut stream: Vec<u8> = Vec::new();
+        stream.extend_from_slice(&wire);
+        stream.extend_from_slice(
+            &NackFrame {
+                job: 1,
+                gen: 9,
+                expected_gen: 12,
+            }
+            .encode(),
+        );
+        let mut cursor = io::Cursor::new(stream);
+        assert_eq!(read_nack(&mut cursor).unwrap(), Some(nack));
+        assert_eq!(read_nack(&mut cursor).unwrap().unwrap().expected_gen, 12);
+        assert_eq!(read_nack(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn nack_decode_rejects_bad_magic_and_bad_length() {
+        let mut wire = NackFrame {
+            job: 1,
+            gen: 2,
+            expected_gen: 3,
+        }
+        .encode();
+        wire[4] ^= 0xFF; // corrupt the magic
+        assert!(NackFrame::decode_payload(&wire[4..]).is_err());
+        assert!(NackFrame::decode_payload(&[0u8; NACK_WIRE - 1]).is_err());
+        // A length prefix that is not NACK_WIRE is not a control frame.
+        let mut cursor = io::Cursor::new(vec![0, 0, 0, 5, 1, 2, 3, 4, 5]);
+        assert!(read_nack(&mut cursor).is_err());
     }
 }

@@ -54,7 +54,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 pub use crate::msg::{
-    decode_payload, encode_frame, FrameDecoder, IngestFrame, HEADER_WIRE, MAX_FRAME, TUPLE_WIRE,
+    decode_payload, encode_frame, read_nack, FrameDecoder, IngestFrame, NackFrame, HEADER_WIRE,
+    MAX_FRAME, NACK_WIRE, TUPLE_WIRE,
 };
 
 /// Read one frame from a stream. `Ok(None)` signals a clean EOF at a
@@ -93,6 +94,8 @@ struct Counters {
     conns_open: AtomicU64,
     conns_peak: AtomicU64,
     accepts_shed: AtomicU64,
+    nacks_sent: AtomicU64,
+    nacks_dropped: AtomicU64,
 }
 
 impl Counters {
@@ -113,6 +116,46 @@ impl Counters {
     fn conn_closed(&self) {
         self.conns_open.fetch_sub(1, Ordering::Relaxed);
     }
+}
+
+/// Write one NACK control frame back to the producer whose frame
+/// failed the generation check. Best-effort: a full socket (the
+/// producer is not reading) or any write error drops the NACK and
+/// counts it — the rejection itself is already counted either way, and
+/// a NACK must never be allowed to stall the serve loop.
+fn send_nack(stream: &mut TcpStream, rej: &crate::runtime::RejectedFrame, c: &Counters) {
+    let buf = NackFrame {
+        job: rej.job,
+        gen: rej.gen,
+        expected_gen: rej.expected_gen,
+    }
+    .encode();
+    let mut off = 0;
+    // Abandoning a *partially* written control frame would desync the
+    // producer's control-stream reader, so once the first byte is out
+    // the remainder gets a short bounded retry (the frame is 20 bytes —
+    // any drain of the socket buffer makes room for all of it). In
+    // practice a write this small is all-or-nothing.
+    let mut retries = 100;
+    loop {
+        match stream.write(&buf[off..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                off += n;
+                if off == buf.len() {
+                    c.nacks_sent.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock && off > 0 && retries > 0 => {
+                retries -= 1;
+                std::thread::yield_now();
+            }
+            Err(_) => break,
+        }
+    }
+    c.nacks_dropped.fetch_add(1, Ordering::Relaxed);
 }
 
 /// A TCP ingestion server feeding a [`Runtime`]. One event-loop thread
@@ -195,6 +238,20 @@ impl IngestServer {
     /// High-water mark of concurrently open connections.
     pub fn conns_peak(&self) -> u64 {
         self.counters.conns_peak.load(Ordering::Relaxed)
+    }
+
+    /// NACK control frames ([`NackFrame`]) written back to producers in
+    /// response to generation-rejected frames. Under normal operation
+    /// `nacks_sent + nacks_dropped == gen_rejected_frames`.
+    pub fn nacks_sent(&self) -> u64 {
+        self.counters.nacks_sent.load(Ordering::Relaxed)
+    }
+
+    /// NACKs abandoned best-effort: the producer's socket had no room
+    /// (it is not reading), its connection closed before the NACK could
+    /// be written, or the write failed outright.
+    pub fn nacks_dropped(&self) -> u64 {
+        self.counters.nacks_dropped.load(Ordering::Relaxed)
     }
 
     /// Connections shed at accept because the process was out of file
@@ -284,6 +341,11 @@ fn serve(rt: Arc<Runtime>, listener: TcpListener, stop: Arc<AtomicBool>, c: Arc<
     // `ingest_frames` call drains it. Reused, so steady state allocates
     // nothing here.
     let mut batch: Vec<IngestFrame> = Vec::new();
+    // `origins[i]` is the connection-table index that contributed
+    // `batch[i]`: `ingest_frames` reports generation rejections by
+    // frame ordinal, and this maps each ordinal back to the producer
+    // that must be NACKed. Drained in lockstep with `batch`.
+    let mut origins: Vec<usize> = Vec::new();
     while !stop.load(Ordering::Acquire) {
         let n = match ep.wait(&mut events, 1024, WAIT_MS) {
             Ok(n) => n,
@@ -315,7 +377,14 @@ fn serve(rt: Arc<Runtime>, listener: TcpListener, stop: Arc<AtomicBool>, c: Arc<
                 // partial frame is a truncation either way the
                 // connection is done.
                 Ok(0) => true,
-                Ok(_) => conn.decoder.decode_available(&mut batch).is_err(),
+                Ok(_) => {
+                    let bad = conn.decoder.decode_available(&mut batch).is_err();
+                    // Frames decoded before a protocol error still
+                    // entered the batch: attribute everything new to
+                    // this connection.
+                    origins.resize(batch.len(), idx);
+                    bad
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => false,
                 Err(_) => true,
@@ -328,16 +397,46 @@ fn serve(rt: Arc<Runtime>, listener: TcpListener, stop: Arc<AtomicBool>, c: Arc<
                 c.conn_closed();
             }
             if batch.len() >= SUBMIT_CHUNK {
-                c.record(&rt.ingest_frames(batch.drain(..)));
+                submit_burst(&rt, &mut conns, &mut batch, &mut origins, &c);
             }
         }
         if !batch.is_empty() {
             // Whatever the burst's tail produced — still one scheduler
             // batch for every remaining frame of every connection.
-            c.record(&rt.ingest_frames(batch.drain(..)));
+            submit_burst(&rt, &mut conns, &mut batch, &mut origins, &c);
         }
         free.append(&mut freed);
     }
+}
+
+/// Submit the accumulated burst batch and NACK every generation
+/// rejection back to the connection that sent it, mapping each
+/// rejection's frame ordinal through `origins`. A rejection whose
+/// connection closed earlier in the same burst is counted as a dropped
+/// NACK.
+#[cfg(target_os = "linux")]
+fn submit_burst(
+    rt: &Runtime,
+    conns: &mut [Option<Conn>],
+    batch: &mut Vec<IngestFrame>,
+    origins: &mut Vec<usize>,
+    c: &Counters,
+) {
+    let out = rt.ingest_frames(batch.drain(..));
+    for rej in &out.rejected {
+        match origins
+            .get(rej.index)
+            .and_then(|&i| conns.get_mut(i))
+            .and_then(Option::as_mut)
+        {
+            Some(conn) => send_nack(&mut conn.stream, rej, c),
+            None => {
+                c.nacks_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    origins.clear();
+    c.record(&out);
 }
 
 /// Accept every pending connection (the listener is level-triggered
@@ -450,9 +549,14 @@ fn serve_conn_blocking(
         }
         let outcome = decoder.read_frames(&mut stream, &mut batch);
         // Whatever decoded before an error still counts — ingest it
-        // before deciding the connection's fate.
+        // before deciding the connection's fate. Every frame came from
+        // this one connection, so rejections NACK straight back here.
         if !batch.is_empty() {
-            c.record(&rt.ingest_frames(batch.drain(..)));
+            let out = rt.ingest_frames(batch.drain(..));
+            for rej in &out.rejected {
+                send_nack(&mut stream, rej, c);
+            }
+            c.record(&out);
         }
         match outcome {
             Ok(Some(_)) => {}
@@ -540,6 +644,24 @@ impl IngestClient {
     /// Flush the underlying stream.
     pub fn flush(&mut self) -> io::Result<()> {
         self.stream.flush()
+    }
+
+    /// Bound how long [`recv_nack`](Self::recv_nack) blocks (`None`
+    /// blocks indefinitely — the connected-socket default).
+    pub fn set_read_timeout(&self, dur: Option<std::time::Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(dur)
+    }
+
+    /// Read one server→producer control frame: the server NACKs every
+    /// frame its generation check rejects, so a producer that polls
+    /// this after sending learns *immediately* that its
+    /// [`JobHandle`](crate::runtime::JobHandle) went stale instead of
+    /// feeding a dead slot forever. `Ok(None)` means the server closed
+    /// the connection; with a read timeout set, an idle wire surfaces
+    /// as `WouldBlock`/`TimedOut`. NACKs are best-effort server-side —
+    /// absence of one proves nothing, arrival of one is definitive.
+    pub fn recv_nack(&mut self) -> io::Result<Option<NackFrame>> {
+        read_nack(&mut self.stream)
     }
 }
 

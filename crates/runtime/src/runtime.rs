@@ -43,6 +43,28 @@
 //! while an instance lock is held (the sharded scheduler acquires and
 //! releases its internal locks within each call).
 //!
+//! ## Elasticity
+//!
+//! With [`RuntimeConfig::with_elastic`] the runtime runs a controller
+//! thread sampling the deadline-miss-rate sensor (each job's sink-side
+//! on-time counters, updated under the stats mutex the sink path
+//! already takes — the sensor adds **no** producer-side atomics) every
+//! [`ElasticConfig::tick`] and applying the
+//! [`ElasticController`]'s actions: grow the worker pool toward
+//! `max_workers` when the miss rate crosses the high watermark, retire
+//! workers down to `min_workers` on sustained quiescence (a retired
+//! worker exits at its next idle check, bounded by `PARK_TIMEOUT`),
+//! migrate the busiest operator off an overloaded shard
+//! ([`ShardedScheduler::migrate_operator`]), retune the steal
+//! threshold from observed steal/acquisition ratios, and release
+//! fully-drained arena segments
+//! ([`ShardedScheduler::reclaim_quiescent`], with the returned token
+//! held for one further tick as a grace period). The controller is the
+//! *same* pure state machine the simulator ticks deterministically —
+//! only the clock and the actuator wiring differ. Without
+//! `with_elastic` no controller thread exists and the worker pool is
+//! exactly the configured fixed size.
+//!
 //! ## Job lifecycle
 //!
 //! The control plane is fallible and full-lifecycle: [`Runtime::deploy`]
@@ -59,8 +81,13 @@
 
 use crate::msg::{IngestFrame, RtMsg, SenderRef};
 use crate::stats::{JobStats, JobStatsSnapshot};
+use cameo_core::arena::ReclaimedSegments;
 use cameo_core::config::SchedulerConfig;
+use cameo_core::elastic::{
+    ElasticAction, ElasticConfig, ElasticController, ElasticObservation, ElasticTelemetry,
+};
 use cameo_core::ids::JobId;
+use cameo_core::mailbox::Mail;
 use cameo_core::policy::{LlfPolicy, MessageStamp, Policy};
 use cameo_core::scheduler::{Decision, SchedulerStats};
 use cameo_core::shard::ShardedScheduler;
@@ -214,9 +241,27 @@ impl Deref for OutputSubscription {
     }
 }
 
+/// One frame refused by the wire-v2 generation check, with enough
+/// context for the transport layer to tell the producer why
+/// ([`NackFrame`](crate::msg::NackFrame)): which slot, the stale
+/// generation it sent, and the generation a live handle would carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RejectedFrame {
+    /// Ordinal of the frame within the `ingest_frames` call, in
+    /// iteration order — the serve loop maps it back to the connection
+    /// that contributed the frame.
+    pub index: usize,
+    /// Jobs-table slot the frame addressed.
+    pub job: u32,
+    /// Stale generation the frame carried.
+    pub gen: u32,
+    /// Generation of the slot's current occupant.
+    pub expected_gen: u32,
+}
+
 /// Outcome of one [`Runtime::ingest_frames`] call (one socket read's
 /// worth of frames).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct IngestOutcome {
     /// Frames routed and submitted.
     pub frames: usize,
@@ -233,6 +278,10 @@ pub struct IngestOutcome {
     /// Scheduler messages the submitted frames expanded into (what one
     /// `submit_batch` spliced across the shards).
     pub messages: usize,
+    /// One entry per generation-rejected frame (so
+    /// `rejected.len() == gen_rejected`), carrying the details a
+    /// transport needs to NACK the producer.
+    pub rejected: Vec<RejectedFrame>,
 }
 
 /// Runtime configuration.
@@ -268,6 +317,12 @@ pub struct RuntimeConfig {
     /// [`cameo_core::profile::DEFAULT_ALPHA`], or whatever the job's
     /// [`ExpandOptions`] chose).
     pub profile_alpha: Option<f64>,
+    /// Elastic-runtime controller knobs (`None` — the default — keeps
+    /// the pool fixed and spawns no controller thread; every scheduler
+    /// path then behaves bit-identically to a pre-elastic runtime).
+    /// `workers` is the *initial* pool size; the controller moves it
+    /// within `[elastic.min_workers, elastic.max_workers]`.
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -284,6 +339,7 @@ impl Default for RuntimeConfig {
             mailbox_drain_batch: 0,
             pin_workers: false,
             profile_alpha: None,
+            elastic: None,
         }
     }
 }
@@ -336,6 +392,15 @@ impl RuntimeConfig {
     /// Pin workers (and their home shards' arenas) to cores.
     pub fn with_pinning(mut self, on: bool) -> Self {
         self.pin_workers = on;
+        self
+    }
+
+    /// Enable the elastic controller (miss-rate-driven worker scaling,
+    /// hot-operator re-placement, arena reclamation on quiescence).
+    /// The initial worker count is clamped into the controller's
+    /// `[min_workers, max_workers]` band at startup.
+    pub fn with_elastic(mut self, cfg: ElasticConfig) -> Self {
+        self.elastic = Some(cfg);
         self
     }
 
@@ -490,6 +555,27 @@ struct Shared {
     /// undeployed — and its slot possibly reused — while the frame was
     /// in flight). Folded into `SchedulerStats::gen_rejected_frames`.
     gen_rejected: AtomicU64,
+    /// The worker-pool size the elastic controller currently wants. A
+    /// worker whose index is `>= target_workers` exits at its next
+    /// idle check; growth spawns fresh threads for the missing
+    /// indices. Constant (== the configured pool) without elasticity.
+    target_workers: AtomicUsize,
+    /// Workers currently inside `worker_loop` (the actual pool gauge;
+    /// lags `target_workers` by at most one park timeout on shrink and
+    /// one thread spawn on growth).
+    live_workers: AtomicUsize,
+    /// Worker-spawn parameters, kept so the controller can grow the
+    /// pool with exactly the same pinning behavior as startup.
+    pin_workers: bool,
+    allowed_cores: Vec<usize>,
+    cpus: usize,
+    /// Latest controller telemetry (ticks/grows/shrinks/migrations/
+    /// reclaims), written once per controller tick.
+    elastic_telemetry: Mutex<ElasticTelemetry>,
+    /// The controller thread sleeps on this between ticks; `shutdown`
+    /// notifies it so teardown never waits out a tick.
+    ctl_lock: Mutex<()>,
+    ctl_cv: Condvar,
 }
 
 /// Recover a poisoned guard: a panicking operator must not wedge the
@@ -607,7 +693,13 @@ impl Shared {
 /// The runtime: deploy jobs, ingest events, read output stats.
 pub struct Runtime {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Worker join handles. Behind a shared mutex because the elastic
+    /// controller thread appends to it when it grows the pool; exited
+    /// (shrunk-away) workers' handles stay until shutdown, where
+    /// joining a finished thread is free.
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// The elastic controller thread, when configured.
+    controller: Option<JoinHandle<()>>,
 }
 
 impl Runtime {
@@ -630,6 +722,23 @@ impl Runtime {
         // spawn reads the pinning flag back from it, so a scheduler
         // config inspected later tells the truth about this runtime.
         let pin = sched_config.pin_workers;
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // The startup affinity mask: workers round-robin within it, so
+        // two runtimes confined to disjoint cpusets pin onto disjoint
+        // cores instead of both counting `0, 1, 2, …` from core 0.
+        let allowed: Vec<usize> = if pin {
+            cameo_core::affinity::allowed_cores()
+        } else {
+            Vec::new()
+        };
+        // The initial pool; the controller (when configured) moves the
+        // target within its band, so start inside it.
+        let initial = match &config.elastic {
+            Some(e) => config.workers.clamp(e.min_workers, e.max_workers),
+            None => config.workers,
+        };
         let shared = Arc::new(Shared {
             clock: SystemClock::new(),
             sched: ShardedScheduler::new(sched_config),
@@ -644,45 +753,31 @@ impl Runtime {
             net_batches: AtomicU64::new(0),
             frames_coalesced: AtomicU64::new(0),
             gen_rejected: AtomicU64::new(0),
+            target_workers: AtomicUsize::new(initial),
+            live_workers: AtomicUsize::new(0),
+            pin_workers: pin,
+            allowed_cores: allowed,
+            cpus,
+            elastic_telemetry: Mutex::new(ElasticTelemetry::default()),
+            ctl_lock: Mutex::new(()),
+            ctl_cv: Condvar::new(),
         });
-        let cpus = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        // The startup affinity mask: workers round-robin within it, so
-        // two runtimes confined to disjoint cpusets pin onto disjoint
-        // cores instead of both counting `0, 1, 2, …` from core 0.
-        let allowed: Arc<Vec<usize>> = Arc::new(if pin {
-            cameo_core::affinity::allowed_cores()
-        } else {
-            Vec::new()
+        let workers = Arc::new(Mutex::new(
+            (0..initial).map(|i| spawn_worker(&shared, i)).collect(),
+        ));
+        let controller = config.elastic.map(|cfg| {
+            let sh = shared.clone();
+            let pool = workers.clone();
+            std::thread::Builder::new()
+                .name("cameo-elastic".into())
+                .spawn(move || controller_loop(sh, cfg, pool))
+                .expect("spawn elastic controller thread")
         });
-        let workers = (0..config.workers)
-            .map(|i| {
-                let sh = shared.clone();
-                let allowed = allowed.clone();
-                let home = i % shards;
-                std::thread::Builder::new()
-                    .name(format!("cameo-worker-{i}"))
-                    .spawn(move || {
-                        // Pin before the first drain so the home
-                        // shard's arena segments are first-touched (and
-                        // kept) by this core. Failure is benign: the
-                        // worker just keeps the default affinity.
-                        if pin {
-                            let core = allowed
-                                .get(i % allowed.len().max(1))
-                                .copied()
-                                .unwrap_or(i % cpus);
-                            if cameo_core::affinity::pin_to_core(core) {
-                                sh.pinned.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
-                        worker_loop(sh, home)
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        Runtime { shared, workers }
+        Runtime {
+            shared,
+            workers,
+            controller,
+        }
     }
 
     /// Number of workers the kernel accepted a core pin for (zero when
@@ -816,7 +911,7 @@ impl Runtime {
         if jrt.draining.swap(true, Ordering::SeqCst) {
             return Err(JobError::Draining);
         }
-        if !self.workers.is_empty() {
+        if self.shared.target_workers.load(Ordering::SeqCst) > 0 {
             // SeqCst pairs with the ingress guards' SeqCst increment:
             // an ingress that passed its draining check is visible
             // here, so its messages are waited for, not purged. The
@@ -968,7 +1063,7 @@ impl Runtime {
         // first-seen group order and per-group frame order, so each
         // group pays its instance lock once — not once per frame.
         let mut groups: Vec<(u32, Arc<JobRt>, usize, Vec<Batch>)> = Vec::new();
-        for frame in frames {
+        for (index, frame) in frames.into_iter().enumerate() {
             let slot = frame.job;
             let jrt = match seen.iter().find(|(s, _)| *s == slot) {
                 Some((_, cached)) => cached.clone(),
@@ -1005,6 +1100,12 @@ impl Runtime {
             // addressed may receive its tuples.
             if frame.gen != jrt.gen {
                 out.gen_rejected += 1;
+                out.rejected.push(RejectedFrame {
+                    index,
+                    job: slot,
+                    gen: frame.gen,
+                    expected_gen: jrt.gen,
+                });
                 continue;
             }
             let ingest_idx = jrt.ingests[frame.source as usize % jrt.ingests.len()];
@@ -1051,15 +1152,45 @@ impl Runtime {
 
     /// Scheduler counters, aggregated across shards, plus the
     /// runtime-level network-coalescing counters (`net_batches`,
-    /// `frames_coalesced`, `gen_rejected_frames`) and the runtime's own
-    /// stale-execution drops (folded into `retired_drops`).
+    /// `frames_coalesced`, `gen_rejected_frames`), the runtime's own
+    /// stale-execution drops (folded into `retired_drops`), and the
+    /// deadline hit/miss totals folded from every deployed job's sink
+    /// statistics — the same numbers the elastic controller samples.
     pub fn scheduler_stats(&self) -> SchedulerStats {
         let mut stats = self.shared.sched.stats();
         stats.net_batches += self.shared.net_batches.load(Ordering::Relaxed);
         stats.frames_coalesced += self.shared.frames_coalesced.load(Ordering::Relaxed);
         stats.gen_rejected_frames += self.shared.gen_rejected.load(Ordering::Relaxed);
         stats.retired_drops += self.shared.stale_exec_drops.load(Ordering::Relaxed);
+        let jobs = self.shared.jobs.read().unwrap_or_else(|p| p.into_inner());
+        for slot in &jobs.slots {
+            if let Some(jrt) = &slot.job {
+                let snap = jrt.stats.snapshot();
+                stats.deadline_hits += snap.on_time;
+                stats.deadline_misses += snap.outputs - snap.on_time;
+            }
+        }
         stats
+    }
+
+    /// Workers currently running (spawned and not yet retired). Tracks
+    /// the elastic controller's target with a small lag: retiring
+    /// workers notice the lowered target within one park timeout.
+    pub fn worker_count(&self) -> usize {
+        self.shared.live_workers.load(Ordering::SeqCst)
+    }
+
+    /// Arena segments currently held across all shards (live gauge; the
+    /// elastic controller's quiescent reclamation lowers it back toward
+    /// the baseline after a backlog spike drains).
+    pub fn arena_segments(&self) -> usize {
+        self.shared.sched.arena_segments()
+    }
+
+    /// Snapshot of the elastic controller's telemetry. All-zero when
+    /// the runtime was started without [`RuntimeConfig::with_elastic`].
+    pub fn elastic_telemetry(&self) -> ElasticTelemetry {
+        *relock(&self.shared.elastic_telemetry)
     }
 
     /// Number of scheduler shards in use.
@@ -1091,8 +1222,17 @@ impl Runtime {
 
     fn stop_workers(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        // Wake the controller out of its tick sleep. Taking the lock
+        // before notifying closes the race against a controller that
+        // checked `shutdown` but has not yet started waiting.
+        drop(relock(&self.shared.ctl_lock));
+        self.shared.ctl_cv.notify_all();
         self.shared.sched.notify_all();
-        for h in self.workers.drain(..) {
+        if let Some(ctl) = self.controller.take() {
+            let _ = ctl.join();
+        }
+        let handles: Vec<_> = relock(&self.workers).drain(..).collect();
+        for h in handles {
             let _ = h.join();
         }
     }
@@ -1104,9 +1244,57 @@ impl Drop for Runtime {
     }
 }
 
-fn worker_loop(sh: Arc<Shared>, home: usize) {
+/// Spawn worker `id`: pin it (when configured) and run [`worker_loop`].
+/// Used both by [`Runtime::start`] for the initial pool and by the
+/// elastic controller when it grows the pool — the two paths must agree
+/// on naming, pinning and home-shard assignment, so they share this.
+fn spawn_worker(shared: &Arc<Shared>, id: usize) -> JoinHandle<()> {
+    let sh = shared.clone();
+    std::thread::Builder::new()
+        .name(format!("cameo-worker-{id}"))
+        .spawn(move || {
+            // Pin before the first drain so the home shard's arena
+            // segments are first-touched (and kept) by this core.
+            // Failure is benign: the worker just keeps the default
+            // affinity.
+            if sh.pin_workers {
+                let core = sh
+                    .allowed_cores
+                    .get(id % sh.allowed_cores.len().max(1))
+                    .copied()
+                    .unwrap_or(id % sh.cpus);
+                if cameo_core::affinity::pin_to_core(core) {
+                    sh.pinned.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            worker_loop(sh, id)
+        })
+        .expect("spawn worker thread")
+}
+
+fn worker_loop(sh: Arc<Shared>, id: usize) {
+    let home = id % sh.sched.shard_count();
+    sh.live_workers.fetch_add(1, Ordering::SeqCst);
+    // Decrement on *every* exit — including an operator UDF panic
+    // unwinding through the worker — so `worker_count` never sticks
+    // above the number of threads actually running.
+    struct LiveWorker(Arc<Shared>);
+    impl Drop for LiveWorker {
+        fn drop(&mut self) {
+            self.0.live_workers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    let _live = LiveWorker(sh.clone());
     loop {
         if sh.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Elastic retirement: workers with the highest ids exit when
+        // the controller lowers the target. Checked only between
+        // operator leases, so a retiring worker never abandons a
+        // half-drained operator; a parked worker notices within one
+        // park timeout (the controller also notifies on shrink).
+        if id >= sh.target_workers.load(Ordering::SeqCst) {
             return;
         }
         // Acquire the most urgent operator (home shard first, stealing
@@ -1136,6 +1324,113 @@ fn worker_loop(sh: Arc<Shared>, home: usize) {
                 }
             }
         }
+    }
+}
+
+/// One elastic controller observation: fold every deployed job's sink
+/// statistics and the scheduler's counters into the cumulative totals
+/// [`ElasticController::tick`] differentiates.
+fn observe(sh: &Arc<Shared>) -> ElasticObservation {
+    let (mut outputs, mut misses) = (0u64, 0u64);
+    {
+        let jobs = sh.jobs.read().unwrap_or_else(|p| p.into_inner());
+        for slot in &jobs.slots {
+            if let Some(jrt) = &slot.job {
+                let snap = jrt.stats.snapshot();
+                outputs += snap.outputs;
+                misses += snap.outputs - snap.on_time;
+            }
+        }
+    }
+    let stats = sh.sched.stats();
+    ElasticObservation {
+        outputs,
+        deadline_misses: misses,
+        backlog: sh.sched.len(),
+        workers: sh.target_workers.load(Ordering::SeqCst),
+        steals: stats.steals,
+        acquisitions: stats.operator_acquisitions,
+        shard_backlogs: sh.sched.shard_backlogs(),
+    }
+}
+
+/// The elastic controller thread: sample → decide → actuate, once per
+/// configured tick, until shutdown.
+///
+/// The *decisions* live in [`ElasticController`] (pure, deterministic,
+/// shared verbatim with the simulator); this loop only gathers the
+/// observation and applies the returned actions:
+///
+/// * `SetWorkers(n)` — grow by spawning ids `cur..n` (handles pushed
+///   into the shared pool so shutdown joins them), or shrink by
+///   lowering `target_workers` and waking parked workers so the excess
+///   ids notice and retire.
+/// * `SetStealThreshold` — retune the sharded scheduler's steal slack.
+/// * `MigrateHottest` — move the busiest operator off an overloaded
+///   shard (a no-op when that operator is currently leased; the
+///   controller simply retries on a later tick).
+/// * `ReclaimArenas` — take the reclaimed-segment grace token and hold
+///   it for one full tick before dropping (freeing), so any in-flight
+///   `Mailbox::push` that read a segment base before reclamation
+///   completes its write into still-live memory first.
+fn controller_loop(sh: Arc<Shared>, cfg: ElasticConfig, pool: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    let tick = Duration::from_micros(cfg.tick.0);
+    let mut ctl = ElasticController::new(cfg);
+    let mut cur_target = sh.target_workers.load(Ordering::SeqCst);
+    let mut grace: Option<ReclaimedSegments<Mail<RtMsg>>> = None;
+    loop {
+        {
+            let held = relock(&sh.ctl_lock);
+            if sh.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let _ = sh
+                .ctl_cv
+                .wait_timeout(held, tick)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        if sh.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // The previous tick's reclaimed segments have now been out of
+        // the arena for a full tick: every push that could have held a
+        // stale base pointer has finished. Free them.
+        drop(grace.take());
+        let obs = observe(&sh);
+        for action in ctl.tick(&obs) {
+            match action {
+                ElasticAction::SetWorkers(n) => {
+                    if n > cur_target {
+                        sh.target_workers.store(n, Ordering::SeqCst);
+                        let mut handles = relock(&pool);
+                        for id in cur_target..n {
+                            handles.push(spawn_worker(&sh, id));
+                        }
+                    } else if n < cur_target {
+                        sh.target_workers.store(n, Ordering::SeqCst);
+                        // Parked excess workers re-check the target on
+                        // wake; running ones at their next lease.
+                        sh.sched.notify_all();
+                    }
+                    cur_target = n;
+                }
+                ElasticAction::SetStealThreshold(slack) => {
+                    sh.sched.set_steal_threshold(slack);
+                }
+                ElasticAction::MigrateHottest { from, to } => {
+                    if let Some((key, _backlog)) = sh.sched.busiest_operator(from) {
+                        sh.sched.migrate_operator(key, to);
+                    }
+                }
+                ElasticAction::ReclaimArenas => {
+                    let token = sh.sched.reclaim_quiescent();
+                    if !token.is_empty() {
+                        grace = Some(token);
+                    }
+                }
+            }
+        }
+        *relock(&sh.elastic_telemetry) = ctl.telemetry();
     }
 }
 
@@ -1463,6 +1758,93 @@ mod tests {
             rt.scheduler_stats().mailbox_drained,
             0,
             "locked ingress must not touch the mailbox"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn fixed_pool_runtime_has_no_controller() {
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(2));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while rt.worker_count() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(rt.worker_count(), 2);
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let tel = rt.elastic_telemetry();
+        assert_eq!(tel.ticks, 0, "no controller without with_elastic");
+        assert_eq!(rt.worker_count(), 2, "fixed pool never resizes");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn elastic_pool_grows_on_misses_and_shrinks_on_quiescence() {
+        let rt = Runtime::start(
+            RuntimeConfig::default().with_workers(1).with_elastic(
+                ElasticConfig::new(1, 4)
+                    .with_tick(Micros(2_000))
+                    .with_quiescent_ticks(2),
+            ),
+        );
+        // Every output misses a 1us target, so the first loaded tick
+        // pushes the miss rate past the high water mark.
+        let spec = cameo_dataflow::queries::agg_query(
+            &AggQueryParams::new("el", 1_000, Micros(1))
+                .with_sources(2)
+                .with_parallelism(2)
+                .with_domain(cameo_core::progress::TimeDomain::IngestionTime),
+        );
+        let job = rt.deploy(&spec, &ExpandOptions::default()).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut round = 0u64;
+        while rt.elastic_telemetry().grows == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "controller never grew the pool: {:?}",
+                rt.elastic_telemetry()
+            );
+            // Cross a window per round so sinks keep producing (missed)
+            // outputs for the controller to observe.
+            for source in [0u32, 1] {
+                let tuples = (0..20)
+                    .map(|i| Tuple::new(i, 1, LogicalTime(round * 2_000 + i)))
+                    .collect();
+                rt.ingest(job, source, tuples).unwrap();
+            }
+            round += 1;
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let grown = rt.elastic_telemetry();
+        assert!(grown.peak_workers >= 2, "pool grew: {grown:?}");
+        // Quiescence: stop the load, let the backlog drain, and the
+        // controller must shrink back toward the floor and reclaim.
+        assert!(rt.drain(std::time::Duration::from_secs(10)));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let tel = rt.elastic_telemetry();
+            if tel.shrinks >= 1 && tel.reclaims >= 1 && rt.worker_count() <= tel.peak_workers {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "controller never went quiescent: {tel:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        // Retired workers observe the lowered target within a park
+        // timeout; give them a moment, then the live count must sit
+        // strictly below the peak.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while rt.worker_count() >= rt.elastic_telemetry().peak_workers
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(
+            rt.worker_count() < rt.elastic_telemetry().peak_workers,
+            "excess workers retired (live {}, peak {})",
+            rt.worker_count(),
+            rt.elastic_telemetry().peak_workers
         );
         rt.shutdown();
     }

@@ -22,6 +22,7 @@ use crate::metrics::{SchedEvent, SimMetrics};
 use crate::workload::WorkloadGen;
 use cameo_core::config::SchedulerConfig;
 use cameo_core::context::ReplyContext;
+use cameo_core::elastic::{ElasticAction, ElasticConfig, ElasticController, ElasticObservation};
 use cameo_core::policy::{
     EdfPolicy, FifoPolicy, LlfPolicy, MessageStamp, Policy, SjfPolicy, TokenFairPolicy,
 };
@@ -125,6 +126,12 @@ pub struct EngineConfig {
     /// as the runtime's deploy path. Deterministic: the override
     /// happens before the first event fires.
     pub profile_alpha: Option<f64>,
+    /// Run the elastic controller — the *same* deterministic state
+    /// machine the production runtime ticks on a timer thread — as a
+    /// virtual-time event every `elastic.tick`. `None` (the default)
+    /// keeps the engine bit-for-bit identical to the pre-elastic event
+    /// stream: no tick events enter the heap at all.
+    pub elastic: Option<ElasticConfig>,
 }
 
 impl EngineConfig {
@@ -143,6 +150,7 @@ impl EngineConfig {
             placement: Placement::Spread,
             disable_replies: false,
             profile_alpha: None,
+            elastic: None,
         }
     }
 }
@@ -166,6 +174,9 @@ enum Ev {
     /// messages are dropped at delivery/completion guards — mirroring
     /// the runtime's `undeploy`.
     Depart { job: u16 },
+    /// One elastic controller tick: sample the cluster, apply the
+    /// controller's actions, re-arm while other events remain.
+    ControllerTick,
 }
 
 struct Scheduled {
@@ -233,6 +244,12 @@ pub struct Engine {
     rng: ChaCha8Rng,
     pub metrics: SimMetrics,
     cfg: EngineConfig,
+    /// The elastic controller, when configured.
+    elastic: Option<ElasticController>,
+    /// Workers allowed to pick up new leases on every node (the elastic
+    /// target). Workers at index ≥ this finish their current message
+    /// and then sit idle — the virtual-time analogue of retiring.
+    worker_target: usize,
     /// Latest scheduled delivery per (job, op, channel): keeps jittered
     /// deliveries FIFO per channel.
     channel_clock: std::collections::HashMap<(u16, u32, u32), u64>,
@@ -318,6 +335,13 @@ impl Engine {
             cost: CostModel::new(cfg.cost),
             rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xC0FF_EE00),
             metrics,
+            elastic: cfg.elastic.map(ElasticController::new),
+            worker_target: match &cfg.elastic {
+                Some(e) => {
+                    (cfg.cluster.workers_per_node as usize).clamp(e.min_workers, e.max_workers)
+                }
+                None => cfg.cluster.workers_per_node as usize,
+            },
             cfg,
             channel_clock: std::collections::HashMap::new(),
         }
@@ -355,6 +379,12 @@ impl Engine {
                 self.push_event(at, Ev::Depart { job: j as u16 });
             }
         }
+        // The controller's first tick. It re-arms itself only while
+        // other events remain, so the run still terminates.
+        if let Some(cfg) = &self.cfg.elastic {
+            let t = PhysicalTime(cfg.tick.0);
+            self.push_event(t, Ev::ControllerTick);
+        }
         while let Some(Reverse(Scheduled { time, ev, .. })) = self.events.pop() {
             debug_assert!(time >= self.now, "time must not regress");
             self.now = time;
@@ -386,11 +416,98 @@ impl Engine {
                 Ev::Depart { job } => {
                     self.depart(job);
                 }
+                Ev::ControllerTick => {
+                    self.controller_tick();
+                }
             }
         }
         self.metrics.end_time = self.now;
         self.metrics.sched = self.sched_stats();
+        if let Some(ctl) = &self.elastic {
+            self.metrics.elastic = ctl.telemetry();
+        }
         self.metrics
+    }
+
+    /// One elastic controller tick in virtual time: gather the same
+    /// observation the runtime's controller thread samples, run the
+    /// identical decision logic, and apply the actions to every node.
+    fn controller_tick(&mut self) {
+        let Some(mut ctl) = self.elastic.take() else {
+            return;
+        };
+        let (mut outputs, mut misses) = (0u64, 0u64);
+        for j in &self.metrics.jobs {
+            outputs += j.outputs;
+            misses += j.outputs - j.on_time;
+        }
+        let stats = self.sched_stats();
+        // Element-wise per-shard backlog across nodes: every node runs
+        // the same shard layout, so a migration decision applies to the
+        // same (from, to) pair cluster-wide.
+        let mut shard_backlogs: Vec<usize> = Vec::new();
+        for n in &self.nodes {
+            for (i, len) in n.disp.shard_backlogs().into_iter().enumerate() {
+                if i == shard_backlogs.len() {
+                    shard_backlogs.push(len);
+                } else {
+                    shard_backlogs[i] += len;
+                }
+            }
+        }
+        let obs = ElasticObservation {
+            outputs,
+            deadline_misses: misses,
+            backlog: self.nodes.iter().map(|n| n.disp.pending()).sum(),
+            workers: self.worker_target,
+            steals: stats.steals,
+            acquisitions: stats.operator_acquisitions,
+            shard_backlogs,
+        };
+        for action in ctl.tick(&obs) {
+            match action {
+                ElasticAction::SetWorkers(n) => {
+                    self.worker_target = n;
+                    for node in self.nodes.iter_mut() {
+                        while node.workers.len() < n {
+                            node.workers.push(Worker {
+                                running: None,
+                                last_op: None,
+                                completing: false,
+                            });
+                        }
+                    }
+                    // Grown workers pick up backlog immediately; a
+                    // shrink takes effect at each worker's next lease.
+                    for node in 0..self.nodes.len() {
+                        self.wake_node(node as u16);
+                    }
+                }
+                ElasticAction::SetStealThreshold(slack) => {
+                    for node in self.nodes.iter_mut() {
+                        node.disp.set_steal_threshold(slack);
+                    }
+                }
+                ElasticAction::MigrateHottest { from, to } => {
+                    for node in self.nodes.iter_mut() {
+                        node.disp.migrate_hottest(from, to);
+                    }
+                }
+                ElasticAction::ReclaimArenas => {
+                    for node in self.nodes.iter_mut() {
+                        node.disp.reclaim_quiescent();
+                    }
+                }
+            }
+        }
+        self.elastic = Some(ctl);
+        // Re-arm while the run is still live. Ticks never keep the
+        // event loop alive on their own.
+        if !self.events.is_empty() {
+            let tick = self.cfg.elastic.as_ref().expect("elastic config").tick;
+            let t = self.now + tick;
+            self.push_event(t, Ev::ControllerTick);
+        }
     }
 
     /// Tear a job down mid-run: stop its workload, purge its messages
@@ -526,7 +643,12 @@ impl Engine {
         // Every idle worker gets an acquire attempt: with pinned (slot)
         // dispatch only one specific worker may be able to take the new
         // work, so an early break on first failure would strand it.
-        for w in 0..self.nodes[node as usize].workers.len() {
+        // Workers beyond the elastic target are retired and skipped.
+        let live = self.nodes[node as usize]
+            .workers
+            .len()
+            .min(self.worker_target);
+        for w in 0..live {
             let worker = &self.nodes[node as usize].workers[w];
             if worker.running.is_some() || worker.completing {
                 continue;
@@ -536,8 +658,12 @@ impl Engine {
     }
 
     /// Attempt to start an idle worker. Returns false when no work was
-    /// available.
+    /// available (or the worker sits beyond the elastic target and has
+    /// retired).
     fn try_start(&mut self, node: u16, worker: u16) -> bool {
+        if worker as usize >= self.worker_target {
+            return false;
+        }
         let n = &mut self.nodes[node as usize];
         let Some(lease) = n.disp.acquire(worker, self.now) else {
             return false;

@@ -46,6 +46,8 @@ pub struct Scenario {
     /// Cost-profiling smoothing override (see
     /// [`EngineConfig::profile_alpha`]).
     pub profile_alpha: Option<f64>,
+    /// Elastic controller configuration (see [`EngineConfig::elastic`]).
+    pub elastic: Option<cameo_core::elastic::ElasticConfig>,
     jobs: Vec<JobSetup>,
 }
 
@@ -65,6 +67,7 @@ impl Scenario {
             placement: Placement::default(),
             disable_replies: false,
             profile_alpha: None,
+            elastic: None,
             jobs: Vec::new(),
         }
     }
@@ -117,6 +120,15 @@ impl Scenario {
     /// Ablation: turn off the Reply Context feedback path.
     pub fn disable_replies(mut self, off: bool) -> Self {
         self.disable_replies = off;
+        self
+    }
+
+    /// Run the elastic controller (worker scaling, hot-operator
+    /// re-placement, arena reclamation) as deterministic virtual-time
+    /// ticks — the identical state machine the runtime ticks on a
+    /// timer thread.
+    pub fn with_elastic(mut self, cfg: cameo_core::elastic::ElasticConfig) -> Self {
+        self.elastic = Some(cfg);
         self
     }
 
@@ -206,6 +218,7 @@ impl Scenario {
         cfg.record_processing = self.record_processing;
         cfg.placement = self.placement;
         cfg.disable_replies = self.disable_replies;
+        cfg.elastic = self.elastic;
         let mut engine_jobs = Vec::with_capacity(self.jobs.len());
         let mut departures = Vec::new();
         for (i, mut setup) in self.jobs.into_iter().enumerate() {

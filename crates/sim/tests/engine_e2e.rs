@@ -117,6 +117,73 @@ fn runs_are_deterministic() {
 }
 
 #[test]
+fn elastic_controller_runs_are_bit_identical() {
+    use cameo_core::elastic::ElasticConfig;
+    let run = || {
+        // A 1us constraint every output misses: the controller sees a
+        // 100% miss rate and grows the pool toward its ceiling; once
+        // the workload ends, quiescent ticks shrink it back.
+        let params = AggQueryParams::new("elastic", 500_000, Micros(1))
+            .with_sources(4)
+            .with_parallelism(2);
+        let spec = cameo_dataflow::queries::agg_query(&params);
+        let mut sc = Scenario::new(
+            ClusterSpec::single_node(1),
+            SchedulerKind::Cameo(PolicyKind::Llf),
+        )
+        .with_seed(13)
+        .capture_outputs(true)
+        .with_elastic(
+            ElasticConfig::new(1, 4)
+                .with_tick(Micros::from_millis(100))
+                .with_quiescent_ticks(2),
+        );
+        sc.add_job(
+            spec,
+            WorkloadSpec::constant(4, 20.0, 50, Micros::from_secs(2)),
+        );
+        let r = sc.run();
+        let mut cap = r.job(0).captured.as_ref().unwrap().clone();
+        cap.sort_unstable();
+        (
+            r.job(0).samples.clone(),
+            cap,
+            r.metrics.executions,
+            r.metrics.elastic,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "latencies must be bit-identical");
+    assert_eq!(a.1, b.1, "outputs must be bit-identical");
+    assert_eq!(a.2, b.2, "execution counts must match");
+    assert_eq!(a.3, b.3, "controller decisions must be bit-identical");
+    let tel = a.3;
+    assert!(tel.ticks > 0, "controller must have ticked: {tel:?}");
+    assert!(tel.grows >= 1, "all-miss load must grow the pool: {tel:?}");
+    assert!(
+        tel.peak_workers > 1,
+        "pool must exceed its starting size: {tel:?}"
+    );
+}
+
+#[test]
+fn scenario_without_elastic_reports_zero_telemetry() {
+    let spec = ipq1(1_000_000, Micros::from_millis(800));
+    let mut sc = Scenario::new(
+        ClusterSpec::single_node(2),
+        SchedulerKind::Cameo(PolicyKind::Llf),
+    );
+    sc.add_job(spec, quick_agg_workload(8));
+    let r = sc.run();
+    assert_eq!(
+        r.metrics.elastic,
+        cameo_core::elastic::ElasticTelemetry::default(),
+        "no controller may run unless the scenario opts in"
+    );
+}
+
+#[test]
 fn ipq4_join_pipeline_completes() {
     let spec = ipq4(1_000_000, Micros::from_millis(800));
     let mut sc = Scenario::new(

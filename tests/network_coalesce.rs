@@ -249,3 +249,67 @@ fn stale_generation_frames_are_rejected_after_slot_reuse() {
     server.stop();
     Arc::try_unwrap(rt).ok().expect("sole owner").shutdown();
 }
+
+/// The producer-facing half of the generation check: every rejected
+/// frame comes back as a NACK control frame on the connection that
+/// sent it, telling the producer which slot went stale, the generation
+/// it sent, and the generation a live handle would carry.
+#[test]
+fn stale_generation_frames_are_nacked_to_the_producer() {
+    let rt = Arc::new(Runtime::start(cameo::runtime::runtime::RuntimeConfig {
+        workers: 0,
+        ..Default::default()
+    }));
+    let old = rt
+        .deploy(&query("nack-old"), &ExpandOptions::default())
+        .expect("deploy old");
+    let server = IngestServer::start(rt.clone(), "127.0.0.1:0").unwrap();
+    let mut client = IngestClient::connect(server.local_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    rt.undeploy(old).expect("undeploy");
+    let new = rt
+        .deploy(&query("nack-new"), &ExpandOptions::default())
+        .expect("redeploy");
+    assert_eq!(new.slot(), old.slot(), "retired slot is reused");
+
+    // Two stale frames sandwiching a fresh one: exactly two NACKs come
+    // back, in frame order, and the fresh frame routes silently.
+    client
+        .send_many(&[
+            frame(old, 0, 0, 4), // stale generation
+            frame(new, 0, 100, 4),
+            frame(old, 1, 200, 4), // stale generation
+        ])
+        .unwrap();
+    for _ in 0..2 {
+        let nack = client
+            .recv_nack()
+            .expect("read control frame")
+            .expect("server alive");
+        assert_eq!(nack.job, old.slot());
+        assert_eq!(nack.gen, old.generation());
+        assert_eq!(nack.expected_gen, new.generation());
+    }
+    assert!(
+        wait_for(Duration::from_secs(5), || server.nacks_sent() == 2),
+        "both rejections NACKed, got {}",
+        server.nacks_sent()
+    );
+    assert_eq!(server.nacks_dropped(), 0);
+    assert_eq!(server.gen_rejected_frames(), 2);
+    assert!(wait_for(Duration::from_secs(5), || server
+        .frames_received()
+        == 1));
+
+    // The data direction is unaffected by the control traffic.
+    client.send(&frame(new, 1, 300, 2)).unwrap();
+    assert!(wait_for(Duration::from_secs(5), || server
+        .frames_received()
+        == 2));
+    drop(client);
+    server.stop();
+    Arc::try_unwrap(rt).ok().expect("sole owner").shutdown();
+}
