@@ -50,16 +50,23 @@
 //!    tenant arrival/departure (PAPER §6, Fig 8's dynamic workload).
 //!
 //! 5. **Connection sweep** (`conn_sweep`): the C100K shape of the
-//!    epoll serve loop. A child process (own fd table) opens 16 →
-//!    1k → 10k loopback connections (16/256 under `--quick`) and
-//!    blasts a fixed total frame budget across them; the parent times
-//!    the barrage against its zero-worker runtime. Each cell records
-//!    the process's OS thread count while every connection is live —
-//!    asserted *identical* across the sweep, the O(1)-threads claim —
-//!    plus RSS, readiness bursts and the connection high-water mark.
+//!    sharded epoll ingress plane. A child process (own fd table)
+//!    opens 16 → 1k → 10k loopback connections and blasts a fixed
+//!    total frame budget across them; the parent times the barrage
+//!    against its zero-worker runtime. The full sweep crosses each
+//!    connection count with 1, 2 and 4 serve loops
+//!    (`IngestServerConfig::with_loops`); `--quick` runs 16 conns on
+//!    1 loop and 256 on 2. Each cell records the process's OS thread
+//!    count while every connection is live — asserted equal to
+//!    `base + (loops - 1)` (1 accept + N loops, O(1) in `conns`) —
+//!    plus RSS, total and **per-loop** readiness bursts (the shard
+//!    skew view) and the connection high-water mark, and cross-checks
+//!    that the per-loop counters sum exactly to the handle totals.
 //!    Before teardown every cell sends one frame stamped with a stale
 //!    `JobHandle` generation and asserts the server rejected and
-//!    counted it without routing it (`gen_rejected_frames`).
+//!    counted it without routing it (`gen_rejected_frames`). On a
+//!    1-CPU host the loops>1 cells measure sharding *overhead*, not
+//!    speedup — the loops share one core; see docs/BENCH.md.
 //!
 //! 6. **Elastic load step** (`elastic_step`): quiet → step+spike →
 //!    quiet against a live runtime whose elastic controller may scale
@@ -594,6 +601,9 @@ fn run_net_ingest(frames_per_read: usize, measure: Duration) -> NetCell {
 /// One connection-sweep cell; see the module docs (experiment 5).
 struct ConnCell {
     conns: usize,
+    /// Serve loops the ingress plane was sharded across
+    /// (`IngestServerConfig::with_loops`).
+    loops: usize,
     frames_per_burst: usize,
     /// Frames every connection pushed (budget / conns, burst-aligned).
     frames: u64,
@@ -601,11 +611,15 @@ struct ConnCell {
     ns_per_frame: f64,
     ns_per_msg: f64,
     /// OS threads in this process while all `conns` were live — the
-    /// sweep asserts this is identical at every connection count.
+    /// sweep asserts this is `base + (loops - 1)` at every connection
+    /// count: 1 accept thread + `loops` serve loops, O(1) in `conns`.
     threads: usize,
     /// Resident set (KiB) right after the barrage, connections open.
     rss_kb: u64,
     readiness_bursts: u64,
+    /// Per-loop readiness-burst counts (`IngestServer::loop_stats`),
+    /// the skew view behind the `readiness_bursts` total.
+    loop_bursts: Vec<u64>,
     conns_peak: u64,
     /// Stale-generation probe frames the server refused (≥ 1).
     gen_rejected: u64,
@@ -714,12 +728,16 @@ fn conn_client_main(rest: &[String]) {
     let _ = stdin.lock().read_line(&mut line);
 }
 
-/// Parent half of the connection sweep: a zero-worker runtime and one
-/// epoll serve loop, fed by a child process holding `conns` live
-/// sockets. Times the barrage, samples threads + RSS while every
-/// connection is open, then proves a stale-generation frame is
-/// rejected-and-counted at this connection count before tearing down.
-fn run_conn_sweep(conns: usize, frames_per_burst: usize) -> ConnCell {
+/// Parent half of the connection sweep: a zero-worker runtime and an
+/// ingress plane sharded across `loops` epoll serve loops, fed by a
+/// child process holding `conns` live sockets. Times the barrage,
+/// samples threads + RSS while every connection is open, then proves a
+/// stale-generation frame is rejected-and-counted at this connection
+/// count before tearing down. Before returning, cross-checks the
+/// per-loop counters against the handle totals and (when `conns >=
+/// loops`) that least-loaded assignment put at least one connection on
+/// every loop.
+fn run_conn_sweep(conns: usize, frames_per_burst: usize, loops: usize) -> ConnCell {
     use cameo_dataflow::queries::AggQueryParams;
     use cameo_runtime::prelude::*;
     use std::io::{BufRead, BufReader, Write as _};
@@ -745,7 +763,12 @@ fn run_conn_sweep(conns: usize, frames_per_burst: usize) -> ConnCell {
         .with_keys(8),
     );
     let job = rt.deploy(&spec, &Default::default()).expect("deploy");
-    let server = IngestServer::start(rt.clone(), "127.0.0.1:0").expect("bind loopback");
+    let server = IngestServer::start_with(
+        rt.clone(),
+        "127.0.0.1:0",
+        IngestServerConfig::new().with_loops(loops),
+    )
+    .expect("bind loopback");
 
     let bursts_each = ((FRAME_BUDGET / conns).max(1) / frames_per_burst).max(1);
     let frames_each = bursts_each * frames_per_burst;
@@ -832,8 +855,41 @@ fn run_conn_sweep(conns: usize, frames_per_burst: usize) -> ConnCell {
 
     let msgs = rt.queue_len() as u64;
     let stats = rt.scheduler_stats();
+
+    // Roll-up invariant: the per-loop counters must sum *exactly* to
+    // the handle totals — the shards account for every frame, burst
+    // and rejection with nothing double-counted or lost.
+    let loop_stats = server.loop_stats();
+    assert_eq!(loop_stats.len(), loops, "one stats row per serve loop");
+    assert_eq!(
+        loop_stats.iter().map(|l| l.frames).sum::<u64>(),
+        server.frames_received(),
+        "per-loop frames must sum to the total"
+    );
+    assert_eq!(
+        loop_stats.iter().map(|l| l.readiness_bursts).sum::<u64>(),
+        server.readiness_bursts(),
+        "per-loop bursts must sum to the total"
+    );
+    assert_eq!(
+        loop_stats.iter().map(|l| l.gen_rejected).sum::<u64>(),
+        server.gen_rejected_frames(),
+        "per-loop rejections must sum to the total"
+    );
+    // Least-loaded assignment spread the load: with at least as many
+    // connections as loops, no loop sat idle.
+    if conns >= loops {
+        for (i, l) in loop_stats.iter().enumerate() {
+            assert!(
+                l.conns_peak >= 1,
+                "loop {i} never owned a connection at {conns} conns"
+            );
+        }
+    }
+
     let cell = ConnCell {
         conns,
+        loops,
         frames_per_burst,
         frames: total,
         msgs,
@@ -842,6 +898,7 @@ fn run_conn_sweep(conns: usize, frames_per_burst: usize) -> ConnCell {
         threads,
         rss_kb: rss,
         readiness_bursts: server.readiness_bursts(),
+        loop_bursts: loop_stats.iter().map(|l| l.readiness_bursts).collect(),
         conns_peak: server.conns_peak(),
         gen_rejected: server.gen_rejected_frames() - rejected_before,
         accepts_shed: server.accepts_shed(),
@@ -1425,23 +1482,43 @@ fn main() {
         );
     }
 
-    println!("\nconnection sweep (epoll serve loop, child-process client, open-loop barrage)");
+    println!("\nconnection sweep (sharded epoll loops, child-process client, open-loop barrage)");
     println!(
-        "{:>8} {:>10} {:>10} {:>12} {:>8} {:>10} {:>10} {:>8} {:>10}",
-        "conns", "f/burst", "frames", "ns/msg", "threads", "rss_kb", "bursts", "peak", "rejected"
+        "{:>8} {:>6} {:>10} {:>10} {:>12} {:>8} {:>10} {:>10} {:>8} {:>10}",
+        "conns",
+        "loops",
+        "f/burst",
+        "frames",
+        "ns/msg",
+        "threads",
+        "rss_kb",
+        "bursts",
+        "peak",
+        "rejected"
     );
-    let conn_sweep: &[(usize, usize)] = if args.quick {
-        &[(16, 64), (256, 8)]
+    let conn_sweep: &[(usize, usize, usize)] = if args.quick {
+        &[(16, 64, 1), (256, 8, 2)]
     } else {
-        &[(16, 64), (1_000, 8), (10_000, 4)]
+        &[
+            (16, 64, 1),
+            (16, 64, 2),
+            (16, 64, 4),
+            (1_000, 8, 1),
+            (1_000, 8, 2),
+            (1_000, 8, 4),
+            (10_000, 4, 1),
+            (10_000, 4, 2),
+            (10_000, 4, 4),
+        ]
     };
     let conn_cells: Vec<ConnCell> = conn_sweep
         .iter()
-        .map(|&(conns, fpr)| {
-            let cell = run_conn_sweep(conns, fpr);
+        .map(|&(conns, fpr, loops)| {
+            let cell = run_conn_sweep(conns, fpr, loops);
             println!(
-                "{:>8} {:>10} {:>10} {:>12.1} {:>8} {:>10} {:>10} {:>8} {:>10}",
+                "{:>8} {:>6} {:>10} {:>10} {:>12.1} {:>8} {:>10} {:>10} {:>8} {:>10}",
                 cell.conns,
+                cell.loops,
                 cell.frames_per_burst,
                 cell.frames,
                 cell.ns_per_msg,
@@ -1454,17 +1531,27 @@ fn main() {
             cell
         })
         .collect();
-    // O(1) server threads: the process's thread count with 10k live
-    // connections must equal its count with 16. Skipped only where
-    // procfs is unavailable (threads_now() == 0).
-    let base_threads = conn_cells.first().map(|c| c.threads).unwrap_or(0);
+    // O(1) server threads in `conns`: the ingress plane costs 1 accept
+    // thread + `loops` serve loops, so with `base` the loops=1 thread
+    // count every cell must sit at exactly `base + (loops - 1)` —
+    // 10k connections use the same threads as 16 at equal `loops`.
+    // Skipped only where procfs is unavailable (threads_now() == 0).
+    let base_threads = conn_cells
+        .iter()
+        .find(|c| c.loops == 1)
+        .map(|c| c.threads)
+        .unwrap_or(0);
     if base_threads > 0 {
         for c in &conn_cells {
             assert_eq!(
-                c.threads, base_threads,
-                "thread count must be constant across the connection sweep \
-                 ({} conns used {} threads, {} at {} conns)",
-                c.conns, c.threads, base_threads, conn_cells[0].conns
+                c.threads,
+                base_threads + (c.loops - 1),
+                "thread count must be 1 accept + {} loops over the loops=1 \
+                 base of {} — constant in conns ({} conns used {} threads)",
+                c.loops,
+                base_threads,
+                c.conns,
+                c.threads
             );
         }
     }
@@ -1618,9 +1705,16 @@ fn main() {
     }
     json.push_str("  ],\n  \"conn_sweep\": [\n");
     for (i, c) in conn_cells.iter().enumerate() {
+        let loop_bursts = c
+            .loop_bursts
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
-            "    {{\"conns\": {}, \"frames_per_burst\": {}, \"frames\": {}, \"msgs\": {}, \"ns_per_frame\": {:.1}, \"ns_per_msg\": {:.1}, \"threads\": {}, \"rss_kb\": {}, \"readiness_bursts\": {}, \"conns_peak\": {}, \"gen_rejected_frames\": {}, \"accepts_shed\": {}, \"net_batches\": {}, \"frames_coalesced\": {}}}{}\n",
+            "    {{\"conns\": {}, \"loops\": {}, \"frames_per_burst\": {}, \"frames\": {}, \"msgs\": {}, \"ns_per_frame\": {:.1}, \"ns_per_msg\": {:.1}, \"threads\": {}, \"rss_kb\": {}, \"readiness_bursts\": {}, \"loop_bursts\": [{}], \"conns_peak\": {}, \"gen_rejected_frames\": {}, \"accepts_shed\": {}, \"net_batches\": {}, \"frames_coalesced\": {}}}{}\n",
             c.conns,
+            c.loops,
             c.frames_per_burst,
             c.frames,
             c.msgs,
@@ -1629,6 +1723,7 @@ fn main() {
             c.threads,
             c.rss_kb,
             c.readiness_bursts,
+            loop_bursts,
             c.conns_peak,
             c.gen_rejected,
             c.accepts_shed,

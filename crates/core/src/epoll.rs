@@ -4,12 +4,15 @@
 //! [`crate::affinity`].
 //!
 //! The runtime's TCP ingest server drives thousands of connections from
-//! **one** thread: it registers every socket here, sleeps in
-//! [`Epoll::wait`], and services exactly the connections the kernel
-//! reports ready. Each wait return is one *readiness burst*, and the
-//! server turns a whole burst into a single scheduler submission — so
-//! the batching that PR 4 bought per socket read strengthens with
-//! connection count instead of collapsing under it.
+//! a **fixed handful** of threads: each serve loop registers its share
+//! of the sockets here, sleeps in [`Epoll::wait`], and services exactly
+//! the connections the kernel reports ready. Each wait return is one
+//! *readiness burst*, and a loop turns a whole burst into a single
+//! scheduler submission — so the batching that PR 4 bought per socket
+//! read strengthens with connection count instead of collapsing under
+//! it. [`WakePipe`] is the companion doorbell: the accept thread rings
+//! it to hand a freshly accepted descriptor into a sleeping loop's
+//! epoll set without waiting out the loop's timeout.
 //!
 //! On non-Linux targets every constructor returns
 //! [`std::io::ErrorKind::Unsupported`] and [`supported`] is `false`;
@@ -43,6 +46,8 @@ mod imp {
     const EPOLLERR: u32 = 0x008;
     const EPOLLHUP: u32 = 0x010;
     const EPOLLRDHUP: u32 = 0x2000;
+    const O_CLOEXEC: i32 = 0o2000000;
+    const O_NONBLOCK: i32 = 0o4000;
 
     /// `struct epoll_event` as the kernel ABI lays it out: packed (12
     /// bytes) on x86_64, naturally aligned (16 bytes) everywhere else.
@@ -63,6 +68,13 @@ mod imp {
         fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
         /// glibc wrapper; releases the epoll fd.
         fn close(fd: i32) -> i32;
+        /// glibc wrapper; fills `fds[0]` (read end) and `fds[1]`
+        /// (write end) or returns -1.
+        fn pipe2(fds: *mut i32, flags: i32) -> i32;
+        /// glibc wrapper; plain `read(2)`.
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        /// glibc wrapper; plain `write(2)`.
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
     }
 
     pub struct Epoll {
@@ -141,6 +153,68 @@ mod imp {
         }
     }
 
+    pub struct WakePipe {
+        read_fd: i32,
+        write_fd: i32,
+    }
+
+    impl WakePipe {
+        pub fn new() -> io::Result<WakePipe> {
+            let mut fds = [0i32; 2];
+            // Safety: `fds` is a live 2-slot array the call fills.
+            let rc = unsafe { pipe2(fds.as_mut_ptr(), O_CLOEXEC | O_NONBLOCK) };
+            if rc != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(WakePipe {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            })
+        }
+
+        pub fn read_fd(&self) -> i32 {
+            self.read_fd
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            let byte = 1u8;
+            // Safety: one readable byte, a live descriptor we own.
+            let n = unsafe { write(self.write_fd, &byte, 1) };
+            if n == 1 {
+                return Ok(());
+            }
+            let e = io::Error::last_os_error();
+            // A full pipe already holds an undrained wake byte: the
+            // reader is guaranteed to wake, which is all a wake means.
+            if e.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            Err(e)
+        }
+
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                // Safety: `buf` provides exactly its length in writable
+                // bytes; the descriptor is ours and non-blocking.
+                let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+                if n < buf.len() as isize {
+                    return; // drained (or EAGAIN / EOF / error)
+                }
+            }
+        }
+    }
+
+    impl Drop for WakePipe {
+        fn drop(&mut self) {
+            // Safety: both descriptors are live and owned.
+            unsafe {
+                close(self.read_fd);
+                close(self.write_fd);
+            }
+        }
+    }
+
     pub const SUPPORTED: bool = true;
 }
 
@@ -186,6 +260,30 @@ mod imp {
         }
     }
 
+    pub struct WakePipe;
+
+    impl WakePipe {
+        pub fn new() -> io::Result<WakePipe> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "wake pipes are linux-only",
+            ))
+        }
+
+        pub fn read_fd(&self) -> i32 {
+            -1
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "wake pipes are linux-only",
+            ))
+        }
+
+        pub fn drain(&self) {}
+    }
+
     pub const SUPPORTED: bool = false;
 }
 
@@ -226,6 +324,47 @@ impl Epoll {
     /// count — `0` is a timeout (or a signal), not an error.
     pub fn wait(&self, out: &mut Vec<Event>, max: usize, timeout_ms: i32) -> io::Result<usize> {
         self.0.wait(out, max, timeout_ms)
+    }
+}
+
+/// A self-wakeup channel for event loops: a non-blocking pipe whose
+/// read end is registered in an [`Epoll`] set, so another thread can
+/// interrupt (or pre-empt) that loop's `epoll_wait` by writing a byte.
+///
+/// The ingest server's accept thread uses one per serve loop as the
+/// **fd-handoff doorbell**: it parks a freshly accepted connection in
+/// the loop's handoff queue and calls [`wake`](Self::wake); the loop's
+/// next readiness burst reports the pipe readable, the loop
+/// [`drain`](Self::drain)s it and registers everything queued. A wake
+/// against a full pipe succeeds without writing — an undrained byte
+/// already guarantees the wakeup, so wakes never block and never fail
+/// under doorbell storms. Both descriptors close on drop.
+pub struct WakePipe(imp::WakePipe);
+
+impl WakePipe {
+    /// Create the pipe (`pipe2`, close-on-exec, non-blocking both
+    /// ends). Fails with [`io::ErrorKind::Unsupported`] off Linux.
+    pub fn new() -> io::Result<WakePipe> {
+        imp::WakePipe::new().map(WakePipe)
+    }
+
+    /// The read end, for registration in an epoll set. Level-triggered
+    /// registration reports it readable until drained, so a wake posted
+    /// while the loop is mid-burst is never lost.
+    pub fn read_fd(&self) -> i32 {
+        self.0.read_fd()
+    }
+
+    /// Post a wakeup: write one byte (or nothing, if the pipe already
+    /// holds undrained wakes — same guarantee either way).
+    pub fn wake(&self) -> io::Result<()> {
+        self.0.wake()
+    }
+
+    /// Consume every pending wake byte so the (level-triggered) read
+    /// end stops reporting readable.
+    pub fn drain(&self) {
+        self.0.drain()
     }
 }
 
@@ -271,6 +410,43 @@ mod tests {
 
         ep.delete(rx.as_raw_fd()).unwrap();
         assert_eq!(ep.wait(&mut events, 16, 0).unwrap(), 0, "deregistered");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn wake_pipe_rings_an_epoll_loop_until_drained() {
+        let pipe = WakePipe::new().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(pipe.read_fd(), 7).unwrap();
+
+        let mut events = Vec::new();
+        assert_eq!(ep.wait(&mut events, 16, 0).unwrap(), 0, "no wake yet");
+
+        // Multiple wakes coalesce: level-triggered readiness reports
+        // once per wait until the pipe is drained.
+        pipe.wake().unwrap();
+        pipe.wake().unwrap();
+        assert_eq!(ep.wait(&mut events, 16, 1_000).unwrap(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        assert_eq!(ep.wait(&mut events, 16, 0).unwrap(), 1, "still undrained");
+
+        pipe.drain();
+        assert_eq!(ep.wait(&mut events, 16, 0).unwrap(), 0, "drained");
+
+        // A wake storm never blocks or errors (full pipe = wake already
+        // pending).
+        for _ in 0..100_000 {
+            pipe.wake().unwrap();
+        }
+        pipe.drain();
+        assert_eq!(ep.wait(&mut events, 16, 0).unwrap(), 0);
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    #[test]
+    fn wake_pipe_fails_closed_off_linux() {
+        assert!(WakePipe::new().is_err());
     }
 
     #[cfg(target_os = "linux")]

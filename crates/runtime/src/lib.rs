@@ -34,7 +34,7 @@ pub mod prelude {
     pub use crate::msg::{FrameDecoder, RtMsg};
     pub use crate::net::{
         decode_payload, encode_frame, read_frame, IngestClient, IngestFrame, IngestServer,
-        NackFrame,
+        IngestServerConfig, LoopStats, NackFrame,
     };
     pub use crate::runtime::{
         DeployError, IngestOutcome, JobError, JobHandle, OutputEvent, OutputSubscription,

@@ -115,8 +115,12 @@ const PARK_TIMEOUT: Duration = Duration::from_millis(1);
 pub struct OutputEvent {
     /// Handle of the job that produced the output.
     pub job: JobHandle,
-    /// The sink's output batch.
-    pub batch: Batch,
+    /// The sink's output batch, shared by reference: every subscriber
+    /// to the job receives a clone of the same `Arc`, so fan-out never
+    /// deep-copies the tuples (audited by
+    /// [`JobStatsSnapshot::delivered`](crate::stats::JobStatsSnapshot)
+    /// — see `Runtime::subscribe`).
+    pub batch: Arc<Batch>,
     /// End-to-end latency of the batch (arrival of its closing input to
     /// this output).
     pub latency: Micros,
@@ -1531,22 +1535,48 @@ fn process_message(sh: &Arc<Shared>, key: cameo_core::ids::OperatorKey, msg: RtM
             slot: key.job.0,
             gen: jrt.gen,
         };
-        for b in &outputs {
+        for b in outputs {
             jrt.stats.record(now, b.time, b.len());
-            let mut subs = relock(&jrt.subscribers);
-            // Prune on delivery: a dropped OutputSubscription (dead
-            // liveness token) or a closed channel unsubscribes.
-            subs.retain(|s| {
-                s.live()
-                    && s.tx
-                        .send(OutputEvent {
-                            job: handle,
-                            batch: b.clone(),
-                            latency: now - b.time,
-                            at: now,
-                        })
-                        .is_ok()
-            });
+            // Snapshot the live senders under the lock, then deliver
+            // with it released: a slow subscriber (or a channel
+            // internals hiccup) can never extend the critical section
+            // another sink execution or `subscribe` call is waiting on.
+            // Prune-on-delivery survives in two halves — dead liveness
+            // tokens are dropped while snapshotting, and any send that
+            // fails (receiver gone) triggers a re-lock prune below.
+            let senders: Vec<Sender<OutputEvent>> = {
+                let mut subs = relock(&jrt.subscribers);
+                subs.retain(Subscriber::live);
+                subs.iter().map(|s| s.tx.clone()).collect()
+            };
+            if senders.is_empty() {
+                continue;
+            }
+            // One allocation per output batch, shared across every
+            // subscriber — the fan-out clones an Arc, never the tuples.
+            let batch = Arc::new(b);
+            let latency = now - batch.time;
+            let mut any_dead = false;
+            for tx in senders {
+                let ok = tx
+                    .send(OutputEvent {
+                        job: handle,
+                        batch: batch.clone(),
+                        latency,
+                        at: now,
+                    })
+                    .is_ok();
+                if ok {
+                    jrt.stats.record_delivery();
+                } else {
+                    any_dead = true;
+                }
+            }
+            if any_dead {
+                // A closed channel means its OutputSubscription (and
+                // liveness token) is gone; `live()` sees that.
+                relock(&jrt.subscribers).retain(Subscriber::live);
+            }
         }
     }
     if let Some((sender, rc)) = reply {
@@ -2301,6 +2331,86 @@ mod tests {
         }
         assert!(rt.drain(std::time::Duration::from_secs(5)));
         assert!(live.recv_timeout(std::time::Duration::from_secs(5)).is_ok());
+        rt.shutdown();
+    }
+
+    /// Window-crossing feed shape shared by the egress tests: two
+    /// sources, one early batch, one far-future batch to close the
+    /// window, then a drain.
+    fn feed_until_output(rt: &Runtime, job: JobHandle) {
+        for source in [0u32, 1] {
+            let tuples = (0..50)
+                .map(|i| Tuple::new(i, 1, LogicalTime(i * 10)))
+                .collect();
+            rt.ingest(job, source, tuples).unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        for source in [0u32, 1] {
+            let tuples = (0..50)
+                .map(|i| Tuple::new(i, 1, LogicalTime(50_000 + i)))
+                .collect();
+            rt.ingest(job, source, tuples).unwrap();
+        }
+        assert!(rt.drain(std::time::Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn sink_batches_are_arc_shared_across_subscribers() {
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(1));
+        let job = rt
+            .deploy(&tiny_query("arc", 5_000), &ExpandOptions::default())
+            .unwrap();
+        let sub_a = rt.subscribe(job).unwrap();
+        let sub_b = rt.subscribe(job).unwrap();
+        feed_until_output(&rt, job);
+        let ev_a = sub_a
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("subscriber A receives");
+        let ev_b = sub_b
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("subscriber B receives");
+        // Zero deep copies on the sink path: both subscribers hold the
+        // *same* batch allocation, not per-subscriber clones.
+        assert!(
+            Arc::ptr_eq(&ev_a.batch, &ev_b.batch),
+            "subscribers must share one Arc'd batch"
+        );
+        assert_eq!(ev_a.batch.tuples, ev_b.batch.tuples);
+        // The delivery counter audits the fan-out: exactly one
+        // delivery per (output, subscriber) pair, while `outputs`
+        // counts the batch once.
+        let stats = rt.job_stats(job).unwrap();
+        assert!(stats.outputs >= 1);
+        assert_eq!(
+            stats.delivered,
+            2 * stats.outputs,
+            "two subscribers, one delivery each per output"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn slow_subscriber_cannot_block_another_subscribers_delivery() {
+        let rt = Runtime::start(RuntimeConfig::default().with_workers(1));
+        let job = rt
+            .deploy(&tiny_query("slow", 5_000), &ExpandOptions::default())
+            .unwrap();
+        // `slow` never calls recv: its channel queue only grows. The
+        // sink path must still deliver to `live` promptly — sends
+        // happen outside the subscribers mutex, so one subscriber's
+        // backlog cannot serialize (or block) another's delivery.
+        let slow = rt.subscribe(job).unwrap();
+        let live = rt.subscribe(job).unwrap();
+        feed_until_output(&rt, job);
+        let ev = live
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("live subscriber delivered despite a stalled peer");
+        assert!(!ev.batch.is_empty());
+        // The stalled subscriber was never pruned (it is alive, just
+        // slow) and its backlog is intact.
+        let stats = rt.job_stats(job).unwrap();
+        assert_eq!(stats.delivered, 2 * stats.outputs);
+        drop(slow);
         rt.shutdown();
     }
 

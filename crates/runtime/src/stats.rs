@@ -2,6 +2,7 @@
 
 use cameo_core::stats::Histogram;
 use cameo_core::time::{Micros, PhysicalTime};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Snapshot of a job's output statistics.
@@ -11,6 +12,11 @@ pub struct JobStatsSnapshot {
     pub outputs: u64,
     /// Tuples across those batches.
     pub output_tuples: u64,
+    /// Subscriber deliveries: one per (output batch, live subscriber)
+    /// pair. With N subscribers this is `N × outputs` while `outputs`
+    /// (and the single batch allocation behind it) stays put — the
+    /// zero-deep-copy audit of the `Arc`-shared egress path.
+    pub delivered: u64,
     /// Outputs that met the job's latency constraint.
     pub on_time: u64,
     /// Median output latency.
@@ -43,6 +49,10 @@ impl JobStatsSnapshot {
 /// Accumulates output latencies for one job.
 pub struct JobStats {
     constraint: Micros,
+    /// Outside the mutex: deliveries happen after the sink path has
+    /// released every lock (the send loop runs outside the subscribers
+    /// mutex), so the counter must not force one back on.
+    delivered: AtomicU64,
     inner: Mutex<Inner>,
 }
 
@@ -65,6 +75,7 @@ impl JobStats {
     pub fn new(constraint: Micros) -> Self {
         JobStats {
             constraint,
+            delivered: AtomicU64::new(0),
             inner: Mutex::new(Inner {
                 latency: Histogram::new(),
                 outputs: 0,
@@ -93,12 +104,20 @@ impl JobStats {
         }
     }
 
+    /// Count one successful subscriber delivery (an `OutputEvent` send
+    /// that landed). Lock-free: the egress send loop runs outside the
+    /// subscribers mutex and stays that way.
+    pub fn record_delivery(&self) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent snapshot of the counters and percentiles.
     pub fn snapshot(&self) -> JobStatsSnapshot {
         let g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         JobStatsSnapshot {
             outputs: g.outputs,
             output_tuples: g.output_tuples,
+            delivered: self.delivered.load(Ordering::Relaxed),
             on_time: g.on_time,
             p50: g.latency.median(),
             p99: g.latency.percentile(99.0),
@@ -118,8 +137,12 @@ mod tests {
         let s = JobStats::new(Micros(1_000));
         s.record(PhysicalTime(1_500), PhysicalTime(1_000), 3); // 500us: on time
         s.record(PhysicalTime(9_000), PhysicalTime(1_000), 2); // 8ms: late
+        s.record_delivery();
+        s.record_delivery();
+        s.record_delivery();
         let snap = s.snapshot();
         assert_eq!(snap.outputs, 2);
+        assert_eq!(snap.delivered, 3, "deliveries count per subscriber send");
         assert_eq!(snap.output_tuples, 5);
         assert_eq!(snap.on_time, 1);
         assert!((snap.success_rate() - 0.5).abs() < 1e-9);

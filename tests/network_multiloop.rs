@@ -1,0 +1,299 @@
+//! Loopback integration tests for the sharded network plane
+//! (`IngestServerConfig::with_loops`): connections spread across N
+//! epoll serve loops must deliver every frame exactly once, NACK
+//! stale-generation frames back on the *owning* loop's connection, and
+//! survive a client disconnecting while its loop is mid-burst. The
+//! per-loop counters (`IngestServer::loop_stats`) must sum exactly to
+//! the handle totals throughout.
+
+use cameo::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn query(name: &str) -> cameo::dataflow::graph::JobSpec {
+    agg_query(
+        &AggQueryParams::new(name, 10_000, Micros::from_millis(500))
+            .with_sources(2)
+            .with_parallelism(2)
+            .with_keys(8)
+            .with_domain(TimeDomain::IngestionTime),
+    )
+}
+
+fn frame(job: JobHandle, source: u32, base: u64, n: u64) -> IngestFrame {
+    IngestFrame::addressed(
+        job,
+        source,
+        (0..n)
+            .map(|i| Tuple::new(base + i, 1, LogicalTime(1_000 + base + i)))
+            .collect(),
+    )
+}
+
+fn wait_for(deadline: Duration, mut ok: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if ok() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    ok()
+}
+
+/// Sum one `LoopStats` field across loops and check it against the
+/// handle-level total — the roll-up invariant the bench also asserts.
+fn assert_rollup(server: &IngestServer) {
+    let loops = server.loop_stats();
+    assert_eq!(
+        loops.iter().map(|l| l.frames).sum::<u64>(),
+        server.frames_received(),
+        "per-loop frames must sum to the total"
+    );
+    assert_eq!(
+        loops.iter().map(|l| l.gen_rejected).sum::<u64>(),
+        server.gen_rejected_frames()
+    );
+    assert_eq!(
+        loops.iter().map(|l| l.readiness_bursts).sum::<u64>(),
+        server.readiness_bursts()
+    );
+    assert_eq!(
+        loops.iter().map(|l| l.conns_open).sum::<u64>(),
+        server.conns_open()
+    );
+    assert_eq!(
+        loops.iter().map(|l| l.nacks_sent).sum::<u64>(),
+        server.nacks_sent()
+    );
+}
+
+/// The tentpole property: frames for one job arriving over connections
+/// owned by *different* loops each reach the scheduler exactly once —
+/// no loss, no duplication — and the per-loop counters account for
+/// every one of them.
+#[test]
+fn frames_across_loops_arrive_exactly_once() {
+    const LOOPS: usize = 4;
+    const CLIENTS: usize = 8;
+    const FRAMES_EACH: u64 = 8;
+    let rt = Arc::new(Runtime::start(cameo::runtime::runtime::RuntimeConfig {
+        workers: 0,
+        ..Default::default()
+    }));
+    let job = rt
+        .deploy(&query("multi"), &ExpandOptions::default())
+        .expect("deploy");
+    let server = IngestServer::start_with(
+        rt.clone(),
+        "127.0.0.1:0",
+        IngestServerConfig::new().with_loops(LOOPS),
+    )
+    .unwrap();
+    assert_eq!(server.loop_stats().len(), LOOPS);
+
+    // Eight sequential connects: least-loaded assignment spreads them
+    // two per loop.
+    let mut clients: Vec<IngestClient> = (0..CLIENTS)
+        .map(|_| IngestClient::connect(server.local_addr()).unwrap())
+        .collect();
+    assert!(
+        wait_for(Duration::from_secs(5), || server.conns_open()
+            == CLIENTS as u64),
+        "all clients registered"
+    );
+    for (ci, client) in clients.iter_mut().enumerate() {
+        let frames: Vec<IngestFrame> = (0..FRAMES_EACH)
+            .map(|f| frame(job, (f % 2) as u32, (ci as u64 * FRAMES_EACH + f) * 100, 4))
+            .collect();
+        client.send_many(&frames).unwrap();
+    }
+
+    let total = CLIENTS as u64 * FRAMES_EACH;
+    assert!(
+        wait_for(Duration::from_secs(5), || server.frames_received() >= total),
+        "whole barrage ingested, got {}",
+        server.frames_received()
+    );
+    // Exactly once: received counts match sends with nothing dropped,
+    // rejected, or double-counted — on the wire counters and in the
+    // scheduler's own coalescing counters.
+    assert_eq!(server.frames_received(), total);
+    assert_eq!(server.frames_dropped(), 0);
+    assert_eq!(server.gen_rejected_frames(), 0);
+    let stats = rt.scheduler_stats();
+    assert_eq!(stats.frames_coalesced, total);
+    assert_eq!(stats.gen_rejected_frames, 0);
+    // Every tuple routed exactly once: 4 tuples per frame, hashed over
+    // <= 2 parallel instances per frame.
+    let queued = rt.queue_len() as u64;
+    assert!(
+        (total..=2 * total).contains(&queued),
+        "{total} frames route to {total}..={} messages, got {queued}",
+        2 * total
+    );
+    assert_rollup(&server);
+    // The load actually sharded: every loop owns at least one
+    // connection (8 sequential connects over 4 least-loaded loops give
+    // 2 each).
+    let loops = server.loop_stats();
+    for (i, l) in loops.iter().enumerate() {
+        assert!(l.conns_open >= 1, "loop {i} owns no connections: {loops:?}");
+    }
+
+    drop(clients);
+    server.stop();
+    Arc::try_unwrap(rt).ok().expect("sole owner").shutdown();
+}
+
+/// NACK routing across loops: a stale-generation frame sent on loop
+/// k's connection gets its NACK back on that same connection — the
+/// producer on the *other* loop sees nothing.
+#[test]
+fn stale_gen_nack_returns_on_the_owning_loops_connection() {
+    let rt = Arc::new(Runtime::start(cameo::runtime::runtime::RuntimeConfig {
+        workers: 0,
+        ..Default::default()
+    }));
+    let old = rt
+        .deploy(&query("nack-old"), &ExpandOptions::default())
+        .expect("deploy old");
+    let server = IngestServer::start_with(
+        rt.clone(),
+        "127.0.0.1:0",
+        IngestServerConfig::new().with_loops(2),
+    )
+    .unwrap();
+
+    // Two sequential connects land on different least-loaded loops.
+    let mut bystander = IngestClient::connect(server.local_addr()).unwrap();
+    let mut producer = IngestClient::connect(server.local_addr()).unwrap();
+    assert!(wait_for(Duration::from_secs(5), || server.conns_open() == 2));
+
+    rt.undeploy(old).expect("undeploy");
+    let new = rt
+        .deploy(&query("nack-new"), &ExpandOptions::default())
+        .expect("redeploy");
+    assert_eq!(new.slot(), old.slot(), "retired slot is reused");
+
+    // The stale frame goes out on `producer`'s connection only.
+    producer.send(&frame(old, 0, 0, 4)).unwrap();
+    producer
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let nack = producer
+        .recv_nack()
+        .expect("read control frame")
+        .expect("server alive");
+    assert_eq!(nack.job, old.slot());
+    assert_eq!(nack.gen, old.generation());
+    assert_eq!(nack.expected_gen, new.generation());
+
+    // The bystander's connection (owned by the other loop) carries no
+    // control traffic: its read times out with nothing to show.
+    bystander
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .unwrap();
+    let err = bystander
+        .recv_nack()
+        .expect_err("no NACK may appear on the bystander's connection");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "expected a read timeout, got {err:?}"
+    );
+
+    assert!(wait_for(Duration::from_secs(5), || server.nacks_sent() == 1));
+    assert_eq!(server.gen_rejected_frames(), 1);
+    assert_eq!(server.nacks_dropped(), 0);
+    assert_rollup(&server);
+
+    // Fresh-generation traffic still flows on both connections.
+    producer.send(&frame(new, 0, 100, 2)).unwrap();
+    bystander.send(&frame(new, 1, 200, 2)).unwrap();
+    assert!(wait_for(Duration::from_secs(5), || server
+        .frames_received()
+        == 2));
+    drop(producer);
+    drop(bystander);
+    server.stop();
+    Arc::try_unwrap(rt).ok().expect("sole owner").shutdown();
+}
+
+/// Drop mid-burst: a client writes a burst and disconnects immediately
+/// — its loop may well observe the close in the same readiness burst
+/// as the data. The loop must ingest what arrived, release the
+/// connection, and keep serving its other connections without a
+/// hiccup.
+#[test]
+fn client_disconnect_mid_burst_does_not_stall_its_loop() {
+    const DOOMED: usize = 2;
+    const BURST: u64 = 16;
+    let rt = Arc::new(Runtime::start(cameo::runtime::runtime::RuntimeConfig {
+        workers: 0,
+        ..Default::default()
+    }));
+    let job = rt
+        .deploy(&query("dropmid"), &ExpandOptions::default())
+        .expect("deploy");
+    let server = IngestServer::start_with(
+        rt.clone(),
+        "127.0.0.1:0",
+        IngestServerConfig::new().with_loops(2),
+    )
+    .unwrap();
+
+    // Four connections, two per loop: each loop keeps one survivor
+    // after the doomed pair hangs up.
+    let mut survivors: Vec<IngestClient> = (0..2)
+        .map(|_| IngestClient::connect(server.local_addr()).unwrap())
+        .collect();
+    let mut doomed: Vec<IngestClient> = (0..DOOMED)
+        .map(|_| IngestClient::connect(server.local_addr()).unwrap())
+        .collect();
+    assert!(wait_for(Duration::from_secs(5), || server.conns_open() == 4));
+
+    // Burst-then-hangup: the write and the close race the serve loop's
+    // readiness burst. TCP delivers the buffered bytes either way, so
+    // every frame must still land exactly once.
+    for client in doomed.iter_mut() {
+        let frames: Vec<IngestFrame> = (0..BURST)
+            .map(|f| frame(job, (f % 2) as u32, f * 100, 4))
+            .collect();
+        client.send_many(&frames).unwrap();
+    }
+    drop(doomed);
+
+    let doomed_total = DOOMED as u64 * BURST;
+    assert!(
+        wait_for(Duration::from_secs(5), || server.frames_received()
+            >= doomed_total),
+        "buffered frames of a closed connection still ingest, got {}",
+        server.frames_received()
+    );
+    assert_eq!(server.frames_received(), doomed_total);
+    assert_eq!(server.frames_dropped(), 0);
+    assert!(
+        wait_for(Duration::from_secs(5), || server.conns_open() == 2),
+        "closed connections released, got {}",
+        server.conns_open()
+    );
+
+    // The surviving connections' loops kept serving: later sends land.
+    for (i, client) in survivors.iter_mut().enumerate() {
+        client
+            .send(&frame(job, i as u32, 10_000 + i as u64, 3))
+            .unwrap();
+    }
+    assert!(
+        wait_for(Duration::from_secs(5), || server.frames_received()
+            == doomed_total + 2),
+        "survivors still served after mid-burst disconnects"
+    );
+    assert_rollup(&server);
+    drop(survivors);
+    server.stop();
+    Arc::try_unwrap(rt).ok().expect("sole owner").shutdown();
+}
