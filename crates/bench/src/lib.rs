@@ -7,6 +7,8 @@
 //! the reproduction target, not absolute numbers — the substrate here
 //! is a simulator, not 32 Azure VMs.
 
+pub mod slo;
+
 use cameo_core::time::Micros;
 use cameo_dataflow::graph::JobSpec;
 use cameo_dataflow::queries::{agg_query, AggQueryParams, StageCosts};

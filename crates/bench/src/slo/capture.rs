@@ -1,0 +1,145 @@
+//! Coordinated-omission-safe latency capture.
+//!
+//! Each arrival's tuple is stamped with its *scheduled* send time
+//! (`LogicalTime(sched_us + 1)`; the +1 keeps zero free as the
+//! watermark floor). The subscriber thread records `(receipt_us,
+//! progress_stamp)` pairs, and latency is computed here as
+//! `receipt - scheduled` — so if either the sender falls behind or the
+//! consumer stalls, the queueing delay *inflates* the reported latency
+//! instead of silently vanishing the way receipt-interval measurement
+//! would hide it.
+
+use cameo_core::stats::exact_percentile;
+
+/// One recorded output: wall-clock receipt vs the logical-time stamp
+/// carried by the batch (`scheduled_us + 1`).
+#[derive(Clone, Copy, Debug)]
+pub struct Record {
+    /// Microseconds from the run start at which the output arrived.
+    pub receipt_us: u64,
+    /// The batch's progress stamp, i.e. `scheduled_us + 1`.
+    pub stamp: u64,
+}
+
+impl Record {
+    /// Scheduled-time latency: receipt minus the *intended* send time.
+    pub fn latency_us(&self) -> u64 {
+        self.receipt_us.saturating_sub(self.stamp.saturating_sub(1))
+    }
+}
+
+/// Latency + miss accounting for one tenant (or the aggregate).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// Frames the schedule sent.
+    pub sends: u64,
+    /// Outputs the subscriber saw.
+    pub outputs: u64,
+    /// Outputs later than the latency target.
+    pub late: u64,
+    /// Sends that never produced an output (undeploy purge, drop).
+    pub lost: u64,
+    /// Deadline-miss rate: `(late + lost) / sends`. A purged message is
+    /// a miss — it certainly did not meet its deadline — which keeps
+    /// the miss curve monotone under churn.
+    pub miss_rate: f64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile latency.
+    pub p99_us: u64,
+    /// 99.9th percentile latency.
+    pub p999_us: u64,
+    /// Worst observed latency.
+    pub max_us: u64,
+}
+
+/// Fold a tenant's records into a [`Summary`] against its target.
+pub fn summarize(records: &[Record], target_us: u64, sends: u64) -> Summary {
+    let mut lat: Vec<u64> = records.iter().map(Record::latency_us).collect();
+    lat.sort_unstable();
+    let outputs = lat.len() as u64;
+    let late = lat.iter().filter(|&&l| l > target_us).count() as u64;
+    let lost = sends.saturating_sub(outputs);
+    let miss_rate = if sends == 0 {
+        0.0
+    } else {
+        (late + lost) as f64 / sends as f64
+    };
+    Summary {
+        sends,
+        outputs,
+        late,
+        lost,
+        miss_rate,
+        p50_us: exact_percentile(&lat, 50.0),
+        p99_us: exact_percentile(&lat, 99.0),
+        p999_us: exact_percentile(&lat, 99.9),
+        max_us: lat.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite: a stalled consumer must report *scheduled*-time
+    /// latency. Two events scheduled at t=0 and t=10 µs whose outputs
+    /// both surface at t=1000 µs (the consumer was wedged for a
+    /// millisecond) must report ~1 ms each — not the 0 µs a
+    /// receipt-interval measurement would claim for the second event.
+    #[test]
+    fn stalled_consumer_reports_scheduled_time_latency() {
+        let records = [
+            Record {
+                receipt_us: 1_000,
+                stamp: 1, // scheduled at 0
+            },
+            Record {
+                receipt_us: 1_000,
+                stamp: 11, // scheduled at 10
+            },
+        ];
+        assert_eq!(records[0].latency_us(), 1_000);
+        assert_eq!(records[1].latency_us(), 990);
+        let s = summarize(&records, 100, 2);
+        assert_eq!(s.late, 2, "both events blew the 100 µs target");
+        assert_eq!(s.miss_rate, 1.0);
+        assert_eq!(s.max_us, 1_000);
+    }
+
+    #[test]
+    fn lost_sends_count_as_misses() {
+        let records = [Record {
+            receipt_us: 50,
+            stamp: 1,
+        }];
+        let s = summarize(&records, 100, 4);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.lost, 3);
+        assert_eq!(s.late, 0);
+        assert!((s.miss_rate - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_all_zeroes() {
+        let s = summarize(&[], 100, 0);
+        assert_eq!(s.miss_rate, 0.0);
+        assert_eq!(s.p999_us, 0);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_sorted_tail() {
+        let records: Vec<Record> = (0..1000)
+            .map(|i| Record {
+                receipt_us: i + 1,
+                stamp: 1,
+            })
+            .collect();
+        let s = summarize(&records, 2_000, 1000);
+        assert_eq!(s.miss_rate, 0.0);
+        assert!(s.p50_us >= 490 && s.p50_us <= 510, "p50 {}", s.p50_us);
+        assert!(s.p99_us >= 985 && s.p99_us <= 995, "p99 {}", s.p99_us);
+        assert!(s.p999_us >= 995, "p999 {}", s.p999_us);
+        assert_eq!(s.max_us, 1_000);
+    }
+}

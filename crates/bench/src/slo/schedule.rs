@@ -1,0 +1,249 @@
+//! Spec → schedule compilation.
+//!
+//! A [`Schedule`] is the fully materialized, time-sorted event sequence
+//! for one scenario run: every deploy, every arrival (one ingest frame
+//! each), every undeploy, with microsecond timestamps relative to the
+//! run start. Compilation is deterministic in `(spec, seed, scale)` —
+//! the same inputs always yield the bit-identical event list, which is
+//! what lets corpus files double as regression fixtures.
+//!
+//! Arrivals are sampled by *thinning* (Lewis & Shedler): candidates are
+//! drawn from a homogeneous Poisson process at the arrival's peak rate
+//! and accepted with probability `rate(t) / peak`. For a constant-rate
+//! process every candidate is accepted and this degenerates to the
+//! classic inverse-CDF exponential sampler.
+
+use super::spec::SloSpec;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// What happens at a schedule instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// Deploy the `(tenant, job)` pair's dataflow.
+    Deploy,
+    /// Send one ingest frame to the pair's job.
+    Arrival,
+    /// Undeploy the pair's job.
+    Undeploy,
+}
+
+/// One scheduled instant. Sorts by time, then kind (deploys before
+/// arrivals before undeploys at equal timestamps), then tenant/job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event {
+    /// Microseconds from the run start.
+    pub at_us: u64,
+    /// Kind — field order makes the derived `Ord` put deploys first.
+    pub kind: EventKind,
+    /// Tenant index into `spec.tenants`.
+    pub tenant: u32,
+    /// Job index within the tenant, `0..jobs`.
+    pub job: u32,
+}
+
+/// A compiled scenario: sorted events plus bookkeeping totals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schedule {
+    /// Time-sorted events.
+    pub events: Vec<Event>,
+    /// Arrival count (frames the driver will send).
+    pub arrivals: u64,
+    /// Run horizon in microseconds (spec duration, possibly capped).
+    pub duration_us: u64,
+}
+
+/// Compile `spec` into a schedule.
+///
+/// * `seed` — RNG seed; each `(tenant, job)` stream gets an independent
+///   ChaCha8 stream derived from it, so adding a tenant never perturbs
+///   another tenant's arrivals.
+/// * `scale` — rate multiplier applied uniformly to every tenant; the
+///   sweep uses it to express offered load as a fraction of measured
+///   saturation.
+/// * `cap_us` — optional horizon cap (quick mode shortens scenarios
+///   without editing corpus files).
+pub fn compile(spec: &SloSpec, seed: u64, scale: f64, cap_us: Option<u64>) -> Schedule {
+    let duration_us = cap_us
+        .map(|c| c.min(spec.duration_us))
+        .unwrap_or(spec.duration_us)
+        .max(1);
+    let mut events = Vec::new();
+    let mut arrivals = 0u64;
+    for (ti, tenant) in spec.tenants.iter().enumerate() {
+        let deploy_at = tenant.deploy_at_us.min(duration_us.saturating_sub(1));
+        let depart_at = tenant.undeploy_at_us.filter(|&u| u < duration_us);
+        let window_end = depart_at.unwrap_or(duration_us);
+        let peak = tenant.arrival.peak() * scale;
+        for job in 0..tenant.jobs {
+            events.push(Event {
+                at_us: deploy_at,
+                kind: EventKind::Deploy,
+                tenant: ti as u32,
+                job,
+            });
+            if let Some(u) = depart_at {
+                events.push(Event {
+                    at_us: u,
+                    kind: EventKind::Undeploy,
+                    tenant: ti as u32,
+                    job,
+                });
+            }
+            let mut rng = job_rng(seed, ti as u32, job);
+            let mut t = deploy_at as f64;
+            loop {
+                // Exponential interarrival at the peak rate.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -u.ln() / peak * 1e6;
+                let at_us = t as u64;
+                if at_us >= window_end {
+                    break;
+                }
+                // Thin: accept with probability rate(t)/peak.
+                let accept: f64 = rng.gen_range(0.0..1.0);
+                if accept * peak <= tenant.arrival.rate_at(at_us) * scale {
+                    events.push(Event {
+                        at_us,
+                        kind: EventKind::Arrival,
+                        tenant: ti as u32,
+                        job,
+                    });
+                    arrivals += 1;
+                }
+            }
+        }
+    }
+    events.sort_unstable();
+    Schedule {
+        events,
+        arrivals,
+        duration_us,
+    }
+}
+
+/// Independent, stable RNG stream per `(tenant, job)`.
+fn job_rng(seed: u64, tenant: u32, job: u32) -> ChaCha8Rng {
+    let mix = seed
+        ^ (tenant as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (job as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    ChaCha8Rng::seed_from_u64(mix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::spec::{Arrival, SloSpec, TenantSpec};
+    use proptest::prelude::*;
+
+    fn one_tenant(arrival: Arrival, duration_us: u64) -> SloSpec {
+        SloSpec {
+            name: "t".into(),
+            duration_us,
+            seed: 1,
+            workers: 1,
+            tuples_per_msg: 1,
+            tenants: vec![TenantSpec {
+                name: "only".into(),
+                jobs: 1,
+                arrival,
+                latency_target_us: 10_000,
+                burn_us: 0,
+                deploy_at_us: 0,
+                undeploy_at_us: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn compilation_is_bit_identical_across_reruns() {
+        let spec = one_tenant(
+            Arrival::Bursty {
+                rate_hz: 400.0,
+                factor: 4.0,
+                on_ms: 50,
+                off_ms: 50,
+            },
+            1_000_000,
+        );
+        let a = compile(&spec, 42, 1.0, None);
+        let b = compile(&spec, 42, 1.0, None);
+        assert_eq!(a, b);
+        let c = compile(&spec, 43, 1.0, None);
+        assert_ne!(a.events, c.events, "different seed must reshuffle arrivals");
+    }
+
+    #[test]
+    fn deploys_sort_before_arrivals_before_undeploys() {
+        let mut spec = one_tenant(Arrival::Poisson { rate_hz: 1_000.0 }, 500_000);
+        spec.tenants[0].undeploy_at_us = Some(400_000);
+        let sched = compile(&spec, 7, 1.0, None);
+        assert_eq!(
+            sched.events.first().map(|e| e.kind),
+            Some(EventKind::Deploy)
+        );
+        assert_eq!(
+            sched.events.last().map(|e| e.kind),
+            Some(EventKind::Undeploy)
+        );
+        assert!(sched
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Arrival)
+            .all(|e| e.at_us < 400_000));
+        assert!(sched.events.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn horizon_cap_truncates() {
+        let spec = one_tenant(Arrival::Poisson { rate_hz: 2_000.0 }, 2_000_000);
+        let capped = compile(&spec, 5, 1.0, Some(250_000));
+        assert_eq!(capped.duration_us, 250_000);
+        assert!(capped.events.iter().all(|e| e.at_us < 250_000));
+    }
+
+    proptest! {
+        /// Compiled Poisson schedules hit the spec's mean rate: the
+        /// arrival count over a 2 s horizon stays within ~5 standard
+        /// deviations of `rate × duration` (Poisson variance = mean).
+        #[test]
+        fn poisson_count_matches_mean_rate(
+            rate_hz in 50.0f64..2_000.0,
+            seed in 0u64..1_000,
+            scale in 0.5f64..2.0,
+        ) {
+            let dur_us = 2_000_000u64;
+            let spec = one_tenant(Arrival::Poisson { rate_hz }, dur_us);
+            let sched = compile(&spec, seed, scale, None);
+            let expect = rate_hz * scale * (dur_us as f64 / 1e6);
+            let tol = 5.0 * expect.sqrt() + 1.0;
+            let got = sched.arrivals as f64;
+            prop_assert!(
+                (got - expect).abs() <= tol,
+                "rate {rate_hz} scale {scale}: got {got}, expected {expect} ± {tol}"
+            );
+        }
+
+        /// Thinning preserves the mean for time-varying rates too: a
+        /// square-wave bursty process lands near its analytic mean.
+        #[test]
+        fn bursty_count_matches_mean_rate(seed in 0u64..500) {
+            let arrival = Arrival::Bursty {
+                rate_hz: 300.0,
+                factor: 4.0,
+                on_ms: 100,
+                off_ms: 100,
+            };
+            let dur_us = 2_000_000u64;
+            let expect = arrival.mean(dur_us) * (dur_us as f64 / 1e6);
+            let spec = one_tenant(arrival, dur_us);
+            let sched = compile(&spec, seed, 1.0, None);
+            let got = sched.arrivals as f64;
+            let tol = 5.0 * expect.sqrt() + 1.0;
+            prop_assert!(
+                (got - expect).abs() <= tol,
+                "got {got}, expected {expect} ± {tol}"
+            );
+        }
+    }
+}

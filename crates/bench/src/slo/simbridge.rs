@@ -1,0 +1,188 @@
+//! SLO spec → simulator scenario.
+//!
+//! The same corpus file that drives the real runtime open-loop can be
+//! replayed under the deterministic virtual-time engine: one sim job
+//! per `(tenant, job)` pair, the arrival process sampled into the sim's
+//! per-second rate patterns, and deploy/undeploy windows mapped onto
+//! `add_job_lifecycle`. The operator is a [`Passthrough`] with the
+//! tenant's `burn_us` as its *declared* cost — [`SpinMap`] burns real
+//! CPU and must never run under the simulator, where costs come from
+//! the cost model.
+//!
+//! [`Passthrough`]: cameo_dataflow::ops::Passthrough
+//! [`SpinMap`]: cameo_dataflow::ops::SpinMap
+
+use super::spec::{Arrival, SloSpec, TenantSpec};
+use cameo_core::progress::TimeDomain;
+use cameo_core::time::{Micros, PhysicalTime};
+use cameo_dataflow::expand::ExpandOptions;
+use cameo_dataflow::graph::{JobBuilder, JobSpec, Routing};
+use cameo_dataflow::operator::OperatorKind;
+use cameo_dataflow::ops::Passthrough;
+use cameo_sim::cluster::ClusterSpec;
+use cameo_sim::engine::{PolicyKind, SchedulerKind};
+use cameo_sim::scenario::Scenario;
+use cameo_sim::workload::{RatePattern, WorkloadSpec};
+
+/// The two-stage job shape every SLO tenant runs: one ingest forwarding
+/// into one sink stage whose per-message cost is the tenant's
+/// `burn_us`. Mirrors the runtime driver's job exactly, except the cost
+/// is declared (for the sim cost model) instead of spun.
+pub fn sim_job_spec(tenant: &TenantSpec, name: &str) -> JobSpec {
+    let mut builder = JobBuilder::new(
+        name,
+        Micros(tenant.latency_target_us),
+        TimeDomain::EventTime,
+    );
+    let src = builder.ingest("src", 1);
+    let burn = builder.stage(
+        "burn",
+        1,
+        OperatorKind::Regular,
+        Micros(tenant.burn_us),
+        |_| Box::new(Passthrough),
+    );
+    builder.connect(src, burn, Routing::Forward);
+    builder.build().expect("slo job graph")
+}
+
+/// Sample an arrival process into the sim's per-second rate pattern,
+/// relative to the job's own workload clock (which `add_job_lifecycle`
+/// shifts to the deploy instant).
+fn sim_rate_pattern(
+    arrival: &Arrival,
+    deploy_at_us: u64,
+    window_us: u64,
+    scale: f64,
+) -> RatePattern {
+    if let Arrival::Poisson { rate_hz } = arrival {
+        return RatePattern::Constant(rate_hz * scale);
+    }
+    let seconds = window_us.div_ceil(1_000_000).max(1);
+    let rates = (0..seconds)
+        .map(|s| {
+            // Mid-second sample of the spec's rate function, evaluated
+            // on the *scenario* clock.
+            let t = deploy_at_us + s * 1_000_000 + 500_000;
+            arrival.rate_at(t) * scale
+        })
+        .collect();
+    RatePattern::PerSecond(rates)
+}
+
+/// Build a deterministic virtual-time [`Scenario`] replaying `spec` at
+/// rate multiplier `scale` under the Cameo scheduler.
+pub fn sim_scenario(spec: &SloSpec, seed: u64, scale: f64) -> Scenario {
+    let workers = spec.workers.clamp(1, u16::MAX as usize) as u16;
+    let mut sc = Scenario::new(
+        ClusterSpec::single_node(workers),
+        SchedulerKind::Cameo(PolicyKind::Llf),
+    )
+    .with_seed(seed);
+    for (ti, tenant) in spec.tenants.iter().enumerate() {
+        let deploy_at = tenant.deploy_at_us.min(spec.duration_us);
+        let window_end = tenant
+            .undeploy_at_us
+            .map(|u| u.min(spec.duration_us))
+            .unwrap_or(spec.duration_us);
+        let window_us = window_end.saturating_sub(deploy_at).max(1);
+        let pattern = sim_rate_pattern(&tenant.arrival, deploy_at, window_us, scale);
+        for j in 0..tenant.jobs {
+            let name = format!("{}-{j}", tenant.name);
+            let workload = WorkloadSpec {
+                sources: vec![pattern.clone()],
+                tuples_per_msg: spec.tuples_per_msg,
+                keys: 1 << 16,
+                value_range: (1, 100),
+                start: PhysicalTime::ZERO,
+                end: PhysicalTime(window_us),
+                event_time_lag: Micros::ZERO,
+            };
+            sc.add_job_lifecycle(
+                sim_job_spec(tenant, &name),
+                workload,
+                ExpandOptions::default(),
+                Micros(deploy_at),
+                tenant.undeploy_at_us.map(|_| Micros(window_end)),
+            );
+        }
+        let _ = ti;
+    }
+    sc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::spec::SloSpec;
+
+    const SPEC: &str = r#"
+        [scenario]
+        name = "bridge"
+        duration_ms = 2000
+        [[tenant]]
+        name = "steady"
+        jobs = 2
+        arrival = "poisson"
+        rate_hz = 40.0
+        latency_target_ms = 50
+        [[tenant]]
+        name = "wave"
+        jobs = 1
+        arrival = "diurnal"
+        rate_hz = 30.0
+        diurnal_period_ms = 1000
+        diurnal_amplitude = 0.5
+        latency_target_ms = 100
+        deploy_at_ms = 500
+        undeploy_at_ms = 1500
+    "#;
+
+    #[test]
+    fn builds_one_sim_job_per_tenant_job() {
+        let spec = SloSpec::parse(SPEC).unwrap();
+        let sc = sim_scenario(&spec, 11, 1.0);
+        assert_eq!(sc.job_count(), 3);
+    }
+
+    #[test]
+    fn trace_reflects_lifecycle_windows() {
+        use cameo_sim::scenario::TraceKind;
+        let spec = SloSpec::parse(SPEC).unwrap();
+        let trace = sim_scenario(&spec, 11, 1.0).event_trace();
+        let deploys = trace.iter().filter(|e| e.kind == TraceKind::Deploy).count();
+        let departs = trace.iter().filter(|e| e.kind == TraceKind::Depart).count();
+        assert_eq!(deploys, 3);
+        assert_eq!(departs, 1, "only the churn tenant departs");
+        // The churn tenant's arrivals stay inside its window.
+        for e in &trace {
+            if e.job == 2 {
+                if let TraceKind::Arrival { .. } = e.kind {
+                    assert!(
+                        (500_000..1_500_000).contains(&e.at_us),
+                        "churn arrival at {} outside its window",
+                        e.at_us
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rate_sampling_tracks_the_spec() {
+        let arrival = Arrival::Step {
+            rate_hz: 10.0,
+            factor: 3.0,
+            at_ms: 1_000,
+        };
+        let p = sim_rate_pattern(&arrival, 0, 2_000_000, 2.0);
+        match p {
+            RatePattern::PerSecond(v) => {
+                assert_eq!(v.len(), 2);
+                assert!((v[0] - 20.0).abs() < 1e-9);
+                assert!((v[1] - 60.0).abs() < 1e-9);
+            }
+            other => panic!("expected PerSecond, got {other:?}"),
+        }
+    }
+}

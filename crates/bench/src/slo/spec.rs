@@ -1,0 +1,799 @@
+//! Declarative SLO workload specs: the corpus file format.
+//!
+//! A spec is a tiny TOML subset (sections, `[[tenant]]` arrays, and
+//! `key = value` pairs — exactly what the checked-in corpus under
+//! `crates/bench/corpus/` uses) describing tenants × jobs × arrival
+//! process × per-job latency target. Parsing is *total*: every
+//! malformed spec maps to a typed [`SpecError`] instead of a panic, so
+//! corpus files double as fixtures a test suite can lint.
+//!
+//! Absolute rates in a spec describe the tenant *mix*; the sweep driver
+//! rescales them to fractions of the measured saturation point, so a
+//! corpus file is portable across hosts of different speeds.
+
+use std::fmt;
+
+/// A parsed scenario: one corpus file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSpec {
+    /// Scenario name (`[scenario] name`).
+    pub name: String,
+    /// Open-loop run length in microseconds.
+    pub duration_us: u64,
+    /// Default RNG seed for schedule compilation (CLI `--seed` wins).
+    pub seed: u64,
+    /// Worker threads for the runtime under test.
+    pub workers: usize,
+    /// Tuples carried per ingest frame.
+    pub tuples_per_msg: u32,
+    /// The tenant mix.
+    pub tenants: Vec<TenantSpec>,
+}
+
+/// One tenant: `jobs` identical jobs sharing an arrival process, a
+/// latency target and a per-message CPU cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name (unique within the scenario).
+    pub name: String,
+    /// Identical jobs deployed for this tenant.
+    pub jobs: u32,
+    /// Per-job arrival process (rates are per job, not per tenant).
+    pub arrival: Arrival,
+    /// Deadline: an output later than this misses its SLO.
+    pub latency_target_us: u64,
+    /// Real CPU burned per message by the job's operator ([`SpinMap`]
+    /// under the runtime; the declared cost hint under the simulator).
+    ///
+    /// [`SpinMap`]: cameo_dataflow::ops::SpinMap
+    pub burn_us: u64,
+    /// When the tenant's jobs deploy (default 0 = run start).
+    pub deploy_at_us: u64,
+    /// Mid-run departure (`Runtime::undeploy`), if any.
+    pub undeploy_at_us: Option<u64>,
+}
+
+/// A per-job arrival process. All four kinds are Poisson processes with
+/// a (possibly time-varying) intensity `rate(t)`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Arrival {
+    /// Constant intensity.
+    Poisson {
+        /// Messages per second.
+        rate_hz: f64,
+    },
+    /// Square-wave bursts: `rate_hz * factor` for `on_ms`, then
+    /// `rate_hz` for `off_ms`, repeating from the scenario start.
+    Bursty {
+        /// Base messages per second.
+        rate_hz: f64,
+        /// Multiplier during the on-phase.
+        factor: f64,
+        /// Burst length, milliseconds.
+        on_ms: u64,
+        /// Gap between bursts, milliseconds.
+        off_ms: u64,
+    },
+    /// Sinusoidal modulation: `rate_hz * (1 + amplitude *
+    /// sin(2πt/period))` — a compressed diurnal cycle.
+    Diurnal {
+        /// Mean messages per second.
+        rate_hz: f64,
+        /// Cycle length, milliseconds.
+        period_ms: u64,
+        /// Modulation depth in `[0, 1]`.
+        amplitude: f64,
+    },
+    /// One-time load step: `rate_hz` before `at_ms`, `rate_hz * factor`
+    /// from then on.
+    Step {
+        /// Pre-step messages per second.
+        rate_hz: f64,
+        /// Post-step multiplier.
+        factor: f64,
+        /// Step instant, milliseconds from the scenario start.
+        at_ms: u64,
+    },
+}
+
+impl Arrival {
+    /// Intensity at `t_us` (microseconds from the scenario start).
+    pub fn rate_at(&self, t_us: u64) -> f64 {
+        match *self {
+            Arrival::Poisson { rate_hz } => rate_hz,
+            Arrival::Bursty {
+                rate_hz,
+                factor,
+                on_ms,
+                off_ms,
+            } => {
+                let period = (on_ms + off_ms).max(1) * 1_000;
+                if t_us % period < on_ms * 1_000 {
+                    rate_hz * factor
+                } else {
+                    rate_hz
+                }
+            }
+            Arrival::Diurnal {
+                rate_hz,
+                period_ms,
+                amplitude,
+            } => {
+                let period = (period_ms.max(1) * 1_000) as f64;
+                let phase = (t_us as f64 / period) * std::f64::consts::TAU;
+                rate_hz * (1.0 + amplitude * phase.sin())
+            }
+            Arrival::Step {
+                rate_hz,
+                factor,
+                at_ms,
+            } => {
+                if t_us >= at_ms * 1_000 {
+                    rate_hz * factor
+                } else {
+                    rate_hz
+                }
+            }
+        }
+    }
+
+    /// Upper bound on the intensity — the thinning envelope the
+    /// schedule compiler samples candidates at.
+    pub fn peak(&self) -> f64 {
+        match *self {
+            Arrival::Poisson { rate_hz } => rate_hz,
+            Arrival::Bursty {
+                rate_hz, factor, ..
+            } => rate_hz * factor.max(1.0),
+            Arrival::Diurnal {
+                rate_hz, amplitude, ..
+            } => rate_hz * (1.0 + amplitude),
+            Arrival::Step {
+                rate_hz, factor, ..
+            } => rate_hz * factor.max(1.0),
+        }
+    }
+
+    /// Mean intensity over the first `dur_us` microseconds — what the
+    /// sweep normalizes against when mapping offered-load fractions to
+    /// per-tenant rate multipliers.
+    pub fn mean(&self, dur_us: u64) -> f64 {
+        let dur = dur_us.max(1) as f64;
+        match *self {
+            Arrival::Poisson { rate_hz } => rate_hz,
+            Arrival::Bursty {
+                rate_hz,
+                factor,
+                on_ms,
+                off_ms,
+            } => {
+                let on = on_ms as f64;
+                let off = off_ms as f64;
+                rate_hz * (on * factor + off) / (on + off).max(1.0)
+            }
+            // Over whole periods the sine integrates to zero; partial
+            // trailing periods are a second-order effect the sweep's
+            // measured `offered_hz` reports exactly anyway.
+            Arrival::Diurnal { rate_hz, .. } => rate_hz,
+            Arrival::Step {
+                rate_hz,
+                factor,
+                at_ms,
+            } => {
+                let at = ((at_ms * 1_000) as f64).min(dur);
+                rate_hz * (at + (dur - at) * factor) / dur
+            }
+        }
+    }
+}
+
+/// Why a spec was rejected. Every variant is a *typed* refusal — the
+/// parser never panics on malformed input.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// Unparseable line: bad syntax, unknown section or key, or a value
+    /// of the wrong type.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// What was wrong.
+        what: String,
+    },
+    /// The spec declares no tenants.
+    NoTenants,
+    /// `duration_ms` missing or zero.
+    ZeroDuration,
+    /// A tenant with `jobs = 0`.
+    ZeroJobs {
+        /// Offending tenant.
+        tenant: String,
+    },
+    /// A tenant whose arrival rate is zero or negative.
+    ZeroRate {
+        /// Offending tenant.
+        tenant: String,
+    },
+    /// A tenant without a (positive) `latency_target_ms`.
+    MissingLatencyTarget {
+        /// Offending tenant.
+        tenant: String,
+    },
+    /// An `arrival` kind the compiler doesn't know.
+    UnknownArrivalKind {
+        /// Offending tenant.
+        tenant: String,
+        /// The kind string as written.
+        kind: String,
+    },
+    /// An arrival parameter out of range (factor < 1, amplitude outside
+    /// `[0, 1]`, zero burst period, ...).
+    BadArrival {
+        /// Offending tenant.
+        tenant: String,
+        /// Which constraint failed.
+        what: String,
+    },
+    /// `undeploy_at_ms` at or before `deploy_at_ms`.
+    BadLifecycle {
+        /// Offending tenant.
+        tenant: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse { line, what } => write!(f, "line {line}: {what}"),
+            SpecError::NoTenants => write!(f, "spec declares no [[tenant]] sections"),
+            SpecError::ZeroDuration => write!(f, "scenario duration_ms must be positive"),
+            SpecError::ZeroJobs { tenant } => write!(f, "tenant '{tenant}': jobs must be >= 1"),
+            SpecError::ZeroRate { tenant } => {
+                write!(f, "tenant '{tenant}': rate_hz must be positive")
+            }
+            SpecError::MissingLatencyTarget { tenant } => {
+                write!(f, "tenant '{tenant}': latency_target_ms missing or zero")
+            }
+            SpecError::UnknownArrivalKind { tenant, kind } => {
+                write!(f, "tenant '{tenant}': unknown arrival kind '{kind}'")
+            }
+            SpecError::BadArrival { tenant, what } => {
+                write!(f, "tenant '{tenant}': {what}")
+            }
+            SpecError::BadLifecycle { tenant } => write!(
+                f,
+                "tenant '{tenant}': undeploy_at_ms must be after deploy_at_ms"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One parsed `key = value` right-hand side.
+#[derive(Clone, Debug)]
+enum Value {
+    Str(String),
+    Num(f64),
+}
+
+impl Value {
+    fn as_num(&self, line: usize, key: &str) -> Result<f64, SpecError> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            Value::Str(_) => Err(SpecError::Parse {
+                line,
+                what: format!("key '{key}' expects a number"),
+            }),
+        }
+    }
+
+    fn as_str(&self, line: usize, key: &str) -> Result<&str, SpecError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            Value::Num(_) => Err(SpecError::Parse {
+                line,
+                what: format!("key '{key}' expects a quoted string"),
+            }),
+        }
+    }
+}
+
+/// Tenant fields as written, before validation.
+#[derive(Clone, Debug, Default)]
+struct RawTenant {
+    name: Option<String>,
+    jobs: Option<f64>,
+    arrival: Option<String>,
+    rate_hz: Option<f64>,
+    latency_target_ms: Option<f64>,
+    burn_us: Option<f64>,
+    burst_factor: Option<f64>,
+    burst_on_ms: Option<f64>,
+    burst_off_ms: Option<f64>,
+    diurnal_period_ms: Option<f64>,
+    diurnal_amplitude: Option<f64>,
+    step_factor: Option<f64>,
+    step_at_ms: Option<f64>,
+    deploy_at_ms: Option<f64>,
+    undeploy_at_ms: Option<f64>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Section {
+    None,
+    Scenario,
+    Tenant,
+}
+
+impl SloSpec {
+    /// Parse a spec from its source text. Total: every malformed input
+    /// returns a [`SpecError`].
+    pub fn parse(src: &str) -> Result<Self, SpecError> {
+        let mut section = Section::None;
+        let mut name = None::<String>;
+        let mut duration_ms = None::<f64>;
+        let mut seed = 1u64;
+        let mut workers = 2usize;
+        let mut tuples_per_msg = 1u32;
+        let mut tenants: Vec<RawTenant> = Vec::new();
+
+        for (i, raw) in src.lines().enumerate() {
+            let line = i + 1;
+            let text = strip_comment(raw).trim().to_string();
+            if text.is_empty() {
+                continue;
+            }
+            if text == "[scenario]" {
+                section = Section::Scenario;
+                continue;
+            }
+            if text == "[[tenant]]" {
+                section = Section::Tenant;
+                tenants.push(RawTenant::default());
+                continue;
+            }
+            if text.starts_with('[') {
+                return Err(SpecError::Parse {
+                    line,
+                    what: format!("unknown section '{text}'"),
+                });
+            }
+            let (key, value) = parse_kv(&text, line)?;
+            match section {
+                Section::None => {
+                    return Err(SpecError::Parse {
+                        line,
+                        what: format!("key '{key}' outside any section"),
+                    })
+                }
+                Section::Scenario => match key.as_str() {
+                    "name" => name = Some(value.as_str(line, &key)?.to_string()),
+                    "duration_ms" => duration_ms = Some(value.as_num(line, &key)?),
+                    "seed" => seed = value.as_num(line, &key)? as u64,
+                    "workers" => workers = value.as_num(line, &key)? as usize,
+                    "tuples_per_msg" => tuples_per_msg = value.as_num(line, &key)?.max(1.0) as u32,
+                    other => {
+                        return Err(SpecError::Parse {
+                            line,
+                            what: format!("unknown scenario key '{other}'"),
+                        })
+                    }
+                },
+                Section::Tenant => {
+                    let t = tenants.last_mut().expect("tenant section open");
+                    match key.as_str() {
+                        "name" => t.name = Some(value.as_str(line, &key)?.to_string()),
+                        "arrival" => t.arrival = Some(value.as_str(line, &key)?.to_string()),
+                        "jobs" => t.jobs = Some(value.as_num(line, &key)?),
+                        "rate_hz" => t.rate_hz = Some(value.as_num(line, &key)?),
+                        "latency_target_ms" => {
+                            t.latency_target_ms = Some(value.as_num(line, &key)?)
+                        }
+                        "burn_us" => t.burn_us = Some(value.as_num(line, &key)?),
+                        "burst_factor" => t.burst_factor = Some(value.as_num(line, &key)?),
+                        "burst_on_ms" => t.burst_on_ms = Some(value.as_num(line, &key)?),
+                        "burst_off_ms" => t.burst_off_ms = Some(value.as_num(line, &key)?),
+                        "diurnal_period_ms" => {
+                            t.diurnal_period_ms = Some(value.as_num(line, &key)?)
+                        }
+                        "diurnal_amplitude" => {
+                            t.diurnal_amplitude = Some(value.as_num(line, &key)?)
+                        }
+                        "step_factor" => t.step_factor = Some(value.as_num(line, &key)?),
+                        "step_at_ms" => t.step_at_ms = Some(value.as_num(line, &key)?),
+                        "deploy_at_ms" => t.deploy_at_ms = Some(value.as_num(line, &key)?),
+                        "undeploy_at_ms" => t.undeploy_at_ms = Some(value.as_num(line, &key)?),
+                        other => {
+                            return Err(SpecError::Parse {
+                                line,
+                                what: format!("unknown tenant key '{other}'"),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+
+        let duration_us = (duration_ms.unwrap_or(0.0).max(0.0) * 1_000.0) as u64;
+        if duration_us == 0 {
+            return Err(SpecError::ZeroDuration);
+        }
+        if tenants.is_empty() {
+            return Err(SpecError::NoTenants);
+        }
+        let tenants = tenants
+            .into_iter()
+            .enumerate()
+            .map(|(i, raw)| validate_tenant(raw, i))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SloSpec {
+            name: name.unwrap_or_else(|| "unnamed".to_string()),
+            duration_us,
+            seed,
+            workers: workers.max(1),
+            tuples_per_msg,
+            tenants,
+        })
+    }
+
+    /// Parse a spec from a file on disk.
+    pub fn from_path(path: &std::path::Path) -> Result<Self, SpecError> {
+        let src = std::fs::read_to_string(path).map_err(|e| SpecError::Parse {
+            line: 0,
+            what: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Self::parse(&src)
+    }
+
+    /// Total jobs across all tenants.
+    pub fn total_jobs(&self) -> u32 {
+        self.tenants.iter().map(|t| t.jobs).sum()
+    }
+
+    /// Mean offered rate (messages/second, all tenants × jobs) over the
+    /// first `dur_us` at rate multiplier 1 — the normalization base the
+    /// sweep's scale factor divides by. Each tenant is weighted by the
+    /// fraction of the run its deploy/undeploy window keeps it live, so
+    /// churn scenarios' load labels stay honest.
+    pub fn mean_offered_hz(&self, dur_us: u64) -> f64 {
+        let dur = dur_us.max(1) as f64;
+        self.tenants
+            .iter()
+            .map(|t| {
+                let start = t.deploy_at_us.min(dur_us);
+                let end = t.undeploy_at_us.unwrap_or(dur_us).min(dur_us);
+                let live = end.saturating_sub(start) as f64 / dur;
+                t.arrival.mean(dur_us) * t.jobs as f64 * live
+            })
+            .sum()
+    }
+}
+
+fn validate_tenant(raw: RawTenant, index: usize) -> Result<TenantSpec, SpecError> {
+    let name = raw.name.unwrap_or_else(|| format!("tenant-{index}"));
+    let jobs = raw.jobs.unwrap_or(1.0);
+    if jobs < 1.0 {
+        return Err(SpecError::ZeroJobs { tenant: name });
+    }
+    let rate_hz = raw.rate_hz.unwrap_or(0.0);
+    if rate_hz <= 0.0 {
+        return Err(SpecError::ZeroRate { tenant: name });
+    }
+    let target_ms = raw.latency_target_ms.unwrap_or(0.0);
+    if target_ms <= 0.0 {
+        return Err(SpecError::MissingLatencyTarget { tenant: name });
+    }
+    let kind = raw.arrival.unwrap_or_else(|| "poisson".to_string());
+    let arrival = match kind.as_str() {
+        "poisson" => Arrival::Poisson { rate_hz },
+        "bursty" => {
+            let factor = raw.burst_factor.unwrap_or(4.0);
+            let on_ms = raw.burst_on_ms.unwrap_or(200.0) as u64;
+            let off_ms = raw.burst_off_ms.unwrap_or(200.0) as u64;
+            if factor < 1.0 {
+                return Err(SpecError::BadArrival {
+                    tenant: name,
+                    what: "burst_factor must be >= 1".into(),
+                });
+            }
+            if on_ms == 0 {
+                return Err(SpecError::BadArrival {
+                    tenant: name,
+                    what: "burst_on_ms must be positive".into(),
+                });
+            }
+            Arrival::Bursty {
+                rate_hz,
+                factor,
+                on_ms,
+                off_ms,
+            }
+        }
+        "diurnal" => {
+            let period_ms = raw.diurnal_period_ms.unwrap_or(1_000.0) as u64;
+            let amplitude = raw.diurnal_amplitude.unwrap_or(0.8);
+            if period_ms == 0 {
+                return Err(SpecError::BadArrival {
+                    tenant: name,
+                    what: "diurnal_period_ms must be positive".into(),
+                });
+            }
+            if !(0.0..=1.0).contains(&amplitude) {
+                return Err(SpecError::BadArrival {
+                    tenant: name,
+                    what: "diurnal_amplitude must be in [0, 1]".into(),
+                });
+            }
+            Arrival::Diurnal {
+                rate_hz,
+                period_ms,
+                amplitude,
+            }
+        }
+        "step" => {
+            let factor = raw.step_factor.unwrap_or(4.0);
+            if factor < 1.0 {
+                return Err(SpecError::BadArrival {
+                    tenant: name,
+                    what: "step_factor must be >= 1".into(),
+                });
+            }
+            Arrival::Step {
+                rate_hz,
+                factor,
+                at_ms: raw.step_at_ms.unwrap_or(0.0) as u64,
+            }
+        }
+        other => {
+            return Err(SpecError::UnknownArrivalKind {
+                tenant: name,
+                kind: other.to_string(),
+            })
+        }
+    };
+    let deploy_at_us = (raw.deploy_at_ms.unwrap_or(0.0).max(0.0) * 1_000.0) as u64;
+    let undeploy_at_us = raw.undeploy_at_ms.map(|ms| (ms.max(0.0) * 1_000.0) as u64);
+    if let Some(u) = undeploy_at_us {
+        if u <= deploy_at_us {
+            return Err(SpecError::BadLifecycle { tenant: name });
+        }
+    }
+    Ok(TenantSpec {
+        name,
+        jobs: jobs as u32,
+        arrival,
+        latency_target_us: (target_ms * 1_000.0) as u64,
+        burn_us: raw.burn_us.unwrap_or(150.0).max(0.0) as u64,
+        deploy_at_us,
+        undeploy_at_us,
+    })
+}
+
+/// Drop a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_kv(text: &str, line: usize) -> Result<(String, Value), SpecError> {
+    let Some(eq) = text.find('=') else {
+        return Err(SpecError::Parse {
+            line,
+            what: format!("expected 'key = value', got '{text}'"),
+        });
+    };
+    let key = text[..eq].trim().to_string();
+    let rhs = text[eq + 1..].trim();
+    if key.is_empty() || rhs.is_empty() {
+        return Err(SpecError::Parse {
+            line,
+            what: "empty key or value".into(),
+        });
+    }
+    let value = if rhs.starts_with('"') {
+        if rhs.len() < 2 || !rhs.ends_with('"') {
+            return Err(SpecError::Parse {
+                line,
+                what: format!("unterminated string {rhs}"),
+            });
+        }
+        Value::Str(rhs[1..rhs.len() - 1].to_string())
+    } else {
+        Value::Num(rhs.parse::<f64>().map_err(|_| SpecError::Parse {
+            line,
+            what: format!("'{rhs}' is not a number"),
+        })?)
+    };
+    Ok((key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+        # corpus exemplar
+        [scenario]
+        name = "unit"
+        duration_ms = 500
+        seed = 9
+        workers = 2
+
+        [[tenant]]
+        name = "interactive"
+        jobs = 2
+        arrival = "poisson"
+        rate_hz = 120.0
+        latency_target_ms = 25
+        burn_us = 120
+
+        [[tenant]]
+        name = "batch"  # trailing comment
+        jobs = 1
+        arrival = "bursty"
+        rate_hz = 30.0
+        burst_factor = 5.0
+        burst_on_ms = 100
+        burst_off_ms = 150
+        latency_target_ms = 300
+    "#;
+
+    #[test]
+    fn parses_a_well_formed_spec() {
+        let spec = SloSpec::parse(GOOD).expect("good spec");
+        assert_eq!(spec.name, "unit");
+        assert_eq!(spec.duration_us, 500_000);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.tenants.len(), 2);
+        assert_eq!(spec.total_jobs(), 3);
+        assert_eq!(spec.tenants[0].latency_target_us, 25_000);
+        assert!(matches!(
+            spec.tenants[1].arrival,
+            Arrival::Bursty { on_ms: 100, .. }
+        ));
+    }
+
+    #[test]
+    fn zero_rate_tenant_is_a_typed_error() {
+        let src = r#"
+            [scenario]
+            duration_ms = 100
+            [[tenant]]
+            name = "t"
+            rate_hz = 0.0
+            latency_target_ms = 10
+        "#;
+        assert_eq!(
+            SloSpec::parse(src),
+            Err(SpecError::ZeroRate { tenant: "t".into() })
+        );
+    }
+
+    #[test]
+    fn missing_latency_target_is_a_typed_error() {
+        let src = r#"
+            [scenario]
+            duration_ms = 100
+            [[tenant]]
+            name = "t"
+            rate_hz = 10.0
+        "#;
+        assert_eq!(
+            SloSpec::parse(src),
+            Err(SpecError::MissingLatencyTarget { tenant: "t".into() })
+        );
+    }
+
+    #[test]
+    fn unknown_arrival_kind_is_a_typed_error() {
+        let src = r#"
+            [scenario]
+            duration_ms = 100
+            [[tenant]]
+            name = "t"
+            arrival = "fractal"
+            rate_hz = 10.0
+            latency_target_ms = 10
+        "#;
+        assert_eq!(
+            SloSpec::parse(src),
+            Err(SpecError::UnknownArrivalKind {
+                tenant: "t".into(),
+                kind: "fractal".into()
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors_not_panics() {
+        for bad in [
+            "not a section at all",
+            "[scenario]\nduration_ms = banana",
+            "[mystery]\n",
+            "[scenario]\nduration_ms = 100\n[[tenant]]\nshoe_size = 42",
+            "key_outside_section = 1",
+            "[scenario]\nname = \"unterminated",
+        ] {
+            let err = SloSpec::parse(bad).expect_err(bad);
+            assert!(matches!(err, SpecError::Parse { .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn structural_errors_are_typed() {
+        assert_eq!(
+            SloSpec::parse("[scenario]\nduration_ms = 100"),
+            Err(SpecError::NoTenants)
+        );
+        assert_eq!(
+            SloSpec::parse("[scenario]\nname = \"x\""),
+            Err(SpecError::ZeroDuration)
+        );
+        let bad_lifecycle = r#"
+            [scenario]
+            duration_ms = 100
+            [[tenant]]
+            name = "t"
+            rate_hz = 10.0
+            latency_target_ms = 10
+            deploy_at_ms = 50
+            undeploy_at_ms = 50
+        "#;
+        assert_eq!(
+            SloSpec::parse(bad_lifecycle),
+            Err(SpecError::BadLifecycle { tenant: "t".into() })
+        );
+        let zero_jobs = r#"
+            [scenario]
+            duration_ms = 100
+            [[tenant]]
+            name = "t"
+            jobs = 0
+            rate_hz = 10.0
+            latency_target_ms = 10
+        "#;
+        assert_eq!(
+            SloSpec::parse(zero_jobs),
+            Err(SpecError::ZeroJobs { tenant: "t".into() })
+        );
+    }
+
+    #[test]
+    fn rate_functions_cover_all_kinds() {
+        let bursty = Arrival::Bursty {
+            rate_hz: 10.0,
+            factor: 4.0,
+            on_ms: 100,
+            off_ms: 100,
+        };
+        assert_eq!(bursty.rate_at(0), 40.0);
+        assert_eq!(bursty.rate_at(150_000), 10.0);
+        assert_eq!(bursty.peak(), 40.0);
+        assert!((bursty.mean(1_000_000) - 25.0).abs() < 1e-9);
+
+        let step = Arrival::Step {
+            rate_hz: 10.0,
+            factor: 3.0,
+            at_ms: 500,
+        };
+        assert_eq!(step.rate_at(499_999), 10.0);
+        assert_eq!(step.rate_at(500_000), 30.0);
+        assert!((step.mean(1_000_000) - 20.0).abs() < 1e-9);
+
+        let diurnal = Arrival::Diurnal {
+            rate_hz: 10.0,
+            period_ms: 1_000,
+            amplitude: 0.5,
+        };
+        assert!((diurnal.rate_at(250_000) - 15.0).abs() < 1e-6);
+        assert!((diurnal.rate_at(750_000) - 5.0).abs() < 1e-6);
+        assert_eq!(diurnal.peak(), 15.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Corpus lint + determinism: every checked-in scenario parses, its
+//! compiled schedule is a bit-identical fixture across reruns, and the
+//! simulator replays it to the bit-identical deploy/undeploy/arrival
+//! event sequence — so the corpus doubles as a regression suite.
+
+use cameo_bench::slo::simbridge::sim_scenario;
+use cameo_bench::slo::{compile, EventKind, SloSpec};
+use cameo_sim::scenario::TraceKind;
+use std::path::PathBuf;
+
+const CORPUS: &[&str] = &["steady", "step", "spike", "diurnal", "churn"];
+
+fn corpus_spec(name: &str) -> SloSpec {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("corpus")
+        .join(format!("{name}.toml"));
+    SloSpec::from_path(&path).unwrap_or_else(|e| panic!("corpus file {name}.toml: {e}"))
+}
+
+#[test]
+fn every_corpus_file_parses_and_compiles() {
+    for name in CORPUS {
+        let spec = corpus_spec(name);
+        assert_eq!(&spec.name, name, "scenario name matches its file name");
+        assert!(spec.total_jobs() >= 1);
+        let sched = compile(&spec, spec.seed, 1.0, None);
+        assert!(
+            sched.arrivals > 0,
+            "{name}: compiled schedule must offer load"
+        );
+        // Deploys exist for every (tenant, job) pair, and the event
+        // list is sorted.
+        let deploys = sched
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Deploy)
+            .count();
+        assert_eq!(deploys as u32, spec.total_jobs(), "{name}: one deploy/job");
+        assert!(
+            sched.events.windows(2).all(|w| w[0] <= w[1]),
+            "{name}: schedule must be time-sorted"
+        );
+    }
+}
+
+#[test]
+fn compiled_schedules_are_bit_identical_across_reruns() {
+    for name in CORPUS {
+        let spec = corpus_spec(name);
+        let a = compile(&spec, 42, 1.25, None);
+        let b = compile(&spec, 42, 1.25, None);
+        assert_eq!(
+            a, b,
+            "{name}: same (spec, seed, scale) must recompile identically"
+        );
+        let c = compile(&spec, 43, 1.25, None);
+        assert_ne!(
+            a.events, c.events,
+            "{name}: a different seed must produce different arrivals"
+        );
+    }
+}
+
+#[test]
+fn sim_replay_event_sequence_is_bit_identical_across_reruns() {
+    for name in CORPUS {
+        let spec = corpus_spec(name);
+        let a = sim_scenario(&spec, 7, 1.0).event_trace();
+        let b = sim_scenario(&spec, 7, 1.0).event_trace();
+        assert!(!a.is_empty(), "{name}: sim trace must not be empty");
+        assert_eq!(
+            a, b,
+            "{name}: sim replay must be bit-identical across reruns"
+        );
+        let c = sim_scenario(&spec, 8, 1.0).event_trace();
+        assert_ne!(a, c, "{name}: a different seed must reshuffle the trace");
+    }
+}
+
+#[test]
+fn churn_trace_contains_lifecycle_events_in_order() {
+    let spec = corpus_spec("churn");
+    let trace = sim_scenario(&spec, 7, 1.0).event_trace();
+    // 3 tenants × 1 job: all deploy; exactly one departs.
+    let deploys: Vec<_> = trace
+        .iter()
+        .filter(|e| e.kind == TraceKind::Deploy)
+        .collect();
+    let departs: Vec<_> = trace
+        .iter()
+        .filter(|e| e.kind == TraceKind::Depart)
+        .collect();
+    assert_eq!(deploys.len(), 3);
+    assert_eq!(departs.len(), 1);
+    assert_eq!(departs[0].at_us, 400_000, "early-bird departs at 400 ms");
+    // The latecomer (job 2) deploys at the midpoint and its arrivals
+    // all come after; the early bird's (job 1) all come before it
+    // departs.
+    for e in &trace {
+        if let TraceKind::Arrival { .. } = e.kind {
+            match e.job {
+                1 => assert!(e.at_us < 400_000, "early-bird arrival after departure"),
+                2 => assert!(e.at_us >= 400_000, "latecomer arrival before deploy"),
+                _ => {}
+            }
+        }
+    }
+    // Trace is sorted.
+    assert!(trace.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn sim_replay_runs_deterministically() {
+    // Beyond the trace: actually *run* one corpus spec under virtual
+    // time twice and compare delivered/output counters.
+    let spec = corpus_spec("steady");
+    let run = || {
+        let report = sim_scenario(&spec, 7, 0.5).run();
+        let jobs: Vec<(u64, u64, u64)> = report
+            .metrics
+            .jobs
+            .iter()
+            .map(|j| (j.outputs, j.output_tuples, j.on_time))
+            .collect();
+        (report.metrics.executions, report.metrics.delivered, jobs)
+    };
+    let a = run();
+    assert!(a.1 > 0, "sim run must deliver messages");
+    assert_eq!(a, run(), "sim run must be deterministic given the seed");
+}

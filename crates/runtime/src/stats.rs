@@ -23,6 +23,9 @@ pub struct JobStatsSnapshot {
     pub p50: Micros,
     /// 99th-percentile output latency.
     pub p99: Micros,
+    /// 99.9th-percentile output latency — the tail the SLO sweep
+    /// cross-checks its coordinated-omission-safe capture against.
+    pub p999: Micros,
     /// Worst output latency observed.
     pub max: Micros,
     /// Mean output latency.
@@ -121,6 +124,7 @@ impl JobStats {
             on_time: g.on_time,
             p50: g.latency.median(),
             p99: g.latency.percentile(99.0),
+            p999: g.latency.percentile(99.9),
             max: g.latency.max(),
             mean: g.latency.mean(),
             ewma: Micros(g.ewma_us as u64),
@@ -147,6 +151,8 @@ mod tests {
         assert_eq!(snap.on_time, 1);
         assert!((snap.success_rate() - 0.5).abs() < 1e-9);
         assert!(snap.p99 >= snap.p50);
+        assert!(snap.p999 >= snap.p99, "p999 must sit at or above p99");
+        assert!(snap.max >= snap.p999);
         // EWMA seeded at 500, then 500 + 0.2 * (8000 - 500) = 2000.
         assert_eq!(snap.ewma, Micros(2_000));
     }

@@ -49,6 +49,6 @@ pub mod prelude {
     pub use crate::engine::{Engine, EngineConfig, PolicyKind, SchedulerKind};
     pub use crate::metrics::{JobMetrics, SchedEvent, SimMetrics};
     pub use crate::report::{cdf_points, fmt_ratio, fmt_us, print_table, render_table};
-    pub use crate::scenario::{JobSetup, Scenario, SimReport};
+    pub use crate::scenario::{JobSetup, Scenario, SimReport, TraceEvent, TraceKind};
     pub use crate::workload::{RatePattern, WorkloadGen, WorkloadSpec};
 }

@@ -204,6 +204,57 @@ impl Scenario {
         self.jobs.len()
     }
 
+    /// Replay every job's lifecycle and workload into a single sorted
+    /// event trace *without* running the engine.
+    ///
+    /// The trace uses exactly the per-job generator seeding `run()`
+    /// uses (`seed.wrapping_add(i * 7919)`), so it is the ground truth
+    /// for what the engine will consume: the same scenario and seed
+    /// always produce the bit-identical trace. Benchmarks use this to
+    /// pin corpus specs as deterministic fixtures.
+    pub fn event_trace(&self) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        for (i, setup) in self.jobs.iter().enumerate() {
+            events.push(TraceEvent {
+                at_us: setup.workload.start.0,
+                job: i as u32,
+                source: 0,
+                kind: TraceKind::Deploy,
+            });
+            if let Some(d) = setup.departure {
+                events.push(TraceEvent {
+                    at_us: d.0,
+                    job: i as u32,
+                    source: 0,
+                    kind: TraceKind::Depart,
+                });
+            }
+            let depart = setup.departure.map(|d| d.0).unwrap_or(u64::MAX);
+            let mut gen = WorkloadGen::new(
+                setup.workload.clone(),
+                self.seed.wrapping_add(i as u64 * 7919),
+            );
+            while let Some((t, source, batch)) = gen.next_arrival() {
+                // The engine stops a departed job's arrivals at its
+                // departure instant; mirror that cutoff here.
+                if t.0 >= depart {
+                    break;
+                }
+                events.push(TraceEvent {
+                    at_us: t.0,
+                    job: i as u32,
+                    source,
+                    kind: TraceKind::Arrival {
+                        progress: batch.progress.0,
+                        tuples: batch.len() as u32,
+                    },
+                });
+            }
+        }
+        events.sort_unstable();
+        events
+    }
+
     /// Run the scenario to completion.
     pub fn run(self) -> SimReport {
         let label = self.sched.label();
@@ -252,6 +303,37 @@ impl Scenario {
             metrics,
         }
     }
+}
+
+/// What happens at one instant of a scenario's [`Scenario::event_trace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceKind {
+    /// The job's dataflow comes up (workload start = deploy instant).
+    Deploy,
+    /// One workload message lands at the job.
+    Arrival {
+        /// The batch's progress stamp (logical time).
+        progress: u64,
+        /// Tuples in the batch.
+        tuples: u32,
+    },
+    /// The job departs (`Runtime::undeploy`'s deterministic mirror).
+    Depart,
+}
+
+/// One event of a scenario's deterministic replay trace. Sorts by
+/// time, then kind (deploys before arrivals before departures at equal
+/// instants), then job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TraceEvent {
+    /// Virtual microseconds from the scenario start.
+    pub at_us: u64,
+    /// Kind; field order makes the derived `Ord` group deploys first.
+    pub kind: TraceKind,
+    /// Index of the job within the scenario.
+    pub job: u32,
+    /// Ingest instance the arrival targets (0 for lifecycle events).
+    pub source: u32,
 }
 
 /// Results of one scenario run.
