@@ -84,6 +84,18 @@
 //!    spike's, and on quiescence the pool shrinks back and arena
 //!    segment count returns to its pre-spike baseline.
 //!
+//! 7. **Recovery** (`recovery`): the durability subsystem's two cost
+//!    axes. *Journal append*: single-threaded ns per `ingest_frames`
+//!    call on a zero-worker runtime, swept over durability off (twice,
+//!    interleaved — the pair bounds run-to-run noise and the cell
+//!    asserts in-binary that the two agree within that bound, so a
+//!    journal-off runtime demonstrably pays nothing for the feature)
+//!    and the three fsync policies (`Never`, `Interval(5ms)`,
+//!    `PerBatch`). *Recovery wall-time*: journal-only recoveries
+//!    (`Runtime::recover`) timed against journals of increasing frame
+//!    counts, each cell asserting every journaled frame was replayed
+//!    with no torn bytes.
+//!
 //! Output: a table on stdout and `BENCH_sharded_scheduler.json` in the
 //! current directory, so later PRs have a perf trajectory to compare
 //! against. The artifact records the CPU count and whether workers were
@@ -1324,6 +1336,230 @@ fn run_elastic_step(quick: bool, seed: u64) -> ElasticCell {
     }
 }
 
+/// One journal-append cost row of the recovery experiment (7).
+struct IngestCostCell {
+    config: &'static str,
+    frames: u64,
+    ns_per_frame: f64,
+}
+
+/// One recovery-wall-time row of the recovery experiment (7).
+struct RecoverCell {
+    /// Frames journaled before the simulated crash.
+    frames: u64,
+    recover_ms: f64,
+    frames_replayed: usize,
+    records_replayed: usize,
+    torn_bytes: u64,
+}
+
+/// The recovery experiment's artifact block.
+struct RecoveryBench {
+    ingest: Vec<IngestCostCell>,
+    /// `none-b` over `none-a`: run-to-run noise of the journal-off
+    /// ingest path, asserted within [1/NOISE, NOISE] in-binary.
+    noise_ratio: f64,
+    recover: Vec<RecoverCell>,
+}
+
+/// Journal-off runs may differ by at most this factor before the
+/// "durability off costs nothing" claim is considered violated.
+const RECOVERY_NOISE: f64 = 1.6;
+
+/// Scratch directory for one durability bench cell.
+fn recovery_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cameo-bench-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The query every recovery cell deploys: window far wider than the
+/// fed logical range, so nothing fires and the cells time ingest and
+/// replay alone.
+fn recovery_spec() -> cameo_dataflow::graph::JobSpec {
+    use cameo_dataflow::queries::AggQueryParams;
+    cameo_dataflow::queries::agg_query(
+        &AggQueryParams::new(
+            "recovery-bench",
+            1_000_000,
+            cameo_core::time::Micros::from_millis(800),
+        )
+        .with_sources(1)
+        .with_parallelism(1)
+        .with_keys(8),
+    )
+}
+
+/// Pre-built single-frame bursts: construction stays untimed so every
+/// configuration times exactly read-side work (journal append + route +
+/// submit).
+fn recovery_frames(
+    job: cameo_runtime::prelude::JobHandle,
+    frames: u64,
+) -> Vec<cameo_runtime::prelude::IngestFrame> {
+    use cameo_runtime::prelude::IngestFrame;
+    const TUPLES: u64 = 8;
+    (0..frames)
+        .map(|f| {
+            IngestFrame::addressed(
+                job,
+                0,
+                (0..TUPLES)
+                    .map(|i| {
+                        cameo_dataflow::event::Tuple::new(
+                            i % 8,
+                            1,
+                            cameo_core::time::LogicalTime(1 + f * TUPLES + i),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// ns per `ingest_frames` call on a zero-worker runtime under the
+/// given durability configuration (`None` = journal off).
+fn recovery_ingest_ns(
+    dur: Option<cameo_runtime::durability::DurabilityConfig>,
+    frames: u64,
+) -> f64 {
+    use cameo_runtime::prelude::*;
+    let mut cfg = cameo_runtime::runtime::RuntimeConfig {
+        workers: 0,
+        ..Default::default()
+    };
+    if let Some(d) = dur {
+        cfg = cfg.with_durability(d);
+    }
+    let rt = Runtime::start(cfg);
+    let job = rt
+        .deploy(&recovery_spec(), &Default::default())
+        .expect("deploy");
+    let bursts = recovery_frames(job, frames);
+    let t0 = Instant::now();
+    for f in bursts {
+        rt.ingest_frames([f]);
+    }
+    let elapsed = t0.elapsed();
+    rt.shutdown();
+    elapsed.as_nanos() as f64 / frames as f64
+}
+
+/// Journal `frames` ingress frames, tear the runtime down without a
+/// snapshot (a crash as far as the journal is concerned — nothing is
+/// checkpointed), and time `Runtime::recover` replaying the whole
+/// journal into a fresh runtime.
+fn recovery_recover_cell(frames: u64) -> RecoverCell {
+    use cameo_runtime::durability::{DurabilityConfig, SpecRegistry};
+    use cameo_runtime::prelude::*;
+    let dir = recovery_dir(&format!("replay-{frames}"));
+    let cfg = || {
+        cameo_runtime::runtime::RuntimeConfig {
+            workers: 0,
+            ..Default::default()
+        }
+        .with_durability(DurabilityConfig::new(&dir))
+    };
+    let rt = Runtime::start(cfg());
+    let job = rt
+        .deploy(&recovery_spec(), &Default::default())
+        .expect("deploy");
+    for f in recovery_frames(job, frames) {
+        rt.ingest_frames([f]);
+    }
+    rt.shutdown();
+
+    let mut reg = SpecRegistry::new();
+    reg.register(recovery_spec(), Default::default());
+    let t0 = Instant::now();
+    let (rt2, report) = Runtime::recover(cfg(), &reg).expect("recover");
+    let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+    rt2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        report.frames_replayed, frames as usize,
+        "recovery must replay every journaled frame"
+    );
+    assert_eq!(report.torn_bytes, 0, "clean journal must have no torn tail");
+    RecoverCell {
+        frames,
+        recover_ms,
+        frames_replayed: report.frames_replayed,
+        records_replayed: report.records_replayed,
+        torn_bytes: report.torn_bytes,
+    }
+}
+
+fn run_recovery(quick: bool) -> RecoveryBench {
+    use cameo_runtime::durability::{DurabilityConfig, FsyncPolicy};
+    let frames: u64 = if quick { 1_000 } else { 4_000 };
+    // Journal-off twice, interleaved around the journal-on cells: the
+    // pair bounds this host's run-to-run noise, and any real journal-off
+    // regression would show up as the ratio escaping the bound.
+    let none_a = recovery_ingest_ns(None, frames);
+    let mk =
+        |tag: &str, fsync: FsyncPolicy| DurabilityConfig::new(recovery_dir(tag)).with_fsync(fsync);
+    let never = recovery_ingest_ns(Some(mk("never", FsyncPolicy::Never)), frames);
+    let interval = recovery_ingest_ns(
+        Some(mk(
+            "interval",
+            FsyncPolicy::Interval(Duration::from_millis(5)),
+        )),
+        frames,
+    );
+    let perbatch = recovery_ingest_ns(Some(mk("perbatch", FsyncPolicy::PerBatch)), frames);
+    let none_b = recovery_ingest_ns(None, frames);
+    for tag in ["never", "interval", "perbatch"] {
+        let _ = std::fs::remove_dir_all(recovery_dir(tag));
+    }
+    let noise_ratio = none_b / none_a;
+    assert!(
+        noise_ratio < RECOVERY_NOISE && noise_ratio > 1.0 / RECOVERY_NOISE,
+        "journal-off ingest cost must be stable run to run: \
+         {none_a:.0} ns vs {none_b:.0} ns ({noise_ratio:.2}x, bound {RECOVERY_NOISE}x)"
+    );
+    let ingest = vec![
+        IngestCostCell {
+            config: "none-a",
+            frames,
+            ns_per_frame: none_a,
+        },
+        IngestCostCell {
+            config: "journal-never",
+            frames,
+            ns_per_frame: never,
+        },
+        IngestCostCell {
+            config: "journal-interval-5ms",
+            frames,
+            ns_per_frame: interval,
+        },
+        IngestCostCell {
+            config: "journal-perbatch",
+            frames,
+            ns_per_frame: perbatch,
+        },
+        IngestCostCell {
+            config: "none-b",
+            frames,
+            ns_per_frame: none_b,
+        },
+    ];
+    let lengths: &[u64] = if quick {
+        &[500, 2_000]
+    } else {
+        &[2_000, 8_000, 16_000]
+    };
+    let recover = lengths.iter().map(|&n| recovery_recover_cell(n)).collect();
+    RecoveryBench {
+        ingest,
+        noise_ratio,
+        recover,
+    }
+}
+
 fn main() {
     // Child-process mode for the connection sweep: re-invoked as
     // `bench_sharded_scheduler --conn-client <addr> <conns> ...`.
@@ -1658,6 +1894,27 @@ fn main() {
         elastic.segments_final
     );
 
+    println!("\nrecovery (journal append cost + replay wall-time, zero-worker runtimes)");
+    let recovery = run_recovery(args.quick);
+    println!("  journal append (8-tuple frames, one ingest_frames call per frame):");
+    for c in &recovery.ingest {
+        println!(
+            "    {:>22}: {:>9.0} ns/frame  ({} frames)",
+            c.config, c.ns_per_frame, c.frames
+        );
+    }
+    println!(
+        "    journal-off noise ratio (none-b / none-a): {:.2}x (bound {RECOVERY_NOISE}x)",
+        recovery.noise_ratio
+    );
+    println!("  recovery wall-time vs journal length:");
+    for c in &recovery.recover {
+        println!(
+            "    {:>8} frames: {:>8.1} ms  ({} records, {} frames replayed, {} torn bytes)",
+            c.frames, c.recover_ms, c.records_replayed, c.frames_replayed, c.torn_bytes
+        );
+    }
+
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"sharded_scheduler\",\n  \"unit\": \"msgs_per_sec\",\n");
     json.push_str(&format!(
@@ -1771,6 +2028,36 @@ fn main() {
         elastic.tel.reclaims,
         elastic.tel.peak_workers
     ));
+    json.push_str("  \"recovery\": {\n    \"ingest_ns\": [\n");
+    for (i, c) in recovery.ingest.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"config\": \"{}\", \"frames\": {}, \"ns_per_frame\": {:.1}}}{}\n",
+            c.config,
+            c.frames,
+            c.ns_per_frame,
+            if i + 1 == recovery.ingest.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str(&format!(
+        "    ],\n    \"noise_ratio\": {:.3},\n    \"noise_bound\": {RECOVERY_NOISE},\n    \"recover\": [\n",
+        recovery.noise_ratio
+    ));
+    for (i, c) in recovery.recover.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"frames\": {}, \"recover_ms\": {:.2}, \"records_replayed\": {}, \"frames_replayed\": {}, \"torn_bytes\": {}}}{}\n",
+            c.frames,
+            c.recover_ms,
+            c.records_replayed,
+            c.frames_replayed,
+            c.torn_bytes,
+            if i + 1 == recovery.recover.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
     json.push_str(&format!(
         "  \"job_churn\": {{\"cycles\": {}, \"us_per_cycle\": {:.1}, \"purged\": {}, \"retired_drops\": {}, \"jobs_retired\": {}, \"queue_len_after\": {}, \"slot_reused\": {}}}\n",
         churn.cycles,

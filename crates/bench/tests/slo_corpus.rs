@@ -4,11 +4,11 @@
 //! event sequence — so the corpus doubles as a regression suite.
 
 use cameo_bench::slo::simbridge::sim_scenario;
-use cameo_bench::slo::{compile, EventKind, SloSpec};
+use cameo_bench::slo::{compile, Arrival, EventKind, SloSpec};
 use cameo_sim::scenario::TraceKind;
 use std::path::PathBuf;
 
-const CORPUS: &[&str] = &["steady", "step", "spike", "diurnal", "churn"];
+const CORPUS: &[&str] = &["steady", "step", "spike", "diurnal", "churn", "production"];
 
 fn corpus_spec(name: &str) -> SloSpec {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -107,6 +107,45 @@ fn churn_trace_contains_lifecycle_events_in_order() {
     }
     // Trace is sorted.
     assert!(trace.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn production_corpus_is_production_shaped() {
+    // The `--full`-only fleet scenario must actually be fleet-sized:
+    // many tenants, hundreds of jobs, a multi-minute horizon dominated
+    // by diurnal arrivals, and lifecycle churn.
+    let spec = corpus_spec("production");
+    assert!(
+        spec.tenants.len() >= 10,
+        "production fleet needs many tenants, got {}",
+        spec.tenants.len()
+    );
+    assert!(
+        spec.total_jobs() >= 200,
+        "production fleet needs hundreds of jobs, got {}",
+        spec.total_jobs()
+    );
+    assert!(
+        spec.duration_us >= 120_000_000,
+        "production horizon must span minutes, got {} ms",
+        spec.duration_us / 1_000
+    );
+    let diurnal_jobs: u32 = spec
+        .tenants
+        .iter()
+        .filter(|t| matches!(t.arrival, Arrival::Diurnal { .. }))
+        .map(|t| t.jobs)
+        .sum();
+    assert!(
+        diurnal_jobs * 2 > spec.total_jobs(),
+        "diurnal tiers must dominate the mix ({diurnal_jobs}/{})",
+        spec.total_jobs()
+    );
+    assert!(
+        spec.tenants.iter().any(|t| t.undeploy_at_us.is_some())
+            && spec.tenants.iter().any(|t| t.deploy_at_us > 0),
+        "production fleet must churn jobs mid-run"
+    );
 }
 
 #[test]

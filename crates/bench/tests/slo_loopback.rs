@@ -31,13 +31,10 @@ const SPEC: &str = r#"
 #[test]
 fn low_load_run_misses_nothing_and_delivers_exactly_once() {
     let spec = SloSpec::parse(SPEC).expect("inline spec");
-    let out = run_open_loop(
-        &spec,
-        &DriveConfig {
-            seed: 21,
-            scale: 1.0,
-            cap_us: None,
-        },
+    let out = run_open_loop(&spec, &DriveConfig::new(21, 1.0));
+    assert!(
+        out.elastic.is_none(),
+        "static points carry no elastic telemetry"
     );
 
     assert!(out.sends > 0, "schedule must offer load");
@@ -74,4 +71,39 @@ fn low_load_run_misses_nothing_and_delivers_exactly_once() {
             t.name
         );
     }
+}
+
+#[test]
+fn elastic_drive_preserves_exactly_once_and_reports_telemetry() {
+    let spec = SloSpec::parse(SPEC).expect("inline spec");
+    let out = run_open_loop(
+        &spec,
+        &DriveConfig {
+            elastic: true,
+            ..DriveConfig::new(21, 1.0)
+        },
+    );
+
+    // Elasticity changes *when* work runs, never *whether* it runs:
+    // the exactly-once ledger must balance just like the static run.
+    assert!(out.sends > 0, "schedule must offer load");
+    assert_eq!(out.frames_dropped, 0, "ingress must not drop frames");
+    let agg = &out.aggregate;
+    assert_eq!(agg.lost, 0, "every send must surface at the sink");
+    assert_eq!(agg.outputs, agg.sends, "one output per send");
+
+    let stats = out.elastic.expect("elastic points carry telemetry");
+    assert!(stats.telemetry.ticks > 0, "controller must have ticked");
+    assert!(
+        stats.final_workers >= 1 && stats.final_workers <= spec.workers,
+        "final pool {} outside [1, {}]",
+        stats.final_workers,
+        spec.workers
+    );
+    assert!(
+        stats.telemetry.peak_workers <= spec.workers,
+        "peak pool {} exceeded the spec ceiling {}",
+        stats.telemetry.peak_workers,
+        spec.workers
+    );
 }

@@ -72,6 +72,10 @@ pub struct ElasticConfig {
     /// Base steal threshold the auto-tuner decays back to when the
     /// system is healthy and stealing is not churning.
     pub steal_base: Micros,
+    /// Journal bytes written since the last snapshot above which a
+    /// quiescent tick requests a durability snapshot ([`ElasticAction::
+    /// Snapshot`]). `0` disables snapshot scheduling entirely.
+    pub snapshot_dirty_bytes: u64,
 }
 
 impl ElasticConfig {
@@ -90,6 +94,7 @@ impl ElasticConfig {
             migrate_backlog_ratio: 2.0,
             migrate_min_backlog: 16,
             steal_base: Micros::ZERO,
+            snapshot_dirty_bytes: 0,
         }
     }
 
@@ -124,6 +129,13 @@ impl ElasticConfig {
         self.steal_base = base;
         self
     }
+
+    /// Builder: dirty-journal-bytes threshold for quiescent snapshot
+    /// requests (`0` disables).
+    pub fn with_snapshot_dirty_bytes(mut self, bytes: u64) -> Self {
+        self.snapshot_dirty_bytes = bytes;
+        self
+    }
 }
 
 /// One controller sample: cumulative counters (the controller
@@ -145,6 +157,9 @@ pub struct ElasticObservation {
     /// Instantaneous per-shard pending-message counts (may be empty
     /// when the caller runs a single queue).
     pub shard_backlogs: Vec<usize>,
+    /// Journal bytes appended since the last durability snapshot (0
+    /// when durability is disabled).
+    pub journal_dirty_bytes: u64,
 }
 
 /// A structural adaptation the controller asks its host to perform.
@@ -165,6 +180,11 @@ pub enum ElasticAction {
     /// should hold the reclaimed memory for one grace tick — see
     /// [`crate::arena::SegmentArena::reclaim_segments`]).
     ReclaimArenas,
+    /// Take a durability snapshot now: the system is quiescent and the
+    /// journal suffix since the last snapshot has grown past
+    /// [`ElasticConfig::snapshot_dirty_bytes`]. Quiescence is exactly
+    /// when a consistent cut is cheap — no in-flight messages to drain.
+    Snapshot,
 }
 
 /// Counters describing what the controller has done so far; cheap to
@@ -181,6 +201,8 @@ pub struct ElasticTelemetry {
     pub migrations: u64,
     /// Arena reclamation requests emitted.
     pub reclaims: u64,
+    /// Durability-snapshot requests emitted.
+    pub snapshots: u64,
     /// Highest worker target ever requested (0 until the first resize).
     pub peak_workers: usize,
 }
@@ -294,6 +316,12 @@ impl ElasticController {
                 }
                 self.telemetry.reclaims += 1;
                 actions.push(ElasticAction::ReclaimArenas);
+                if self.cfg.snapshot_dirty_bytes > 0
+                    && obs.journal_dirty_bytes >= self.cfg.snapshot_dirty_bytes
+                {
+                    self.telemetry.snapshots += 1;
+                    actions.push(ElasticAction::Snapshot);
+                }
             }
         }
 
@@ -464,6 +492,7 @@ mod tests {
             steals: 50,
             acquisitions: 100,
             shard_backlogs: vec![],
+            journal_dirty_bytes: 0,
         };
         let a = c.tick(&o);
         let t1 = a.iter().find_map(|x| match x {
@@ -476,6 +505,36 @@ mod tests {
         o.deadline_misses = 90;
         let a = c.tick(&o);
         assert!(a.contains(&ElasticAction::SetStealThreshold(base)));
+    }
+
+    #[test]
+    fn snapshot_requested_only_when_quiescent_and_dirty() {
+        let cfg = ElasticConfig::new(1, 4)
+            .with_quiescent_ticks(2)
+            .with_snapshot_dirty_bytes(1024);
+        let mut c = ElasticController::new(cfg);
+        c.tick(&obs(0, 0, 0, 2));
+        // Active with a dirty journal: no snapshot (cut not cheap).
+        let mut o = obs(100, 0, 5, 2);
+        o.journal_dirty_bytes = 4096;
+        assert!(!c.tick(&o).contains(&ElasticAction::Snapshot));
+        // Quiescent but journal below threshold: no snapshot.
+        let mut q = obs(100, 0, 0, 2);
+        q.journal_dirty_bytes = 100;
+        c.tick(&q);
+        assert!(!c.tick(&q).contains(&ElasticAction::Snapshot));
+        // Quiescent and dirty: snapshot rides along with the reclaim.
+        q.journal_dirty_bytes = 2048;
+        let a = c.tick(&q);
+        assert!(a.contains(&ElasticAction::Snapshot), "{a:?}");
+        assert!(a.contains(&ElasticAction::ReclaimArenas));
+        assert_eq!(c.telemetry().snapshots, 1);
+        // Disabled (0 threshold) never snapshots.
+        let mut d = ElasticController::new(ElasticConfig::new(1, 4).with_quiescent_ticks(1));
+        d.tick(&q);
+        let mut q2 = q.clone();
+        q2.journal_dirty_bytes = u64::MAX;
+        assert!(!d.tick(&q2).contains(&ElasticAction::Snapshot));
     }
 
     #[test]

@@ -56,10 +56,17 @@ impl<M> Ord for MsgEntry<M> {
 }
 
 impl<M> MsgEntry<M> {
-    /// Within an operator: local priority first, then global, then
-    /// arrival order for stability.
-    fn cmp_key(&self) -> (i64, i64, u64) {
-        (self.pri.local, self.pri.global, self.seq)
+    /// Within an operator: local priority first, then arrival order.
+    ///
+    /// The global component is deliberately excluded. Local priorities
+    /// derive from logical progress (window triggers), which is monotone
+    /// per channel, so FIFO-by-seq among equal locals preserves the
+    /// channel-wise in-order processing guarantee (Cameo §4.3). Global
+    /// laxities carry physical-time prediction noise: tie-breaking on
+    /// them can reorder two same-window batches from one channel,
+    /// advancing the watermark past tuples that then get dropped late.
+    fn cmp_key(&self) -> (i64, u64) {
+        (self.pri.local, self.seq)
     }
 }
 
@@ -499,14 +506,13 @@ mod tests {
     #[test]
     fn improved_priority_reorders_heap() {
         let mut q = TwoLevelQueue::new();
-        q.push(key(1), 1, pri(100));
-        q.push(key(2), 2, pri(50));
+        q.push(key(1), 1, Priority::uniform(100));
+        q.push(key(2), 2, Priority::uniform(50));
         // Operator 1 receives a more urgent message: it must now pop first.
-        q.push(key(1), 3, pri(5));
+        q.push(key(1), 3, Priority::uniform(5));
         let lease = q.pop_operator().unwrap();
         assert_eq!(lease.key, key(1));
-        // Its most urgent message comes out first. (Local priorities are
-        // equal here, so global breaks the tie.)
+        // Its most urgent message (by local priority) comes out first.
         assert_eq!(q.next_message(&lease).unwrap().0, 3);
     }
 
@@ -528,14 +534,14 @@ mod tests {
     #[test]
     fn leased_operator_hidden_from_others() {
         let mut q = TwoLevelQueue::new();
-        q.push(key(1), 1, pri(1));
+        q.push(key(1), 1, Priority::uniform(1));
         let lease = q.pop_operator().unwrap();
         // New urgent message for the leased operator must not make it
         // poppable again.
-        q.push(key(1), 2, pri(0));
+        q.push(key(1), 2, Priority::uniform(0));
         assert!(q.pop_operator().is_none());
         // But the lease holder sees it.
-        assert_eq!(q.peek_message(&lease), Some(pri(0)));
+        assert_eq!(q.peek_message(&lease), Some(Priority::uniform(0)));
         q.check_in(lease);
         assert!(q.pop_operator().is_some());
     }
@@ -630,8 +636,8 @@ mod tests {
     #[test]
     fn extract_operator_moves_all_messages_most_urgent_first() {
         let mut q = TwoLevelQueue::new();
-        q.push(key(1), "late", pri(30));
-        q.push(key(1), "soon", pri(10));
+        q.push(key(1), "late", Priority::uniform(30));
+        q.push(key(1), "soon", Priority::uniform(10));
         q.push(key(2), "other", pri(5));
         let got = q.extract_operator(key(1)).unwrap();
         assert_eq!(

@@ -1,0 +1,146 @@
+//! Little-endian byte codec shared by operator-state snapshots and the
+//! runtime's durability journal.
+//!
+//! The discipline mirrors the v2 wire format (`cameo-runtime::msg`):
+//! fixed-width little-endian fields, explicit element counts, no
+//! self-describing tags. Writers emit with the `put_*` helpers; readers
+//! consume through [`Reader`], whose every accessor is total — a short
+//! or malformed buffer yields `None`, never a panic — so snapshot
+//! restore and journal replay can reject torn bytes gracefully.
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `i64`.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed (`u16`) UTF-8 string; truncates past 64 KiB.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(u16::MAX as usize);
+    out.extend_from_slice(&(n as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..n]);
+}
+
+/// A bounds-checked cursor over snapshot/journal bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Option<i64> {
+        self.take(8)
+            .map(|s| i64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Read a `u16`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<String> {
+        let n = self
+            .take(2)
+            .map(|s| u16::from_le_bytes(s.try_into().unwrap()))?;
+        let bytes = self.take(n as usize)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i64(&mut buf, -42);
+        put_str(&mut buf, "journal");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(u64::MAX - 1));
+        assert_eq!(r.i64(), Some(-42));
+        assert_eq!(r.str().as_deref(), Some("journal"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn short_reads_are_none_not_panics() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u32(), None);
+        assert_eq!(r.u8(), Some(1));
+        assert_eq!(r.u64(), None);
+        assert_eq!(r.bytes(3), None);
+        assert_eq!(r.bytes(2), Some(&[2u8, 3][..]));
+        assert!(r.is_empty());
+        assert_eq!(Reader::new(&[5, 0]).str().as_deref(), None);
+        assert_eq!(
+            Reader::new(&[2, 0, b'h', b'i']).str().as_deref(),
+            Some("hi")
+        );
+    }
+}

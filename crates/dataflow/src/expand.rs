@@ -119,6 +119,61 @@ impl OperatorInstance {
             }
         }
     }
+
+    /// Serializes this instance's durable state: the input-side
+    /// watermark (channel count then per-channel progress; count 0 when
+    /// the instance tracks none) followed by the operator's own
+    /// [`StateSnapshot`](crate::operator::StateSnapshot) bytes.
+    pub fn state_snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match &self.input_wm {
+            Some(wm) => {
+                crate::codec::put_u32(&mut out, wm.progress().len() as u32);
+                for &p in wm.progress() {
+                    crate::codec::put_u64(&mut out, p);
+                }
+            }
+            None => crate::codec::put_u32(&mut out, 0),
+        }
+        if let Some(op) = &self.op {
+            op.snapshot_state(&mut out);
+        }
+        out
+    }
+
+    /// Restores state captured by [`state_snapshot`](Self::state_snapshot)
+    /// into a freshly expanded instance. Returns false (leaving the
+    /// instance untouched where possible) on any shape mismatch.
+    pub fn state_restore(&mut self, bytes: &[u8]) -> bool {
+        let mut r = crate::codec::Reader::new(bytes);
+        let Some(nch) = r.u32() else { return false };
+        let expect = self.input_wm.as_ref().map_or(0, |wm| wm.num_channels());
+        if nch as usize != expect {
+            return false;
+        }
+        let mut per_channel = Vec::with_capacity(nch as usize);
+        for _ in 0..nch {
+            let Some(p) = r.u64() else { return false };
+            per_channel.push(p);
+        }
+        let rest = r.remaining();
+        match &mut self.op {
+            Some(op) => {
+                if !op.restore_state(rest) {
+                    return false;
+                }
+            }
+            None => {
+                if !rest.is_empty() {
+                    return false;
+                }
+            }
+        }
+        if nch > 0 {
+            self.input_wm = Some(WatermarkTracker::from_progress(per_channel));
+        }
+        true
+    }
 }
 
 /// A deployed job: all operator instances plus lookup tables.

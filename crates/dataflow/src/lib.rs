@@ -14,6 +14,7 @@
 
 #![deny(missing_docs)]
 
+pub mod codec;
 pub mod event;
 pub mod expand;
 pub mod graph;
@@ -29,7 +30,9 @@ pub mod prelude {
     pub use crate::graph::{
         EdgeSpec, GraphError, JobBuilder, JobSpec, Routing, StageId, StageSpec,
     };
-    pub use crate::operator::{InstanceCtx, Operator, OperatorKind, WatermarkTracker};
+    pub use crate::operator::{
+        InstanceCtx, Operator, OperatorKind, StateSnapshot, WatermarkTracker,
+    };
     pub use crate::ops::{
         Aggregation, DistinctCount, FilterOp, FlatMapOp, MapOp, Passthrough, SessionWindow,
         SpinMap, TopK, WindowAggregate, WindowJoin,

@@ -56,10 +56,35 @@ impl InstanceCtx {
     }
 }
 
+/// Serialize/restore an operator's accumulated state — the dataflow
+/// half of the durability subsystem. Snapshots are taken at quiescent
+/// points (no batch in flight), so implementations never race their own
+/// `on_batch`; structural parameters (window size, aggregation kind,
+/// channel wiring) come from the operator factory at restore time and
+/// are *not* serialized — only accumulated data is.
+///
+/// The default implementation is correct for stateless operators: it
+/// snapshots nothing and accepts only an empty byte string back.
+pub trait StateSnapshot {
+    /// Append this operator's durable state to `out`. Encodings must be
+    /// deterministic (sort hash-map iterations) so identical state
+    /// produces identical bytes.
+    fn snapshot_state(&self, out: &mut Vec<u8>) {
+        let _ = out;
+    }
+
+    /// Replace accumulated state with a previously snapshotted byte
+    /// string. Returns `false` (leaving state unspecified) if the bytes
+    /// are malformed or shaped for a differently-configured operator.
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        bytes.is_empty()
+    }
+}
+
 /// A dataflow operator. `on_batch` receives the input batch and appends
 /// any output batches to `out`; the surrounding engine routes them
 /// downstream and attaches priority contexts.
-pub trait Operator: Send {
+pub trait Operator: Send + StateSnapshot {
     /// Process one batch arriving on `channel` at physical time `now`.
     fn on_batch(&mut self, channel: u32, batch: &Batch, now: PhysicalTime, out: &mut Vec<Batch>);
 
@@ -113,6 +138,20 @@ impl WatermarkTracker {
     /// Number of tracked channels.
     pub fn num_channels(&self) -> usize {
         self.per_channel.len()
+    }
+
+    /// Per-channel progress, for state snapshots.
+    pub fn progress(&self) -> &[u64] {
+        &self.per_channel
+    }
+
+    /// Rebuild a tracker from a snapshotted per-channel progress vector.
+    pub fn from_progress(per_channel: Vec<u64>) -> Self {
+        assert!(
+            !per_channel.is_empty(),
+            "watermark tracker needs >= 1 channel"
+        );
+        WatermarkTracker { per_channel }
     }
 }
 

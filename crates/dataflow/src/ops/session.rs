@@ -12,8 +12,9 @@
 //! [`TopK`] and [`DistinctCount`] are tumbling-window aggregates with
 //! non-decomposable state, common in the paper's dashboard workloads.
 
+use crate::codec::{self, Reader};
 use crate::event::{Batch, Tuple};
-use crate::operator::{Operator, WatermarkTracker};
+use crate::operator::{Operator, StateSnapshot, WatermarkTracker};
 use crate::window::WindowSpec;
 use cameo_core::time::{LogicalTime, PhysicalTime};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -52,6 +53,84 @@ impl SessionWindow {
     /// Number of sessions currently open.
     pub fn open_sessions(&self) -> usize {
         self.open.len()
+    }
+}
+
+/// Snapshot prologue shared by the operators here: version byte plus the
+/// watermark tracker's per-channel progress.
+fn put_wm(out: &mut Vec<u8>, wm: &WatermarkTracker) {
+    codec::put_u8(out, 1);
+    codec::put_u32(out, wm.progress().len() as u32);
+    for &p in wm.progress() {
+        codec::put_u64(out, p);
+    }
+}
+
+/// Counterpart of [`put_wm`]: validates the version and channel count
+/// against the live operator before yielding the restored tracker.
+fn read_wm(r: &mut Reader<'_>, expect_channels: usize) -> Option<WatermarkTracker> {
+    if r.u8()? != 1 {
+        return None;
+    }
+    let nch = r.u32()? as usize;
+    if nch != expect_channels {
+        return None;
+    }
+    let mut per_channel = Vec::with_capacity(nch);
+    for _ in 0..nch {
+        per_channel.push(r.u64()?);
+    }
+    Some(WatermarkTracker::from_progress(per_channel))
+}
+
+impl StateSnapshot for SessionWindow {
+    fn snapshot_state(&self, out: &mut Vec<u8>) {
+        put_wm(out, &self.watermark);
+        codec::put_u32(out, self.open.len() as u32);
+        let mut keys: Vec<u64> = self.open.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            let s = &self.open[&k];
+            codec::put_u64(out, k);
+            codec::put_u64(out, s.start);
+            codec::put_u64(out, s.last);
+            codec::put_i64(out, s.acc);
+            codec::put_i64(out, s.count);
+            codec::put_u64(out, s.latest_input.0);
+        }
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = Reader::new(bytes);
+        let Some(wm) = read_wm(&mut r, self.watermark.num_channels()) else {
+            return false;
+        };
+        let Some(nopen) = r.u32() else { return false };
+        let mut open = HashMap::with_capacity(nopen as usize);
+        for _ in 0..nopen {
+            let (Some(k), Some(start), Some(last)) = (r.u64(), r.u64(), r.u64()) else {
+                return false;
+            };
+            let (Some(acc), Some(count), Some(latest)) = (r.i64(), r.i64(), r.u64()) else {
+                return false;
+            };
+            open.insert(
+                k,
+                Session {
+                    start,
+                    last,
+                    acc,
+                    count,
+                    latest_input: PhysicalTime(latest),
+                },
+            );
+        }
+        if !r.is_empty() {
+            return false;
+        }
+        self.watermark = wm;
+        self.open = open;
+        true
     }
 }
 
@@ -147,6 +226,52 @@ impl TopK {
     }
 }
 
+impl StateSnapshot for TopK {
+    fn snapshot_state(&self, out: &mut Vec<u8>) {
+        put_wm(out, &self.watermark);
+        codec::put_u32(out, self.state.len() as u32);
+        for (&wid, (groups, latest)) in &self.state {
+            codec::put_u64(out, wid);
+            codec::put_u64(out, latest.0);
+            codec::put_u32(out, groups.len() as u32);
+            let mut keys: Vec<u64> = groups.keys().copied().collect();
+            keys.sort_unstable();
+            for k in keys {
+                codec::put_u64(out, k);
+                codec::put_i64(out, groups[&k]);
+            }
+        }
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = Reader::new(bytes);
+        let Some(wm) = read_wm(&mut r, self.watermark.num_channels()) else {
+            return false;
+        };
+        let Some(nwin) = r.u32() else { return false };
+        let mut state = BTreeMap::new();
+        for _ in 0..nwin {
+            let (Some(wid), Some(latest), Some(ngroups)) = (r.u64(), r.u64(), r.u32()) else {
+                return false;
+            };
+            let mut groups = HashMap::with_capacity(ngroups as usize);
+            for _ in 0..ngroups {
+                let (Some(k), Some(sum)) = (r.u64(), r.i64()) else {
+                    return false;
+                };
+                groups.insert(k, sum);
+            }
+            state.insert(wid, (groups, PhysicalTime(latest)));
+        }
+        if !r.is_empty() {
+            return false;
+        }
+        self.watermark = wm;
+        self.state = state;
+        true
+    }
+}
+
 impl Operator for TopK {
     fn on_batch(&mut self, channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
         for t in &batch.tuples {
@@ -203,6 +328,63 @@ impl DistinctCount {
             watermark: WatermarkTracker::new(num_channels.max(1) as usize),
             state: BTreeMap::new(),
         }
+    }
+}
+
+impl StateSnapshot for DistinctCount {
+    fn snapshot_state(&self, out: &mut Vec<u8>) {
+        put_wm(out, &self.watermark);
+        codec::put_u32(out, self.state.len() as u32);
+        for (&wid, (groups, latest)) in &self.state {
+            codec::put_u64(out, wid);
+            codec::put_u64(out, latest.0);
+            codec::put_u32(out, groups.len() as u32);
+            let mut keys: Vec<u64> = groups.keys().copied().collect();
+            keys.sort_unstable();
+            for k in keys {
+                let set = &groups[&k];
+                codec::put_u64(out, k);
+                codec::put_u32(out, set.len() as u32);
+                let mut vals: Vec<i64> = set.iter().copied().collect();
+                vals.sort_unstable();
+                for v in vals {
+                    codec::put_i64(out, v);
+                }
+            }
+        }
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = Reader::new(bytes);
+        let Some(wm) = read_wm(&mut r, self.watermark.num_channels()) else {
+            return false;
+        };
+        let Some(nwin) = r.u32() else { return false };
+        let mut state = BTreeMap::new();
+        for _ in 0..nwin {
+            let (Some(wid), Some(latest), Some(ngroups)) = (r.u64(), r.u64(), r.u32()) else {
+                return false;
+            };
+            let mut groups = HashMap::with_capacity(ngroups as usize);
+            for _ in 0..ngroups {
+                let (Some(k), Some(nvals)) = (r.u64(), r.u32()) else {
+                    return false;
+                };
+                let mut set = HashSet::with_capacity(nvals as usize);
+                for _ in 0..nvals {
+                    let Some(v) = r.i64() else { return false };
+                    set.insert(v);
+                }
+                groups.insert(k, set);
+            }
+            state.insert(wid, (groups, PhysicalTime(latest)));
+        }
+        if !r.is_empty() {
+            return false;
+        }
+        self.watermark = wm;
+        self.state = state;
+        true
     }
 }
 
@@ -361,6 +543,78 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!((t[0].key, t[0].value), (1, 2));
         assert_eq!((t[1].key, t[1].value), (2, 1));
+    }
+
+    #[test]
+    fn session_snapshot_roundtrip_preserves_open_sessions() {
+        let mut op = SessionWindow::new(10, 1);
+        let _ = feed(&mut op, vec![tuple(1, 3, 5), tuple(2, 4, 8)], 8, 100);
+        let mut bytes = Vec::new();
+        op.snapshot_state(&mut bytes);
+        let mut restored = SessionWindow::new(10, 1);
+        assert!(restored.restore_state(&bytes));
+        assert_eq!(restored.open_sessions(), 2);
+        // Both copies must close identically from here on.
+        let a = feed(&mut op, vec![], 25, 200);
+        let b = feed(&mut restored, vec![], 25, 200);
+        assert_eq!(a, b);
+        assert!(!a[0].is_empty(), "sessions should have closed");
+    }
+
+    #[test]
+    fn top_k_snapshot_roundtrip_preserves_partial_window() {
+        let mut op = TopK::new(10, 2, 1);
+        let _ = feed(&mut op, vec![tuple(1, 5, 1), tuple(2, 9, 2)], 2, 50);
+        let mut bytes = Vec::new();
+        op.snapshot_state(&mut bytes);
+        let mut restored = TopK::new(10, 2, 1);
+        assert!(restored.restore_state(&bytes));
+        let closer = vec![tuple(3, 1, 3), tuple(0, 0, 12)];
+        let a = feed(&mut op, closer.clone(), 12, 60);
+        let b = feed(&mut restored, closer, 12, 60);
+        assert_eq!(a, b);
+        assert_eq!(a[0].tuples, vec![tuple(2, 9, 9), tuple(1, 5, 9)]);
+        // Re-snapshot of the restored copy must be byte-identical.
+        let (mut ra, mut rb) = (Vec::new(), Vec::new());
+        op.snapshot_state(&mut ra);
+        restored.snapshot_state(&mut rb);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn distinct_count_snapshot_roundtrip() {
+        let mut op = DistinctCount::new(10, 1);
+        let _ = feed(&mut op, vec![tuple(1, 100, 1), tuple(1, 200, 2)], 2, 50);
+        let mut bytes = Vec::new();
+        op.snapshot_state(&mut bytes);
+        let mut restored = DistinctCount::new(10, 1);
+        assert!(restored.restore_state(&bytes));
+        let closer = vec![tuple(1, 100, 3), tuple(0, 0, 12)];
+        let a = feed(&mut op, closer.clone(), 12, 60);
+        let b = feed(&mut restored, closer, 12, 60);
+        assert_eq!(a, b);
+        // Value 100 was already seen pre-snapshot: still 2 distinct.
+        assert_eq!(a[0].tuples[0].value, 2);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_malformed_bytes() {
+        let mut op = SessionWindow::new(10, 1);
+        assert!(!op.restore_state(b"garbage"));
+        let two_ch = SessionWindow::new(10, 2);
+        let mut bytes = Vec::new();
+        two_ch.snapshot_state(&mut bytes);
+        assert!(!op.restore_state(&bytes), "channel-count mismatch");
+        let mut topk = TopK::new(10, 2, 1);
+        let mut ok = Vec::new();
+        topk.snapshot_state(&mut ok);
+        let truncated = &ok[..ok.len() - 1];
+        assert!(!topk.restore_state(truncated));
+        let mut trailing = ok.clone();
+        trailing.push(0xff);
+        assert!(!topk.restore_state(&trailing));
+        let mut dc = DistinctCount::new(10, 1);
+        assert!(!dc.restore_state(&[2]), "unknown version byte");
     }
 
     #[test]

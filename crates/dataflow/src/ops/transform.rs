@@ -2,7 +2,7 @@
 //! taxonomy: invoked == triggered).
 
 use crate::event::{Batch, Tuple};
-use crate::operator::Operator;
+use crate::operator::{Operator, StateSnapshot};
 use cameo_core::time::{Micros, PhysicalTime};
 
 /// Applies a function to every tuple.
@@ -16,6 +16,10 @@ impl<F: FnMut(Tuple) -> Tuple + Send> MapOp<F> {
         MapOp { f }
     }
 }
+
+// All operators in this module are stateless: the default
+// `StateSnapshot` (snapshot nothing, restore only nothing) is exact.
+impl<F: FnMut(Tuple) -> Tuple + Send> StateSnapshot for MapOp<F> {}
 
 impl<F: FnMut(Tuple) -> Tuple + Send> Operator for MapOp<F> {
     fn on_batch(&mut self, _channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
@@ -41,6 +45,8 @@ impl<F: FnMut(&Tuple) -> bool + Send> FilterOp<F> {
         FilterOp { f }
     }
 }
+
+impl<F: FnMut(&Tuple) -> bool + Send> StateSnapshot for FilterOp<F> {}
 
 impl<F: FnMut(&Tuple) -> bool + Send> Operator for FilterOp<F> {
     fn on_batch(&mut self, _channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
@@ -70,6 +76,8 @@ impl<F: FnMut(Tuple, &mut Vec<Tuple>) + Send> FlatMapOp<F> {
     }
 }
 
+impl<F: FnMut(Tuple, &mut Vec<Tuple>) + Send> StateSnapshot for FlatMapOp<F> {}
+
 impl<F: FnMut(Tuple, &mut Vec<Tuple>) + Send> Operator for FlatMapOp<F> {
     fn on_batch(&mut self, _channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
         let mut tuples = Vec::with_capacity(batch.len());
@@ -88,6 +96,8 @@ impl<F: FnMut(Tuple, &mut Vec<Tuple>) + Send> Operator for FlatMapOp<F> {
 /// cost is modeled rather than computed).
 #[derive(Default)]
 pub struct Passthrough;
+
+impl StateSnapshot for Passthrough {}
 
 impl Operator for Passthrough {
     fn on_batch(&mut self, _channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {
@@ -114,6 +124,8 @@ impl SpinMap {
         SpinMap { spin }
     }
 }
+
+impl StateSnapshot for SpinMap {}
 
 impl Operator for SpinMap {
     fn on_batch(&mut self, _channel: u32, batch: &Batch, _now: PhysicalTime, out: &mut Vec<Batch>) {

@@ -1,0 +1,391 @@
+//! Operator-state snapshots: a blob of every slot's state plus a tiny
+//! manifest that makes the blob *visible* atomically.
+//!
+//! A snapshot is two files, written in a strict order:
+//!
+//! 1. `snap-{seq}.blob` — the full jobs-table image: every slot's
+//!    generation (vacant slots too, so generation protection survives
+//!    recovery), and for occupied slots the spec name plus every
+//!    operator instance's serialized state. CRC-32 trailer over the
+//!    whole body. Written and fsynced **first**.
+//! 2. `manifest-{seq}.m` — seq, the journal offset the snapshot
+//!    covers, the blob's length and checksum, and its own CRC. Written
+//!    to a temp file, fsynced, then renamed into place — the rename is
+//!    the commit point. A crash anywhere before it leaves the previous
+//!    snapshot as the newest valid one.
+//!
+//! Recovery loads the highest-`seq` manifest whose own checksum, blob
+//! length and blob checksum all verify; everything else is counted and
+//! ignored. The runtime retains the latest **two** snapshots and
+//! truncates the journal only below the *older* one, so even a torn
+//! newest snapshot recovers — from the previous snapshot plus a longer
+//! journal suffix.
+
+use super::record::crc32;
+use cameo_dataflow::codec::{self, Reader};
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+const BLOB_MAGIC: &[u8; 4] = b"CSNP";
+const MANIFEST_MAGIC: &[u8; 4] = b"CMAN";
+const VERSION: u8 = 1;
+
+/// One occupied slot's durable image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSnapshot {
+    /// Spec name, resolved against the
+    /// [`SpecRegistry`](crate::durability::SpecRegistry) at recovery.
+    pub name: String,
+    /// Serialized state per operator instance, in instance order
+    /// (see `OperatorInstance::state_snapshot`).
+    pub instances: Vec<Vec<u8>>,
+}
+
+/// One jobs-table slot in a snapshot: its generation (always) and its
+/// occupant (when occupied).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlotSnapshot {
+    /// The slot's generation at capture time.
+    pub gen: u32,
+    /// The occupant, if any.
+    pub job: Option<JobSnapshot>,
+}
+
+/// A snapshot loaded back from disk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadedSnapshot {
+    /// The snapshot's sequence number.
+    pub seq: u64,
+    /// Journal offset the snapshot covers: replay starts here.
+    pub journal_offset: u64,
+    /// The captured jobs table.
+    pub slots: Vec<SlotSnapshot>,
+}
+
+fn blob_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snap-{seq:016x}.blob"))
+}
+
+fn manifest_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("manifest-{seq:016x}.m"))
+}
+
+fn manifest_seq(name: &str) -> Option<u64> {
+    u64::from_str_radix(name.strip_prefix("manifest-")?.strip_suffix(".m")?, 16).ok()
+}
+
+fn encode_blob(seq: u64, journal_offset: u64, slots: &[SlotSnapshot]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(BLOB_MAGIC);
+    codec::put_u8(&mut out, VERSION);
+    codec::put_u64(&mut out, seq);
+    codec::put_u64(&mut out, journal_offset);
+    codec::put_u32(&mut out, slots.len() as u32);
+    for s in slots {
+        codec::put_u32(&mut out, s.gen);
+        match &s.job {
+            None => codec::put_u8(&mut out, 0),
+            Some(job) => {
+                codec::put_u8(&mut out, 1);
+                codec::put_str(&mut out, &job.name);
+                codec::put_u32(&mut out, job.instances.len() as u32);
+                for inst in &job.instances {
+                    codec::put_u32(&mut out, inst.len() as u32);
+                    out.extend_from_slice(inst);
+                }
+            }
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn decode_blob(bytes: &[u8], expect_seq: u64) -> Option<LoadedSnapshot> {
+    if bytes.len() < 4 + 4 || &bytes[..4] != BLOB_MAGIC {
+        return None;
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    if crc32(body) != u32::from_le_bytes(trailer.try_into().ok()?) {
+        return None;
+    }
+    let mut r = Reader::new(&body[4..]);
+    if r.u8()? != VERSION {
+        return None;
+    }
+    let seq = r.u64()?;
+    if seq != expect_seq {
+        return None;
+    }
+    let journal_offset = r.u64()?;
+    let nslots = r.u32()?;
+    let mut slots = Vec::with_capacity(nslots.min(65_536) as usize);
+    for _ in 0..nslots {
+        let gen = r.u32()?;
+        let job = match r.u8()? {
+            0 => None,
+            1 => {
+                let name = r.str()?;
+                let ninst = r.u32()?;
+                let mut instances = Vec::with_capacity(ninst.min(65_536) as usize);
+                for _ in 0..ninst {
+                    let len = r.u32()? as usize;
+                    instances.push(r.bytes(len)?.to_vec());
+                }
+                Some(JobSnapshot { name, instances })
+            }
+            _ => return None,
+        };
+        slots.push(SlotSnapshot { gen, job });
+    }
+    if !r.is_empty() {
+        return None;
+    }
+    Some(LoadedSnapshot {
+        seq,
+        journal_offset,
+        slots,
+    })
+}
+
+/// Write snapshot `seq` covering `journal_offset`: blob first (fsynced),
+/// then the manifest via write-temp → fsync → rename.
+pub fn write_snapshot(
+    dir: &Path,
+    seq: u64,
+    journal_offset: u64,
+    slots: &[SlotSnapshot],
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let blob = encode_blob(seq, journal_offset, slots);
+    {
+        let mut f = File::create(blob_path(dir, seq))?;
+        f.write_all(&blob)?;
+        f.sync_all()?;
+    }
+    let mut m = Vec::new();
+    m.extend_from_slice(MANIFEST_MAGIC);
+    codec::put_u8(&mut m, VERSION);
+    codec::put_u64(&mut m, seq);
+    codec::put_u64(&mut m, journal_offset);
+    codec::put_u64(&mut m, blob.len() as u64);
+    codec::put_u32(&mut m, crc32(&blob));
+    let crc = crc32(&m);
+    m.extend_from_slice(&crc.to_le_bytes());
+    let tmp = dir.join(format!("manifest-{seq:016x}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&m)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, manifest_path(dir, seq))?;
+    // Persist the rename itself (directory entry).
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Parse and verify one manifest; on success load and verify its blob.
+fn load_one(dir: &Path, seq: u64) -> Option<LoadedSnapshot> {
+    let mut bytes = Vec::new();
+    File::open(manifest_path(dir, seq))
+        .ok()?
+        .read_to_end(&mut bytes)
+        .ok()?;
+    if bytes.len() < 4 + 4 || &bytes[..4] != MANIFEST_MAGIC {
+        return None;
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    if crc32(body) != u32::from_le_bytes(trailer.try_into().ok()?) {
+        return None;
+    }
+    let mut r = Reader::new(&body[4..]);
+    if r.u8()? != VERSION {
+        return None;
+    }
+    if r.u64()? != seq {
+        return None;
+    }
+    let journal_offset = r.u64()?;
+    let blob_len = r.u64()?;
+    let blob_crc = r.u32()?;
+    if !r.is_empty() {
+        return None;
+    }
+    let mut blob = Vec::new();
+    File::open(blob_path(dir, seq))
+        .ok()?
+        .read_to_end(&mut blob)
+        .ok()?;
+    if blob.len() as u64 != blob_len || crc32(&blob) != blob_crc {
+        return None;
+    }
+    let loaded = decode_blob(&blob, seq)?;
+    if loaded.journal_offset != journal_offset {
+        return None;
+    }
+    Some(loaded)
+}
+
+/// Every valid snapshot in `dir`, ascending by `seq`, plus the count of
+/// manifests that failed verification (torn, corrupt, version-skewed).
+pub fn load_all(dir: &Path) -> io::Result<(Vec<LoadedSnapshot>, usize)> {
+    let mut seqs = Vec::new();
+    match fs::read_dir(dir) {
+        Ok(entries) => {
+            for entry in entries {
+                let entry = entry?;
+                if let Some(seq) = entry.file_name().to_str().and_then(manifest_seq) {
+                    seqs.push(seq);
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(e),
+    }
+    seqs.sort_unstable();
+    let mut rejected = 0;
+    let mut loaded = Vec::new();
+    for seq in seqs {
+        match load_one(dir, seq) {
+            Some(s) => loaded.push(s),
+            None => rejected += 1,
+        }
+    }
+    Ok((loaded, rejected))
+}
+
+/// Delete snapshot files (blob + manifest) whose seq is not in `keep`.
+pub fn prune(dir: &Path, keep: &[u64]) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let seq = manifest_seq(name).or_else(|| {
+            u64::from_str_radix(name.strip_prefix("snap-")?.strip_suffix(".blob")?, 16).ok()
+        });
+        if let Some(seq) = seq {
+            if !keep.contains(&seq) {
+                fs::remove_file(entry.path())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::OpenOptions;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "cameo-snap-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_slots() -> Vec<SlotSnapshot> {
+        vec![
+            SlotSnapshot {
+                gen: 2,
+                job: Some(JobSnapshot {
+                    name: "ipq1".into(),
+                    instances: vec![vec![], vec![1, 2, 3], vec![0xFF; 40]],
+                }),
+            },
+            // Vacant slot: its generation still matters (stale-handle
+            // protection must survive recovery).
+            SlotSnapshot { gen: 7, job: None },
+        ]
+    }
+
+    #[test]
+    fn write_then_load_roundtrips() {
+        let dir = tmp_dir("roundtrip");
+        write_snapshot(&dir, 1, 100, &sample_slots()).unwrap();
+        write_snapshot(&dir, 2, 250, &sample_slots()).unwrap();
+        let (all, rejected) = load_all(&dir).unwrap();
+        assert_eq!(rejected, 0);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].seq, 1);
+        assert_eq!(all[1].seq, 2);
+        assert_eq!(all[1].journal_offset, 250);
+        assert_eq!(all[1].slots, sample_slots());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_blob_rejects_manifest_and_falls_back() {
+        let dir = tmp_dir("fallback");
+        write_snapshot(&dir, 1, 100, &sample_slots()).unwrap();
+        write_snapshot(&dir, 2, 250, &sample_slots()).unwrap();
+        // Corrupt the newest blob: its manifest must be rejected and
+        // the previous snapshot remains the newest valid one.
+        let mut blob = fs::read(blob_path(&dir, 2)).unwrap();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0xFF;
+        fs::write(blob_path(&dir, 2), &blob).unwrap();
+        let (all, rejected) = load_all(&dir).unwrap();
+        assert_eq!(rejected, 1);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].seq, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_manifest_is_rejected() {
+        let dir = tmp_dir("torn-manifest");
+        write_snapshot(&dir, 3, 500, &sample_slots()).unwrap();
+        let path = manifest_path(&dir, 3);
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 2)
+            .unwrap();
+        let (all, rejected) = load_all(&dir).unwrap();
+        assert!(all.is_empty());
+        assert_eq!(rejected, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_blob_rejects_manifest() {
+        let dir = tmp_dir("missing-blob");
+        write_snapshot(&dir, 4, 0, &sample_slots()).unwrap();
+        fs::remove_file(blob_path(&dir, 4)).unwrap();
+        let (all, rejected) = load_all(&dir).unwrap();
+        assert!(all.is_empty());
+        assert_eq!(rejected, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_only_requested_seqs() {
+        let dir = tmp_dir("prune");
+        for seq in 1..=4u64 {
+            write_snapshot(&dir, seq, seq * 10, &sample_slots()).unwrap();
+        }
+        prune(&dir, &[3, 4]).unwrap();
+        let (all, rejected) = load_all(&dir).unwrap();
+        assert_eq!(rejected, 0);
+        assert_eq!(all.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![3, 4]);
+        assert!(!blob_path(&dir, 1).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_dir_loads_nothing() {
+        let dir = tmp_dir("empty-nonexistent");
+        let (all, rejected) = load_all(&dir).unwrap();
+        assert!(all.is_empty());
+        assert_eq!(rejected, 0);
+    }
+}

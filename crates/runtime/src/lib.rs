@@ -24,6 +24,7 @@
 
 #![deny(missing_docs)]
 
+pub mod durability;
 pub mod msg;
 pub mod net;
 pub mod runtime;
@@ -31,6 +32,9 @@ pub mod stats;
 
 /// Everything most runtime users need.
 pub mod prelude {
+    pub use crate::durability::{
+        DurabilityConfig, FsyncPolicy, RecoverError, RecoveryReport, SnapshotError, SpecRegistry,
+    };
     pub use crate::msg::{FrameDecoder, RtMsg};
     pub use crate::net::{
         decode_payload, encode_frame, read_frame, IngestClient, IngestFrame, IngestServer,

@@ -79,6 +79,10 @@
 //! in-flight message is dropped at a generation check before it can
 //! touch the slot's new occupant.
 
+use crate::durability::{
+    self, DurState, DurabilityConfig, FrameRecord, JobSnapshot, JournalRecord, RecoverError,
+    RecoveryReport, SlotSnapshot, SnapshotError, SpecRegistry,
+};
 use crate::msg::{IngestFrame, RtMsg, SenderRef};
 use crate::stats::{JobStats, JobStatsSnapshot};
 use cameo_core::arena::ReclaimedSegments;
@@ -327,6 +331,13 @@ pub struct RuntimeConfig {
     /// `workers` is the *initial* pool size; the controller moves it
     /// within `[elastic.min_workers, elastic.max_workers]`.
     pub elastic: Option<ElasticConfig>,
+    /// Crash durability (`None` — the default — journals nothing and
+    /// adds no ingest-path work beyond one branch). With a config, every
+    /// accepted ingress call is group-committed to the journal *before*
+    /// its messages are published, deploy/undeploy write lifecycle
+    /// records, and [`Runtime::snapshot`] /
+    /// [`Runtime::recover`] become available.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -344,6 +355,7 @@ impl Default for RuntimeConfig {
             pin_workers: false,
             profile_alpha: None,
             elastic: None,
+            durability: None,
         }
     }
 }
@@ -408,6 +420,13 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enable crash durability: journal + snapshots rooted at the
+    /// config's directory. See [`DurabilityConfig`].
+    pub fn with_durability(mut self, cfg: DurabilityConfig) -> Self {
+        self.durability = Some(cfg);
+        self
+    }
+
     /// Override the cost-profiling smoothing factor for every job this
     /// runtime deploys (must be in `(0, 1]`).
     pub fn with_profile_alpha(mut self, alpha: f64) -> Self {
@@ -447,6 +466,9 @@ impl Subscriber {
 struct JobRt {
     instances: Vec<Mutex<OperatorInstance>>,
     ingests: Vec<usize>,
+    /// Spec name — what the journal's `Deploy` records and snapshot
+    /// manifests key the [`SpecRegistry`] with at recovery.
+    name: String,
     latency_constraint: Micros,
     /// Generation of the jobs-table slot this job occupies; stamped
     /// into every scheduler message and checked before execution.
@@ -580,6 +602,9 @@ struct Shared {
     /// notifies it so teardown never waits out a tick.
     ctl_lock: Mutex<()>,
     ctl_cv: Condvar,
+    /// Durability state (journal + snapshot bookkeeping), when
+    /// configured.
+    dur: Option<DurState>,
 }
 
 /// Recover a poisoned guard: a panicking operator must not wedge the
@@ -614,6 +639,26 @@ impl Drop for IngressGuard {
 impl Shared {
     fn now(&self) -> PhysicalTime {
         self.clock.now()
+    }
+
+    /// True when ingress/lifecycle events should be journaled (durable
+    /// runtime outside of recovery replay).
+    fn dur_active(&self) -> bool {
+        self.dur.as_ref().is_some_and(DurState::is_active)
+    }
+
+    /// Append one record to the journal (no-op without durability or
+    /// during replay). Journal I/O failure is reported, not propagated:
+    /// the runtime favors availability — the stream keeps flowing and
+    /// the operator keeps crash-consistent state only up to the failure.
+    fn dur_append(&self, rec: &JournalRecord) {
+        if let Some(d) = &self.dur {
+            if d.is_active() {
+                if let Err(e) = d.journal.begin().append(rec) {
+                    eprintln!("cameo-runtime: journal append failed: {e}");
+                }
+            }
+        }
     }
 
     /// Batched submit: every shard touched pays one mailbox CAS, one
@@ -765,6 +810,13 @@ impl Runtime {
             elastic_telemetry: Mutex::new(ElasticTelemetry::default()),
             ctl_lock: Mutex::new(()),
             ctl_cv: Condvar::new(),
+            // A journal that cannot open is a startup invariant
+            // violation (bad path, permissions): fail loudly here
+            // rather than run non-durably against the caller's intent.
+            dur: config
+                .durability
+                .as_ref()
+                .map(|d| DurState::open(d).expect("open durability journal")),
         });
         let workers = Arc::new(Mutex::new(
             (0..initial).map(|i| spawn_worker(&shared, i)).collect(),
@@ -862,8 +914,10 @@ impl Runtime {
         // the previous occupant's undeploy, so the new job's messages
         // are accepted again.
         self.shared.sched.reinstate_job(id);
+        let name = exp.name.clone();
         let job = JobRt {
             ingests: exp.ingests.clone(),
+            name: name.clone(),
             latency_constraint: exp.latency_constraint,
             gen,
             draining: AtomicBool::new(false),
@@ -882,6 +936,14 @@ impl Runtime {
             .unwrap_or_else(|p| p.into_inner())
             .slots[slot as usize]
             .job = Some(Arc::new(job));
+        // Journal the deployment *after* releasing the jobs write lock
+        // (global lock order: jobs lock → journal lock; a writer must
+        // never wait on the journal). A crash in the window between the
+        // install and this append loses a deployment whose caller never
+        // saw `Ok` — and no frame can have been admitted for it, since
+        // admission requires the handle this call has not returned yet.
+        self.shared
+            .dur_append(&JournalRecord::Deploy { slot, gen, name });
         Ok(JobHandle { slot, gen })
     }
 
@@ -940,11 +1002,20 @@ impl Runtime {
             drop(held);
         }
         let purged = self.shared.sched.retire_job(JobId(job.slot)) as u64;
-        let mut jobs = self.shared.jobs.write().unwrap_or_else(|p| p.into_inner());
-        let slot = &mut jobs.slots[job.slot as usize];
-        slot.job = None;
-        slot.gen = slot.gen.wrapping_add(1);
-        jobs.free.push(job.slot);
+        {
+            let mut jobs = self.shared.jobs.write().unwrap_or_else(|p| p.into_inner());
+            let slot = &mut jobs.slots[job.slot as usize];
+            slot.job = None;
+            slot.gen = slot.gen.wrapping_add(1);
+            jobs.free.push(job.slot);
+        }
+        // Journal after the write lock is released (jobs → journal
+        // order). Replay is idempotent: an `Undeploy` whose slot
+        // generation already advanced past `gen` is skipped.
+        self.shared.dur_append(&JournalRecord::Undeploy {
+            slot: job.slot,
+            gen: job.gen,
+        });
         Ok(purged)
     }
 
@@ -1010,12 +1081,27 @@ impl Runtime {
         if jrt.draining.load(Ordering::SeqCst) {
             return Err(JobError::Draining);
         }
+        // Capture the write-ahead record post-stamping, pre-routing:
+        // replayed tuples must carry the logical times the operators
+        // actually saw.
+        let dur_rec = if self.shared.dur_active() {
+            Some(FrameRecord::from_batch(job.slot, jrt.gen, source, &batch))
+        } else {
+            None
+        };
         let ingest_idx = jrt.ingests[source as usize % jrt.ingests.len()];
         let mut outbound = Vec::new();
         self.shared
             .route_ingest(&jrt, job.slot, ingest_idx, vec![batch], &mut outbound);
         jrt.inflight
             .fetch_add(outbound.len() as u64, Ordering::AcqRel);
+        // Write-ahead: the journal append lands before publication, and
+        // the `IngressGuard` keeps `inflight` nonzero across the append,
+        // so a concurrent snapshot cannot capture an offset past this
+        // record while its effects are unprocessed.
+        if let Some(rec) = dur_rec {
+            self.shared.dur_append(&JournalRecord::Frames(vec![rec]));
+        }
         // One mailbox CAS + one hint update + one wake per shard for
         // the whole batch, instead of per-message traffic.
         self.shared.submit_batch(outbound);
@@ -1067,6 +1153,10 @@ impl Runtime {
         // first-seen group order and per-group frame order, so each
         // group pays its instance lock once — not once per frame.
         let mut groups: Vec<(u32, Arc<JobRt>, usize, Vec<Batch>)> = Vec::new();
+        // Write-ahead capture of every admitted frame, group-committed
+        // as ONE journal record for the whole call (post-stamping, so
+        // replay reproduces the logical times the operators saw).
+        let mut dur_recs: Vec<FrameRecord> = Vec::new();
         for (index, frame) in frames.into_iter().enumerate() {
             let slot = frame.job;
             let jrt = match seen.iter().find(|(s, _)| *s == slot) {
@@ -1113,7 +1203,11 @@ impl Runtime {
                 continue;
             }
             let ingest_idx = jrt.ingests[frame.source as usize % jrt.ingests.len()];
+            let src = frame.source;
             let batch = frame.into_batch(now);
+            if self.shared.dur_active() {
+                dur_recs.push(FrameRecord::from_batch(slot, jrt.gen, src, &batch));
+            }
             match groups
                 .iter_mut()
                 .find(|(j, _, idx, _)| *j == slot && *idx == ingest_idx)
@@ -1142,6 +1236,13 @@ impl Runtime {
             self.shared
                 .gen_rejected
                 .fetch_add(out.gen_rejected as u64, Ordering::Relaxed);
+        }
+        // Group commit: one journal append (and at most one fsync) for
+        // the entire read, before publication; the per-job
+        // `IngressGuard`s in `ingress` keep the admitted jobs
+        // non-quiescent across the append.
+        if !dur_recs.is_empty() {
+            self.shared.dur_append(&JournalRecord::Frames(dur_recs));
         }
         self.shared.submit_batch(outbound);
         out
@@ -1217,6 +1318,258 @@ impl Runtime {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         self.queue_len() == 0
+    }
+
+    /// Take an operator-state snapshot now, waiting up to five seconds
+    /// for the runtime to quiesce. See
+    /// [`snapshot_within`](Self::snapshot_within).
+    pub fn snapshot(&self) -> Result<u64, SnapshotError> {
+        self.snapshot_within(Duration::from_secs(5))
+    }
+
+    /// Take an operator-state snapshot at the next quiescent point
+    /// (scheduler empty, no in-flight messages), waiting up to `wait`
+    /// for one. Returns the snapshot's sequence number.
+    ///
+    /// Quiescence is verified while holding the journal lock, so the
+    /// captured journal offset is a *consistent cut*: every record at
+    /// or below it has been fully processed, every record above it has
+    /// not been snapshotted. The latest two snapshots are retained and
+    /// the journal is truncated below the older one (a torn newest
+    /// snapshot then still recovers from the previous one).
+    ///
+    /// With the elastic controller configured
+    /// ([`ElasticConfig::with_snapshot_dirty_bytes`]), snapshots are
+    /// also taken automatically on quiescent ticks once enough journal
+    /// bytes accumulate — this method is the manual/synchronous twin.
+    pub fn snapshot_within(&self, wait: Duration) -> Result<u64, SnapshotError> {
+        try_snapshot(&self.shared, wait)
+    }
+
+    /// Recover a crashed durable runtime from its journal and snapshots.
+    ///
+    /// `config` must carry the same [`DurabilityConfig`] directory the
+    /// crashed runtime used; `registry` must register every spec that
+    /// was deployed (operator factories are code — the journal records
+    /// *which* job, the registry supplies *how* to rebuild it).
+    ///
+    /// The sequence: repair the journal's torn tail (checksum scan,
+    /// truncate), load the newest valid snapshot (corrupt ones are
+    /// rejected by checksum and counted), restore every slot's
+    /// generation and every operator instance's state, then replay the
+    /// journal suffix — deploys and undeploys through the slot map
+    /// (idempotently: records already reflected in the snapshot are
+    /// skipped), ingested frames through the normal ingest path with
+    /// their **original** logical times and progress. The result is an
+    /// at-least-once floor, and effectively-once outputs for
+    /// deterministic operators.
+    pub fn recover(
+        config: RuntimeConfig,
+        registry: &SpecRegistry,
+    ) -> Result<(Runtime, RecoveryReport), RecoverError> {
+        let dcfg = config
+            .durability
+            .clone()
+            .ok_or(RecoverError::NotConfigured)?;
+        let mut report = RecoveryReport::default();
+        // Repair the torn tail first (open scans the newest segment and
+        // truncates past the last valid record), then drop this handle:
+        // `Runtime::start` below opens the journal for appending.
+        {
+            let (_repair, torn) =
+                durability::Journal::open(&dcfg.dir, dcfg.fsync, dcfg.segment_bytes)?;
+            report.torn_bytes += torn;
+        }
+        let (snaps, rejected) = durability::snapshot::load_all(&dcfg.dir)?;
+        report.manifests_rejected = rejected;
+        let latest = snaps.last().cloned();
+        let from = latest.as_ref().map_or(0, |s| s.journal_offset);
+        let (records, stats) = durability::journal::read_records(&dcfg.dir, from)?;
+        report.torn_bytes += stats.torn_bytes;
+
+        let rt = Runtime::start(config);
+        let dur = rt.shared.dur.as_ref().expect("durability configured");
+        // Replayed work must not be re-journaled: it is already in the
+        // journal, at the offsets being replayed.
+        dur.active.store(false, Ordering::Release);
+        {
+            let mut retained = relock(&dur.retained);
+            for s in snaps.iter().rev().take(2).rev() {
+                retained.push((s.seq, s.journal_offset));
+            }
+        }
+        if let Some(snap) = &latest {
+            dur.snapshot_seq.store(snap.seq, Ordering::Release);
+            dur.last_snapshot_offset
+                .store(snap.journal_offset, Ordering::Release);
+            report.snapshot_seq = Some(snap.seq);
+            for (idx, slot) in snap.slots.iter().enumerate() {
+                match &slot.job {
+                    // Vacant slots carry state too: their generation
+                    // keeps pre-crash stale handles invalid.
+                    None => rt.set_slot_gen(idx as u32, slot.gen),
+                    Some(job) => {
+                        let jrt = rt.deploy_into_slot(idx as u32, slot.gen, &job.name, registry)?;
+                        if job.instances.len() != jrt.instances.len() {
+                            return Err(RecoverError::StateMismatch {
+                                job: job.name.clone(),
+                                instance: job.instances.len().min(jrt.instances.len()),
+                            });
+                        }
+                        for (i, bytes) in job.instances.iter().enumerate() {
+                            if !relock(&jrt.instances[i]).state_restore(bytes) {
+                                return Err(RecoverError::StateMismatch {
+                                    job: job.name.clone(),
+                                    instance: i,
+                                });
+                            }
+                        }
+                        report.snapshot_jobs += 1;
+                    }
+                }
+            }
+        }
+        for (_end, rec) in records {
+            report.records_replayed += 1;
+            match rec {
+                JournalRecord::Deploy { slot, gen, name } => {
+                    // Idempotent against the snapshot: skip if the slot
+                    // already holds this generation (restored above) or
+                    // has advanced past it (a later undeploy was also
+                    // snapshotted).
+                    let state = {
+                        let jobs = rt.shared.jobs.read().unwrap_or_else(|p| p.into_inner());
+                        jobs.slots
+                            .get(slot as usize)
+                            .map(|s| (s.gen, s.job.is_some()))
+                    };
+                    let skip = match state {
+                        Some((g, true)) if g == gen => true,
+                        Some((g, _)) if g > gen => true,
+                        _ => false,
+                    };
+                    if !skip {
+                        rt.deploy_into_slot(slot, gen, &name, registry)?;
+                    }
+                }
+                JournalRecord::Undeploy { slot, gen } => {
+                    // A stale handle (slot already advanced — the
+                    // undeploy was snapshotted) errors; that is the
+                    // idempotent skip.
+                    let _ = rt.undeploy_within(JobHandle { slot, gen }, Duration::from_secs(5));
+                }
+                JournalRecord::Frames(frames) => {
+                    let (replayed, stale) = rt.replay_frames(frames);
+                    report.frames_replayed += replayed;
+                    report.stale_frames += stale;
+                }
+            }
+        }
+        dur.active.store(true, Ordering::Release);
+        Ok((rt, report))
+    }
+
+    /// Recovery helper: force a slot's generation (growing the table if
+    /// needed) without occupying it.
+    fn set_slot_gen(&self, slot: u32, gen: u32) {
+        let mut jobs = self.shared.jobs.write().unwrap_or_else(|p| p.into_inner());
+        while jobs.slots.len() <= slot as usize {
+            let idx = jobs.slots.len() as u32;
+            jobs.free.push(idx);
+            jobs.slots.push(JobSlot { gen: 0, job: None });
+        }
+        jobs.slots[slot as usize].gen = gen;
+    }
+
+    /// Recovery twin of [`deploy`](Self::deploy): re-expand `name` from
+    /// the registry into a *specific* slot and generation, exactly as
+    /// journaled. Shares deploy's expansion, smoothing override and
+    /// scheduler reinstatement; differs only in slot placement.
+    fn deploy_into_slot(
+        &self,
+        slot: u32,
+        gen: u32,
+        name: &str,
+        registry: &SpecRegistry,
+    ) -> Result<Arc<JobRt>, RecoverError> {
+        let (spec, opts) = registry
+            .get(name)
+            .ok_or_else(|| RecoverError::UnknownSpec(name.to_string()))?;
+        let id = JobId(slot);
+        let mut exp = ExpandedJob::expand(spec, id, opts).map_err(RecoverError::Expand)?;
+        if let Some(alpha) = self.shared.profile_alpha {
+            if opts.profile_alpha.is_none() {
+                for inst in exp.instances.iter_mut() {
+                    inst.converter.set_profile_alpha(alpha);
+                }
+            }
+        }
+        self.shared.sched.reinstate_job(id);
+        let jrt = Arc::new(JobRt {
+            ingests: exp.ingests.clone(),
+            name: exp.name.clone(),
+            latency_constraint: exp.latency_constraint,
+            gen,
+            draining: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+            drain_lock: Mutex::new(()),
+            drain_cv: Condvar::new(),
+            stats: Arc::new(JobStats::new(exp.latency_constraint)),
+            subscribers: Mutex::new(Vec::new()),
+            instances: exp.instances.into_iter().map(Mutex::new).collect(),
+        });
+        let mut jobs = self.shared.jobs.write().unwrap_or_else(|p| p.into_inner());
+        while jobs.slots.len() <= slot as usize {
+            let idx = jobs.slots.len() as u32;
+            jobs.free.push(idx);
+            jobs.slots.push(JobSlot { gen: 0, job: None });
+        }
+        jobs.free.retain(|&s| s != slot);
+        let entry = &mut jobs.slots[slot as usize];
+        entry.gen = gen;
+        entry.job = Some(jrt.clone());
+        Ok(jrt)
+    }
+
+    /// Replay journaled frames through the normal ingest path. Returns
+    /// `(replayed, stale)` — stale frames belonged to a job whose slot
+    /// generation has since advanced (an undeploy later in the journal),
+    /// the replay-time twin of the wire generation check.
+    fn replay_frames(&self, frames: Vec<FrameRecord>) -> (usize, usize) {
+        let (mut replayed, mut stale) = (0, 0);
+        for f in frames {
+            let occupant = self
+                .shared
+                .jobs
+                .read()
+                .unwrap_or_else(|p| p.into_inner())
+                .occupant(f.slot)
+                .cloned();
+            let Some(jrt) = occupant else {
+                stale += 1;
+                continue;
+            };
+            if f.gen != jrt.gen {
+                stale += 1;
+                continue;
+            }
+            let _ingress = IngressGuard::new(&jrt);
+            if jrt.draining.load(Ordering::SeqCst) {
+                stale += 1;
+                continue;
+            }
+            let slot = f.slot;
+            let ingest_idx = jrt.ingests[f.source as usize % jrt.ingests.len()];
+            let batch = f.into_batch(self.shared.now());
+            let mut outbound = Vec::new();
+            self.shared
+                .route_ingest(&jrt, slot, ingest_idx, vec![batch], &mut outbound);
+            jrt.inflight
+                .fetch_add(outbound.len() as u64, Ordering::AcqRel);
+            self.shared.submit_batch(outbound);
+            replayed += 1;
+        }
+        (replayed, stale)
     }
 
     /// Stop all workers and join them. Pending messages are dropped.
@@ -1355,6 +1708,7 @@ fn observe(sh: &Arc<Shared>) -> ElasticObservation {
         steals: stats.steals,
         acquisitions: stats.operator_acquisitions,
         shard_backlogs: sh.sched.shard_backlogs(),
+        journal_dirty_bytes: sh.dur.as_ref().map_or(0, |d| d.dirty_bytes()),
     }
 }
 
@@ -1432,9 +1786,94 @@ fn controller_loop(sh: Arc<Shared>, cfg: ElasticConfig, pool: Arc<Mutex<Vec<Join
                         grace = Some(token);
                     }
                 }
+                ElasticAction::Snapshot => {
+                    // Best-effort: the controller saw quiescence one
+                    // observation ago; if traffic resumed since, skip
+                    // and let a later quiescent tick retry.
+                    if let Err(e) = try_snapshot(&sh, Duration::ZERO) {
+                        if !matches!(e, SnapshotError::Busy) {
+                            eprintln!("cameo-runtime: elastic snapshot failed: {e}");
+                        }
+                    }
+                }
             }
         }
         *relock(&sh.elastic_telemetry) = ctl.telemetry();
+    }
+}
+
+/// Attempt a snapshot, polling for a quiescent point for up to `wait`.
+///
+/// The consistent-cut protocol: take the jobs read lock, then the
+/// journal lock (the global jobs → journal order), and verify
+/// quiescence — scheduler empty *and* every job's in-flight count zero
+/// — while holding both. Ingress appends the journal record while its
+/// `IngressGuard` holds the count above zero, so under this check no
+/// record at or below the captured offset can have unprocessed effects,
+/// and any concurrent ingress past its admission check blocks on the
+/// journal lock until after the offset is captured — its record lands
+/// strictly above the cut. The state scan runs under the same two
+/// locks; the (slow) blob write happens after both are released.
+fn try_snapshot(sh: &Arc<Shared>, wait: Duration) -> Result<u64, SnapshotError> {
+    let Some(dur) = &sh.dur else {
+        return Err(SnapshotError::Inactive);
+    };
+    let deadline = Instant::now() + wait;
+    loop {
+        {
+            let jobs = sh.jobs.read().unwrap_or_else(|p| p.into_inner());
+            let guard = dur.journal.begin();
+            let quiescent = sh.sched.is_empty()
+                && jobs.slots.iter().all(|s| {
+                    s.job
+                        .as_ref()
+                        .is_none_or(|j| j.inflight.load(Ordering::SeqCst) == 0)
+                });
+            if quiescent {
+                let offset = guard.offset();
+                let seq = dur.snapshot_seq.fetch_add(1, Ordering::AcqRel) + 1;
+                let mut slots = Vec::with_capacity(jobs.slots.len());
+                for s in &jobs.slots {
+                    let job = s.job.as_ref().map(|jrt| JobSnapshot {
+                        name: jrt.name.clone(),
+                        instances: jrt
+                            .instances
+                            .iter()
+                            .map(|m| relock(m).state_snapshot())
+                            .collect(),
+                    });
+                    slots.push(SlotSnapshot { gen: s.gen, job });
+                }
+                drop(guard);
+                drop(jobs);
+                durability::snapshot::write_snapshot(dur.journal.dir(), seq, offset, &slots)?;
+                // Retain the latest two snapshots; truncate the journal
+                // only below the *older* retained offset, so a torn
+                // newest snapshot still recovers from the previous one
+                // plus a longer journal suffix.
+                let (keep, trunc_below) = {
+                    let mut retained = relock(&dur.retained);
+                    retained.push((seq, offset));
+                    while retained.len() > 2 {
+                        retained.remove(0);
+                    }
+                    (
+                        retained.iter().map(|&(s, _)| s).collect::<Vec<u64>>(),
+                        retained[0].1,
+                    )
+                };
+                durability::snapshot::prune(dur.journal.dir(), &keep)?;
+                dur.journal.begin().truncate_before(trunc_below)?;
+                dur.last_snapshot_offset.store(offset, Ordering::Release);
+                return Ok(seq);
+            }
+            drop(guard);
+            drop(jobs);
+        }
+        if Instant::now() >= deadline {
+            return Err(SnapshotError::Busy);
+        }
+        std::thread::sleep(Duration::from_micros(500));
     }
 }
 

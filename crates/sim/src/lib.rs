@@ -46,7 +46,7 @@ pub mod workload;
 pub mod prelude {
     pub use crate::cluster::{ClusterSpec, Placement};
     pub use crate::costmodel::{CostConfig, CostModel};
-    pub use crate::engine::{Engine, EngineConfig, PolicyKind, SchedulerKind};
+    pub use crate::engine::{CrashCut, Engine, EngineConfig, PolicyKind, SchedulerKind};
     pub use crate::metrics::{JobMetrics, SchedEvent, SimMetrics};
     pub use crate::report::{cdf_points, fmt_ratio, fmt_us, print_table, render_table};
     pub use crate::scenario::{JobSetup, Scenario, SimReport, TraceEvent, TraceKind};

@@ -48,6 +48,13 @@ pub struct Scenario {
     pub profile_alpha: Option<f64>,
     /// Elastic controller configuration (see [`EngineConfig::elastic`]).
     pub elastic: Option<cameo_core::elastic::ElasticConfig>,
+    /// Crash/recovery drill: crash the run after this many ingested
+    /// arrivals, then recover and continue (see
+    /// [`with_crash_at`](Self::with_crash_at)).
+    pub crash_at: Option<u64>,
+    /// With a crash scheduled: discard the final journal record at
+    /// recovery, as if its write was torn mid-crash.
+    pub crash_torn_tail: bool,
     jobs: Vec<JobSetup>,
 }
 
@@ -68,8 +75,34 @@ impl Scenario {
             disable_replies: false,
             profile_alpha: None,
             elastic: None,
+            crash_at: None,
+            crash_torn_tail: false,
             jobs: Vec::new(),
         }
+    }
+
+    /// Crash the run dead after `arrival_index` arrivals have been
+    /// ingested (1-based count across all jobs), then recover and run
+    /// to completion. The crashed phase's in-flight work is lost; the
+    /// recovery phase replays the arrival journal (every ingested
+    /// arrival, the simulator's write-ahead log) into fresh operator
+    /// state at the crash instant and resumes each job's remaining
+    /// workload — the deterministic mirror of `Runtime::recover`.
+    /// The report's [`SimReport::pre_crash`] carries the crashed
+    /// phase's metrics.
+    pub fn with_crash_at(mut self, arrival_index: u64) -> Self {
+        assert!(arrival_index > 0, "crash point is a 1-based arrival count");
+        self.crash_at = Some(arrival_index);
+        self
+    }
+
+    /// With [`with_crash_at`](Self::with_crash_at): model a torn final
+    /// journal record. Recovery discards the last journaled arrival
+    /// (its write never completed) and the producer — never
+    /// acknowledged — re-sends it via the regenerated workload.
+    pub fn with_torn_tail(mut self, torn: bool) -> Self {
+        self.crash_torn_tail = torn;
+        self
     }
 
     pub fn with_quantum(mut self, q: Micros) -> Self {
@@ -255,9 +288,15 @@ impl Scenario {
         events
     }
 
-    /// Run the scenario to completion.
-    pub fn run(self) -> SimReport {
-        let label = self.sched.label();
+    /// Build an engine over this scenario's jobs. `skip[i]` arrivals of
+    /// job `i`'s workload are fast-forwarded past (recovery: they come
+    /// back via the replayed journal instead).
+    fn build_engine(
+        &self,
+        stop_at_arrival: Option<u64>,
+        arrival_floor: cameo_core::time::PhysicalTime,
+        skip: Option<&[u64]>,
+    ) -> Engine {
         let mut cfg = EngineConfig::new(self.cluster, self.sched);
         cfg.quantum = self.quantum;
         cfg.shards = self.shards;
@@ -270,37 +309,78 @@ impl Scenario {
         cfg.placement = self.placement;
         cfg.disable_replies = self.disable_replies;
         cfg.elastic = self.elastic;
+        cfg.stop_at_arrival = stop_at_arrival;
+        cfg.arrival_floor = arrival_floor;
         let mut engine_jobs = Vec::with_capacity(self.jobs.len());
-        let mut departures = Vec::new();
-        for (i, mut setup) in self.jobs.into_iter().enumerate() {
-            // Scenario-level smoothing default; a job-level choice in
-            // its ExpandOptions wins (same precedence as the runtime's
-            // deploy path).
-            if setup.opts.profile_alpha.is_none() {
-                setup.opts.profile_alpha = self.profile_alpha;
-            }
+        for (i, setup) in self.jobs.iter().enumerate() {
             // Scenario specs come from builders/query constructors, so
             // an invalid one is a programming error in the experiment —
             // surface the precise graph error instead of unwinding
             // somewhere inside the engine.
             let exp = ExpandedJob::expand(&setup.spec, JobId(i as u32), &setup.opts)
                 .unwrap_or_else(|e| panic!("scenario job {i} has an invalid spec: {e}"));
-            let gen = WorkloadGen::new(setup.workload, self.seed.wrapping_add(i as u64 * 7919));
+            let mut gen = WorkloadGen::new(
+                setup.workload.clone(),
+                self.seed.wrapping_add(i as u64 * 7919),
+            );
+            if let Some(skip) = skip {
+                for _ in 0..skip[i] {
+                    let _ = gen.next_arrival();
+                }
+            }
             engine_jobs.push((exp, Some(gen)));
+        }
+        let mut engine = Engine::new(cfg, engine_jobs);
+        for (i, setup) in self.jobs.iter().enumerate() {
             if let Some(d) = setup.departure {
-                departures.push((i, d));
+                engine.depart_job_at(i, cameo_core::time::PhysicalTime(d.0));
             }
         }
+        engine
+    }
+
+    /// Run the scenario to completion.
+    pub fn run(mut self) -> SimReport {
+        let label = self.sched.label();
         let workers = self.cluster.workers_per_node;
-        let mut engine = Engine::new(cfg, engine_jobs);
-        for (i, d) in departures {
-            engine.depart_job_at(i, cameo_core::time::PhysicalTime(d.0));
+        // Scenario-level smoothing default; a job-level choice in its
+        // ExpandOptions wins (same precedence as the runtime's deploy
+        // path).
+        for setup in self.jobs.iter_mut() {
+            if setup.opts.profile_alpha.is_none() {
+                setup.opts.profile_alpha = self.profile_alpha;
+            }
         }
+        let Some(crash_at) = self.crash_at else {
+            let metrics = self
+                .build_engine(None, cameo_core::time::PhysicalTime::ZERO, None)
+                .run();
+            return SimReport {
+                label,
+                workers_per_node: workers,
+                metrics,
+                pre_crash: None,
+            };
+        };
+        // Phase 1: run journaling every arrival, crash dead at the
+        // configured index.
+        let (pre, mut cut) = self
+            .build_engine(Some(crash_at), cameo_core::time::PhysicalTime::ZERO, None)
+            .run_crash();
+        if self.crash_torn_tail {
+            cut.tear_last();
+        }
+        // Phase 2: fresh engine (blank operator state, like a restarted
+        // process), journal replayed at the crash instant, workload
+        // generators fast-forwarded past what the journal covers.
+        let mut engine = self.build_engine(None, cut.at, Some(&cut.ingested_per_job));
+        engine.prime_replay(cut.journal);
         let metrics = engine.run();
         SimReport {
             label,
             workers_per_node: workers,
             metrics,
+            pre_crash: Some(pre),
         }
     }
 }
@@ -341,6 +421,10 @@ pub struct SimReport {
     pub label: String,
     pub workers_per_node: u16,
     pub metrics: SimMetrics,
+    /// With [`Scenario::with_crash_at`]: the crashed phase's metrics
+    /// (outputs up to the crash instant). `metrics` then describes the
+    /// recovered run. `None` for ordinary uncrashed runs.
+    pub pre_crash: Option<SimMetrics>,
 }
 
 impl SimReport {

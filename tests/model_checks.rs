@@ -60,16 +60,18 @@ proptest! {
                     };
                     // Fig 5(b) semantics: each operator is ranked by the
                     // global priority of its *next* message, where "next"
-                    // is chosen by local priority. The popped operator's
+                    // is chosen by local priority — FIFO (push id) among
+                    // equal locals, preserving channel-wise in-order
+                    // processing (§4.3). The popped operator's
                     // next-message global must be minimal among all
                     // operators' next-message globals.
                     let next_global_of = |target: u32| {
                         model
                             .iter()
                             .filter(|(_, (op, _))| *op == target)
-                            .map(|(&id, (_, p))| (p.local, p.global, id))
+                            .map(|(&id, (_, p))| (p.local, id, p.global))
                             .min()
-                            .map(|(_, g, _)| g)
+                            .map(|(_, _, g)| g)
                     };
                     let ops_present: std::collections::BTreeSet<u32> =
                         model.values().map(|(op, _)| *op).collect();

@@ -1,0 +1,360 @@
+//! Crash/recovery equivalence drills at the simulator layer: for every
+//! corpus-shaped scenario, crashing at an arbitrary ingested-arrival
+//! index and recovering must leave the surviving outputs bit-identical
+//! to the uncrashed run. This is the deterministic mirror of
+//! `Runtime::recover`'s effectively-once argument — the simulator's
+//! arrival journal plays the role of the durability journal, and the
+//! recovery phase rebuilds operator state purely by replay, checked
+//! here over many crash points including torn final records.
+//!
+//! Output model: captured records are `(progress, key, value)` —
+//! logical window content only. Comparison is order-insensitive
+//! (sorted multisets): the recovered run replays the journal in a
+//! burst at the crash instant, so physical delivery order may shift
+//! while window contents must not.
+
+use cameo::prelude::*;
+use proptest::prelude::*;
+
+type Out = (u64, u64, i64);
+
+fn sorted_outputs(m: &SimMetrics, job: usize) -> Vec<Out> {
+    let mut v = m.jobs[job]
+        .captured
+        .clone()
+        .expect("scenario must set capture_outputs(true)");
+    v.sort_unstable();
+    v
+}
+
+/// `small ⊆ big` as sorted multisets.
+fn is_submultiset(small: &[Out], big: &[Out]) -> bool {
+    let mut it = big.iter();
+    'outer: for s in small {
+        for b in it.by_ref() {
+            match b.cmp(s) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// One corpus-shaped scenario: a builder plus each job's departure
+/// instant (µs), which decides what recovery owes that job.
+struct Case {
+    name: &'static str,
+    build: fn(u64) -> Scenario,
+    departures: &'static [Option<u64>],
+}
+
+fn steady(seed: u64) -> Scenario {
+    let mut sc = Scenario::new(
+        ClusterSpec::single_node(2),
+        SchedulerKind::Cameo(PolicyKind::Llf),
+    )
+    .with_seed(seed)
+    .capture_outputs(true);
+    sc.add_job(
+        agg_query(
+            &AggQueryParams::new("steady", 200_000, Micros::from_millis(400))
+                .with_sources(2)
+                .with_parallelism(2),
+        ),
+        WorkloadSpec::constant(2, 40.0, 8, Micros::from_secs(1)),
+    );
+    sc
+}
+
+fn spike(seed: u64) -> Scenario {
+    let mut sc = Scenario::new(
+        ClusterSpec::single_node(2),
+        SchedulerKind::Cameo(PolicyKind::Llf),
+    )
+    .with_seed(seed)
+    .capture_outputs(true);
+    sc.add_job(
+        agg_query(
+            &AggQueryParams::new("spike", 200_000, Micros::from_millis(300))
+                .sliding(100_000)
+                .with_sources(2)
+                .with_parallelism(2),
+        ),
+        WorkloadSpec::bursty(2, 25.0, 5.0, &[(0, 1)], 6, Micros::from_secs(2)),
+    );
+    sc
+}
+
+fn step(seed: u64) -> Scenario {
+    let mut sc = Scenario::new(
+        ClusterSpec::single_node(2),
+        SchedulerKind::Cameo(PolicyKind::Llf),
+    )
+    .with_seed(seed)
+    .capture_outputs(true);
+    sc.add_job(
+        agg_query(
+            &AggQueryParams::new("step", 250_000, Micros::from_millis(400))
+                .with_aggregation(Aggregation::Count)
+                .with_keys(64)
+                .with_sources(4)
+                .with_parallelism(2),
+        ),
+        WorkloadSpec::skewed(4, 60.0, 50.0, 6, Micros::from_secs(1)),
+    );
+    sc
+}
+
+fn churn(seed: u64) -> Scenario {
+    let mut sc = Scenario::new(
+        ClusterSpec::new(2, 2),
+        SchedulerKind::Cameo(PolicyKind::Llf),
+    )
+    .with_seed(seed)
+    .capture_outputs(true);
+    sc.add_job(
+        agg_query(
+            &AggQueryParams::new("resident", 200_000, Micros::from_millis(400))
+                .with_sources(2)
+                .with_parallelism(2),
+        ),
+        WorkloadSpec::constant(2, 30.0, 8, Micros::from_millis(1_200)),
+    );
+    // Departs at 900 ms, long after its workload drains at 400 ms: its
+    // outputs are complete in every phase that reaches the departure.
+    sc.add_job_lifecycle(
+        agg_query(
+            &AggQueryParams::new("ephemeral", 100_000, Micros::from_millis(300))
+                .with_sources(2)
+                .with_parallelism(1),
+        ),
+        WorkloadSpec::constant(2, 50.0, 6, Micros::from_millis(400)),
+        ExpandOptions::default(),
+        Micros::ZERO,
+        Some(Micros(900_000)),
+    );
+    sc.add_job_lifecycle(
+        agg_query(
+            &AggQueryParams::new("late-joiner", 200_000, Micros::from_millis(400))
+                .with_sources(2)
+                .with_parallelism(2),
+        ),
+        WorkloadSpec::constant(2, 30.0, 8, Micros::from_millis(600)),
+        ExpandOptions::default(),
+        Micros(300_000),
+        None,
+    );
+    sc
+}
+
+fn diurnal(seed: u64) -> Scenario {
+    let mut sc = Scenario::new(
+        ClusterSpec::new(2, 2),
+        SchedulerKind::Cameo(PolicyKind::Llf),
+    )
+    .with_seed(seed)
+    .capture_outputs(true);
+    let mut join_wl = WorkloadSpec::constant(8, 8.0, 10, Micros::from_secs(1));
+    join_wl.keys = 16; // dense keys so the join actually matches
+    sc.add_job(ipq4(500_000, Micros::from_millis(600)), join_wl);
+    sc.add_job(
+        agg_query(
+            &AggQueryParams::new("tide", 200_000, Micros::from_millis(400))
+                .sliding(100_000)
+                .with_sources(2)
+                .with_parallelism(2),
+        ),
+        WorkloadSpec::pareto(2, 20.0, 1.5, 8, Micros::from_secs(1), 8.0, seed),
+    );
+    sc.add_job(
+        agg_query(
+            &AggQueryParams::new("counts", 250_000, Micros::from_millis(400))
+                .with_aggregation(Aggregation::Count)
+                .with_keys(32)
+                .with_sources(2)
+                .with_parallelism(1),
+        ),
+        WorkloadSpec::skewed_bursty(2, 30.0, 20.0, 1.6, 6.0, 6, Micros::from_secs(1), seed),
+    );
+    sc
+}
+
+const CORPUS: &[Case] = &[
+    Case {
+        name: "steady",
+        build: steady,
+        departures: &[None],
+    },
+    Case {
+        name: "spike",
+        build: spike,
+        departures: &[None],
+    },
+    Case {
+        name: "step",
+        build: step,
+        departures: &[None],
+    },
+    Case {
+        name: "churn",
+        build: churn,
+        departures: &[None, Some(900_000), None],
+    },
+    Case {
+        name: "diurnal",
+        build: diurnal,
+        departures: &[None, None, None],
+    },
+];
+
+/// Total arrivals the scenario will ingest — upper bound for crash
+/// indices (the trace mirrors the engine's departure cutoff).
+fn total_arrivals(case: &Case, seed: u64) -> u64 {
+    (case.build)(seed)
+        .event_trace()
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::Arrival { .. }))
+        .count() as u64
+}
+
+/// The core drill: run uncrashed, run crashed-at-`crash_at` (optionally
+/// with a torn final journal record), and hold recovery to the
+/// consistent-cut contract per job.
+fn check_crash_equivalence(case: &Case, seed: u64, crash_at: u64, torn: bool) {
+    let orig = (case.build)(seed).run();
+    let crashed = (case.build)(seed)
+        .with_crash_at(crash_at)
+        .with_torn_tail(torn)
+        .run();
+    let pre = crashed
+        .pre_crash
+        .as_ref()
+        .expect("crash runs carry the crashed phase's metrics");
+    let crash_instant = pre.end_time.0;
+    assert_eq!(orig.metrics.jobs.len(), crashed.metrics.jobs.len());
+    for j in 0..orig.metrics.jobs.len() {
+        let o = sorted_outputs(&orig.metrics, j);
+        let p = sorted_outputs(pre, j);
+        let r = sorted_outputs(&crashed.metrics, j);
+        assert!(
+            is_submultiset(&p, &o),
+            "{}[{j}] crash@{crash_at}: the crashed phase emitted an output \
+             the uncrashed run never produced",
+            case.name
+        );
+        match case.departures[j] {
+            // The job was undeployed before the crash: it had fully
+            // drained, so the crashed phase already holds its complete
+            // output set, and recovery drops its replayed journal at
+            // ingest (stale by design, not silently re-emitted).
+            Some(d) if d <= crash_instant => {
+                assert_eq!(
+                    p, o,
+                    "{}[{j}] crash@{crash_at}: departed job's pre-crash \
+                     outputs must already equal the uncrashed run's",
+                    case.name
+                );
+                assert!(
+                    r.is_empty(),
+                    "{}[{j}] crash@{crash_at}: recovery re-emitted outputs \
+                     for a job undeployed before the crash",
+                    case.name
+                );
+            }
+            // The job departs *after* the crash: recovery replays its
+            // journal at the crash instant, but the scheduled departure
+            // still fires at its original wall-clock time, and the sim
+            // models departure as a hard purge (mirroring
+            // `ShardedScheduler::retire_job`). A crash landing just
+            // before the departure leaves the replayed backlog no time
+            // to re-process, so the recovered run may hold only a
+            // prefix of the job's windows. The guarantee that survives
+            // an undeploy-during-recovery is no-spurious-outputs:
+            // everything the recovered run emits, the uncrashed run
+            // emitted too.
+            Some(_) => {
+                assert!(
+                    is_submultiset(&r, &o),
+                    "{}[{j}] crash@{crash_at} torn={torn}: recovered run \
+                     emitted an output the uncrashed run never produced",
+                    case.name
+                );
+            }
+            None => {
+                assert_eq!(
+                    r, o,
+                    "{}[{j}] crash@{crash_at} torn={torn}: recovered outputs \
+                     differ from the uncrashed run",
+                    case.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_scenarios_survive_mid_run_crashes() {
+    for case in CORPUS {
+        let total = total_arrivals(case, 11);
+        assert!(total > 10, "{}: corpus scenario too small", case.name);
+        for frac in [3, 2] {
+            check_crash_equivalence(case, 11, total / frac, false);
+        }
+    }
+}
+
+#[test]
+fn corpus_scenarios_survive_torn_tail_crashes() {
+    // Mid-journal-record torn write: the final journaled arrival is
+    // discarded at recovery and must come back via producer re-send.
+    for case in CORPUS {
+        let total = total_arrivals(case, 23);
+        check_crash_equivalence(case, 23, (total / 2).max(1), true);
+    }
+}
+
+#[test]
+fn crash_on_first_arrival_recovers_everything() {
+    for case in CORPUS {
+        check_crash_equivalence(case, 7, 1, false);
+        check_crash_equivalence(case, 7, 1, true);
+    }
+}
+
+#[test]
+fn crash_past_final_arrival_is_a_clean_restart() {
+    // A crash index beyond the workload: the run completes, then the
+    // whole journal replays into a blank engine — recovery from a
+    // journal that covers every arrival.
+    for case in CORPUS {
+        let total = total_arrivals(case, 5);
+        check_crash_equivalence(case, 5, total + 10, false);
+    }
+}
+
+proptest! {
+    /// Randomized crash points over the steady scenario, with and
+    /// without torn tails, across seeds.
+    #[test]
+    fn steady_equivalence_over_random_crash_points(
+        crash_at in 1u64..120,
+        seed in 1u64..64,
+        torn in any::<bool>(),
+    ) {
+        check_crash_equivalence(&CORPUS[0], seed, crash_at, torn);
+    }
+
+    /// Randomized crash points over the churn scenario: crashes land
+    /// before, across, and after a job's departure.
+    #[test]
+    fn churn_equivalence_over_random_crash_points(
+        crash_at in 1u64..160,
+        seed in 1u64..32,
+        torn in any::<bool>(),
+    ) {
+        check_crash_equivalence(&CORPUS[3], seed, crash_at, torn);
+    }
+}
